@@ -1,0 +1,65 @@
+//! E7 bench: EM learning throughput vs action-log size and topic count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octopus_data::{CitationConfig, EmOptions, TicEm};
+
+fn bench_em_vs_items(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_em_vs_items");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for papers in [100usize, 300, 900] {
+        let net = CitationConfig {
+            authors: 80,
+            papers,
+            num_topics: 3,
+            words_per_topic: 10,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        let em = TicEm::new(EmOptions { num_topics: 3, max_iters: 10, ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(papers), &net, |b, net| {
+            b.iter(|| {
+                em.fit(
+                    std::hint::black_box(&net.log),
+                    net.model.vocab().clone(),
+                    net.graph.names().to_vec(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_em_vs_topics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_em_vs_topics");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let net = CitationConfig {
+        authors: 80,
+        papers: 300,
+        num_topics: 4,
+        words_per_topic: 10,
+        seed: 5,
+        ..Default::default()
+    }
+    .generate();
+    for z in [2usize, 4, 8] {
+        let em = TicEm::new(EmOptions { num_topics: z, max_iters: 10, ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(z), &em, |b, em| {
+            b.iter(|| {
+                em.fit(
+                    std::hint::black_box(&net.log),
+                    net.model.vocab().clone(),
+                    net.graph.names().to_vec(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_em_vs_items, bench_em_vs_topics);
+criterion_main!(benches);

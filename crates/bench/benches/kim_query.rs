@@ -1,0 +1,76 @@
+//! E1 bench: online keyword-IM query latency per engine, on the standard
+//! citation workload. The paper's headline claim is that the online engines
+//! answer interactively while the naive baseline cannot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octopus_bench::workloads::citation_small;
+use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig};
+use octopus_core::kim::BoundKind;
+
+fn engines() -> Vec<(&'static str, KimEngineChoice)> {
+    vec![
+        ("naive", KimEngineChoice::Naive),
+        ("mis", KimEngineChoice::Mis),
+        ("be-pb", KimEngineChoice::BestEffort(BoundKind::Precomputation)),
+        ("be-nb", KimEngineChoice::BestEffort(BoundKind::Neighborhood)),
+        (
+            "topic-sample",
+            KimEngineChoice::TopicSample {
+                bound: BoundKind::Precomputation,
+                extra_samples: 16,
+                direct_eps: 0.1,
+            },
+        ),
+    ]
+}
+
+fn bench_kim_query(c: &mut Criterion) {
+    let net = citation_small();
+    let gamma = net.model.infer_str("data mining").expect("resolves");
+    let mut group = c.benchmark_group("e1_kim_query_k10");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, kim) in engines() {
+        let engine = Octopus::new(
+            net.graph.clone(),
+            net.model.clone(),
+            OctopusConfig { kim, piks_index_size: 256, k_max: 15, cache_capacity: 0, // measure the engine, not the cache
+                ..Default::default() },
+        )
+        .expect("engine builds");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, e| {
+            b.iter(|| e.find_influencers_gamma(std::hint::black_box(&gamma), 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_kim_query_vs_k(c: &mut Criterion) {
+    let net = citation_small();
+    let gamma = net.model.infer_str("neural network").expect("resolves");
+    let engine = Octopus::new(
+        net.graph.clone(),
+        net.model.clone(),
+        OctopusConfig {
+            kim: KimEngineChoice::BestEffort(BoundKind::Precomputation),
+            piks_index_size: 256,
+            cache_capacity: 0, // measure the engine, not the cache
+                ..Default::default()
+        },
+    )
+    .expect("engine builds");
+    let mut group = c.benchmark_group("e1_kim_query_vs_k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [1usize, 5, 10, 25] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| engine.find_influencers_gamma(std::hint::black_box(&gamma), k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kim_query, bench_kim_query_vs_k);
+criterion_main!(benches);

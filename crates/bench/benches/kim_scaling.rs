@@ -1,0 +1,71 @@
+//! E4 bench: best-effort engine latency vs graph size (the scalability
+//! half of the engine-sweep experiment; the quality half lives in
+//! `exp_runner e4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octopus_bench::workloads::citation_sized;
+use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig};
+use octopus_core::kim::BoundKind;
+
+fn bench_best_effort_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_best_effort_vs_n");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (authors, papers) in [(200usize, 500usize), (400, 1000), (800, 2000)] {
+        let net = citation_sized(authors, papers);
+        let gamma = net.model.infer_str("data mining").expect("resolves");
+        let engine = Octopus::new(
+            net.graph.clone(),
+            net.model.clone(),
+            OctopusConfig {
+                kim: KimEngineChoice::BestEffort(BoundKind::Precomputation),
+                piks_index_size: 128,
+                cache_capacity: 0, // measure the engine, not the cache
+                ..Default::default()
+            },
+        )
+        .expect("engine builds");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(authors),
+            &engine,
+            |b, engine| {
+                b.iter(|| engine.find_influencers_gamma(std::hint::black_box(&gamma), 10).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_naive_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_naive_vs_n");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (authors, papers) in [(200usize, 500usize), (400, 1000)] {
+        let net = citation_sized(authors, papers);
+        let gamma = net.model.infer_str("data mining").expect("resolves");
+        let engine = Octopus::new(
+            net.graph.clone(),
+            net.model.clone(),
+            OctopusConfig {
+                kim: KimEngineChoice::Naive,
+                piks_index_size: 128,
+                cache_capacity: 0, // measure the engine, not the cache
+                ..Default::default()
+            },
+        )
+        .expect("engine builds");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(authors),
+            &engine,
+            |b, engine| {
+                b.iter(|| engine.find_influencers_gamma(std::hint::black_box(&gamma), 10).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_best_effort_scaling, bench_naive_scaling);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E8 bench: the QQ deployment scenario — campaign queries and influencer
+//! profiling on the messenger workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octopus_bench::workloads::{messenger_sized, prolific_users, user_keywords};
+use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig};
+use octopus_core::kim::BoundKind;
+
+fn bench_campaign_query(c: &mut Criterion) {
+    let net = messenger_sized(500);
+    let engine = Octopus::new(
+        net.graph.clone(),
+        net.model.clone(),
+        OctopusConfig {
+            kim: KimEngineChoice::BestEffort(BoundKind::Precomputation),
+            piks_index_size: 512,
+            cache_capacity: 0, // measure the engine, not the cache
+                ..Default::default()
+        },
+    )
+    .expect("engine builds")
+    .with_user_keywords(user_keywords(&net));
+    let gamma = net.model.infer_str("game").expect("resolves");
+    c.bench_function("e8_campaign_query_k8", |b| {
+        b.iter(|| engine.find_influencers_gamma(std::hint::black_box(&gamma), 8).unwrap())
+    });
+
+    let target = prolific_users(&net, 1)[0];
+    c.bench_function("e8_influencer_profiling_k3", |b| {
+        b.iter(|| engine.suggest_keywords_for(std::hint::black_box(target), 3).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_campaign_query);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E3 bench: MIA arborescence construction across pruning thresholds — the
+//! interactivity knob of the path-exploration service.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octopus_bench::workloads::citation_small;
+use octopus_graph::stats::top_out_degree;
+use octopus_mia::{ArbDirection, Arborescence};
+
+fn bench_mioa_vs_theta(c: &mut Criterion) {
+    let net = citation_small();
+    let gamma = net.model.infer_str("data mining").expect("resolves");
+    let probs = net.graph.materialize(gamma.as_slice()).expect("dims");
+    let root = top_out_degree(&net.graph, 1)[0].0;
+    let mut group = c.benchmark_group("e3_mioa_vs_theta");
+    for theta in [0.1f64, 0.01, 0.001] {
+        group.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, &theta| {
+            b.iter(|| {
+                Arborescence::build(
+                    &net.graph,
+                    std::hint::black_box(&probs),
+                    root,
+                    theta,
+                    ArbDirection::Out,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_miia_reverse(c: &mut Criterion) {
+    let net = citation_small();
+    let gamma = net.model.infer_str("neural network").expect("resolves");
+    let probs = net.graph.materialize(gamma.as_slice()).expect("dims");
+    // a well-connected leaf: last of the top-32 hubs
+    let root = top_out_degree(&net.graph, 32).last().unwrap().0;
+    c.bench_function("e3_miia_reverse_theta_0.01", |b| {
+        b.iter(|| {
+            Arborescence::build(
+                &net.graph,
+                std::hint::black_box(&probs),
+                root,
+                0.01,
+                ArbDirection::In,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_mioa_vs_theta, bench_miia_reverse);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E9 bench: the spread-estimation engines head to head — Monte-Carlo
+//! simulation, RR-set coverage, and deterministic MIA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octopus_bench::workloads::citation_small;
+use octopus_cascade::{estimate_spread, estimate_spread_parallel, RrCollection};
+use octopus_graph::stats::top_out_degree;
+use octopus_mia::mia_spread_set;
+
+fn bench_estimators(c: &mut Criterion) {
+    let net = citation_small();
+    let gamma = net.model.infer_str("data mining").expect("resolves");
+    let probs = net.graph.materialize(gamma.as_slice()).expect("dims");
+    let seeds: Vec<octopus_graph::NodeId> =
+        top_out_degree(&net.graph, 10).into_iter().map(|(u, _)| u).collect();
+
+    let mut group = c.benchmark_group("e9_seed_set_spread");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for runs in [500usize, 5000] {
+        group.bench_with_input(BenchmarkId::new("mc", runs), &runs, |b, &runs| {
+            b.iter(|| estimate_spread(&net.graph, &probs, std::hint::black_box(&seeds), runs, 3))
+        });
+    }
+    group.bench_function("mc_5000_parallel4", |b| {
+        b.iter(|| {
+            estimate_spread_parallel(&net.graph, &probs, std::hint::black_box(&seeds), 5000, 3, 4)
+        })
+    });
+    let rr = RrCollection::generate(&net.graph, &probs, 10_000, 17);
+    group.bench_function("rr_10000_amortized", |b| {
+        b.iter(|| rr.estimate_spread(std::hint::black_box(&seeds)))
+    });
+    for theta in [0.1f64, 0.01] {
+        group.bench_with_input(BenchmarkId::new("mia", theta), &theta, |b, &theta| {
+            b.iter(|| mia_spread_set(&net.graph, &probs, std::hint::black_box(&seeds), theta))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rr_generation(c: &mut Criterion) {
+    let net = citation_small();
+    let gamma = net.model.infer_str("data mining").expect("resolves");
+    let probs = net.graph.materialize(gamma.as_slice()).expect("dims");
+    let mut group = c.benchmark_group("e9_rr_generation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for sets in [1000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(sets), &sets, |b, &sets| {
+            b.iter(|| RrCollection::generate(&net.graph, std::hint::black_box(&probs), sets, 17))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_rr_generation);
+criterion_main!(benches);

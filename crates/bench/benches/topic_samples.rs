@@ -1,0 +1,49 @@
+//! E5 bench: query latency of the topic-sample engine as the offline sample
+//! budget grows (denser samples → more direct answers → lower latency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octopus_bench::workloads::citation_small;
+use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig};
+use octopus_core::kim::BoundKind;
+use octopus_topics::TopicDistribution;
+
+fn bench_query_vs_sample_budget(c: &mut Criterion) {
+    let net = citation_small();
+    // a mildly mixed query: likely outside eps of the corners but inside a
+    // dense extra-sample cloud
+    let gamma = {
+        let z = net.graph.num_topics();
+        let mut w = vec![0.05; z];
+        w[0] = 0.8;
+        TopicDistribution::from_weights(w).expect("valid weights")
+    };
+    let mut group = c.benchmark_group("e5_query_vs_samples");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for extra in [0usize, 16, 64] {
+        let engine = Octopus::new(
+            net.graph.clone(),
+            net.model.clone(),
+            OctopusConfig {
+                kim: KimEngineChoice::TopicSample {
+                    bound: BoundKind::Precomputation,
+                    extra_samples: extra,
+                    direct_eps: 0.15,
+                },
+                piks_index_size: 128,
+                k_max: 15,
+                cache_capacity: 0, // measure the engine, not the cache
+                ..Default::default()
+            },
+        )
+        .expect("engine builds");
+        group.bench_with_input(BenchmarkId::from_parameter(extra), &engine, |b, e| {
+            b.iter(|| e.find_influencers_gamma(std::hint::black_box(&gamma), 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_vs_sample_budget);
+criterion_main!(benches);

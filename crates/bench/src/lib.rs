@@ -1,0 +1,10 @@
+//! Shared infrastructure for the OCTOPUS benchmark harness: standard
+//! workloads (one per experiment in `DESIGN.md` §6), a Monte-Carlo quality
+//! referee, and plain-text table rendering for the `exp_runner` binary.
+
+pub mod referee;
+pub mod table;
+pub mod workloads;
+
+pub use referee::Referee;
+pub use table::Table;

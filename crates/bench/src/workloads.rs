@@ -1,0 +1,128 @@
+//! Standard benchmark workloads. Every experiment pulls its network from
+//! here so results are comparable across benches and runs; all generation
+//! is seeded and deterministic.
+
+use octopus_data::{CitationConfig, MessengerConfig, SyntheticNetwork};
+use octopus_topics::KeywordId;
+use std::collections::HashMap;
+
+/// The default mid-size citation workload (experiments E1/E2/E3/E5/E9).
+pub fn citation_default() -> SyntheticNetwork {
+    citation_sized(2000, 5000)
+}
+
+/// A citation workload with the given author/paper counts.
+pub fn citation_sized(authors: usize, papers: usize) -> SyntheticNetwork {
+    CitationConfig {
+        authors,
+        papers,
+        num_topics: 8,
+        words_per_topic: 20,
+        seed: 0xBE7C_0FFE,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// A small citation workload for quick runs and unit benches.
+pub fn citation_small() -> SyntheticNetwork {
+    citation_sized(300, 800)
+}
+
+/// The messenger workload (experiment E8).
+pub fn messenger_default() -> SyntheticNetwork {
+    messenger_sized(3000)
+}
+
+/// A messenger workload with the given user count.
+pub fn messenger_sized(users: usize) -> SyntheticNetwork {
+    MessengerConfig {
+        users,
+        links_per_user: 5,
+        items: users,
+        num_topics: 5,
+        words_per_topic: 14,
+        seed: 0x9_9199,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// The standard keyword queries of the citation experiments (mirroring the
+/// demo's "data mining" style inputs, one per topic plus two mixtures).
+pub fn citation_queries() -> Vec<&'static str> {
+    vec![
+        "data mining",
+        "neural network",
+        "influence maximization social recommendation",
+        "distributed system replication",
+        "approximation algorithm",
+        "keyword search ranking",
+        "data mining clustering",
+        "encryption authentication",
+    ]
+}
+
+/// Messenger campaign queries (the QQ scenario's inputs).
+pub fn messenger_queries() -> Vec<&'static str> {
+    vec!["game", "gum strawberry xylitol", "smartphone", "sneaker lipstick", "flight deal"]
+}
+
+/// Per-user keyword candidates extracted from an action log (what the
+/// engine facade receives in production).
+pub fn user_keywords(net: &SyntheticNetwork) -> HashMap<octopus_graph::NodeId, Vec<KeywordId>> {
+    let mut map: HashMap<octopus_graph::NodeId, Vec<KeywordId>> = HashMap::new();
+    for item in net.log.items() {
+        let e = map.entry(item.origin).or_default();
+        for &w in &item.keywords {
+            if !e.contains(&w) {
+                e.push(w);
+            }
+        }
+    }
+    map
+}
+
+/// The most prolific item-originating users (suggestion-query targets).
+pub fn prolific_users(net: &SyntheticNetwork, count: usize) -> Vec<octopus_graph::NodeId> {
+    let map = user_keywords(net);
+    let mut v: Vec<(octopus_graph::NodeId, usize)> =
+        map.into_iter().map(|(u, ws)| (u, ws.len())).collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.into_iter().take(count).map(|(u, _)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = citation_small();
+        let b = citation_small();
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn queries_resolve_on_their_workloads() {
+        let net = citation_small();
+        for q in citation_queries() {
+            assert!(net.model.infer_str(q).is_ok(), "query {q:?} must resolve");
+        }
+        let net = messenger_default();
+        for q in messenger_queries() {
+            assert!(net.model.infer_str(q).is_ok(), "query {q:?} must resolve");
+        }
+    }
+
+    #[test]
+    fn prolific_users_have_keywords() {
+        let net = citation_small();
+        let users = prolific_users(&net, 5);
+        assert_eq!(users.len(), 5);
+        let map = user_keywords(&net);
+        for u in users {
+            assert!(map[&u].len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Name auto-completion (Scenario 2: "she can simply type in the name in
+//! OCTOPUS, while assisted by an auto-completion tool").
+//!
+//! A compressed-enough trie over normalized user names. Each terminal
+//! carries the user's id and an importance score (the engine uses
+//! out-degree by default, so famous users surface first); completion walks
+//! the prefix and collects the best `limit` terminals below it.
+
+use octopus_graph::NodeId;
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: HashMap<char, TrieNode>,
+    /// Terminal payload: (user, score).
+    terminal: Option<(NodeId, f64)>,
+}
+
+/// Prefix index over user names.
+#[derive(Debug, Default)]
+pub struct Autocomplete {
+    root: TrieNode,
+    size: usize,
+}
+
+fn normalize(s: &str) -> String {
+    s.trim().to_lowercase()
+}
+
+impl Autocomplete {
+    /// Build from `(name, id, score)` triples. Later duplicates of the same
+    /// normalized name keep the higher score.
+    pub fn build<'a>(entries: impl IntoIterator<Item = (&'a str, NodeId, f64)>) -> Self {
+        let mut ac = Autocomplete::default();
+        for (name, id, score) in entries {
+            ac.insert(name, id, score);
+        }
+        ac
+    }
+
+    /// Insert one name.
+    pub fn insert(&mut self, name: &str, id: NodeId, score: f64) {
+        let norm = normalize(name);
+        if norm.is_empty() {
+            return;
+        }
+        let mut node = &mut self.root;
+        for c in norm.chars() {
+            node = node.children.entry(c).or_default();
+        }
+        match &mut node.terminal {
+            Some((_, s)) if *s >= score => {}
+            slot => *slot = Some((id, score)),
+        }
+        self.size += 1;
+    }
+
+    /// Number of inserted names (including overwritten duplicates).
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The top-`limit` completions of `prefix`, ranked by descending score
+    /// (ties by node id). Returns `(id, completed_name, score)`.
+    pub fn complete(&self, prefix: &str, limit: usize) -> Vec<(NodeId, String, f64)> {
+        let norm = normalize(prefix);
+        let mut node = &self.root;
+        for c in norm.chars() {
+            match node.children.get(&c) {
+                Some(n) => node = n,
+                None => return Vec::new(),
+            }
+        }
+        // collect all terminals below `node`
+        let mut found: Vec<(NodeId, String, f64)> = Vec::new();
+        let mut stack: Vec<(&TrieNode, String)> = vec![(node, norm)];
+        while let Some((n, path)) = stack.pop() {
+            if let Some((id, score)) = n.terminal {
+                found.push((id, path.clone(), score));
+            }
+            for (&c, child) in &n.children {
+                let mut next = path.clone();
+                next.push(c);
+                stack.push((child, next));
+            }
+        }
+        found.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2).expect("finite scores").then(a.0.cmp(&b.0))
+        });
+        found.truncate(limit);
+        found
+    }
+
+    /// Exact lookup of a (normalized) name.
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        let norm = normalize(name);
+        let mut node = &self.root;
+        for c in norm.chars() {
+            node = node.children.get(&c)?;
+        }
+        node.terminal.map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Autocomplete {
+        Autocomplete::build([
+            ("Jure Leskovec", NodeId(0), 50.0),
+            ("Jiawei Han", NodeId(1), 80.0),
+            ("Jian Pei", NodeId(2), 60.0),
+            ("Michael Jordan", NodeId(3), 90.0),
+            ("Michael Stonebraker", NodeId(4), 85.0),
+        ])
+    }
+
+    #[test]
+    fn prefix_completion_ranked_by_score() {
+        let ac = sample();
+        let hits = ac.complete("ji", 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, NodeId(1), "jiawei han ranks first (score 80)");
+        assert_eq!(hits[1].0, NodeId(2));
+    }
+
+    #[test]
+    fn case_and_whitespace_insensitive() {
+        let ac = sample();
+        let hits = ac.complete("  MICHAEL ", 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].1, "michael jordan");
+    }
+
+    #[test]
+    fn limit_respected() {
+        let ac = sample();
+        assert_eq!(ac.complete("", 3).len(), 3);
+        assert_eq!(ac.complete("", 100).len(), 5);
+    }
+
+    #[test]
+    fn no_match_is_empty() {
+        let ac = sample();
+        assert!(ac.complete("zz", 5).is_empty());
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let ac = sample();
+        assert_eq!(ac.lookup("jure leskovec"), Some(NodeId(0)));
+        assert_eq!(ac.lookup("jure"), None, "prefix is not an exact name");
+    }
+
+    #[test]
+    fn duplicate_names_keep_higher_score() {
+        let mut ac = Autocomplete::default();
+        ac.insert("wei chen", NodeId(1), 10.0);
+        ac.insert("wei chen", NodeId(2), 99.0);
+        ac.insert("wei chen", NodeId(3), 5.0);
+        assert_eq!(ac.lookup("wei chen"), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn empty_names_ignored() {
+        let mut ac = Autocomplete::default();
+        ac.insert("  ", NodeId(1), 1.0);
+        assert!(ac.complete("", 5).is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the OCTOPUS engine.
+
+use std::fmt;
+
+/// Errors surfaced by the engine facade and analysis services.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The keyword query resolved to no known keyword.
+    NoKnownKeywords {
+        /// The words that failed to resolve.
+        unknown: Vec<String>,
+    },
+    /// A user lookup failed.
+    UnknownUser(String),
+    /// The engine was asked for zero seeds/keywords.
+    ZeroK,
+    /// The target user has no keyword candidates to suggest from.
+    NoCandidates {
+        /// The user in question.
+        user: String,
+    },
+    /// Propagated graph-layer error.
+    Graph(octopus_graph::GraphError),
+    /// Propagated topic-layer error.
+    Topic(octopus_topics::TopicError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoKnownKeywords { unknown } => {
+                write!(f, "no known keywords in query (unknown: {unknown:?})")
+            }
+            CoreError::UnknownUser(name) => write!(f, "unknown user {name:?}"),
+            CoreError::ZeroK => write!(f, "k must be at least 1"),
+            CoreError::NoCandidates { user } => {
+                write!(f, "user {user:?} has no keyword candidates (no authored items)")
+            }
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Topic(e) => write!(f, "topic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<octopus_graph::GraphError> for CoreError {
+    fn from(e: octopus_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<octopus_topics::TopicError> for CoreError {
+    fn from(e: octopus_topics::TopicError) -> Self {
+        CoreError::Topic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::NoKnownKeywords { unknown: vec!["blorp".into()] };
+        assert!(e.to_string().contains("blorp"));
+        assert!(CoreError::ZeroK.to_string().contains("at least 1"));
+        let e: CoreError = octopus_topics::TopicError::EmptyKeywordSet.into();
+        assert!(e.to_string().contains("topic error"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Upper-bound estimators for the best-effort framework (§II-C): "for
+//! effective bound estimation, we devise precomputation based, local graph
+//! based, and neighborhood based methods."
+//!
+//! All three bound the **MIA spread** `σ_MIA({u})` that [`super::BestEffortKim`]
+//! uses as its exact influence computation:
+//!
+//! * [`NeighborhoodBound`] (NB) — provable under the MIA model:
+//!   `σ(u) ≤ 1 + Σ_v pp_{u,v}(γ)·(1 + Σ_w pp_{v,w}(γ)·C)` where `C` is the
+//!   precomputed global spread cap on the max-probability graph (spread is
+//!   monotone in edge probabilities, and `pp_e(γ) ≤ max_z pp^z_e`).
+//! * [`PrecompBound`] (PB) — `safety · Σ_z γ_z·σ̂_z(u)` from per-topic
+//!   offline MIA spreads. Exact when edges are topic-disjoint (the regime
+//!   real networks approximate); the safety factor absorbs mixed edges, and
+//!   experiment E4 measures the residual violation rate.
+//! * [`LocalGraphBound`] (LG) — depth-`d` truncated Dijkstra around `u`
+//!   under the query `γ`, plus a `C`-capped tail for frontier mass; also
+//!   calibrated with a safety factor (long detour paths can re-enter the
+//!   ball with higher probability than any short path).
+
+use octopus_graph::{NodeId, TopicGraph};
+use octopus_mia::mioa_spread;
+use octopus_topics::TopicDistribution;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which bound estimator an engine uses (for reports and sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// Precomputation-based (per-topic offline spreads).
+    Precomputation,
+    /// Local-graph-based (truncated query-time Dijkstra).
+    LocalGraph,
+    /// Neighborhood-based (two-hop probability expansion).
+    Neighborhood,
+    /// No information (ablation: degenerates best-effort into plain CELF).
+    Trivial,
+}
+
+impl BoundKind {
+    /// Short name for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundKind::Precomputation => "PB",
+            BoundKind::LocalGraph => "LG",
+            BoundKind::Neighborhood => "NB",
+            BoundKind::Trivial => "∅",
+        }
+    }
+}
+
+/// An upper-bound estimator on the singleton MIA spread `σ_MIA({u} | γ)`.
+pub trait BoundEstimator {
+    /// Upper bound for user `u` under query `gamma`.
+    fn upper_bound(&self, u: NodeId, gamma: &TopicDistribution) -> f64;
+
+    /// Which estimator this is.
+    fn kind(&self) -> BoundKind;
+}
+
+impl<B: BoundEstimator + ?Sized> BoundEstimator for &B {
+    fn upper_bound(&self, u: NodeId, gamma: &TopicDistribution) -> f64 {
+        (**self).upper_bound(u, gamma)
+    }
+
+    fn kind(&self) -> BoundKind {
+        (**self).kind()
+    }
+}
+
+/// Compute the global spread cap `C = max_u σ_MIA(u)` on the
+/// max-probability graph (a query-independent constant shared by NB/LG).
+pub fn global_spread_cap(graph: &TopicGraph, theta: f64) -> f64 {
+    // materialize the per-edge maxima as a fake single-query table
+    let max_probs = octopus_graph::EdgeProbs::from_vec(
+        graph.edges().map(|e| graph.edge_prob_max(e)).collect(),
+    );
+    graph
+        .nodes()
+        .map(|u| mioa_spread_with(graph, &max_probs, u, theta))
+        .fold(1.0f64, f64::max)
+}
+
+fn mioa_spread_with(
+    graph: &TopicGraph,
+    probs: &octopus_graph::EdgeProbs,
+    u: NodeId,
+    theta: f64,
+) -> f64 {
+    octopus_mia::Arborescence::build(graph, probs, u, theta, octopus_mia::ArbDirection::Out)
+        .total_influence()
+}
+
+// ---------------------------------------------------------------------------
+// Trivial bound (ablation)
+// ---------------------------------------------------------------------------
+
+/// The no-information bound: every user is bounded by the node count.
+///
+/// Plugging this into [`super::BestEffortKim`] degenerates it into plain
+/// CELF over the MIA spread (every candidate pays one exact evaluation) —
+/// the ablation that isolates how much the real bound estimators save.
+#[derive(Debug, Clone)]
+pub struct TrivialBound {
+    n: f64,
+}
+
+impl TrivialBound {
+    /// Bound every user by `node_count`.
+    pub fn new(node_count: usize) -> Self {
+        TrivialBound { n: node_count as f64 }
+    }
+}
+
+impl BoundEstimator for TrivialBound {
+    fn upper_bound(&self, _u: NodeId, _gamma: &TopicDistribution) -> f64 {
+        self.n
+    }
+
+    fn kind(&self) -> BoundKind {
+        BoundKind::Trivial
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Neighborhood bound
+// ---------------------------------------------------------------------------
+
+/// Two-hop neighborhood expansion bound (cheap, query-dependent, provable
+/// w.r.t. the MIA spread).
+#[derive(Debug, Clone)]
+pub struct NeighborhoodBound<'g> {
+    graph: &'g TopicGraph,
+    cap: f64,
+}
+
+impl<'g> NeighborhoodBound<'g> {
+    /// Build with a precomputed global cap (see [`global_spread_cap`]).
+    pub fn new(graph: &'g TopicGraph, cap: f64) -> Self {
+        NeighborhoodBound { graph, cap: cap.max(1.0) }
+    }
+}
+
+impl BoundEstimator for NeighborhoodBound<'_> {
+    fn upper_bound(&self, u: NodeId, gamma: &TopicDistribution) -> f64 {
+        let g = self.graph;
+        let mut total = 1.0f64;
+        for (v, e) in g.out_edges(u) {
+            let p_uv = g.edge_prob(e, gamma.as_slice());
+            if p_uv <= 0.0 {
+                continue;
+            }
+            let mut inner = 1.0f64;
+            for (_, e2) in g.out_edges(v) {
+                inner += g.edge_prob(e2, gamma.as_slice()) * self.cap;
+            }
+            total += p_uv * inner;
+        }
+        total
+    }
+
+    fn kind(&self) -> BoundKind {
+        BoundKind::Neighborhood
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Precomputation bound
+// ---------------------------------------------------------------------------
+
+/// Per-topic offline spread tables: `bound(u|γ) = safety · Σ_z γ_z σ̂_z(u)`.
+#[derive(Debug, Clone)]
+pub struct PrecompBound {
+    /// `sigma[z][u]` = MIA spread of `u` under pure topic `z`.
+    sigma: Vec<Vec<f64>>,
+    safety: f64,
+}
+
+impl PrecompBound {
+    /// Precompute per-topic MIA spreads for every node.
+    ///
+    /// `theta` is the MIA pruning threshold for the offline builds; `safety`
+    /// inflates the aggregated bound to absorb mixed-topic edges (1.2 is a
+    /// good default — see experiment E4 for the measured violation rate).
+    pub fn build(graph: &TopicGraph, theta: f64, safety: f64) -> Self {
+        let z_count = graph.num_topics();
+        let mut sigma = Vec::with_capacity(z_count);
+        for z in 0..z_count {
+            let gamma = TopicDistribution::pure(z_count, z);
+            let probs = graph.materialize(gamma.as_slice()).expect("valid corner");
+            sigma.push(graph.nodes().map(|u| mioa_spread(graph, &probs, u, theta)).collect());
+        }
+        PrecompBound { sigma, safety }
+    }
+
+    /// The stored pure-topic spread `σ̂_z(u)`.
+    pub fn topic_spread(&self, u: NodeId, z: usize) -> f64 {
+        self.sigma[z][u.index()]
+    }
+}
+
+impl BoundEstimator for PrecompBound {
+    fn upper_bound(&self, u: NodeId, gamma: &TopicDistribution) -> f64 {
+        let agg: f64 =
+            (0..self.sigma.len()).map(|z| gamma[z] * self.sigma[z][u.index()]).sum();
+        // every spread includes the node itself (mass 1); the convex part is
+        // the remainder, so keep the "+1" exact and scale only the rest
+        (1.0 + self.safety * (agg - 1.0)).max(1.0)
+    }
+
+    fn kind(&self) -> BoundKind {
+        BoundKind::Precomputation
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Local-graph bound
+// ---------------------------------------------------------------------------
+
+/// Depth-limited query-time Dijkstra plus capped frontier tail.
+#[derive(Debug, Clone)]
+pub struct LocalGraphBound<'g> {
+    graph: &'g TopicGraph,
+    depth: u32,
+    cap: f64,
+    safety: f64,
+}
+
+struct Hop {
+    prob: f64,
+    node: NodeId,
+    depth: u32,
+}
+impl PartialEq for Hop {
+    fn eq(&self, o: &Self) -> bool {
+        self.prob == o.prob && self.node == o.node
+    }
+}
+impl Eq for Hop {}
+impl PartialOrd for Hop {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Hop {
+    fn cmp(&self, o: &Self) -> Ordering {
+        self.prob.partial_cmp(&o.prob).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl<'g> LocalGraphBound<'g> {
+    /// Build with exploration `depth`, global `cap` and `safety` factor.
+    pub fn new(graph: &'g TopicGraph, depth: u32, cap: f64, safety: f64) -> Self {
+        assert!(depth >= 1, "local graph needs at least one hop");
+        LocalGraphBound { graph, depth, cap: cap.max(1.0), safety }
+    }
+}
+
+impl BoundEstimator for LocalGraphBound<'_> {
+    fn upper_bound(&self, u: NodeId, gamma: &TopicDistribution) -> f64 {
+        let g = self.graph;
+        // depth-limited max-prob Dijkstra from u
+        let mut best: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
+        let mut settled: std::collections::HashMap<NodeId, (f64, u32)> =
+            std::collections::HashMap::new();
+        let mut heap = BinaryHeap::new();
+        heap.push(Hop { prob: 1.0, node: u, depth: 0 });
+        best.insert(u, 1.0);
+        while let Some(h) = heap.pop() {
+            if settled.contains_key(&h.node) {
+                continue;
+            }
+            settled.insert(h.node, (h.prob, h.depth));
+            if h.depth == self.depth {
+                continue;
+            }
+            for (v, e) in g.out_edges(h.node) {
+                if settled.contains_key(&v) {
+                    continue;
+                }
+                let p = h.prob * g.edge_prob(e, gamma.as_slice());
+                if p <= 1e-9 {
+                    continue;
+                }
+                let entry = best.entry(v).or_insert(0.0);
+                if p > *entry {
+                    *entry = p;
+                    heap.push(Hop { prob: p, node: v, depth: h.depth + 1 });
+                }
+            }
+        }
+        let mut interior = 0.0f64;
+        let mut frontier_tail = 0.0f64;
+        for (&_node, &(prob, depth)) in &settled {
+            interior += prob;
+            if depth == self.depth {
+                frontier_tail += prob * (self.cap - 1.0);
+            }
+        }
+        (1.0 + self.safety * (interior - 1.0 + frontier_tail)).max(1.0)
+    }
+
+    fn kind(&self) -> BoundKind {
+        BoundKind::LocalGraph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kim::testutil::two_topic_hubs;
+    use octopus_mia::mia_spread_set;
+
+    const THETA: f64 = 1.0 / 320.0;
+
+    fn exact(g: &TopicGraph, u: NodeId, gamma: &TopicDistribution) -> f64 {
+        let probs = g.materialize(gamma.as_slice()).unwrap();
+        mia_spread_set(g, &probs, &[u], THETA)
+    }
+
+    #[test]
+    fn nb_bounds_every_node_on_fixture() {
+        let g = two_topic_hubs();
+        let cap = global_spread_cap(&g, THETA);
+        let nb = NeighborhoodBound::new(&g, cap);
+        for gamma in [
+            TopicDistribution::pure(2, 0),
+            TopicDistribution::pure(2, 1),
+            TopicDistribution::uniform(2),
+        ] {
+            for u in g.nodes() {
+                let b = nb.upper_bound(u, &gamma);
+                let s = exact(&g, u, &gamma);
+                assert!(b >= s - 1e-9, "NB violated at {u:?}: bound {b} < spread {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn pb_bounds_on_topic_disjoint_fixture() {
+        // the fixture's hub edges are topic-disjoint, so PB should hold even
+        // with a modest safety factor
+        let g = two_topic_hubs();
+        let pb = PrecompBound::build(&g, THETA, 1.2);
+        for gamma in [TopicDistribution::uniform(2), TopicDistribution::pure(2, 0)] {
+            for u in g.nodes() {
+                let b = pb.upper_bound(u, &gamma);
+                let s = exact(&g, u, &gamma);
+                assert!(b >= s - 1e-9, "PB violated at {u:?}: bound {b} < spread {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn lg_bounds_on_fixture() {
+        let g = two_topic_hubs();
+        let cap = global_spread_cap(&g, THETA);
+        let lg = LocalGraphBound::new(&g, 2, cap, 1.1);
+        let gamma = TopicDistribution::uniform(2);
+        for u in g.nodes() {
+            let b = lg.upper_bound(u, &gamma);
+            let s = exact(&g, u, &gamma);
+            assert!(b >= s - 1e-9, "LG violated at {u:?}: bound {b} < spread {s}");
+        }
+    }
+
+    #[test]
+    fn bounds_are_discriminative_not_vacuous() {
+        // bounds must separate hubs from leaves, else pruning is useless
+        let g = two_topic_hubs();
+        let cap = global_spread_cap(&g, THETA);
+        let nb = NeighborhoodBound::new(&g, cap);
+        let gamma = TopicDistribution::pure(2, 0);
+        let hub = nb.upper_bound(NodeId(0), &gamma);
+        let leaf = nb.upper_bound(NodeId(3), &gamma);
+        assert!(hub > 2.0 * leaf, "hub bound {hub} vs leaf bound {leaf}");
+    }
+
+    #[test]
+    fn pb_aggregates_linearly() {
+        let g = two_topic_hubs();
+        let pb = PrecompBound::build(&g, THETA, 1.0);
+        let u = NodeId(0);
+        let b0 = pb.upper_bound(u, &TopicDistribution::pure(2, 0));
+        let b1 = pb.upper_bound(u, &TopicDistribution::pure(2, 1));
+        let mix = pb.upper_bound(u, &TopicDistribution::uniform(2));
+        assert!((mix - 0.5 * (b0 + b1)).abs() < 1e-9);
+        assert!((pb.topic_spread(u, 0) - b0).abs() < 1e-9, "safety=1 corner equals table");
+    }
+
+    #[test]
+    fn global_cap_dominates_every_pure_topic_spread() {
+        let g = two_topic_hubs();
+        let cap = global_spread_cap(&g, THETA);
+        for z in 0..2 {
+            let gamma = TopicDistribution::pure(2, z);
+            for u in g.nodes() {
+                assert!(cap >= exact(&g, u, &gamma) - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_bound_is_vacuous_but_valid() {
+        let g = two_topic_hubs();
+        let b = TrivialBound::new(g.node_count());
+        let gamma = TopicDistribution::uniform(2);
+        for u in g.nodes() {
+            let bound = b.upper_bound(u, &gamma);
+            assert_eq!(bound, 13.0);
+            assert!(bound >= exact(&g, u, &gamma));
+        }
+        assert_eq!(b.kind(), BoundKind::Trivial);
+    }
+
+    #[test]
+    fn kinds_and_labels() {
+        assert_eq!(BoundKind::Precomputation.label(), "PB");
+        assert_eq!(BoundKind::LocalGraph.label(), "LG");
+        assert_eq!(BoundKind::Neighborhood.label(), "NB");
+    }
+}

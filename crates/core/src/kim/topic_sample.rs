@@ -1,0 +1,231 @@
+//! The topic-sample algorithm (§II-C): "pre-computes seed sets for some
+//! offline-sampled topic distributions. Then, we use the samples to better
+//! estimate upper and lower bounds for pruning instead of directly answering
+//! the query."
+//!
+//! Offline, the engine materializes seed sets for the `Z` simplex corners
+//! plus `extra` Dirichlet-sampled distributions. Online, the nearest sample
+//! under L1 distance either answers the query directly (distance `≤
+//! direct_eps` — spread is Lipschitz in `γ`, so a close sample's seeds are
+//! near-optimal) or warm-starts the best-effort engine: the sample's seeds
+//! are exactly evaluated first, which plants a strong lower bound in the
+//! CELF queue and lets the upper bounds prune far more aggressively than a
+//! cold start.
+
+use super::best_effort::BestEffortKim;
+use super::bounds::BoundEstimator;
+use super::{KimAlgorithm, KimResult, KimStats};
+use octopus_graph::NodeId;
+use octopus_topics::TopicDistribution;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One precomputed sample: a topic distribution and its seed set.
+#[derive(Debug, Clone)]
+pub struct TopicSample {
+    /// The sampled distribution.
+    pub gamma: TopicDistribution,
+    /// Seeds precomputed for it (length = offline `k_max`).
+    pub seeds: Vec<NodeId>,
+    /// The engine's spread estimate of the full seed set.
+    pub spread: f64,
+}
+
+/// The topic-sample engine, wrapping a best-effort core.
+pub struct TopicSampleKim<'g, B: BoundEstimator> {
+    inner: BestEffortKim<'g, B>,
+    samples: Vec<TopicSample>,
+    /// Queries within this L1 distance of a sample are answered directly.
+    direct_eps: f64,
+}
+
+impl<'g, B: BoundEstimator> TopicSampleKim<'g, B> {
+    /// Precompute seed sets over `Z` corners + `extra` Dirichlet samples.
+    ///
+    /// `alpha` is the Dirichlet concentration of the extra samples (sparse
+    /// draws `< 1` mirror real query distributions, which concentrate on a
+    /// few topics); `k_max` bounds the query `k` a sample can answer
+    /// directly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        inner: BestEffortKim<'g, B>,
+        num_topics: usize,
+        extra: usize,
+        alpha: f64,
+        k_max: usize,
+        direct_eps: f64,
+        seed: u64,
+    ) -> Self {
+        let mut gammas: Vec<TopicDistribution> =
+            (0..num_topics).map(|z| TopicDistribution::pure(num_topics, z)).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..extra {
+            // Dirichlet via normalized Gamma draws; Marsaglia boost for α<1.
+            let draws: Vec<f64> = (0..num_topics)
+                .map(|_| {
+                    // simple inverse-CDF-ish gamma sampling via sum of
+                    // exponentials would need integer shape; use the
+                    // rejection-free Weibull-like approximation: for sparse
+                    // sampling purposes, an exponentiated uniform works:
+                    // w = u^(1/alpha) has the right concentration behaviour.
+                    let u: f64 = 1.0 - rng.random::<f64>();
+                    u.powf(1.0 / alpha)
+                })
+                .collect();
+            if let Ok(g) = TopicDistribution::from_weights(draws) {
+                gammas.push(g);
+            }
+        }
+        let samples = gammas
+            .into_iter()
+            .map(|gamma| {
+                let res = inner.select(&gamma, k_max);
+                TopicSample { gamma, seeds: res.seeds, spread: res.spread }
+            })
+            .collect();
+        TopicSampleKim { inner, samples, direct_eps }
+    }
+
+    /// Precompute only the sample distributions (no seed sets) — exposed so
+    /// callers can own the offline state and re-wrap it per query.
+    pub fn sample_gammas(num_topics: usize, extra: usize, alpha: f64, seed: u64) -> Vec<TopicDistribution> {
+        let mut gammas: Vec<TopicDistribution> =
+            (0..num_topics).map(|z| TopicDistribution::pure(num_topics, z)).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..extra {
+            let draws: Vec<f64> = (0..num_topics)
+                .map(|_| {
+                    let u: f64 = 1.0 - rng.random::<f64>();
+                    u.powf(1.0 / alpha)
+                })
+                .collect();
+            if let Ok(g) = TopicDistribution::from_weights(draws) {
+                gammas.push(g);
+            }
+        }
+        gammas
+    }
+
+    /// Wrap previously computed samples (the engine facade stores them
+    /// offline and reconstructs the cheap wrapper per query).
+    pub fn from_prebuilt(
+        inner: BestEffortKim<'g, B>,
+        samples: Vec<TopicSample>,
+        direct_eps: f64,
+    ) -> Self {
+        TopicSampleKim { inner, samples, direct_eps }
+    }
+
+    /// The precomputed samples.
+    pub fn samples(&self) -> &[TopicSample] {
+        &self.samples
+    }
+
+    /// Index and L1 distance of the nearest sample.
+    pub fn nearest_sample(&self, gamma: &TopicDistribution) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, s) in self.samples.iter().enumerate() {
+            let d = s.gamma.l1_distance(gamma);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+}
+
+impl<B: BoundEstimator> KimAlgorithm for TopicSampleKim<'_, B> {
+    fn select(&self, gamma: &TopicDistribution, k: usize) -> KimResult {
+        if self.samples.is_empty() {
+            return self.inner.select(gamma, k);
+        }
+        let (idx, dist) = self.nearest_sample(gamma);
+        let sample = &self.samples[idx];
+        if dist <= self.direct_eps && sample.seeds.len() >= k {
+            // answer directly from the sample
+            return KimResult {
+                seeds: sample.seeds[..k].to_vec(),
+                spread: sample.spread,
+                stats: KimStats { answered_from_sample: true, ..KimStats::default() },
+            };
+        }
+        // warm-start the best-effort run with the sample's seeds
+        let warm: Vec<NodeId> = sample.seeds.iter().copied().take(k.max(1)).collect();
+        self.inner.select_warm(gamma, k, &warm)
+    }
+
+    fn name(&self) -> &'static str {
+        "topic-sample"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kim::bounds::{global_spread_cap, NeighborhoodBound};
+    use crate::kim::testutil::two_topic_hubs;
+    use octopus_graph::TopicGraph;
+
+    const THETA: f64 = 1.0 / 320.0;
+
+    fn engine(g: &TopicGraph, extra: usize, eps: f64) -> TopicSampleKim<'_, NeighborhoodBound<'_>> {
+        let cap = global_spread_cap(g, THETA);
+        let inner = BestEffortKim::new(g, NeighborhoodBound::new(g, cap), THETA);
+        TopicSampleKim::build(inner, g.num_topics(), extra, 0.3, 3, eps, 99)
+    }
+
+    #[test]
+    fn corner_queries_answered_directly() {
+        let g = two_topic_hubs();
+        let ts = engine(&g, 0, 0.05);
+        let res = ts.select(&TopicDistribution::pure(2, 0), 1);
+        assert!(res.stats.answered_from_sample);
+        assert_eq!(res.seeds, vec![NodeId(0)]);
+        assert_eq!(res.stats.exact_evaluations, 0, "no online work at all");
+    }
+
+    #[test]
+    fn near_corner_queries_reuse_samples() {
+        let g = two_topic_hubs();
+        let ts = engine(&g, 0, 0.1);
+        let near = TopicDistribution::new(vec![0.96, 0.04]).unwrap();
+        let res = ts.select(&near, 1);
+        assert!(res.stats.answered_from_sample, "L1 distance 0.08 < 0.1 ⇒ direct");
+        assert_eq!(res.seeds, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn far_queries_fall_back_to_warm_started_exact() {
+        let g = two_topic_hubs();
+        let ts = engine(&g, 0, 0.05);
+        let mid = TopicDistribution::uniform(2);
+        let res = ts.select(&mid, 2);
+        assert!(!res.stats.answered_from_sample);
+        let mut s = res.seeds.clone();
+        s.sort();
+        assert_eq!(s, vec![NodeId(0), NodeId(1)]);
+        assert!(res.stats.exact_evaluations > 0);
+    }
+
+    #[test]
+    fn more_samples_cover_more_queries_directly() {
+        let g = two_topic_hubs();
+        let few = engine(&g, 0, 0.15);
+        let many = engine(&g, 64, 0.15);
+        let queries: Vec<TopicDistribution> = (0..=10)
+            .map(|i| TopicDistribution::new(vec![i as f64 / 10.0, 1.0 - i as f64 / 10.0]).unwrap())
+            .collect();
+        let direct = |ts: &TopicSampleKim<'_, NeighborhoodBound<'_>>| {
+            queries.iter().filter(|q| ts.select(q, 1).stats.answered_from_sample).count()
+        };
+        assert!(direct(&many) > direct(&few), "denser samples must hit more often");
+    }
+
+    #[test]
+    fn nearest_sample_distance_is_zero_on_corners() {
+        let g = two_topic_hubs();
+        let ts = engine(&g, 4, 0.05);
+        let (_, d) = ts.nearest_sample(&TopicDistribution::pure(2, 1));
+        assert!(d < 1e-12);
+    }
+}

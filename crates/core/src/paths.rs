@@ -1,0 +1,196 @@
+//! Topic-aware influential-path exploration service (§II-E, Scenario 3).
+//!
+//! Thin orchestration over `octopus-mia`: materialize the query topic
+//! distribution, build the MIA arborescence in the requested direction, and
+//! package what the UI needs — the d3 JSON document, the clusters, the top
+//! paths, and per-node sizing.
+
+use crate::Result;
+use octopus_graph::{NodeId, TopicGraph};
+use octopus_mia::json::{arborescence_to_d3, Json};
+use octopus_mia::{ArbDirection, Arborescence, Cluster, InfluencePath, PathExplorer};
+use octopus_topics::TopicDistribution;
+
+/// Which way to explore (maps to MIOA / MIIA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreDirection {
+    /// Whom does the user influence (Scenario 3, "how she influences them").
+    Influences,
+    /// Who influences the user ("how a target user is influenced").
+    InfluencedBy,
+}
+
+/// The packaged exploration answer.
+#[derive(Debug, Clone)]
+pub struct PathExploration {
+    /// The explored root.
+    pub root: NodeId,
+    /// Display name of the root (numeric fallback).
+    pub root_name: String,
+    /// Direction explored.
+    pub direction: ExploreDirection,
+    /// MIA threshold used.
+    pub theta: f64,
+    /// Users reached (tree size, root included).
+    pub reached: usize,
+    /// Total influence mass (MIA spread of the root under the query).
+    pub influence: f64,
+    /// Influence clusters (subtrees of the root), strongest first.
+    pub clusters: Vec<Cluster>,
+    /// Strongest individual paths.
+    pub top_paths: Vec<InfluencePath>,
+    /// d3-hierarchy JSON document for the visualization front-end.
+    pub d3_json: String,
+    /// The underlying arborescence (for further drill-down, e.g.
+    /// click-to-highlight via [`PathExplorer::paths_through`]).
+    pub tree: Arborescence,
+}
+
+/// Run a path exploration for `root` under `gamma`.
+pub fn explore(
+    graph: &TopicGraph,
+    root: NodeId,
+    gamma: &TopicDistribution,
+    theta: f64,
+    direction: ExploreDirection,
+    top_k_paths: usize,
+) -> Result<PathExploration> {
+    graph.check_node(root)?;
+    graph.check_gamma(gamma.as_slice())?;
+    let probs = graph.materialize(gamma.as_slice())?;
+    let arb_dir = match direction {
+        ExploreDirection::Influences => ArbDirection::Out,
+        ExploreDirection::InfluencedBy => ArbDirection::In,
+    };
+    let tree = Arborescence::build(graph, &probs, root, theta, arb_dir);
+    let explorer = PathExplorer::new(&tree);
+    let clusters = explorer.clusters();
+    let top_paths = explorer.top_paths(top_k_paths);
+    let d3 = arborescence_to_d3(graph, &tree);
+    Ok(PathExploration {
+        root,
+        root_name: graph
+            .name(root)
+            .map(str::to_string)
+            .unwrap_or_else(|| root.0.to_string()),
+        direction,
+        theta,
+        reached: tree.len(),
+        influence: tree.total_influence(),
+        clusters,
+        top_paths,
+        d3_json: d3.to_string(),
+        tree,
+    })
+}
+
+/// Highlight the paths through `via` in an existing exploration (the demo's
+/// click interaction), returned as a JSON array of node-id paths.
+pub fn highlight_json(exploration: &PathExploration, via: NodeId) -> String {
+    let explorer = PathExplorer::new(&exploration.tree);
+    let paths = explorer.paths_through(via);
+    Json::Arr(
+        paths
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    (
+                        "nodes".to_string(),
+                        Json::Arr(p.nodes.iter().map(|n| Json::Num(n.0 as f64)).collect()),
+                    ),
+                    ("prob".to_string(), Json::Num(p.prob)),
+                ])
+            })
+            .collect(),
+    )
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_graph::GraphBuilder;
+
+    fn fixture() -> TopicGraph {
+        let mut b = GraphBuilder::new(2);
+        let m = b.add_node("michael jordan");
+        let a = b.add_node("andrew");
+        let c = b.add_node("carol");
+        let d = b.add_node("dana");
+        b.add_edge(m, a, &[(0, 0.8)]).unwrap();
+        b.add_edge(m, c, &[(1, 0.7)]).unwrap();
+        b.add_edge(a, d, &[(0, 0.5)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exploration_reports_reach_and_clusters() {
+        let g = fixture();
+        let gamma = TopicDistribution::uniform(2);
+        let ex = explore(&g, NodeId(0), &gamma, 0.01, ExploreDirection::Influences, 10).unwrap();
+        assert_eq!(ex.root_name, "michael jordan");
+        assert_eq!(ex.reached, 4);
+        assert_eq!(ex.clusters.len(), 2);
+        assert!(ex.d3_json.contains("\"name\":\"michael jordan\""));
+        assert!(ex.influence > 1.0);
+    }
+
+    #[test]
+    fn topic_choice_changes_the_tree() {
+        let g = fixture();
+        let t0 = explore(
+            &g,
+            NodeId(0),
+            &TopicDistribution::pure(2, 0),
+            0.05,
+            ExploreDirection::Influences,
+            10,
+        )
+        .unwrap();
+        let t1 = explore(
+            &g,
+            NodeId(0),
+            &TopicDistribution::pure(2, 1),
+            0.05,
+            ExploreDirection::Influences,
+            10,
+        )
+        .unwrap();
+        // topic 0 reaches andrew (+dana), topic 1 reaches carol
+        assert!(t0.tree.contains(NodeId(1)));
+        assert!(!t0.tree.contains(NodeId(2)));
+        assert!(t1.tree.contains(NodeId(2)));
+        assert!(!t1.tree.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn reverse_direction_finds_influencers() {
+        let g = fixture();
+        let gamma = TopicDistribution::pure(2, 0);
+        let ex =
+            explore(&g, NodeId(3), &gamma, 0.01, ExploreDirection::InfluencedBy, 10).unwrap();
+        assert!(ex.tree.contains(NodeId(0)), "dana is influenced by michael via andrew");
+        assert_eq!(ex.direction, ExploreDirection::InfluencedBy);
+    }
+
+    #[test]
+    fn highlight_produces_json_paths() {
+        let g = fixture();
+        let gamma = TopicDistribution::uniform(2);
+        let ex = explore(&g, NodeId(0), &gamma, 0.01, ExploreDirection::Influences, 10).unwrap();
+        let json = highlight_json(&ex, NodeId(1));
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"prob\""));
+        // path 0→1→3 passes through 1
+        assert!(json.contains("[0,1,3]"));
+    }
+
+    #[test]
+    fn bad_inputs_error() {
+        let g = fixture();
+        let gamma = TopicDistribution::uniform(2);
+        assert!(explore(&g, NodeId(99), &gamma, 0.1, ExploreDirection::Influences, 5).is_err());
+        let wrong = TopicDistribution::uniform(3);
+        assert!(explore(&g, NodeId(0), &wrong, 0.1, ExploreDirection::Influences, 5).is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! The influencer index (§II-D): "to achieve real-time influence spread
+//! computation, we introduce a novel index structure that maintains
+//! 'influencers' of uniformly sampled users to avoid online sampling from
+//! scratch."
+//!
+//! ## Construction
+//!
+//! `R` possible worlds are drawn. World `j` picks a uniform root `rⱼ` and
+//! performs a reverse BFS collecting every edge that could *possibly* be
+//! live under **any** query (coin `c_e < max_z pp^z_e`). The reached nodes
+//! are `rⱼ`'s potential influencers; the traversed sub-DAG is stored in a
+//! compact per-sample CSR.
+//!
+//! ## Querying
+//!
+//! Coins are derived by hashing (shared coins, see
+//! [`octopus_cascade::EdgeCoins`]), so for any online `γ` the same world is
+//! re-evaluated exactly: edge `e` is live iff `c_e < pp_e(γ)` — a subset of
+//! the stored superset since `pp_e(γ) ≤ max_z pp^z_e`. The live influencer
+//! set of sample `j` is materialized **lazily on first touch per query**
+//! (the "delay materialization" technique) and cached in the query session;
+//! the spread of a target `u` is then the classic RR estimate
+//! `n/R · #{j : u ∈ live_j}`.
+
+use octopus_cascade::EdgeCoins;
+use octopus_graph::{EdgeId, NodeId, TopicGraph};
+use octopus_topics::TopicDistribution;
+
+/// One stored world: the potential-influencer DAG of a sampled root.
+#[derive(Debug, Clone)]
+struct Sample {
+    root: NodeId,
+    coins: EdgeCoins,
+    /// Nodes of the sub-DAG (root first; position = local id).
+    nodes: Vec<u32>,
+    /// Local id lookup: `local_of[global]` or `u32::MAX`.
+    /// Kept sparse via a sorted pairs list to stay memory-proportional.
+    local_of: Vec<(u32, u32)>,
+    /// CSR over local node ids: for each local node, its incoming stored
+    /// edges as `(source local id, edge id)`.
+    in_offsets: Vec<u32>,
+    in_edges: Vec<(u32, EdgeId)>,
+}
+
+impl Sample {
+    fn local(&self, global: NodeId) -> Option<u32> {
+        self.local_of
+            .binary_search_by_key(&global.0, |&(g, _)| g)
+            .ok()
+            .map(|i| self.local_of[i].1)
+    }
+}
+
+/// Work/size counters of an index build.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexStats {
+    /// Worlds stored.
+    pub samples: usize,
+    /// Total nodes across stored sub-DAGs.
+    pub stored_nodes: usize,
+    /// Total edges across stored sub-DAGs.
+    pub stored_edges: usize,
+    /// Edges examined during construction.
+    pub edges_examined: usize,
+}
+
+/// The influencer index.
+#[derive(Debug, Clone)]
+pub struct InfluencerIndex {
+    n: usize,
+    samples: Vec<Sample>,
+    stats: IndexStats,
+}
+
+impl InfluencerIndex {
+    /// Build an index of `r` worlds over `graph`.
+    pub fn build(graph: &TopicGraph, r: usize, seed: u64) -> Self {
+        let n = graph.node_count();
+        let mut stats = IndexStats { samples: r, ..IndexStats::default() };
+        let worlds = EdgeCoins::worlds(seed, r);
+        let mut samples = Vec::with_capacity(r);
+        // root sequence: deterministic low-discrepancy walk over nodes
+        let mut root_state = seed | 1;
+        let mut visited = vec![u32::MAX; n]; // stamp = sample idx
+        for (j, coins) in worlds.into_iter().enumerate() {
+            root_state = root_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if n == 0 {
+                break;
+            }
+            let root = NodeId(((root_state >> 33) % n as u64) as u32);
+            // reverse BFS in the max-probability world
+            let mut nodes: Vec<u32> = vec![root.0];
+            let mut local_edges: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new()];
+            visited[root.index()] = j as u32;
+            let mut local_ids: Vec<(u32, u32)> = vec![(root.0, 0)];
+            let mut head = 0usize;
+            while head < nodes.len() {
+                let v = NodeId(nodes[head]);
+                let v_local = head as u32;
+                head += 1;
+                for (u, e) in graph.in_edges(v) {
+                    stats.edges_examined += 1;
+                    let pmax = graph.edge_prob_max(e) as f64;
+                    if !coins.is_live(e, pmax) {
+                        continue;
+                    }
+                    let u_local = if visited[u.index()] == j as u32 {
+                        // already present: find its local id
+                        match local_ids.binary_search_by_key(&u.0, |&(g, _)| g) {
+                            Ok(i) => local_ids[i].1,
+                            Err(_) => unreachable!("visited implies registered"),
+                        }
+                    } else {
+                        visited[u.index()] = j as u32;
+                        let lid = nodes.len() as u32;
+                        nodes.push(u.0);
+                        local_edges.push(Vec::new());
+                        let pos = local_ids
+                            .binary_search_by_key(&u.0, |&(g, _)| g)
+                            .expect_err("fresh node");
+                        local_ids.insert(pos, (u.0, lid));
+                        lid
+                    };
+                    // stored edge: u → v (u can influence v); in the
+                    // evaluation BFS we walk from v to u, so index by v.
+                    local_edges[v_local as usize].push((u_local, e));
+                }
+            }
+            // flatten to CSR
+            let mut in_offsets = Vec::with_capacity(nodes.len() + 1);
+            let mut in_edges = Vec::new();
+            in_offsets.push(0u32);
+            for le in &local_edges {
+                in_edges.extend_from_slice(le);
+                in_offsets.push(in_edges.len() as u32);
+            }
+            stats.stored_nodes += nodes.len();
+            stats.stored_edges += in_edges.len();
+            samples.push(Sample { root, coins, nodes, local_of: local_ids, in_offsets, in_edges });
+        }
+        InfluencerIndex { n, samples, stats }
+    }
+
+    /// Number of worlds.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the index holds no worlds.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// The sampled root of world `j` (diagnostics / tests).
+    pub fn root_of(&self, j: usize) -> NodeId {
+        self.samples[j].root
+    }
+
+    /// Start a query session for `gamma`. Live sets materialize lazily.
+    pub fn session<'a>(
+        &'a self,
+        graph: &'a TopicGraph,
+        gamma: &TopicDistribution,
+    ) -> QuerySession<'a> {
+        QuerySession {
+            index: self,
+            graph,
+            gamma: gamma.as_slice().to_vec(),
+            live: vec![None; self.samples.len()],
+            materialized: 0,
+        }
+    }
+}
+
+/// A lazy per-query view of the index.
+///
+/// Each world's live influencer set is computed on first access and cached —
+/// repeated spread evaluations (the inner loop of greedy keyword selection)
+/// touch each world once regardless of how many candidates are scored.
+pub struct QuerySession<'a> {
+    index: &'a InfluencerIndex,
+    graph: &'a TopicGraph,
+    gamma: Vec<f64>,
+    /// Per-sample live influencer sets (global node ids, sorted), lazily
+    /// materialized.
+    live: Vec<Option<Vec<u32>>>,
+    materialized: usize,
+}
+
+impl QuerySession<'_> {
+    /// Live influencer set of sample `j` under this query (sorted global
+    /// ids). Materializes and caches on first call — delayed
+    /// materialization.
+    fn live_set(&mut self, j: usize) -> &[u32] {
+        if self.live[j].is_none() {
+            self.materialized += 1;
+            let s = &self.index.samples[j];
+            // BFS from the root (local id 0) over γ-live stored edges
+            let mut live_local = vec![false; s.nodes.len()];
+            live_local[0] = true;
+            let mut queue = vec![0u32];
+            let mut head = 0usize;
+            let mut members = vec![s.nodes[0]];
+            while head < queue.len() {
+                let v = queue[head] as usize;
+                head += 1;
+                let lo = s.in_offsets[v] as usize;
+                let hi = s.in_offsets[v + 1] as usize;
+                for &(u_local, e) in &s.in_edges[lo..hi] {
+                    if live_local[u_local as usize] {
+                        continue;
+                    }
+                    let p = self.graph.edge_prob(e, &self.gamma);
+                    if s.coins.is_live(e, p) {
+                        live_local[u_local as usize] = true;
+                        queue.push(u_local);
+                        members.push(s.nodes[u_local as usize]);
+                    }
+                }
+            }
+            members.sort_unstable();
+            self.live[j] = Some(members);
+        }
+        self.live[j].as_deref().expect("just materialized")
+    }
+
+    /// Estimated influence spread of a seed set under this query:
+    /// `n/R · #{j : S ∩ live_j ≠ ∅}`.
+    ///
+    /// Worlds whose stored *superset* does not even contain a seed are
+    /// skipped without materialization — the delayed-materialization fast
+    /// path (live ⊆ superset for every query).
+    pub fn spread(&mut self, seeds: &[NodeId]) -> f64 {
+        if self.index.is_empty() {
+            return 0.0;
+        }
+        let r = self.index.len();
+        let mut hits = 0usize;
+        for j in 0..r {
+            let sample = &self.index.samples[j];
+            if seeds.iter().all(|&s| sample.local(s).is_none()) {
+                continue;
+            }
+            let live = self.live_set(j);
+            if seeds.iter().any(|s| live.binary_search(&s.0).is_ok()) {
+                hits += 1;
+            }
+        }
+        self.index.n as f64 * hits as f64 / r as f64
+    }
+
+    /// Single-target spread (the common PIKS case).
+    pub fn spread_of(&mut self, u: NodeId) -> f64 {
+        self.spread(&[u])
+    }
+
+    /// How many worlds have been materialized so far (work metric for the
+    /// lazy-evaluation experiments).
+    pub fn materialized_worlds(&self) -> usize {
+        self.materialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_cascade::estimate_spread;
+    use octopus_graph::GraphBuilder;
+
+    /// hub 0 → {1..=8} with topic-0 prob .6 / topic-1 prob .1
+    fn hub_graph() -> TopicGraph {
+        let mut b = GraphBuilder::new(2);
+        let _ = b.add_nodes(9);
+        for v in 1..=8u32 {
+            b.add_edge(NodeId(0), NodeId(v), &[(0, 0.6), (1, 0.1)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn index_estimates_match_monte_carlo() {
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 12_000, 7);
+        for (gamma, _label) in [
+            (TopicDistribution::pure(2, 0), "t0"),
+            (TopicDistribution::pure(2, 1), "t1"),
+            (TopicDistribution::uniform(2), "mix"),
+        ] {
+            let mut session = idx.session(&g, &gamma);
+            let est = session.spread_of(NodeId(0));
+            let probs = g.materialize(gamma.as_slice()).unwrap();
+            let mc = estimate_spread(&g, &probs, &[NodeId(0)], 20_000, 3);
+            assert!(
+                (est - mc).abs() < 0.35,
+                "index {est} vs mc {mc} under {:?}",
+                gamma.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn same_query_same_answer_lazy_cache() {
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 2000, 9);
+        let gamma = TopicDistribution::uniform(2);
+        let mut session = idx.session(&g, &gamma);
+        let a = session.spread_of(NodeId(0));
+        let worlds_after_first = session.materialized_worlds();
+        let b = session.spread_of(NodeId(0));
+        assert_eq!(a, b);
+        assert_eq!(
+            session.materialized_worlds(),
+            worlds_after_first,
+            "second evaluation must reuse cached live sets"
+        );
+    }
+
+    #[test]
+    fn spread_monotone_in_gamma_strength() {
+        // topic 0 edges are stronger; shared coins make this deterministic
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 4000, 11);
+        let strong = idx.session(&g, &TopicDistribution::pure(2, 0)).spread_of(NodeId(0));
+        let weak = idx.session(&g, &TopicDistribution::pure(2, 1)).spread_of(NodeId(0));
+        assert!(
+            strong >= weak,
+            "shared coins: stronger edges can only add live worlds ({strong} vs {weak})"
+        );
+    }
+
+    #[test]
+    fn leaf_nodes_have_spread_about_one() {
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 8000, 13);
+        let mut session = idx.session(&g, &TopicDistribution::pure(2, 0));
+        let s = session.spread_of(NodeId(4));
+        assert!((s - 1.0).abs() < 0.25, "leaf spread {s}");
+    }
+
+    #[test]
+    fn seed_set_spread_at_least_max_member() {
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 3000, 17);
+        let gamma = TopicDistribution::uniform(2);
+        let mut session = idx.session(&g, &gamma);
+        let s0 = session.spread_of(NodeId(0));
+        let s_both = session.spread(&[NodeId(0), NodeId(3)]);
+        assert!(s_both >= s0 - 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_safe() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        let idx = InfluencerIndex::build(&g, 100, 1);
+        let gamma = TopicDistribution::uniform(1);
+        let mut session = idx.session(&g, &gamma);
+        assert_eq!(session.spread(&[]), 0.0);
+    }
+
+    #[test]
+    fn superset_check_skips_worlds_for_irrelevant_seeds() {
+        // node 8's only influencer is the hub; worlds rooted elsewhere whose
+        // superset misses node 5 must not be materialized when querying 5
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 2000, 21);
+        let gamma = TopicDistribution::pure(2, 0);
+        let mut leaf_session = idx.session(&g, &gamma);
+        let _ = leaf_session.spread_of(NodeId(5));
+        let mut hub_session = idx.session(&g, &gamma);
+        let _ = hub_session.spread_of(NodeId(0));
+        assert!(
+            leaf_session.materialized_worlds() < hub_session.materialized_worlds(),
+            "leaf query must touch fewer worlds ({} vs {})",
+            leaf_session.materialized_worlds(),
+            hub_session.materialized_worlds()
+        );
+    }
+
+    #[test]
+    fn roots_are_spread_over_nodes() {
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 300, 5);
+        let mut distinct: Vec<u32> = (0..idx.len()).map(|j| idx.root_of(j).0).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() >= 5, "roots should cover many nodes: {distinct:?}");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 500, 3);
+        let st = idx.stats();
+        assert_eq!(st.samples, 500);
+        assert!(st.stored_nodes >= 500, "every sample stores at least its root");
+        assert!(st.edges_examined > 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the KIM engine family: agreement with greedy
+//! selection, bound-pruning soundness, and targeted-IM reductions.
+
+use octopus_core::kim::bounds::{
+    global_spread_cap, NeighborhoodBound, PrecompBound, TrivialBound,
+};
+use octopus_core::kim::{Audience, BestEffortKim, KimAlgorithm, TargetedKim};
+use octopus_graph::{GraphBuilder, NodeId, TopicGraph};
+use octopus_topics::TopicDistribution;
+use proptest::prelude::*;
+
+const THETA: f64 = 1.0 / 320.0;
+
+/// Random small two-topic graph.
+fn arb_graph() -> impl Strategy<Value = TopicGraph> {
+    (4usize..14).prop_flat_map(|n| {
+        proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 0usize..2, 0.1f64..0.8),
+            2..n * 2,
+        )
+        .prop_map(move |edges| {
+            let mut b = GraphBuilder::new(2);
+            let _ = b.add_nodes(n);
+            for (u, v, z, p) in edges {
+                if u != v {
+                    b.add_edge(NodeId(u), NodeId(v), &[(z, p)]).unwrap();
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+fn arb_gamma() -> impl Strategy<Value = TopicDistribution> {
+    (0.0f64..=1.0).prop_map(|a| TopicDistribution::new(vec![a, 1.0 - a]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The trivial bound degenerates best-effort into exhaustive CELF; real
+    /// bounds must select the SAME seeds while evaluating no more
+    /// candidates (soundness + usefulness of the bounds).
+    #[test]
+    fn bounded_engines_match_exhaustive_celf(g in arb_graph(), gamma in arb_gamma(), k in 1usize..4) {
+        let cap = global_spread_cap(&g, THETA);
+        let exhaustive =
+            BestEffortKim::new(&g, TrivialBound::new(g.node_count()), THETA).select(&gamma, k);
+        let nb = BestEffortKim::new(&g, NeighborhoodBound::new(&g, cap), THETA).select(&gamma, k);
+        // seed identity can differ on exact ties (equal-gain candidates are
+        // interchangeable); the achieved spread must not.
+        prop_assert!(
+            (nb.spread - exhaustive.spread).abs() < 1e-9,
+            "NB spread {} != exhaustive {}", nb.spread, exhaustive.spread
+        );
+        prop_assert!(nb.stats.exact_evaluations <= exhaustive.stats.exact_evaluations);
+    }
+
+    /// PB with a generous safety factor also matches on (mostly) topic-
+    /// disjoint random graphs.
+    #[test]
+    fn pb_engine_matches_exhaustive(g in arb_graph(), k in 1usize..3) {
+        let gamma = TopicDistribution::uniform(2);
+        let exhaustive =
+            BestEffortKim::new(&g, TrivialBound::new(g.node_count()), THETA).select(&gamma, k);
+        let pb_table = PrecompBound::build(&g, THETA, 1.5);
+        let pb = BestEffortKim::new(&g, pb_table, THETA).select(&gamma, k);
+        prop_assert!(
+            (pb.spread - exhaustive.spread).abs() < 1e-9,
+            "PB spread {} != exhaustive {}", pb.spread, exhaustive.spread
+        );
+    }
+
+    /// Selection is a greedy prefix chain: seeds(k) is a prefix of
+    /// seeds(k+1).
+    #[test]
+    fn greedy_prefix_property(g in arb_graph(), gamma in arb_gamma(), k in 1usize..4) {
+        let cap = global_spread_cap(&g, THETA);
+        let engine = BestEffortKim::new(&g, NeighborhoodBound::new(&g, cap), THETA);
+        let small = engine.select(&gamma, k);
+        let large = engine.select(&gamma, k + 1);
+        prop_assert_eq!(&small.seeds[..], &large.seeds[..small.seeds.len().min(large.seeds.len())]);
+    }
+
+    /// Targeted IM with the everyone-audience never scores higher than the
+    /// audience total, and the weighted spread of any seed set is bounded
+    /// by it.
+    #[test]
+    fn targeted_spread_bounded_by_audience(g in arb_graph(), gamma in arb_gamma()) {
+        let n = g.node_count();
+        let t = TargetedKim::new(&g, Audience::everyone(n));
+        let res = t.select(&gamma, 2);
+        prop_assert!(res.spread <= n as f64 + 1e-9);
+        let seeds: Vec<NodeId> = (0..2.min(n) as u32).map(NodeId).collect();
+        let ws = t.weighted_spread(&gamma, &seeds);
+        prop_assert!(ws <= t.audience().total() + 1e-9);
+        prop_assert!(ws >= 0.0);
+    }
+
+    /// Shrinking the audience can only shrink the weighted spread of a
+    /// fixed seed set (monotonicity in the weights).
+    #[test]
+    fn targeted_monotone_in_audience(g in arb_graph(), gamma in arb_gamma(), cut in 0usize..14) {
+        let n = g.node_count();
+        let full = TargetedKim::new(&g, Audience::everyone(n));
+        let mut w = vec![1.0; n];
+        w[cut % n] = 0.0;
+        let smaller = TargetedKim::new(&g, Audience::new(w));
+        let seeds = vec![NodeId(0)];
+        // same rr_count & seed ⇒ same possible worlds sampled per root
+        let a = full.weighted_spread(&gamma, &seeds);
+        let b = smaller.weighted_spread(&gamma, &seeds);
+        // statistical estimators: allow small slack scaled by n
+        prop_assert!(b <= a + 0.1 * n as f64, "audience shrink raised spread: {b} > {a}");
+    }
+}

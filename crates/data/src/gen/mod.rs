@@ -1,0 +1,201 @@
+//! Synthetic network generators with planted ground truth.
+//!
+//! Both generators follow the same recipe:
+//!
+//! 1. build a **ground-truth topic model** (`p(w|z)`, topic priors) over a
+//!    themed vocabulary;
+//! 2. grow a **social graph** whose structure matches the target network
+//!    class (citation DAG collapsed to researchers; power-law messenger
+//!    friendships) and plant sparse per-edge, per-topic probabilities
+//!    aligned with the endpoints' interests (the topic-sparsity observed on
+//!    real networks);
+//! 3. **simulate the TIC model itself** to emit an action log of items and
+//!    edge trials.
+//!
+//! Because the log is generated *by* the model the EM learner assumes,
+//! parameter-recovery experiments (E7) are well-posed, and every analysis
+//! can be validated against the planted truth.
+
+mod citation;
+mod messenger;
+pub mod words;
+
+pub use citation::CitationConfig;
+pub use messenger::MessengerConfig;
+
+use crate::actions::ActionLog;
+use crate::dist::Categorical;
+use octopus_graph::{NodeId, TopicGraph};
+use octopus_topics::{KeywordId, TopicDistribution, TopicModel};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A generated network: ground-truth graph + topic model + action log.
+#[derive(Debug, Clone)]
+pub struct SyntheticNetwork {
+    /// Ground-truth topic-aware influence graph (named nodes).
+    pub graph: TopicGraph,
+    /// Ground-truth keyword/topic model (with topic labels).
+    pub model: TopicModel,
+    /// Simulated action log (items + trials).
+    pub log: ActionLog,
+}
+
+impl SyntheticNetwork {
+    /// Convenience: resolve a keyword query against the ground-truth model.
+    pub fn infer(&self, query: &str) -> octopus_topics::Result<TopicDistribution> {
+        self.model.infer_str(query)
+    }
+}
+
+/// Sample `count` distinct keywords for an item with topic mixture `gamma`:
+/// keyword `w` is drawn with probability `Σ_z γ_z · p(w|z)`.
+pub(crate) fn sample_item_keywords(
+    rng: &mut SmallRng,
+    model: &TopicModel,
+    gamma: &TopicDistribution,
+    count: usize,
+) -> Vec<KeywordId> {
+    let v = model.vocab_size();
+    let mut weights = vec![0.0f64; v];
+    for z in 0..model.num_topics() {
+        let gz = gamma[z];
+        if gz <= 0.0 {
+            continue;
+        }
+        for (w, weight) in weights.iter_mut().enumerate() {
+            *weight += gz * model.p_word_given_topic(KeywordId(w as u32), z);
+        }
+    }
+    let cat = Categorical::new(&weights);
+    cat.sample_distinct(rng, count.min(v)).into_iter().map(|w| KeywordId(w as u32)).collect()
+}
+
+/// Simulate one TIC cascade for an item and append its trials to the log.
+///
+/// Standard IC semantics: each newly activated user gets one chance per
+/// out-edge; *every* attempt (success or failure) is recorded as a trial —
+/// the sufficient statistics EM needs.
+pub(crate) fn simulate_item_cascade(
+    rng: &mut SmallRng,
+    graph: &TopicGraph,
+    gamma: &TopicDistribution,
+    origin: NodeId,
+    item: crate::actions::ItemId,
+    log: &mut ActionLog,
+    visited: &mut [bool],
+) -> usize {
+    debug_assert_eq!(visited.len(), graph.node_count());
+    let mut queue = vec![origin];
+    visited[origin.index()] = true;
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for (v, e) in graph.out_edges(u) {
+            if visited[v.index()] {
+                continue;
+            }
+            let p = graph.edge_prob(e, gamma.as_slice());
+            let activated = p > 0.0 && rng.random::<f64>() < p;
+            log.push_trial(item, u, v, activated);
+            if activated {
+                visited[v.index()] = true;
+                queue.push(v);
+            }
+        }
+    }
+    let activated = queue.len();
+    for u in queue {
+        visited[u.index()] = false;
+    }
+    activated
+}
+
+/// Plant sparse per-edge topic probabilities for an edge `(u, v)` given the
+/// endpoints' interest vectors, under weighted-cascade-style normalization.
+///
+/// The edge's topic support is the element-wise product of the endpoint
+/// interests (top-`max_topics` entries), so edges end up topic-sparse; the
+/// total mass is `scale / in_degree(v)` (the classic WC calibration that
+/// keeps cascades sub-exponential), capped at `cap`.
+pub(crate) fn plant_edge_probs(
+    rng: &mut SmallRng,
+    interests_u: &[f64],
+    interests_v: &[f64],
+    in_degree_v: usize,
+    max_topics: usize,
+    cap: f64,
+) -> Vec<(usize, f64)> {
+    let z = interests_u.len();
+    let mut weights: Vec<(usize, f64)> = (0..z)
+        .map(|t| (t, interests_u[t] * interests_v[t]))
+        .filter(|&(_, w)| w > 1e-12)
+        .collect();
+    if weights.is_empty() {
+        // disjoint interests: fall back to u's dominant topic with tiny mass
+        let t = interests_u
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        weights.push((t, 1.0));
+    }
+    weights.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    weights.truncate(max_topics.max(1));
+    let total_w: f64 = weights.iter().map(|&(_, w)| w).sum();
+    let scale: f64 = 0.5 + rng.random::<f64>(); // U(0.5, 1.5)
+    let budget = (scale / (in_degree_v.max(1) as f64)).min(cap);
+    weights
+        .into_iter()
+        .map(|(t, w)| (t, (budget * w / total_w).clamp(1e-4, cap)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_probs_are_sparse_and_bounded() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let u = [0.7, 0.3, 0.0, 0.0];
+        let v = [0.5, 0.5, 0.0, 0.0];
+        let probs = plant_edge_probs(&mut rng, &u, &v, 5, 2, 0.9);
+        assert!(!probs.is_empty() && probs.len() <= 2);
+        for &(t, p) in &probs {
+            assert!(t < 4);
+            assert!((1e-4..=0.9).contains(&p), "p={p}");
+        }
+        // the shared-interest topics must be the support
+        assert!(probs.iter().all(|&(t, _)| t < 2));
+    }
+
+    #[test]
+    fn disjoint_interests_still_yield_an_edge() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let u = [1.0, 0.0];
+        let v = [0.0, 1.0];
+        let probs = plant_edge_probs(&mut rng, &u, &v, 3, 2, 0.9);
+        assert_eq!(probs.len(), 1);
+        assert_eq!(probs[0].0, 0, "falls back to u's dominant topic");
+    }
+
+    #[test]
+    fn higher_in_degree_means_weaker_edges() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let u = [1.0, 0.0];
+        let v = [1.0, 0.0];
+        let lo: f64 = (0..200)
+            .map(|_| plant_edge_probs(&mut rng, &u, &v, 2, 1, 0.9)[0].1)
+            .sum::<f64>()
+            / 200.0;
+        let hi: f64 = (0..200)
+            .map(|_| plant_edge_probs(&mut rng, &u, &v, 50, 1, 0.9)[0].1)
+            .sum::<f64>()
+            / 200.0;
+        assert!(lo > hi * 5.0, "lo={lo} hi={hi}");
+    }
+}

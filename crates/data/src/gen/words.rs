@@ -1,0 +1,220 @@
+//! Themed vocabularies for the synthetic generators.
+//!
+//! Each topic gets a pool of domain stems (so demo output reads like the
+//! paper's screenshots: "data mining", "neural network", "xylitol"…),
+//! extended with derived variants when a larger vocabulary is requested.
+
+/// Academic topic themes for the citation generator (label, stem pool).
+pub const ACADEMIC_TOPICS: &[(&str, &[&str])] = &[
+    (
+        "databases",
+        &[
+            "query optimization", "indexing", "transaction", "data mining",
+            "association rule", "sql", "schema design", "join processing",
+            "column store", "data cleaning", "olap", "stream processing",
+        ],
+    ),
+    (
+        "machine learning",
+        &[
+            "neural network", "em algorithm", "clustering", "classification",
+            "bayesian inference", "regression", "deep learning", "embedding",
+            "reinforcement learning", "feature selection", "kernel method", "boosting",
+        ],
+    ),
+    (
+        "social networks",
+        &[
+            "influence maximization", "link prediction", "network evolution",
+            "small-world phenomenon", "community detection", "viral marketing",
+            "graph mining", "random walk", "centrality", "information diffusion",
+            "social recommendation", "cascade model",
+        ],
+    ),
+    (
+        "systems",
+        &[
+            "distributed system", "consensus", "replication", "file system",
+            "scheduling", "virtualization", "fault tolerance", "caching",
+            "memory management", "concurrency control", "storage engine", "rpc",
+        ],
+    ),
+    (
+        "theory",
+        &[
+            "approximation algorithm", "complexity", "np-hardness", "randomized algorithm",
+            "submodular optimization", "graph theory", "lower bound", "online algorithm",
+            "combinatorics", "linear programming", "hashing theory", "sampling theory",
+        ],
+    ),
+    (
+        "information retrieval",
+        &[
+            "ranking", "topic model", "keyword search", "relevance feedback",
+            "inverted index", "query expansion", "text summarization", "entity linking",
+            "question answering", "web search", "crawling", "latent semantics",
+        ],
+    ),
+    (
+        "hci",
+        &[
+            "user study", "visualization", "interaction design", "crowdsourcing",
+            "usability", "interface", "eye tracking", "accessibility",
+            "mixed reality", "gesture recognition", "user modeling", "dashboard",
+        ],
+    ),
+    (
+        "security",
+        &[
+            "encryption", "authentication", "differential privacy", "intrusion detection",
+            "access control", "malware analysis", "secure computation", "key exchange",
+            "anonymity", "blockchain", "side channel", "threat model",
+        ],
+    ),
+];
+
+/// Consumer-product themes for the messenger generator (label, stem pool).
+pub const PRODUCT_TOPICS: &[(&str, &[&str])] = &[
+    (
+        "games",
+        &[
+            "game", "mmorpg", "esports", "console", "strategy game", "mobile game",
+            "game skin", "battle pass", "arcade", "puzzle game", "racing game", "gamepad",
+        ],
+    ),
+    (
+        "food",
+        &[
+            "gum", "strawberry", "xylitol", "chocolate", "bubble tea", "instant noodle",
+            "snack box", "coffee", "hotpot", "candy", "mooncake", "energy drink",
+        ],
+    ),
+    (
+        "electronics",
+        &[
+            "smartphone", "earbuds", "laptop", "smart watch", "tablet", "power bank",
+            "camera", "drone", "monitor", "mechanical keyboard", "router", "charger",
+        ],
+    ),
+    (
+        "fashion",
+        &[
+            "sneaker", "handbag", "lipstick", "sunglasses", "hoodie", "perfume",
+            "skincare", "watch strap", "dress", "backpack", "jacket", "jewelry",
+        ],
+    ),
+    (
+        "travel",
+        &[
+            "flight deal", "hotel", "theme park", "road trip", "camping gear",
+            "train pass", "cruise", "city tour", "luggage", "resort", "visa service",
+            "travel insurance",
+        ],
+    ),
+];
+
+/// Build a vocabulary of at least `per_topic` words for each theme: the raw
+/// stems first, then numbered variants ("query optimization ii", …) when the
+/// pool runs dry. Returns `(labels, per-topic word lists)`.
+pub fn themed_vocabulary(
+    themes: &[(&str, &[&str])],
+    num_topics: usize,
+    per_topic: usize,
+) -> (Vec<String>, Vec<Vec<String>>) {
+    assert!(num_topics > 0, "need at least one topic");
+    let mut labels = Vec::with_capacity(num_topics);
+    let mut words = Vec::with_capacity(num_topics);
+    for z in 0..num_topics {
+        let (label, stems) = themes[z % themes.len()];
+        // When num_topics exceeds the theme pool, disambiguate the label.
+        let label = if z < themes.len() {
+            label.to_string()
+        } else {
+            format!("{label} {}", z / themes.len() + 1)
+        };
+        let mut pool: Vec<String> = Vec::with_capacity(per_topic);
+        let mut round = 0usize;
+        while pool.len() < per_topic {
+            for stem in stems {
+                if pool.len() >= per_topic {
+                    break;
+                }
+                let w = if round == 0 {
+                    (*stem).to_string()
+                } else {
+                    format!("{stem} {}", roman(round + 1))
+                };
+                // Cross-topic duplicates are allowed (the topic model handles
+                // shared words); within-topic must be unique.
+                if z >= themes.len() {
+                    pool.push(format!("{w} v{}", z / themes.len() + 1));
+                } else {
+                    pool.push(w);
+                }
+            }
+            round += 1;
+        }
+        labels.push(label);
+        words.push(pool);
+    }
+    (labels, words)
+}
+
+/// Tiny roman-numeral helper for word variants (1 ≤ n ≤ 20 is plenty).
+fn roman(n: usize) -> String {
+    const TABLE: &[(usize, &str)] =
+        &[(10, "x"), (9, "ix"), (5, "v"), (4, "iv"), (1, "i")];
+    let mut n = n;
+    let mut out = String::new();
+    for &(v, s) in TABLE {
+        while n >= v {
+            out.push_str(s);
+            n -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_sizes_and_labels() {
+        let (labels, words) = themed_vocabulary(ACADEMIC_TOPICS, 4, 20);
+        assert_eq!(labels.len(), 4);
+        assert_eq!(words.len(), 4);
+        assert_eq!(labels[0], "databases");
+        for pool in &words {
+            assert_eq!(pool.len(), 20);
+            let mut d = pool.clone();
+            d.sort();
+            d.dedup();
+            assert_eq!(d.len(), 20, "within-topic words must be unique");
+        }
+    }
+
+    #[test]
+    fn more_topics_than_themes_wraps_with_distinct_labels() {
+        let (labels, words) = themed_vocabulary(PRODUCT_TOPICS, 7, 5);
+        assert_eq!(labels.len(), 7);
+        assert_ne!(labels[0], labels[5]);
+        // wrapped topics get suffixed words so vocab entries stay distinct
+        assert!(words[5].iter().all(|w| w.contains("v2")));
+    }
+
+    #[test]
+    fn variants_kick_in_beyond_stem_pool() {
+        let (_, words) = themed_vocabulary(ACADEMIC_TOPICS, 1, 30);
+        assert_eq!(words[0].len(), 30);
+        assert!(words[0].iter().any(|w| w.ends_with(" ii")));
+    }
+
+    #[test]
+    fn roman_numerals() {
+        assert_eq!(roman(2), "ii");
+        assert_eq!(roman(4), "iv");
+        assert_eq!(roman(9), "ix");
+        assert_eq!(roman(14), "xiv");
+    }
+}

@@ -1,0 +1,593 @@
+//! Expectation–maximization learning of the topic-aware IC model
+//! (Barbieri, Bonchi, Manco — "Topic-aware social influence propagation
+//! models", ICDM 2012 \[2\]; the learner OCTOPUS §II-B invokes).
+//!
+//! ## Model
+//!
+//! Each log item `i` carries a latent topic `z_i` drawn from prior `π`. Given
+//! `z_i = z`, the item's keywords are i.i.d. draws from `p(w|z)` and each
+//! edge trial `(u→v)` succeeds with probability `pp^z_{u,v}`. The complete
+//! per-item likelihood is therefore
+//!
+//! ```text
+//! P(i | z) = Π_{w∈W_i} p(w|z) · Π_{(u,v,+)∈i} pp^z_{u,v} · Π_{(u,v,−)∈i} (1 − pp^z_{u,v})
+//! ```
+//!
+//! EM alternates soft topic responsibilities `q_i(z) ∝ π_z·P(i|z)` (E-step)
+//! with closed-form smoothed updates of `π`, `p(w|z)` and `pp^z` (M-step).
+//! Laplace/Beta smoothing makes every update well-defined on sparse logs and
+//! acts as a MAP prior.
+//!
+//! The learner outputs a ready-to-query [`octopus_graph::TopicGraph`] +
+//! [`octopus_topics::TopicModel`] pair, and the per-iteration observed-data
+//! log-likelihood for convergence monitoring. [`align_topics`] resolves the
+//! label-switching ambiguity when comparing a learned model with a planted
+//! one (experiment E7).
+
+use crate::actions::ActionLog;
+use octopus_graph::{GraphBuilder, NodeId, TopicGraph};
+use octopus_topics::{KeywordId, TopicModel, Vocabulary};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// EM hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct EmOptions {
+    /// Number of topics `Z` to fit.
+    pub num_topics: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Relative log-likelihood improvement below which EM stops.
+    pub tol: f64,
+    /// Laplace smoothing `η` for `p(w|z)`.
+    pub word_smoothing: f64,
+    /// Beta prior pseudo-counts `(α, β)` for edge probabilities.
+    pub edge_smoothing: (f64, f64),
+    /// Floor below which a learned per-topic edge probability is dropped
+    /// from the sparse graph (keeps edges topic-sparse like the real data).
+    pub prob_floor: f64,
+    /// RNG seed for the random initialization.
+    pub seed: u64,
+}
+
+impl Default for EmOptions {
+    fn default() -> Self {
+        EmOptions {
+            num_topics: 8,
+            max_iters: 40,
+            tol: 1e-5,
+            word_smoothing: 0.1,
+            edge_smoothing: (0.25, 1.0),
+            prob_floor: 2e-3,
+            seed: 0xE11,
+        }
+    }
+}
+
+/// A fitted topic-aware influence model.
+#[derive(Debug, Clone)]
+pub struct LearnedModel {
+    /// Learned influence graph with per-edge per-topic probabilities.
+    pub graph: TopicGraph,
+    /// Learned keyword model (`p(w|z)` + priors).
+    pub model: TopicModel,
+    /// Observed-data log-likelihood after each iteration.
+    pub log_likelihood: Vec<f64>,
+    /// Iterations actually run.
+    pub iterations: usize,
+}
+
+/// The EM learner. Construct with options, call [`TicEm::fit`].
+#[derive(Debug, Clone)]
+pub struct TicEm {
+    opts: EmOptions,
+}
+
+impl TicEm {
+    /// Create a learner.
+    pub fn new(opts: EmOptions) -> Self {
+        TicEm { opts }
+    }
+
+    /// Fit the model to `log`. `vocab` is the keyword universe the items
+    /// reference; `node_names` determines the node count (and display names)
+    /// of the learned graph — pass the social graph's member list.
+    ///
+    /// # Panics
+    /// Panics when the log is empty or references nodes/keywords outside the
+    /// provided universes (a data-preparation bug worth failing loudly on).
+    pub fn fit(&self, log: &ActionLog, vocab: Vocabulary, node_names: Vec<String>) -> LearnedModel {
+        self.fit_with_init(log, vocab, node_names, None)
+    }
+
+    /// Incremental refit: initialize from a previously learned model (warm
+    /// start). This is the update path for evolving action logs — the
+    /// dynamic-stream setting of the paper's reference \[9\]: rather than
+    /// relearning from a random initialization every time new actions
+    /// arrive, EM resumes from the old parameters and typically converges
+    /// in a fraction of the iterations (tested below).
+    ///
+    /// The previous model's vocabulary must be a prefix of `vocab` (new
+    /// keywords may be appended); edges absent from the previous graph get
+    /// the default initialization.
+    pub fn fit_warm(
+        &self,
+        log: &ActionLog,
+        vocab: Vocabulary,
+        node_names: Vec<String>,
+        previous: &LearnedModel,
+    ) -> LearnedModel {
+        self.fit_with_init(log, vocab, node_names, Some(previous))
+    }
+
+    fn fit_with_init(
+        &self,
+        log: &ActionLog,
+        vocab: Vocabulary,
+        node_names: Vec<String>,
+        warm: Option<&LearnedModel>,
+    ) -> LearnedModel {
+        let z_count = self.opts.num_topics;
+        let v_count = vocab.len();
+        let n_items = log.item_count();
+        assert!(z_count > 0, "need at least one topic");
+        assert!(n_items > 0, "cannot fit an empty action log");
+        assert!(v_count > 0, "cannot fit with an empty vocabulary");
+
+        // --- index the log ---
+        let edges: Vec<(NodeId, NodeId)> = log.edge_universe();
+        let edge_idx: HashMap<(NodeId, NodeId), usize> =
+            edges.iter().copied().enumerate().map(|(i, e)| (e, i)).collect();
+        let n_edges = edges.len();
+        // per item: (keyword ids, [(edge idx, activated)])
+        let mut item_words: Vec<&[KeywordId]> = Vec::with_capacity(n_items);
+        for item in log.items() {
+            for &w in &item.keywords {
+                assert!(w.index() < v_count, "item references unknown keyword {w:?}");
+            }
+            item_words.push(&item.keywords);
+        }
+        let mut item_trials: Vec<Vec<(u32, bool)>> = vec![Vec::new(); n_items];
+        for t in log.trials() {
+            let e = edge_idx[&(t.src, t.dst)] as u32;
+            item_trials[t.item.index()].push((e, t.activated));
+        }
+
+        // --- initialization: warm start from a previous fit, or smoothed
+        // uniform + jitter ---
+        let mut rng = SmallRng::seed_from_u64(self.opts.seed);
+        let base_rate = log.activation_rate().clamp(0.05, 0.6);
+        let mut pi = vec![1.0 / z_count as f64; z_count];
+        let mut pwz = vec![0.0f64; z_count * v_count];
+        let mut ppz = vec![0.0f64; z_count * n_edges];
+        match warm {
+            Some(prev) => {
+                assert_eq!(
+                    prev.model.num_topics(),
+                    z_count,
+                    "warm start requires the same topic count"
+                );
+                assert!(
+                    prev.model.vocab_size() <= v_count,
+                    "previous vocabulary must be a prefix of the new one"
+                );
+                for z in 0..z_count {
+                    pi[z] = prev.model.topic_prior(z);
+                    for w in 0..v_count {
+                        pwz[z * v_count + w] = if w < prev.model.vocab_size() {
+                            prev.model.p_word_given_topic(KeywordId(w as u32), z)
+                        } else {
+                            1.0 / v_count as f64 // unseen keyword: uniform mass
+                        };
+                    }
+                }
+                normalize_rows(&mut pwz, z_count, v_count);
+                for (ei, &(u, v)) in edges.iter().enumerate() {
+                    let prev_edge = prev.graph.find_edge(u, v);
+                    for z in 0..z_count {
+                        ppz[z * n_edges + ei] = match prev_edge {
+                            Some(pe) => (prev
+                                .graph
+                                .edge_prob_topic(pe, octopus_graph::TopicId(z as u16))
+                                as f64)
+                                .clamp(1e-3, 0.99),
+                            None => {
+                                (base_rate * (0.5 + rng.random::<f64>())).clamp(1e-3, 0.99)
+                            }
+                        };
+                    }
+                }
+            }
+            None => {
+                for p in pwz.iter_mut() {
+                    *p = 1.0 / v_count as f64 * (0.5 + rng.random::<f64>());
+                }
+                normalize_rows(&mut pwz, z_count, v_count);
+                for p in ppz.iter_mut() {
+                    *p = (base_rate * (0.5 + rng.random::<f64>())).clamp(1e-3, 0.99);
+                }
+            }
+        }
+
+        // --- EM loop ---
+        let (alpha, beta) = self.opts.edge_smoothing;
+        let eta = self.opts.word_smoothing;
+        let mut resp = vec![0.0f64; n_items * z_count];
+        let mut loglik_trace = Vec::with_capacity(self.opts.max_iters);
+        let mut iterations = 0usize;
+
+        for iter in 0..self.opts.max_iters {
+            // E-step
+            let mut loglik = 0.0f64;
+            for i in 0..n_items {
+                let mut logp = vec![0.0f64; z_count];
+                for (z, lp) in logp.iter_mut().enumerate() {
+                    let mut acc = pi[z].max(1e-300).ln();
+                    for &w in item_words[i] {
+                        acc += pwz[z * v_count + w.index()].max(1e-300).ln();
+                    }
+                    for &(e, act) in &item_trials[i] {
+                        let p = ppz[z * n_edges + e as usize];
+                        acc += if act { p.max(1e-300).ln() } else { (1.0 - p).max(1e-300).ln() };
+                    }
+                    *lp = acc;
+                }
+                let max = logp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for (z, &lp) in logp.iter().enumerate() {
+                    let e = (lp - max).exp();
+                    resp[i * z_count + z] = e;
+                    sum += e;
+                }
+                for z in 0..z_count {
+                    resp[i * z_count + z] /= sum;
+                }
+                loglik += max + sum.ln();
+            }
+            loglik_trace.push(loglik);
+            iterations = iter + 1;
+
+            // convergence check on relative improvement
+            if iter > 0 {
+                let prev = loglik_trace[iter - 1];
+                let rel = (loglik - prev).abs() / prev.abs().max(1.0);
+                if rel < self.opts.tol {
+                    break;
+                }
+            }
+
+            // M-step
+            // π
+            let mut z_mass = vec![0.0f64; z_count];
+            for i in 0..n_items {
+                for z in 0..z_count {
+                    z_mass[z] += resp[i * z_count + z];
+                }
+            }
+            for z in 0..z_count {
+                pi[z] = (z_mass[z] + 0.5) / (n_items as f64 + 0.5 * z_count as f64);
+            }
+            // p(w|z)
+            pwz.iter_mut().for_each(|p| *p = 0.0);
+            let mut row_mass = vec![0.0f64; z_count];
+            for i in 0..n_items {
+                for &w in item_words[i] {
+                    for z in 0..z_count {
+                        pwz[z * v_count + w.index()] += resp[i * z_count + z];
+                    }
+                }
+                for z in 0..z_count {
+                    row_mass[z] += resp[i * z_count + z] * item_words[i].len() as f64;
+                }
+            }
+            for z in 0..z_count {
+                let denom = row_mass[z] + eta * v_count as f64;
+                for w in 0..v_count {
+                    pwz[z * v_count + w] = (pwz[z * v_count + w] + eta) / denom;
+                }
+            }
+            // pp^z per edge
+            let mut succ = vec![0.0f64; z_count * n_edges];
+            let mut tot = vec![0.0f64; z_count * n_edges];
+            for i in 0..n_items {
+                for &(e, act) in &item_trials[i] {
+                    for z in 0..z_count {
+                        let q = resp[i * z_count + z];
+                        tot[z * n_edges + e as usize] += q;
+                        if act {
+                            succ[z * n_edges + e as usize] += q;
+                        }
+                    }
+                }
+            }
+            for j in 0..z_count * n_edges {
+                ppz[j] = ((succ[j] + alpha) / (tot[j] + alpha + beta)).clamp(1e-4, 0.995);
+            }
+        }
+
+        // --- package the result ---
+        let mut builder =
+            GraphBuilder::new(z_count).with_capacity(node_names.len(), n_edges);
+        for name in &node_names {
+            builder.add_node(name.clone());
+        }
+        for (ei, &(u, v)) in edges.iter().enumerate() {
+            let mut sparse: Vec<(usize, f64)> = (0..z_count)
+                .map(|z| (z, ppz[z * n_edges + ei]))
+                .filter(|&(_, p)| p >= self.opts.prob_floor)
+                .collect();
+            if sparse.is_empty() {
+                // keep the strongest topic so the edge survives
+                let best = (0..z_count)
+                    .max_by(|&a, &b| {
+                        ppz[a * n_edges + ei].partial_cmp(&ppz[b * n_edges + ei]).expect("finite")
+                    })
+                    .expect("z_count > 0");
+                sparse.push((best, ppz[best * n_edges + ei]));
+            }
+            builder.add_edge(u, v, &sparse).expect("log nodes within universe");
+        }
+        let graph = builder.build().expect("learned graph is valid");
+
+        let rows: Vec<Vec<f64>> =
+            (0..z_count).map(|z| pwz[z * v_count..(z + 1) * v_count].to_vec()).collect();
+        let model =
+            TopicModel::from_rows(vocab, rows, pi.clone()).expect("learned rows are normalized");
+
+        LearnedModel { graph, model, log_likelihood: loglik_trace, iterations }
+    }
+}
+
+fn normalize_rows(m: &mut [f64], rows: usize, cols: usize) {
+    for r in 0..rows {
+        let s: f64 = m[r * cols..(r + 1) * cols].iter().sum();
+        if s > 0.0 {
+            for x in &mut m[r * cols..(r + 1) * cols] {
+                *x /= s;
+            }
+        }
+    }
+}
+
+/// Resolve topic label-switching: greedily match each learned topic to the
+/// planted topic whose `p(w|z)` row it correlates with best (cosine).
+/// Returns `perm` with `perm[learned_z] = true_z`.
+pub fn align_topics(learned: &TopicModel, truth: &TopicModel) -> Vec<usize> {
+    assert_eq!(learned.vocab_size(), truth.vocab_size(), "vocabularies must match");
+    let zl = learned.num_topics();
+    let zt = truth.num_topics();
+    let v = learned.vocab_size();
+    let mut sims = vec![0.0f64; zl * zt];
+    for a in 0..zl {
+        for b in 0..zt {
+            let mut dot = 0.0;
+            let mut na = 0.0;
+            let mut nb = 0.0;
+            for w in 0..v {
+                let x = learned.p_word_given_topic(KeywordId(w as u32), a);
+                let y = truth.p_word_given_topic(KeywordId(w as u32), b);
+                dot += x * y;
+                na += x * x;
+                nb += y * y;
+            }
+            sims[a * zt + b] = dot / (na.sqrt() * nb.sqrt()).max(1e-300);
+        }
+    }
+    // greedy max assignment
+    let mut perm = vec![usize::MAX; zl];
+    let mut used = vec![false; zt];
+    let mut order: Vec<(usize, usize, f64)> = (0..zl)
+        .flat_map(|a| (0..zt).map(move |b| (a, b, 0.0)))
+        .collect();
+    for entry in order.iter_mut() {
+        entry.2 = sims[entry.0 * zt + entry.1];
+    }
+    order.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite sims"));
+    for (a, b, _) in order {
+        if perm[a] == usize::MAX && !used[b] {
+            perm[a] = b;
+            used[b] = true;
+        }
+    }
+    // leftovers (zl > zt): map to best row regardless of use
+    for a in 0..zl {
+        if perm[a] == usize::MAX {
+            perm[a] = (0..zt)
+                .max_by(|&x, &y| sims[a * zt + x].partial_cmp(&sims[a * zt + y]).expect("finite"))
+                .expect("zt > 0");
+        }
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::ActionLog;
+    use crate::gen::CitationConfig;
+
+    /// Hand-built two-topic log with a strong planted signal.
+    fn planted_log() -> (ActionLog, Vocabulary) {
+        let mut vocab = Vocabulary::new();
+        let wa = vocab.intern("alpha-word");
+        let wb = vocab.intern("beta-word");
+        let mut log = ActionLog::new();
+        // Topic A items: keyword alpha, edge (0→1) almost always activates,
+        // edge (0→2) almost never.
+        // Topic B items: keyword beta, the reverse.
+        for i in 0..60 {
+            let a_item = log.push_item(NodeId(0), vec![wa]);
+            log.push_trial(a_item, NodeId(0), NodeId(1), i % 10 != 0); // ~90%
+            log.push_trial(a_item, NodeId(0), NodeId(2), i % 10 == 0); // ~10%
+            let b_item = log.push_item(NodeId(0), vec![wb]);
+            log.push_trial(b_item, NodeId(0), NodeId(1), i % 10 == 0);
+            log.push_trial(b_item, NodeId(0), NodeId(2), i % 10 != 0);
+        }
+        (log, vocab)
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("n{i}")).collect()
+    }
+
+    #[test]
+    fn loglik_is_monotone_non_decreasing() {
+        let (log, vocab) = planted_log();
+        let em = TicEm::new(EmOptions { num_topics: 2, max_iters: 25, ..Default::default() });
+        let fit = em.fit(&log, vocab, names(3));
+        for w in fit.log_likelihood.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "loglik decreased: {:?}", fit.log_likelihood);
+        }
+        assert!(fit.iterations >= 2);
+    }
+
+    #[test]
+    fn planted_two_topic_structure_is_recovered() {
+        let (log, vocab) = planted_log();
+        let em = TicEm::new(EmOptions { num_topics: 2, max_iters: 50, ..Default::default() });
+        let fit = em.fit(&log, vocab, names(3));
+        let g = &fit.graph;
+        let m = &fit.model;
+        let wa = m.vocab().get("alpha-word").unwrap();
+        // Which learned topic does alpha-word map to?
+        let za = m.keyword_topics(wa).unwrap().dominant_topic();
+        let zb = 1 - za;
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e02 = g.find_edge(NodeId(0), NodeId(2)).unwrap();
+        let p01_a = g.edge_prob_topic(e01, octopus_graph::TopicId(za as u16));
+        let p02_a = g.edge_prob_topic(e02, octopus_graph::TopicId(za as u16));
+        let p01_b = g.edge_prob_topic(e01, octopus_graph::TopicId(zb as u16));
+        let p02_b = g.edge_prob_topic(e02, octopus_graph::TopicId(zb as u16));
+        assert!(p01_a > 0.7, "edge 0→1 under topic A should be strong: {p01_a}");
+        assert!(p02_a < 0.3, "edge 0→2 under topic A should be weak: {p02_a}");
+        assert!(p01_b < 0.3, "edge 0→1 under topic B should be weak: {p01_b}");
+        assert!(p02_b > 0.7, "edge 0→2 under topic B should be strong: {p02_b}");
+    }
+
+    #[test]
+    fn learned_graph_has_all_log_edges() {
+        let (log, vocab) = planted_log();
+        let em = TicEm::new(EmOptions { num_topics: 2, ..Default::default() });
+        let fit = em.fit(&log, vocab, names(3));
+        assert_eq!(fit.graph.edge_count(), 2);
+        assert_eq!(fit.graph.node_count(), 3);
+        assert_eq!(fit.graph.name(NodeId(1)), Some("n1"));
+    }
+
+    #[test]
+    fn recovery_on_generated_network() {
+        // End-to-end: generate → learn → align → compare edge probabilities.
+        let net = CitationConfig {
+            authors: 40,
+            papers: 600,
+            num_topics: 3,
+            words_per_topic: 10,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        let em = TicEm::new(EmOptions {
+            num_topics: 3,
+            max_iters: 40,
+            seed: 9,
+            ..Default::default()
+        });
+        let fit = em.fit(&net.log, net.model.vocab().clone(), net.graph.names().to_vec());
+        let perm = align_topics(&fit.model, &net.model);
+
+        // Compare planted vs learned probability on edges with enough trials.
+        let mut err_sum = 0.0f64;
+        let mut count = 0usize;
+        let mut trials_per_edge: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        for t in net.log.trials() {
+            *trials_per_edge.entry((t.src, t.dst)).or_insert(0) += 1;
+        }
+        for e in fit.graph.edges() {
+            let (u, v) = fit.graph.edge_endpoints(e).unwrap();
+            if trials_per_edge.get(&(u, v)).copied().unwrap_or(0) < 20 {
+                continue;
+            }
+            let Some(te) = net.graph.find_edge(u, v) else { continue };
+            for (zl, &pz) in perm.iter().enumerate().take(3) {
+                let learned = fit.graph.edge_prob_topic(e, octopus_graph::TopicId(zl as u16));
+                let truth = net.graph.edge_prob_topic(te, octopus_graph::TopicId(pz as u16));
+                err_sum += (learned as f64 - truth as f64).abs();
+                count += 1;
+            }
+        }
+        assert!(count > 0, "no well-observed edges to compare");
+        let mae = err_sum / count as f64;
+        assert!(mae < 0.2, "edge-probability MAE too high: {mae}");
+    }
+
+    #[test]
+    fn align_topics_is_identity_for_same_model() {
+        let net = CitationConfig {
+            authors: 20,
+            papers: 60,
+            num_topics: 4,
+            words_per_topic: 8,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
+        let perm = align_topics(&net.model, &net.model);
+        assert_eq!(perm, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn warm_start_converges_faster_on_extended_log() {
+        // learn on a prefix, extend the log, compare cold vs warm refits
+        let net = CitationConfig {
+            authors: 40,
+            papers: 400,
+            num_topics: 3,
+            words_per_topic: 10,
+            seed: 8,
+            ..Default::default()
+        }
+        .generate();
+        let em = TicEm::new(EmOptions { num_topics: 3, max_iters: 60, tol: 1e-6, ..Default::default() });
+        let first = em.fit(&net.log, net.model.vocab().clone(), net.graph.names().to_vec());
+
+        // "new actions arrive": refit the same log (worst case for cold,
+        // best case for warm — the point is the iteration-count gap)
+        let cold = em.fit(&net.log, net.model.vocab().clone(), net.graph.names().to_vec());
+        let warm = em.fit_warm(
+            &net.log,
+            net.model.vocab().clone(),
+            net.graph.names().to_vec(),
+            &first,
+        );
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} should beat cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+        // and reach at least the same likelihood
+        let lw = warm.log_likelihood.last().unwrap();
+        let lc = cold.log_likelihood.last().unwrap();
+        assert!(lw >= &(lc - lc.abs() * 1e-3), "warm loglik {lw} vs cold {lc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same topic count")]
+    fn warm_start_topic_mismatch_panics() {
+        let (log, vocab) = planted_log();
+        let em2 = TicEm::new(EmOptions { num_topics: 2, max_iters: 5, ..Default::default() });
+        let em3 = TicEm::new(EmOptions { num_topics: 3, max_iters: 5, ..Default::default() });
+        let prev = em2.fit(&log, vocab.clone(), names(3));
+        let _ = em3.fit_warm(&log, vocab, names(3), &prev);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty action log")]
+    fn empty_log_panics() {
+        let mut vocab = Vocabulary::new();
+        vocab.intern("x");
+        let em = TicEm::new(EmOptions::default());
+        let _ = em.fit(&ActionLog::new(), vocab, names(1));
+    }
+}

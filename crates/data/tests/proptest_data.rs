@@ -1,0 +1,72 @@
+//! Property tests for the data layer: store round-trips and action-log
+//! invariants on arbitrary generated networks.
+
+use octopus_data::store::{decode, encode, Dataset};
+use octopus_data::CitationConfig;
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (10usize..40, 20usize..80, 2usize..4, 1u64..500).prop_map(
+        |(authors, papers, topics, seed)| {
+            let net = CitationConfig {
+                authors,
+                papers,
+                num_topics: topics,
+                words_per_topic: 6,
+                seed,
+                ..Default::default()
+            }
+            .generate();
+            Dataset { graph: net.graph, model: net.model, log: Some(net.log) }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Store round-trip preserves graph and log exactly, and the model up
+    /// to one renormalization ULP.
+    #[test]
+    fn store_round_trip(ds in arb_dataset()) {
+        let back = decode(encode(&ds)).unwrap();
+        prop_assert_eq!(&ds.graph, &back.graph);
+        prop_assert_eq!(&ds.log, &back.log);
+        prop_assert_eq!(ds.model.num_topics(), back.model.num_topics());
+        for z in 0..ds.model.num_topics() {
+            prop_assert!((ds.model.topic_prior(z) - back.model.topic_prior(z)).abs() < 1e-14);
+        }
+    }
+
+    /// Any truncation of an encoded dataset fails to decode (never panics,
+    /// never silently succeeds).
+    #[test]
+    fn store_truncation_rejected(ds in arb_dataset(), frac in 0.0f64..1.0) {
+        let raw = encode(&ds);
+        let cut = ((raw.len() as f64) * frac) as usize;
+        if cut < raw.len() {
+            prop_assert!(decode(&raw[..cut]).is_err());
+        }
+    }
+
+    /// Generated action logs are internally consistent: every trial
+    /// references an existing item, and origins/endpoints are valid nodes.
+    #[test]
+    fn generated_logs_are_consistent(ds in arb_dataset()) {
+        let log = ds.log.as_ref().unwrap();
+        let n = ds.graph.node_count();
+        for item in log.items() {
+            prop_assert!(item.origin.index() < n);
+            for w in &item.keywords {
+                prop_assert!(ds.model.vocab().word(*w).is_ok());
+            }
+        }
+        for t in log.trials() {
+            prop_assert!(t.item.index() < log.item_count());
+            prop_assert!(t.src.index() < n);
+            prop_assert!(t.dst.index() < n);
+            // every trial edge exists in the ground-truth graph
+            prop_assert!(ds.graph.find_edge(t.src, t.dst).is_some());
+        }
+    }
+}

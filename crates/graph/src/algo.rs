@@ -1,0 +1,295 @@
+//! Basic graph traversals used by the analysis layers.
+
+use crate::csr::TopicGraph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Direction of a traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges (who does `u` influence).
+    Forward,
+    /// Follow in-edges (who influences `u`).
+    Reverse,
+}
+
+/// Nodes reachable from `start` following edges in `dir`, including `start`.
+///
+/// Ignores probabilities — structural reachability only.
+pub fn reachable(g: &TopicGraph, start: NodeId, dir: Direction) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    let mut out = Vec::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        out.push(u);
+        let next: Box<dyn Iterator<Item = NodeId>> = match dir {
+            Direction::Forward => Box::new(g.out_edges(u).map(|(v, _)| v)),
+            Direction::Reverse => Box::new(g.in_edges(u).map(|(v, _)| v)),
+        };
+        for v in next {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// BFS distances (hop counts) from `start`; `u32::MAX` marks unreachable.
+pub fn bfs_distances(g: &TopicGraph, start: NodeId, dir: Direction) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = 0;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        let next: Box<dyn Iterator<Item = NodeId>> = match dir {
+            Direction::Forward => Box::new(g.out_edges(u).map(|(v, _)| v)),
+            Direction::Reverse => Box::new(g.in_edges(u).map(|(v, _)| v)),
+        };
+        for v in next {
+            if dist[v.index()] == u32::MAX {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes within `radius` hops of `start` (the "local graph" of the LG bound
+/// estimator in `octopus-core`), including `start`.
+pub fn ball(g: &TopicGraph, start: NodeId, radius: u32, dir: Direction) -> Vec<NodeId> {
+    let mut dist = vec![u32::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    let mut out = Vec::new();
+    dist[start.index()] = 0;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        out.push(u);
+        let du = dist[u.index()];
+        if du == radius {
+            continue;
+        }
+        let next: Box<dyn Iterator<Item = NodeId>> = match dir {
+            Direction::Forward => Box::new(g.out_edges(u).map(|(v, _)| v)),
+            Direction::Reverse => Box::new(g.in_edges(u).map(|(v, _)| v)),
+        };
+        for v in next {
+            if dist[v.index()] == u32::MAX {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// Strongly connected components (iterative Tarjan). Returns a component id
+/// per node (ids in reverse topological order of the condensation) and the
+/// component count.
+///
+/// Used by workload reports and as an IM preprocessing aid: users in one SCC
+/// of near-certain edges behave as a single influence unit.
+pub fn strongly_connected_components(g: &TopicGraph) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+
+    // explicit DFS frame: (node, out-edge cursor)
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if index[start as usize] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            let vi = v as usize;
+            let lo = g.fwd_offsets[vi] as usize;
+            let hi = g.fwd_offsets[vi + 1] as usize;
+            if lo + *cursor < hi {
+                let w = g.fwd_targets[lo + *cursor];
+                *cursor += 1;
+                let wi = w as usize;
+                if index[wi] == UNSET {
+                    index[wi] = next_index;
+                    lowlink[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let pi = parent as usize;
+                    lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                }
+                if lowlink[vi] == index[vi] {
+                    // v roots an SCC
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    (comp, next_comp as usize)
+}
+
+/// Weakly connected components; returns a component id per node and the
+/// number of components.
+pub fn weakly_connected_components(g: &TopicGraph) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut comp = vec![u32::MAX; n];
+    let mut next_comp = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = next_comp;
+        queue.push_back(NodeId(s as u32));
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in g.out_edges(u).chain(g.in_edges(u)) {
+                if comp[v.index()] == u32::MAX {
+                    comp[v.index()] = next_comp;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next_comp += 1;
+    }
+    (comp, next_comp as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// 0→1→2, 3→4 (two components), all prob 0.5 single topic.
+    fn two_chains() -> TopicGraph {
+        let mut b = GraphBuilder::new(1);
+        let _ = b.add_nodes(5);
+        for (u, v) in [(0, 1), (1, 2), (3, 4)] {
+            b.add_edge(NodeId(u), NodeId(v), &[(0, 0.5)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn forward_reachability() {
+        let g = two_chains();
+        let mut r = reachable(&g, NodeId(0), Direction::Forward);
+        r.sort();
+        assert_eq!(r, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn reverse_reachability() {
+        let g = two_chains();
+        let mut r = reachable(&g, NodeId(2), Direction::Reverse);
+        r.sort();
+        assert_eq!(r, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let r = reachable(&g, NodeId(3), Direction::Reverse);
+        assert_eq!(r, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn distances() {
+        let g = two_chains();
+        let d = bfs_distances(&g, NodeId(0), Direction::Forward);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], u32::MAX);
+    }
+
+    #[test]
+    fn ball_respects_radius() {
+        let g = two_chains();
+        let mut r = ball(&g, NodeId(0), 1, Direction::Forward);
+        r.sort();
+        assert_eq!(r, vec![NodeId(0), NodeId(1)]);
+        let r = ball(&g, NodeId(0), 0, Direction::Forward);
+        assert_eq!(r, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn scc_on_dag_is_all_singletons() {
+        let g = two_chains();
+        let (comp, k) = strongly_connected_components(&g);
+        assert_eq!(k, 5, "a DAG has one SCC per node");
+        let mut sorted = comp.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn scc_detects_cycles() {
+        // 0→1→2→0 cycle plus a tail 2→3
+        let mut b = GraphBuilder::new(1);
+        let _ = b.add_nodes(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+            b.add_edge(NodeId(u), NodeId(v), &[(0, 0.5)]).unwrap();
+        }
+        let g = b.build().unwrap();
+        let (comp, k) = strongly_connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[3], comp[0]);
+    }
+
+    #[test]
+    fn scc_two_separate_cycles() {
+        let mut b = GraphBuilder::new(1);
+        let _ = b.add_nodes(5);
+        for (u, v) in [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2)] {
+            b.add_edge(NodeId(u), NodeId(v), &[(0, 0.5)]).unwrap();
+        }
+        let g = b.build().unwrap();
+        let (comp, k) = strongly_connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn wcc_counts_components() {
+        let g = two_chains();
+        let (comp, k) = weakly_connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Compact, versioned binary serialization for [`TopicGraph`].
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "OCTG" | version u16 | num_topics u32 | n u32 | m u32
+//! named u8
+//! [named=1] n × (len u32, utf8 bytes)
+//! (n+1) × u32 fwd_offsets
+//! m × u32 fwd_targets
+//! (m+1) × u32 prob_offsets
+//! nnz × u16 prob_topics
+//! nnz × f32 prob_values
+//! ```
+//!
+//! The reverse CSR and the name index are *derived* data and are rebuilt on
+//! load rather than stored, halving the on-disk footprint.
+
+use crate::csr::TopicGraph;
+use crate::error::GraphError;
+use crate::ids::NodeId;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+
+const MAGIC: &[u8; 4] = b"OCTG";
+const VERSION: u16 = 1;
+
+/// Serialize `g` into a binary buffer.
+pub fn encode(g: &TopicGraph) -> Bytes {
+    let n = g.node_count();
+    let m = g.edge_count();
+    let named = g.names.iter().any(|s| !s.is_empty());
+    let name_bytes: usize = if named { g.names.iter().map(|s| 4 + s.len()).sum() } else { 0 };
+    let cap = 4 + 2 + 4 + 4 + 4 + 1 + name_bytes + (n + 1) * 4 + m * 4 + (m + 1) * 4
+        + g.prob_topics.len() * 2
+        + g.prob_values.len() * 4;
+    let mut buf = BytesMut::with_capacity(cap);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(g.num_topics() as u32);
+    buf.put_u32_le(n as u32);
+    buf.put_u32_le(m as u32);
+    buf.put_u8(named as u8);
+    if named {
+        for s in &g.names {
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+    }
+    for &x in &g.fwd_offsets {
+        buf.put_u32_le(x);
+    }
+    for &x in &g.fwd_targets {
+        buf.put_u32_le(x);
+    }
+    for &x in &g.prob_offsets {
+        buf.put_u32_le(x);
+    }
+    for &z in &g.prob_topics {
+        buf.put_u16_le(z);
+    }
+    for &p in &g.prob_values {
+        buf.put_f32_le(p);
+    }
+    buf.freeze()
+}
+
+fn need<B: Buf + ?Sized>(buf: &B, n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        Err(GraphError::Codec(format!("truncated payload while reading {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+/// Deserialize a graph from a buffer produced by [`encode`].
+pub fn decode(mut buf: impl Buf) -> Result<TopicGraph> {
+    need(&buf, 4 + 2 + 12 + 1, "header")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Codec("bad magic (not an OCTG payload)".into()));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(GraphError::Codec(format!("unsupported version {version}")));
+    }
+    let num_topics = buf.get_u32_le() as usize;
+    let n = buf.get_u32_le() as usize;
+    let m = buf.get_u32_le() as usize;
+    let named = buf.get_u8() != 0;
+
+    let mut names = Vec::with_capacity(n);
+    if named {
+        for _ in 0..n {
+            need(&buf, 4, "name length")?;
+            let len = buf.get_u32_le() as usize;
+            need(&buf, len, "name bytes")?;
+            let mut raw = vec![0u8; len];
+            buf.copy_to_slice(&mut raw);
+            let s = String::from_utf8(raw)
+                .map_err(|_| GraphError::Codec("invalid utf8 in node name".into()))?;
+            names.push(s);
+        }
+    } else {
+        names = vec![String::new(); n];
+    }
+
+    let read_u32s = |buf: &mut dyn Buf, count: usize, what: &str| -> Result<Vec<u32>> {
+        need(buf, count * 4, what)?;
+        let mut v = Vec::with_capacity(count);
+        for _ in 0..count {
+            v.push(buf.get_u32_le());
+        }
+        Ok(v)
+    };
+
+    let fwd_offsets = read_u32s(&mut buf, n + 1, "fwd_offsets")?;
+    let fwd_targets = read_u32s(&mut buf, m, "fwd_targets")?;
+    let prob_offsets = read_u32s(&mut buf, m + 1, "prob_offsets")?;
+    if fwd_offsets.last().copied() != Some(m as u32) {
+        return Err(GraphError::Codec("fwd_offsets do not sum to edge count".into()));
+    }
+    let nnz = *prob_offsets.last().unwrap_or(&0) as usize;
+    need(&buf, nnz * 2, "prob_topics")?;
+    let mut prob_topics = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let z = buf.get_u16_le();
+        if (z as usize) >= num_topics {
+            return Err(GraphError::Codec(format!("topic {z} >= num_topics {num_topics}")));
+        }
+        prob_topics.push(z);
+    }
+    need(&buf, nnz * 4, "prob_values")?;
+    let mut prob_values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let p = buf.get_f32_le();
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::Codec(format!("probability {p} out of range")));
+        }
+        prob_values.push(p);
+    }
+    for &t in &fwd_targets {
+        if t as usize >= n {
+            return Err(GraphError::Codec(format!("edge target {t} out of bounds")));
+        }
+    }
+
+    // Rebuild reverse CSR.
+    let mut rev_offsets = vec![0u32; n + 1];
+    for &v in &fwd_targets {
+        rev_offsets[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        rev_offsets[i + 1] += rev_offsets[i];
+    }
+    let mut rev_sources = vec![0u32; m];
+    let mut rev_edge_ids = vec![0u32; m];
+    let mut cursor = rev_offsets.clone();
+    for u in 0..n {
+        let lo = fwd_offsets[u] as usize;
+        let hi = fwd_offsets[u + 1] as usize;
+        for (e, &target) in fwd_targets.iter().enumerate().take(hi).skip(lo) {
+            let v = target as usize;
+            let slot = cursor[v] as usize;
+            rev_sources[slot] = u as u32;
+            rev_edge_ids[slot] = e as u32;
+            cursor[v] += 1;
+        }
+    }
+
+    let mut name_index = HashMap::new();
+    if named {
+        for (i, s) in names.iter().enumerate() {
+            if !s.is_empty() {
+                name_index.insert(s.clone(), NodeId(i as u32));
+            }
+        }
+    }
+
+    Ok(TopicGraph {
+        num_topics,
+        names,
+        name_index,
+        fwd_offsets,
+        fwd_targets,
+        rev_offsets,
+        rev_sources,
+        rev_edge_ids,
+        prob_offsets,
+        prob_topics,
+        prob_values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> TopicGraph {
+        let mut b = GraphBuilder::new(3);
+        let u = b.add_node("ada");
+        let v = b.add_node("grace");
+        let w = b.add_node("edsger");
+        b.add_edge(u, v, &[(0, 0.5), (2, 0.25)]).unwrap();
+        b.add_edge(v, w, &[(1, 0.75)]).unwrap();
+        b.add_edge(w, u, &[(0, 0.125)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_named() {
+        let g = sample();
+        let bytes = encode(&g);
+        let g2 = decode(bytes).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.node_by_name("grace"), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn round_trip_anonymous() {
+        let mut b = GraphBuilder::new(1);
+        let _ = b.add_nodes(3);
+        b.add_edge(NodeId(0), NodeId(2), &[(0, 1.0)]).unwrap();
+        let g = b.build().unwrap();
+        let g2 = decode(encode(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = encode(&sample()).to_vec();
+        raw[..4].copy_from_slice(b"NOPE");
+        let err = decode(&raw[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = encode(&sample());
+        // Chop the payload at several points; every prefix must fail cleanly,
+        // never panic.
+        for cut in [0, 3, 6, 10, 14, 15, 20, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, GraphError::Codec(_)), "cut at {cut} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let bytes = encode(&sample());
+        let mut raw = bytes.to_vec();
+        raw[4] = 99;
+        let err = decode(&raw[..]).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_corrupt_probability() {
+        let g = sample();
+        let bytes = encode(&g);
+        let mut raw = bytes.to_vec();
+        // corrupt the final f32 (a prob_value) to 7.0
+        let len = raw.len();
+        raw[len - 4..].copy_from_slice(&7.0f32.to_le_bytes());
+        let err = decode(&raw[..]).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = GraphBuilder::new(2).build().unwrap();
+        let g2 = decode(encode(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+}

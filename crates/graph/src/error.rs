@@ -1,0 +1,102 @@
+//! Error type for graph construction, access and (de)serialization.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist.
+    NodeOutOfBounds {
+        /// Offending node index.
+        node: u32,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge id referenced an edge that does not exist.
+    EdgeOutOfBounds {
+        /// Offending edge index.
+        edge: u32,
+        /// Number of edges in the graph.
+        len: usize,
+    },
+    /// A topic id `>= num_topics` was supplied.
+    TopicOutOfBounds {
+        /// Offending topic index.
+        topic: usize,
+        /// Number of topics in the graph.
+        num_topics: usize,
+    },
+    /// A probability outside `[0, 1]` (or non-finite) was supplied.
+    InvalidProbability(f64),
+    /// The queried edge `(u, v)` is not present.
+    NoSuchEdge {
+        /// Source node.
+        from: u32,
+        /// Target node.
+        to: u32,
+    },
+    /// A topic distribution had the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected number of topics.
+        expected: usize,
+        /// Provided number of topics.
+        got: usize,
+    },
+    /// Two nodes were registered under the same name.
+    DuplicateName(String),
+    /// Binary decoding failed (corrupt or incompatible payload).
+    Codec(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, len } => {
+                write!(f, "node id {node} out of bounds (graph has {len} nodes)")
+            }
+            GraphError::EdgeOutOfBounds { edge, len } => {
+                write!(f, "edge id {edge} out of bounds (graph has {len} edges)")
+            }
+            GraphError::TopicOutOfBounds { topic, num_topics } => {
+                write!(f, "topic {topic} out of bounds (graph has {num_topics} topics)")
+            }
+            GraphError::InvalidProbability(p) => {
+                write!(f, "probability {p} is not a finite value in [0, 1]")
+            }
+            GraphError::NoSuchEdge { from, to } => {
+                write!(f, "no edge from node {from} to node {to}")
+            }
+            GraphError::DimensionMismatch { expected, got } => {
+                write!(f, "topic distribution has {got} entries, graph expects {expected}")
+            }
+            GraphError::DuplicateName(name) => {
+                write!(f, "duplicate node name {name:?}")
+            }
+            GraphError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfBounds { node: 9, len: 3 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("3 nodes"));
+        let e = GraphError::DimensionMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().contains("4"));
+        let e = GraphError::Codec("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GraphError::InvalidProbability(1.5));
+    }
+}

@@ -1,0 +1,169 @@
+//! Strongly-typed identifiers for nodes, edges and topics.
+//!
+//! Using newtypes (rather than bare `usize`) prevents the classic
+//! index-confusion bugs in graph code: a `NodeId` cannot be used where an
+//! `EdgeId` is expected. Identifiers are 32-bit (16-bit for topics) to keep
+//! hot structures compact, per the type-size guidance of the Rust
+//! performance guide.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (user) in a [`crate::TopicGraph`].
+///
+/// Stable across the graph's lifetime: it is the dense index assigned by the
+/// [`crate::GraphBuilder`] in insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed edge. Equal to the edge's position in the
+/// forward CSR arrays, so it can index per-edge side tables directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+/// Identifier of a topic `z ∈ {0 … Z-1}`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TopicId(pub u16);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TopicId {
+    /// The id as a `usize` index.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize, "node id overflows u32");
+        NodeId(v as u32)
+    }
+}
+
+impl From<u32> for EdgeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<usize> for EdgeId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize, "edge id overflows u32");
+        EdgeId(v as u32)
+    }
+}
+
+impl From<u16> for TopicId {
+    #[inline]
+    fn from(v: u16) -> Self {
+        TopicId(v)
+    }
+}
+
+impl From<usize> for TopicId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u16::MAX as usize, "topic id overflows u16");
+        TopicId(v as u16)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z{}", self.0)
+    }
+}
+
+impl fmt::Display for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from(42usize);
+        assert_eq!(n.index(), 42);
+        assert_eq!(format!("{n:?}"), "n42");
+        assert_eq!(format!("{n}"), "42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from(7u32);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e:?}"), "e7");
+    }
+
+    #[test]
+    fn topic_id_roundtrip() {
+        let z = TopicId::from(3usize);
+        assert_eq!(z.index(), 3);
+        assert_eq!(format!("{z:?}"), "z3");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(NodeId(1));
+        s.insert(NodeId(1));
+        s.insert(NodeId(2));
+        assert_eq!(s.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

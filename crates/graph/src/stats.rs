@@ -1,0 +1,150 @@
+//! Descriptive statistics over a [`TopicGraph`] — used by the data
+//! generators' validation tests and by the experiment harness to report
+//! workload characteristics alongside results (as systems papers do).
+
+use crate::csr::TopicGraph;
+use crate::ids::NodeId;
+
+/// Summary statistics of a topic graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Topic count.
+    pub topics: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Mean number of non-zero topic entries per edge.
+    pub avg_edge_nnz: f64,
+    /// Mean of `max_z pp^z_e` over edges.
+    pub avg_max_prob: f64,
+    /// Fraction of edges whose mass sits on a single topic.
+    pub single_topic_edge_frac: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics for `g`.
+    pub fn compute(g: &TopicGraph) -> Self {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let mut max_out = 0usize;
+        let mut max_in = 0usize;
+        for u in g.nodes() {
+            max_out = max_out.max(g.out_degree(u));
+            max_in = max_in.max(g.in_degree(u));
+        }
+        let mut nnz_sum = 0usize;
+        let mut max_prob_sum = 0.0f64;
+        let mut single = 0usize;
+        for e in g.edges() {
+            let nnz = g.edge_nnz(e);
+            nnz_sum += nnz;
+            if nnz == 1 {
+                single += 1;
+            }
+            max_prob_sum += g.edge_prob_max(e) as f64;
+        }
+        let md = |num: f64, den: usize| if den == 0 { 0.0 } else { num / den as f64 };
+        GraphStats {
+            nodes: n,
+            edges: m,
+            topics: g.num_topics(),
+            avg_out_degree: md(m as f64, n),
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            avg_edge_nnz: md(nnz_sum as f64, m),
+            avg_max_prob: md(max_prob_sum, m),
+            single_topic_edge_frac: md(single as f64, m),
+        }
+    }
+}
+
+/// Out-degree histogram with logarithmic buckets `[2^i, 2^{i+1})` — a quick
+/// power-law sanity check for generated networks.
+pub fn degree_histogram(g: &TopicGraph) -> Vec<(usize, usize)> {
+    let mut buckets: Vec<usize> = Vec::new();
+    for u in g.nodes() {
+        let d = g.out_degree(u);
+        let b = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (if i == 0 { 0 } else { 1usize << (i - 1) }, c))
+        .collect()
+}
+
+/// The `k` nodes with the largest out-degree (ties broken by id) — a cheap
+/// structural baseline for influence ranking ("degree heuristic" in the IM
+/// literature).
+pub fn top_out_degree(g: &TopicGraph, k: usize) -> Vec<(NodeId, usize)> {
+    let mut all: Vec<(NodeId, usize)> = g.nodes().map(|u| (u, g.out_degree(u))).collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn star() -> TopicGraph {
+        // hub 0 → 1..=4, plus 1 → 2 with two topics
+        let mut b = GraphBuilder::new(2);
+        let _ = b.add_nodes(5);
+        for v in 1..5 {
+            b.add_edge(NodeId(0), NodeId(v), &[(0, 0.4)]).unwrap();
+        }
+        b.add_edge(NodeId(1), NodeId(2), &[(0, 0.3), (1, 0.6)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = GraphStats::compute(&star());
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 5);
+        assert_eq!(s.max_out_degree, 4);
+        assert_eq!(s.max_in_degree, 2);
+        assert!((s.avg_out_degree - 1.0).abs() < 1e-12);
+        assert!((s.single_topic_edge_frac - 0.8).abs() < 1e-12);
+        assert!((s.avg_edge_nnz - 1.2).abs() < 1e-12);
+        assert!((s.avg_max_prob - (0.4 * 4.0 + 0.6) / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_empty_graph() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_out_degree, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = degree_histogram(&star());
+        // node 0 has degree 4 → bucket starting at 4; node 1 degree 1; rest 0
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 5);
+        assert_eq!(h[0], (0, 3));
+    }
+
+    #[test]
+    fn top_degree_ranking() {
+        let top = top_out_degree(&star(), 2);
+        assert_eq!(top[0].0, NodeId(0));
+        assert_eq!(top[0].1, 4);
+        assert_eq!(top[1].0, NodeId(1));
+    }
+}

@@ -1,0 +1,147 @@
+//! Induced subgraph extraction.
+//!
+//! Analysis services frequently work on a neighborhood rather than the whole
+//! network: the LG bound estimator explores a ball, the path UI zooms into a
+//! cluster, and offline jobs shard the graph. [`induced`] materializes the
+//! subgraph spanned by a node set while preserving all per-topic edge
+//! probabilities, returning the id mapping in both directions.
+
+use crate::builder::GraphBuilder;
+use crate::csr::TopicGraph;
+use crate::ids::NodeId;
+use crate::Result;
+use std::collections::HashMap;
+
+/// A materialized induced subgraph with id mappings.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The subgraph itself (nodes renumbered densely, names preserved).
+    pub graph: TopicGraph,
+    /// `to_sub[original] = sub id` for members.
+    pub to_sub: HashMap<NodeId, NodeId>,
+    /// `to_original[sub.index()] = original id`.
+    pub to_original: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Map an original node id into the subgraph, if it is a member.
+    pub fn project(&self, u: NodeId) -> Option<NodeId> {
+        self.to_sub.get(&u).copied()
+    }
+
+    /// Map a subgraph node id back to the original graph.
+    pub fn lift(&self, u: NodeId) -> NodeId {
+        self.to_original[u.index()]
+    }
+}
+
+/// Build the subgraph induced by `members` (duplicates ignored; order
+/// defines the new ids). Edges whose endpoints are both members are copied
+/// with their full sparse topic-probability vectors.
+pub fn induced(g: &TopicGraph, members: &[NodeId]) -> Result<Subgraph> {
+    let mut to_sub: HashMap<NodeId, NodeId> = HashMap::with_capacity(members.len());
+    let mut to_original: Vec<NodeId> = Vec::with_capacity(members.len());
+    let mut b = GraphBuilder::new(g.num_topics()).with_capacity(members.len(), members.len() * 4);
+    for &u in members {
+        g.check_node(u)?;
+        if to_sub.contains_key(&u) {
+            continue;
+        }
+        let sub_id = b.add_node(g.name(u).unwrap_or("").to_string());
+        to_sub.insert(u, sub_id);
+        to_original.push(u);
+    }
+    for (&orig, &sub_u) in &to_sub {
+        for (v, e) in g.out_edges(orig) {
+            if let Some(&sub_v) = to_sub.get(&v) {
+                let probs: Vec<(usize, f64)> = g
+                    .edge_topic_probs(e)
+                    .map(|(z, p)| (z.index(), p as f64))
+                    .collect();
+                b.add_edge(sub_u, sub_v, &probs)?;
+            }
+        }
+    }
+    Ok(Subgraph { graph: b.build()?, to_sub, to_original })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{ball, Direction};
+
+    fn sample() -> TopicGraph {
+        let mut b = GraphBuilder::new(2);
+        for i in 0..6 {
+            b.add_node(format!("u{i}"));
+        }
+        b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (1, 0.2)]).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), &[(0, 0.4)]).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), &[(1, 0.3)]).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), &[(0, 0.9)]).unwrap();
+        b.add_edge(NodeId(0), NodeId(5), &[(0, 0.1)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = sample();
+        let sub = induced(&g, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(sub.graph.node_count(), 3);
+        assert_eq!(sub.graph.edge_count(), 2); // 0→1, 1→2; 2→3 and 0→5 cross the boundary
+        // names preserved
+        assert_eq!(sub.graph.name(sub.project(NodeId(1)).unwrap()), Some("u1"));
+    }
+
+    #[test]
+    fn probabilities_survive_projection() {
+        let g = sample();
+        let sub = induced(&g, &[NodeId(0), NodeId(1)]).unwrap();
+        let su = sub.project(NodeId(0)).unwrap();
+        let sv = sub.project(NodeId(1)).unwrap();
+        let e = sub.graph.find_edge(su, sv).unwrap();
+        assert_eq!(sub.graph.edge_prob_topic(e, crate::TopicId(0)), 0.5);
+        assert_eq!(sub.graph.edge_prob_topic(e, crate::TopicId(1)), 0.2);
+    }
+
+    #[test]
+    fn mapping_round_trips() {
+        let g = sample();
+        let members = [NodeId(4), NodeId(2), NodeId(0)];
+        let sub = induced(&g, &members).unwrap();
+        for &m in &members {
+            let s = sub.project(m).unwrap();
+            assert_eq!(sub.lift(s), m);
+        }
+        assert_eq!(sub.project(NodeId(5)), None);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let g = sample();
+        let sub = induced(&g, &[NodeId(1), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(sub.graph.node_count(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_member_errors() {
+        let g = sample();
+        assert!(induced(&g, &[NodeId(99)]).is_err());
+    }
+
+    #[test]
+    fn ball_subgraph_matches_local_structure() {
+        // the LG-bound use case: subgraph of a radius-2 ball
+        let g = sample();
+        let members = ball(&g, NodeId(0), 2, Direction::Forward);
+        let sub = induced(&g, &members).unwrap();
+        assert!(sub.graph.node_count() >= 4); // 0,1,2,5 at least
+        // every subgraph edge exists in the original with equal max prob
+        for e in sub.graph.edges() {
+            let (su, sv) = sub.graph.edge_endpoints(e).unwrap();
+            let (u, v) = (sub.lift(su), sub.lift(sv));
+            let orig = g.find_edge(u, v).expect("edge must exist in original");
+            assert_eq!(g.edge_prob_max(orig), sub.graph.edge_prob_max(e));
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Property-based tests for the graph substrate: CSR invariants, codec
+//! round-trips, and probability-evaluation laws that every upper layer
+//! relies on.
+
+use octopus_graph::{codec, GraphBuilder, NodeId, TopicGraph};
+use proptest::prelude::*;
+
+const MAX_NODES: usize = 24;
+const MAX_TOPICS: usize = 6;
+
+/// `(source, target, sparse (topic, prob) pairs)` — one generated edge.
+type EdgeSpec = (u32, u32, Vec<(usize, f64)>);
+
+/// Strategy: an arbitrary small topic graph as (n, Z, edge list).
+fn arb_graph_parts() -> impl Strategy<Value = (usize, usize, Vec<EdgeSpec>)> {
+    (2..MAX_NODES, 1..MAX_TOPICS).prop_flat_map(|(n, z)| {
+        let edge = (
+            0..n as u32,
+            0..n as u32,
+            proptest::collection::vec((0..z, 0.0f64..=1.0f64), 1..4),
+        );
+        (Just(n), Just(z), proptest::collection::vec(edge, 0..n * 3))
+    })
+}
+
+fn build(n: usize, z: usize, edges: &[EdgeSpec]) -> TopicGraph {
+    let mut b = GraphBuilder::new(z);
+    let _ = b.add_nodes(n);
+    for (u, v, probs) in edges {
+        if u != v {
+            b.add_edge(NodeId(*u), NodeId(*v), probs).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+fn arb_gamma(z: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..=1.0f64, z).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        if s == 0.0 {
+            v[0] = 1.0;
+        } else {
+            for x in v.iter_mut() {
+                *x /= s;
+            }
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every edge visible in forward adjacency is visible in reverse
+    /// adjacency with the same edge id, and vice versa.
+    #[test]
+    fn forward_reverse_consistency((n, z, edges) in arb_graph_parts()) {
+        let g = build(n, z, &edges);
+        let mut fwd: Vec<(u32, u32, u32)> = Vec::new();
+        for u in g.nodes() {
+            for (v, e) in g.out_edges(u) {
+                fwd.push((u.0, v.0, e.0));
+            }
+        }
+        let mut rev: Vec<(u32, u32, u32)> = Vec::new();
+        for v in g.nodes() {
+            for (u, e) in g.in_edges(v) {
+                rev.push((u.0, v.0, e.0));
+            }
+        }
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Degrees sum to the edge count on both sides.
+    #[test]
+    fn degree_sums((n, z, edges) in arb_graph_parts()) {
+        let g = build(n, z, &edges);
+        let out_sum: usize = g.nodes().map(|u| g.out_degree(u)).sum();
+        let in_sum: usize = g.nodes().map(|u| g.in_degree(u)).sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    /// `edge_endpoints` inverts `find_edge` for every edge.
+    #[test]
+    fn endpoints_invert_find((n, z, edges) in arb_graph_parts()) {
+        let g = build(n, z, &edges);
+        for e in g.edges() {
+            let (u, v) = g.edge_endpoints(e).unwrap();
+            prop_assert_eq!(g.find_edge(u, v), Some(e));
+        }
+    }
+
+    /// `pp_e(γ)` is a convex combination: bounded by `[0, max_z pp^z_e]`,
+    /// and exactly `pp^z_e` at simplex corners.
+    #[test]
+    fn edge_prob_convexity(
+        (n, z, edges) in arb_graph_parts(),
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, z, &edges);
+        // Deterministic pseudo-gamma from the seed to avoid a dependent
+        // strategy on z.
+        let mut gamma = vec![0.0f64; g.num_topics()];
+        let mut s = 0.0;
+        for (i, gz) in gamma.iter_mut().enumerate() {
+            let val = ((seed + 1) * (i as u64 + 3) % 17) as f64;
+            *gz = val;
+            s += val;
+        }
+        if s == 0.0 { gamma[0] = 1.0; s = 1.0; }
+        for gz in gamma.iter_mut() { *gz /= s; }
+
+        for e in g.edges() {
+            let p = g.edge_prob(e, &gamma);
+            prop_assert!(p >= -1e-12);
+            prop_assert!(p <= g.edge_prob_max(e) as f64 + 1e-6);
+            for zz in 0..g.num_topics() {
+                let mut corner = vec![0.0; g.num_topics()];
+                corner[zz] = 1.0;
+                let pc = g.edge_prob(e, &corner);
+                let direct = g.edge_prob_topic(e, octopus_graph::TopicId(zz as u16)) as f64;
+                prop_assert!((pc - direct).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Linearity: `pp_e(aγ₁ + (1-a)γ₂) = a·pp_e(γ₁) + (1-a)·pp_e(γ₂)`
+    /// (before clamping, which convexity keeps inactive here).
+    #[test]
+    fn edge_prob_linearity(
+        (n, z, edges) in arb_graph_parts(),
+        mix in 0.0f64..=1.0f64,
+    ) {
+        let g = build(n, z, &edges);
+        let zt = g.num_topics();
+        let g1: Vec<f64> = (0..zt).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
+        let g2: Vec<f64> = vec![1.0 / zt as f64; zt];
+        let blended: Vec<f64> = g1.iter().zip(&g2).map(|(a, b)| mix * a + (1.0 - mix) * b).collect();
+        for e in g.edges() {
+            let lhs = g.edge_prob(e, &blended);
+            let rhs = mix * g.edge_prob(e, &g1) + (1.0 - mix) * g.edge_prob(e, &g2);
+            prop_assert!((lhs - rhs).abs() < 1e-9, "lhs={lhs} rhs={rhs}");
+        }
+    }
+
+    /// Codec round-trip is the identity.
+    #[test]
+    fn codec_round_trip((n, z, edges) in arb_graph_parts()) {
+        let g = build(n, z, &edges);
+        let g2 = codec::decode(codec::encode(&g)).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Materialized dense probabilities agree with sparse evaluation.
+    #[test]
+    fn materialize_agrees(
+        (n, z, edges) in arb_graph_parts(),
+    ) {
+        let g = build(n, z, &edges);
+        let zt = g.num_topics();
+        let gamma = vec![1.0 / zt as f64; zt];
+        let dense = g.materialize(&gamma).unwrap();
+        for e in g.edges() {
+            prop_assert!((dense.get(e) as f64 - g.edge_prob(e, &gamma)).abs() < 1e-6);
+        }
+    }
+
+    /// Truncated codec payloads error (never panic).
+    #[test]
+    fn codec_truncation_safe((n, z, edges) in arb_graph_parts(), frac in 0.0f64..1.0) {
+        let g = build(n, z, &edges);
+        let bytes = codec::encode(&g);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(codec::decode(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Gamma validation catches every wrong dimension.
+    #[test]
+    fn gamma_validation(z in 1usize..6, wrong in 0usize..10) {
+        prop_assume!(wrong != z);
+        let mut b = GraphBuilder::new(z);
+        let u = b.add_node("u");
+        let v = b.add_node("v");
+        b.add_edge(u, v, &[(0, 0.5)]).unwrap();
+        let g = b.build().unwrap();
+        let gamma = vec![0.0; wrong];
+        prop_assert!(g.materialize(&gamma).is_err());
+    }
+
+    /// `arb_gamma` helper really produces simplex points (self-test of the
+    /// strategy used elsewhere).
+    #[test]
+    fn gamma_strategy_is_simplex(gamma in arb_gamma(4)) {
+        let s: f64 = gamma.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(gamma.iter().all(|&x| x >= 0.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tarjan SCC agrees with brute-force mutual reachability: two nodes
+    /// share a component iff each reaches the other.
+    #[test]
+    fn scc_matches_mutual_reachability((n, z, edges) in arb_graph_parts()) {
+        use octopus_graph::algo::{reachable, strongly_connected_components, Direction};
+        let g = build(n, z, &edges);
+        let (comp, count) = strongly_connected_components(&g);
+        prop_assert!(count >= 1 || g.node_count() == 0);
+        // brute-force forward reachability sets
+        let reach: Vec<Vec<bool>> = g
+            .nodes()
+            .map(|u| {
+                let mut r = vec![false; g.node_count()];
+                for v in reachable(&g, u, Direction::Forward) {
+                    r[v.index()] = true;
+                }
+                r
+            })
+            .collect();
+        for u in 0..g.node_count() {
+            for v in 0..g.node_count() {
+                let mutually = reach[u][v] && reach[v][u];
+                prop_assert_eq!(
+                    comp[u] == comp[v],
+                    mutually,
+                    "nodes {} and {}: comp {:?}/{:?}, mutual {}",
+                    u, v, comp[u], comp[v], mutually
+                );
+            }
+        }
+    }
+
+    /// Component ids are dense: every id in 0..count is used.
+    #[test]
+    fn scc_ids_are_dense((n, z, edges) in arb_graph_parts()) {
+        use octopus_graph::algo::strongly_connected_components;
+        let g = build(n, z, &edges);
+        let (comp, count) = strongly_connected_components(&g);
+        let mut seen = vec![false; count];
+        for &c in &comp {
+            prop_assert!((c as usize) < count);
+            seen[c as usize] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -1,0 +1,137 @@
+//! Topic-consistency scoring for keyword sets.
+//!
+//! The personalized influential keyword suggestion (§II-D) requires that
+//! "the suggested keywords are consistent in topics" — a set like
+//! `{"clustering", "xylitol"}` may have high combined influence numerically
+//! but is meaningless as a selling point. We quantify consistency two ways
+//! and expose a combined predicate used by `octopus-core::piks`.
+
+use crate::model::TopicModel;
+use crate::vocab::KeywordId;
+use crate::Result;
+
+/// Consistency from the *joint posterior*: `1 − H(γ(W)) / ln Z`, where `H`
+/// is Shannon entropy. 1 means the set maps to a single topic; 0 means the
+/// posterior is uniform.
+pub fn posterior_consistency(model: &TopicModel, ws: &[KeywordId]) -> Result<f64> {
+    let gamma = model.infer(ws)?;
+    let z = model.num_topics() as f64;
+    if z <= 1.0 {
+        return Ok(1.0);
+    }
+    Ok(1.0 - gamma.entropy() / z.ln())
+}
+
+/// Consistency from *pairwise agreement*: mean cosine similarity between the
+/// `p(z|w)` vectors of all keyword pairs. 1 for singletons.
+pub fn pairwise_consistency(model: &TopicModel, ws: &[KeywordId]) -> Result<f64> {
+    if ws.len() <= 1 {
+        // validate the id anyway
+        if let Some(&w) = ws.first() {
+            model.keyword_topics(w)?;
+        }
+        return Ok(1.0);
+    }
+    let posts: Vec<_> = ws
+        .iter()
+        .map(|&w| model.keyword_topics(w))
+        .collect::<Result<Vec<_>>>()?;
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for i in 0..posts.len() {
+        for j in (i + 1)..posts.len() {
+            total += posts[i].cosine(&posts[j]);
+            count += 1;
+        }
+    }
+    Ok(total / count as f64)
+}
+
+/// Combined predicate: a keyword set is *topically consistent* when both the
+/// joint posterior is peaked and the keywords pairwise agree.
+///
+/// `min_posterior` and `min_pairwise` are thresholds in `[0, 1]`; OCTOPUS
+/// defaults (see `octopus-core`) are 0.5 and 0.5.
+pub fn is_consistent(
+    model: &TopicModel,
+    ws: &[KeywordId],
+    min_posterior: f64,
+    min_pairwise: f64,
+) -> Result<bool> {
+    Ok(posterior_consistency(model, ws)? >= min_posterior
+        && pairwise_consistency(model, ws)? >= min_pairwise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    fn model() -> TopicModel {
+        let mut v = Vocabulary::new();
+        v.intern("btree"); // topic 0
+        v.intern("sql"); // topic 0
+        v.intern("neuron"); // topic 1
+        v.intern("shared"); // both
+        TopicModel::from_rows(
+            v,
+            vec![vec![0.45, 0.45, 0.0, 0.1], vec![0.0, 0.0, 0.9, 0.1]],
+            vec![0.5, 0.5],
+        )
+        .unwrap()
+    }
+
+    fn ids(m: &TopicModel, words: &[&str]) -> Vec<KeywordId> {
+        words.iter().map(|w| m.vocab().get(w).unwrap()).collect()
+    }
+
+    #[test]
+    fn same_topic_set_is_consistent() {
+        let m = model();
+        let set = ids(&m, &["btree", "sql"]);
+        assert!(posterior_consistency(&m, &set).unwrap() > 0.9);
+        assert!(pairwise_consistency(&m, &set).unwrap() > 0.99);
+        assert!(is_consistent(&m, &set, 0.5, 0.5).unwrap());
+    }
+
+    #[test]
+    fn cross_topic_set_is_inconsistent() {
+        let m = model();
+        let set = ids(&m, &["btree", "neuron"]);
+        assert!(pairwise_consistency(&m, &set).unwrap() < 0.2);
+        assert!(!is_consistent(&m, &set, 0.5, 0.5).unwrap());
+    }
+
+    #[test]
+    fn singleton_is_fully_consistent() {
+        let m = model();
+        let set = ids(&m, &["btree"]);
+        assert_eq!(pairwise_consistency(&m, &set).unwrap(), 1.0);
+        assert!(posterior_consistency(&m, &set).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn shared_keyword_lowers_posterior_consistency() {
+        let m = model();
+        let focused = posterior_consistency(&m, &ids(&m, &["btree"])).unwrap();
+        let vague = posterior_consistency(&m, &ids(&m, &["shared"])).unwrap();
+        assert!(vague < focused);
+        assert!(vague < 0.1, "an evenly-shared word has near-uniform posterior");
+    }
+
+    #[test]
+    fn unknown_keyword_propagates_error() {
+        let m = model();
+        assert!(posterior_consistency(&m, &[KeywordId(99)]).is_err());
+        assert!(pairwise_consistency(&m, &[KeywordId(99)]).is_err());
+        assert!(pairwise_consistency(&m, &[KeywordId(99), KeywordId(0)]).is_err());
+    }
+
+    #[test]
+    fn empty_set_errors() {
+        let m = model();
+        assert!(posterior_consistency(&m, &[]).is_err());
+        // pairwise defines singleton/empty as trivially 1.0 only when ids valid
+        assert_eq!(pairwise_consistency(&m, &[]).unwrap(), 1.0);
+    }
+}

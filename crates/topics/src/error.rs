@@ -1,0 +1,59 @@
+//! Error type for the topic layer.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopicError {
+    /// A distribution did not lie on the probability simplex.
+    NotADistribution {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A keyword id referenced a word that is not in the vocabulary.
+    UnknownKeyword(u32),
+    /// A keyword string was not found in the vocabulary.
+    UnknownKeywordStr(String),
+    /// Model matrices had inconsistent shapes.
+    ShapeMismatch {
+        /// What was being validated.
+        what: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        got: usize,
+    },
+    /// An empty keyword set was supplied where at least one is required.
+    EmptyKeywordSet,
+}
+
+impl fmt::Display for TopicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicError::NotADistribution { reason } => {
+                write!(f, "not a probability distribution: {reason}")
+            }
+            TopicError::UnknownKeyword(id) => write!(f, "unknown keyword id {id}"),
+            TopicError::UnknownKeywordStr(w) => write!(f, "unknown keyword {w:?}"),
+            TopicError::ShapeMismatch { what, expected, got } => {
+                write!(f, "shape mismatch in {what}: expected {expected}, got {got}")
+            }
+            TopicError::EmptyKeywordSet => write!(f, "keyword set must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for TopicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(TopicError::UnknownKeyword(3).to_string().contains('3'));
+        assert!(TopicError::EmptyKeywordSet.to_string().contains("non-empty"));
+        let e = TopicError::ShapeMismatch { what: "p(w|z)", expected: 5, got: 2 };
+        assert!(e.to_string().contains("p(w|z)"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # octopus-topics
+//!
+//! The keyword/topic layer of OCTOPUS (§II-B of the paper).
+//!
+//! OCTOPUS's usability feature is that end-users type *keywords*, never raw
+//! topic distributions. This crate provides the machinery that makes that
+//! possible:
+//!
+//! * [`TopicDistribution`] — a validated point `γ` on the `Z`-simplex, the
+//!   "item" of the TIC model;
+//! * [`Vocabulary`] — interned keyword strings with stable [`KeywordId`]s;
+//! * [`TopicModel`] — the word–topic distributions `p(w|z)` with topic priors
+//!   `p(z)`, and the **Bayesian keyword→topic inference**
+//!   `γ_z(W) ∝ p(z)·Π_{w∈W} p(w|z)` that turns a keyword query into the
+//!   topic distribution used for influence computation;
+//! * [`radar`] — the `p(z|w)` "radar diagram" vectors the OCTOPUS UI shows to
+//!   explain a keyword (Scenario 2);
+//! * [`consistency`] — topic-consistency scoring of keyword sets, used by the
+//!   personalized keyword suggestion to ensure "the suggested keywords are
+//!   consistent in topics".
+//!
+//! ```
+//! use octopus_topics::{TopicModel, Vocabulary};
+//!
+//! let mut vocab = Vocabulary::new();
+//! let w_db = vocab.intern("database");
+//! let w_ml = vocab.intern("learning");
+//! // 2 topics: topic 0 is "databases", topic 1 is "ML".
+//! let model = TopicModel::from_rows(
+//!     vocab,
+//!     vec![vec![0.9, 0.1], vec![0.1, 0.9]], // p(w|z) per topic
+//!     vec![0.5, 0.5],                       // p(z)
+//! ).unwrap();
+//! let gamma = model.infer(&[w_db]).unwrap();
+//! assert!(gamma[0] > 0.8); // "database" maps to topic 0
+//! let gamma = model.infer(&[w_db, w_ml]).unwrap();
+//! assert!((gamma[0] - 0.5).abs() < 1e-9); // balanced query
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod dist;
+pub mod error;
+pub mod model;
+pub mod radar;
+pub mod related;
+pub mod vocab;
+
+pub use dist::TopicDistribution;
+pub use error::TopicError;
+pub use model::TopicModel;
+pub use vocab::{KeywordId, Vocabulary};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TopicError>;

@@ -1,0 +1,123 @@
+//! Radar-diagram data for keyword interpretation (OCTOPUS Scenario 2).
+//!
+//! When a user selects a suggested keyword, the OCTOPUS UI "shows the
+//! distribution over topics … for example, 'EM algorithm' is very related to
+//! AI and machine learning, while also relevant to multimedia and HCI". This
+//! module computes exactly that data: labeled `p(z|w)` axes ready for a
+//! front-end radar/spider chart.
+
+use crate::model::TopicModel;
+use crate::vocab::KeywordId;
+use crate::Result;
+
+/// One radar chart: topic labels (axes) and the keyword-set's mass per axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadarChart {
+    /// The keyword(s) the chart explains, as display strings.
+    pub keywords: Vec<String>,
+    /// Axis labels, one per topic.
+    pub axes: Vec<String>,
+    /// `p(z|W)` per axis, sums to 1.
+    pub values: Vec<f64>,
+}
+
+impl RadarChart {
+    /// The axes sorted by descending value — handy for textual rendering.
+    pub fn ranked_axes(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> =
+            self.axes.iter().map(String::as_str).zip(self.values.iter().copied()).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v
+    }
+
+    /// Render a compact ASCII version (one bar per axis) for terminal demos.
+    pub fn ascii(&self) -> String {
+        let mut out = String::new();
+        let maxw = self.axes.iter().map(String::len).max().unwrap_or(0);
+        for (axis, &val) in self.axes.iter().zip(&self.values) {
+            let bars = (val * 40.0).round() as usize;
+            out.push_str(&format!("{axis:>maxw$} | {}{:.3}\n", "█".repeat(bars).to_string() + " ", val));
+        }
+        out
+    }
+}
+
+/// Radar chart for a single keyword: `p(z|w)`.
+pub fn keyword_radar(model: &TopicModel, w: KeywordId) -> Result<RadarChart> {
+    let post = model.keyword_topics(w)?;
+    Ok(RadarChart {
+        keywords: vec![model.vocab().word(w)?.to_string()],
+        axes: (0..model.num_topics()).map(|z| model.label(z)).collect(),
+        values: post.into_vec(),
+    })
+}
+
+/// Radar chart for a keyword set: `p(z|W)` via Bayesian inference.
+pub fn keyword_set_radar(model: &TopicModel, ws: &[KeywordId]) -> Result<RadarChart> {
+    let post = model.infer(ws)?;
+    let mut keywords = Vec::with_capacity(ws.len());
+    for &w in ws {
+        keywords.push(model.vocab().word(w)?.to_string());
+    }
+    Ok(RadarChart {
+        keywords,
+        axes: (0..model.num_topics()).map(|z| model.label(z)).collect(),
+        values: post.into_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    fn model() -> TopicModel {
+        let mut v = Vocabulary::new();
+        v.intern("em algorithm");
+        v.intern("sql");
+        TopicModel::from_rows(
+            v,
+            vec![vec![0.7, 0.05], vec![0.05, 0.9], vec![0.25, 0.05]],
+            vec![1.0, 1.0, 1.0],
+        )
+        .unwrap()
+        .with_labels(vec!["AI".into(), "DB".into(), "HCI".into()])
+        .unwrap()
+    }
+
+    #[test]
+    fn radar_axes_and_mass() {
+        let m = model();
+        let w = m.vocab().get("em algorithm").unwrap();
+        let chart = keyword_radar(&m, w).unwrap();
+        assert_eq!(chart.axes, vec!["AI", "DB", "HCI"]);
+        assert_eq!(chart.keywords, vec!["em algorithm"]);
+        let s: f64 = chart.values.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        // "EM algorithm" dominated by AI, with HCI second — the paper's example shape.
+        let ranked = chart.ranked_axes();
+        assert_eq!(ranked[0].0, "AI");
+        assert_eq!(ranked[1].0, "HCI");
+    }
+
+    #[test]
+    fn set_radar_combines_keywords() {
+        let m = model();
+        let a = m.vocab().get("em algorithm").unwrap();
+        let b = m.vocab().get("sql").unwrap();
+        let chart = keyword_set_radar(&m, &[a, b]).unwrap();
+        assert_eq!(chart.keywords.len(), 2);
+        let s: f64 = chart.values.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ascii_rendering_contains_axes() {
+        let m = model();
+        let w = m.vocab().get("sql").unwrap();
+        let chart = keyword_radar(&m, w).unwrap();
+        let text = chart.ascii();
+        assert!(text.contains("DB"));
+        assert!(text.lines().count() == 3);
+    }
+}

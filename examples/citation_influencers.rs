@@ -1,0 +1,105 @@
+//! Scenario 1 at depth: keyword-based influential user discovery on a
+//! citation network, comparing every KIM engine on the same queries and
+//! demonstrating the "diverse, non-overlapping influence" observation from
+//! the paper.
+//!
+//! ```bash
+//! cargo run --release --example citation_influencers
+//! ```
+
+use octopus::core::engine::{KimEngineChoice, Octopus, OctopusConfig};
+use octopus::core::kim::BoundKind;
+use octopus::data::CitationConfig;
+use octopus::{NodeId, TopicDistribution};
+use std::time::Instant;
+
+fn main() {
+    let net = CitationConfig {
+        authors: 800,
+        papers: 2000,
+        num_topics: 8,
+        words_per_topic: 20,
+        seed: 7,
+        ..Default::default()
+    }
+    .generate();
+    println!(
+        "citation network: {} researchers, {} edges, {} topics",
+        net.graph.node_count(),
+        net.graph.edge_count(),
+        net.graph.num_topics()
+    );
+
+    let queries =
+        ["data mining", "neural network deep learning", "influence maximization", "encryption"];
+    let engines = [
+        ("naive", KimEngineChoice::Naive),
+        ("mis", KimEngineChoice::Mis),
+        ("best-effort/PB", KimEngineChoice::BestEffort(BoundKind::Precomputation)),
+        ("best-effort/NB", KimEngineChoice::BestEffort(BoundKind::Neighborhood)),
+        (
+            "topic-sample",
+            KimEngineChoice::TopicSample {
+                bound: BoundKind::Precomputation,
+                extra_samples: 24,
+                direct_eps: 0.1,
+            },
+        ),
+    ];
+
+    for (label, choice) in engines {
+        let t0 = Instant::now();
+        let engine = Octopus::new(
+            net.graph.clone(),
+            net.model.clone(),
+            OctopusConfig { kim: choice, piks_index_size: 256, ..Default::default() },
+        )
+        .expect("engine builds");
+        let offline = t0.elapsed();
+
+        println!("\n== engine {label} (offline {offline:?}) ==");
+        for q in queries {
+            let ans = match engine.find_influencers(q, 5) {
+                Ok(a) => a,
+                Err(e) => {
+                    println!("  {q:35} -> error: {e}");
+                    continue;
+                }
+            };
+            let names: Vec<&str> =
+                ans.seeds.iter().take(3).map(|s| s.name.as_str()).collect();
+            println!(
+                "  {q:35} {:>9.1?}  spread≈{:>6.1}  top: {}",
+                ans.elapsed,
+                ans.result.spread,
+                names.join(", ")
+            );
+        }
+    }
+
+    // The diversity observation: IM seeds overlap little because greedy
+    // picks non-overlapping influence regions, unlike a plain top-degree
+    // ranking which crowds into the densest community.
+    println!("\n== diversity check (IM seeds vs top-degree ranking) ==");
+    let engine = Octopus::new(
+        net.graph.clone(),
+        net.model.clone(),
+        OctopusConfig::default(),
+    )
+    .expect("engine builds");
+    let ans = engine.find_influencers("data mining", 8).expect("query succeeds");
+    let seeds: Vec<NodeId> = ans.seeds.iter().map(|s| s.node).collect();
+    let by_degree = octopus::graph::stats::top_out_degree(engine.graph(), 8);
+    let gamma: TopicDistribution = ans.gamma.clone();
+    let probs = engine.graph().materialize(gamma.as_slice()).expect("dims fine");
+    let im_spread = octopus::cascade::estimate_spread(engine.graph(), &probs, &seeds, 2000, 1);
+    let deg_seeds: Vec<NodeId> = by_degree.iter().map(|&(u, _)| u).collect();
+    let deg_spread =
+        octopus::cascade::estimate_spread(engine.graph(), &probs, &deg_seeds, 2000, 1);
+    println!("  IM seeds spread      ≈ {im_spread:.1}");
+    println!("  top-degree spread    ≈ {deg_spread:.1}");
+    println!(
+        "  advantage            = {:.1}% (IM avoids overlapping influence regions)",
+        100.0 * (im_spread - deg_spread) / deg_spread.max(1.0)
+    );
+}

@@ -1,0 +1,107 @@
+//! Scenario 3 at depth: interactive influential-path exploration — MIA
+//! trees in both directions, the click-to-highlight interaction, cluster
+//! analysis across thresholds, and the d3 JSON export written to disk.
+//!
+//! ```bash
+//! cargo run --release --example influence_paths
+//! ```
+
+use octopus::core::engine::{Octopus, OctopusConfig};
+use octopus::core::paths::{highlight_json, ExploreDirection};
+use octopus::data::CitationConfig;
+use octopus::mia::{ArbDirection, Arborescence, PathExplorer};
+
+fn main() {
+    let net = CitationConfig {
+        authors: 600,
+        papers: 1500,
+        num_topics: 6,
+        words_per_topic: 14,
+        seed: 23,
+        ..Default::default()
+    }
+    .generate();
+    let engine = Octopus::new(
+        net.graph.clone(),
+        net.model.clone(),
+        OctopusConfig { piks_index_size: 256, ..Default::default() },
+    )
+    .expect("engine builds");
+
+    // Most influential researcher in social networks as the demo root.
+    let ans = engine.find_influencers("influence maximization", 1).expect("query succeeds");
+    let root_name = ans.seeds[0].name.clone();
+    println!("exploring how {root_name} influences the community\n");
+
+    // Forward exploration (whom do they influence).
+    let ex = engine
+        .explore_paths(&root_name, ExploreDirection::Influences, Some("influence maximization"))
+        .expect("exploration succeeds");
+    println!("== forward (MIOA), θ = {} ==", ex.theta);
+    println!("  reached {} researchers, influence mass {:.1}", ex.reached, ex.influence);
+    for (i, c) in ex.clusters.iter().take(4).enumerate() {
+        println!(
+            "  cluster {}: via {:24} size {:3}  mass {:.2}",
+            i + 1,
+            engine.graph().name(c.head).unwrap_or("?"),
+            c.size,
+            c.mass
+        );
+    }
+    println!("  strongest paths:");
+    for p in ex.top_paths.iter().take(5) {
+        let names: Vec<&str> =
+            p.nodes.iter().map(|&n| engine.graph().name(n).unwrap_or("?")).collect();
+        println!("    {:.3}  {}", p.prob, names.join(" -> "));
+    }
+
+    // The click interaction: highlight all paths through the top cluster head.
+    if let Some(c) = ex.clusters.first() {
+        let json = highlight_json(&ex, c.head);
+        println!(
+            "\n  click on {:?} -> {} highlighted paths ({} bytes of JSON)",
+            engine.graph().name(c.head).unwrap_or("?"),
+            json.matches("\"prob\"").count(),
+            json.len()
+        );
+    }
+
+    // Reverse exploration (who influences them).
+    let leaf = ex.clusters.first().map(|c| *c.members.last().expect("non-empty cluster"));
+    if let Some(leaf) = leaf {
+        let leaf_name = engine.graph().name(leaf).unwrap_or("?").to_string();
+        let rev = engine
+            .explore_paths(&leaf_name, ExploreDirection::InfluencedBy, None)
+            .expect("reverse exploration succeeds");
+        println!("\n== reverse (MIIA) for {leaf_name} ==");
+        println!("  influenced by {} researchers", rev.reached - 1);
+        for p in rev.top_paths.iter().take(3) {
+            let names: Vec<&str> =
+                p.nodes.iter().map(|&n| engine.graph().name(n).unwrap_or("?")).collect();
+            println!("    {:.3}  {}", p.prob, names.join(" <- "));
+        }
+    }
+
+    // Threshold sweep: the interactivity knob.
+    println!("\n== θ sweep (tree size / build cost trade-off) ==");
+    let root = ans.seeds[0].node;
+    let gamma = ans.gamma.clone();
+    let probs = engine.graph().materialize(gamma.as_slice()).expect("dims fine");
+    for theta in [0.1, 0.03, 0.01, 0.003, 0.001] {
+        let t0 = std::time::Instant::now();
+        let arb = Arborescence::build(engine.graph(), &probs, root, theta, ArbDirection::Out);
+        let dt = t0.elapsed();
+        let explorer = PathExplorer::new(&arb);
+        println!(
+            "  θ={theta:<6} nodes={:<5} influence={:<8.2} clusters={:<3} build={dt:?}",
+            arb.len(),
+            arb.total_influence(),
+            explorer.clusters().len()
+        );
+    }
+
+    // d3 export for the front-end.
+    let out = std::env::temp_dir().join("octopus_paths.json");
+    std::fs::write(&out, &ex.d3_json).expect("write json");
+    println!("\nd3 hierarchy written to {}", out.display());
+}

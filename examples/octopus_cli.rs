@@ -1,0 +1,170 @@
+//! Interactive OCTOPUS console — the closest library analogue of the demo's
+//! web UI. Type keyword queries and user names; get influencers, selling
+//! points, and influence paths.
+//!
+//! ```bash
+//! cargo run --release --example octopus_cli
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! find <keywords...>        influential users for a keyword query (k=10)
+//! suggest <user name>       the user's most influential keywords
+//! paths <user name>         whom the user influences (MIA exploration)
+//! rpaths <user name>        who influences the user
+//! radar <keyword>           topic radar of one keyword
+//! related <keyword>         topically related keywords
+//! curve <keywords...>       influence-vs-budget curve (k = 1..10)
+//! complete <prefix>         name auto-completion
+//! report                    engine system report
+//! save <file>               persist the dataset (graph+model+log)
+//! help | quit
+//! ```
+
+use octopus::core::engine::{Octopus, OctopusConfig};
+use octopus::core::paths::ExploreDirection;
+use octopus::data::{store, CitationConfig, Dataset};
+use octopus::KeywordId;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+fn main() {
+    println!("OCTOPUS console — generating demo citation network…");
+    let net = CitationConfig {
+        authors: 600,
+        papers: 1500,
+        num_topics: 8,
+        words_per_topic: 16,
+        seed: 2018,
+        ..Default::default()
+    }
+    .generate();
+    let mut user_keywords: HashMap<octopus::NodeId, Vec<KeywordId>> = HashMap::new();
+    for item in net.log.items() {
+        let e = user_keywords.entry(item.origin).or_default();
+        for &w in &item.keywords {
+            if !e.contains(&w) {
+                e.push(w);
+            }
+        }
+    }
+    let dataset =
+        Dataset { graph: net.graph.clone(), model: net.model.clone(), log: Some(net.log.clone()) };
+    let engine = Octopus::new(net.graph, net.model, OctopusConfig::default())
+        .expect("engine builds")
+        .with_user_keywords(user_keywords);
+    println!(
+        "ready: {} researchers, {} edges, {} keywords. Type `help` for commands.",
+        engine.graph().node_count(),
+        engine.graph().edge_count(),
+        engine.model().vocab_size()
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("octopus> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "" => {}
+            "quit" | "exit" => break,
+            "help" => {
+                println!("find <kw…> | suggest <name> | paths <name> | rpaths <name>");
+                println!("radar <kw> | related <kw> | curve <kw…> | complete <prefix>");
+                println!("report | save <file> | quit");
+            }
+            "find" => match engine.find_influencers(rest, 10) {
+                Ok(a) => {
+                    for s in &a.seeds {
+                        println!("  #{:<2} {}", s.rank + 1, s.name);
+                    }
+                    println!("  (spread≈{:.1}, {:?})", a.result.spread, a.elapsed);
+                }
+                Err(e) => println!("  error: {e}"),
+            },
+            "suggest" => match engine.suggest_keywords(rest, 3) {
+                Ok(a) => {
+                    println!("  selling points of {}: {:?}", a.user_name, a.words);
+                    print!("{}", a.radar.ascii());
+                }
+                Err(e) => println!("  error: {e}"),
+            },
+            "paths" | "rpaths" => {
+                let dir = if cmd == "paths" {
+                    ExploreDirection::Influences
+                } else {
+                    ExploreDirection::InfluencedBy
+                };
+                match engine.explore_paths(rest, dir, None) {
+                    Ok(ex) => {
+                        println!(
+                            "  {} reaches {} users (mass {:.1}), {} clusters",
+                            ex.root_name,
+                            ex.reached - 1,
+                            ex.influence,
+                            ex.clusters.len()
+                        );
+                        for p in ex.top_paths.iter().take(5) {
+                            let names: Vec<&str> = p
+                                .nodes
+                                .iter()
+                                .map(|&n| engine.graph().name(n).unwrap_or("?"))
+                                .collect();
+                            println!("    {:.3}  {}", p.prob, names.join(" -> "));
+                        }
+                    }
+                    Err(e) => println!("  error: {e}"),
+                }
+            }
+            "radar" => match engine.keyword_radar(rest) {
+                Ok(r) => print!("{}", r.ascii()),
+                Err(e) => println!("  error: {e}"),
+            },
+            "related" => match engine.related_keywords(rest, 6) {
+                Ok(rel) => {
+                    for (w, score) in rel {
+                        println!("  {w}  ({score:.2})");
+                    }
+                }
+                Err(e) => println!("  error: {e}"),
+            },
+            "curve" => match engine.model().infer_str(rest) {
+                Ok(gamma) => match engine.influence_curve(&gamma, 10) {
+                    Ok(curve) => {
+                        for (k, spread) in curve {
+                            let bar = "█".repeat((spread / 2.0).round() as usize);
+                            println!("  k={k:<3} {spread:>8.1} {bar}");
+                        }
+                    }
+                    Err(e) => println!("  error: {e}"),
+                },
+                Err(e) => println!("  error: {e}"),
+            },
+            "report" => {
+                let r = engine.system_report();
+                println!("  {r:#?}");
+            }
+            "complete" => {
+                for (_, name, score) in engine.autocomplete(rest, 8) {
+                    println!("  {name}  (influence score {score:.0})");
+                }
+            }
+            "save" => {
+                let path = std::path::Path::new(rest.trim());
+                match store::save(&dataset, path) {
+                    Ok(()) => println!("  saved dataset to {}", path.display()),
+                    Err(e) => println!("  error: {e}"),
+                }
+            }
+            other => println!("  unknown command {other:?}; try `help`"),
+        }
+    }
+    println!("bye.");
+}

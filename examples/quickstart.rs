@@ -1,0 +1,75 @@
+//! Quickstart: generate a synthetic citation network, build the OCTOPUS
+//! engine, and run all three analysis services once.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use octopus::core::engine::{Octopus, OctopusConfig};
+use octopus::core::paths::ExploreDirection;
+use octopus::data::CitationConfig;
+
+fn main() {
+    // 1. A small ACMCite-like network with planted ground truth.
+    println!("== generating citation network ==");
+    let net = CitationConfig {
+        authors: 400,
+        papers: 900,
+        num_topics: 6,
+        words_per_topic: 16,
+        seed: 42,
+        ..Default::default()
+    }
+    .generate();
+    println!(
+        "graph: {} researchers, {} influence edges, {} topics; log: {} papers, {} trials",
+        net.graph.node_count(),
+        net.graph.edge_count(),
+        net.graph.num_topics(),
+        net.log.item_count(),
+        net.log.trial_count()
+    );
+
+    // 2. Build the engine (offline phase: bound tables, influencer index…).
+    let config = OctopusConfig { piks_index_size: 1024, ..Default::default() };
+    let engine = Octopus::new(net.graph, net.model, config).expect("engine builds");
+
+    // 3. Scenario 1 — keyword-based influential user discovery.
+    println!("\n== scenario 1: influencers for \"data mining\" ==");
+    let ans = engine.find_influencers("data mining", 5).expect("query succeeds");
+    for seed in &ans.seeds {
+        println!("  #{:<2} {}", seed.rank + 1, seed.name);
+    }
+    println!(
+        "  spread≈{:.1}, {} exact evals, {} pruned, {:?}",
+        ans.result.spread,
+        ans.result.stats.exact_evaluations,
+        ans.result.stats.pruned_candidates,
+        ans.elapsed
+    );
+
+    // 4. Scenario 2 — personalized influential keywords ("selling points").
+    let target = ans.seeds[0].name.clone();
+    println!("\n== scenario 2: selling points of {target} ==");
+    let sugg = engine.suggest_keywords(&target, 3).expect("suggestion succeeds");
+    println!("  keywords: {:?}", sugg.words);
+    println!("  spread≈{:.1}, consistency {:.2}", sugg.result.spread, sugg.result.consistency);
+    println!("{}", sugg.radar.ascii());
+
+    // 5. Scenario 3 — influential path exploration.
+    println!("== scenario 3: how {target} influences the community ==");
+    let ex = engine
+        .explore_paths(&target, ExploreDirection::Influences, Some("data mining"))
+        .expect("exploration succeeds");
+    println!(
+        "  reaches {} researchers (influence mass {:.1}), {} clusters",
+        ex.reached,
+        ex.influence,
+        ex.clusters.len()
+    );
+    for (i, c) in ex.clusters.iter().take(3).enumerate() {
+        let head = engine.graph().name(c.head).unwrap_or("?");
+        println!("  cluster {}: via {head}, {} users, mass {:.2}", i + 1, c.size, c.mass);
+    }
+    println!("  d3 JSON: {} bytes (feed to any d3 hierarchy layout)", ex.d3_json.len());
+}

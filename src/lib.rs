@@ -1,0 +1,43 @@
+//! # octopus
+//!
+//! An online topic-aware influence analysis system for social networks — a
+//! full Rust reproduction of OCTOPUS (Fan et al., ICDE 2018).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `octopus-graph` | topic-weighted CSR social graph |
+//! | [`topics`] | `octopus-topics` | `p(w\|z)` model, Bayesian keyword→topic inference, radar charts |
+//! | [`data`] | `octopus-data` | synthetic network generators, AMiner loader, TIC EM learner |
+//! | [`cascade`] | `octopus-cascade` | IC simulation, RR sets, CELF, OPIM |
+//! | [`mia`] | `octopus-mia` | maximum influence arborescences, path exploration, d3 export |
+//! | [`core`] | `octopus-core` | keyword IM engines, keyword suggestion, the [`Octopus`] facade |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use octopus::data::CitationConfig;
+//! use octopus::core::engine::{Octopus, OctopusConfig};
+//!
+//! // A small synthetic citation network with ground truth.
+//! let net = CitationConfig {
+//!     authors: 100, papers: 200, num_topics: 4, words_per_topic: 12,
+//!     ..Default::default()
+//! }.generate();
+//!
+//! let engine = Octopus::new(net.graph, net.model, OctopusConfig::default()).unwrap();
+//! let answer = engine.find_influencers("data mining", 3).unwrap();
+//! assert_eq!(answer.seeds.len(), 3);
+//! ```
+
+pub use octopus_cascade as cascade;
+pub use octopus_core as core;
+pub use octopus_data as data;
+pub use octopus_graph as graph;
+pub use octopus_mia as mia;
+pub use octopus_topics as topics;
+
+pub use octopus_core::engine::{KimAnswer, KimEngineChoice, Octopus, OctopusConfig, SuggestAnswer};
+pub use octopus_graph::{EdgeId, NodeId, TopicGraph};
+pub use octopus_topics::{KeywordId, TopicDistribution, TopicModel, Vocabulary};

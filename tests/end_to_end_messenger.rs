@@ -1,0 +1,99 @@
+//! End-to-end integration on the QQ-like messenger network: the viral
+//! marketing deployment scenario of §III.
+
+use octopus::core::engine::{Octopus, OctopusConfig};
+use octopus::data::MessengerConfig;
+use octopus::KeywordId;
+use std::collections::HashMap;
+
+fn net() -> octopus::data::SyntheticNetwork {
+    MessengerConfig {
+        users: 250,
+        links_per_user: 4,
+        items: 400,
+        num_topics: 5,
+        words_per_topic: 10,
+        seed: 77,
+        ..Default::default()
+    }
+    .generate()
+}
+
+#[test]
+fn game_campaign_targets_game_influencers() {
+    let n = net();
+    let engine = Octopus::new(
+        n.graph.clone(),
+        n.model.clone(),
+        OctopusConfig { piks_index_size: 512, ..Default::default() },
+    )
+    .expect("engine builds");
+    let ans = engine.find_influencers("game", 5).expect("campaign query");
+    assert_eq!(ans.seeds.len(), 5);
+    assert_eq!(ans.gamma.dominant_topic(), 0, "'game' maps to the games topic");
+    // re-score with MC: the push list must clearly beat 5 random users
+    let probs = n.graph.materialize(ans.gamma.as_slice()).expect("dims");
+    let seeds: Vec<octopus::NodeId> = ans.seeds.iter().map(|s| s.node).collect();
+    let push = octopus::cascade::estimate_spread(&n.graph, &probs, &seeds, 3000, 1);
+    let random: Vec<octopus::NodeId> = (100..105).map(octopus::NodeId).collect();
+    let rand_spread = octopus::cascade::estimate_spread(&n.graph, &probs, &random, 3000, 1);
+    assert!(
+        push > rand_spread * 1.5,
+        "campaign reach {push:.1} must beat random {rand_spread:.1}"
+    );
+}
+
+#[test]
+fn food_influencer_gets_food_keywords() {
+    let n = net();
+    let mut user_keywords: HashMap<octopus::NodeId, Vec<KeywordId>> = HashMap::new();
+    for item in n.log.items() {
+        let e = user_keywords.entry(item.origin).or_default();
+        for &w in &item.keywords {
+            if !e.contains(&w) {
+                e.push(w);
+            }
+        }
+    }
+    let engine = Octopus::new(
+        n.graph.clone(),
+        n.model.clone(),
+        OctopusConfig { piks_index_size: 512, ..Default::default() },
+    )
+    .expect("engine builds")
+    .with_user_keywords(user_keywords);
+
+    // find the top food influencer, then ask for their selling points
+    let ans = engine.find_influencers("gum strawberry", 1).expect("food query");
+    let sugg = engine.suggest_keywords_for(ans.seeds[0].node, 2).expect("suggestion");
+    assert_eq!(sugg.result.keywords.len(), 2);
+    assert!(sugg.result.spread >= 1.0);
+    // radar must expose the product categories as axes
+    assert_eq!(sugg.radar.axes.len(), 5);
+}
+
+#[test]
+fn multi_word_product_phrases_resolve() {
+    let n = net();
+    let (ids, unknown) = n.model.vocab().resolve_query("flight deal bubble tea");
+    assert_eq!(ids.len(), 2, "two product phrases must resolve, got {ids:?}/{unknown:?}");
+    assert!(unknown.is_empty());
+}
+
+#[test]
+fn reciprocal_edges_let_influence_flow_back() {
+    let n = net();
+    // pick any reciprocal pair and verify both directions carry probability
+    let g = &n.graph;
+    let mut checked = false;
+    for e in g.edges() {
+        let (u, v) = g.edge_endpoints(e).unwrap();
+        if let Some(back) = g.find_edge(v, u) {
+            assert!(g.edge_prob_max(e) > 0.0);
+            assert!(g.edge_prob_max(back) > 0.0);
+            checked = true;
+            break;
+        }
+    }
+    assert!(checked, "messenger graph must contain reciprocal pairs");
+}

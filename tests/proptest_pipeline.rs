@@ -1,0 +1,95 @@
+//! Cross-crate property tests: invariants that only hold when the whole
+//! pipeline (generator → model → engine) is wired correctly.
+
+use octopus::core::engine::{KimEngineChoice, Octopus, OctopusConfig};
+use octopus::core::kim::BoundKind;
+use octopus::data::CitationConfig;
+use octopus::TopicDistribution;
+use proptest::prelude::*;
+
+fn tiny_engine(seed: u64, kim: KimEngineChoice) -> Octopus {
+    let net = CitationConfig {
+        authors: 50,
+        papers: 120,
+        num_topics: 3,
+        words_per_topic: 8,
+        seed,
+        ..Default::default()
+    }
+    .generate();
+    Octopus::new(
+        net.graph,
+        net.model,
+        OctopusConfig {
+            kim,
+            piks_index_size: 256,
+            mis_rr_per_topic: 800,
+            k_max: 8,
+            ..Default::default()
+        },
+    )
+    .expect("engine builds")
+}
+
+proptest! {
+    // engine construction is expensive; keep case counts low
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Seeds are always distinct and spread grows monotonically with k.
+    #[test]
+    fn seeds_distinct_and_spread_monotone(seed in 1u64..50, k in 2usize..6) {
+        let engine = tiny_engine(seed, KimEngineChoice::BestEffort(BoundKind::Neighborhood));
+        let gamma = TopicDistribution::uniform(3);
+        let small = engine.find_influencers_gamma(&gamma, k - 1).unwrap();
+        let large = engine.find_influencers_gamma(&gamma, k).unwrap();
+        let mut ids = large.seeds.clone();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), large.seeds.len(), "duplicate seeds");
+        prop_assert!(large.spread >= small.spread - 1e-9);
+        // greedy prefix property: the engines extend rather than reshuffle
+        prop_assert_eq!(&small.seeds[..], &large.seeds[..k - 1]);
+    }
+
+    /// The same query always returns the same answer (determinism end to
+    /// end, including the sampled index structures).
+    #[test]
+    fn queries_are_deterministic(seed in 1u64..30) {
+        let engine = tiny_engine(seed, KimEngineChoice::BestEffort(BoundKind::Precomputation));
+        let gamma = TopicDistribution::new(vec![0.6, 0.3, 0.1]).unwrap();
+        let a = engine.find_influencers_gamma(&gamma, 3).unwrap();
+        let b = engine.find_influencers_gamma(&gamma, 3).unwrap();
+        prop_assert_eq!(a.seeds, b.seeds);
+        prop_assert_eq!(a.spread, b.spread);
+    }
+
+    /// Autocomplete returns only true prefixes, ranked by non-increasing
+    /// score.
+    #[test]
+    fn autocomplete_invariants(seed in 1u64..30, prefix in "[a-z]{1,2}") {
+        let engine = tiny_engine(seed, KimEngineChoice::Mis);
+        let hits = engine.autocomplete(&prefix, 10);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].2 >= w[1].2, "scores must be sorted");
+        }
+        for (_, name, _) in &hits {
+            prop_assert!(name.starts_with(&prefix));
+        }
+    }
+
+    /// Keyword suggestion spread never exceeds the user's best possible
+    /// spread over single keywords times a growth factor, and consistency
+    /// stays in [0,1].
+    #[test]
+    fn suggestion_sanity(seed in 1u64..20) {
+        let engine = tiny_engine(seed, KimEngineChoice::Mis);
+        // top db researcher always exists in these nets
+        let ans = engine.find_influencers("data mining", 1).unwrap();
+        let sugg = engine.suggest_keywords_for(ans.seeds[0].node, 2).unwrap();
+        prop_assert!((0.0..=1.0).contains(&sugg.result.consistency));
+        prop_assert!(sugg.result.spread >= 0.0);
+        prop_assert!(sugg.result.keywords.len() <= 2);
+        let s: f64 = sugg.result.gamma.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9, "gamma stays on the simplex");
+    }
+}
