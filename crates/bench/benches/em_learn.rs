@@ -18,7 +18,11 @@ fn bench_em_vs_items(c: &mut Criterion) {
             ..Default::default()
         }
         .generate();
-        let em = TicEm::new(EmOptions { num_topics: 3, max_iters: 10, ..Default::default() });
+        let em = TicEm::new(EmOptions {
+            num_topics: 3,
+            max_iters: 10,
+            ..Default::default()
+        });
         group.bench_with_input(BenchmarkId::from_parameter(papers), &net, |b, net| {
             b.iter(|| {
                 em.fit(
@@ -47,7 +51,11 @@ fn bench_em_vs_topics(c: &mut Criterion) {
     }
     .generate();
     for z in [2usize, 4, 8] {
-        let em = TicEm::new(EmOptions { num_topics: z, max_iters: 10, ..Default::default() });
+        let em = TicEm::new(EmOptions {
+            num_topics: z,
+            max_iters: 10,
+            ..Default::default()
+        });
         group.bench_with_input(BenchmarkId::from_parameter(z), &em, |b, em| {
             b.iter(|| {
                 em.fit(

@@ -11,8 +11,14 @@ fn engines() -> Vec<(&'static str, KimEngineChoice)> {
     vec![
         ("naive", KimEngineChoice::Naive),
         ("mis", KimEngineChoice::Mis),
-        ("be-pb", KimEngineChoice::BestEffort(BoundKind::Precomputation)),
-        ("be-nb", KimEngineChoice::BestEffort(BoundKind::Neighborhood)),
+        (
+            "be-pb",
+            KimEngineChoice::BestEffort(BoundKind::Precomputation),
+        ),
+        (
+            "be-nb",
+            KimEngineChoice::BestEffort(BoundKind::Neighborhood),
+        ),
         (
             "topic-sample",
             KimEngineChoice::TopicSample {
@@ -35,12 +41,20 @@ fn bench_kim_query(c: &mut Criterion) {
         let engine = Octopus::new(
             net.graph.clone(),
             net.model.clone(),
-            OctopusConfig { kim, piks_index_size: 256, k_max: 15, cache_capacity: 0, // measure the engine, not the cache
-                ..Default::default() },
+            OctopusConfig {
+                kim,
+                piks_index_size: 256,
+                k_max: 15,
+                cache_capacity: 0, // measure the engine, not the cache
+                ..Default::default()
+            },
         )
         .expect("engine builds");
         group.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, e| {
-            b.iter(|| e.find_influencers_gamma(std::hint::black_box(&gamma), 10).unwrap())
+            b.iter(|| {
+                e.find_influencers_gamma(std::hint::black_box(&gamma), 10)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -56,7 +70,7 @@ fn bench_kim_query_vs_k(c: &mut Criterion) {
             kim: KimEngineChoice::BestEffort(BoundKind::Precomputation),
             piks_index_size: 256,
             cache_capacity: 0, // measure the engine, not the cache
-                ..Default::default()
+            ..Default::default()
         },
     )
     .expect("engine builds");
@@ -66,7 +80,11 @@ fn bench_kim_query_vs_k(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for k in [1usize, 5, 10, 25] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| engine.find_influencers_gamma(std::hint::black_box(&gamma), k).unwrap())
+            b.iter(|| {
+                engine
+                    .find_influencers_gamma(std::hint::black_box(&gamma), k)
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -30,7 +30,11 @@ fn bench_best_effort_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(authors),
             &engine,
             |b, engine| {
-                b.iter(|| engine.find_influencers_gamma(std::hint::black_box(&gamma), 10).unwrap())
+                b.iter(|| {
+                    engine
+                        .find_influencers_gamma(std::hint::black_box(&gamma), 10)
+                        .unwrap()
+                })
             },
         );
     }
@@ -60,7 +64,11 @@ fn bench_naive_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(authors),
             &engine,
             |b, engine| {
-                b.iter(|| engine.find_influencers_gamma(std::hint::black_box(&gamma), 10).unwrap())
+                b.iter(|| {
+                    engine
+                        .find_influencers_gamma(std::hint::black_box(&gamma), 10)
+                        .unwrap()
+                })
             },
         );
     }

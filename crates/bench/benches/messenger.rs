@@ -15,19 +15,27 @@ fn bench_campaign_query(c: &mut Criterion) {
             kim: KimEngineChoice::BestEffort(BoundKind::Precomputation),
             piks_index_size: 512,
             cache_capacity: 0, // measure the engine, not the cache
-                ..Default::default()
+            ..Default::default()
         },
     )
     .expect("engine builds")
     .with_user_keywords(user_keywords(&net));
     let gamma = net.model.infer_str("game").expect("resolves");
     c.bench_function("e8_campaign_query_k8", |b| {
-        b.iter(|| engine.find_influencers_gamma(std::hint::black_box(&gamma), 8).unwrap())
+        b.iter(|| {
+            engine
+                .find_influencers_gamma(std::hint::black_box(&gamma), 8)
+                .unwrap()
+        })
     });
 
     let target = prolific_users(&net, 1)[0];
     c.bench_function("e8_influencer_profiling_k3", |b| {
-        b.iter(|| engine.suggest_keywords_for(std::hint::black_box(target), 3).unwrap())
+        b.iter(|| {
+            engine
+                .suggest_keywords_for(std::hint::black_box(target), 3)
+                .unwrap()
+        })
     });
 }
 

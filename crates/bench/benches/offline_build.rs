@@ -1,0 +1,77 @@
+//! Offline-build pipeline bench: sequential (1-thread) vs parallel
+//! (default thread count) staged builds on the citation generator
+//! workload, per engine configuration. The determinism contract says the
+//! outputs are identical — this bench measures how much wall clock the
+//! parallel stage DAG and intra-stage fan-out buy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octopus_core::engine::{KimEngineChoice, OctopusConfig};
+use octopus_core::kim::BoundKind;
+use octopus_core::offline;
+
+fn configs() -> Vec<(&'static str, OctopusConfig)> {
+    let base = OctopusConfig {
+        piks_index_size: 1024,
+        mis_rr_per_topic: 2000,
+        k_max: 10,
+        ..Default::default()
+    };
+    vec![
+        (
+            "mis",
+            OctopusConfig {
+                kim: KimEngineChoice::Mis,
+                ..base.clone()
+            },
+        ),
+        (
+            "pb",
+            OctopusConfig {
+                kim: KimEngineChoice::BestEffort(BoundKind::Precomputation),
+                ..base.clone()
+            },
+        ),
+        (
+            "topic_sample",
+            OctopusConfig {
+                kim: KimEngineChoice::TopicSample {
+                    bound: BoundKind::Precomputation,
+                    extra_samples: 8,
+                    direct_eps: 0.05,
+                },
+                ..base
+            },
+        ),
+    ]
+}
+
+fn bench_sequential_vs_parallel(c: &mut Criterion) {
+    let net = octopus_bench::workloads::citation_small();
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("offline_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for (label, config) in configs() {
+        group.bench_with_input(
+            BenchmarkId::new("threads_1", label),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    single.install(|| offline::build(std::hint::black_box(&net.graph), config))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("threads_default", label),
+            &config,
+            |b, config| b.iter(|| offline::build(std::hint::black_box(&net.graph), config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential_vs_parallel);
+criterion_main!(benches);

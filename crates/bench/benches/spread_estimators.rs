@@ -11,8 +11,10 @@ fn bench_estimators(c: &mut Criterion) {
     let net = citation_small();
     let gamma = net.model.infer_str("data mining").expect("resolves");
     let probs = net.graph.materialize(gamma.as_slice()).expect("dims");
-    let seeds: Vec<octopus_graph::NodeId> =
-        top_out_degree(&net.graph, 10).into_iter().map(|(u, _)| u).collect();
+    let seeds: Vec<octopus_graph::NodeId> = top_out_degree(&net.graph, 10)
+        .into_iter()
+        .map(|(u, _)| u)
+        .collect();
 
     let mut group = c.benchmark_group("e9_seed_set_spread");
     group.sample_size(10);

@@ -39,7 +39,10 @@ fn bench_query_vs_sample_budget(c: &mut Criterion) {
         )
         .expect("engine builds");
         group.bench_with_input(BenchmarkId::from_parameter(extra), &engine, |b, e| {
-            b.iter(|| e.find_influencers_gamma(std::hint::black_box(&gamma), 10).unwrap())
+            b.iter(|| {
+                e.find_influencers_gamma(std::hint::black_box(&gamma), 10)
+                    .unwrap()
+            })
         });
     }
     group.finish();

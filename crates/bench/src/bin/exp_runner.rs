@@ -9,11 +9,11 @@
 //! ```
 
 use octopus_bench::table::fmt_duration;
-use octopus_bench::{Referee, Table};
 use octopus_bench::workloads::{
     citation_queries, citation_sized, messenger_queries, messenger_sized, prolific_users,
     user_keywords,
 };
+use octopus_bench::{Referee, Table};
 use octopus_cascade::{estimate_spread, RrCollection};
 use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig};
 use octopus_core::kim::bounds::{BoundEstimator, PrecompBound};
@@ -81,7 +81,12 @@ fn engine_with(
     let engine = Octopus::new(
         net.graph.clone(),
         net.model.clone(),
-        OctopusConfig { kim, piks_index_size: 1024, k_max: 25, ..Default::default() },
+        OctopusConfig {
+            kim,
+            piks_index_size: 1024,
+            k_max: 25,
+            ..Default::default()
+        },
     )
     .expect("engine builds")
     .with_user_keywords(user_keywords(net));
@@ -91,9 +96,15 @@ fn engine_with(
 const ENGINES: &[(&str, KimEngineChoice)] = &[
     ("naive", KimEngineChoice::Naive),
     ("mis", KimEngineChoice::Mis),
-    ("be-PB", KimEngineChoice::BestEffort(BoundKind::Precomputation)),
+    (
+        "be-PB",
+        KimEngineChoice::BestEffort(BoundKind::Precomputation),
+    ),
     ("be-LG", KimEngineChoice::BestEffort(BoundKind::LocalGraph)),
-    ("be-NB", KimEngineChoice::BestEffort(BoundKind::Neighborhood)),
+    (
+        "be-NB",
+        KimEngineChoice::BestEffort(BoundKind::Neighborhood),
+    ),
     (
         "t-sample",
         KimEngineChoice::TopicSample {
@@ -108,7 +119,8 @@ const ENGINES: &[(&str, KimEngineChoice)] = &[
 fn e1(s: &Scale) {
     println!("\n================ E1: keyword-based influential user discovery ================");
     let net = citation_sized(s.citation_authors, s.citation_papers);
-    let (engine, offline) = engine_with(&net, KimEngineChoice::BestEffort(BoundKind::Precomputation));
+    let (engine, offline) =
+        engine_with(&net, KimEngineChoice::BestEffort(BoundKind::Precomputation));
     let referee = Referee::new(&net.graph).with_runs(s.referee_runs);
     println!(
         "workload: {} researchers, {} edges; offline phase {}",
@@ -118,7 +130,14 @@ fn e1(s: &Scale) {
     );
     let mut t = Table::new(
         "E1: per-query results (best-effort/PB, k=10)",
-        &["query", "latency", "spread(MC)", "deg-baseline", "gain", "top-3 influencers"],
+        &[
+            "query",
+            "latency",
+            "spread(MC)",
+            "deg-baseline",
+            "gain",
+            "top-3 influencers",
+        ],
     );
     for q in citation_queries() {
         let ans = match engine.find_influencers(q, 10) {
@@ -149,7 +168,9 @@ fn e1(s: &Scale) {
 
     // diversity: pairwise seed overlap across topically distinct queries
     let a = engine.find_influencers("data mining", 10).expect("query");
-    let b = engine.find_influencers("encryption authentication", 10).expect("query");
+    let b = engine
+        .find_influencers("encryption authentication", 10)
+        .expect("query");
     let sa: Vec<NodeId> = a.seeds.iter().map(|x| x.node).collect();
     let overlap = b.seeds.iter().filter(|x| sa.contains(&x.node)).count();
     println!("seed overlap between 'data mining' and 'encryption' queries: {overlap}/10 (topic-awareness)\n");
@@ -163,11 +184,21 @@ fn e2(s: &Scale) {
     let targets = prolific_users(&net, s.piks_targets);
     let mut t = Table::new(
         "E2: suggestion per target (greedy over influencer index)",
-        &["target", "k", "keywords", "spread", "consistency", "latency", "evals"],
+        &[
+            "target",
+            "k",
+            "keywords",
+            "spread",
+            "consistency",
+            "latency",
+            "evals",
+        ],
     );
     for &u in &targets {
         for k in [1usize, 2, 3] {
-            let Ok(ans) = engine.suggest_keywords_for(u, k) else { continue };
+            let Ok(ans) = engine.suggest_keywords_for(u, k) else {
+                continue;
+            };
             t.row(vec![
                 engine.graph().name(u).unwrap_or("?").to_string(),
                 k.to_string(),
@@ -195,10 +226,14 @@ fn e2(s: &Scale) {
             continue;
         }
         let t0 = Instant::now();
-        let Ok(g) = greedy.suggest(u, &pool, 2) else { continue };
+        let Ok(g) = greedy.suggest(u, &pool, 2) else {
+            continue;
+        };
         let tg = t0.elapsed();
         let t0 = Instant::now();
-        let Ok(e) = exact.suggest(u, &pool, 2) else { continue };
+        let Ok(e) = exact.suggest(u, &pool, 2) else {
+            continue;
+        };
         let te = t0.elapsed();
         if e.spread > 0.0 {
             ratios.push(g.spread / e.spread);
@@ -224,7 +259,14 @@ fn e3(s: &Scale) {
     let probs = net.graph.materialize(gamma.as_slice()).expect("dims");
     let mut t = Table::new(
         format!("E3: MIOA of {:?} vs θ", ans.seeds[0].name),
-        &["theta", "tree nodes", "influence", "clusters", "build time", "d3 bytes"],
+        &[
+            "theta",
+            "tree nodes",
+            "influence",
+            "clusters",
+            "build time",
+            "d3 bytes",
+        ],
     );
     for theta in [0.1, 0.03, 0.01, 0.003, 0.001] {
         let t0 = Instant::now();
@@ -271,9 +313,20 @@ fn e4(s: &Scale) {
             })
             .collect();
         let mut t = Table::new(
-            format!("E4: n={} researchers, m={} edges (k=10, {} queries)",
-                net.graph.node_count(), net.graph.edge_count(), queries.len()),
-            &["engine", "offline", "online avg", "quality vs naive", "exact evals", "pruned %"],
+            format!(
+                "E4: n={} researchers, m={} edges (k=10, {} queries)",
+                net.graph.node_count(),
+                net.graph.edge_count(),
+                queries.len()
+            ),
+            &[
+                "engine",
+                "offline",
+                "online avg",
+                "quality vs naive",
+                "exact evals",
+                "pruned %",
+            ],
         );
         for &(label, kim) in ENGINES {
             let (engine, offline) = engine_with(&net, kim);
@@ -282,7 +335,9 @@ fn e4(s: &Scale) {
             let mut pruned_pct = Vec::new();
             let mut ratios = Vec::new();
             for (i, q) in queries.iter().enumerate() {
-                let Ok(a) = engine.find_influencers(q, 10) else { continue };
+                let Ok(a) = engine.find_influencers(q, 10) else {
+                    continue;
+                };
                 total += a.elapsed;
                 evals += a.result.stats.exact_evaluations;
                 let n = net.graph.node_count();
@@ -294,8 +349,7 @@ fn e4(s: &Scale) {
             }
             let nq = queries.len() as u32;
             let mean_ratio = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
-            let mean_pruned =
-                pruned_pct.iter().sum::<f64>() / pruned_pct.len().max(1) as f64;
+            let mean_pruned = pruned_pct.iter().sum::<f64>() / pruned_pct.len().max(1) as f64;
             t.row(vec![
                 label.to_string(),
                 fmt_duration(offline),
@@ -310,8 +364,12 @@ fn e4(s: &Scale) {
             let mut total = std::time::Duration::ZERO;
             let mut ratios = Vec::new();
             for (i, q) in queries.iter().enumerate() {
-                let Ok(gamma) = net.model.infer_str(q) else { continue };
-                let Ok(probs) = net.graph.materialize(gamma.as_slice()) else { continue };
+                let Ok(gamma) = net.model.infer_str(q) else {
+                    continue;
+                };
+                let Ok(probs) = net.graph.materialize(gamma.as_slice()) else {
+                    continue;
+                };
                 let t0 = Instant::now();
                 let seeds = octopus_cascade::degree_discount(&net.graph, &probs, 10);
                 total += t0.elapsed();
@@ -340,7 +398,9 @@ fn e4(s: &Scale) {
             let mut ratios = Vec::new();
             let sample_queries = 2usize;
             for (i, q) in queries.iter().take(sample_queries).enumerate() {
-                let Ok(gamma) = net.model.infer_str(q) else { continue };
+                let Ok(gamma) = net.model.infer_str(q) else {
+                    continue;
+                };
                 let t0 = Instant::now();
                 let res = mc.select(&gamma, 10);
                 total += t0.elapsed();
@@ -366,7 +426,10 @@ fn e4(s: &Scale) {
     let net = citation_sized(s.scaling_sizes[0].0, s.scaling_sizes[0].1);
     let theta = 1.0 / 320.0;
     let pb = PrecompBound::build(&net.graph, theta, 1.2);
-    let gamma = net.model.infer_str("data mining clustering").expect("resolves");
+    let gamma = net
+        .model
+        .infer_str("data mining clustering")
+        .expect("resolves");
     let probs = net.graph.materialize(gamma.as_slice()).expect("dims");
     let mut violations = 0usize;
     let mut checked = 0usize;
@@ -402,7 +465,13 @@ fn e5(s: &Scale) {
         .collect();
     let mut t = Table::new(
         "E5: direct-answer rate and latency vs sample budget (eps=0.10)",
-        &["extra samples", "offline", "direct answers", "online avg", "quality vs naive"],
+        &[
+            "extra samples",
+            "offline",
+            "direct answers",
+            "online avg",
+            "quality vs naive",
+        ],
     );
     for extra in [0usize, 8, 32, 128] {
         let kim = KimEngineChoice::TopicSample {
@@ -415,7 +484,9 @@ fn e5(s: &Scale) {
         let mut total = std::time::Duration::ZERO;
         let mut ratios = Vec::new();
         for (i, q) in queries.iter().enumerate() {
-            let Ok(a) = engine.find_influencers(q, 10) else { continue };
+            let Ok(a) = engine.find_influencers(q, 10) else {
+                continue;
+            };
             total += a.elapsed;
             direct += a.result.stats.answered_from_sample as usize;
             if let Some((gamma, base)) = baselines.get(i) {
@@ -513,10 +584,20 @@ fn e7(s: &Scale) {
     println!("\n================ E7: TIC-EM parameter recovery ================");
     let mut t = Table::new(
         "E7: recovery error vs log size (3 topics)",
-        &["papers", "trials", "EM time", "iters", "edge-prob MAE", "keyword-topic acc"],
+        &[
+            "papers",
+            "trials",
+            "EM time",
+            "iters",
+            "edge-prob MAE",
+            "keyword-topic acc",
+        ],
     );
-    let paper_counts: &[usize] =
-        if s.citation_authors <= 500 { &[200, 400] } else { &[250, 500, 1000, 2000] };
+    let paper_counts: &[usize] = if s.citation_authors <= 500 {
+        &[200, 400]
+    } else {
+        &[250, 500, 1000, 2000]
+    };
     for &papers in paper_counts {
         let net = CitationConfig {
             authors: 120,
@@ -527,9 +608,17 @@ fn e7(s: &Scale) {
             ..Default::default()
         }
         .generate();
-        let em = TicEm::new(EmOptions { num_topics: 3, max_iters: 40, ..Default::default() });
+        let em = TicEm::new(EmOptions {
+            num_topics: 3,
+            max_iters: 40,
+            ..Default::default()
+        });
         let t0 = Instant::now();
-        let fit = em.fit(&net.log, net.model.vocab().clone(), net.graph.names().to_vec());
+        let fit = em.fit(
+            &net.log,
+            net.model.vocab().clone(),
+            net.graph.names().to_vec(),
+        );
         let dt = t0.elapsed();
         let perm = align_topics(&fit.model, &net.model);
         // edge-prob MAE on well-observed edges
@@ -545,10 +634,16 @@ fn e7(s: &Scale) {
             if trials_per_edge.get(&(u, v)).copied().unwrap_or(0) < 20 {
                 continue;
             }
-            let Some(te) = net.graph.find_edge(u, v) else { continue };
+            let Some(te) = net.graph.find_edge(u, v) else {
+                continue;
+            };
             for (zl, &pz) in perm.iter().enumerate().take(3) {
-                let learned = fit.graph.edge_prob_topic(e, octopus_graph::TopicId(zl as u16));
-                let truth = net.graph.edge_prob_topic(te, octopus_graph::TopicId(pz as u16));
+                let learned = fit
+                    .graph
+                    .edge_prob_topic(e, octopus_graph::TopicId(zl as u16));
+                let truth = net
+                    .graph
+                    .edge_prob_topic(te, octopus_graph::TopicId(pz as u16));
                 err += (learned as f64 - truth as f64).abs();
                 cnt += 1;
             }
@@ -581,7 +676,8 @@ fn e7(s: &Scale) {
 fn e8(s: &Scale) {
     println!("\n================ E8: viral marketing on the messenger network ================");
     let net = messenger_sized(s.messenger_users);
-    let (engine, offline) = engine_with(&net, KimEngineChoice::BestEffort(BoundKind::Precomputation));
+    let (engine, offline) =
+        engine_with(&net, KimEngineChoice::BestEffort(BoundKind::Precomputation));
     let referee = Referee::new(&net.graph).with_runs(s.referee_runs);
     println!(
         "workload: {} users, {} edges; offline {}",
@@ -591,10 +687,17 @@ fn e8(s: &Scale) {
     );
     let mut t = Table::new(
         "E8: ad-campaign queries (k=8)",
-        &["campaign keywords", "latency", "reach(MC)", "top influencer"],
+        &[
+            "campaign keywords",
+            "latency",
+            "reach(MC)",
+            "top influencer",
+        ],
     );
     for q in messenger_queries() {
-        let Ok(a) = engine.find_influencers(q, 8) else { continue };
+        let Ok(a) = engine.find_influencers(q, 8) else {
+            continue;
+        };
         let seeds: Vec<NodeId> = a.seeds.iter().map(|x| x.node).collect();
         t.row(vec![
             q.to_string(),
@@ -712,18 +815,26 @@ fn e10(s: &Scale) {
     println!("\n================ E10: ablations ================");
     let net = citation_sized(s.scaling_sizes[0].0, s.scaling_sizes[0].1);
     let theta = 1.0 / 320.0;
-    let gamma = net.model.infer_str("data mining clustering").expect("resolves");
+    let gamma = net
+        .model
+        .infer_str("data mining clustering")
+        .expect("resolves");
     let probs = net.graph.materialize(gamma.as_slice()).expect("dims");
 
     // A1: PB safety factor — violations vs pruning power.
     let mut t = Table::new(
         "E10.A1: PB bound safety factor (mixed two-topic query)",
-        &["safety", "violations/300", "worst ratio", "pruned %", "quality vs safety=1.5"],
+        &[
+            "safety",
+            "violations/300",
+            "worst ratio",
+            "pruned %",
+            "quality vs safety=1.5",
+        ],
     );
     let reference = {
         let pb = PrecompBound::build(&net.graph, theta, 1.5);
-        let engine =
-            octopus_core::kim::BestEffortKim::new(&net.graph, pb, theta);
+        let engine = octopus_core::kim::BestEffortKim::new(&net.graph, pb, theta);
         octopus_core::kim::KimAlgorithm::select(&engine, &gamma, 10)
     };
     let referee = Referee::new(&net.graph).with_runs(s.referee_runs);
@@ -757,7 +868,10 @@ fn e10(s: &Scale) {
     // comparing two nearby queries — the variance-reduction that makes the
     // influencer index's cross-query comparisons stable.
     let gamma_a = net.model.infer_str("data mining").expect("resolves");
-    let gamma_b = net.model.infer_str("data mining clustering").expect("resolves");
+    let gamma_b = net
+        .model
+        .infer_str("data mining clustering")
+        .expect("resolves");
     let target = prolific_users(&net, 1)[0];
     let mut paired_diffs = Vec::new();
     let mut indep_diffs = Vec::new();
@@ -802,7 +916,11 @@ fn e10(s: &Scale) {
     let engine = Octopus::new(
         net.graph.clone(),
         net.model.clone(),
-        OctopusConfig { cache_capacity: 64, piks_index_size: 128, ..Default::default() },
+        OctopusConfig {
+            cache_capacity: 64,
+            piks_index_size: 128,
+            ..Default::default()
+        },
     )
     .expect("engine builds");
     let queries = citation_queries();

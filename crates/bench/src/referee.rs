@@ -17,7 +17,12 @@ pub struct Referee<'g> {
 impl<'g> Referee<'g> {
     /// Referee with the default budget (4000 runs, 4 threads).
     pub fn new(graph: &'g TopicGraph) -> Self {
-        Referee { graph, runs: 4000, seed: 0x5EED, threads: 4 }
+        Referee {
+            graph,
+            runs: 4000,
+            seed: 0x5EED,
+            threads: 4,
+        }
     }
 
     /// Override the simulation budget.
@@ -31,8 +36,18 @@ impl<'g> Referee<'g> {
         if seeds.is_empty() {
             return 0.0;
         }
-        let probs = self.graph.materialize(gamma.as_slice()).expect("validated gamma");
-        estimate_spread_parallel(self.graph, &probs, seeds, self.runs, self.seed, self.threads)
+        let probs = self
+            .graph
+            .materialize(gamma.as_slice())
+            .expect("validated gamma");
+        estimate_spread_parallel(
+            self.graph,
+            &probs,
+            seeds,
+            self.runs,
+            self.seed,
+            self.threads,
+        )
     }
 
     /// Quality ratio of `seeds` relative to `baseline_seeds` (1.0 = equal).

@@ -82,7 +82,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
@@ -97,7 +104,13 @@ impl Table {
         let slug: String = self
             .title
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|s| !s.is_empty())
@@ -160,7 +173,12 @@ mod tests {
         t.row(vec!["1".into()]);
         let dir = std::env::temp_dir().join("octopus_csv_test");
         let path = t.write_csv(&dir).unwrap();
-        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("e99"));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("e99"));
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "x\n1\n");
         std::fs::remove_dir_all(&dir).ok();

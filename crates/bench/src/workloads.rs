@@ -65,7 +65,13 @@ pub fn citation_queries() -> Vec<&'static str> {
 
 /// Messenger campaign queries (the QQ scenario's inputs).
 pub fn messenger_queries() -> Vec<&'static str> {
-    vec!["game", "gum strawberry xylitol", "smartphone", "sneaker lipstick", "flight deal"]
+    vec![
+        "game",
+        "gum strawberry xylitol",
+        "smartphone",
+        "sneaker lipstick",
+        "flight deal",
+    ]
 }
 
 /// Per-user keyword candidates extracted from an action log (what the

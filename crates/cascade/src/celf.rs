@@ -92,7 +92,11 @@ pub fn celf_select_from(
     for &u in candidates {
         let gain = oracle.spread(&[u]);
         evaluations += 1;
-        heap.push(HeapEntry { gain, node: u, round: 0 });
+        heap.push(HeapEntry {
+            gain,
+            node: u,
+            round: 0,
+        });
     }
 
     let mut seeds: Vec<NodeId> = Vec::with_capacity(k);
@@ -111,14 +115,27 @@ pub fn celf_select_from(
             // refreshed gain can only shrink, so the heap order stays valid.
             let gain = oracle.marginal_gain(&seeds, current_spread, top.node);
             evaluations += 1;
-            heap.push(HeapEntry { gain, node: top.node, round: seeds.len() });
+            heap.push(HeapEntry {
+                gain,
+                node: top.node,
+                round: seeds.len(),
+            });
         }
     }
 
     // Recompute the final spread exactly once for reporting (avoids drift
     // from accumulated marginal estimates when the oracle is stochastic).
-    let spread = if seeds.is_empty() { 0.0 } else { oracle.spread(&seeds) };
-    CelfResult { seeds, spread, gains, evaluations }
+    let spread = if seeds.is_empty() {
+        0.0
+    } else {
+        oracle.spread(&seeds)
+    };
+    CelfResult {
+        seeds,
+        spread,
+        gains,
+        evaluations,
+    }
 }
 
 /// CELF over the whole node universe.
@@ -165,8 +182,17 @@ pub fn greedy_select_from(
         seeds.push(remaining.swap_remove(best_idx));
         gains.push(best_gain);
     }
-    let spread = if seeds.is_empty() { 0.0 } else { oracle.spread(&seeds) };
-    CelfResult { seeds, spread, gains, evaluations }
+    let spread = if seeds.is_empty() {
+        0.0
+    } else {
+        oracle.spread(&seeds)
+    };
+    CelfResult {
+        seeds,
+        spread,
+        gains,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -218,7 +244,12 @@ mod tests {
         let mut o2 = McOracle::new(&g, &p, 1, 1);
         let a = celf_select(&mut o1, 3);
         let b = greedy_select(&mut o2, 3);
-        assert!(a.evaluations < b.evaluations, "celf {} vs greedy {}", a.evaluations, b.evaluations);
+        assert!(
+            a.evaluations < b.evaluations,
+            "celf {} vs greedy {}",
+            a.evaluations,
+            b.evaluations
+        );
     }
 
     #[test]

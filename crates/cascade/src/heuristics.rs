@@ -53,14 +53,18 @@ pub fn single_discount(g: &TopicGraph, probs: &EdgeProbs, k: usize) -> Vec<NodeI
     let n = g.node_count();
     let mut score: Vec<f64> = (0..n)
         .map(|u| {
-            g.out_edges(NodeId(u as u32)).map(|(_, e)| probs.get(e) as f64).sum()
+            g.out_edges(NodeId(u as u32))
+                .map(|(_, e)| probs.get(e) as f64)
+                .sum()
         })
         .collect();
     let mut selected = vec![false; n];
     let mut discounted = vec![false; n]; // followers already claimed by a seed
     let mut seeds = Vec::with_capacity(k);
     while seeds.len() < k.min(n) {
-        let Some(best) = argmax_unselected(&score, &selected) else { break };
+        let Some(best) = argmax_unselected(&score, &selected) else {
+            break;
+        };
         selected[best] = true;
         seeds.push(NodeId(best as u32));
         for (f, _) in g.out_edges(NodeId(best as u32)) {
@@ -91,7 +95,11 @@ pub fn degree_discount(g: &TopicGraph, probs: &EdgeProbs, k: usize) -> Vec<NodeI
         probs.as_slice().iter().map(|&p| p as f64).sum::<f64>() / m as f64
     };
     let degree: Vec<f64> = (0..n)
-        .map(|u| g.out_edges(NodeId(u as u32)).map(|(_, e)| probs.get(e) as f64).sum())
+        .map(|u| {
+            g.out_edges(NodeId(u as u32))
+                .map(|(_, e)| probs.get(e) as f64)
+                .sum()
+        })
         .collect();
     let mut t = vec![0.0f64; n]; // per-candidate out-mass claimed by seeds
     let mut score = degree.clone();
@@ -99,7 +107,9 @@ pub fn degree_discount(g: &TopicGraph, probs: &EdgeProbs, k: usize) -> Vec<NodeI
     let mut claimed = vec![false; n];
     let mut seeds = Vec::with_capacity(k);
     while seeds.len() < k.min(n) {
-        let Some(best) = argmax_unselected(&score, &selected) else { break };
+        let Some(best) = argmax_unselected(&score, &selected) else {
+            break;
+        };
         selected[best] = true;
         seeds.push(NodeId(best as u32));
         for (f, _) in g.out_edges(NodeId(best as u32)) {
@@ -114,8 +124,7 @@ pub fn degree_discount(g: &TopicGraph, probs: &EdgeProbs, k: usize) -> Vec<NodeI
                 }
                 t[ui] += probs.get(e) as f64;
                 // ddv = d_v − 2 t_v − (d_v − t_v) · t_v · p  (KDD'09 eq. 2)
-                score[ui] =
-                    degree[ui] - 2.0 * t[ui] - (degree[ui] - t[ui]) * t[ui] * mean_p;
+                score[ui] = degree[ui] - 2.0 * t[ui] - (degree[ui] - t[ui]) * t[ui] * mean_p;
             }
         }
     }
@@ -151,7 +160,11 @@ mod tests {
     fn top_degree_ranks_by_weighted_degree() {
         let (g, p) = overlapping_hubs();
         let seeds = top_degree(&g, &p, 2);
-        assert_eq!(seeds, vec![NodeId(0), NodeId(1)], "plain degree ignores overlap");
+        assert_eq!(
+            seeds,
+            vec![NodeId(0), NodeId(1)],
+            "plain degree ignores overlap"
+        );
     }
 
     #[test]
@@ -173,7 +186,10 @@ mod tests {
         let (g, p) = overlapping_hubs();
         let deg = estimate_spread(&g, &p, &top_degree(&g, &p, 2), 20_000, 1);
         let dd = estimate_spread(&g, &p, &degree_discount(&g, &p, 2), 20_000, 1);
-        assert!(dd > deg, "degree-discount {dd} must beat plain degree {deg}");
+        assert!(
+            dd > deg,
+            "degree-discount {dd} must beat plain degree {deg}"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! crate *is* those traditional algorithms:
 //!
 //! * [`mc`] — Monte-Carlo forward simulation of the IC process (the ground
-//!   truth estimator), with a crossbeam-parallel variant;
+//!   truth estimator), with a scoped-thread parallel variant;
 //! * [`rr`] — reverse-reachable (RR) set sampling in the style of
 //!   Borgs et al. / TIM / IMM \[8\], with coverage-based spread estimation
 //!   and greedy max-coverage seed selection;
@@ -35,8 +35,8 @@ pub mod opim;
 pub mod rr;
 
 pub use celf::{celf_select, greedy_select, CelfResult, SpreadOracle};
+pub use coins::{stream_seed, EdgeCoins};
 pub use heuristics::{degree_discount, single_discount, top_degree};
-pub use coins::EdgeCoins;
 pub use mc::{estimate_spread, estimate_spread_parallel, simulate_once, McOracle};
 pub use opim::{opim_select, OpimOptions, OpimResult};
 pub use rr::{RrCollection, RrOracle};

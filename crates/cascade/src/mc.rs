@@ -85,8 +85,8 @@ pub fn estimate_spread(
     total as f64 / runs as f64
 }
 
-/// Parallel spread estimation: splits `runs` across `threads` crossbeam
-/// scoped workers, each with an independent RNG stream.
+/// Parallel spread estimation: splits `runs` across `threads` scoped
+/// workers, each with an independent RNG stream.
 pub fn estimate_spread_parallel(
     g: &TopicGraph,
     probs: &EdgeProbs,
@@ -102,27 +102,34 @@ pub fn estimate_spread_parallel(
     }
     let per = runs / threads;
     let extra = runs % threads;
-    let totals = crossbeam::thread::scope(|scope| {
+    let totals = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let my_runs = per + usize::from(t < extra);
             let my_seed = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(my_seed);
                 let mut visited = vec![false; g.node_count()];
                 let mut queue = Vec::new();
                 let mut total = 0usize;
                 for _ in 0..my_runs {
                     total += simulate_once_with_buffers(
-                        g, probs, seeds, &mut rng, &mut visited, &mut queue,
+                        g,
+                        probs,
+                        seeds,
+                        &mut rng,
+                        &mut visited,
+                        &mut queue,
                     );
                 }
                 total
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("mc worker panicked")).sum::<usize>()
-    })
-    .expect("crossbeam scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mc worker panicked"))
+            .sum::<usize>()
+    });
     totals as f64 / runs as f64
 }
 
@@ -142,7 +149,13 @@ pub struct McOracle<'a> {
 impl<'a> McOracle<'a> {
     /// Create an oracle doing `runs` simulations per evaluation.
     pub fn new(g: &'a TopicGraph, probs: &'a EdgeProbs, runs: usize, seed: u64) -> Self {
-        McOracle { g, probs, runs, seed, calls: 0 }
+        McOracle {
+            g,
+            probs,
+            runs,
+            seed,
+            calls: 0,
+        }
     }
 
     /// Number of spread evaluations performed (for pruning-effectiveness
@@ -205,8 +218,8 @@ mod tests {
         b.add_edge(NodeId(0), NodeId(1), &[(0, 1.0)]).unwrap();
         let g = b.build().unwrap();
         let p = g.materialize(&[0.0]).unwrap(); // gamma kills the only topic
-        // NOTE: gamma [0.0] is not a distribution, but materialize only needs
-        // the right dimension; spread semantics still hold.
+                                                // NOTE: gamma [0.0] is not a distribution, but materialize only needs
+                                                // the right dimension; spread semantics still hold.
         let s = estimate_spread(&g, &p, &[NodeId(0)], 50, 2);
         assert_eq!(s, 1.0);
     }
@@ -267,7 +280,14 @@ mod tests {
         let mut visited = vec![false; g.node_count()];
         let mut queue = Vec::new();
         for _ in 0..100 {
-            let _ = simulate_once_with_buffers(&g, &p, &[NodeId(0)], &mut rng, &mut visited, &mut queue);
+            let _ = simulate_once_with_buffers(
+                &g,
+                &p,
+                &[NodeId(0)],
+                &mut rng,
+                &mut visited,
+                &mut queue,
+            );
             assert!(visited.iter().all(|&v| !v), "visited must be cleared");
         }
     }

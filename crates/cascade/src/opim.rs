@@ -177,7 +177,14 @@ mod tests {
     #[test]
     fn opim_finds_hubs_with_certificate() {
         let (g, p) = two_stars();
-        let res = opim_select(&g, &p, &OpimOptions { k: 2, ..Default::default() });
+        let res = opim_select(
+            &g,
+            &p,
+            &OpimOptions {
+                k: 2,
+                ..Default::default()
+            },
+        );
         let mut seeds = res.seeds.clone();
         seeds.sort();
         assert_eq!(seeds, vec![NodeId(0), NodeId(1)]);
@@ -189,7 +196,11 @@ mod tests {
     #[test]
     fn certificate_reaches_target_on_easy_instance() {
         let (g, p) = two_stars();
-        let opts = OpimOptions { k: 2, epsilon: 0.3, ..Default::default() };
+        let opts = OpimOptions {
+            k: 2,
+            epsilon: 0.3,
+            ..Default::default()
+        };
         let res = opim_select(&g, &p, &opts);
         let target = 1.0 - 1.0 / std::f64::consts::E - opts.epsilon;
         assert!(res.ratio >= target, "ratio {} < target {target}", res.ratio);
@@ -198,7 +209,12 @@ mod tests {
     #[test]
     fn seeds_spread_is_near_optimal_on_random_graph() {
         let (g, p) = random_graph(150, 3, 0.2);
-        let opts = OpimOptions { k: 5, epsilon: 0.25, seed: 3, ..Default::default() };
+        let opts = OpimOptions {
+            k: 5,
+            epsilon: 0.25,
+            seed: 3,
+            ..Default::default()
+        };
         let res = opim_select(&g, &p, &opts);
         assert_eq!(res.seeds.len(), 5);
         // MC-validate: the claimed lower bound should hold for the true spread.
@@ -213,7 +229,14 @@ mod tests {
     #[test]
     fn zero_k_returns_empty() {
         let (g, p) = two_stars();
-        let res = opim_select(&g, &p, &OpimOptions { k: 0, ..Default::default() });
+        let res = opim_select(
+            &g,
+            &p,
+            &OpimOptions {
+                k: 0,
+                ..Default::default()
+            },
+        );
         assert!(res.seeds.is_empty());
     }
 
@@ -224,13 +247,28 @@ mod tests {
         let small = opim_select(
             &g,
             &p,
-            &OpimOptions { k: 3, initial_samples: 64, max_rounds: 1, ..Default::default() },
+            &OpimOptions {
+                k: 3,
+                initial_samples: 64,
+                max_rounds: 1,
+                ..Default::default()
+            },
         );
         let large = opim_select(
             &g,
             &p,
-            &OpimOptions { k: 3, initial_samples: 4096, max_rounds: 1, ..Default::default() },
+            &OpimOptions {
+                k: 3,
+                initial_samples: 4096,
+                max_rounds: 1,
+                ..Default::default()
+            },
         );
-        assert!(large.ratio >= small.ratio - 0.05, "small {} large {}", small.ratio, large.ratio);
+        assert!(
+            large.ratio >= small.ratio - 0.05,
+            "small {} large {}",
+            small.ratio,
+            large.ratio
+        );
     }
 }

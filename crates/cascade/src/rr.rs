@@ -15,11 +15,19 @@
 //! repository.
 
 use crate::celf::SpreadOracle;
+use crate::coins::stream_seed;
 use octopus_graph::{EdgeProbs, NodeId, TopicGraph};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// A collection of RR sets with an inverted node→sets index.
+///
+/// Set `i` (counted across the collection's whole lifetime, including
+/// [`RrCollection::extend`] calls) is sampled from its own RNG stream
+/// derived via [`stream_seed`]`(seed, i)`, so generation parallelizes
+/// across sets while staying bit-identical to a sequential build — and
+/// `generate(n)` followed by `extend(m)` equals `generate(n + m)`.
 #[derive(Debug, Clone)]
 pub struct RrCollection {
     n: usize,
@@ -30,7 +38,45 @@ pub struct RrCollection {
     /// Total number of edges examined during generation (work metric,
     /// reported by the sampling-efficiency experiments).
     edges_examined: usize,
-    rng: SmallRng,
+    /// Master seed; set `i` samples from `stream_seed(seed, i)`.
+    seed: u64,
+}
+
+/// Sample one RR set: reverse BFS from a uniform root over live-edge coin
+/// flips, all randomness drawn from the set's own `rng`.
+///
+/// `visited` is a caller-owned epoch buffer (`node_count` entries);
+/// membership in *this* set is `visited[u] == stamp`, so the buffer is
+/// reused across sets without clearing — per-set work stays proportional
+/// to the set, not to the graph.
+fn sample_rr_set(
+    g: &TopicGraph,
+    probs: &EdgeProbs,
+    mut rng: SmallRng,
+    visited: &mut [u64],
+    stamp: u64,
+) -> (Vec<u32>, usize) {
+    debug_assert_eq!(visited.len(), g.node_count());
+    let root = rng.random_range(0..g.node_count() as u32);
+    let mut queue: Vec<u32> = vec![root];
+    visited[root as usize] = stamp;
+    let mut edges_examined = 0usize;
+    let mut head = 0usize;
+    while head < queue.len() {
+        let v = NodeId(queue[head]);
+        head += 1;
+        for (u, e) in g.in_edges(v) {
+            edges_examined += 1;
+            if visited[u.index()] != stamp {
+                let p = probs.get(e);
+                if p > 0.0 && rng.random::<f32>() < p {
+                    visited[u.index()] = stamp;
+                    queue.push(u.0);
+                }
+            }
+        }
+    }
+    (queue, edges_examined)
 }
 
 impl RrCollection {
@@ -41,46 +87,54 @@ impl RrCollection {
             sets: Vec::with_capacity(count),
             node_to_sets: vec![Vec::new(); g.node_count()],
             edges_examined: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            seed,
         };
         c.extend(g, probs, count);
         c
     }
 
     /// Add `additional` RR sets (used by the OPIM doubling loop).
+    ///
+    /// Sets are sampled in parallel chunks (each set from its index-derived
+    /// stream, each chunk reusing one epoch-stamped visited buffer); the
+    /// inverted index is then merged sequentially in set order, so the
+    /// collection is independent of the chunk/thread count. Small batches
+    /// stay on the calling thread — `extend` also sits on the online query
+    /// path (naive/OPIM engines), where fan-out overhead would dominate.
     pub fn extend(&mut self, g: &TopicGraph, probs: &EdgeProbs, additional: usize) {
         assert_eq!(g.node_count(), self.n, "graph changed under the collection");
-        if self.n == 0 {
+        if self.n == 0 || additional == 0 {
             return;
         }
-        let mut visited = vec![false; self.n];
-        let mut queue: Vec<u32> = Vec::new();
-        for _ in 0..additional {
-            let root = self.rng.random_range(0..self.n as u32);
-            queue.clear();
-            queue.push(root);
-            visited[root as usize] = true;
-            let mut head = 0usize;
-            while head < queue.len() {
-                let v = NodeId(queue[head]);
-                head += 1;
-                for (u, e) in g.in_edges(v) {
-                    self.edges_examined += 1;
-                    if !visited[u.index()] {
-                        let p = probs.get(e);
-                        if p > 0.0 && self.rng.random::<f32>() < p {
-                            visited[u.index()] = true;
-                            queue.push(u.0);
-                        }
-                    }
-                }
-            }
+        /// Below this many sets per chunk, more chunks only buy overhead.
+        const MIN_SETS_PER_CHUNK: usize = 64;
+        let first = self.sets.len() as u64;
+        let chunks = rayon::current_num_threads()
+            .min(additional.div_ceil(MIN_SETS_PER_CHUNK))
+            .max(1);
+        let per_chunk = additional.div_ceil(chunks);
+        let sampled: Vec<Vec<(Vec<u32>, usize)>> = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * per_chunk;
+                let hi = ((c + 1) * per_chunk).min(additional);
+                let mut visited = vec![0u64; self.n];
+                (lo..hi)
+                    .map(|i| {
+                        let rng = SmallRng::seed_from_u64(stream_seed(self.seed, first + i as u64));
+                        // stamp i+1: nonzero, unique within this buffer
+                        sample_rr_set(g, probs, rng, &mut visited, i as u64 + 1)
+                    })
+                    .collect()
+            })
+            .collect();
+        for (members, edges) in sampled.into_iter().flatten() {
             let set_id = self.sets.len() as u32;
-            for &u in &queue {
-                visited[u as usize] = false;
+            self.edges_examined += edges;
+            for &u in &members {
                 self.node_to_sets[u as usize].push(set_id);
             }
-            self.sets.push(queue.clone());
+            self.sets.push(members);
         }
     }
 
@@ -142,8 +196,7 @@ impl RrCollection {
     /// Returns the seeds (selection order) and the number of RR sets they
     /// cover. Linear total work in `Σ|RR|` via coverage-count decrements.
     pub fn select_seeds(&self, k: usize) -> (Vec<NodeId>, usize) {
-        let mut cov_count: Vec<usize> =
-            self.node_to_sets.iter().map(Vec::len).collect();
+        let mut cov_count: Vec<usize> = self.node_to_sets.iter().map(Vec::len).collect();
         let mut covered = vec![false; self.sets.len()];
         let mut chosen = vec![false; self.n];
         let mut seeds = Vec::with_capacity(k);
@@ -197,7 +250,10 @@ pub struct RrOracle {
 impl RrOracle {
     /// Build an oracle over `count` freshly sampled RR sets.
     pub fn new(g: &TopicGraph, probs: &EdgeProbs, count: usize, seed: u64) -> Self {
-        RrOracle { rr: RrCollection::generate(g, probs, count, seed), calls: 0 }
+        RrOracle {
+            rr: RrCollection::generate(g, probs, count, seed),
+            calls: 0,
+        }
     }
 
     /// Wrap an existing collection.
@@ -368,6 +424,34 @@ mod tests {
         let (seeds, cov) = rr.select_seeds(3);
         assert!(seeds.is_empty());
         assert_eq!(cov, 0);
+    }
+
+    #[test]
+    fn generation_is_independent_of_thread_count() {
+        let (g, p) = star_half();
+        let seq = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let par = rayon::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap();
+        let a = seq.install(|| RrCollection::generate(&g, &p, 500, 42));
+        let b = par.install(|| RrCollection::generate(&g, &p, 500, 42));
+        assert_eq!(a.sets, b.sets);
+        assert_eq!(a.node_to_sets, b.node_to_sets);
+        assert_eq!(a.edges_examined(), b.edges_examined());
+    }
+
+    #[test]
+    fn extend_equals_one_shot_generation() {
+        let (g, p) = star_half();
+        let mut grown = RrCollection::generate(&g, &p, 120, 9);
+        grown.extend(&g, &p, 80);
+        let oneshot = RrCollection::generate(&g, &p, 200, 9);
+        assert_eq!(grown.sets, oneshot.sets);
+        assert_eq!(grown.edges_examined(), oneshot.edges_examined());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use octopus_graph::NodeId;
 use std::collections::HashMap;
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct TrieNode {
     children: HashMap<char, TrieNode>,
     /// Terminal payload: (user, score).
@@ -17,7 +17,7 @@ struct TrieNode {
 }
 
 /// Prefix index over user names.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Autocomplete {
     root: TrieNode,
     size: usize,
@@ -90,7 +90,9 @@ impl Autocomplete {
             }
         }
         found.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2).expect("finite scores").then(a.0.cmp(&b.0))
+            b.2.partial_cmp(&a.2)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
         });
         found.truncate(limit);
         found

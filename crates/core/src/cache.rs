@@ -53,11 +53,17 @@ impl QueryCache {
     /// # Panics
     /// Panics if `tolerance` is negative or not finite.
     pub fn new(capacity: usize, tolerance: f64) -> Self {
-        assert!(tolerance >= 0.0 && tolerance.is_finite(), "tolerance must be ≥ 0");
+        assert!(
+            tolerance >= 0.0 && tolerance.is_finite(),
+            "tolerance must be ≥ 0"
+        );
         QueryCache {
             capacity,
             tolerance,
-            inner: Mutex::new(Inner { entries: VecDeque::new(), stats: CacheStats::default() }),
+            inner: Mutex::new(Inner {
+                entries: VecDeque::new(),
+                stats: CacheStats::default(),
+            }),
         }
     }
 
@@ -145,7 +151,11 @@ mod tests {
     use octopus_graph::NodeId;
 
     fn result(tag: u32) -> KimResult {
-        KimResult { seeds: vec![NodeId(tag)], spread: tag as f64, stats: KimStats::default() }
+        KimResult {
+            seeds: vec![NodeId(tag)],
+            spread: tag as f64,
+            stats: KimStats::default(),
+        }
     }
 
     #[test]

@@ -10,16 +10,13 @@
 //! * [`Octopus::explore_paths`] — Scenario 3;
 //! * [`Octopus::autocomplete`] — name completion.
 
-use crate::autocomplete::Autocomplete;
 use crate::cache::{CacheStats, QueryCache};
 use crate::error::CoreError;
-use crate::kim::bounds::{
-    global_spread_cap, BoundKind, LocalGraphBound, NeighborhoodBound, PrecompBound, TrivialBound,
-};
-use crate::kim::topic_sample::{TopicSample, TopicSampleKim};
-use crate::kim::{BestEffortKim, KimAlgorithm, KimResult, MisKim, NaiveKim};
+use crate::kim::bounds::BoundKind;
+use crate::kim::{topic_sample, KimAlgorithm, KimResult, NaiveKim};
+use crate::offline::{self, OfflineArtifacts, StageTiming};
 use crate::paths::{explore, ExploreDirection, PathExploration};
-use crate::piks::{GreedyPiks, InfluencerIndex, PiksConfig, PiksResult};
+use crate::piks::{GreedyPiks, PiksConfig, PiksResult};
 use crate::Result;
 use octopus_graph::{NodeId, TopicGraph};
 use octopus_topics::radar::{keyword_radar, RadarChart};
@@ -167,87 +164,65 @@ pub struct SystemReport {
     pub cached_queries: usize,
     /// Global MIA spread cap (the NB/LG bound constant).
     pub spread_cap: f64,
+    /// Per-stage wall-clock timings of the offline build pipeline, in
+    /// [`offline::STAGE_ORDER`].
+    pub stage_timings: Vec<StageTiming>,
+    /// Wall-clock duration of the whole offline build (stages overlap, so
+    /// this can be less than the timing sum).
+    pub offline_build_total: Duration,
 }
 
 /// The OCTOPUS engine.
+///
+/// `Octopus` is `Send + Sync`: all offline structures are immutable after
+/// construction and the query cache is internally synchronized, so one
+/// instance behind an `Arc` serves concurrent query threads.
 pub struct Octopus {
     graph: TopicGraph,
     model: TopicModel,
     config: OctopusConfig,
-    // offline state
-    cap: f64,
-    pb: Option<PrecompBound>,
-    mis: Option<MisKim>,
-    samples: Vec<TopicSample>,
-    piks_index: InfluencerIndex,
-    names: Autocomplete,
+    /// Everything the offline pipeline precomputed (see [`offline::build`]).
+    offline: OfflineArtifacts,
     user_keywords: HashMap<NodeId, Vec<KeywordId>>,
     cache: QueryCache,
 }
 
+// One engine instance must be shareable across query threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Octopus>();
+};
+
 impl Octopus {
-    /// Build the engine: validates graph/model agreement and runs every
-    /// offline phase the configured engines need.
+    /// Build the engine: validates graph/model agreement, then runs the
+    /// staged offline pipeline ([`offline::build`]) for every phase the
+    /// configured engines need.
     pub fn new(graph: TopicGraph, model: TopicModel, config: OctopusConfig) -> Result<Self> {
         if graph.num_topics() != model.num_topics() {
-            return Err(CoreError::Topic(octopus_topics::TopicError::ShapeMismatch {
-                what: "graph vs model topic count",
-                expected: graph.num_topics(),
-                got: model.num_topics(),
-            }));
+            return Err(CoreError::Topic(
+                octopus_topics::TopicError::ShapeMismatch {
+                    what: "graph vs model topic count",
+                    expected: graph.num_topics(),
+                    got: model.num_topics(),
+                },
+            ));
         }
-        let cap = global_spread_cap(&graph, config.mia_theta);
-        let needs_pb = matches!(
-            config.kim,
-            KimEngineChoice::BestEffort(BoundKind::Precomputation)
-                | KimEngineChoice::TopicSample { bound: BoundKind::Precomputation, .. }
-        );
-        let pb = needs_pb.then(|| PrecompBound::build(&graph, config.mia_theta, config.pb_safety));
-        let mis = matches!(config.kim, KimEngineChoice::Mis).then(|| {
-            MisKim::build(&graph, config.k_max, config.mis_rr_per_topic, config.seed)
-        });
-        let samples = if let KimEngineChoice::TopicSample { bound, extra_samples, .. } = config.kim
-        {
-            // precompute seed sets with the same inner engine queries will use
-            let gammas = TopicSampleKim::<NeighborhoodBound>::sample_gammas(
-                graph.num_topics(),
-                extra_samples,
-                0.3,
-                config.seed ^ 0x7A11,
-            );
-            gammas
-                .into_iter()
-                .map(|gamma| {
-                    let res = Self::run_best_effort(
-                        &graph, bound, &pb, cap, &config, &gamma, config.k_max, &[],
-                    );
-                    TopicSample { gamma, seeds: res.seeds, spread: res.spread }
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let piks_index =
-            InfluencerIndex::build(&graph, config.piks_index_size, config.seed ^ 0x1DE);
-        let names = Autocomplete::build(
-            graph
-                .nodes()
-                .filter_map(|u| graph.name(u).map(|n| (n, u, graph.out_degree(u) as f64))),
-        );
+        let offline = offline::build(&graph, &config);
         let cache = QueryCache::new(config.cache_capacity, config.cache_tolerance);
         Ok(Octopus {
             graph,
             model,
             config,
-            cap,
-            pb,
-            mis,
-            samples,
-            piks_index,
-            names,
+            offline,
             user_keywords: HashMap::new(),
             cache,
         })
+    }
+
+    /// The artifacts the offline pipeline produced (sizes, tables, per-stage
+    /// timings).
+    pub fn offline_artifacts(&self) -> &OfflineArtifacts {
+        &self.offline
     }
 
     /// Attach per-user keyword candidates (from the action log: "keywords
@@ -273,41 +248,6 @@ impl Octopus {
         &self.config
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn run_best_effort(
-        graph: &TopicGraph,
-        bound: BoundKind,
-        pb: &Option<PrecompBound>,
-        cap: f64,
-        config: &OctopusConfig,
-        gamma: &TopicDistribution,
-        k: usize,
-        warm: &[NodeId],
-    ) -> KimResult {
-        match bound {
-            BoundKind::Precomputation => {
-                let table = pb.as_ref().expect("PB table built at construction");
-                BestEffortKim::new(graph, table, config.mia_theta).select_warm(gamma, k, warm)
-            }
-            BoundKind::Neighborhood => {
-                BestEffortKim::new(graph, NeighborhoodBound::new(graph, cap), config.mia_theta)
-                    .select_warm(gamma, k, warm)
-            }
-            BoundKind::LocalGraph => BestEffortKim::new(
-                graph,
-                LocalGraphBound::new(graph, config.lg_depth, cap, config.lg_safety),
-                config.mia_theta,
-            )
-            .select_warm(gamma, k, warm),
-            BoundKind::Trivial => BestEffortKim::new(
-                graph,
-                TrivialBound::new(graph.node_count()),
-                config.mia_theta,
-            )
-            .select_warm(gamma, k, warm),
-        }
-    }
-
     /// Online query-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -320,12 +260,14 @@ impl Octopus {
             edges: self.graph.edge_count(),
             topics: self.graph.num_topics(),
             keywords: self.model.vocab_size(),
-            piks_worlds: self.piks_index.len(),
-            piks_stored_nodes: self.piks_index.stats().stored_nodes,
-            pb_tables: self.pb.is_some(),
-            topic_samples: self.samples.len(),
+            piks_worlds: self.offline.piks_index.len(),
+            piks_stored_nodes: self.offline.piks_index.stats().stored_nodes,
+            pb_tables: self.offline.pb.is_some(),
+            topic_samples: self.offline.samples.len(),
             cached_queries: self.cache.len(),
-            spread_cap: self.cap,
+            spread_cap: self.offline.cap,
+            stage_timings: self.offline.timings.clone(),
+            offline_build_total: self.offline.build_total,
         }
     }
 
@@ -372,52 +314,58 @@ impl Octopus {
         }
         let res = match self.config.kim {
             KimEngineChoice::Naive => NaiveKim::new(&self.graph).select(gamma, k),
-            KimEngineChoice::Mis => {
-                self.mis.as_ref().expect("MIS built at construction").select(gamma, k)
-            }
-            KimEngineChoice::BestEffort(bound) => Self::run_best_effort(
+            KimEngineChoice::Mis => self
+                .offline
+                .mis
+                .as_ref()
+                .expect("MIS built at construction")
+                .select(gamma, k),
+            KimEngineChoice::BestEffort(bound) => offline::run_best_effort(
                 &self.graph,
                 bound,
-                &self.pb,
-                self.cap,
+                &self.offline.pb,
+                self.offline.cap,
                 &self.config,
                 gamma,
                 k,
                 &[],
             ),
-            KimEngineChoice::TopicSample { bound, direct_eps, .. } => {
-                // nearest-sample logic, re-wrapped from the stored samples
-                let inner = match bound {
-                    BoundKind::Neighborhood => BestEffortKim::new(
-                        &self.graph,
-                        NeighborhoodBound::new(&self.graph, self.cap),
-                        self.config.mia_theta,
-                    ),
-                    // PB/LG inner engines are dispatched through run_best_effort
-                    // below instead; NB is only needed for the direct-answer path.
-                    _ => BestEffortKim::new(
-                        &self.graph,
-                        NeighborhoodBound::new(&self.graph, self.cap),
-                        self.config.mia_theta,
-                    ),
-                };
-                let ts = TopicSampleKim::from_prebuilt(inner, self.samples.clone(), direct_eps);
-                let (idx, dist) = ts.nearest_sample(gamma);
-                if dist <= direct_eps && ts.samples()[idx].seeds.len() >= k {
-                    ts.select(gamma, k)
-                } else {
-                    let warm: Vec<NodeId> =
-                        ts.samples()[idx].seeds.iter().copied().take(k.max(1)).collect();
-                    Self::run_best_effort(
+            KimEngineChoice::TopicSample {
+                bound, direct_eps, ..
+            } => {
+                // nearest-sample lookup against the stored samples (borrowed
+                // — the samples are immutable offline artifacts, so the
+                // query path never clones them); direct-answer rule shared
+                // with the TopicSampleKim engine via the topic_sample helpers
+                let samples = &self.offline.samples;
+                match topic_sample::nearest_sample(samples, gamma) {
+                    Some((idx, dist)) => {
+                        topic_sample::direct_answer(samples, idx, dist, direct_eps, k)
+                            .unwrap_or_else(|| {
+                                let warm: Vec<NodeId> =
+                                    samples[idx].seeds.iter().copied().take(k.max(1)).collect();
+                                offline::run_best_effort(
+                                    &self.graph,
+                                    bound,
+                                    &self.offline.pb,
+                                    self.offline.cap,
+                                    &self.config,
+                                    gamma,
+                                    k,
+                                    &warm,
+                                )
+                            })
+                    }
+                    None => offline::run_best_effort(
                         &self.graph,
                         bound,
-                        &self.pb,
-                        self.cap,
+                        &self.offline.pb,
+                        self.offline.cap,
                         &self.config,
                         gamma,
                         k,
-                        &warm,
-                    )
+                        &[],
+                    ),
                 }
             }
         };
@@ -449,7 +397,14 @@ impl Octopus {
                 rank,
             })
             .collect();
-        Ok(KimAnswer { keywords, unknown, gamma, seeds, result, elapsed })
+        Ok(KimAnswer {
+            keywords,
+            unknown,
+            gamma,
+            seeds,
+            result,
+            elapsed,
+        })
     }
 
     /// Keyword candidates for a user: log-provided if available, otherwise
@@ -467,8 +422,11 @@ impl Octopus {
                 mass[z.index()] += p as f64;
             }
         }
-        let mut topics: Vec<(usize, f64)> =
-            mass.into_iter().enumerate().filter(|&(_, m)| m > 0.0).collect();
+        let mut topics: Vec<(usize, f64)> = mass
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, m)| m > 0.0)
+            .collect();
         topics.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite mass"));
         let mut out = Vec::new();
         for (z, _) in topics.into_iter().take(2) {
@@ -484,6 +442,7 @@ impl Octopus {
     /// Scenario 2: personalized influential keyword suggestion by user name.
     pub fn suggest_keywords(&self, user: &str, k: usize) -> Result<SuggestAnswer> {
         let node = self
+            .offline
             .names
             .lookup(user)
             .or_else(|| self.graph.node_by_name(user))
@@ -496,8 +455,12 @@ impl Octopus {
         self.graph.check_node(user)?;
         let candidates = self.keyword_candidates(user);
         let start = Instant::now();
-        let engine =
-            GreedyPiks::new(&self.graph, &self.model, &self.piks_index, self.config.piks.clone());
+        let engine = GreedyPiks::new(
+            &self.graph,
+            &self.model,
+            &self.offline.piks_index,
+            self.config.piks.clone(),
+        );
         let result = engine.suggest(user, &candidates, k)?;
         let elapsed = start.elapsed();
         let words = result
@@ -530,6 +493,7 @@ impl Octopus {
         query: Option<&str>,
     ) -> Result<PathExploration> {
         let node = self
+            .offline
             .names
             .lookup(user)
             .or_else(|| self.graph.node_by_name(user))
@@ -543,7 +507,9 @@ impl Octopus {
                 self.model.infer(&ws)?
             }
             None => TopicDistribution::from_weights(
-                (0..self.model.num_topics()).map(|z| self.model.topic_prior(z)).collect(),
+                (0..self.model.num_topics())
+                    .map(|z| self.model.topic_prior(z))
+                    .collect(),
             )
             .map_err(CoreError::Topic)?,
         };
@@ -559,7 +525,7 @@ impl Octopus {
 
     /// Name auto-completion.
     pub fn autocomplete(&self, prefix: &str, limit: usize) -> Vec<(NodeId, String, f64)> {
-        self.names.complete(prefix, limit)
+        self.offline.names.complete(prefix, limit)
     }
 
     /// Radar chart for one keyword (UI keyword interpretation).
@@ -575,9 +541,7 @@ impl Octopus {
         let related = octopus_topics::related::related_keywords(&self.model, w, k)?;
         related
             .into_iter()
-            .map(|r| {
-                Ok((self.model.vocab().word(r.keyword)?.to_string(), r.score))
-            })
+            .map(|r| Ok((self.model.vocab().word(r.keyword)?.to_string(), r.score)))
             .collect()
     }
 }
@@ -653,7 +617,10 @@ mod tests {
         let err = octo.find_influencers("quantum blockchain", 3).unwrap_err();
         match err {
             CoreError::NoKnownKeywords { unknown } => {
-                assert_eq!(unknown, vec!["quantum".to_string(), "blockchain".to_string()]);
+                assert_eq!(
+                    unknown,
+                    vec!["quantum".to_string(), "blockchain".to_string()]
+                );
             }
             other => panic!("unexpected error {other:?}"),
         }
@@ -664,7 +631,9 @@ mod tests {
         let octo = build_engine(KimEngineChoice::Mis);
         let ans = octo.suggest_keywords("jiawei han", 2).unwrap();
         assert!(
-            ans.words.iter().any(|w| w == "data mining" || w == "frequent patterns"),
+            ans.words
+                .iter()
+                .any(|w| w == "data mining" || w == "frequent patterns"),
             "db hub's selling points must be db keywords: {:?}",
             ans.words
         );
@@ -677,16 +646,26 @@ mod tests {
     fn scenario3_path_exploration() {
         let octo = build_engine(KimEngineChoice::Mis);
         let ex = octo
-            .explore_paths("jiawei han", ExploreDirection::Influences, Some("data mining"))
+            .explore_paths(
+                "jiawei han",
+                ExploreDirection::Influences,
+                Some("data mining"),
+            )
             .unwrap();
         assert_eq!(ex.root_name, "jiawei han");
         assert_eq!(ex.reached, 6, "hub + 5 followers");
         assert!(ex.d3_json.contains("db-follower-0"));
         // reverse direction from a follower finds the hub
         let ex = octo
-            .explore_paths("db-follower-1", ExploreDirection::InfluencedBy, Some("data mining"))
+            .explore_paths(
+                "db-follower-1",
+                ExploreDirection::InfluencedBy,
+                Some("data mining"),
+            )
             .unwrap();
-        assert!(ex.tree.contains(octo.graph().node_by_name("jiawei han").unwrap()));
+        assert!(ex
+            .tree
+            .contains(octo.graph().node_by_name("jiawei han").unwrap()));
     }
 
     #[test]
@@ -750,6 +729,9 @@ mod tests {
         assert_eq!(r.topic_samples, 0);
         assert!(r.piks_worlds > 0);
         assert!(r.spread_cap >= 1.0);
+        let stages: Vec<&str> = r.stage_timings.iter().map(|t| t.stage).collect();
+        assert_eq!(stages, crate::offline::STAGE_ORDER.to_vec());
+        assert!(r.offline_build_total > Duration::ZERO);
         let _ = octo.find_influencers("data mining", 2).unwrap();
         assert!(octo.system_report().cached_queries > 0);
     }
@@ -761,7 +743,10 @@ mod tests {
         let curve = octo.influence_curve(&gamma, 4).unwrap();
         assert_eq!(curve.len(), 4);
         for w in curve.windows(2) {
-            assert!(w[1].1 >= w[0].1 - 1e-9, "curve must be non-decreasing: {curve:?}");
+            assert!(
+                w[1].1 >= w[0].1 - 1e-9,
+                "curve must be non-decreasing: {curve:?}"
+            );
         }
         // the full-k point matches the engine's own answer
         let full = octo.find_influencers_gamma(&gamma, 4).unwrap();
@@ -773,7 +758,10 @@ mod tests {
     fn related_keywords_stay_topical() {
         let octo = build_engine(KimEngineChoice::Mis);
         let rel = octo.related_keywords("data mining", 2).unwrap();
-        assert_eq!(rel[0].0, "frequent patterns", "db keyword relates to db keyword");
+        assert_eq!(
+            rel[0].0, "frequent patterns",
+            "db keyword relates to db keyword"
+        );
         assert!(octo.related_keywords("nonexistent", 2).is_err());
     }
 
@@ -783,7 +771,10 @@ mod tests {
         let a = octo.find_influencers("data mining", 2).unwrap();
         assert!(!a.result.stats.answered_from_cache);
         let b = octo.find_influencers("data mining", 2).unwrap();
-        assert!(b.result.stats.answered_from_cache, "identical repeat must hit");
+        assert!(
+            b.result.stats.answered_from_cache,
+            "identical repeat must hit"
+        );
         assert_eq!(
             a.seeds.iter().map(|s| s.node).collect::<Vec<_>>(),
             b.seeds.iter().map(|s| s.node).collect::<Vec<_>>()
@@ -801,7 +792,9 @@ mod tests {
         // "data mining em algorithm" spans both topics: the two hubs beat
         // any hub+follower combination (the Scenario 1 diversity claim)
         let octo = build_engine(KimEngineChoice::BestEffort(BoundKind::Neighborhood));
-        let ans = octo.find_influencers("data mining em algorithm", 2).unwrap();
+        let ans = octo
+            .find_influencers("data mining em algorithm", 2)
+            .unwrap();
         let mut names: Vec<&str> = ans.seeds.iter().map(|s| s.name.as_str()).collect();
         names.sort();
         assert_eq!(names, vec!["jiawei han", "michael jordan"]);

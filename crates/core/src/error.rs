@@ -34,7 +34,10 @@ impl fmt::Display for CoreError {
             CoreError::UnknownUser(name) => write!(f, "unknown user {name:?}"),
             CoreError::ZeroK => write!(f, "k must be at least 1"),
             CoreError::NoCandidates { user } => {
-                write!(f, "user {user:?} has no keyword candidates (no authored items)")
+                write!(
+                    f,
+                    "user {user:?} has no keyword candidates (no authored items)"
+                )
             }
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Topic(e) => write!(f, "topic error: {e}"),
@@ -62,7 +65,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CoreError::NoKnownKeywords { unknown: vec!["blorp".into()] };
+        let e = CoreError::NoKnownKeywords {
+            unknown: vec!["blorp".into()],
+        };
         assert!(e.to_string().contains("blorp"));
         assert!(CoreError::ZeroK.to_string().contains("at least 1"));
         let e: CoreError = octopus_topics::TopicError::EmptyKeywordSet.into();

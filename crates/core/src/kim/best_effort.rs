@@ -77,7 +77,11 @@ impl<'g, B: BoundEstimator> BestEffortKim<'g, B> {
     /// Create the engine. `theta` is the MIA pruning threshold of the exact
     /// evaluator (1/320 is the classic PMIA default).
     pub fn new(graph: &'g TopicGraph, bound: B, theta: f64) -> Self {
-        BestEffortKim { graph, bound, theta }
+        BestEffortKim {
+            graph,
+            bound,
+            theta,
+        }
     }
 
     /// The bound estimator in use.
@@ -88,12 +92,7 @@ impl<'g, B: BoundEstimator> BestEffortKim<'g, B> {
     /// Run the selection with an optional warm-start candidate list whose
     /// members are exactly evaluated up front (used by the topic-sample
     /// engine to inject a strong lower bound before any pruning decisions).
-    pub fn select_warm(
-        &self,
-        gamma: &TopicDistribution,
-        k: usize,
-        warm: &[NodeId],
-    ) -> KimResult {
+    pub fn select_warm(&self, gamma: &TopicDistribution, k: usize, warm: &[NodeId]) -> KimResult {
         let probs = self
             .graph
             .materialize(gamma.as_slice())
@@ -108,7 +107,11 @@ impl<'g, B: BoundEstimator> BestEffortKim<'g, B> {
             let s = mia_spread_set(self.graph, &probs, &[u], self.theta);
             stats.exact_evaluations += 1;
             exactly_evaluated[u.index()] = true;
-            heap.push(Entry { value: s, node: u, state: State::Exact(0) });
+            heap.push(Entry {
+                value: s,
+                node: u,
+                state: State::Exact(0),
+            });
         }
         // everyone else enters with a bound
         for u in self.graph.nodes() {
@@ -117,7 +120,11 @@ impl<'g, B: BoundEstimator> BestEffortKim<'g, B> {
             }
             let b = self.bound.upper_bound(u, gamma);
             stats.bound_evaluations += 1;
-            heap.push(Entry { value: b, node: u, state: State::Bound });
+            heap.push(Entry {
+                value: b,
+                node: u,
+                state: State::Bound,
+            });
         }
 
         let mut seeds: Vec<NodeId> = Vec::with_capacity(k);
@@ -136,7 +143,11 @@ impl<'g, B: BoundEstimator> BestEffortKim<'g, B> {
                     let s = mia_spread_set(self.graph, &probs, &[top.node], self.theta);
                     stats.exact_evaluations += 1;
                     exactly_evaluated[top.node.index()] = true;
-                    heap.push(Entry { value: s, node: top.node, state: State::Exact(0) });
+                    heap.push(Entry {
+                        value: s,
+                        node: top.node,
+                        state: State::Exact(0),
+                    });
                 }
                 State::Exact(round) if round == seeds.len() => {
                     seeds.push(top.node);
@@ -150,18 +161,25 @@ impl<'g, B: BoundEstimator> BestEffortKim<'g, B> {
                     let s = mia_spread_set(self.graph, &probs, &with, self.theta);
                     stats.exact_evaluations += 1;
                     let gain = (s - current_spread).max(0.0);
-                    heap.push(Entry { value: gain, node: top.node, state: State::Exact(seeds.len()) });
+                    heap.push(Entry {
+                        value: gain,
+                        node: top.node,
+                        state: State::Exact(seeds.len()),
+                    });
                 }
             }
         }
-        stats.pruned_candidates =
-            n - exactly_evaluated.iter().filter(|&&b| b).count();
+        stats.pruned_candidates = n - exactly_evaluated.iter().filter(|&&b| b).count();
         let spread = if seeds.is_empty() {
             0.0
         } else {
             mia_spread_set(self.graph, &probs, &seeds, self.theta)
         };
-        KimResult { seeds, spread, stats }
+        KimResult {
+            seeds,
+            spread,
+            stats,
+        }
     }
 }
 
@@ -178,9 +196,7 @@ impl<B: BoundEstimator> KimAlgorithm for BestEffortKim<'_, B> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kim::bounds::{
-        global_spread_cap, LocalGraphBound, NeighborhoodBound, PrecompBound,
-    };
+    use crate::kim::bounds::{global_spread_cap, LocalGraphBound, NeighborhoodBound, PrecompBound};
     use crate::kim::testutil::two_topic_hubs;
 
     const THETA: f64 = 1.0 / 320.0;
@@ -218,12 +234,11 @@ mod tests {
         let g = two_topic_hubs();
         let cap = global_spread_cap(&g, THETA);
         let gamma = TopicDistribution::uniform(2);
-        let nb = BestEffortKim::new(&g, NeighborhoodBound::new(&g, cap), THETA)
-            .select(&gamma, 2);
-        let pb = BestEffortKim::new(&g, PrecompBound::build(&g, THETA, 1.2), THETA)
-            .select(&gamma, 2);
-        let lg = BestEffortKim::new(&g, LocalGraphBound::new(&g, 2, cap, 1.1), THETA)
-            .select(&gamma, 2);
+        let nb = BestEffortKim::new(&g, NeighborhoodBound::new(&g, cap), THETA).select(&gamma, 2);
+        let pb =
+            BestEffortKim::new(&g, PrecompBound::build(&g, THETA, 1.2), THETA).select(&gamma, 2);
+        let lg =
+            BestEffortKim::new(&g, LocalGraphBound::new(&g, 2, cap, 1.1), THETA).select(&gamma, 2);
         assert_eq!(nb.seeds, pb.seeds);
         assert_eq!(nb.seeds, lg.seeds);
         assert!((nb.spread - pb.spread).abs() < 1e-9);

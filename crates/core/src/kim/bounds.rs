@@ -21,6 +21,7 @@
 use octopus_graph::{NodeId, TopicGraph};
 use octopus_mia::mioa_spread;
 use octopus_topics::TopicDistribution;
+use rayon::prelude::*;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -72,9 +73,8 @@ impl<B: BoundEstimator + ?Sized> BoundEstimator for &B {
 /// max-probability graph (a query-independent constant shared by NB/LG).
 pub fn global_spread_cap(graph: &TopicGraph, theta: f64) -> f64 {
     // materialize the per-edge maxima as a fake single-query table
-    let max_probs = octopus_graph::EdgeProbs::from_vec(
-        graph.edges().map(|e| graph.edge_prob_max(e)).collect(),
-    );
+    let max_probs =
+        octopus_graph::EdgeProbs::from_vec(graph.edges().map(|e| graph.edge_prob_max(e)).collect());
     graph
         .nodes()
         .map(|u| mioa_spread_with(graph, &max_probs, u, theta))
@@ -108,7 +108,9 @@ pub struct TrivialBound {
 impl TrivialBound {
     /// Bound every user by `node_count`.
     pub fn new(node_count: usize) -> Self {
-        TrivialBound { n: node_count as f64 }
+        TrivialBound {
+            n: node_count as f64,
+        }
     }
 }
 
@@ -137,7 +139,10 @@ pub struct NeighborhoodBound<'g> {
 impl<'g> NeighborhoodBound<'g> {
     /// Build with a precomputed global cap (see [`global_spread_cap`]).
     pub fn new(graph: &'g TopicGraph, cap: f64) -> Self {
-        NeighborhoodBound { graph, cap: cap.max(1.0) }
+        NeighborhoodBound {
+            graph,
+            cap: cap.max(1.0),
+        }
     }
 }
 
@@ -169,7 +174,7 @@ impl BoundEstimator for NeighborhoodBound<'_> {
 // ---------------------------------------------------------------------------
 
 /// Per-topic offline spread tables: `bound(u|γ) = safety · Σ_z γ_z σ̂_z(u)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrecompBound {
     /// `sigma[z][u]` = MIA spread of `u` under pure topic `z`.
     sigma: Vec<Vec<f64>>,
@@ -182,14 +187,22 @@ impl PrecompBound {
     /// `theta` is the MIA pruning threshold for the offline builds; `safety`
     /// inflates the aggregated bound to absorb mixed-topic edges (1.2 is a
     /// good default — see experiment E4 for the measured violation rate).
+    ///
+    /// The per-topic tables are deterministic MIA computations and build in
+    /// parallel across topics.
     pub fn build(graph: &TopicGraph, theta: f64, safety: f64) -> Self {
         let z_count = graph.num_topics();
-        let mut sigma = Vec::with_capacity(z_count);
-        for z in 0..z_count {
-            let gamma = TopicDistribution::pure(z_count, z);
-            let probs = graph.materialize(gamma.as_slice()).expect("valid corner");
-            sigma.push(graph.nodes().map(|u| mioa_spread(graph, &probs, u, theta)).collect());
-        }
+        let sigma: Vec<Vec<f64>> = (0..z_count)
+            .into_par_iter()
+            .map(|z| {
+                let gamma = TopicDistribution::pure(z_count, z);
+                let probs = graph.materialize(gamma.as_slice()).expect("valid corner");
+                graph
+                    .nodes()
+                    .map(|u| mioa_spread(graph, &probs, u, theta))
+                    .collect()
+            })
+            .collect();
         PrecompBound { sigma, safety }
     }
 
@@ -201,8 +214,9 @@ impl PrecompBound {
 
 impl BoundEstimator for PrecompBound {
     fn upper_bound(&self, u: NodeId, gamma: &TopicDistribution) -> f64 {
-        let agg: f64 =
-            (0..self.sigma.len()).map(|z| gamma[z] * self.sigma[z][u.index()]).sum();
+        let agg: f64 = (0..self.sigma.len())
+            .map(|z| gamma[z] * self.sigma[z][u.index()])
+            .sum();
         // every spread includes the node itself (mass 1); the convex part is
         // the remainder, so keep the "+1" exact and scale only the rest
         (1.0 + self.safety * (agg - 1.0)).max(1.0)
@@ -252,7 +266,12 @@ impl<'g> LocalGraphBound<'g> {
     /// Build with exploration `depth`, global `cap` and `safety` factor.
     pub fn new(graph: &'g TopicGraph, depth: u32, cap: f64, safety: f64) -> Self {
         assert!(depth >= 1, "local graph needs at least one hop");
-        LocalGraphBound { graph, depth, cap: cap.max(1.0), safety }
+        LocalGraphBound {
+            graph,
+            depth,
+            cap: cap.max(1.0),
+            safety,
+        }
     }
 }
 
@@ -264,7 +283,11 @@ impl BoundEstimator for LocalGraphBound<'_> {
         let mut settled: std::collections::HashMap<NodeId, (f64, u32)> =
             std::collections::HashMap::new();
         let mut heap = BinaryHeap::new();
-        heap.push(Hop { prob: 1.0, node: u, depth: 0 });
+        heap.push(Hop {
+            prob: 1.0,
+            node: u,
+            depth: 0,
+        });
         best.insert(u, 1.0);
         while let Some(h) = heap.pop() {
             if settled.contains_key(&h.node) {
@@ -285,7 +308,11 @@ impl BoundEstimator for LocalGraphBound<'_> {
                 let entry = best.entry(v).or_insert(0.0);
                 if p > *entry {
                     *entry = p;
-                    heap.push(Hop { prob: p, node: v, depth: h.depth + 1 });
+                    heap.push(Hop {
+                        prob: p,
+                        node: v,
+                        depth: h.depth + 1,
+                    });
                 }
             }
         }
@@ -331,7 +358,10 @@ mod tests {
             for u in g.nodes() {
                 let b = nb.upper_bound(u, &gamma);
                 let s = exact(&g, u, &gamma);
-                assert!(b >= s - 1e-9, "NB violated at {u:?}: bound {b} < spread {s}");
+                assert!(
+                    b >= s - 1e-9,
+                    "NB violated at {u:?}: bound {b} < spread {s}"
+                );
             }
         }
     }
@@ -346,7 +376,10 @@ mod tests {
             for u in g.nodes() {
                 let b = pb.upper_bound(u, &gamma);
                 let s = exact(&g, u, &gamma);
-                assert!(b >= s - 1e-9, "PB violated at {u:?}: bound {b} < spread {s}");
+                assert!(
+                    b >= s - 1e-9,
+                    "PB violated at {u:?}: bound {b} < spread {s}"
+                );
             }
         }
     }
@@ -360,7 +393,10 @@ mod tests {
         for u in g.nodes() {
             let b = lg.upper_bound(u, &gamma);
             let s = exact(&g, u, &gamma);
-            assert!(b >= s - 1e-9, "LG violated at {u:?}: bound {b} < spread {s}");
+            assert!(
+                b >= s - 1e-9,
+                "LG violated at {u:?}: bound {b} < spread {s}"
+            );
         }
     }
 
@@ -385,7 +421,10 @@ mod tests {
         let b1 = pb.upper_bound(u, &TopicDistribution::pure(2, 1));
         let mix = pb.upper_bound(u, &TopicDistribution::uniform(2));
         assert!((mix - 0.5 * (b0 + b1)).abs() < 1e-9);
-        assert!((pb.topic_spread(u, 0) - b0).abs() < 1e-9, "safety=1 corner equals table");
+        assert!(
+            (pb.topic_spread(u, 0) - b0).abs() < 1e-9,
+            "safety=1 corner equals table"
+        );
     }
 
     #[test]

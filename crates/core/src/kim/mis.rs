@@ -10,13 +10,14 @@
 //! microseconds with near-greedy quality — experiment E4 quantifies the gap.
 
 use super::{KimAlgorithm, KimResult, KimStats};
-use octopus_cascade::{celf_select, RrOracle};
+use octopus_cascade::{celf_select, stream_seed, RrOracle};
 use octopus_graph::{NodeId, TopicGraph};
 use octopus_topics::TopicDistribution;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// The MIS engine: per-topic CELF marginal gains, aggregated at query time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MisKim {
     /// `gains[z]` maps user → marginal gain in topic `z`'s CELF run.
     gains: Vec<HashMap<NodeId, f64>>,
@@ -31,27 +32,40 @@ impl MisKim {
     /// * `k_max` — deepest seed set a query may ask for (`k ≤ k_max`);
     /// * `rr_per_topic` — RR sets per pure-topic CELF run;
     /// * `seed` — sampling seed.
+    ///
+    /// The per-topic CELF runs are independent and execute in parallel;
+    /// topic `z` samples from the stream `stream_seed(seed, z)`, so the
+    /// tables do not depend on the thread count.
     pub fn build(graph: &TopicGraph, k_max: usize, rr_per_topic: usize, seed: u64) -> Self {
         let z_count = graph.num_topics();
-        let mut gains: Vec<HashMap<NodeId, f64>> = Vec::with_capacity(z_count);
-        let mut candidate_set: Vec<NodeId> = Vec::new();
-        for z in 0..z_count {
-            let gamma = TopicDistribution::pure(z_count, z);
-            let probs = graph.materialize(gamma.as_slice()).expect("valid corner gamma");
-            let mut oracle =
-                RrOracle::new(graph, &probs, rr_per_topic, seed ^ (z as u64) << 32);
-            let res = celf_select(&mut oracle, k_max);
-            let mut table = HashMap::with_capacity(res.seeds.len());
-            for (u, g) in res.seeds.iter().zip(res.gains.iter()) {
-                table.insert(*u, *g);
-                if !candidate_set.contains(u) {
-                    candidate_set.push(*u);
-                }
-            }
-            gains.push(table);
-        }
+        let gains: Vec<HashMap<NodeId, f64>> = (0..z_count)
+            .into_par_iter()
+            .map(|z| {
+                let gamma = TopicDistribution::pure(z_count, z);
+                let probs = graph
+                    .materialize(gamma.as_slice())
+                    .expect("valid corner gamma");
+                let mut oracle =
+                    RrOracle::new(graph, &probs, rr_per_topic, stream_seed(seed, z as u64));
+                let res = celf_select(&mut oracle, k_max);
+                res.seeds
+                    .iter()
+                    .copied()
+                    .zip(res.gains.iter().copied())
+                    .collect()
+            })
+            .collect();
+        let mut candidate_set: Vec<NodeId> = gains
+            .iter()
+            .flat_map(|table| table.keys().copied())
+            .collect();
         candidate_set.sort();
-        MisKim { gains, candidates: candidate_set, num_topics: z_count }
+        candidate_set.dedup();
+        MisKim {
+            gains,
+            candidates: candidate_set,
+            num_topics: z_count,
+        }
     }
 
     /// Users appearing in at least one per-topic seed table.
@@ -69,9 +83,16 @@ impl MisKim {
 
 impl KimAlgorithm for MisKim {
     fn select(&self, gamma: &TopicDistribution, k: usize) -> KimResult {
-        let mut scored: Vec<(NodeId, f64)> =
-            self.candidates.iter().map(|&u| (u, self.score(u, gamma))).collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        let mut scored: Vec<(NodeId, f64)> = self
+            .candidates
+            .iter()
+            .map(|&u| (u, self.score(u, gamma)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
         scored.truncate(k);
         let spread = scored.iter().map(|&(_, s)| s).sum();
         KimResult {
@@ -131,7 +152,11 @@ mod tests {
         let m = engine();
         let skew0 = TopicDistribution::new(vec![0.9, 0.1]).unwrap();
         let res = m.select(&skew0, 2);
-        assert_eq!(res.seeds[0], NodeId(0), "topic-0-heavy query ranks hub 0 first");
+        assert_eq!(
+            res.seeds[0],
+            NodeId(0),
+            "topic-0-heavy query ranks hub 0 first"
+        );
         let skew1 = TopicDistribution::new(vec![0.1, 0.9]).unwrap();
         let res = m.select(&skew1, 2);
         assert_eq!(res.seeds[0], NodeId(1));

@@ -92,8 +92,10 @@ pub(crate) mod testutil {
         for v in 7..=11u32 {
             b.add_edge(NodeId(1), NodeId(v), &[(1, 0.8)]).unwrap();
         }
-        b.add_edge(NodeId(12), NodeId(2), &[(0, 0.3), (1, 0.3)]).unwrap();
-        b.add_edge(NodeId(12), NodeId(7), &[(0, 0.3), (1, 0.3)]).unwrap();
+        b.add_edge(NodeId(12), NodeId(2), &[(0, 0.3), (1, 0.3)])
+            .unwrap();
+        b.add_edge(NodeId(12), NodeId(7), &[(0, 0.3), (1, 0.3)])
+            .unwrap();
         b.build().unwrap()
     }
 }

@@ -20,7 +20,10 @@ pub struct NaiveKim<'g> {
 impl<'g> NaiveKim<'g> {
     /// Create the baseline with default OPIM parameters.
     pub fn new(graph: &'g TopicGraph) -> Self {
-        NaiveKim { graph, opts: OpimOptions::default() }
+        NaiveKim {
+            graph,
+            opts: OpimOptions::default(),
+        }
     }
 
     /// Override the OPIM parameters (ε/δ/sample schedule).
@@ -87,7 +90,10 @@ impl KimAlgorithm for McGreedyKim<'_> {
         KimResult {
             seeds: res.seeds,
             spread: res.spread,
-            stats: KimStats { exact_evaluations: res.evaluations, ..KimStats::default() },
+            stats: KimStats {
+                exact_evaluations: res.evaluations,
+                ..KimStats::default()
+            },
         }
     }
 

@@ -57,7 +57,11 @@ impl Audience {
                 on_topic += g.edge_prob(e, gamma.as_slice());
                 total += g.edge_prob_max(e) as f64;
             }
-            weights[v.index()] = if total > 0.0 { (on_topic / total).min(1.0) } else { 0.0 };
+            weights[v.index()] = if total > 0.0 {
+                (on_topic / total).min(1.0)
+            } else {
+                0.0
+            };
         }
         Audience::new(weights)
     }
@@ -185,7 +189,12 @@ impl<'g> TargetedKim<'g> {
             graph.node_count(),
             "audience weights must cover every user"
         );
-        TargetedKim { graph, audience, rr_count: 8192, seed: 0x7A46 }
+        TargetedKim {
+            graph,
+            audience,
+            rr_count: 8192,
+            seed: 0x7A46,
+        }
     }
 
     /// The audience being targeted.
@@ -195,7 +204,10 @@ impl<'g> TargetedKim<'g> {
 
     /// Weighted spread estimate of a seed set under `gamma`.
     pub fn weighted_spread(&self, gamma: &TopicDistribution, seeds: &[NodeId]) -> f64 {
-        let probs = self.graph.materialize(gamma.as_slice()).expect("validated gamma");
+        let probs = self
+            .graph
+            .materialize(gamma.as_slice())
+            .expect("validated gamma");
         let rr = WeightedRr::generate(self.graph, &probs, &self.audience, self.rr_count, self.seed);
         if rr.sets.is_empty() {
             return 0.0;
@@ -230,7 +242,10 @@ impl KimAlgorithm for TargetedKim<'_> {
         KimResult {
             seeds,
             spread,
-            stats: KimStats { exact_evaluations: rr.sets.len(), ..KimStats::default() },
+            stats: KimStats {
+                exact_evaluations: rr.sets.len(),
+                ..KimStats::default()
+            },
         }
     }
 
@@ -258,9 +273,7 @@ mod tests {
         }
         let g = b.build().unwrap();
         let mut w = vec![0.0; 12];
-        for v in 2..=5usize {
-            w[v] = 1.0;
-        }
+        w[2..=5].fill(1.0);
         (g, Audience::new(w))
     }
 
@@ -270,7 +283,11 @@ mod tests {
         let gamma = TopicDistribution::pure(1, 0);
         let targeted = TargetedKim::new(&g, aud);
         let res = targeted.select(&gamma, 1);
-        assert_eq!(res.seeds, vec![NodeId(0)], "must pick the audience-reaching hub");
+        assert_eq!(
+            res.seeds,
+            vec![NodeId(0)],
+            "must pick the audience-reaching hub"
+        );
         // whereas with everyone weighted, hub 1 wins (more reachable users)
         let all = TargetedKim::new(&g, Audience::everyone(12));
         let res = all.select(&gamma, 1);

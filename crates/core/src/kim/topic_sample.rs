@@ -19,9 +19,10 @@ use octopus_graph::NodeId;
 use octopus_topics::TopicDistribution;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// One precomputed sample: a topic distribution and its seed set.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopicSample {
     /// The sampled distribution.
     pub gamma: TopicDistribution,
@@ -55,42 +56,55 @@ impl<'g, B: BoundEstimator> TopicSampleKim<'g, B> {
         k_max: usize,
         direct_eps: f64,
         seed: u64,
-    ) -> Self {
-        let mut gammas: Vec<TopicDistribution> =
-            (0..num_topics).map(|z| TopicDistribution::pure(num_topics, z)).collect();
-        let mut rng = SmallRng::seed_from_u64(seed);
-        for _ in 0..extra {
-            // Dirichlet via normalized Gamma draws; Marsaglia boost for α<1.
-            let draws: Vec<f64> = (0..num_topics)
-                .map(|_| {
-                    // simple inverse-CDF-ish gamma sampling via sum of
-                    // exponentials would need integer shape; use the
-                    // rejection-free Weibull-like approximation: for sparse
-                    // sampling purposes, an exponentiated uniform works:
-                    // w = u^(1/alpha) has the right concentration behaviour.
-                    let u: f64 = 1.0 - rng.random::<f64>();
-                    u.powf(1.0 / alpha)
-                })
-                .collect();
-            if let Ok(g) = TopicDistribution::from_weights(draws) {
-                gammas.push(g);
-            }
+    ) -> Self
+    where
+        B: Sync,
+    {
+        let gammas = Self::sample_gammas(num_topics, extra, alpha, seed);
+        let samples = Self::solve_samples(&inner, gammas, k_max);
+        TopicSampleKim {
+            inner,
+            samples,
+            direct_eps,
         }
-        let samples = gammas
-            .into_iter()
+    }
+
+    /// Compute the seed set of every sampled distribution — the expensive
+    /// half of the offline phase. The per-gamma best-effort runs are
+    /// deterministic and independent, so they execute in parallel; results
+    /// come back in input order regardless of the thread count.
+    pub fn solve_samples(
+        inner: &BestEffortKim<'g, B>,
+        gammas: Vec<TopicDistribution>,
+        k_max: usize,
+    ) -> Vec<TopicSample>
+    where
+        B: Sync,
+    {
+        gammas
+            .par_iter()
             .map(|gamma| {
-                let res = inner.select(&gamma, k_max);
-                TopicSample { gamma, seeds: res.seeds, spread: res.spread }
+                let res = inner.select(gamma, k_max);
+                TopicSample {
+                    gamma: gamma.clone(),
+                    seeds: res.seeds,
+                    spread: res.spread,
+                }
             })
-            .collect();
-        TopicSampleKim { inner, samples, direct_eps }
+            .collect()
     }
 
     /// Precompute only the sample distributions (no seed sets) — exposed so
     /// callers can own the offline state and re-wrap it per query.
-    pub fn sample_gammas(num_topics: usize, extra: usize, alpha: f64, seed: u64) -> Vec<TopicDistribution> {
-        let mut gammas: Vec<TopicDistribution> =
-            (0..num_topics).map(|z| TopicDistribution::pure(num_topics, z)).collect();
+    pub fn sample_gammas(
+        num_topics: usize,
+        extra: usize,
+        alpha: f64,
+        seed: u64,
+    ) -> Vec<TopicDistribution> {
+        let mut gammas: Vec<TopicDistribution> = (0..num_topics)
+            .map(|z| TopicDistribution::pure(num_topics, z))
+            .collect();
         let mut rng = SmallRng::seed_from_u64(seed);
         for _ in 0..extra {
             let draws: Vec<f64> = (0..num_topics)
@@ -113,7 +127,11 @@ impl<'g, B: BoundEstimator> TopicSampleKim<'g, B> {
         samples: Vec<TopicSample>,
         direct_eps: f64,
     ) -> Self {
-        TopicSampleKim { inner, samples, direct_eps }
+        TopicSampleKim {
+            inner,
+            samples,
+            direct_eps,
+        }
     }
 
     /// The precomputed samples.
@@ -123,15 +141,43 @@ impl<'g, B: BoundEstimator> TopicSampleKim<'g, B> {
 
     /// Index and L1 distance of the nearest sample.
     pub fn nearest_sample(&self, gamma: &TopicDistribution) -> (usize, f64) {
-        let mut best = (0usize, f64::INFINITY);
-        for (i, s) in self.samples.iter().enumerate() {
-            let d = s.gamma.l1_distance(gamma);
-            if d < best.1 {
-                best = (i, d);
-            }
-        }
-        best
+        nearest_sample(&self.samples, gamma).expect("samples checked non-empty by callers")
     }
+}
+
+/// Index and L1 distance of the sample nearest to `gamma` (`None` for an
+/// empty slice). Shared by [`TopicSampleKim`] and the engine facade, which
+/// borrows the offline samples instead of wrapping them.
+pub fn nearest_sample(samples: &[TopicSample], gamma: &TopicDistribution) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, s) in samples.iter().enumerate() {
+        let d = s.gamma.l1_distance(gamma);
+        if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+            best = Some((i, d));
+        }
+    }
+    best
+}
+
+/// The direct-answer rule: if the nearest sample (`idx`) is within
+/// `direct_eps` and holds at least `k` seeds, answer from it — `k`-prefix
+/// seeds, full-sample spread, `answered_from_sample` set.
+pub fn direct_answer(
+    samples: &[TopicSample],
+    idx: usize,
+    dist: f64,
+    direct_eps: f64,
+    k: usize,
+) -> Option<KimResult> {
+    let sample = &samples[idx];
+    (dist <= direct_eps && sample.seeds.len() >= k).then(|| KimResult {
+        seeds: sample.seeds[..k].to_vec(),
+        spread: sample.spread,
+        stats: KimStats {
+            answered_from_sample: true,
+            ..KimStats::default()
+        },
+    })
 }
 
 impl<B: BoundEstimator> KimAlgorithm for TopicSampleKim<'_, B> {
@@ -140,16 +186,11 @@ impl<B: BoundEstimator> KimAlgorithm for TopicSampleKim<'_, B> {
             return self.inner.select(gamma, k);
         }
         let (idx, dist) = self.nearest_sample(gamma);
-        let sample = &self.samples[idx];
-        if dist <= self.direct_eps && sample.seeds.len() >= k {
-            // answer directly from the sample
-            return KimResult {
-                seeds: sample.seeds[..k].to_vec(),
-                spread: sample.spread,
-                stats: KimStats { answered_from_sample: true, ..KimStats::default() },
-            };
+        if let Some(res) = direct_answer(&self.samples, idx, dist, self.direct_eps, k) {
+            return res;
         }
         // warm-start the best-effort run with the sample's seeds
+        let sample = &self.samples[idx];
         let warm: Vec<NodeId> = sample.seeds.iter().copied().take(k.max(1)).collect();
         self.inner.select_warm(gamma, k, &warm)
     }
@@ -190,7 +231,10 @@ mod tests {
         let ts = engine(&g, 0, 0.1);
         let near = TopicDistribution::new(vec![0.96, 0.04]).unwrap();
         let res = ts.select(&near, 1);
-        assert!(res.stats.answered_from_sample, "L1 distance 0.08 < 0.1 ⇒ direct");
+        assert!(
+            res.stats.answered_from_sample,
+            "L1 distance 0.08 < 0.1 ⇒ direct"
+        );
         assert_eq!(res.seeds, vec![NodeId(0)]);
     }
 
@@ -216,9 +260,15 @@ mod tests {
             .map(|i| TopicDistribution::new(vec![i as f64 / 10.0, 1.0 - i as f64 / 10.0]).unwrap())
             .collect();
         let direct = |ts: &TopicSampleKim<'_, NeighborhoodBound<'_>>| {
-            queries.iter().filter(|q| ts.select(q, 1).stats.answered_from_sample).count()
+            queries
+                .iter()
+                .filter(|q| ts.select(q, 1).stats.answered_from_sample)
+                .count()
         };
-        assert!(direct(&many) > direct(&few), "denser samples must hit more often");
+        assert!(
+            direct(&many) > direct(&few),
+            "denser samples must hit more often"
+        );
     }
 
     #[test]

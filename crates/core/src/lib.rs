@@ -18,6 +18,9 @@
 //!   with lazy propagation and delayed materialization;
 //! * [`paths`] — **influential path exploration** (§II-E): topic-aware MIA
 //!   trees, clusters, d3 JSON;
+//! * [`offline`] — the **staged offline-build pipeline**: every
+//!   precomputation the engines above need, as an explicit stage DAG with
+//!   per-stage telemetry and deterministic rayon parallelism;
 //! * [`autocomplete`] — the UI's name auto-completion (Scenario 2 "assisted
 //!   by an auto-completion tool");
 //! * [`engine`] — the [`engine::Octopus`] facade tying everything to the
@@ -51,6 +54,7 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod kim;
+pub mod offline;
 pub mod paths;
 pub mod piks;
 

@@ -1,0 +1,342 @@
+//! The staged offline-build pipeline behind [`crate::engine::Octopus`].
+//!
+//! OCTOPUS's whole bet (and that of preprocessing-based topic-aware IM in
+//! general) is that heavy work moves *offline* so online keyword queries
+//! stay interactive — which makes the offline phase the scalability
+//! bottleneck worth engineering. This module extracts every offline phase
+//! out of the engine constructor into an explicit, instrumented, parallel
+//! pipeline producing an [`OfflineArtifacts`] value.
+//!
+//! ## Stage DAG
+//!
+//! ```text
+//!        ┌──────────────┐
+//!        │  spread-cap  │  global MIA cap C on the max-prob graph
+//!        └──────┬───────┘
+//!               │                ┌───────────┐   ┌──────────────┐   ┌──────────────┐
+//!        ┌──────▼───────┐        │ mis-tables│   │  piks-worlds │   │ autocomplete │
+//!        │   pb-bound   │        │ (per-topic│   │  (per-world  │   │ (name trie)  │
+//!        └──────┬───────┘        │   CELF)   │   │ reverse BFS) │   └──────────────┘
+//!               │                └───────────┘   └──────────────┘
+//!        ┌──────▼───────┐
+//!        │topic-samples │  per-gamma best-effort seed sets
+//!        └──────────────┘
+//! ```
+//!
+//! The left chain is sequential (`spread-cap → pb-bound → topic-samples`:
+//! the samples warm-start from the PB table and NB bound, both of which
+//! need the cap), while `mis-tables`, `piks-worlds`, and `autocomplete`
+//! are independent of it and of each other — the pipeline runs all four
+//! branches concurrently via nested [`rayon::join`], and the heavy stages
+//! are additionally parallel *internally* (per-topic CELF runs, per-gamma
+//! best-effort runs, per-world reverse BFS, per-set RR sampling).
+//!
+//! ## Determinism
+//!
+//! Every randomized work unit draws from its own RNG stream derived as
+//! [`octopus_cascade::stream_seed`]`(stage_seed, unit_index)` — never from
+//! a shared sequential RNG — and every parallel combinator assembles
+//! results in unit order. Consequently the artifacts are **bit-identical**
+//! for a fixed [`crate::engine::OctopusConfig::seed`] whether the build
+//! runs on one thread or many (`RAYON_NUM_THREADS=1` vs default), which
+//! the `build_determinism` integration tests pin down.
+//!
+//! ## Telemetry
+//!
+//! Each stage records wall-clock duration in a [`StageTiming`]; the engine
+//! surfaces them through [`crate::engine::SystemReport::stage_timings`].
+//! Because branches run concurrently, stage durations can sum to more than
+//! [`OfflineArtifacts::build_total`].
+
+use crate::autocomplete::Autocomplete;
+use crate::engine::{KimEngineChoice, OctopusConfig};
+use crate::kim::bounds::{
+    global_spread_cap, BoundKind, LocalGraphBound, NeighborhoodBound, PrecompBound, TrivialBound,
+};
+use crate::kim::topic_sample::{TopicSample, TopicSampleKim};
+use crate::kim::{BestEffortKim, KimResult, MisKim};
+use crate::piks::InfluencerIndex;
+use octopus_graph::{NodeId, TopicGraph};
+use octopus_topics::TopicDistribution;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Pipeline stage names, in canonical (DAG topological) order.
+pub const STAGE_ORDER: [&str; 6] = [
+    "spread-cap",
+    "pb-bound",
+    "mis-tables",
+    "topic-samples",
+    "piks-worlds",
+    "autocomplete",
+];
+
+/// Wall-clock telemetry of one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Stage name (one of [`STAGE_ORDER`]).
+    pub stage: &'static str,
+    /// Wall-clock duration of the stage.
+    pub duration: Duration,
+}
+
+/// Everything the engine precomputes before serving its first query.
+#[derive(Debug, Clone)]
+pub struct OfflineArtifacts {
+    /// Global MIA spread cap `C` on the max-probability graph (NB/LG bound
+    /// constant).
+    pub cap: f64,
+    /// Per-topic PB bound tables (present iff the configured engine needs
+    /// them).
+    pub pb: Option<PrecompBound>,
+    /// MIS per-topic seed tables (present iff the MIS engine is selected).
+    pub mis: Option<MisKim>,
+    /// Topic samples with precomputed seed sets (non-empty iff the
+    /// topic-sample engine is selected).
+    pub samples: Vec<TopicSample>,
+    /// The PIKS influencer index (shared-coin possible worlds).
+    pub piks_index: InfluencerIndex,
+    /// Name auto-completion trie.
+    pub names: Autocomplete,
+    /// Per-stage wall-clock telemetry, in [`STAGE_ORDER`].
+    pub timings: Vec<StageTiming>,
+    /// Wall-clock duration of the whole pipeline (≤ the timing sum when
+    /// branches overlap).
+    pub build_total: Duration,
+}
+
+/// Run `f` as the named stage, recording its wall-clock duration.
+fn stage<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, StageTiming) {
+    let start = Instant::now();
+    let value = f();
+    (
+        value,
+        StageTiming {
+            stage: name,
+            duration: start.elapsed(),
+        },
+    )
+}
+
+/// Run the full offline pipeline for `graph` under `config`.
+///
+/// Branch layout (see the module docs for the DAG): the `cap → pb →
+/// samples` chain, the MIS tables, the PIKS index, and the autocomplete
+/// trie run concurrently via nested [`rayon::join`]; each heavy stage also
+/// parallelizes internally. Timings are reported in [`STAGE_ORDER`]
+/// regardless of execution interleaving.
+pub fn build(graph: &TopicGraph, config: &OctopusConfig) -> OfflineArtifacts {
+    let start = Instant::now();
+    let needs_pb = matches!(
+        config.kim,
+        KimEngineChoice::BestEffort(BoundKind::Precomputation)
+            | KimEngineChoice::TopicSample {
+                bound: BoundKind::Precomputation,
+                ..
+            }
+    );
+    let ((left, mis_out), (piks_out, names_out)) = rayon::join(
+        || {
+            rayon::join(
+                || {
+                    // sequential chain: cap → pb → topic samples
+                    let (cap, t_cap) =
+                        stage("spread-cap", || global_spread_cap(graph, config.mia_theta));
+                    let (pb, t_pb) = stage("pb-bound", || {
+                        needs_pb
+                            .then(|| PrecompBound::build(graph, config.mia_theta, config.pb_safety))
+                    });
+                    let (samples, t_samples) = stage("topic-samples", || {
+                        build_topic_samples(graph, config, &pb, cap)
+                    });
+                    (cap, pb, samples, t_cap, t_pb, t_samples)
+                },
+                || {
+                    stage("mis-tables", || {
+                        matches!(config.kim, KimEngineChoice::Mis).then(|| {
+                            MisKim::build(graph, config.k_max, config.mis_rr_per_topic, config.seed)
+                        })
+                    })
+                },
+            )
+        },
+        || {
+            rayon::join(
+                || {
+                    stage("piks-worlds", || {
+                        InfluencerIndex::build(graph, config.piks_index_size, config.seed ^ 0x1DE)
+                    })
+                },
+                || {
+                    stage("autocomplete", || {
+                        Autocomplete::build(graph.nodes().filter_map(|u| {
+                            graph.name(u).map(|n| (n, u, graph.out_degree(u) as f64))
+                        }))
+                    })
+                },
+            )
+        },
+    );
+    let (cap, pb, samples, t_cap, t_pb, t_samples) = left;
+    let (mis, t_mis) = mis_out;
+    let (piks_index, t_piks) = piks_out;
+    let (names, t_names) = names_out;
+    OfflineArtifacts {
+        cap,
+        pb,
+        mis,
+        samples,
+        piks_index,
+        names,
+        timings: vec![t_cap, t_pb, t_mis, t_samples, t_piks, t_names],
+        build_total: start.elapsed(),
+    }
+}
+
+/// The topic-samples stage: sample the query distributions, then solve a
+/// `k_max`-deep seed set for each with the same inner engine online queries
+/// will use. Solving parallelizes per gamma.
+fn build_topic_samples(
+    graph: &TopicGraph,
+    config: &OctopusConfig,
+    pb: &Option<PrecompBound>,
+    cap: f64,
+) -> Vec<TopicSample> {
+    let KimEngineChoice::TopicSample {
+        bound,
+        extra_samples,
+        ..
+    } = config.kim
+    else {
+        return Vec::new();
+    };
+    let gammas = TopicSampleKim::<NeighborhoodBound>::sample_gammas(
+        graph.num_topics(),
+        extra_samples,
+        0.3,
+        config.seed ^ 0x7A11,
+    );
+    gammas
+        .par_iter()
+        .map(|gamma| {
+            let res = run_best_effort(graph, bound, pb, cap, config, gamma, config.k_max, &[]);
+            TopicSample {
+                gamma: gamma.clone(),
+                seeds: res.seeds,
+                spread: res.spread,
+            }
+        })
+        .collect()
+}
+
+/// Run one best-effort selection with the configured bound estimator —
+/// shared by the topic-samples stage and the engine's online query path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_best_effort(
+    graph: &TopicGraph,
+    bound: BoundKind,
+    pb: &Option<PrecompBound>,
+    cap: f64,
+    config: &OctopusConfig,
+    gamma: &TopicDistribution,
+    k: usize,
+    warm: &[NodeId],
+) -> KimResult {
+    match bound {
+        BoundKind::Precomputation => {
+            let table = pb.as_ref().expect("PB table built at construction");
+            BestEffortKim::new(graph, table, config.mia_theta).select_warm(gamma, k, warm)
+        }
+        BoundKind::Neighborhood => {
+            BestEffortKim::new(graph, NeighborhoodBound::new(graph, cap), config.mia_theta)
+                .select_warm(gamma, k, warm)
+        }
+        BoundKind::LocalGraph => BestEffortKim::new(
+            graph,
+            LocalGraphBound::new(graph, config.lg_depth, cap, config.lg_safety),
+            config.mia_theta,
+        )
+        .select_warm(gamma, k, warm),
+        BoundKind::Trivial => BestEffortKim::new(
+            graph,
+            TrivialBound::new(graph.node_count()),
+            config.mia_theta,
+        )
+        .select_warm(gamma, k, warm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_graph::GraphBuilder;
+
+    fn two_hub_graph() -> TopicGraph {
+        let mut b = GraphBuilder::new(2);
+        for i in 0..12 {
+            b.add_node(format!("user-{i}"));
+        }
+        for v in 2..=6u32 {
+            b.add_edge(NodeId(0), NodeId(v), &[(0, 0.7)]).unwrap();
+        }
+        for v in 7..=11u32 {
+            b.add_edge(NodeId(1), NodeId(v), &[(1, 0.7)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn config(kim: KimEngineChoice) -> OctopusConfig {
+        OctopusConfig {
+            kim,
+            piks_index_size: 600,
+            mis_rr_per_topic: 1200,
+            k_max: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stages_report_in_canonical_order() {
+        let g = two_hub_graph();
+        let art = build(&g, &config(KimEngineChoice::Mis));
+        let names: Vec<&str> = art.timings.iter().map(|t| t.stage).collect();
+        assert_eq!(names, STAGE_ORDER.to_vec());
+        assert!(art.build_total > Duration::ZERO);
+    }
+
+    #[test]
+    fn stages_build_only_what_the_config_needs() {
+        let g = two_hub_graph();
+        let mis = build(&g, &config(KimEngineChoice::Mis));
+        assert!(mis.mis.is_some());
+        assert!(mis.pb.is_none());
+        assert!(mis.samples.is_empty());
+
+        let pb = build(
+            &g,
+            &config(KimEngineChoice::BestEffort(BoundKind::Precomputation)),
+        );
+        assert!(pb.pb.is_some());
+        assert!(pb.mis.is_none());
+
+        let ts = build(
+            &g,
+            &config(KimEngineChoice::TopicSample {
+                bound: BoundKind::Precomputation,
+                extra_samples: 4,
+                direct_eps: 0.05,
+            }),
+        );
+        assert!(ts.pb.is_some(), "PB-bound topic samples need the PB table");
+        assert!(ts.samples.len() >= 2, "Z corners at minimum");
+    }
+
+    #[test]
+    fn artifacts_always_include_query_independent_structures() {
+        let g = two_hub_graph();
+        let art = build(&g, &config(KimEngineChoice::Naive));
+        assert!(art.cap >= 1.0);
+        assert_eq!(art.piks_index.len(), 600);
+        assert!(!art.names.is_empty());
+    }
+}

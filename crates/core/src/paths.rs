@@ -127,7 +127,15 @@ mod tests {
     fn exploration_reports_reach_and_clusters() {
         let g = fixture();
         let gamma = TopicDistribution::uniform(2);
-        let ex = explore(&g, NodeId(0), &gamma, 0.01, ExploreDirection::Influences, 10).unwrap();
+        let ex = explore(
+            &g,
+            NodeId(0),
+            &gamma,
+            0.01,
+            ExploreDirection::Influences,
+            10,
+        )
+        .unwrap();
         assert_eq!(ex.root_name, "michael jordan");
         assert_eq!(ex.reached, 4);
         assert_eq!(ex.clusters.len(), 2);
@@ -167,9 +175,19 @@ mod tests {
     fn reverse_direction_finds_influencers() {
         let g = fixture();
         let gamma = TopicDistribution::pure(2, 0);
-        let ex =
-            explore(&g, NodeId(3), &gamma, 0.01, ExploreDirection::InfluencedBy, 10).unwrap();
-        assert!(ex.tree.contains(NodeId(0)), "dana is influenced by michael via andrew");
+        let ex = explore(
+            &g,
+            NodeId(3),
+            &gamma,
+            0.01,
+            ExploreDirection::InfluencedBy,
+            10,
+        )
+        .unwrap();
+        assert!(
+            ex.tree.contains(NodeId(0)),
+            "dana is influenced by michael via andrew"
+        );
         assert_eq!(ex.direction, ExploreDirection::InfluencedBy);
     }
 
@@ -177,7 +195,15 @@ mod tests {
     fn highlight_produces_json_paths() {
         let g = fixture();
         let gamma = TopicDistribution::uniform(2);
-        let ex = explore(&g, NodeId(0), &gamma, 0.01, ExploreDirection::Influences, 10).unwrap();
+        let ex = explore(
+            &g,
+            NodeId(0),
+            &gamma,
+            0.01,
+            ExploreDirection::Influences,
+            10,
+        )
+        .unwrap();
         let json = highlight_json(&ex, NodeId(1));
         assert!(json.starts_with('['));
         assert!(json.contains("\"prob\""));

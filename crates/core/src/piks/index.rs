@@ -22,12 +22,13 @@
 //! the spread of a target `u` is then the classic RR estimate
 //! `n/R · #{j : u ∈ live_j}`.
 
-use octopus_cascade::EdgeCoins;
+use octopus_cascade::{stream_seed, EdgeCoins};
 use octopus_graph::{EdgeId, NodeId, TopicGraph};
 use octopus_topics::TopicDistribution;
+use rayon::prelude::*;
 
 /// One stored world: the potential-influencer DAG of a sampled root.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Sample {
     root: NodeId,
     coins: EdgeCoins,
@@ -65,80 +66,109 @@ pub struct IndexStats {
 }
 
 /// The influencer index.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InfluencerIndex {
     n: usize,
     samples: Vec<Sample>,
     stats: IndexStats,
 }
 
+/// Build one world: pick the root from the world's index-derived stream and
+/// reverse-BFS the max-probability superset DAG. Returns the sample plus the
+/// number of edges examined.
+/// Tag separating the root-selection stream from the coin streams (which
+/// derive from the untagged seed in [`EdgeCoins::worlds`]).
+const ROOT_STREAM_TAG: u64 = 0x5EED_2007_D00D_1DE5;
+
+fn build_world(graph: &TopicGraph, j: u64, seed: u64, coins: EdgeCoins) -> (Sample, usize) {
+    let n = graph.node_count();
+    // root: uniform from the world's own stream (stable under parallelism,
+    // decorrelated from the world's coin stream by the tag)
+    let root = NodeId(((stream_seed(seed ^ ROOT_STREAM_TAG, j) >> 11) % n as u64) as u32);
+    let mut edges_examined = 0usize;
+    // reverse BFS in the max-probability world; membership is tracked in
+    // the sorted `local_ids` list (no shared visited array — each world
+    // builds independently, possibly on its own thread)
+    let mut nodes: Vec<u32> = vec![root.0];
+    let mut local_edges: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new()];
+    let mut local_ids: Vec<(u32, u32)> = vec![(root.0, 0)];
+    let mut head = 0usize;
+    while head < nodes.len() {
+        let v = NodeId(nodes[head]);
+        let v_local = head as u32;
+        head += 1;
+        for (u, e) in graph.in_edges(v) {
+            edges_examined += 1;
+            let pmax = graph.edge_prob_max(e) as f64;
+            if !coins.is_live(e, pmax) {
+                continue;
+            }
+            let u_local = match local_ids.binary_search_by_key(&u.0, |&(g, _)| g) {
+                Ok(i) => local_ids[i].1,
+                Err(pos) => {
+                    let lid = nodes.len() as u32;
+                    nodes.push(u.0);
+                    local_edges.push(Vec::new());
+                    local_ids.insert(pos, (u.0, lid));
+                    lid
+                }
+            };
+            // stored edge: u → v (u can influence v); in the
+            // evaluation BFS we walk from v to u, so index by v.
+            local_edges[v_local as usize].push((u_local, e));
+        }
+    }
+    // flatten to CSR
+    let mut in_offsets = Vec::with_capacity(nodes.len() + 1);
+    let mut in_edges = Vec::new();
+    in_offsets.push(0u32);
+    for le in &local_edges {
+        in_edges.extend_from_slice(le);
+        in_offsets.push(in_edges.len() as u32);
+    }
+    (
+        Sample {
+            root,
+            coins,
+            nodes,
+            local_of: local_ids,
+            in_offsets,
+            in_edges,
+        },
+        edges_examined,
+    )
+}
+
 impl InfluencerIndex {
     /// Build an index of `r` worlds over `graph`.
+    ///
+    /// Worlds build in parallel; world `j`'s coins and root both derive
+    /// from `(seed, j)`, so the index is bit-identical for any thread
+    /// count.
     pub fn build(graph: &TopicGraph, r: usize, seed: u64) -> Self {
         let n = graph.node_count();
-        let mut stats = IndexStats { samples: r, ..IndexStats::default() };
+        let mut stats = IndexStats {
+            samples: r,
+            ..IndexStats::default()
+        };
+        if n == 0 {
+            return InfluencerIndex {
+                n,
+                samples: Vec::new(),
+                stats,
+            };
+        }
         let worlds = EdgeCoins::worlds(seed, r);
+        let built: Vec<(Sample, usize)> = (0..r)
+            .into_par_iter()
+            .map(|j| build_world(graph, j as u64, seed, worlds[j]))
+            .collect();
         let mut samples = Vec::with_capacity(r);
-        // root sequence: deterministic low-discrepancy walk over nodes
-        let mut root_state = seed | 1;
-        let mut visited = vec![u32::MAX; n]; // stamp = sample idx
-        for (j, coins) in worlds.into_iter().enumerate() {
-            root_state = root_state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            if n == 0 {
-                break;
-            }
-            let root = NodeId(((root_state >> 33) % n as u64) as u32);
-            // reverse BFS in the max-probability world
-            let mut nodes: Vec<u32> = vec![root.0];
-            let mut local_edges: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new()];
-            visited[root.index()] = j as u32;
-            let mut local_ids: Vec<(u32, u32)> = vec![(root.0, 0)];
-            let mut head = 0usize;
-            while head < nodes.len() {
-                let v = NodeId(nodes[head]);
-                let v_local = head as u32;
-                head += 1;
-                for (u, e) in graph.in_edges(v) {
-                    stats.edges_examined += 1;
-                    let pmax = graph.edge_prob_max(e) as f64;
-                    if !coins.is_live(e, pmax) {
-                        continue;
-                    }
-                    let u_local = if visited[u.index()] == j as u32 {
-                        // already present: find its local id
-                        match local_ids.binary_search_by_key(&u.0, |&(g, _)| g) {
-                            Ok(i) => local_ids[i].1,
-                            Err(_) => unreachable!("visited implies registered"),
-                        }
-                    } else {
-                        visited[u.index()] = j as u32;
-                        let lid = nodes.len() as u32;
-                        nodes.push(u.0);
-                        local_edges.push(Vec::new());
-                        let pos = local_ids
-                            .binary_search_by_key(&u.0, |&(g, _)| g)
-                            .expect_err("fresh node");
-                        local_ids.insert(pos, (u.0, lid));
-                        lid
-                    };
-                    // stored edge: u → v (u can influence v); in the
-                    // evaluation BFS we walk from v to u, so index by v.
-                    local_edges[v_local as usize].push((u_local, e));
-                }
-            }
-            // flatten to CSR
-            let mut in_offsets = Vec::with_capacity(nodes.len() + 1);
-            let mut in_edges = Vec::new();
-            in_offsets.push(0u32);
-            for le in &local_edges {
-                in_edges.extend_from_slice(le);
-                in_offsets.push(in_edges.len() as u32);
-            }
-            stats.stored_nodes += nodes.len();
-            stats.stored_edges += in_edges.len();
-            samples.push(Sample { root, coins, nodes, local_of: local_ids, in_offsets, in_edges });
+        for (sample, edges_examined) in built {
+            stats.stored_nodes += sample.nodes.len();
+            stats.stored_edges += sample.in_edges.len();
+            stats.edges_examined += edges_examined;
+            samples.push(sample);
         }
         InfluencerIndex { n, samples, stats }
     }
@@ -279,7 +309,8 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         let _ = b.add_nodes(9);
         for v in 1..=8u32 {
-            b.add_edge(NodeId(0), NodeId(v), &[(0, 0.6), (1, 0.1)]).unwrap();
+            b.add_edge(NodeId(0), NodeId(v), &[(0, 0.6), (1, 0.1)])
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -327,8 +358,12 @@ mod tests {
         // topic 0 edges are stronger; shared coins make this deterministic
         let g = hub_graph();
         let idx = InfluencerIndex::build(&g, 4000, 11);
-        let strong = idx.session(&g, &TopicDistribution::pure(2, 0)).spread_of(NodeId(0));
-        let weak = idx.session(&g, &TopicDistribution::pure(2, 1)).spread_of(NodeId(0));
+        let strong = idx
+            .session(&g, &TopicDistribution::pure(2, 0))
+            .spread_of(NodeId(0));
+        let weak = idx
+            .session(&g, &TopicDistribution::pure(2, 1))
+            .spread_of(NodeId(0));
         assert!(
             strong >= weak,
             "shared coins: stronger edges can only add live worlds ({strong} vs {weak})"
@@ -390,7 +425,10 @@ mod tests {
         let mut distinct: Vec<u32> = (0..idx.len()).map(|j| idx.root_of(j).0).collect();
         distinct.sort_unstable();
         distinct.dedup();
-        assert!(distinct.len() >= 5, "roots should cover many nodes: {distinct:?}");
+        assert!(
+            distinct.len() >= 5,
+            "roots should cover many nodes: {distinct:?}"
+        );
     }
 
     #[test]
@@ -399,7 +437,10 @@ mod tests {
         let idx = InfluencerIndex::build(&g, 500, 3);
         let st = idx.stats();
         assert_eq!(st.samples, 500);
-        assert!(st.stored_nodes >= 500, "every sample stores at least its root");
+        assert!(
+            st.stored_nodes >= 500,
+            "every sample stores at least its root"
+        );
         assert!(st.edges_examined > 0);
     }
 }

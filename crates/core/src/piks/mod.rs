@@ -19,7 +19,7 @@
 
 pub mod index;
 
-pub use index::{InfluencerIndex, IndexStats, QuerySession};
+pub use index::{IndexStats, InfluencerIndex, QuerySession};
 
 use crate::error::CoreError;
 use crate::Result;
@@ -64,7 +64,10 @@ pub struct PiksConfig {
 
 impl Default for PiksConfig {
     fn default() -> Self {
-        PiksConfig { min_posterior_consistency: 0.3, min_pairwise_consistency: 0.5 }
+        PiksConfig {
+            min_posterior_consistency: 0.3,
+            min_pairwise_consistency: 0.5,
+        }
     }
 }
 
@@ -84,7 +87,12 @@ impl<'a> GreedyPiks<'a> {
         index: &'a InfluencerIndex,
         config: PiksConfig,
     ) -> Self {
-        GreedyPiks { graph, model, index, config }
+        GreedyPiks {
+            graph,
+            model,
+            index,
+            config,
+        }
     }
 
     /// Suggest a `k`-keyword set for `target` out of `candidates`.
@@ -96,6 +104,12 @@ impl<'a> GreedyPiks<'a> {
     /// scores are not a sound bound on set scores (the problem is
     /// inapproximable), so the margin `slack` keeps pruning conservative;
     /// the skip count is reported in [`PiksStats`].
+    ///
+    /// The anchor (first keyword) is re-tried in descending singleton order:
+    /// the globally strongest singleton may admit *no* topically consistent
+    /// extension (e.g. it is the lone keyword of its topic in the candidate
+    /// pool), and committing to it would dead-end below `k` even though a
+    /// full consistent set exists among the remaining candidates.
     pub fn suggest(
         &self,
         target: NodeId,
@@ -126,16 +140,52 @@ impl<'a> GreedyPiks<'a> {
             stats.worlds_materialized += session.materialized_worlds();
             singles.push((w, s));
         }
-        singles.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite spreads").then(a.0.cmp(&b.0)));
+        singles.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite spreads")
+                .then(a.0.cmp(&b.0))
+        });
 
-        let mut chosen: Vec<KeywordId> = vec![singles[0].0];
-        let mut best_spread = singles[0].1;
+        // Cap re-anchoring: `suggest` sits on the online path, and when NO
+        // full-k consistent set exists every anchor dead-ends — without a
+        // cap that degenerates into |candidates| full greedy passes. The
+        // strongest few singletons are the only anchors worth trying.
+        const MAX_ANCHOR_ATTEMPTS: usize = 8;
+        let want = k.min(candidates.len());
+        let mut fallback: Option<(Vec<KeywordId>, f64)> = None;
+        for anchor in 0..singles.len().min(MAX_ANCHOR_ATTEMPTS) {
+            let (chosen, spread) = self.grow(target, &singles, anchor, want, &mut stats)?;
+            if chosen.len() == want {
+                return self.finish(chosen, spread, stats);
+            }
+            let better = match &fallback {
+                Some((c, s)) => chosen.len() > c.len() || (chosen.len() == c.len() && spread > *s),
+                None => true,
+            };
+            if better {
+                fallback = Some((chosen, spread));
+            }
+        }
+        let (chosen, spread) = fallback.expect("non-empty candidates yield at least a singleton");
+        self.finish(chosen, spread, stats)
+    }
 
-        // Greedy extension rounds with pruning.
-        let slack = 0.5; // conservative margin: see doc comment
-        while chosen.len() < k.min(candidates.len()) {
+    /// One greedy run anchored on `singles[anchor]`, extended with pruning
+    /// until `want` keywords are chosen or no consistent extension exists.
+    fn grow(
+        &self,
+        target: NodeId,
+        singles: &[(KeywordId, f64)],
+        anchor: usize,
+        want: usize,
+        stats: &mut PiksStats,
+    ) -> Result<(Vec<KeywordId>, f64)> {
+        let mut chosen: Vec<KeywordId> = vec![singles[anchor].0];
+        let mut best_spread = singles[anchor].1;
+        let slack = 0.5; // conservative margin: see doc comment on `suggest`
+        while chosen.len() < want {
             let mut round_best: Option<(KeywordId, f64, TopicDistribution)> = None;
-            for &(w, single) in &singles {
+            for &(w, single) in singles {
                 if chosen.contains(&w) {
                     continue;
                 }
@@ -177,10 +227,19 @@ impl<'a> GreedyPiks<'a> {
                 None => break, // no consistent extension exists
             }
         }
+        Ok((chosen, best_spread))
+    }
 
+    fn finish(&self, chosen: Vec<KeywordId>, spread: f64, stats: PiksStats) -> Result<PiksResult> {
         let gamma = self.model.infer(&chosen)?;
         let consistency = consistency::posterior_consistency(self.model, &chosen)?;
-        Ok(PiksResult { keywords: chosen, gamma, spread: best_spread, consistency, stats })
+        Ok(PiksResult {
+            keywords: chosen,
+            gamma,
+            spread,
+            consistency,
+            stats,
+        })
     }
 }
 
@@ -200,7 +259,12 @@ impl<'a> ExhaustivePiks<'a> {
         index: &'a InfluencerIndex,
         config: PiksConfig,
     ) -> Self {
-        ExhaustivePiks { graph, model, index, config }
+        ExhaustivePiks {
+            graph,
+            model,
+            index,
+            config,
+        }
     }
 
     /// Evaluate every consistent `k`-subset of `candidates`.
@@ -254,7 +318,13 @@ impl<'a> ExhaustivePiks<'a> {
         })?;
         let gamma = self.model.infer(&ws)?;
         let consistency = consistency::posterior_consistency(self.model, &ws)?;
-        Ok(PiksResult { keywords: ws, gamma, spread: s, consistency, stats })
+        Ok(PiksResult {
+            keywords: ws,
+            gamma,
+            spread: s,
+            consistency,
+            stats,
+        })
     }
 }
 
@@ -320,8 +390,11 @@ mod tests {
         let (g, m, idx) = fixture();
         let engine = GreedyPiks::new(&g, &m, &idx, PiksConfig::default());
         let res = engine.suggest(NodeId(0), &all_keywords(&m), 2).unwrap();
-        let words: Vec<&str> =
-            res.keywords.iter().map(|&w| m.vocab().word(w).unwrap()).collect();
+        let words: Vec<&str> = res
+            .keywords
+            .iter()
+            .map(|&w| m.vocab().word(w).unwrap())
+            .collect();
         assert!(
             words.contains(&"indexing") || words.contains(&"transactions"),
             "selling points must be db keywords, got {words:?}"
@@ -331,7 +404,11 @@ mod tests {
             "weak-topic keywords must not be suggested: {words:?}"
         );
         assert_eq!(res.gamma.dominant_topic(), 0);
-        assert!(res.spread > 3.0, "db-topic spread should be large: {}", res.spread);
+        assert!(
+            res.spread > 3.0,
+            "db-topic spread should be large: {}",
+            res.spread
+        );
     }
 
     #[test]
@@ -362,8 +439,7 @@ mod tests {
         let engine = GreedyPiks::new(&g, &m, &idx, strict);
         let res = engine.suggest(NodeId(0), &all_keywords(&m), 3).unwrap();
         // every suggested pair must be same-topic under the strict filter
-        let pc =
-            octopus_topics::consistency::pairwise_consistency(&m, &res.keywords).unwrap();
+        let pc = octopus_topics::consistency::pairwise_consistency(&m, &res.keywords).unwrap();
         assert!(pc >= 0.9 - 1e-9, "pairwise consistency {pc}");
     }
 
@@ -387,7 +463,12 @@ mod tests {
         let engine = GreedyPiks::new(&g, &m, &idx, PiksConfig::default());
         let hub = engine.suggest(NodeId(0), &all_keywords(&m), 1).unwrap();
         let leaf = engine.suggest(NodeId(3), &all_keywords(&m), 1).unwrap();
-        assert!(hub.spread > leaf.spread + 1.0, "hub {} leaf {}", hub.spread, leaf.spread);
+        assert!(
+            hub.spread > leaf.spread + 1.0,
+            "hub {} leaf {}",
+            hub.spread,
+            leaf.spread
+        );
     }
 
     #[test]
@@ -408,7 +489,14 @@ mod tests {
         }
         assert_eq!(
             seen,
-            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3]]
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
         );
     }
 

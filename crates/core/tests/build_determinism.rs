@@ -1,0 +1,198 @@
+//! Determinism contract of the staged offline-build pipeline: for a fixed
+//! `config.seed`, the artifacts are bit-identical across repeated builds
+//! and across thread counts (1-thread pool vs the default pool), because
+//! every randomized work unit draws from its own index-derived RNG stream
+//! and every parallel combinator assembles results in unit order.
+
+use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig};
+use octopus_core::kim::BoundKind;
+use octopus_core::offline::{self, OfflineArtifacts, STAGE_ORDER};
+use octopus_graph::{GraphBuilder, NodeId, TopicGraph};
+use std::sync::Arc;
+
+/// A 3-topic graph big enough that every stage has real work units.
+fn fixture_graph() -> TopicGraph {
+    let mut b = GraphBuilder::new(3);
+    for i in 0..60 {
+        b.add_node(format!("user-{i}"));
+    }
+    // three topic-disjoint hubs plus a sprinkle of cross links
+    for (hub, z) in [(0u32, 0usize), (1, 1), (2, 2)] {
+        for v in 0..15u32 {
+            let dst = 3 + z as u32 * 15 + v;
+            b.add_edge(NodeId(hub), NodeId(dst), &[(z, 0.6)]).unwrap();
+        }
+    }
+    for v in 3..20u32 {
+        b.add_edge(NodeId(v), NodeId(v + 20), &[(0, 0.15), (1, 0.1)])
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn configs() -> Vec<OctopusConfig> {
+    let base = OctopusConfig {
+        piks_index_size: 400,
+        mis_rr_per_topic: 800,
+        k_max: 5,
+        seed: 0xD57E_2217,
+        ..Default::default()
+    };
+    vec![
+        OctopusConfig {
+            kim: KimEngineChoice::Mis,
+            ..base.clone()
+        },
+        OctopusConfig {
+            kim: KimEngineChoice::BestEffort(BoundKind::Precomputation),
+            ..base.clone()
+        },
+        OctopusConfig {
+            kim: KimEngineChoice::TopicSample {
+                bound: BoundKind::Precomputation,
+                extra_samples: 6,
+                direct_eps: 0.05,
+            },
+            ..base
+        },
+    ]
+}
+
+/// Field-by-field identity of everything derived from randomness.
+fn assert_artifacts_identical(a: &OfflineArtifacts, b: &OfflineArtifacts, what: &str) {
+    assert_eq!(a.cap, b.cap, "{what}: spread cap differs");
+    assert_eq!(a.pb, b.pb, "{what}: PB bound tables differ");
+    assert_eq!(a.mis, b.mis, "{what}: MIS seed tables differ");
+    assert_eq!(a.samples, b.samples, "{what}: topic samples differ");
+    assert_eq!(a.piks_index, b.piks_index, "{what}: PIKS worlds differ");
+}
+
+#[test]
+fn rebuilding_is_bit_identical() {
+    let g = fixture_graph();
+    for config in configs() {
+        let a = offline::build(&g, &config);
+        let b = offline::build(&g, &config);
+        assert_artifacts_identical(&a, &b, &format!("rebuild under {:?}", config.kim));
+    }
+}
+
+#[test]
+fn one_thread_and_many_threads_agree() {
+    let g = fixture_graph();
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let many = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .unwrap();
+    for config in configs() {
+        let a = single.install(|| offline::build(&g, &config));
+        let b = many.install(|| offline::build(&g, &config));
+        assert_artifacts_identical(
+            &a,
+            &b,
+            &format!("1-thread vs 8-thread under {:?}", config.kim),
+        );
+    }
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // guard against the determinism tests passing vacuously (e.g. a seed
+    // that never reaches the samplers)
+    let g = fixture_graph();
+    let config = OctopusConfig {
+        kim: KimEngineChoice::Mis,
+        piks_index_size: 400,
+        mis_rr_per_topic: 800,
+        k_max: 5,
+        ..Default::default()
+    };
+    let a = offline::build(&g, &config);
+    let b = offline::build(
+        &g,
+        &OctopusConfig {
+            seed: config.seed ^ 0xFFFF,
+            ..config.clone()
+        },
+    );
+    assert_ne!(
+        a.piks_index, b.piks_index,
+        "PIKS worlds must depend on the seed"
+    );
+    assert_ne!(a.mis, b.mis, "MIS tables must depend on the seed");
+}
+
+#[test]
+fn timings_cover_every_stage() {
+    let g = fixture_graph();
+    let art = offline::build(&g, &configs()[0]);
+    let names: Vec<&str> = art.timings.iter().map(|t| t.stage).collect();
+    assert_eq!(names, STAGE_ORDER.to_vec());
+}
+
+#[test]
+fn engine_queries_agree_across_thread_counts() {
+    // end-to-end: engines built under different pools answer identically
+    let g = fixture_graph();
+    let config = configs().remove(1);
+    let model = model_for(&g);
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let e1 = single
+        .install(|| Octopus::new(g.clone(), model.clone(), config.clone()))
+        .expect("engine builds");
+    let e2 = Octopus::new(g, model, config).expect("engine builds");
+    let a = e1.find_influencers("alpha", 3).expect("query");
+    let b = e2.find_influencers("alpha", 3).expect("query");
+    let seeds = |ans: &octopus_core::engine::KimAnswer| {
+        ans.seeds.iter().map(|s| s.node).collect::<Vec<_>>()
+    };
+    assert_eq!(seeds(&a), seeds(&b));
+    assert_eq!(a.result.spread, b.result.spread);
+}
+
+#[test]
+fn engine_is_shareable_behind_an_arc() {
+    // the Send + Sync contract, exercised: one Arc'd engine, many threads
+    let g = fixture_graph();
+    let engine = Arc::new(
+        Octopus::new(g, model_for(&fixture_graph()), configs().remove(0)).expect("engine builds"),
+    );
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            engine.find_influencers("alpha", 2).expect("query").seeds[0].node
+        }));
+    }
+    let firsts: Vec<NodeId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        firsts.windows(2).all(|w| w[0] == w[1]),
+        "threads must agree: {firsts:?}"
+    );
+}
+
+/// A 3-topic model whose vocabulary maps one word to each topic.
+fn model_for(g: &TopicGraph) -> octopus_topics::TopicModel {
+    assert_eq!(g.num_topics(), 3);
+    let mut vocab = octopus_topics::Vocabulary::new();
+    vocab.intern("alpha");
+    vocab.intern("beta");
+    vocab.intern("gamma");
+    octopus_topics::TopicModel::from_rows(
+        vocab,
+        vec![
+            vec![0.8, 0.1, 0.1],
+            vec![0.1, 0.8, 0.1],
+            vec![0.1, 0.1, 0.8],
+        ],
+        vec![1.0 / 3.0; 3],
+    )
+    .unwrap()
+}

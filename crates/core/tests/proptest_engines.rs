@@ -1,9 +1,7 @@
 //! Property tests for the KIM engine family: agreement with greedy
 //! selection, bound-pruning soundness, and targeted-IM reductions.
 
-use octopus_core::kim::bounds::{
-    global_spread_cap, NeighborhoodBound, PrecompBound, TrivialBound,
-};
+use octopus_core::kim::bounds::{global_spread_cap, NeighborhoodBound, PrecompBound, TrivialBound};
 use octopus_core::kim::{Audience, BestEffortKim, KimAlgorithm, TargetedKim};
 use octopus_graph::{GraphBuilder, NodeId, TopicGraph};
 use octopus_topics::TopicDistribution;
@@ -14,20 +12,17 @@ const THETA: f64 = 1.0 / 320.0;
 /// Random small two-topic graph.
 fn arb_graph() -> impl Strategy<Value = TopicGraph> {
     (4usize..14).prop_flat_map(|n| {
-        proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0usize..2, 0.1f64..0.8),
-            2..n * 2,
-        )
-        .prop_map(move |edges| {
-            let mut b = GraphBuilder::new(2);
-            let _ = b.add_nodes(n);
-            for (u, v, z, p) in edges {
-                if u != v {
-                    b.add_edge(NodeId(u), NodeId(v), &[(z, p)]).unwrap();
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0usize..2, 0.1f64..0.8), 2..n * 2)
+            .prop_map(move |edges| {
+                let mut b = GraphBuilder::new(2);
+                let _ = b.add_nodes(n);
+                for (u, v, z, p) in edges {
+                    if u != v {
+                        b.add_edge(NodeId(u), NodeId(v), &[(z, p)]).unwrap();
+                    }
                 }
-            }
-            b.build().unwrap()
-        })
+                b.build().unwrap()
+            })
     })
 }
 

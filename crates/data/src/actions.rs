@@ -67,14 +67,26 @@ impl ActionLog {
         keywords.sort_unstable();
         keywords.dedup();
         let id = ItemId(self.items.len() as u32);
-        self.items.push(Item { id, keywords, origin });
+        self.items.push(Item {
+            id,
+            keywords,
+            origin,
+        });
         id
     }
 
     /// Append a trial. `item` must already exist.
     pub fn push_trial(&mut self, item: ItemId, src: NodeId, dst: NodeId, activated: bool) {
-        debug_assert!(item.index() < self.items.len(), "trial references unknown item");
-        self.trials.push(Trial { item, src, dst, activated });
+        debug_assert!(
+            item.index() < self.items.len(),
+            "trial references unknown item"
+        );
+        self.trials.push(Trial {
+            item,
+            src,
+            dst,
+            activated,
+        });
     }
 
     /// All items.
@@ -110,8 +122,7 @@ impl ActionLog {
     /// Distinct `(src, dst)` pairs appearing in trials — the candidate edge
     /// set for the learned graph.
     pub fn edge_universe(&self) -> Vec<(NodeId, NodeId)> {
-        let mut pairs: Vec<(NodeId, NodeId)> =
-            self.trials.iter().map(|t| (t.src, t.dst)).collect();
+        let mut pairs: Vec<(NodeId, NodeId)> = self.trials.iter().map(|t| (t.src, t.dst)).collect();
         pairs.sort_unstable();
         pairs.dedup();
         pairs

@@ -19,7 +19,10 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// Gamma(shape, scale=1) via Marsaglia–Tsang squeeze (2000), with the
 /// standard boosting trick for `shape < 1`.
 pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
-    assert!(shape > 0.0 && shape.is_finite(), "gamma shape must be positive");
+    assert!(
+        shape > 0.0 && shape.is_finite(),
+        "gamma shape must be positive"
+    );
     if shape < 1.0 {
         // boost: G(a) = G(a+1) · U^{1/a}
         let g = gamma(rng, shape + 1.0);
@@ -45,7 +48,10 @@ pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
 /// `alpha` has equal entries; `alpha < 1` concentrates mass on few
 /// coordinates (the topic-sparsity regime real networks exhibit).
 pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64> {
-    assert!(!alpha.is_empty(), "dirichlet needs at least one concentration");
+    assert!(
+        !alpha.is_empty(),
+        "dirichlet needs at least one concentration"
+    );
     let mut draws: Vec<f64> = alpha.iter().map(|&a| gamma(rng, a)).collect();
     let sum: f64 = draws.iter().sum();
     if sum <= 0.0 || !sum.is_finite() {
@@ -92,7 +98,10 @@ impl Categorical {
         let mut cdf = Vec::with_capacity(weights.len());
         let mut acc = 0.0f64;
         for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative and finite");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be non-negative and finite"
+            );
             acc += w;
             cdf.push(acc);
         }
@@ -120,7 +129,10 @@ impl Categorical {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random::<f64>();
         // first index with cdf[i] > u
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in cdf")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in cdf"))
+        {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i,
         }
@@ -228,7 +240,10 @@ mod tests {
                 dominated += 1;
             }
         }
-        assert!(dominated as f64 / n as f64 > 0.5, "only {dominated}/{n} concentrated");
+        assert!(
+            dominated as f64 / n as f64 > 0.5,
+            "only {dominated}/{n} concentrated"
+        );
     }
 
     #[test]
@@ -239,7 +254,12 @@ mod tests {
         for pair in w.windows(2) {
             assert!(pair[0] >= pair[1]);
         }
-        assert!(w[0] / w[9] > 9.0, "head must dominate: {} vs {}", w[0], w[9]);
+        assert!(
+            w[0] / w[9] > 9.0,
+            "head must dominate: {} vs {}",
+            w[0],
+            w[9]
+        );
     }
 
     #[test]

@@ -68,11 +68,46 @@ const FIRST_NAMES: &[&str] = &[
     "ingrid", "pavel", "amara", "felix", "rosa", "dmitri", "leila",
 ];
 const LAST_NAMES: &[&str] = &[
-    "chen", "garcia", "kim", "nguyen", "patel", "mueller", "rossi", "tanaka", "kowalski", "silva",
-    "haddad", "johansson", "okafor", "petrov", "yamamoto", "fernandez", "novak", "larsen", "rao",
-    "moreau", "santos", "weber", "ito", "dubois", "hansen", "ali", "costa", "vasquez", "popescu",
-    "zhou", "lindgren", "farouk", "oconnor", "bauer", "sato", "ramos", "keller", "dimitrov",
-    "nakamura", "fischer",
+    "chen",
+    "garcia",
+    "kim",
+    "nguyen",
+    "patel",
+    "mueller",
+    "rossi",
+    "tanaka",
+    "kowalski",
+    "silva",
+    "haddad",
+    "johansson",
+    "okafor",
+    "petrov",
+    "yamamoto",
+    "fernandez",
+    "novak",
+    "larsen",
+    "rao",
+    "moreau",
+    "santos",
+    "weber",
+    "ito",
+    "dubois",
+    "hansen",
+    "ali",
+    "costa",
+    "vasquez",
+    "popescu",
+    "zhou",
+    "lindgren",
+    "farouk",
+    "oconnor",
+    "bauer",
+    "sato",
+    "ramos",
+    "keller",
+    "dimitrov",
+    "nakamura",
+    "fischer",
 ];
 
 /// Deterministic researcher name for index `i` (unique via numeric suffix
@@ -143,8 +178,7 @@ impl CitationConfig {
                 .collect();
             let gamma = TopicDistribution::from_weights(dirichlet(&mut rng, &alpha_item))
                 .expect("dirichlet draws are weights");
-            let kw_count =
-                rng.random_range(self.keywords_per_paper.0..=self.keywords_per_paper.1);
+            let kw_count = rng.random_range(self.keywords_per_paper.0..=self.keywords_per_paper.1);
             let keywords = sample_item_keywords(&mut rng, &model, &gamma, kw_count.max(1));
             let item = log.push_item(NodeId(a as u32), keywords);
             debug_assert_eq!(item.index(), paper_author.len());
@@ -181,7 +215,9 @@ impl CitationConfig {
                     let cited_author = paper_author[j] as u32;
                     let citing_author = a as u32;
                     if cited_author != citing_author {
-                        *citation_pairs.entry((cited_author, citing_author)).or_insert(0) += 1;
+                        *citation_pairs
+                            .entry((cited_author, citing_author))
+                            .or_insert(0) += 1;
                     }
                 }
             }
@@ -215,7 +251,8 @@ impl CitationConfig {
             for (_, p) in probs.iter_mut() {
                 *p = (*p * boost).min(self.edge_prob_cap);
             }
-            b.add_edge(NodeId(u), NodeId(v_), &probs).expect("generator edges valid");
+            b.add_edge(NodeId(u), NodeId(v_), &probs)
+                .expect("generator edges valid");
         }
         let graph = b.build().expect("generator graph valid");
 
@@ -291,7 +328,10 @@ mod tests {
         assert_eq!(net.log.item_count(), 150);
         assert!(net.log.trial_count() > 0, "cascades must produce trials");
         let rate = net.log.activation_rate();
-        assert!(rate > 0.0 && rate < 1.0, "activation rate {rate} should be interior");
+        assert!(
+            rate > 0.0 && rate < 1.0,
+            "activation rate {rate} should be interior"
+        );
     }
 
     #[test]
@@ -316,6 +356,9 @@ mod tests {
 
     #[test]
     fn wrapped_names_stay_unique() {
-        assert_ne!(researcher_name(0), researcher_name(FIRST_NAMES.len() * LAST_NAMES.len()));
+        assert_ne!(
+            researcher_name(0),
+            researcher_name(FIRST_NAMES.len() * LAST_NAMES.len())
+        );
     }
 }

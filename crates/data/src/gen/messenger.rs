@@ -157,7 +157,8 @@ impl MessengerConfig {
                 self.max_edge_topics,
                 self.edge_prob_cap,
             );
-            b.add_edge(NodeId(u), NodeId(t), &probs).expect("generator edges valid");
+            b.add_edge(NodeId(u), NodeId(t), &probs)
+                .expect("generator edges valid");
         }
         let graph = b.build().expect("generator graph valid");
 
@@ -175,8 +176,7 @@ impl MessengerConfig {
             }
             let gamma = TopicDistribution::from_weights(dirichlet(&mut rng, &alpha))
                 .expect("dirichlet draws are weights");
-            let kw_count =
-                rng.random_range(self.keywords_per_item.0..=self.keywords_per_item.1);
+            let kw_count = rng.random_range(self.keywords_per_item.0..=self.keywords_per_item.1);
             let keywords = sample_item_keywords(&mut rng, &model, &gamma, kw_count.max(1));
             let item = log.push_item(NodeId(u as u32), keywords);
             simulate_item_cascade(
@@ -221,10 +221,17 @@ mod tests {
 
     #[test]
     fn graph_is_power_law_ish() {
-        let net = MessengerConfig { users: 600, ..tiny() }.generate();
+        let net = MessengerConfig {
+            users: 600,
+            ..tiny()
+        }
+        .generate();
         let s = GraphStats::compute(&net.graph);
         assert_eq!(s.nodes, 600);
-        assert!(s.max_out_degree > 3 * s.avg_out_degree as usize, "needs hubs");
+        assert!(
+            s.max_out_degree > 3 * s.avg_out_degree as usize,
+            "needs hubs"
+        );
         let hist = degree_histogram(&net.graph);
         assert!(hist.len() >= 3, "degree spectrum too narrow: {hist:?}");
     }
@@ -259,7 +266,11 @@ mod tests {
     fn game_query_maps_to_games_topic() {
         let net = tiny().generate();
         let gamma = net.infer("game").unwrap();
-        assert_eq!(gamma.dominant_topic(), 0, "'game' belongs to the games theme");
+        assert_eq!(
+            gamma.dominant_topic(),
+            0,
+            "'game' belongs to the games theme"
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ pub(crate) fn sample_item_keywords(
         }
     }
     let cat = Categorical::new(&weights);
-    cat.sample_distinct(rng, count.min(v)).into_iter().map(|w| KeywordId(w as u32)).collect()
+    cat.sample_distinct(rng, count.min(v))
+        .into_iter()
+        .map(|w| KeywordId(w as u32))
+        .collect()
 }
 
 /// Simulate one TIC cascade for an item and append its trials to the log.

@@ -9,66 +9,137 @@ pub const ACADEMIC_TOPICS: &[(&str, &[&str])] = &[
     (
         "databases",
         &[
-            "query optimization", "indexing", "transaction", "data mining",
-            "association rule", "sql", "schema design", "join processing",
-            "column store", "data cleaning", "olap", "stream processing",
+            "query optimization",
+            "indexing",
+            "transaction",
+            "data mining",
+            "association rule",
+            "sql",
+            "schema design",
+            "join processing",
+            "column store",
+            "data cleaning",
+            "olap",
+            "stream processing",
         ],
     ),
     (
         "machine learning",
         &[
-            "neural network", "em algorithm", "clustering", "classification",
-            "bayesian inference", "regression", "deep learning", "embedding",
-            "reinforcement learning", "feature selection", "kernel method", "boosting",
+            "neural network",
+            "em algorithm",
+            "clustering",
+            "classification",
+            "bayesian inference",
+            "regression",
+            "deep learning",
+            "embedding",
+            "reinforcement learning",
+            "feature selection",
+            "kernel method",
+            "boosting",
         ],
     ),
     (
         "social networks",
         &[
-            "influence maximization", "link prediction", "network evolution",
-            "small-world phenomenon", "community detection", "viral marketing",
-            "graph mining", "random walk", "centrality", "information diffusion",
-            "social recommendation", "cascade model",
+            "influence maximization",
+            "link prediction",
+            "network evolution",
+            "small-world phenomenon",
+            "community detection",
+            "viral marketing",
+            "graph mining",
+            "random walk",
+            "centrality",
+            "information diffusion",
+            "social recommendation",
+            "cascade model",
         ],
     ),
     (
         "systems",
         &[
-            "distributed system", "consensus", "replication", "file system",
-            "scheduling", "virtualization", "fault tolerance", "caching",
-            "memory management", "concurrency control", "storage engine", "rpc",
+            "distributed system",
+            "consensus",
+            "replication",
+            "file system",
+            "scheduling",
+            "virtualization",
+            "fault tolerance",
+            "caching",
+            "memory management",
+            "concurrency control",
+            "storage engine",
+            "rpc",
         ],
     ),
     (
         "theory",
         &[
-            "approximation algorithm", "complexity", "np-hardness", "randomized algorithm",
-            "submodular optimization", "graph theory", "lower bound", "online algorithm",
-            "combinatorics", "linear programming", "hashing theory", "sampling theory",
+            "approximation algorithm",
+            "complexity",
+            "np-hardness",
+            "randomized algorithm",
+            "submodular optimization",
+            "graph theory",
+            "lower bound",
+            "online algorithm",
+            "combinatorics",
+            "linear programming",
+            "hashing theory",
+            "sampling theory",
         ],
     ),
     (
         "information retrieval",
         &[
-            "ranking", "topic model", "keyword search", "relevance feedback",
-            "inverted index", "query expansion", "text summarization", "entity linking",
-            "question answering", "web search", "crawling", "latent semantics",
+            "ranking",
+            "topic model",
+            "keyword search",
+            "relevance feedback",
+            "inverted index",
+            "query expansion",
+            "text summarization",
+            "entity linking",
+            "question answering",
+            "web search",
+            "crawling",
+            "latent semantics",
         ],
     ),
     (
         "hci",
         &[
-            "user study", "visualization", "interaction design", "crowdsourcing",
-            "usability", "interface", "eye tracking", "accessibility",
-            "mixed reality", "gesture recognition", "user modeling", "dashboard",
+            "user study",
+            "visualization",
+            "interaction design",
+            "crowdsourcing",
+            "usability",
+            "interface",
+            "eye tracking",
+            "accessibility",
+            "mixed reality",
+            "gesture recognition",
+            "user modeling",
+            "dashboard",
         ],
     ),
     (
         "security",
         &[
-            "encryption", "authentication", "differential privacy", "intrusion detection",
-            "access control", "malware analysis", "secure computation", "key exchange",
-            "anonymity", "blockchain", "side channel", "threat model",
+            "encryption",
+            "authentication",
+            "differential privacy",
+            "intrusion detection",
+            "access control",
+            "malware analysis",
+            "secure computation",
+            "key exchange",
+            "anonymity",
+            "blockchain",
+            "side channel",
+            "threat model",
         ],
     ),
 ];
@@ -78,36 +149,85 @@ pub const PRODUCT_TOPICS: &[(&str, &[&str])] = &[
     (
         "games",
         &[
-            "game", "mmorpg", "esports", "console", "strategy game", "mobile game",
-            "game skin", "battle pass", "arcade", "puzzle game", "racing game", "gamepad",
+            "game",
+            "mmorpg",
+            "esports",
+            "console",
+            "strategy game",
+            "mobile game",
+            "game skin",
+            "battle pass",
+            "arcade",
+            "puzzle game",
+            "racing game",
+            "gamepad",
         ],
     ),
     (
         "food",
         &[
-            "gum", "strawberry", "xylitol", "chocolate", "bubble tea", "instant noodle",
-            "snack box", "coffee", "hotpot", "candy", "mooncake", "energy drink",
+            "gum",
+            "strawberry",
+            "xylitol",
+            "chocolate",
+            "bubble tea",
+            "instant noodle",
+            "snack box",
+            "coffee",
+            "hotpot",
+            "candy",
+            "mooncake",
+            "energy drink",
         ],
     ),
     (
         "electronics",
         &[
-            "smartphone", "earbuds", "laptop", "smart watch", "tablet", "power bank",
-            "camera", "drone", "monitor", "mechanical keyboard", "router", "charger",
+            "smartphone",
+            "earbuds",
+            "laptop",
+            "smart watch",
+            "tablet",
+            "power bank",
+            "camera",
+            "drone",
+            "monitor",
+            "mechanical keyboard",
+            "router",
+            "charger",
         ],
     ),
     (
         "fashion",
         &[
-            "sneaker", "handbag", "lipstick", "sunglasses", "hoodie", "perfume",
-            "skincare", "watch strap", "dress", "backpack", "jacket", "jewelry",
+            "sneaker",
+            "handbag",
+            "lipstick",
+            "sunglasses",
+            "hoodie",
+            "perfume",
+            "skincare",
+            "watch strap",
+            "dress",
+            "backpack",
+            "jacket",
+            "jewelry",
         ],
     ),
     (
         "travel",
         &[
-            "flight deal", "hotel", "theme park", "road trip", "camping gear",
-            "train pass", "cruise", "city tour", "luggage", "resort", "visa service",
+            "flight deal",
+            "hotel",
+            "theme park",
+            "road trip",
+            "camping gear",
+            "train pass",
+            "cruise",
+            "city tour",
+            "luggage",
+            "resort",
+            "visa service",
             "travel insurance",
         ],
     ),
@@ -162,8 +282,7 @@ pub fn themed_vocabulary(
 
 /// Tiny roman-numeral helper for word variants (1 ≤ n ≤ 20 is plenty).
 fn roman(n: usize) -> String {
-    const TABLE: &[(usize, &str)] =
-        &[(10, "x"), (9, "ix"), (5, "v"), (4, "iv"), (1, "i")];
+    const TABLE: &[(usize, &str)] = &[(10, "x"), (9, "ix"), (5, "v"), (4, "iv"), (1, "i")];
     let mut n = n;
     let mut out = String::new();
     for &(v, s) in TABLE {

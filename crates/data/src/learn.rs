@@ -137,8 +137,12 @@ impl TicEm {
 
         // --- index the log ---
         let edges: Vec<(NodeId, NodeId)> = log.edge_universe();
-        let edge_idx: HashMap<(NodeId, NodeId), usize> =
-            edges.iter().copied().enumerate().map(|(i, e)| (e, i)).collect();
+        let edge_idx: HashMap<(NodeId, NodeId), usize> = edges
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, e)| (e, i))
+            .collect();
         let n_edges = edges.len();
         // per item: (keyword ids, [(edge idx, activated)])
         let mut item_words: Vec<&[KeywordId]> = Vec::with_capacity(n_items);
@@ -192,9 +196,7 @@ impl TicEm {
                                 .edge_prob_topic(pe, octopus_graph::TopicId(z as u16))
                                 as f64)
                                 .clamp(1e-3, 0.99),
-                            None => {
-                                (base_rate * (0.5 + rng.random::<f64>())).clamp(1e-3, 0.99)
-                            }
+                            None => (base_rate * (0.5 + rng.random::<f64>())).clamp(1e-3, 0.99),
                         };
                     }
                 }
@@ -229,7 +231,11 @@ impl TicEm {
                     }
                     for &(e, act) in &item_trials[i] {
                         let p = ppz[z * n_edges + e as usize];
-                        acc += if act { p.max(1e-300).ln() } else { (1.0 - p).max(1e-300).ln() };
+                        acc += if act {
+                            p.max(1e-300).ln()
+                        } else {
+                            (1.0 - p).max(1e-300).ln()
+                        };
                     }
                     *lp = acc;
                 }
@@ -307,8 +313,7 @@ impl TicEm {
         }
 
         // --- package the result ---
-        let mut builder =
-            GraphBuilder::new(z_count).with_capacity(node_names.len(), n_edges);
+        let mut builder = GraphBuilder::new(z_count).with_capacity(node_names.len(), n_edges);
         for name in &node_names {
             builder.add_node(name.clone());
         }
@@ -321,21 +326,31 @@ impl TicEm {
                 // keep the strongest topic so the edge survives
                 let best = (0..z_count)
                     .max_by(|&a, &b| {
-                        ppz[a * n_edges + ei].partial_cmp(&ppz[b * n_edges + ei]).expect("finite")
+                        ppz[a * n_edges + ei]
+                            .partial_cmp(&ppz[b * n_edges + ei])
+                            .expect("finite")
                     })
                     .expect("z_count > 0");
                 sparse.push((best, ppz[best * n_edges + ei]));
             }
-            builder.add_edge(u, v, &sparse).expect("log nodes within universe");
+            builder
+                .add_edge(u, v, &sparse)
+                .expect("log nodes within universe");
         }
         let graph = builder.build().expect("learned graph is valid");
 
-        let rows: Vec<Vec<f64>> =
-            (0..z_count).map(|z| pwz[z * v_count..(z + 1) * v_count].to_vec()).collect();
+        let rows: Vec<Vec<f64>> = (0..z_count)
+            .map(|z| pwz[z * v_count..(z + 1) * v_count].to_vec())
+            .collect();
         let model =
             TopicModel::from_rows(vocab, rows, pi.clone()).expect("learned rows are normalized");
 
-        LearnedModel { graph, model, log_likelihood: loglik_trace, iterations }
+        LearnedModel {
+            graph,
+            model,
+            log_likelihood: loglik_trace,
+            iterations,
+        }
     }
 }
 
@@ -354,7 +369,11 @@ fn normalize_rows(m: &mut [f64], rows: usize, cols: usize) {
 /// planted topic whose `p(w|z)` row it correlates with best (cosine).
 /// Returns `perm` with `perm[learned_z] = true_z`.
 pub fn align_topics(learned: &TopicModel, truth: &TopicModel) -> Vec<usize> {
-    assert_eq!(learned.vocab_size(), truth.vocab_size(), "vocabularies must match");
+    assert_eq!(
+        learned.vocab_size(),
+        truth.vocab_size(),
+        "vocabularies must match"
+    );
     let zl = learned.num_topics();
     let zt = truth.num_topics();
     let v = learned.vocab_size();
@@ -394,7 +413,11 @@ pub fn align_topics(learned: &TopicModel, truth: &TopicModel) -> Vec<usize> {
     for a in 0..zl {
         if perm[a] == usize::MAX {
             perm[a] = (0..zt)
-                .max_by(|&x, &y| sims[a * zt + x].partial_cmp(&sims[a * zt + y]).expect("finite"))
+                .max_by(|&x, &y| {
+                    sims[a * zt + x]
+                        .partial_cmp(&sims[a * zt + y])
+                        .expect("finite")
+                })
                 .expect("zt > 0");
         }
     }
@@ -434,10 +457,18 @@ mod tests {
     #[test]
     fn loglik_is_monotone_non_decreasing() {
         let (log, vocab) = planted_log();
-        let em = TicEm::new(EmOptions { num_topics: 2, max_iters: 25, ..Default::default() });
+        let em = TicEm::new(EmOptions {
+            num_topics: 2,
+            max_iters: 25,
+            ..Default::default()
+        });
         let fit = em.fit(&log, vocab, names(3));
         for w in fit.log_likelihood.windows(2) {
-            assert!(w[1] >= w[0] - 1e-6, "loglik decreased: {:?}", fit.log_likelihood);
+            assert!(
+                w[1] >= w[0] - 1e-6,
+                "loglik decreased: {:?}",
+                fit.log_likelihood
+            );
         }
         assert!(fit.iterations >= 2);
     }
@@ -445,7 +476,11 @@ mod tests {
     #[test]
     fn planted_two_topic_structure_is_recovered() {
         let (log, vocab) = planted_log();
-        let em = TicEm::new(EmOptions { num_topics: 2, max_iters: 50, ..Default::default() });
+        let em = TicEm::new(EmOptions {
+            num_topics: 2,
+            max_iters: 50,
+            ..Default::default()
+        });
         let fit = em.fit(&log, vocab, names(3));
         let g = &fit.graph;
         let m = &fit.model;
@@ -459,16 +494,31 @@ mod tests {
         let p02_a = g.edge_prob_topic(e02, octopus_graph::TopicId(za as u16));
         let p01_b = g.edge_prob_topic(e01, octopus_graph::TopicId(zb as u16));
         let p02_b = g.edge_prob_topic(e02, octopus_graph::TopicId(zb as u16));
-        assert!(p01_a > 0.7, "edge 0→1 under topic A should be strong: {p01_a}");
-        assert!(p02_a < 0.3, "edge 0→2 under topic A should be weak: {p02_a}");
-        assert!(p01_b < 0.3, "edge 0→1 under topic B should be weak: {p01_b}");
-        assert!(p02_b > 0.7, "edge 0→2 under topic B should be strong: {p02_b}");
+        assert!(
+            p01_a > 0.7,
+            "edge 0→1 under topic A should be strong: {p01_a}"
+        );
+        assert!(
+            p02_a < 0.3,
+            "edge 0→2 under topic A should be weak: {p02_a}"
+        );
+        assert!(
+            p01_b < 0.3,
+            "edge 0→1 under topic B should be weak: {p01_b}"
+        );
+        assert!(
+            p02_b > 0.7,
+            "edge 0→2 under topic B should be strong: {p02_b}"
+        );
     }
 
     #[test]
     fn learned_graph_has_all_log_edges() {
         let (log, vocab) = planted_log();
-        let em = TicEm::new(EmOptions { num_topics: 2, ..Default::default() });
+        let em = TicEm::new(EmOptions {
+            num_topics: 2,
+            ..Default::default()
+        });
         let fit = em.fit(&log, vocab, names(3));
         assert_eq!(fit.graph.edge_count(), 2);
         assert_eq!(fit.graph.node_count(), 3);
@@ -493,7 +543,11 @@ mod tests {
             seed: 9,
             ..Default::default()
         });
-        let fit = em.fit(&net.log, net.model.vocab().clone(), net.graph.names().to_vec());
+        let fit = em.fit(
+            &net.log,
+            net.model.vocab().clone(),
+            net.graph.names().to_vec(),
+        );
         let perm = align_topics(&fit.model, &net.model);
 
         // Compare planted vs learned probability on edges with enough trials.
@@ -508,10 +562,16 @@ mod tests {
             if trials_per_edge.get(&(u, v)).copied().unwrap_or(0) < 20 {
                 continue;
             }
-            let Some(te) = net.graph.find_edge(u, v) else { continue };
+            let Some(te) = net.graph.find_edge(u, v) else {
+                continue;
+            };
             for (zl, &pz) in perm.iter().enumerate().take(3) {
-                let learned = fit.graph.edge_prob_topic(e, octopus_graph::TopicId(zl as u16));
-                let truth = net.graph.edge_prob_topic(te, octopus_graph::TopicId(pz as u16));
+                let learned = fit
+                    .graph
+                    .edge_prob_topic(e, octopus_graph::TopicId(zl as u16));
+                let truth = net
+                    .graph
+                    .edge_prob_topic(te, octopus_graph::TopicId(pz as u16));
                 err_sum += (learned as f64 - truth as f64).abs();
                 count += 1;
             }
@@ -548,12 +608,25 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        let em = TicEm::new(EmOptions { num_topics: 3, max_iters: 60, tol: 1e-6, ..Default::default() });
-        let first = em.fit(&net.log, net.model.vocab().clone(), net.graph.names().to_vec());
+        let em = TicEm::new(EmOptions {
+            num_topics: 3,
+            max_iters: 60,
+            tol: 1e-6,
+            ..Default::default()
+        });
+        let first = em.fit(
+            &net.log,
+            net.model.vocab().clone(),
+            net.graph.names().to_vec(),
+        );
 
         // "new actions arrive": refit the same log (worst case for cold,
         // best case for warm — the point is the iteration-count gap)
-        let cold = em.fit(&net.log, net.model.vocab().clone(), net.graph.names().to_vec());
+        let cold = em.fit(
+            &net.log,
+            net.model.vocab().clone(),
+            net.graph.names().to_vec(),
+        );
         let warm = em.fit_warm(
             &net.log,
             net.model.vocab().clone(),
@@ -569,15 +642,26 @@ mod tests {
         // and reach at least the same likelihood
         let lw = warm.log_likelihood.last().unwrap();
         let lc = cold.log_likelihood.last().unwrap();
-        assert!(lw >= &(lc - lc.abs() * 1e-3), "warm loglik {lw} vs cold {lc}");
+        assert!(
+            lw >= &(lc - lc.abs() * 1e-3),
+            "warm loglik {lw} vs cold {lc}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "same topic count")]
     fn warm_start_topic_mismatch_panics() {
         let (log, vocab) = planted_log();
-        let em2 = TicEm::new(EmOptions { num_topics: 2, max_iters: 5, ..Default::default() });
-        let em3 = TicEm::new(EmOptions { num_topics: 3, max_iters: 5, ..Default::default() });
+        let em2 = TicEm::new(EmOptions {
+            num_topics: 2,
+            max_iters: 5,
+            ..Default::default()
+        });
+        let em3 = TicEm::new(EmOptions {
+            num_topics: 3,
+            max_iters: 5,
+            ..Default::default()
+        });
         let prev = em2.fit(&log, vocab.clone(), names(3));
         let _ = em3.fit_warm(&log, vocab, names(3), &prev);
     }

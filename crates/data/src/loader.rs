@@ -87,7 +87,9 @@ pub fn parse_aminer<R: BufRead>(reader: R) -> Result<Vec<PaperRecord>, LoaderErr
             return Ok(());
         }
         if cur.index.is_empty() {
-            return Err(LoaderError::MissingIndex { title: cur.title.clone() });
+            return Err(LoaderError::MissingIndex {
+                title: cur.title.clone(),
+            });
         }
         if seen.insert(cur.index.clone(), ()).is_some() {
             return Err(LoaderError::DuplicateIndex(cur.index.clone()));
@@ -135,8 +137,8 @@ pub fn parse_aminer<R: BufRead>(reader: R) -> Result<Vec<PaperRecord>, LoaderErr
 /// carry no topical signal).
 const STOPWORDS: &[&str] = &[
     "a", "an", "the", "of", "for", "and", "or", "in", "on", "with", "to", "by", "from", "at",
-    "via", "using", "toward", "towards", "is", "are", "be", "its", "their", "as", "into",
-    "based", "approach", "method", "methods", "system", "systems", "new", "novel", "study",
+    "via", "using", "toward", "towards", "is", "are", "be", "its", "their", "as", "into", "based",
+    "approach", "method", "methods", "system", "systems", "new", "novel", "study",
 ];
 
 /// Extract normalized title keywords: lowercase alphanumeric tokens, minus
@@ -166,7 +168,10 @@ pub struct BuildOptions {
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { min_keyword_count: 2, max_negatives_per_item: 32 }
+        BuildOptions {
+            min_keyword_count: 2,
+            max_negatives_per_item: 32,
+        }
     }
 }
 
@@ -203,26 +208,32 @@ pub fn build_action_log(records: &[PaperRecord], opts: &BuildOptions) -> Citatio
         }
     }
     let mut vocab = Vocabulary::new();
-    let mut frequent: Vec<(&String, &usize)> =
-        counts.iter().filter(|&(_, &c)| c >= opts.min_keyword_count).collect();
+    let mut frequent: Vec<(&String, &usize)> = counts
+        .iter()
+        .filter(|&(_, &c)| c >= opts.min_keyword_count)
+        .collect();
     frequent.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
     for (w, _) in frequent {
         vocab.intern(w);
     }
 
     // paper index → (record position, first-author node)
-    let by_index: HashMap<&str, usize> =
-        records.iter().enumerate().map(|(i, r)| (r.index.as_str(), i)).collect();
-    let first_author = |r: &PaperRecord| -> Option<u32> {
-        r.authors.first().map(|a| author_ids[a.as_str()])
-    };
+    let by_index: HashMap<&str, usize> = records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.index.as_str(), i))
+        .collect();
+    let first_author =
+        |r: &PaperRecord| -> Option<u32> { r.authors.first().map(|a| author_ids[a.as_str()]) };
 
     // citers[paper] = distinct citing first-authors; followers[u] = authors
     // who cited any of u's papers (potential exposure set)
     let mut citers: Vec<Vec<u32>> = vec![Vec::new(); records.len()];
     let mut followers: HashMap<u32, Vec<u32>> = HashMap::new();
     for r in records {
-        let Some(citing) = first_author(r) else { continue };
+        let Some(citing) = first_author(r) else {
+            continue;
+        };
         for refid in &r.references {
             if let Some(&pi) = by_index.get(refid.as_str()) {
                 if let Some(cited_author) = first_author(&records[pi]) {
@@ -243,9 +254,13 @@ pub fn build_action_log(records: &[PaperRecord], opts: &BuildOptions) -> Citatio
     // emit items + trials
     let mut log = ActionLog::new();
     for (pi, r) in records.iter().enumerate() {
-        let Some(owner) = first_author(r) else { continue };
-        let kws: Vec<_> =
-            title_keywords(&r.title).iter().filter_map(|k| vocab.get(k)).collect();
+        let Some(owner) = first_author(r) else {
+            continue;
+        };
+        let kws: Vec<_> = title_keywords(&r.title)
+            .iter()
+            .filter_map(|k| vocab.get(k))
+            .collect();
         if kws.is_empty() {
             continue;
         }
@@ -268,7 +283,11 @@ pub fn build_action_log(records: &[PaperRecord], opts: &BuildOptions) -> Citatio
         }
     }
 
-    CitationData { author_names, vocab, log }
+    CitationData {
+        author_names,
+        vocab,
+        log,
+    }
 }
 
 #[cfg(test)]
@@ -338,7 +357,13 @@ mod tests {
     #[test]
     fn action_log_construction() {
         let recs = parse_aminer(Cursor::new(SAMPLE)).unwrap();
-        let data = build_action_log(&recs, &BuildOptions { min_keyword_count: 2, ..Default::default() });
+        let data = build_action_log(
+            &recs,
+            &BuildOptions {
+                min_keyword_count: 2,
+                ..Default::default()
+            },
+        );
         // authors: agrawal, srikant, han, witten
         assert_eq!(data.author_names.len(), 4);
         // "mining" (3×), "association" (2×), "rules" (2×), … appear;
@@ -348,7 +373,7 @@ mod tests {
         // p1 is cited by han (p2) and witten (p3): 2 positive trials on item p1
         let positives: Vec<_> = data.log.trials().iter().filter(|t| t.activated).collect();
         assert_eq!(positives.len(), 3); // p1←han, p1←witten, p2←witten
-        // all positive trials originate at the cited paper's first author
+                                        // all positive trials originate at the cited paper's first author
         let agrawal = NodeId(0);
         assert!(positives.iter().filter(|t| t.src == agrawal).count() == 2);
     }
@@ -363,7 +388,10 @@ mod tests {
         let recs = parse_aminer(Cursor::new(text)).unwrap();
         let data = build_action_log(
             &recs,
-            &BuildOptions { min_keyword_count: 1, max_negatives_per_item: 10 },
+            &BuildOptions {
+                min_keyword_count: 1,
+                max_negatives_per_item: 10,
+            },
         );
         let negs: Vec<_> = data.log.trials().iter().filter(|t| !t.activated).collect();
         assert!(!negs.is_empty(), "expected negative trials");
@@ -374,9 +402,18 @@ mod tests {
     fn end_to_end_em_on_loaded_data() {
         use crate::learn::{EmOptions, TicEm};
         let recs = parse_aminer(Cursor::new(SAMPLE)).unwrap();
-        let data =
-            build_action_log(&recs, &BuildOptions { min_keyword_count: 1, ..Default::default() });
-        let em = TicEm::new(EmOptions { num_topics: 2, max_iters: 10, ..Default::default() });
+        let data = build_action_log(
+            &recs,
+            &BuildOptions {
+                min_keyword_count: 1,
+                ..Default::default()
+            },
+        );
+        let em = TicEm::new(EmOptions {
+            num_topics: 2,
+            max_iters: 10,
+            ..Default::default()
+        });
         let fit = em.fit(&data.log, data.vocab.clone(), data.author_names.clone());
         assert!(fit.graph.edge_count() > 0);
         assert_eq!(fit.graph.node_count(), 4);

@@ -131,7 +131,9 @@ pub fn encode(ds: &Dataset) -> Bytes {
 
 fn need<B: Buf + ?Sized>(buf: &B, n: usize, what: &str) -> Result<(), StoreError> {
     if buf.remaining() < n {
-        Err(StoreError::Corrupt(format!("truncated while reading {what}")))
+        Err(StoreError::Corrupt(format!(
+            "truncated while reading {what}"
+        )))
     } else {
         Ok(())
     }
@@ -152,11 +154,15 @@ pub fn decode(mut buf: impl Buf) -> Result<Dataset, StoreError> {
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(StoreError::Corrupt("bad magic (not an OCTS payload)".into()));
+        return Err(StoreError::Corrupt(
+            "bad magic (not an OCTS payload)".into(),
+        ));
     }
     let version = buf.get_u16_le();
     if version != VERSION {
-        return Err(StoreError::Corrupt(format!("unsupported version {version}")));
+        return Err(StoreError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
     }
     let has_log = buf.get_u8() != 0;
 
@@ -185,7 +191,9 @@ pub fn decode(mut buf: impl Buf) -> Result<Dataset, StoreError> {
     let z = buf.get_u32_le() as usize;
     let v = buf.get_u32_le() as usize;
     if v != vcount {
-        return Err(StoreError::Model(format!("model width {v} != vocab size {vcount}")));
+        return Err(StoreError::Model(format!(
+            "model width {v} != vocab size {vcount}"
+        )));
     }
     need(&buf, z * v * 8 + z * 8 + 1, "model matrices")?;
     let mut rows = Vec::with_capacity(z);
@@ -201,14 +209,16 @@ pub fn decode(mut buf: impl Buf) -> Result<Dataset, StoreError> {
         prior.push(buf.get_f64_le());
     }
     let has_labels = buf.get_u8() != 0;
-    let mut model = TopicModel::from_rows(vocab, rows, prior)
-        .map_err(|e| StoreError::Model(e.to_string()))?;
+    let mut model =
+        TopicModel::from_rows(vocab, rows, prior).map_err(|e| StoreError::Model(e.to_string()))?;
     if has_labels {
         let mut labels = Vec::with_capacity(z);
         for _ in 0..z {
             labels.push(read_string(&mut buf, "topic label")?);
         }
-        model = model.with_labels(labels).map_err(|e| StoreError::Model(e.to_string()))?;
+        model = model
+            .with_labels(labels)
+            .map_err(|e| StoreError::Model(e.to_string()))?;
     }
 
     // log
@@ -277,7 +287,11 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        Dataset { graph: net.graph, model: net.model, log: Some(net.log) }
+        Dataset {
+            graph: net.graph,
+            model: net.model,
+            log: Some(net.log),
+        }
     }
 
     /// Models round-trip through one renormalization in `from_rows`, so

@@ -6,20 +6,22 @@ use octopus_data::CitationConfig;
 use proptest::prelude::*;
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    (10usize..40, 20usize..80, 2usize..4, 1u64..500).prop_map(
-        |(authors, papers, topics, seed)| {
-            let net = CitationConfig {
-                authors,
-                papers,
-                num_topics: topics,
-                words_per_topic: 6,
-                seed,
-                ..Default::default()
-            }
-            .generate();
-            Dataset { graph: net.graph, model: net.model, log: Some(net.log) }
-        },
-    )
+    (10usize..40, 20usize..80, 2usize..4, 1u64..500).prop_map(|(authors, papers, topics, seed)| {
+        let net = CitationConfig {
+            authors,
+            papers,
+            num_topics: topics,
+            words_per_topic: 6,
+            seed,
+            ..Default::default()
+        }
+        .generate();
+        Dataset {
+            graph: net.graph,
+            model: net.model,
+            log: Some(net.log),
+        }
+    })
 }
 
 proptest! {

@@ -43,7 +43,10 @@ impl GraphBuilder {
     /// Panics if `num_topics == 0` or exceeds `u16::MAX`.
     pub fn new(num_topics: usize) -> Self {
         assert!(num_topics > 0, "a topic graph needs at least one topic");
-        assert!(num_topics <= u16::MAX as usize, "too many topics for u16 ids");
+        assert!(
+            num_topics <= u16::MAX as usize,
+            "too many topics for u16 ids"
+        );
         GraphBuilder {
             num_topics,
             names: Vec::new(),
@@ -119,10 +122,16 @@ impl GraphBuilder {
     /// entirely at [`GraphBuilder::build`] time.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, probs: &[(usize, f64)]) -> Result<()> {
         if u.index() >= self.names.len() {
-            return Err(GraphError::NodeOutOfBounds { node: u.0, len: self.names.len() });
+            return Err(GraphError::NodeOutOfBounds {
+                node: u.0,
+                len: self.names.len(),
+            });
         }
         if v.index() >= self.names.len() {
-            return Err(GraphError::NodeOutOfBounds { node: v.0, len: self.names.len() });
+            return Err(GraphError::NodeOutOfBounds {
+                node: v.0,
+                len: self.names.len(),
+            });
         }
         if u == v {
             // Self-influence is a no-op under IC; reject loudly so data bugs
@@ -132,7 +141,10 @@ impl GraphBuilder {
         let mut sparse: Vec<(u16, f32)> = Vec::with_capacity(probs.len());
         for &(z, p) in probs {
             if z >= self.num_topics {
-                return Err(GraphError::TopicOutOfBounds { topic: z, num_topics: self.num_topics });
+                return Err(GraphError::TopicOutOfBounds {
+                    topic: z,
+                    num_topics: self.num_topics,
+                });
             }
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                 return Err(GraphError::InvalidProbability(p));
@@ -232,7 +244,11 @@ impl GraphBuilder {
             cursor[*v as usize] += 1;
         }
 
-        let names = if self.named { self.names } else { vec![String::new(); n] };
+        let names = if self.named {
+            self.names
+        } else {
+            vec![String::new(); n]
+        };
         Ok(TopicGraph {
             num_topics: self.num_topics,
             names,
@@ -263,14 +279,20 @@ mod tests {
         assert!(b.add_edge(u, v, &[(5, 0.5)]).is_err());
         assert!(b.add_edge(u, v, &[(0, 1.5)]).is_err());
         assert!(b.add_edge(u, v, &[(0, f64::NAN)]).is_err());
-        assert!(b.add_edge(u, u, &[(0, 0.2)]).is_err(), "self loops rejected");
+        assert!(
+            b.add_edge(u, u, &[(0, 0.2)]).is_err(),
+            "self loops rejected"
+        );
     }
 
     #[test]
     fn duplicate_names_detected_by_try_add() {
         let mut b = GraphBuilder::new(1);
         b.try_add_node("x").unwrap();
-        assert!(matches!(b.try_add_node("x"), Err(GraphError::DuplicateName(_))));
+        assert!(matches!(
+            b.try_add_node("x"),
+            Err(GraphError::DuplicateName(_))
+        ));
         // anonymous duplicates fine
         b.add_anonymous_node();
         b.add_anonymous_node();
@@ -348,8 +370,17 @@ mod tests {
         b.add_edge(NodeId(0), NodeId(3), &[(0, 0.2)]).unwrap();
         b.add_edge(NodeId(0), NodeId(1), &[(0, 0.3)]).unwrap();
         let g = b.build().unwrap();
-        assert_eq!(g.edge_endpoints(crate::EdgeId(0)).unwrap(), (NodeId(0), NodeId(1)));
-        assert_eq!(g.edge_endpoints(crate::EdgeId(1)).unwrap(), (NodeId(0), NodeId(3)));
-        assert_eq!(g.edge_endpoints(crate::EdgeId(2)).unwrap(), (NodeId(2), NodeId(0)));
+        assert_eq!(
+            g.edge_endpoints(crate::EdgeId(0)).unwrap(),
+            (NodeId(0), NodeId(1))
+        );
+        assert_eq!(
+            g.edge_endpoints(crate::EdgeId(1)).unwrap(),
+            (NodeId(0), NodeId(3))
+        );
+        assert_eq!(
+            g.edge_endpoints(crate::EdgeId(2)).unwrap(),
+            (NodeId(2), NodeId(0))
+        );
     }
 }

@@ -31,8 +31,21 @@ pub fn encode(g: &TopicGraph) -> Bytes {
     let n = g.node_count();
     let m = g.edge_count();
     let named = g.names.iter().any(|s| !s.is_empty());
-    let name_bytes: usize = if named { g.names.iter().map(|s| 4 + s.len()).sum() } else { 0 };
-    let cap = 4 + 2 + 4 + 4 + 4 + 1 + name_bytes + (n + 1) * 4 + m * 4 + (m + 1) * 4
+    let name_bytes: usize = if named {
+        g.names.iter().map(|s| 4 + s.len()).sum()
+    } else {
+        0
+    };
+    let cap = 4
+        + 2
+        + 4
+        + 4
+        + 4
+        + 1
+        + name_bytes
+        + (n + 1) * 4
+        + m * 4
+        + (m + 1) * 4
         + g.prob_topics.len() * 2
         + g.prob_values.len() * 4;
     let mut buf = BytesMut::with_capacity(cap);
@@ -68,7 +81,9 @@ pub fn encode(g: &TopicGraph) -> Bytes {
 
 fn need<B: Buf + ?Sized>(buf: &B, n: usize, what: &str) -> Result<()> {
     if buf.remaining() < n {
-        Err(GraphError::Codec(format!("truncated payload while reading {what}")))
+        Err(GraphError::Codec(format!(
+            "truncated payload while reading {what}"
+        )))
     } else {
         Ok(())
     }
@@ -120,7 +135,9 @@ pub fn decode(mut buf: impl Buf) -> Result<TopicGraph> {
     let fwd_targets = read_u32s(&mut buf, m, "fwd_targets")?;
     let prob_offsets = read_u32s(&mut buf, m + 1, "prob_offsets")?;
     if fwd_offsets.last().copied() != Some(m as u32) {
-        return Err(GraphError::Codec("fwd_offsets do not sum to edge count".into()));
+        return Err(GraphError::Codec(
+            "fwd_offsets do not sum to edge count".into(),
+        ));
     }
     let nnz = *prob_offsets.last().unwrap_or(&0) as usize;
     need(&buf, nnz * 2, "prob_topics")?;
@@ -128,7 +145,9 @@ pub fn decode(mut buf: impl Buf) -> Result<TopicGraph> {
     for _ in 0..nnz {
         let z = buf.get_u16_le();
         if (z as usize) >= num_topics {
-            return Err(GraphError::Codec(format!("topic {z} >= num_topics {num_topics}")));
+            return Err(GraphError::Codec(format!(
+                "topic {z} >= num_topics {num_topics}"
+            )));
         }
         prob_topics.push(z);
     }
@@ -244,7 +263,10 @@ mod tests {
         // never panic.
         for cut in [0, 3, 6, 10, 14, 15, 20, bytes.len() - 1] {
             let err = decode(&bytes[..cut]).unwrap_err();
-            assert!(matches!(err, GraphError::Codec(_)), "cut at {cut} gave {err:?}");
+            assert!(
+                matches!(err, GraphError::Codec(_)),
+                "cut at {cut} gave {err:?}"
+            );
         }
     }
 

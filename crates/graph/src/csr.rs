@@ -78,7 +78,10 @@ impl TopicGraph {
         if u.index() < self.node_count() {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfBounds { node: u.0, len: self.node_count() })
+            Err(GraphError::NodeOutOfBounds {
+                node: u.0,
+                len: self.node_count(),
+            })
         }
     }
 
@@ -88,7 +91,10 @@ impl TopicGraph {
         if e.index() < self.edge_count() {
             Ok(())
         } else {
-            Err(GraphError::EdgeOutOfBounds { edge: e.0, len: self.edge_count() })
+            Err(GraphError::EdgeOutOfBounds {
+                edge: e.0,
+                len: self.edge_count(),
+            })
         }
     }
 
@@ -98,13 +104,19 @@ impl TopicGraph {
         if gamma.len() == self.num_topics {
             Ok(())
         } else {
-            Err(GraphError::DimensionMismatch { expected: self.num_topics, got: gamma.len() })
+            Err(GraphError::DimensionMismatch {
+                expected: self.num_topics,
+                got: gamma.len(),
+            })
         }
     }
 
     /// Display name of `u`, if the graph carries names.
     pub fn name(&self, u: NodeId) -> Option<&str> {
-        self.names.get(u.index()).map(String::as_str).filter(|s| !s.is_empty())
+        self.names
+            .get(u.index())
+            .map(String::as_str)
+            .filter(|s| !s.is_empty())
     }
 
     /// Look a node up by its exact display name.
@@ -186,7 +198,10 @@ impl TopicGraph {
         let hi = self.fwd_offsets[i + 1] as usize;
         // targets within a source are sorted by the builder.
         let slice = &self.fwd_targets[lo..hi];
-        slice.binary_search(&v.0).ok().map(|off| EdgeId((lo + off) as u32))
+        slice
+            .binary_search(&v.0)
+            .ok()
+            .map(|off| EdgeId((lo + off) as u32))
     }
 
     /// Sparse topic probabilities of edge `e`: `(topic, pp^z)` pairs sorted
@@ -211,7 +226,10 @@ impl TopicGraph {
         let lo = self.prob_offsets[e.index()] as usize;
         let hi = self.prob_offsets[e.index() + 1] as usize;
         let mut acc = 0.0f64;
-        for (z, p) in self.prob_topics[lo..hi].iter().zip(self.prob_values[lo..hi].iter()) {
+        for (z, p) in self.prob_topics[lo..hi]
+            .iter()
+            .zip(self.prob_values[lo..hi].iter())
+        {
             acc += (*p as f64) * gamma[*z as usize];
         }
         // Guard against fp drift beyond 1.0 (convex combination can't exceed
@@ -324,10 +342,12 @@ mod tests {
         for i in 0..3 {
             b.add_node(format!("u{i}"));
         }
-        b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (1, 0.2)]).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (1, 0.2)])
+            .unwrap();
         b.add_edge(NodeId(0), NodeId(2), &[(2, 0.9)]).unwrap();
         b.add_edge(NodeId(1), NodeId(2), &[(0, 0.3)]).unwrap();
-        b.add_edge(NodeId(2), NodeId(0), &[(1, 0.1), (2, 0.4)]).unwrap();
+        b.add_edge(NodeId(2), NodeId(0), &[(1, 0.1), (2, 0.4)])
+            .unwrap();
         b.build().unwrap()
     }
 

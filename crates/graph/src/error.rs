@@ -58,7 +58,10 @@ impl fmt::Display for GraphError {
                 write!(f, "edge id {edge} out of bounds (graph has {len} edges)")
             }
             GraphError::TopicOutOfBounds { topic, num_topics } => {
-                write!(f, "topic {topic} out of bounds (graph has {num_topics} topics)")
+                write!(
+                    f,
+                    "topic {topic} out of bounds (graph has {num_topics} topics)"
+                )
             }
             GraphError::InvalidProbability(p) => {
                 write!(f, "probability {p} is not a finite value in [0, 1]")
@@ -67,7 +70,10 @@ impl fmt::Display for GraphError {
                 write!(f, "no edge from node {from} to node {to}")
             }
             GraphError::DimensionMismatch { expected, got } => {
-                write!(f, "topic distribution has {got} entries, graph expects {expected}")
+                write!(
+                    f,
+                    "topic distribution has {got} entries, graph expects {expected}"
+                )
             }
             GraphError::DuplicateName(name) => {
                 write!(f, "duplicate node name {name:?}")
@@ -88,7 +94,10 @@ mod tests {
         let e = GraphError::NodeOutOfBounds { node: 9, len: 3 };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("3 nodes"));
-        let e = GraphError::DimensionMismatch { expected: 4, got: 2 };
+        let e = GraphError::DimensionMismatch {
+            expected: 4,
+            got: 2,
+        };
         assert!(e.to_string().contains("4"));
         let e = GraphError::Codec("bad magic".into());
         assert!(e.to_string().contains("bad magic"));

@@ -71,7 +71,11 @@ pub fn degree_histogram(g: &TopicGraph) -> Vec<(usize, usize)> {
     let mut buckets: Vec<usize> = Vec::new();
     for u in g.nodes() {
         let d = g.out_degree(u);
-        let b = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+        let b = if d == 0 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize
+        };
         if b >= buckets.len() {
             buckets.resize(b + 1, 0);
         }
@@ -106,7 +110,8 @@ mod tests {
         for v in 1..5 {
             b.add_edge(NodeId(0), NodeId(v), &[(0, 0.4)]).unwrap();
         }
-        b.add_edge(NodeId(1), NodeId(2), &[(0, 0.3), (1, 0.6)]).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), &[(0, 0.3), (1, 0.6)])
+            .unwrap();
         b.build().unwrap()
     }
 

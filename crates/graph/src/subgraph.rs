@@ -62,7 +62,11 @@ pub fn induced(g: &TopicGraph, members: &[NodeId]) -> Result<Subgraph> {
             }
         }
     }
-    Ok(Subgraph { graph: b.build()?, to_sub, to_original })
+    Ok(Subgraph {
+        graph: b.build()?,
+        to_sub,
+        to_original,
+    })
 }
 
 #[cfg(test)]
@@ -75,7 +79,8 @@ mod tests {
         for i in 0..6 {
             b.add_node(format!("u{i}"));
         }
-        b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (1, 0.2)]).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (1, 0.2)])
+            .unwrap();
         b.add_edge(NodeId(1), NodeId(2), &[(0, 0.4)]).unwrap();
         b.add_edge(NodeId(2), NodeId(3), &[(1, 0.3)]).unwrap();
         b.add_edge(NodeId(3), NodeId(4), &[(0, 0.9)]).unwrap();
@@ -89,7 +94,7 @@ mod tests {
         let sub = induced(&g, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
         assert_eq!(sub.graph.node_count(), 3);
         assert_eq!(sub.graph.edge_count(), 2); // 0→1, 1→2; 2→3 and 0→5 cross the boundary
-        // names preserved
+                                               // names preserved
         assert_eq!(sub.graph.name(sub.project(NodeId(1)).unwrap()), Some("u1"));
     }
 
@@ -136,7 +141,7 @@ mod tests {
         let members = ball(&g, NodeId(0), 2, Direction::Forward);
         let sub = induced(&g, &members).unwrap();
         assert!(sub.graph.node_count() >= 4); // 0,1,2,5 at least
-        // every subgraph edge exists in the original with equal max prob
+                                              // every subgraph edge exists in the original with equal max prob
         for e in sub.graph.edges() {
             let (su, sv) = sub.graph.edge_endpoints(e).unwrap();
             let (u, v) = (sub.lift(su), sub.lift(sv));

@@ -6,19 +6,22 @@ use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = TopicGraph> {
     (3usize..16).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 0usize..3, 0.05f64..0.95), 1..n * 2)
-            .prop_map(move |edges| {
-                let mut b = GraphBuilder::new(3);
-                for i in 0..n {
-                    b.add_node(format!("node-{i}"));
+        proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 0usize..3, 0.05f64..0.95),
+            1..n * 2,
+        )
+        .prop_map(move |edges| {
+            let mut b = GraphBuilder::new(3);
+            for i in 0..n {
+                b.add_node(format!("node-{i}"));
+            }
+            for (u, v, z, p) in edges {
+                if u != v {
+                    b.add_edge(NodeId(u), NodeId(v), &[(z, p)]).unwrap();
                 }
-                for (u, v, z, p) in edges {
-                    if u != v {
-                        b.add_edge(NodeId(u), NodeId(v), &[(z, p)]).unwrap();
-                    }
-                }
-                b.build().unwrap()
-            })
+            }
+            b.build().unwrap()
+        })
     })
 }
 

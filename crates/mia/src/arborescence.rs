@@ -90,13 +90,22 @@ impl Arborescence {
         theta: f64,
         direction: ArbDirection,
     ) -> Self {
-        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1], got {theta}");
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "theta must be in (0, 1], got {theta}"
+        );
         let mut nodes: Vec<ArbNode> = Vec::new();
         let mut index: HashMap<NodeId, u32> = HashMap::new();
         let mut best: HashMap<NodeId, f64> = HashMap::new();
         let mut heap: BinaryHeap<Frontier> = BinaryHeap::new();
 
-        heap.push(Frontier { prob: 1.0, node: root, parent: u32::MAX, edge_prob: 1.0, depth: 0 });
+        heap.push(Frontier {
+            prob: 1.0,
+            node: root,
+            parent: u32::MAX,
+            edge_prob: 1.0,
+            depth: 0,
+        });
         best.insert(root, 1.0);
 
         while let Some(f) = heap.pop() {
@@ -105,7 +114,11 @@ impl Arborescence {
             }
             let my_idx = nodes.len() as u32;
             index.insert(f.node, my_idx);
-            let parent = if f.parent == u32::MAX { None } else { Some(f.parent) };
+            let parent = if f.parent == u32::MAX {
+                None
+            } else {
+                Some(f.parent)
+            };
             if let Some(p) = parent {
                 nodes[p as usize].children.push(my_idx);
             }
@@ -150,7 +163,13 @@ impl Arborescence {
             }
         }
 
-        Arborescence { root, direction, theta, nodes, index }
+        Arborescence {
+            root,
+            direction,
+            theta,
+            nodes,
+            index,
+        }
     }
 
     /// The root node.
@@ -220,7 +239,9 @@ impl Arborescence {
 
     /// Number of nodes in the subtree of `u` (including `u`).
     pub fn subtree_size(&self, u: NodeId) -> usize {
-        let Some(&start) = self.index.get(&u) else { return 0 };
+        let Some(&start) = self.index.get(&u) else {
+            return 0;
+        };
         let mut stack = vec![start];
         let mut count = 0usize;
         while let Some(i) = stack.pop() {
@@ -232,7 +253,9 @@ impl Arborescence {
 
     /// Sum of `path_prob` over the subtree of `u`.
     pub fn subtree_mass(&self, u: NodeId) -> f64 {
-        let Some(&start) = self.index.get(&u) else { return 0.0 };
+        let Some(&start) = self.index.get(&u) else {
+            return 0.0;
+        };
         let mut stack = vec![start];
         let mut mass = 0.0f64;
         while let Some(i) = stack.pop() {

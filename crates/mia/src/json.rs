@@ -53,7 +53,6 @@ impl std::fmt::Display for Json {
 }
 
 impl Json {
-
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -121,8 +120,7 @@ pub fn arborescence_to_d3(g: &TopicGraph, arb: &Arborescence) -> Json {
             ("effect".to_string(), Json::Num(arb.subtree_mass(n.node))),
         ];
         if !n.children.is_empty() {
-            let children: Vec<Json> =
-                n.children.iter().map(|&c| build(g, arb, c)).collect();
+            let children: Vec<Json> = n.children.iter().map(|&c| build(g, arb, c)).collect();
             fields.push(("children".to_string(), Json::Arr(children)));
         }
         Json::Obj(fields)
@@ -151,7 +149,10 @@ mod tests {
             ("c".into(), Json::Str("x\"y".into())),
             ("d".into(), Json::Num(0.25)),
         ]);
-        assert_eq!(v.to_string(), r#"{"a":1,"b":[true,null],"c":"x\"y","d":0.25}"#);
+        assert_eq!(
+            v.to_string(),
+            r#"{"a":1,"b":[true,null],"c":"x\"y","d":0.25}"#
+        );
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod json;
 pub mod paths;
 pub mod spread;
 
-pub use arborescence::{ArbNode, Arborescence, ArbDirection};
+pub use arborescence::{ArbDirection, ArbNode, Arborescence};
 pub use paths::{Cluster, InfluencePath, PathExplorer};
 pub use spread::{mia_spread_set, mioa_spread};

@@ -63,7 +63,9 @@ impl<'a> PathExplorer<'a> {
     /// `via`. Returns just the root→via path when `via` is a leaf; empty
     /// when `via` is absent from the tree.
     pub fn paths_through(&self, via: NodeId) -> Vec<InfluencePath> {
-        let Some(via_node) = self.arb.get(via) else { return Vec::new() };
+        let Some(via_node) = self.arb.get(via) else {
+            return Vec::new();
+        };
         if via_node.children.is_empty() {
             return vec![InfluencePath {
                 nodes: self.arb.path_to(via).expect("member"),
@@ -118,7 +120,12 @@ impl<'a> PathExplorer<'a> {
                 mass += n.path_prob;
                 queue.extend(n.children.iter().copied());
             }
-            out.push(Cluster { head, size: members.len(), mass, members });
+            out.push(Cluster {
+                head,
+                size: members.len(),
+                mass,
+                members,
+            });
         }
         out.sort_by(|a, b| b.mass.partial_cmp(&a.mass).expect("finite mass"));
         out
@@ -201,7 +208,9 @@ mod tests {
         // rebuild with tight theta so node 5 is pruned
         let (g, p) = two_communities();
         let tight = Arborescence::build(&g, &p, NodeId(0), 0.5, ArbDirection::Out);
-        assert!(PathExplorer::new(&tight).paths_through(NodeId(5)).is_empty());
+        assert!(PathExplorer::new(&tight)
+            .paths_through(NodeId(5))
+            .is_empty());
         assert!(!ex.paths_through(NodeId(5)).is_empty());
     }
 
@@ -223,8 +232,7 @@ mod tests {
     fn node_sizes_decrease_down_the_tree() {
         let a = arb();
         let ex = PathExplorer::new(&a);
-        let sizes: std::collections::HashMap<NodeId, f64> =
-            ex.node_sizes().into_iter().collect();
+        let sizes: std::collections::HashMap<NodeId, f64> = ex.node_sizes().into_iter().collect();
         assert!(sizes[&NodeId(0)] > sizes[&NodeId(1)]);
         assert!(sizes[&NodeId(1)] > sizes[&NodeId(2)]);
     }

@@ -175,6 +175,9 @@ mod tests {
         let (g, p) = diamond();
         let mut is_seed = vec![false; 4];
         is_seed[3] = true;
-        assert_eq!(activation_probability(&g, &p, NodeId(3), &is_seed, 0.01), 1.0);
+        assert_eq!(
+            activation_probability(&g, &p, NodeId(3), &is_seed, 0.01),
+            1.0
+        );
     }
 }

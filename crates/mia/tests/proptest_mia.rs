@@ -35,7 +35,8 @@ fn arb_tree() -> impl Strategy<Value = (TopicGraph, EdgeProbs)> {
                 for (i, &(r, p)) in specs.iter().enumerate() {
                     let child = (i + 1) as u32;
                     let parent = r % child;
-                    b.add_edge(NodeId(parent), NodeId(child), &[(0, p)]).unwrap();
+                    b.add_edge(NodeId(parent), NodeId(child), &[(0, p)])
+                        .unwrap();
                 }
                 let g = b.build().unwrap();
                 let probs = g.materialize(&[1.0]).unwrap();

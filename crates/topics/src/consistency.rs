@@ -116,7 +116,10 @@ mod tests {
         let focused = posterior_consistency(&m, &ids(&m, &["btree"])).unwrap();
         let vague = posterior_consistency(&m, &ids(&m, &["shared"])).unwrap();
         assert!(vague < focused);
-        assert!(vague < 0.1, "an evenly-shared word has near-uniform posterior");
+        assert!(
+            vague < 0.1,
+            "an evenly-shared word has near-uniform posterior"
+        );
     }
 
     #[test]

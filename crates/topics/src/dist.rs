@@ -19,7 +19,9 @@ impl TopicDistribution {
     /// Build from a vector that must already be (approximately) normalized.
     pub fn new(probs: Vec<f64>) -> Result<Self> {
         if probs.is_empty() {
-            return Err(TopicError::NotADistribution { reason: "empty vector".into() });
+            return Err(TopicError::NotADistribution {
+                reason: "empty vector".into(),
+            });
         }
         let mut sum = 0.0;
         for &p in &probs {
@@ -43,7 +45,9 @@ impl TopicDistribution {
     /// Build from arbitrary non-negative weights by normalizing them.
     pub fn from_weights(weights: Vec<f64>) -> Result<Self> {
         if weights.is_empty() {
-            return Err(TopicError::NotADistribution { reason: "empty vector".into() });
+            return Err(TopicError::NotADistribution {
+                reason: "empty vector".into(),
+            });
         }
         let mut sum = 0.0;
         for &w in &weights {
@@ -55,7 +59,9 @@ impl TopicDistribution {
             sum += w;
         }
         if sum <= 0.0 {
-            return Err(TopicError::NotADistribution { reason: "all weights are zero".into() });
+            return Err(TopicError::NotADistribution {
+                reason: "all weights are zero".into(),
+            });
         }
         let mut d = TopicDistribution(weights);
         d.renormalize(sum);
@@ -113,7 +119,11 @@ impl TopicDistribution {
     /// Shannon entropy in nats. Zero for pure distributions; `ln Z` for the
     /// uniform one. Used as the topic-consistency measure of keyword sets.
     pub fn entropy(&self) -> f64 {
-        self.0.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
+        self.0
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum()
     }
 
     /// L1 distance to another distribution of the same dimension.
@@ -122,7 +132,11 @@ impl TopicDistribution {
     /// nearest precomputed sample (spread is Lipschitz in `γ` under L1).
     pub fn l1_distance(&self, other: &TopicDistribution) -> f64 {
         assert_eq!(self.num_topics(), other.num_topics(), "dimension mismatch");
-        self.0.iter().zip(&other.0).map(|(a, b)| (a - b).abs()).sum()
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
     }
 
     /// Cosine similarity to another distribution (1 for identical rays).
@@ -143,14 +157,23 @@ impl TopicDistribution {
         assert_eq!(self.num_topics(), other.num_topics(), "dimension mismatch");
         assert!((0.0..=1.0).contains(&a), "mixing weight must be in [0,1]");
         TopicDistribution(
-            self.0.iter().zip(&other.0).map(|(x, y)| a * x + (1.0 - a) * y).collect(),
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(x, y)| a * x + (1.0 - a) * y)
+                .collect(),
         )
     }
 
     /// Topics carrying at least `threshold` mass, sorted by descending mass.
     pub fn support(&self, threshold: f64) -> Vec<(usize, f64)> {
-        let mut v: Vec<(usize, f64)> =
-            self.0.iter().copied().enumerate().filter(|&(_, p)| p >= threshold).collect();
+        let mut v: Vec<(usize, f64)> = self
+            .0
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, p)| p >= threshold)
+            .collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         v
     }

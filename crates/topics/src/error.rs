@@ -35,8 +35,15 @@ impl fmt::Display for TopicError {
             }
             TopicError::UnknownKeyword(id) => write!(f, "unknown keyword id {id}"),
             TopicError::UnknownKeywordStr(w) => write!(f, "unknown keyword {w:?}"),
-            TopicError::ShapeMismatch { what, expected, got } => {
-                write!(f, "shape mismatch in {what}: expected {expected}, got {got}")
+            TopicError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {what}: expected {expected}, got {got}"
+                )
             }
             TopicError::EmptyKeywordSet => write!(f, "keyword set must be non-empty"),
         }
@@ -52,8 +59,14 @@ mod tests {
     #[test]
     fn messages() {
         assert!(TopicError::UnknownKeyword(3).to_string().contains('3'));
-        assert!(TopicError::EmptyKeywordSet.to_string().contains("non-empty"));
-        let e = TopicError::ShapeMismatch { what: "p(w|z)", expected: 5, got: 2 };
+        assert!(TopicError::EmptyKeywordSet
+            .to_string()
+            .contains("non-empty"));
+        let e = TopicError::ShapeMismatch {
+            what: "p(w|z)",
+            expected: 5,
+            got: 2,
+        };
         assert!(e.to_string().contains("p(w|z)"));
     }
 }

@@ -44,10 +44,18 @@ impl TopicModel {
     pub fn from_rows(vocab: Vocabulary, rows: Vec<Vec<f64>>, prior: Vec<f64>) -> Result<Self> {
         let z = rows.len();
         if z == 0 {
-            return Err(TopicError::ShapeMismatch { what: "p(w|z) rows", expected: 1, got: 0 });
+            return Err(TopicError::ShapeMismatch {
+                what: "p(w|z) rows",
+                expected: 1,
+                got: 0,
+            });
         }
         if prior.len() != z {
-            return Err(TopicError::ShapeMismatch { what: "p(z) prior", expected: z, got: prior.len() });
+            return Err(TopicError::ShapeMismatch {
+                what: "p(z) prior",
+                expected: z,
+                got: prior.len(),
+            });
         }
         let v = vocab.len();
         let mut pwz = Vec::with_capacity(z * v);
@@ -78,7 +86,13 @@ impl TopicModel {
             }
         }
         let prior = TopicDistribution::from_weights(prior)?.into_vec();
-        Ok(TopicModel { vocab, num_topics: z, pwz, prior, labels: Vec::new() })
+        Ok(TopicModel {
+            vocab,
+            num_topics: z,
+            pwz,
+            prior,
+            labels: Vec::new(),
+        })
     }
 
     /// Attach human-readable topic labels (radar axes). Length must be `Z`.
@@ -112,7 +126,10 @@ impl TopicModel {
 
     /// Topic label, or a generated `"topic-z"` fallback.
     pub fn label(&self, z: usize) -> String {
-        self.labels.get(z).cloned().unwrap_or_else(|| format!("topic-{z}"))
+        self.labels
+            .get(z)
+            .cloned()
+            .unwrap_or_else(|| format!("topic-{z}"))
     }
 
     /// `p(w|z)`.
@@ -172,8 +189,11 @@ impl TopicModel {
     pub fn top_keywords(&self, z: usize, n: usize) -> Vec<(KeywordId, f64)> {
         let v = self.vocab.len();
         let row = &self.pwz[z * v..(z + 1) * v];
-        let mut idx: Vec<(KeywordId, f64)> =
-            row.iter().enumerate().map(|(w, &p)| (KeywordId(w as u32), p)).collect();
+        let mut idx: Vec<(KeywordId, f64)> = row
+            .iter()
+            .enumerate()
+            .map(|(w, &p)| (KeywordId(w as u32), p))
+            .collect();
         idx.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         idx.truncate(n);
         idx
@@ -297,7 +317,10 @@ mod tests {
     fn empty_and_unknown_keywords_error() {
         let m = small_model();
         assert!(matches!(m.infer(&[]), Err(TopicError::EmptyKeywordSet)));
-        assert!(matches!(m.infer(&[KeywordId(99)]), Err(TopicError::UnknownKeyword(99))));
+        assert!(matches!(
+            m.infer(&[KeywordId(99)]),
+            Err(TopicError::UnknownKeyword(99))
+        ));
     }
 
     #[test]
@@ -321,7 +344,10 @@ mod tests {
     fn keywords_dominated_by_topic() {
         let m = small_model();
         let dom0 = m.keywords_dominated_by(0);
-        let words: Vec<_> = dom0.iter().map(|&(w, _)| m.vocab().word(w).unwrap()).collect();
+        let words: Vec<_> = dom0
+            .iter()
+            .map(|&(w, _)| m.vocab().word(w).unwrap())
+            .collect();
         assert!(words.contains(&"database"));
         assert!(words.contains(&"index"));
         assert!(!words.contains(&"neural"));

@@ -24,8 +24,12 @@ pub struct RadarChart {
 impl RadarChart {
     /// The axes sorted by descending value — handy for textual rendering.
     pub fn ranked_axes(&self) -> Vec<(&str, f64)> {
-        let mut v: Vec<(&str, f64)> =
-            self.axes.iter().map(String::as_str).zip(self.values.iter().copied()).collect();
+        let mut v: Vec<(&str, f64)> = self
+            .axes
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter().copied())
+            .collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         v
     }
@@ -36,7 +40,11 @@ impl RadarChart {
         let maxw = self.axes.iter().map(String::len).max().unwrap_or(0);
         for (axis, &val) in self.axes.iter().zip(&self.values) {
             let bars = (val * 40.0).round() as usize;
-            out.push_str(&format!("{axis:>maxw$} | {}{:.3}\n", "█".repeat(bars).to_string() + " ", val));
+            out.push_str(&format!(
+                "{axis:>maxw$} | {}{:.3}\n",
+                "█".repeat(bars).to_string() + " ",
+                val
+            ));
         }
         out
     }

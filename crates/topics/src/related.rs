@@ -42,10 +42,16 @@ pub fn related_keywords(model: &TopicModel, w: KeywordId, k: usize) -> Result<Ve
         let post = model.keyword_topics(cand)?;
         let cos = anchor.cosine(&post);
         let salience = (model.p_word_given_topic(cand, zstar) / top_mass).min(1.0);
-        out.push(Related { keyword: cand, score: cos * salience });
+        out.push(Related {
+            keyword: cand,
+            score: cos * salience,
+        });
     }
     out.sort_by(|a, b| {
-        b.score.partial_cmp(&a.score).expect("finite scores").then(a.keyword.cmp(&b.keyword))
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then(a.keyword.cmp(&b.keyword))
     });
     out.truncate(k);
     Ok(out)
@@ -53,18 +59,17 @@ pub fn related_keywords(model: &TopicModel, w: KeywordId, k: usize) -> Result<Ve
 
 /// Expand a query keyword set with its most related terms (deduplicated,
 /// original keywords first) — "did you also mean" support for the UI.
-pub fn expand_query(
-    model: &TopicModel,
-    ws: &[KeywordId],
-    extra: usize,
-) -> Result<Vec<KeywordId>> {
+pub fn expand_query(model: &TopicModel, ws: &[KeywordId], extra: usize) -> Result<Vec<KeywordId>> {
     let mut result: Vec<KeywordId> = ws.to_vec();
     let mut candidates: Vec<Related> = Vec::new();
     for &w in ws {
         candidates.extend(related_keywords(model, w, extra + ws.len())?);
     }
     candidates.sort_by(|a, b| {
-        b.score.partial_cmp(&a.score).expect("finite scores").then(a.keyword.cmp(&b.keyword))
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then(a.keyword.cmp(&b.keyword))
     });
     for c in candidates {
         if result.len() >= ws.len() + extra {
@@ -91,10 +96,7 @@ mod tests {
         v.intern("tensor"); // w4: ml
         TopicModel::from_rows(
             v,
-            vec![
-                vec![0.5, 0.3, 0.2, 0.0, 0.0],
-                vec![0.0, 0.0, 0.0, 0.6, 0.4],
-            ],
+            vec![vec![0.5, 0.3, 0.2, 0.0, 0.0], vec![0.0, 0.0, 0.0, 0.6, 0.4]],
             vec![0.5, 0.5],
         )
         .unwrap()
@@ -111,7 +113,10 @@ mod tests {
         let rel = related_keywords(&m, sql, 2).unwrap();
         let names: Vec<String> = rel.iter().map(|r| word(&m, r.keyword)).collect();
         assert_eq!(names, vec!["btree", "join"], "db words relate to db words");
-        assert!(rel[0].score > rel[1].score, "higher-mass neighbor ranks first");
+        assert!(
+            rel[0].score > rel[1].score,
+            "higher-mass neighbor ranks first"
+        );
     }
 
     #[test]
@@ -124,7 +129,10 @@ mod tests {
             .find(|r| word(&m, r.keyword) == "neuron")
             .map(|r| r.score)
             .unwrap();
-        assert!(neuron_score < 1e-6, "orthogonal topics ⇒ ~0 score, got {neuron_score}");
+        assert!(
+            neuron_score < 1e-6,
+            "orthogonal topics ⇒ ~0 score, got {neuron_score}"
+        );
     }
 
     #[test]

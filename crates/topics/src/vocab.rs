@@ -77,7 +77,8 @@ impl Vocabulary {
 
     /// Look up a keyword, erroring with the original string when missing.
     pub fn require(&self, word: &str) -> Result<KeywordId> {
-        self.get(word).ok_or_else(|| TopicError::UnknownKeywordStr(word.to_string()))
+        self.get(word)
+            .ok_or_else(|| TopicError::UnknownKeywordStr(word.to_string()))
     }
 
     /// The string for an id.
@@ -100,14 +101,20 @@ impl Vocabulary {
 
     /// Iterate `(id, word)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (KeywordId, &str)> {
-        self.words.iter().enumerate().map(|(i, w)| (KeywordId(i as u32), w.as_str()))
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (KeywordId(i as u32), w.as_str()))
     }
 
     /// Ids of all keywords starting with `prefix` (normalized), in id order.
     /// Backs the UI auto-completion for keyword inputs.
     pub fn prefix_matches(&self, prefix: &str) -> Vec<KeywordId> {
         let p = Self::normalize(prefix);
-        self.iter().filter(|(_, w)| w.starts_with(&p)).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, w)| w.starts_with(&p))
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Resolve a keyword query string into ids with greedy longest-phrase
@@ -167,7 +174,10 @@ mod tests {
         v.intern("clustering");
         assert!(v.get("CLUSTERING").is_some());
         assert!(v.get("nonexistent").is_none());
-        assert!(matches!(v.require("nope"), Err(TopicError::UnknownKeywordStr(_))));
+        assert!(matches!(
+            v.require("nope"),
+            Err(TopicError::UnknownKeywordStr(_))
+        ));
     }
 
     #[test]
@@ -216,9 +226,13 @@ mod tests {
         let mut v = Vocabulary::new();
         let im = v.intern("influence maximization");
         let sn = v.intern("social network");
-        let (ids, unknown) = v.resolve_query("scalable influence maximization on social network data");
+        let (ids, unknown) =
+            v.resolve_query("scalable influence maximization on social network data");
         assert_eq!(ids, vec![im, sn]);
-        assert_eq!(unknown, vec!["scalable".to_string(), "on".to_string(), "data".to_string()]);
+        assert_eq!(
+            unknown,
+            vec!["scalable".to_string(), "on".to_string(), "data".to_string()]
+        );
     }
 
     #[test]

@@ -7,10 +7,7 @@ use proptest::prelude::*;
 /// Strategy: a random topic model with V words and Z topics.
 fn arb_model() -> impl Strategy<Value = TopicModel> {
     (2usize..6, 2usize..8).prop_flat_map(|(z, v)| {
-        let rows = proptest::collection::vec(
-            proptest::collection::vec(0.01f64..1.0, v),
-            z,
-        );
+        let rows = proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, v), z);
         let prior = proptest::collection::vec(0.01f64..1.0, z);
         (rows, prior).prop_map(move |(rows, prior)| {
             let mut vocab = Vocabulary::new();

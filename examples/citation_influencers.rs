@@ -30,13 +30,23 @@ fn main() {
         net.graph.num_topics()
     );
 
-    let queries =
-        ["data mining", "neural network deep learning", "influence maximization", "encryption"];
+    let queries = [
+        "data mining",
+        "neural network deep learning",
+        "influence maximization",
+        "encryption",
+    ];
     let engines = [
         ("naive", KimEngineChoice::Naive),
         ("mis", KimEngineChoice::Mis),
-        ("best-effort/PB", KimEngineChoice::BestEffort(BoundKind::Precomputation)),
-        ("best-effort/NB", KimEngineChoice::BestEffort(BoundKind::Neighborhood)),
+        (
+            "best-effort/PB",
+            KimEngineChoice::BestEffort(BoundKind::Precomputation),
+        ),
+        (
+            "best-effort/NB",
+            KimEngineChoice::BestEffort(BoundKind::Neighborhood),
+        ),
         (
             "topic-sample",
             KimEngineChoice::TopicSample {
@@ -52,7 +62,11 @@ fn main() {
         let engine = Octopus::new(
             net.graph.clone(),
             net.model.clone(),
-            OctopusConfig { kim: choice, piks_index_size: 256, ..Default::default() },
+            OctopusConfig {
+                kim: choice,
+                piks_index_size: 256,
+                ..Default::default()
+            },
         )
         .expect("engine builds");
         let offline = t0.elapsed();
@@ -66,8 +80,7 @@ fn main() {
                     continue;
                 }
             };
-            let names: Vec<&str> =
-                ans.seeds.iter().take(3).map(|s| s.name.as_str()).collect();
+            let names: Vec<&str> = ans.seeds.iter().take(3).map(|s| s.name.as_str()).collect();
             println!(
                 "  {q:35} {:>9.1?}  spread≈{:>6.1}  top: {}",
                 ans.elapsed,
@@ -87,15 +100,19 @@ fn main() {
         OctopusConfig::default(),
     )
     .expect("engine builds");
-    let ans = engine.find_influencers("data mining", 8).expect("query succeeds");
+    let ans = engine
+        .find_influencers("data mining", 8)
+        .expect("query succeeds");
     let seeds: Vec<NodeId> = ans.seeds.iter().map(|s| s.node).collect();
     let by_degree = octopus::graph::stats::top_out_degree(engine.graph(), 8);
     let gamma: TopicDistribution = ans.gamma.clone();
-    let probs = engine.graph().materialize(gamma.as_slice()).expect("dims fine");
+    let probs = engine
+        .graph()
+        .materialize(gamma.as_slice())
+        .expect("dims fine");
     let im_spread = octopus::cascade::estimate_spread(engine.graph(), &probs, &seeds, 2000, 1);
     let deg_seeds: Vec<NodeId> = by_degree.iter().map(|&(u, _)| u).collect();
-    let deg_spread =
-        octopus::cascade::estimate_spread(engine.graph(), &probs, &deg_seeds, 2000, 1);
+    let deg_spread = octopus::cascade::estimate_spread(engine.graph(), &probs, &deg_seeds, 2000, 1);
     println!("  IM seeds spread      ≈ {im_spread:.1}");
     println!("  top-degree spread    ≈ {deg_spread:.1}");
     println!(

@@ -24,21 +24,33 @@ fn main() {
     let engine = Octopus::new(
         net.graph.clone(),
         net.model.clone(),
-        OctopusConfig { piks_index_size: 256, ..Default::default() },
+        OctopusConfig {
+            piks_index_size: 256,
+            ..Default::default()
+        },
     )
     .expect("engine builds");
 
     // Most influential researcher in social networks as the demo root.
-    let ans = engine.find_influencers("influence maximization", 1).expect("query succeeds");
+    let ans = engine
+        .find_influencers("influence maximization", 1)
+        .expect("query succeeds");
     let root_name = ans.seeds[0].name.clone();
     println!("exploring how {root_name} influences the community\n");
 
     // Forward exploration (whom do they influence).
     let ex = engine
-        .explore_paths(&root_name, ExploreDirection::Influences, Some("influence maximization"))
+        .explore_paths(
+            &root_name,
+            ExploreDirection::Influences,
+            Some("influence maximization"),
+        )
         .expect("exploration succeeds");
     println!("== forward (MIOA), θ = {} ==", ex.theta);
-    println!("  reached {} researchers, influence mass {:.1}", ex.reached, ex.influence);
+    println!(
+        "  reached {} researchers, influence mass {:.1}",
+        ex.reached, ex.influence
+    );
     for (i, c) in ex.clusters.iter().take(4).enumerate() {
         println!(
             "  cluster {}: via {:24} size {:3}  mass {:.2}",
@@ -50,8 +62,11 @@ fn main() {
     }
     println!("  strongest paths:");
     for p in ex.top_paths.iter().take(5) {
-        let names: Vec<&str> =
-            p.nodes.iter().map(|&n| engine.graph().name(n).unwrap_or("?")).collect();
+        let names: Vec<&str> = p
+            .nodes
+            .iter()
+            .map(|&n| engine.graph().name(n).unwrap_or("?"))
+            .collect();
         println!("    {:.3}  {}", p.prob, names.join(" -> "));
     }
 
@@ -67,7 +82,10 @@ fn main() {
     }
 
     // Reverse exploration (who influences them).
-    let leaf = ex.clusters.first().map(|c| *c.members.last().expect("non-empty cluster"));
+    let leaf = ex
+        .clusters
+        .first()
+        .map(|c| *c.members.last().expect("non-empty cluster"));
     if let Some(leaf) = leaf {
         let leaf_name = engine.graph().name(leaf).unwrap_or("?").to_string();
         let rev = engine
@@ -76,8 +94,11 @@ fn main() {
         println!("\n== reverse (MIIA) for {leaf_name} ==");
         println!("  influenced by {} researchers", rev.reached - 1);
         for p in rev.top_paths.iter().take(3) {
-            let names: Vec<&str> =
-                p.nodes.iter().map(|&n| engine.graph().name(n).unwrap_or("?")).collect();
+            let names: Vec<&str> = p
+                .nodes
+                .iter()
+                .map(|&n| engine.graph().name(n).unwrap_or("?"))
+                .collect();
             println!("    {:.3}  {}", p.prob, names.join(" <- "));
         }
     }
@@ -86,7 +107,10 @@ fn main() {
     println!("\n== θ sweep (tree size / build cost trade-off) ==");
     let root = ans.seeds[0].node;
     let gamma = ans.gamma.clone();
-    let probs = engine.graph().materialize(gamma.as_slice()).expect("dims fine");
+    let probs = engine
+        .graph()
+        .materialize(gamma.as_slice())
+        .expect("dims fine");
     for theta in [0.1, 0.03, 0.01, 0.003, 0.001] {
         let t0 = std::time::Instant::now();
         let arb = Arborescence::build(engine.graph(), &probs, root, theta, ArbDirection::Out);

@@ -123,7 +123,10 @@ fn main() {
     // 2. Build the action log (§II-B pipeline).
     let data = build_action_log(
         &records,
-        &BuildOptions { min_keyword_count: 1, max_negatives_per_item: 16 },
+        &BuildOptions {
+            min_keyword_count: 1,
+            max_negatives_per_item: 16,
+        },
     );
     println!(
         "action log: {} authors, {} keywords, {} items, {} trials ({:.0}% activated)",
@@ -136,7 +139,11 @@ fn main() {
 
     // 3. Learn the topic-aware IC model with EM.
     let topics = 3;
-    let em = TicEm::new(EmOptions { num_topics: topics, max_iters: 50, ..Default::default() });
+    let em = TicEm::new(EmOptions {
+        num_topics: topics,
+        max_iters: 50,
+        ..Default::default()
+    });
     let fit = em.fit(&data.log, data.vocab.clone(), data.author_names.clone());
     println!(
         "EM converged after {} iterations (loglik {:.2} → {:.2})",
@@ -156,7 +163,11 @@ fn main() {
 
     // 4. Persist the learned dataset.
     let out = std::env::temp_dir().join("octopus_learned.octs");
-    let ds = Dataset { graph: fit.graph.clone(), model: fit.model.clone(), log: Some(data.log) };
+    let ds = Dataset {
+        graph: fit.graph.clone(),
+        model: fit.model.clone(),
+        log: Some(data.log),
+    };
     store::save(&ds, &out).expect("dataset saves");
     println!("learned dataset persisted to {}", out.display());
 
@@ -164,7 +175,10 @@ fn main() {
     let engine = Octopus::new(
         fit.graph,
         fit.model,
-        OctopusConfig { piks_index_size: 512, ..Default::default() },
+        OctopusConfig {
+            piks_index_size: 512,
+            ..Default::default()
+        },
     )
     .expect("engine builds");
     for q in ["mining patterns", "influence network", "topic models"] {

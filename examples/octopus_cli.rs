@@ -49,8 +49,11 @@ fn main() {
             }
         }
     }
-    let dataset =
-        Dataset { graph: net.graph.clone(), model: net.model.clone(), log: Some(net.log.clone()) };
+    let dataset = Dataset {
+        graph: net.graph.clone(),
+        model: net.model.clone(),
+        log: Some(net.log.clone()),
+    };
     let engine = Octopus::new(net.graph, net.model, OctopusConfig::default())
         .expect("engine builds")
         .with_user_keywords(user_keywords);

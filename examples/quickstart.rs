@@ -31,12 +31,17 @@ fn main() {
     );
 
     // 2. Build the engine (offline phase: bound tables, influencer index…).
-    let config = OctopusConfig { piks_index_size: 1024, ..Default::default() };
+    let config = OctopusConfig {
+        piks_index_size: 1024,
+        ..Default::default()
+    };
     let engine = Octopus::new(net.graph, net.model, config).expect("engine builds");
 
     // 3. Scenario 1 — keyword-based influential user discovery.
     println!("\n== scenario 1: influencers for \"data mining\" ==");
-    let ans = engine.find_influencers("data mining", 5).expect("query succeeds");
+    let ans = engine
+        .find_influencers("data mining", 5)
+        .expect("query succeeds");
     for seed in &ans.seeds {
         println!("  #{:<2} {}", seed.rank + 1, seed.name);
     }
@@ -51,9 +56,14 @@ fn main() {
     // 4. Scenario 2 — personalized influential keywords ("selling points").
     let target = ans.seeds[0].name.clone();
     println!("\n== scenario 2: selling points of {target} ==");
-    let sugg = engine.suggest_keywords(&target, 3).expect("suggestion succeeds");
+    let sugg = engine
+        .suggest_keywords(&target, 3)
+        .expect("suggestion succeeds");
     println!("  keywords: {:?}", sugg.words);
-    println!("  spread≈{:.1}, consistency {:.2}", sugg.result.spread, sugg.result.consistency);
+    println!(
+        "  spread≈{:.1}, consistency {:.2}",
+        sugg.result.spread, sugg.result.consistency
+    );
     println!("{}", sugg.radar.ascii());
 
     // 5. Scenario 3 — influential path exploration.
@@ -69,7 +79,15 @@ fn main() {
     );
     for (i, c) in ex.clusters.iter().take(3).enumerate() {
         let head = engine.graph().name(c.head).unwrap_or("?");
-        println!("  cluster {}: via {head}, {} users, mass {:.2}", i + 1, c.size, c.mass);
+        println!(
+            "  cluster {}: via {head}, {} users, mass {:.2}",
+            i + 1,
+            c.size,
+            c.mass
+        );
     }
-    println!("  d3 JSON: {} bytes (feed to any d3 hierarchy layout)", ex.d3_json.len());
+    println!(
+        "  d3 JSON: {} bytes (feed to any d3 hierarchy layout)",
+        ex.d3_json.len()
+    );
 }

@@ -37,7 +37,10 @@ fn main() {
     let engine = Octopus::new(
         net.graph.clone(),
         net.model.clone(),
-        OctopusConfig { piks_index_size: 2048, ..Default::default() },
+        OctopusConfig {
+            piks_index_size: 2048,
+            ..Default::default()
+        },
     )
     .expect("engine builds")
     .with_user_keywords(user_keywords.clone());
@@ -75,17 +78,21 @@ fn main() {
     let exact = ExhaustivePiks::new(&net.graph, &net.model, &index, cfg);
     let mut ratios = Vec::new();
     for &(target, _) in prolific.iter().take(5) {
-        let pool: Vec<KeywordId> =
-            user_keywords[&target].iter().copied().take(8).collect();
+        let pool: Vec<KeywordId> = user_keywords[&target].iter().copied().take(8).collect();
         if pool.len() < 2 {
             continue;
         }
-        let (Ok(g), Ok(e)) =
-            (greedy.suggest(target, &pool, 2), exact.suggest(target, &pool, 2))
-        else {
+        let (Ok(g), Ok(e)) = (
+            greedy.suggest(target, &pool, 2),
+            exact.suggest(target, &pool, 2),
+        ) else {
             continue;
         };
-        let ratio = if e.spread > 0.0 { g.spread / e.spread } else { 1.0 };
+        let ratio = if e.spread > 0.0 {
+            g.spread / e.spread
+        } else {
+            1.0
+        };
         ratios.push(ratio);
         println!(
             "  {:24} greedy {:>6.2} vs exhaustive {:>6.2}  (ratio {:.3}, {} vs {} evals)",

@@ -43,7 +43,10 @@ fn main() {
     let engine = Octopus::new(
         net.graph.clone(),
         net.model.clone(),
-        OctopusConfig { piks_index_size: 2048, ..Default::default() },
+        OctopusConfig {
+            piks_index_size: 2048,
+            ..Default::default()
+        },
     )
     .expect("engine builds")
     .with_user_keywords(user_keywords.clone());
@@ -61,7 +64,13 @@ fn main() {
 
     // Campaign planning across categories.
     println!("\n== category comparison (k = 5) ==");
-    for q in ["game", "strawberry gum", "smartphone", "sneaker", "flight deal"] {
+    for q in [
+        "game",
+        "strawberry gum",
+        "smartphone",
+        "sneaker",
+        "flight deal",
+    ] {
         match engine.find_influencers(q, 5) {
             Ok(a) => println!(
                 "  {q:18} reach≈{:>7.1}  top seed: {}",
@@ -85,10 +94,16 @@ fn main() {
     }
 
     // Fairness of the estimate: re-score the push list with plain MC.
-    let probs = engine.graph().materialize(ans.gamma.as_slice()).expect("dims fine");
+    let probs = engine
+        .graph()
+        .materialize(ans.gamma.as_slice())
+        .expect("dims fine");
     let seeds: Vec<octopus::NodeId> = ans.seeds.iter().map(|s| s.node).collect();
     let mc = octopus::cascade::estimate_spread(engine.graph(), &probs, &seeds, 3000, 5);
-    println!("== validation: engine reach {:.1} vs Monte-Carlo {:.1} ==", ans.result.spread, mc);
+    println!(
+        "== validation: engine reach {:.1} vs Monte-Carlo {:.1} ==",
+        ans.result.spread, mc
+    );
 
     // Targeted campaign (the [7] extension): advertisers pay for *gamers*
     // reached, not total impressions.

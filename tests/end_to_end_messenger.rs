@@ -25,12 +25,19 @@ fn game_campaign_targets_game_influencers() {
     let engine = Octopus::new(
         n.graph.clone(),
         n.model.clone(),
-        OctopusConfig { piks_index_size: 512, ..Default::default() },
+        OctopusConfig {
+            piks_index_size: 512,
+            ..Default::default()
+        },
     )
     .expect("engine builds");
     let ans = engine.find_influencers("game", 5).expect("campaign query");
     assert_eq!(ans.seeds.len(), 5);
-    assert_eq!(ans.gamma.dominant_topic(), 0, "'game' maps to the games topic");
+    assert_eq!(
+        ans.gamma.dominant_topic(),
+        0,
+        "'game' maps to the games topic"
+    );
     // re-score with MC: the push list must clearly beat 5 random users
     let probs = n.graph.materialize(ans.gamma.as_slice()).expect("dims");
     let seeds: Vec<octopus::NodeId> = ans.seeds.iter().map(|s| s.node).collect();
@@ -58,14 +65,21 @@ fn food_influencer_gets_food_keywords() {
     let engine = Octopus::new(
         n.graph.clone(),
         n.model.clone(),
-        OctopusConfig { piks_index_size: 512, ..Default::default() },
+        OctopusConfig {
+            piks_index_size: 512,
+            ..Default::default()
+        },
     )
     .expect("engine builds")
     .with_user_keywords(user_keywords);
 
     // find the top food influencer, then ask for their selling points
-    let ans = engine.find_influencers("gum strawberry", 1).expect("food query");
-    let sugg = engine.suggest_keywords_for(ans.seeds[0].node, 2).expect("suggestion");
+    let ans = engine
+        .find_influencers("gum strawberry", 1)
+        .expect("food query");
+    let sugg = engine
+        .suggest_keywords_for(ans.seeds[0].node, 2)
+        .expect("suggestion");
     assert_eq!(sugg.result.keywords.len(), 2);
     assert!(sugg.result.spread >= 1.0);
     // radar must expose the product categories as axes
@@ -76,7 +90,11 @@ fn food_influencer_gets_food_keywords() {
 fn multi_word_product_phrases_resolve() {
     let n = net();
     let (ids, unknown) = n.model.vocab().resolve_query("flight deal bubble tea");
-    assert_eq!(ids.len(), 2, "two product phrases must resolve, got {ids:?}/{unknown:?}");
+    assert_eq!(
+        ids.len(),
+        2,
+        "two product phrases must resolve, got {ids:?}/{unknown:?}"
+    );
     assert!(unknown.is_empty());
 }
 

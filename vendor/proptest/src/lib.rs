@@ -1,0 +1,579 @@
+//! Minimal, dependency-free stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! re-implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` headers);
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, integer and
+//!   float range strategies, tuple strategies, [`strategy::Just`],
+//!   [`collection::vec`], `num::<int>::ANY`, and a small `[class]{m,n}`
+//!   regex-string strategy;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Differences from upstream: generation is derandomized per test (seeded
+//! from the test's module path, so failures reproduce exactly), there is
+//! **no shrinking** (the failing inputs are printed as generated), and no
+//! persistence files. Case counts honor `ProptestConfig::with_cases`.
+
+pub mod test_runner {
+    //! Test execution: configuration, deterministic RNG, failure reporting.
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Per-block configuration (only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // smaller than upstream's 256: offline CI favors fast suites
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic generation RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: SmallRng,
+        base: u64,
+    }
+
+    impl TestRng {
+        /// Root RNG for a named test; the name fixes the stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: SmallRng::seed_from_u64(h),
+                base: h,
+            }
+        }
+
+        /// Independent RNG for case `case` of this test.
+        pub fn derive(&self, case: u32) -> TestRng {
+            let seed = self
+                .base
+                .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .rotate_left(17);
+            TestRng {
+                inner: SmallRng::seed_from_u64(seed),
+                base: seed,
+            }
+        }
+    }
+
+    impl Rng for TestRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// Prints the generated inputs if the test body panics (drop-flag
+    /// reporter; proptest would shrink here, the stand-in just reports).
+    pub struct FailureReporter {
+        details: Option<String>,
+    }
+
+    impl FailureReporter {
+        /// Arm a reporter for one case.
+        pub fn new(test: &str, case: u32, inputs: String) -> Self {
+            FailureReporter {
+                details: Some(format!(
+                    "proptest case failed: {test} (case {case})\n  inputs: {inputs}"
+                )),
+            }
+        }
+    }
+
+    impl Drop for FailureReporter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                if let Some(d) = self.details.take() {
+                    eprintln!("{d}");
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy it selects
+        /// (dependent strategies).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, O, F> Strategy for Map<B, F>
+    where
+        B: Strategy,
+        O: Debug,
+        F: Fn(B::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// `prop_flat_map` adapter.
+    pub struct FlatMap<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, S, F> Strategy for FlatMap<B, F>
+    where
+        B: Strategy,
+        S: Strategy,
+        F: Fn(B::Value) -> S,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.random::<f64>()
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // closed upper end: scale a [0,1) draw by the next-up trick is
+            // overkill for tests; include the end via a tiny acceptance draw
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + (hi - lo) * (rng.next_u64() as f64 / u64::MAX as f64)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Tiny regex-subset string strategy: literals, `[a-z0-9_]`-style
+    /// classes (ranges and single chars), and `{m}` / `{m,n}` quantifiers
+    /// on the preceding atom.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let chars: Vec<char> = self.chars().collect();
+            let mut out = String::new();
+            let mut i = 0usize;
+            while i < chars.len() {
+                // parse one atom: a char class or a literal
+                let alphabet: Vec<char> = if chars[i] == '[' {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed class in pattern {self:?}"));
+                    let mut alpha = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                            assert!(lo <= hi, "bad range in pattern {self:?}");
+                            alpha.extend((lo..=hi).filter_map(char::from_u32));
+                            j += 3;
+                        } else {
+                            alpha.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    alpha
+                } else {
+                    let c = chars[i];
+                    i += 1;
+                    vec![c]
+                };
+                assert!(!alphabet.is_empty(), "empty class in pattern {self:?}");
+                // parse an optional quantifier
+                let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed quantifier in pattern {self:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse::<usize>().expect("quantifier lower bound"),
+                            n.trim().parse::<usize>().expect("quantifier upper bound"),
+                        ),
+                        None => {
+                            let m = body.trim().parse::<usize>().expect("quantifier count");
+                            (m, m)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                let count = if lo == hi {
+                    lo
+                } else {
+                    rng.random_range(lo..=hi)
+                };
+                for _ in 0..count {
+                    out.push(alphabet[rng.random_range(0..alphabet.len())]);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Inclusive-lower, exclusive-upper element-count range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    //! Full-width numeric strategies (`proptest::num::u64::ANY`-style).
+
+    macro_rules! any_mod {
+        ($($m:ident : $t:ty),*) => {$(
+            pub mod $m {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+                use rand::Rng;
+
+                /// Strategy yielding uniform full-width values.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// Any value of the type, uniformly.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.random::<$t>()
+                    }
+                }
+            }
+        )*};
+    }
+    any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize, i32: i32, i64: i64);
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a property (no shrinking in the stand-in, so this is a
+/// plain `assert!` whose failure triggers the input report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ...)`
+/// runs `cases` times over freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __root =
+                    $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let mut __rng = __root.derive(__case);
+                    let __vals = ( $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+ );
+                    let __reporter = $crate::test_runner::FailureReporter::new(
+                        stringify!($name),
+                        __case,
+                        format!("{:?}", __vals),
+                    );
+                    let ( $($arg,)+ ) = __vals;
+                    { $body }
+                    drop(__reporter);
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, f in 0.25f64..=0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            (n, v) in (1usize..5).prop_flat_map(|n| {
+                (Just(n), crate::collection::vec(0u32..100, n))
+            }),
+        ) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-z]{1,2}") {
+            prop_assert!(!s.is_empty() && s.len() <= 2);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0usize..10, b in 0usize..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test() {
+        let root = crate::test_runner::TestRng::for_test("module::demo");
+        let strat = crate::collection::vec(0u64..1000, 2..6);
+        let a: Vec<Vec<u64>> = (0..5)
+            .map(|c| strat.generate(&mut root.derive(c)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..5)
+            .map(|c| strat.generate(&mut root.derive(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let root = crate::test_runner::TestRng::for_test("module::exact");
+        let strat = crate::collection::vec(crate::num::u32::ANY, 4usize);
+        assert_eq!(strat.generate(&mut root.derive(0)).len(), 4);
+    }
+}

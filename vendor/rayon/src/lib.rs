@@ -1,0 +1,404 @@
+//! Minimal, dependency-free stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! re-implements the subset of rayon the workspace uses with
+//! `std::thread::scope` fan-out instead of a work-stealing pool:
+//!
+//! * [`join`] — run two closures, potentially on two threads;
+//! * [`prelude`] — `par_iter()` on slices and `into_par_iter()` on integer
+//!   ranges, with order-preserving `map`/`collect`/`sum`/`for_each`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — scoped thread-count
+//!   override, so `RAYON_NUM_THREADS=1` vs default comparisons work;
+//! * [`current_num_threads`].
+//!
+//! Thread-count resolution order: innermost `install` override, then the
+//! `RAYON_NUM_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`. Every combinator preserves input
+//! order in its output, so results never depend on the thread count — the
+//! property the offline-build determinism tests pin down.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Scoped thread-count override installed by [`ThreadPool::install`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// The number of threads parallel operations currently fan out to.
+pub fn current_num_threads() -> usize {
+    OVERRIDE
+        .with(Cell::get)
+        .or_else(env_threads)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Run `f` with the thread-count override set to `n` (propagating into
+/// worker threads spawned by nested parallel operations).
+fn with_override<R>(n: Option<usize>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|c| c.replace(n));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Run `a` and `b`, on two threads when the effective thread count allows,
+/// and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    let inherited = OVERRIDE.with(Cell::get);
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || with_override(inherited, b));
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (ra, rb)
+    })
+}
+
+/// Builder for a scoped thread-count "pool".
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Pin the thread count (0 means "use the default resolution").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = (n > 0).then_some(n);
+        self
+    }
+
+    /// Finish building. Never fails in the stand-in (the signature matches
+    /// rayon for call-site compatibility).
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count override posing as a thread pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count in effect.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.num_threads {
+            Some(n) => with_override(Some(n), f),
+            None => f(),
+        }
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+pub mod iter {
+    //! Order-preserving indexed parallel iterators.
+
+    use super::{with_override, OVERRIDE};
+    use std::cell::Cell;
+
+    /// An indexed parallel computation: `len` independent work units whose
+    /// results are always assembled in index order, independent of the
+    /// thread count.
+    pub trait ParallelIterator: Sized + Sync {
+        /// Per-unit result type.
+        type Item: Send;
+
+        /// Number of work units.
+        fn pi_len(&self) -> usize;
+
+        /// Evaluate work unit `i`.
+        fn pi_get(&self, i: usize) -> Self::Item;
+
+        /// Transform every unit's result.
+        fn map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            O: Send,
+            F: Fn(Self::Item) -> O + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Execute all units and collect results in index order.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_ordered_vec(drive(&self))
+        }
+
+        /// Execute all units and sum the results.
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            drive(&self).into_iter().sum()
+        }
+
+        /// Execute all units, then apply `f` to each result in index order.
+        fn for_each<F: Fn(Self::Item)>(self, f: F) {
+            drive(&self).into_iter().for_each(f);
+        }
+    }
+
+    /// Execute the work units of `it` across the effective thread count,
+    /// returning results in index order.
+    fn drive<I: ParallelIterator>(it: &I) -> Vec<I::Item> {
+        let n = it.pi_len();
+        let threads = super::current_num_threads().min(n).max(1);
+        if threads <= 1 {
+            return (0..n).map(|i| it.pi_get(i)).collect();
+        }
+        let inherited = OVERRIDE.with(Cell::get);
+        let chunk = n.div_ceil(threads);
+        let mut parts: Vec<Vec<I::Item>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    s.spawn(move || {
+                        with_override(inherited, || (lo..hi).map(|i| it.pi_get(i)).collect())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in parts.iter_mut() {
+            out.append(part);
+        }
+        out
+    }
+
+    /// Collection types buildable from ordered parallel results.
+    pub trait FromParallelIterator<T> {
+        /// Assemble from results already in index order.
+        fn from_ordered_vec(v: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    impl<A, B> FromParallelIterator<(A, B)> for (Vec<A>, Vec<B>) {
+        fn from_ordered_vec(v: Vec<(A, B)>) -> Self {
+            v.into_iter().unzip()
+        }
+    }
+
+    /// `map` adapter.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, O, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        O: Send,
+        F: Fn(B::Item) -> O + Sync,
+    {
+        type Item = O;
+
+        fn pi_len(&self) -> usize {
+            self.base.pi_len()
+        }
+
+        fn pi_get(&self, i: usize) -> O {
+            (self.f)(self.base.pi_get(i))
+        }
+    }
+
+    /// Parallel view of a slice.
+    pub struct ParSlice<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+        type Item = &'a T;
+
+        fn pi_len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn pi_get(&self, i: usize) -> &'a T {
+            &self.slice[i]
+        }
+    }
+
+    /// Parallel view of an integer range.
+    pub struct ParRange<T> {
+        start: T,
+        len: usize,
+    }
+
+    /// Borrowing entry point: `items.par_iter()`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowing parallel iterator type.
+        type Iter: ParallelIterator;
+
+        /// Iterate the collection's elements by reference, in parallel.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = ParSlice<'a, T>;
+
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { slice: self }
+        }
+    }
+
+    /// Consuming entry point: `range.into_par_iter()`.
+    pub trait IntoParallelIterator {
+        /// The produced parallel iterator type.
+        type Iter: ParallelIterator;
+
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    macro_rules! impl_range_par_iter {
+        ($($t:ty),*) => {$(
+            impl ParallelIterator for ParRange<$t> {
+                type Item = $t;
+
+                fn pi_len(&self) -> usize {
+                    self.len
+                }
+
+                fn pi_get(&self, i: usize) -> $t {
+                    self.start + i as $t
+                }
+            }
+
+            impl IntoParallelIterator for core::ops::Range<$t> {
+                type Iter = ParRange<$t>;
+
+                fn into_par_iter(self) -> ParRange<$t> {
+                    let len = if self.end > self.start {
+                        (self.end - self.start) as usize
+                    } else {
+                        0
+                    };
+                    ParRange { start: self.start, len }
+                }
+            }
+        )*};
+    }
+    impl_range_par_iter!(u32, u64, usize);
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_par_iter_matches_sequential() {
+        let squares: Vec<u64> = (0u64..257).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 257);
+        assert_eq!(squares[16], 256);
+        let total: u64 = (1u64..=100).sum();
+        let par_total: u64 = (1u64..101).into_par_iter().map(|x| x).sum();
+        assert_eq!(par_total, total);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            // nested parallel work still runs (sequentially) and stays ordered
+            let v: Vec<usize> = (0usize..64).into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(v[0], 1);
+            assert_eq!(v[63], 64);
+            let (a, b) = join(current_num_threads, current_num_threads);
+            assert_eq!((a, b), (1, 1));
+        });
+    }
+
+    #[test]
+    fn override_propagates_into_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            let counts: Vec<usize> = (0usize..32)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect();
+            assert!(counts.iter().all(|&c| c == 3), "{counts:?}");
+        });
+    }
+
+    #[test]
+    fn same_output_for_any_thread_count() {
+        let seq = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let par = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let f = || -> Vec<u64> {
+            (0u64..500)
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(x))
+                .collect()
+        };
+        assert_eq!(seq.install(f), par.install(f));
+    }
+}

@@ -1,0 +1,16 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! The workspace annotates id and model types with
+//! `#[derive(Serialize, Deserialize)]` for forward compatibility, but all
+//! actual persistence goes through the hand-rolled binary codecs
+//! (`octopus-graph::codec`, `octopus-data::store`). This crate re-exports
+//! no-op derives so those annotations compile without crates.io access; the
+//! marker traits exist so generic bounds keep working if introduced later.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods in the stand-in).
+pub trait SerializeMarker {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods in the stand-in).
+pub trait DeserializeMarker {}
