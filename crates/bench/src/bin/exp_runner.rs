@@ -6,7 +6,13 @@
 //! cargo run --release -p octopus-bench --bin exp_runner e4 e6     # subset
 //! cargo run --release -p octopus-bench --bin exp_runner -- --quick
 //! cargo run --release -p octopus-bench --bin exp_runner -- --csv out/
+//! cargo run --release -p octopus-bench --bin exp_runner -- --artifact-cache cache/
 //! ```
+//!
+//! With `--artifact-cache <dir>`, every engine construction goes through
+//! [`Octopus::open_or_build`]: the first run of an experiment pays the
+//! offline build and persists it, repeat runs (parameter sweeps, re-runs
+//! after online-path changes) load the artifacts and report the hit.
 
 use octopus_bench::table::fmt_duration;
 use octopus_bench::workloads::{
@@ -30,6 +36,11 @@ use std::time::Instant;
 
 /// When set (via `--csv <dir>`), every table is also written as CSV.
 static CSV_DIR: OnceLock<std::path::PathBuf> = OnceLock::new();
+
+/// When set (via `--artifact-cache <dir>`), engines are constructed with
+/// [`Octopus::open_or_build`] against this directory instead of
+/// [`Octopus::new`].
+static ARTIFACT_CACHE: OnceLock<std::path::PathBuf> = OnceLock::new();
 
 /// Print a table and mirror it to the CSV directory when requested.
 fn emit(t: &Table) {
@@ -77,20 +88,28 @@ fn engine_with(
     net: &octopus_data::SyntheticNetwork,
     kim: KimEngineChoice,
 ) -> (Octopus, std::time::Duration) {
+    let config = OctopusConfig {
+        kim,
+        piks_index_size: 1024,
+        k_max: 25,
+        ..Default::default()
+    };
     let t0 = Instant::now();
-    let engine = Octopus::new(
-        net.graph.clone(),
-        net.model.clone(),
-        OctopusConfig {
-            kim,
-            piks_index_size: 1024,
-            k_max: 25,
-            ..Default::default()
-        },
-    )
+    let engine = match ARTIFACT_CACHE.get() {
+        Some(dir) => Octopus::open_or_build(net.graph.clone(), net.model.clone(), config, dir),
+        None => Octopus::new(net.graph.clone(), net.model.clone(), config),
+    }
     .expect("engine builds")
     .with_user_keywords(user_keywords(net));
-    (engine, t0.elapsed())
+    let elapsed = t0.elapsed();
+    if ARTIFACT_CACHE.get().is_some() {
+        eprintln!(
+            "[artifact-cache] {} in {}",
+            if engine.cache_hit() { "hit" } else { "miss" },
+            fmt_duration(elapsed)
+        );
+    }
+    (engine, elapsed)
 }
 
 const ENGINES: &[(&str, KimEngineChoice)] = &[
@@ -955,6 +974,14 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--artifact-cache") {
+        if let Some(dir) = args.get(i + 1) {
+            let _ = ARTIFACT_CACHE.set(std::path::PathBuf::from(dir));
+        } else {
+            eprintln!("--artifact-cache requires a directory argument");
+            std::process::exit(2);
+        }
+    }
     let mut skip_next = false;
     let picks: Vec<String> = args
         .iter()
@@ -963,7 +990,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" {
+            if *a == "--csv" || *a == "--artifact-cache" {
                 skip_next = true;
                 return false;
             }

@@ -6,10 +6,12 @@
 //! out-degree by default, so famous users surface first); completion walks
 //! the prefix and collects the best `limit` terminals below it.
 
+use bytes::{Buf, BufMut, BytesMut};
+use octopus_graph::wire::{self, WireError};
 use octopus_graph::NodeId;
 use std::collections::HashMap;
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct TrieNode {
     children: HashMap<char, TrieNode>,
     /// Terminal payload: (user, score).
@@ -17,7 +19,7 @@ struct TrieNode {
 }
 
 /// Prefix index over user names.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Autocomplete {
     root: TrieNode,
     size: usize,
@@ -98,6 +100,83 @@ impl Autocomplete {
         found
     }
 
+    /// Serialize the trie into `buf` (the artifact-codec path). Children are
+    /// written in ascending character order so the encoding is canonical
+    /// regardless of `HashMap` iteration order. Preorder, with an explicit
+    /// work stack: trie depth equals the longest normalized name, which is
+    /// user-controlled data and must not bound the call stack.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.size as u64);
+        enum Work<'a> {
+            Node(&'a TrieNode),
+            Char(char),
+        }
+        let mut stack = vec![Work::Node(&self.root)];
+        while let Some(work) = stack.pop() {
+            match work {
+                Work::Char(c) => buf.put_u32_le(c as u32),
+                Work::Node(node) => {
+                    match node.terminal {
+                        Some((id, score)) => {
+                            buf.put_u8(1);
+                            buf.put_u32_le(id.0);
+                            buf.put_f64_le(score);
+                        }
+                        None => buf.put_u8(0),
+                    }
+                    let mut chars: Vec<char> = node.children.keys().copied().collect();
+                    chars.sort_unstable();
+                    buf.put_u32_le(chars.len() as u32);
+                    // push in descending order so children pop ascending,
+                    // each preceded by its edge character
+                    for &c in chars.iter().rev() {
+                        stack.push(Work::Node(&node.children[&c]));
+                        stack.push(Work::Char(c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decode a trie serialized by [`Autocomplete::encode_into`].
+    ///
+    /// `node_count` bounds the terminal user ids: a payload referencing a
+    /// node outside the live graph is rejected here rather than panicking
+    /// in a later lookup. Iterative for the same reason the encoder is.
+    pub fn decode_from<B: Buf + ?Sized>(buf: &mut B, node_count: usize) -> Result<Self, WireError> {
+        wire::need(buf, 8, "autocomplete size")?;
+        let size = buf.get_u64_le() as usize;
+        // (edge char into the parent, node under construction, children
+        // still to decode); the root has no inbound edge char
+        let mut stack: Vec<(Option<char>, TrieNode, u32)> = Vec::new();
+        let mut pending = read_node_header(buf, node_count)?;
+        stack.push((None, pending.0, pending.1));
+        loop {
+            // close completed frames, attaching each to its parent
+            while stack
+                .last()
+                .is_some_and(|(_, _, remaining)| *remaining == 0)
+            {
+                let (edge, node, _) = stack.pop().expect("non-empty");
+                match (edge, stack.last_mut()) {
+                    (Some(c), Some((_, parent, _))) => {
+                        parent.children.insert(c, node);
+                    }
+                    (None, None) => return Ok(Autocomplete { root: node, size }),
+                    _ => return Err(WireError("autocomplete trie frames inconsistent".into())),
+                }
+            }
+            let top = stack.last_mut().expect("root still open");
+            top.2 -= 1;
+            wire::need(buf, 4, "trie child char")?;
+            let raw = buf.get_u32_le();
+            let c = char::from_u32(raw)
+                .ok_or_else(|| WireError(format!("invalid trie character {raw:#x}")))?;
+            pending = read_node_header(buf, node_count)?;
+            stack.push((Some(c), pending.0, pending.1));
+        }
+    }
+
     /// Exact lookup of a (normalized) name.
     pub fn lookup(&self, name: &str) -> Option<NodeId> {
         let norm = normalize(name);
@@ -107,6 +186,37 @@ impl Autocomplete {
         }
         node.terminal.map(|(id, _)| id)
     }
+}
+
+/// Read one node's own data (terminal payload + child count); the children
+/// themselves are decoded by the caller's frame loop.
+fn read_node_header<B: Buf + ?Sized>(
+    buf: &mut B,
+    node_count: usize,
+) -> Result<(TrieNode, u32), WireError> {
+    wire::need(buf, 1, "trie terminal flag")?;
+    let terminal = if buf.get_u8() != 0 {
+        wire::need(buf, 12, "trie terminal payload")?;
+        let id = NodeId(buf.get_u32_le());
+        if id.index() >= node_count {
+            return Err(WireError(format!(
+                "trie terminal references node {id} outside the graph ({node_count} nodes)"
+            )));
+        }
+        let score = buf.get_f64_le();
+        Some((id, score))
+    } else {
+        None
+    };
+    wire::need(buf, 4, "trie child count")?;
+    let child_count = buf.get_u32_le();
+    Ok((
+        TrieNode {
+            children: HashMap::with_capacity((child_count as usize).min(256)),
+            terminal,
+        },
+        child_count,
+    ))
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use crate::cache::{CacheStats, QueryCache};
 use crate::error::CoreError;
 use crate::kim::bounds::BoundKind;
 use crate::kim::{topic_sample, KimAlgorithm, KimResult, NaiveKim};
+use crate::offline::persist::{self, Fingerprint};
 use crate::offline::{self, OfflineArtifacts, StageTiming};
 use crate::paths::{explore, ExploreDirection, PathExploration};
 use crate::piks::{GreedyPiks, PiksConfig, PiksResult};
@@ -164,12 +165,18 @@ pub struct SystemReport {
     pub cached_queries: usize,
     /// Global MIA spread cap (the NB/LG bound constant).
     pub spread_cap: f64,
-    /// Per-stage wall-clock timings of the offline build pipeline, in
-    /// [`offline::STAGE_ORDER`].
+    /// Per-stage wall-clock timings of the offline phase. A fresh build
+    /// reports [`offline::STAGE_ORDER`] (plus
+    /// [`persist::STAGE_ARTIFACT_STORE`] when a cache was written); an
+    /// engine restored by [`Octopus::open_or_build`] reports a single
+    /// [`persist::STAGE_ARTIFACT_LOAD`] entry — zero build stages ran.
     pub stage_timings: Vec<StageTiming>,
-    /// Wall-clock duration of the whole offline build (stages overlap, so
-    /// this can be less than the timing sum).
+    /// Wall-clock duration of the whole offline phase (build, or cache load
+    /// on a hit; stages overlap, so this can be less than the timing sum).
     pub offline_build_total: Duration,
+    /// Whether the offline artifacts were loaded from the on-disk cache
+    /// instead of built (always `false` for [`Octopus::new`]).
+    pub cache_hit: bool,
 }
 
 /// The OCTOPUS engine.
@@ -183,6 +190,8 @@ pub struct Octopus {
     config: OctopusConfig,
     /// Everything the offline pipeline precomputed (see [`offline::build`]).
     offline: OfflineArtifacts,
+    /// Whether `offline` came from the on-disk artifact cache.
+    cache_hit: bool,
     user_keywords: HashMap<NodeId, Vec<KeywordId>>,
     cache: QueryCache,
 }
@@ -198,25 +207,80 @@ impl Octopus {
     /// staged offline pipeline ([`offline::build`]) for every phase the
     /// configured engines need.
     pub fn new(graph: TopicGraph, model: TopicModel, config: OctopusConfig) -> Result<Self> {
-        if graph.num_topics() != model.num_topics() {
-            return Err(CoreError::Topic(
-                octopus_topics::TopicError::ShapeMismatch {
-                    what: "graph vs model topic count",
-                    expected: graph.num_topics(),
-                    got: model.num_topics(),
-                },
-            ));
-        }
+        check_shapes(&graph, &model)?;
         let offline = offline::build(&graph, &config);
+        Ok(Self::from_parts(graph, model, config, offline, false))
+    }
+
+    /// Build the engine, reusing a cached offline build when one matches.
+    ///
+    /// The cache key is [`Fingerprint::compute`]`(graph, config)` — graph
+    /// topology + weights + names, every config field, and the seed. The
+    /// lookup degrades, never fails: a missing, truncated, corrupted,
+    /// stale-version, or foreign-fingerprint file falls back to a full
+    /// [`offline::build`], after which the fresh artifacts are written back
+    /// to `cache_dir` (atomically; write failures are ignored — a read-only
+    /// cache directory costs the speedup, not the engine).
+    ///
+    /// On a hit, [`SystemReport::cache_hit`] is `true` and
+    /// [`SystemReport::stage_timings`] holds a single
+    /// [`persist::STAGE_ARTIFACT_LOAD`] entry: zero offline stages ran.
+    /// Cached artifacts are bit-identical to freshly built ones (the
+    /// `build_determinism` and end-to-end restart tests pin this), so every
+    /// query answers the same either way.
+    pub fn open_or_build(
+        graph: TopicGraph,
+        model: TopicModel,
+        config: OctopusConfig,
+        cache_dir: &std::path::Path,
+    ) -> Result<Self> {
+        check_shapes(&graph, &model)?;
+        let fp = Fingerprint::compute(&graph, &config);
+        let path = fp.cache_path(cache_dir);
+        let t0 = Instant::now();
+        if let Ok(mut loaded) = persist::load(&path, &fp, &graph) {
+            let elapsed = t0.elapsed();
+            loaded.timings = vec![StageTiming {
+                stage: persist::STAGE_ARTIFACT_LOAD,
+                duration: elapsed,
+            }];
+            loaded.build_total = elapsed;
+            return Ok(Self::from_parts(graph, model, config, loaded, true));
+        }
+        let mut offline = offline::build(&graph, &config);
+        let t_store = Instant::now();
+        if persist::save(&offline, &fp, &path).is_ok() {
+            offline.timings.push(StageTiming {
+                stage: persist::STAGE_ARTIFACT_STORE,
+                duration: t_store.elapsed(),
+            });
+        }
+        Ok(Self::from_parts(graph, model, config, offline, false))
+    }
+
+    fn from_parts(
+        graph: TopicGraph,
+        model: TopicModel,
+        config: OctopusConfig,
+        offline: OfflineArtifacts,
+        cache_hit: bool,
+    ) -> Self {
         let cache = QueryCache::new(config.cache_capacity, config.cache_tolerance);
-        Ok(Octopus {
+        Octopus {
             graph,
             model,
             config,
             offline,
+            cache_hit,
             user_keywords: HashMap::new(),
             cache,
-        })
+        }
+    }
+
+    /// Whether this engine's offline artifacts came from the on-disk cache
+    /// (only ever `true` for [`Octopus::open_or_build`]).
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
     }
 
     /// The artifacts the offline pipeline produced (sizes, tables, per-stage
@@ -268,6 +332,7 @@ impl Octopus {
             spread_cap: self.offline.cap,
             stage_timings: self.offline.timings.clone(),
             offline_build_total: self.offline.build_total,
+            cache_hit: self.cache_hit,
         }
     }
 
@@ -546,6 +611,20 @@ impl Octopus {
     }
 }
 
+/// Graph/model agreement check shared by both construction paths.
+fn check_shapes(graph: &TopicGraph, model: &TopicModel) -> Result<()> {
+    if graph.num_topics() != model.num_topics() {
+        return Err(CoreError::Topic(
+            octopus_topics::TopicError::ShapeMismatch {
+                what: "graph vs model topic count",
+                expected: graph.num_topics(),
+                got: model.num_topics(),
+            },
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +633,11 @@ mod tests {
 
     /// Small two-topic network with named users and a themed vocabulary.
     fn build_engine(kim: KimEngineChoice) -> Octopus {
+        let (g, model, config) = fixture(kim);
+        Octopus::new(g, model, config).unwrap()
+    }
+
+    fn fixture(kim: KimEngineChoice) -> (TopicGraph, TopicModel, OctopusConfig) {
         let mut b = GraphBuilder::new(2);
         let han = b.add_node("jiawei han"); // db hub
         let jordan = b.add_node("michael jordan"); // ml hub
@@ -586,7 +670,7 @@ mod tests {
             k_max: 5,
             ..Default::default()
         };
-        Octopus::new(g, model, config).unwrap()
+        (g, model, config)
     }
 
     #[test]
@@ -729,6 +813,7 @@ mod tests {
         assert_eq!(r.topic_samples, 0);
         assert!(r.piks_worlds > 0);
         assert!(r.spread_cap >= 1.0);
+        assert!(!r.cache_hit, "Octopus::new never reads the artifact cache");
         let stages: Vec<&str> = r.stage_timings.iter().map(|t| t.stage).collect();
         assert_eq!(stages, crate::offline::STAGE_ORDER.to_vec());
         assert!(r.offline_build_total > Duration::ZERO);
@@ -785,6 +870,69 @@ mod tests {
         let stats = octo.cache_stats();
         assert_eq!(stats.hits, 1);
         assert!(stats.misses >= 2);
+    }
+
+    #[test]
+    fn open_or_build_misses_then_hits() {
+        let (g, model, config) = fixture(KimEngineChoice::Mis);
+        let dir = std::env::temp_dir().join(format!(
+            "octopus_engine_cache_{:016x}",
+            persist::Fingerprint::compute(&g, &config).config
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let first = Octopus::open_or_build(g.clone(), model.clone(), config.clone(), &dir).unwrap();
+        assert!(!first.cache_hit(), "empty cache dir must miss");
+        let stages: Vec<&str> = first
+            .system_report()
+            .stage_timings
+            .iter()
+            .map(|t| t.stage)
+            .collect();
+        assert!(
+            stages.starts_with(&crate::offline::STAGE_ORDER),
+            "miss runs the full pipeline: {stages:?}"
+        );
+        assert_eq!(
+            stages.last().copied(),
+            Some(persist::STAGE_ARTIFACT_STORE),
+            "fresh build must be written back"
+        );
+
+        let second = Octopus::open_or_build(g, model, config, &dir).unwrap();
+        let report = second.system_report();
+        assert!(report.cache_hit, "identical inputs must hit");
+        let stages: Vec<&str> = report.stage_timings.iter().map(|t| t.stage).collect();
+        assert_eq!(
+            stages,
+            vec![persist::STAGE_ARTIFACT_LOAD],
+            "a hit runs zero offline stages"
+        );
+        // both engines answer identically
+        let a = first.find_influencers("data mining", 3).unwrap();
+        let b = second.find_influencers("data mining", 3).unwrap();
+        assert_eq!(
+            a.seeds.iter().map(|s| s.node).collect::<Vec<_>>(),
+            b.seeds.iter().map(|s| s.node).collect::<Vec<_>>()
+        );
+        assert_eq!(a.result.spread, b.result.spread);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_or_build_key_separates_configs() {
+        let (g, model, config) = fixture(KimEngineChoice::Mis);
+        let dir = std::env::temp_dir().join("octopus_engine_cache_separation");
+        std::fs::remove_dir_all(&dir).ok();
+        let _ = Octopus::open_or_build(g.clone(), model.clone(), config.clone(), &dir).unwrap();
+        // different seed → different key → miss, not a false hit
+        let reseeded = OctopusConfig {
+            seed: config.seed ^ 0xBEEF,
+            ..config
+        };
+        let other = Octopus::open_or_build(g, model, reseeded, &dir).unwrap();
+        assert!(!other.cache_hit(), "a reseeded config must not hit");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

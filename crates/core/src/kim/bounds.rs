@@ -210,6 +210,18 @@ impl PrecompBound {
     pub fn topic_spread(&self, u: NodeId, z: usize) -> f64 {
         self.sigma[z][u.index()]
     }
+
+    /// Reassemble from raw parts (the artifact-codec path). `sigma[z][u]`
+    /// must hold one spread per node for every topic.
+    pub fn from_parts(sigma: Vec<Vec<f64>>, safety: f64) -> Self {
+        PrecompBound { sigma, safety }
+    }
+
+    /// The raw `(sigma, safety)` parts, in canonical `[topic][node]` order
+    /// (the artifact-codec path).
+    pub fn parts(&self) -> (&[Vec<f64>], f64) {
+        (&self.sigma, self.safety)
+    }
 }
 
 impl BoundEstimator for PrecompBound {

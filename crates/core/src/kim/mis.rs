@@ -73,6 +73,28 @@ impl MisKim {
         &self.candidates
     }
 
+    /// The per-topic marginal-gain tables (the artifact-codec path).
+    pub fn gains(&self) -> &[HashMap<NodeId, f64>] {
+        &self.gains
+    }
+
+    /// Reassemble from decoded per-topic gain tables; the candidate union
+    /// is re-derived exactly as [`MisKim::build`] derives it.
+    pub fn from_parts(gains: Vec<HashMap<NodeId, f64>>) -> Self {
+        let mut candidate_set: Vec<NodeId> = gains
+            .iter()
+            .flat_map(|table| table.keys().copied())
+            .collect();
+        candidate_set.sort();
+        candidate_set.dedup();
+        let num_topics = gains.len();
+        MisKim {
+            gains,
+            candidates: candidate_set,
+            num_topics,
+        }
+    }
+
     /// The aggregated MIS score of a user under `gamma`.
     pub fn score(&self, u: NodeId, gamma: &TopicDistribution) -> f64 {
         (0..self.num_topics)

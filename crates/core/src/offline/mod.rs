@@ -47,6 +47,35 @@
 //! surfaces them through [`crate::engine::SystemReport::stage_timings`].
 //! Because branches run concurrently, stage durations can sum to more than
 //! [`OfflineArtifacts::build_total`].
+//!
+//! ## Persistence
+//!
+//! Determinism (above) is what makes the artifacts *cacheable*: a build is
+//! a pure function of `(graph, config, seed)`, so [`persist`] serializes
+//! [`OfflineArtifacts`] into a versioned binary file keyed by a
+//! [`persist::Fingerprint`] over exactly those inputs. The file layout is
+//!
+//! ```text
+//! magic "OCTA" | version u16
+//! graph_fp u64 | config_fp u64 | seed u64      ← the cache key
+//! payload_len u64 | payload_checksum u64       ← FNV-1a torn-write guard
+//! payload: cap, PB tables?, MIS tables?, topic samples,
+//!          PIKS worlds (coin seeds + sub-DAG CSRs), autocomplete trie
+//! ```
+//!
+//! (full field grammar in the [`persist`] module docs). Stage timings are
+//! telemetry, not artifact state, and are never persisted.
+//!
+//! [`crate::engine::Octopus::open_or_build`] is the consumer: it loads a
+//! matching file (reporting one [`persist::STAGE_ARTIFACT_LOAD`] timing and
+//! `cache_hit = true` — zero build stages run), and on miss, fingerprint
+//! mismatch, stale version, or corruption it falls back to [`build`] and
+//! atomically writes the fresh artifacts back. Loaded artifacts are
+//! bit-identical to built ones, so every query answers the same either
+//! way — pinned by `tests/build_determinism.rs` and the end-to-end restart
+//! tests.
+
+pub mod persist;
 
 use crate::autocomplete::Autocomplete;
 use crate::engine::{KimEngineChoice, OctopusConfig};

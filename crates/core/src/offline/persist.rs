@@ -1,0 +1,814 @@
+//! Fingerprint-keyed on-disk persistence for [`OfflineArtifacts`] — the
+//! cache that lets a process restart skip the whole offline pipeline.
+//!
+//! ## Cache key
+//!
+//! A cached artifact file is only valid for the exact inputs that produced
+//! it, so the key is a [`Fingerprint`] over all three:
+//!
+//! * **graph** — FNV-1a over the canonical [`octopus_graph::codec`]
+//!   encoding (topology, per-edge topic weights, names — names feed the
+//!   autocomplete artifact, so they belong in the key);
+//! * **config** — FNV-1a over every [`OctopusConfig`] field except the
+//!   seed, each hashed by exact bit pattern;
+//! * **seed** — the master RNG seed, kept as its own component (the
+//!   roadmap's incremental-rebuild work keys invalidation off the triple).
+//!
+//! ## File format (little-endian)
+//!
+//! ```text
+//! magic "OCTA" | version u16
+//! graph_fp u64 | config_fp u64 | seed u64
+//! payload_len u64 | payload_checksum u64 (FNV-1a over the payload bytes)
+//! payload:
+//!   cap            f64
+//!   pb?            u8 flag | safety f64 | Z u32 | N u32 | Z×N f64
+//!   mis?           u8 flag | Z u32 | per topic: count u32,
+//!                  count × (node u32, gain f64) sorted by node
+//!   samples        u32 count | per sample: Z u32, Z × f64 γ,
+//!                  seed count u32 + u32 ids, spread f64
+//!   piks index     see [`InfluencerIndex::encode_into`]
+//!   autocomplete   see [`Autocomplete::encode_into`]
+//! ```
+//!
+//! The checksum makes in-place corruption (bit flips, partial writes)
+//! detectable *before* the structural decode runs, so a damaged cache file
+//! degrades to a rebuild instead of a panic or — worse — silently wrong
+//! tables. Stage timings are telemetry, not artifact state, and are not
+//! persisted; a loaded artifact reports a single
+//! [`STAGE_ARTIFACT_LOAD`] timing instead.
+
+use super::OfflineArtifacts;
+use crate::autocomplete::Autocomplete;
+use crate::engine::{KimEngineChoice, OctopusConfig};
+use crate::kim::bounds::{BoundKind, PrecompBound};
+use crate::kim::topic_sample::TopicSample;
+use crate::kim::MisKim;
+use crate::piks::InfluencerIndex;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use octopus_graph::wire::{self, Fnv64, WireError};
+use octopus_graph::{codec as graph_codec, NodeId, TopicGraph};
+use octopus_topics::TopicDistribution;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const MAGIC: &[u8; 4] = b"OCTA";
+const VERSION: u16 = 1;
+/// Bytes before the payload: magic + version + 3 fingerprint words +
+/// payload length + payload checksum.
+const HEADER_LEN: usize = 4 + 2 + 8 * 3 + 8 + 8;
+
+/// Synthetic stage name reported when artifacts are loaded from cache.
+pub const STAGE_ARTIFACT_LOAD: &str = "artifact-load";
+/// Synthetic stage name reported for writing a fresh build to cache.
+pub const STAGE_ARTIFACT_STORE: &str = "artifact-store";
+
+/// Errors from artifact (de)serialization and cache lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// Payload is truncated, malformed, or fails its checksum.
+    Corrupt(String),
+    /// The file was written by an incompatible codec version.
+    Version(u16),
+    /// The file is valid but keyed to different inputs.
+    Mismatch {
+        /// Key the caller expects.
+        expected: Fingerprint,
+        /// Key stored in the file.
+        found: Fingerprint,
+    },
+    /// The file could not be read at all.
+    Io(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Corrupt(m) => write!(f, "corrupt artifact payload: {m}"),
+            PersistError::Version(v) => write!(f, "unsupported artifact version {v}"),
+            PersistError::Mismatch { expected, found } => write!(
+                f,
+                "artifact fingerprint mismatch: expected {expected}, found {found}"
+            ),
+            PersistError::Io(m) => write!(f, "artifact io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<WireError> for PersistError {
+    fn from(e: WireError) -> Self {
+        PersistError::Corrupt(e.0)
+    }
+}
+
+/// The cache key of one offline build: `(graph, config, seed)`.
+///
+/// Any perturbation of the graph (an edge, a weight, a name), of any config
+/// field, or of the seed produces a different fingerprint — pinned by the
+/// `proptest_persist` sensitivity suite — so a stale cache file can never
+/// masquerade as current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    /// Hash of the canonical graph encoding (topology + weights + names).
+    pub graph: u64,
+    /// Hash of every artifact-relevant config field except the seed.
+    pub config: u64,
+    /// The master RNG seed, verbatim.
+    pub seed: u64,
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:016x}-{:016x}-{:016x}",
+            self.graph, self.config, self.seed
+        )
+    }
+}
+
+impl Fingerprint {
+    /// Compute the cache key for building `graph` under `config`.
+    ///
+    /// The graph component streams the canonical encoding through the
+    /// hasher ([`graph_codec::hash`]) rather than materializing the byte
+    /// buffer — `compute` runs on every [`open_or_build`], including the
+    /// fast cache-hit path, and must not transiently copy a large graph.
+    ///
+    /// [`open_or_build`]: crate::engine::Octopus::open_or_build
+    pub fn compute(graph: &TopicGraph, config: &OctopusConfig) -> Self {
+        Fingerprint {
+            graph: graph_codec::hash(graph),
+            config: config_fingerprint(config),
+            seed: config.seed,
+        }
+    }
+
+    /// The cache file name for this key.
+    pub fn file_name(&self) -> String {
+        format!("octopus-artifacts-{self}.octa")
+    }
+
+    /// The cache file path under `cache_dir`.
+    pub fn cache_path(&self, cache_dir: &Path) -> PathBuf {
+        cache_dir.join(self.file_name())
+    }
+}
+
+/// Hash every config field except the seed, each by exact bit pattern.
+///
+/// Online-only fields (query cache, path count, PIKS thresholds) are
+/// deliberately included: a conservative key can only cause a spurious
+/// rebuild, never a stale artifact — and it keeps the sensitivity contract
+/// simple ("any config change changes the key").
+fn config_fingerprint(config: &OctopusConfig) -> u64 {
+    let mut h = Fnv64::new();
+    match config.kim {
+        KimEngineChoice::Naive => {
+            h.write_u32(0);
+        }
+        KimEngineChoice::Mis => {
+            h.write_u32(1);
+        }
+        KimEngineChoice::BestEffort(bound) => {
+            h.write_u32(2).write_u32(bound_tag(bound));
+        }
+        KimEngineChoice::TopicSample {
+            bound,
+            extra_samples,
+            direct_eps,
+        } => {
+            h.write_u32(3)
+                .write_u32(bound_tag(bound))
+                .write_u64(extra_samples as u64)
+                .write_f64(direct_eps);
+        }
+    }
+    h.write_f64(config.mia_theta)
+        .write_u64(config.k_max as u64)
+        .write_u64(config.mis_rr_per_topic as u64)
+        .write_u64(config.piks_index_size as u64)
+        .write_f64(config.pb_safety)
+        .write_u32(config.lg_depth)
+        .write_f64(config.lg_safety)
+        .write_f64(config.piks.min_posterior_consistency)
+        .write_f64(config.piks.min_pairwise_consistency)
+        .write_u64(config.top_paths as u64)
+        .write_u64(config.cache_capacity as u64)
+        .write_f64(config.cache_tolerance);
+    h.finish()
+}
+
+fn bound_tag(b: BoundKind) -> u32 {
+    match b {
+        BoundKind::Precomputation => 0,
+        BoundKind::LocalGraph => 1,
+        BoundKind::Neighborhood => 2,
+        BoundKind::Trivial => 3,
+    }
+}
+
+/// Serialize `artifacts` under the cache key `fp`.
+pub fn encode(artifacts: &OfflineArtifacts, fp: &Fingerprint) -> Bytes {
+    // reserve the dominant, exactly-computable sections upfront (PB tables
+    // alone are Z×N×8 bytes at production scale; the trie is estimated) so
+    // a large encode doesn't crawl through doubling reallocations
+    let pb_bytes = artifacts.pb.as_ref().map_or(1, |pb| {
+        let (sigma, _) = pb.parts();
+        1 + 16 + sigma.len() * (4 + sigma.first().map_or(0, Vec::len) * 8)
+    });
+    let mis_bytes = artifacts.mis.as_ref().map_or(1, |m| {
+        1 + 4 + m.gains().iter().map(|t| 4 + t.len() * 12).sum::<usize>()
+    });
+    let sample_bytes: usize = 4 + artifacts
+        .samples
+        .iter()
+        .map(|s| 16 + s.gamma.num_topics() * 8 + s.seeds.len() * 4)
+        .sum::<usize>();
+    let piks = artifacts.piks_index.stats();
+    let piks_bytes =
+        44 + artifacts.piks_index.len() * 24 + piks.stored_nodes * 8 + piks.stored_edges * 8;
+    let trie_bytes = 8 + artifacts.names.len() * 64;
+    let mut payload =
+        BytesMut::with_capacity(8 + pb_bytes + mis_bytes + sample_bytes + piks_bytes + trie_bytes);
+    payload.put_f64_le(artifacts.cap);
+
+    match &artifacts.pb {
+        Some(pb) => {
+            payload.put_u8(1);
+            let (sigma, safety) = pb.parts();
+            payload.put_f64_le(safety);
+            payload.put_u32_le(sigma.len() as u32);
+            payload.put_u32_le(sigma.first().map_or(0, Vec::len) as u32);
+            for row in sigma {
+                for &s in row {
+                    payload.put_f64_le(s);
+                }
+            }
+        }
+        None => payload.put_u8(0),
+    }
+
+    match &artifacts.mis {
+        Some(mis) => {
+            payload.put_u8(1);
+            payload.put_u32_le(mis.gains().len() as u32);
+            for table in mis.gains() {
+                // canonical order: HashMap iteration is arbitrary, sort by id
+                let mut pairs: Vec<(NodeId, f64)> = table.iter().map(|(&u, &g)| (u, g)).collect();
+                pairs.sort_by_key(|&(u, _)| u);
+                payload.put_u32_le(pairs.len() as u32);
+                for (u, g) in pairs {
+                    payload.put_u32_le(u.0);
+                    payload.put_f64_le(g);
+                }
+            }
+        }
+        None => payload.put_u8(0),
+    }
+
+    payload.put_u32_le(artifacts.samples.len() as u32);
+    for s in &artifacts.samples {
+        payload.put_u32_le(s.gamma.num_topics() as u32);
+        for &g in s.gamma.as_slice() {
+            payload.put_f64_le(g);
+        }
+        payload.put_u32_le(s.seeds.len() as u32);
+        for &u in &s.seeds {
+            payload.put_u32_le(u.0);
+        }
+        payload.put_f64_le(s.spread);
+    }
+
+    artifacts.piks_index.encode_into(&mut payload);
+    artifacts.names.encode_into(&mut payload);
+
+    let payload = payload.freeze();
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(fp.graph);
+    buf.put_u64_le(fp.config);
+    buf.put_u64_le(fp.seed);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_u64_le(wire::fnv1a(&payload));
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Deserialize artifacts from `raw`, verifying magic, version, fingerprint
+/// and payload checksum before any structural decode.
+///
+/// `graph` is the graph the artifacts will serve: every stored dimension
+/// and id is validated against it (PB/MIS table shapes, sample seeds, PIKS
+/// node and edge ids, trie user ids), so a payload that is internally
+/// consistent but keyed to the wrong inputs — or maliciously stamped with
+/// the right fingerprint — fails the load instead of panicking at query
+/// time. It also bounds every allocation: no stored count can exceed what
+/// the graph's own dimensions admit.
+///
+/// The returned artifacts carry no stage timings (telemetry is not
+/// persisted); [`crate::engine::Octopus::open_or_build`] substitutes an
+/// [`STAGE_ARTIFACT_LOAD`] timing.
+pub fn decode(
+    raw: &[u8],
+    expected: &Fingerprint,
+    graph: &TopicGraph,
+) -> Result<OfflineArtifacts, PersistError> {
+    let mut buf = raw;
+    wire::need(&buf, HEADER_LEN, "artifact header")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::Corrupt(
+            "bad magic (not an OCTA payload)".into(),
+        ));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(PersistError::Version(version));
+    }
+    let found = Fingerprint {
+        graph: buf.get_u64_le(),
+        config: buf.get_u64_le(),
+        seed: buf.get_u64_le(),
+    };
+    if found != *expected {
+        return Err(PersistError::Mismatch {
+            expected: *expected,
+            found,
+        });
+    }
+    let payload_len = buf.get_u64_le() as usize;
+    let checksum = buf.get_u64_le();
+    if buf.remaining() != payload_len {
+        return Err(PersistError::Corrupt(format!(
+            "payload length {} does not match header {payload_len}",
+            buf.remaining()
+        )));
+    }
+    if wire::fnv1a(buf) != checksum {
+        return Err(PersistError::Corrupt(
+            "payload checksum mismatch (file corrupted in place)".into(),
+        ));
+    }
+    decode_payload(&mut buf, graph)
+}
+
+fn decode_payload(buf: &mut &[u8], graph: &TopicGraph) -> Result<OfflineArtifacts, PersistError> {
+    let num_topics = graph.num_topics();
+    let node_count = graph.node_count();
+    wire::need(buf, 8 + 1, "spread cap")?;
+    let cap = buf.get_f64_le();
+
+    let pb = if buf.get_u8() != 0 {
+        wire::need(buf, 8 + 4 + 4, "pb header")?;
+        let safety = buf.get_f64_le();
+        let z = buf.get_u32_le() as usize;
+        let n = buf.get_u32_le() as usize;
+        if z != num_topics || n != node_count {
+            return Err(PersistError::Corrupt(format!(
+                "pb tables are {z}×{n}, graph is {num_topics}×{node_count}"
+            )));
+        }
+        wire::need(buf, z.saturating_mul(n).saturating_mul(8), "pb tables")?;
+        let mut sigma = Vec::with_capacity(z);
+        for _ in 0..z {
+            let mut row = Vec::with_capacity(n);
+            for _ in 0..n {
+                row.push(buf.get_f64_le());
+            }
+            sigma.push(row);
+        }
+        Some(PrecompBound::from_parts(sigma, safety))
+    } else {
+        None
+    };
+
+    wire::need(buf, 1, "mis flag")?;
+    let has_mis = buf.get_u8() != 0;
+    let mis = if has_mis {
+        wire::need(buf, 4, "mis topic count")?;
+        let z = buf.get_u32_le() as usize;
+        if z != num_topics {
+            return Err(PersistError::Corrupt(format!(
+                "mis tables cover {z} topics, graph has {num_topics}"
+            )));
+        }
+        let mut gains = Vec::with_capacity(z);
+        for _ in 0..z {
+            wire::need(buf, 4, "mis table size")?;
+            let count = buf.get_u32_le() as usize;
+            wire::need(buf, count.saturating_mul(12), "mis table entries")?;
+            let mut table = HashMap::with_capacity(count.min(node_count));
+            for _ in 0..count {
+                let u = NodeId(buf.get_u32_le());
+                if u.index() >= node_count {
+                    return Err(PersistError::Corrupt(format!(
+                        "mis table references node {u} outside the graph ({node_count} nodes)"
+                    )));
+                }
+                let g = buf.get_f64_le();
+                table.insert(u, g);
+            }
+            gains.push(table);
+        }
+        Some(MisKim::from_parts(gains))
+    } else {
+        None
+    };
+
+    wire::need(buf, 4, "sample count")?;
+    let sample_count = buf.get_u32_le() as usize;
+    let mut samples = Vec::with_capacity(sample_count.min(1 << 16));
+    for _ in 0..sample_count {
+        wire::need(buf, 4, "sample gamma size")?;
+        let z = buf.get_u32_le() as usize;
+        if z != num_topics {
+            return Err(PersistError::Corrupt(format!(
+                "topic sample has {z} topics, graph has {num_topics}"
+            )));
+        }
+        wire::need(buf, z.saturating_mul(8), "sample gamma")?;
+        let mut gamma = Vec::with_capacity(z);
+        for _ in 0..z {
+            gamma.push(buf.get_f64_le());
+        }
+        let gamma = TopicDistribution::from_normalized(gamma)
+            .map_err(|e| PersistError::Corrupt(format!("sample gamma invalid: {e}")))?;
+        wire::need(buf, 4, "sample seed count")?;
+        let k = buf.get_u32_le() as usize;
+        wire::need(buf, k.saturating_mul(4) + 8, "sample seeds")?;
+        let mut seeds = Vec::with_capacity(k);
+        for _ in 0..k {
+            let u = NodeId(buf.get_u32_le());
+            if u.index() >= node_count {
+                return Err(PersistError::Corrupt(format!(
+                    "topic sample seeds node {u} outside the graph ({node_count} nodes)"
+                )));
+            }
+            seeds.push(u);
+        }
+        let spread = buf.get_f64_le();
+        samples.push(TopicSample {
+            gamma,
+            seeds,
+            spread,
+        });
+    }
+
+    let piks_index = InfluencerIndex::decode_from(buf, node_count, graph.edge_count())?;
+    let names = Autocomplete::decode_from(buf, node_count)?;
+    if buf.remaining() != 0 {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after artifact payload",
+            buf.remaining()
+        )));
+    }
+
+    Ok(OfflineArtifacts {
+        cap,
+        pb,
+        mis,
+        samples,
+        piks_index,
+        names,
+        timings: Vec::new(),
+        build_total: Duration::ZERO,
+    })
+}
+
+/// Write `artifacts` to `path` atomically (write to a sibling temp file,
+/// then rename) so a crash mid-write never leaves a torn cache file under
+/// the final name. The temp name embeds the process id **and** a per-call
+/// counter, so neither two replicas on a shared cache directory nor two
+/// threads of one process (engines are built concurrently in multi-tenant
+/// services) ever interleave writes into the same temp file — last rename
+/// wins, and every renamed file is whole. A failed write or rename removes
+/// its temp file rather than leaking it into the cache directory.
+pub fn save(artifacts: &OfflineArtifacts, fp: &Fingerprint, path: &Path) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension(format!(
+        "octa.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result =
+        std::fs::write(&tmp, encode(artifacts, fp)).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Load artifacts from `path`, verifying them against the expected key and
+/// the live `graph` (see [`decode`]).
+pub fn load(
+    path: &Path,
+    expected: &Fingerprint,
+    graph: &TopicGraph,
+) -> Result<OfflineArtifacts, PersistError> {
+    let raw = std::fs::read(path).map_err(|e| PersistError::Io(e.to_string()))?;
+    decode(&raw, expected, graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline;
+    use octopus_graph::GraphBuilder;
+
+    /// Small 2-topic graph with names (so the autocomplete trie has content).
+    fn tiny_graph() -> TopicGraph {
+        let mut b = GraphBuilder::new(2);
+        for i in 0..14 {
+            b.add_node(format!("user-{i}"));
+        }
+        for v in 2..=7u32 {
+            b.add_edge(NodeId(0), NodeId(v), &[(0, 0.6)]).unwrap();
+        }
+        for v in 8..=13u32 {
+            b.add_edge(NodeId(1), NodeId(v), &[(1, 0.6)]).unwrap();
+        }
+        for v in 2..=4u32 {
+            b.add_edge(NodeId(v), NodeId(v + 6), &[(0, 0.2), (1, 0.15)])
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn config(kim: KimEngineChoice) -> OctopusConfig {
+        OctopusConfig {
+            kim,
+            piks_index_size: 300,
+            mis_rr_per_topic: 600,
+            k_max: 4,
+            seed: 0xCAFE,
+            ..Default::default()
+        }
+    }
+
+    /// Every engine flavour, so every optional artifact field is exercised.
+    fn all_configs() -> Vec<OctopusConfig> {
+        vec![
+            config(KimEngineChoice::Mis),
+            config(KimEngineChoice::BestEffort(BoundKind::Precomputation)),
+            config(KimEngineChoice::TopicSample {
+                bound: BoundKind::Precomputation,
+                extra_samples: 3,
+                direct_eps: 0.05,
+            }),
+            config(KimEngineChoice::Naive),
+        ]
+    }
+
+    /// Field-by-field equality of everything that is artifact state (the
+    /// timings are telemetry and intentionally not persisted).
+    fn assert_artifacts_equal(a: &OfflineArtifacts, b: &OfflineArtifacts, what: &str) {
+        assert_eq!(a.cap, b.cap, "{what}: cap");
+        assert_eq!(a.pb, b.pb, "{what}: pb tables");
+        assert_eq!(a.mis, b.mis, "{what}: mis tables");
+        assert_eq!(a.samples, b.samples, "{what}: topic samples");
+        assert_eq!(a.piks_index, b.piks_index, "{what}: piks worlds");
+        assert_eq!(a.names, b.names, "{what}: autocomplete trie");
+    }
+
+    #[test]
+    fn round_trip_every_field_every_engine() {
+        let g = tiny_graph();
+        for cfg in all_configs() {
+            let fp = Fingerprint::compute(&g, &cfg);
+            let art = offline::build(&g, &cfg);
+            let back = decode(&encode(&art, &fp), &fp, &g)
+                .unwrap_or_else(|e| panic!("decode under {:?}: {e}", cfg.kim));
+            assert_artifacts_equal(&art, &back, &format!("{:?}", cfg.kim));
+            assert!(back.timings.is_empty(), "telemetry must not round-trip");
+        }
+    }
+
+    #[test]
+    fn loaded_artifacts_answer_queries_identically() {
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let fp = Fingerprint::compute(&g, &cfg);
+        let art = offline::build(&g, &cfg);
+        let back = decode(&encode(&art, &fp), &fp, &g).unwrap();
+        use crate::kim::KimAlgorithm;
+        let gamma = TopicDistribution::uniform(2);
+        let a = art.mis.as_ref().unwrap().select(&gamma, 3);
+        let b = back.mis.as_ref().unwrap().select(&gamma, 3);
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.spread, b.spread);
+        // PIKS sessions over the decoded index agree bit-for-bit
+        let mut sa = art.piks_index.session(&g, &gamma);
+        let mut sb = back.piks_index.session(&g, &gamma);
+        assert_eq!(sa.spread_of(NodeId(0)), sb.spread_of(NodeId(0)));
+        // the trie still resolves names
+        assert_eq!(back.names.lookup("user-3"), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let fp = Fingerprint::compute(&g, &cfg);
+        let mut raw = encode(&offline::build(&g, &cfg), &fp).to_vec();
+        raw[0] = b'X';
+        assert!(matches!(
+            decode(&raw, &fp, &g),
+            Err(PersistError::Corrupt(m)) if m.contains("magic")
+        ));
+    }
+
+    #[test]
+    fn rejects_stale_version() {
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let fp = Fingerprint::compute(&g, &cfg);
+        let mut raw = encode(&offline::build(&g, &cfg), &fp).to_vec();
+        raw[4] = 0xFF;
+        raw[5] = 0xFF;
+        assert!(matches!(
+            decode(&raw, &fp, &g),
+            Err(PersistError::Version(0xFFFF))
+        ));
+    }
+
+    #[test]
+    fn rejects_foreign_fingerprint() {
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let fp = Fingerprint::compute(&g, &cfg);
+        let raw = encode(&offline::build(&g, &cfg), &fp);
+        let other = Fingerprint {
+            seed: fp.seed ^ 1,
+            ..fp
+        };
+        assert!(matches!(
+            decode(&raw, &other, &g),
+            Err(PersistError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncations_everywhere() {
+        // mirror store.rs::rejects_truncations_everywhere, but exhaustively:
+        // EVERY strict prefix must fail, at any offset — no read may panic
+        // or accept a cut payload.
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::TopicSample {
+            bound: BoundKind::Precomputation,
+            extra_samples: 2,
+            direct_eps: 0.05,
+        });
+        let fp = Fingerprint::compute(&g, &cfg);
+        let raw = encode(&offline::build(&g, &cfg), &fp);
+        for cut in 0..raw.len() {
+            assert!(
+                decode(&raw[..cut], &fp, &g).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_single_byte_corruption_in_payload() {
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let fp = Fingerprint::compute(&g, &cfg);
+        let clean = encode(&offline::build(&g, &cfg), &fp).to_vec();
+        // flip one byte at several payload offsets: the checksum must catch
+        // every one of them (structural decode alone would accept many)
+        for frac in [0.0, 0.25, 0.5, 0.75, 0.999] {
+            let mut raw = clean.clone();
+            let pos = HEADER_LEN + ((raw.len() - HEADER_LEN - 1) as f64 * frac) as usize;
+            raw[pos] ^= 0x40;
+            assert!(
+                matches!(decode(&raw, &fp, &g), Err(PersistError::Corrupt(_))),
+                "flip at {pos} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_payload_keyed_to_wrong_graph() {
+        // a writer can stamp any fingerprint it likes into the header, so
+        // passing the fingerprint check proves nothing about the content:
+        // decode must validate every dimension and id against the live
+        // graph instead of panicking at query time
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let art = offline::build(&g, &cfg);
+
+        // (1) a graph with a different node count: the PIKS index header
+        // disagrees immediately
+        let small = {
+            let mut b = GraphBuilder::new(2);
+            for i in 0..4 {
+                b.add_node(format!("s-{i}"));
+            }
+            b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5)]).unwrap();
+            b.build().unwrap()
+        };
+        let fp_small = Fingerprint::compute(&small, &cfg);
+        let stamped = encode(&art, &fp_small);
+        assert!(
+            matches!(
+                decode(&stamped, &fp_small, &small),
+                Err(PersistError::Corrupt(_))
+            ),
+            "foreign payload with a forged key must fail validation"
+        );
+
+        // (2) same node count but fewer edges: stored PIKS EdgeIds fall
+        // outside the sparse graph and must be rejected, not dereferenced
+        let sparse = {
+            let mut b = GraphBuilder::new(2);
+            for i in 0..14 {
+                b.add_node(format!("user-{i}"));
+            }
+            b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5)]).unwrap();
+            b.build().unwrap()
+        };
+        let fp_sparse = Fingerprint::compute(&sparse, &cfg);
+        let stamped = encode(&art, &fp_sparse);
+        assert!(
+            matches!(
+                decode(&stamped, &fp_sparse, &sparse),
+                Err(PersistError::Corrupt(_))
+            ),
+            "stored edge ids outside the live graph must fail validation"
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let fp = Fingerprint::compute(&g, &cfg);
+        let mut raw = encode(&offline::build(&g, &cfg), &fp).to_vec();
+        raw.push(0xEE);
+        assert!(
+            decode(&raw, &fp, &g).is_err(),
+            "trailing bytes must be rejected"
+        );
+    }
+
+    #[test]
+    fn file_save_load_round_trip() {
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let fp = Fingerprint::compute(&g, &cfg);
+        let art = offline::build(&g, &cfg);
+        let dir = std::env::temp_dir().join("octopus_persist_test");
+        let path = fp.cache_path(&dir);
+        save(&art, &fp, &path).unwrap();
+        let back = load(&path, &fp, &g).unwrap();
+        assert_artifacts_equal(&art, &back, "file round trip");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_not_panic() {
+        let g = tiny_graph();
+        let fp = Fingerprint {
+            graph: 1,
+            config: 2,
+            seed: 3,
+        };
+        let path = std::env::temp_dir().join("octopus_persist_never_written.octa");
+        assert!(matches!(load(&path, &fp, &g), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let a = Fingerprint::compute(&g, &cfg);
+        let b = Fingerprint::compute(&g, &cfg);
+        assert_eq!(a, b, "identical inputs must key identically");
+        let reseeded = Fingerprint::compute(
+            &g,
+            &OctopusConfig {
+                seed: cfg.seed ^ 1,
+                ..cfg.clone()
+            },
+        );
+        assert_ne!(a.seed, reseeded.seed);
+        let retuned = Fingerprint::compute(
+            &g,
+            &OctopusConfig {
+                mia_theta: cfg.mia_theta * 0.5,
+                ..cfg
+            },
+        );
+        assert_ne!(a.config, retuned.config);
+    }
+}

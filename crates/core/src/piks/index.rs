@@ -22,7 +22,9 @@
 //! the spread of a target `u` is then the classic RR estimate
 //! `n/R · #{j : u ∈ live_j}`.
 
+use bytes::{Buf, BufMut, BytesMut};
 use octopus_cascade::{stream_seed, EdgeCoins};
+use octopus_graph::wire::{self, WireError};
 use octopus_graph::{EdgeId, NodeId, TopicGraph};
 use octopus_topics::TopicDistribution;
 use rayon::prelude::*;
@@ -191,6 +193,121 @@ impl InfluencerIndex {
     /// The sampled root of world `j` (diagnostics / tests).
     pub fn root_of(&self, j: usize) -> NodeId {
         self.samples[j].root
+    }
+
+    /// Serialize the index into `buf` (the artifact-codec path).
+    ///
+    /// Worlds are written in index order; each world stores its coin seed,
+    /// its sub-DAG nodes, and the local CSR. The sparse `local_of` lookup is
+    /// derived data and is rebuilt on decode instead of stored.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.n as u32);
+        buf.put_u64_le(self.stats.samples as u64);
+        buf.put_u64_le(self.stats.stored_nodes as u64);
+        buf.put_u64_le(self.stats.stored_edges as u64);
+        buf.put_u64_le(self.stats.edges_examined as u64);
+        buf.put_u32_le(self.samples.len() as u32);
+        for s in &self.samples {
+            buf.put_u64_le(s.coins.seed());
+            buf.put_u32_le(s.nodes.len() as u32);
+            for &g in &s.nodes {
+                buf.put_u32_le(g);
+            }
+            for &o in &s.in_offsets {
+                buf.put_u32_le(o);
+            }
+            buf.put_u32_le(s.in_edges.len() as u32);
+            for &(src, e) in &s.in_edges {
+                buf.put_u32_le(src);
+                buf.put_u32_le(e.0);
+            }
+        }
+    }
+
+    /// Decode an index serialized by [`InfluencerIndex::encode_into`].
+    ///
+    /// `node_count`/`edge_count` are the dimensions of the graph this index
+    /// will be queried against: stored global node ids and edge ids are
+    /// validated here, because a payload that passes the outer checksum can
+    /// still be keyed to the wrong inputs by construction — and an
+    /// out-of-range [`EdgeId`] would otherwise panic inside
+    /// [`TopicGraph::edge_prob`] at query time instead of failing the load.
+    pub fn decode_from<B: Buf + ?Sized>(
+        buf: &mut B,
+        node_count: usize,
+        edge_count: usize,
+    ) -> Result<Self, WireError> {
+        wire::need(buf, 4 + 8 * 4 + 4, "piks index header")?;
+        let n = buf.get_u32_le() as usize;
+        if n != node_count {
+            return Err(WireError(format!(
+                "piks index built over {n} nodes, graph has {node_count}"
+            )));
+        }
+        let stats = IndexStats {
+            samples: buf.get_u64_le() as usize,
+            stored_nodes: buf.get_u64_le() as usize,
+            stored_edges: buf.get_u64_le() as usize,
+            edges_examined: buf.get_u64_le() as usize,
+        };
+        let world_count = buf.get_u32_le() as usize;
+        let mut samples = Vec::with_capacity(world_count.min(1 << 20));
+        for j in 0..world_count {
+            wire::need(buf, 8 + 4, "piks world header")?;
+            let coins = EdgeCoins::new(buf.get_u64_le());
+            let world_nodes = buf.get_u32_le() as usize;
+            if world_nodes == 0 {
+                return Err(WireError(format!("piks world {j} has no root")));
+            }
+            let nodes = wire::read_u32s(buf, world_nodes, "piks world nodes")?;
+            if let Some(&bad) = nodes.iter().find(|&&g| g as usize >= node_count) {
+                return Err(WireError(format!(
+                    "piks world {j} stores node {bad} outside the graph ({node_count} nodes)"
+                )));
+            }
+            let in_offsets = wire::read_u32s(buf, world_nodes + 1, "piks world offsets")?;
+            wire::need(buf, 4, "piks world edge count")?;
+            let world_edges = buf.get_u32_le() as usize;
+            if in_offsets[0] != 0
+                || in_offsets.windows(2).any(|w| w[0] > w[1])
+                || in_offsets[world_nodes] as usize != world_edges
+            {
+                return Err(WireError(format!("piks world {j} CSR offsets malformed")));
+            }
+            wire::need(buf, world_edges.saturating_mul(8), "piks world edges")?;
+            let mut in_edges = Vec::with_capacity(world_edges);
+            for _ in 0..world_edges {
+                let src = buf.get_u32_le();
+                let e = EdgeId(buf.get_u32_le());
+                if src as usize >= world_nodes {
+                    return Err(WireError(format!(
+                        "piks world {j} edge source {src} out of bounds"
+                    )));
+                }
+                if e.index() >= edge_count {
+                    return Err(WireError(format!(
+                        "piks world {j} stores edge {e} outside the graph ({edge_count} edges)"
+                    )));
+                }
+                in_edges.push((src, e));
+            }
+            // the sparse lookup is derived: sort (global, local) by global
+            let mut local_of: Vec<(u32, u32)> = nodes
+                .iter()
+                .enumerate()
+                .map(|(local, &global)| (global, local as u32))
+                .collect();
+            local_of.sort_unstable();
+            samples.push(Sample {
+                root: NodeId(nodes[0]),
+                coins,
+                nodes,
+                local_of,
+                in_offsets,
+                in_edges,
+            });
+        }
+        Ok(InfluencerIndex { n, samples, stats })
     }
 
     /// Start a query session for `gamma`. Live sets materialize lazily.

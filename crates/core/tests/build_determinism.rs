@@ -6,6 +6,7 @@
 
 use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig};
 use octopus_core::kim::BoundKind;
+use octopus_core::offline::persist::{self, Fingerprint};
 use octopus_core::offline::{self, OfflineArtifacts, STAGE_ORDER};
 use octopus_graph::{GraphBuilder, NodeId, TopicGraph};
 use std::sync::Arc;
@@ -65,6 +66,7 @@ fn assert_artifacts_identical(a: &OfflineArtifacts, b: &OfflineArtifacts, what: 
     assert_eq!(a.mis, b.mis, "{what}: MIS seed tables differ");
     assert_eq!(a.samples, b.samples, "{what}: topic samples differ");
     assert_eq!(a.piks_index, b.piks_index, "{what}: PIKS worlds differ");
+    assert_eq!(a.names, b.names, "{what}: autocomplete tries differ");
 }
 
 #[test]
@@ -132,6 +134,135 @@ fn timings_cover_every_stage() {
     let art = offline::build(&g, &configs()[0]);
     let names: Vec<&str> = art.timings.iter().map(|t| t.stage).collect();
     assert_eq!(names, STAGE_ORDER.to_vec());
+}
+
+#[test]
+fn persisted_artifacts_are_bit_identical_to_built_ones() {
+    // the cache extends the determinism contract across process restarts:
+    // build → encode → decode must equal build, field for field, for every
+    // engine flavour
+    let g = fixture_graph();
+    for config in configs() {
+        let fp = Fingerprint::compute(&g, &config);
+        let built = offline::build(&g, &config);
+        let back = persist::decode(&persist::encode(&built, &fp), &fp, &g)
+            .unwrap_or_else(|e| panic!("decode under {:?}: {e}", config.kim));
+        assert_artifacts_identical(
+            &built,
+            &back,
+            &format!("persisted round trip under {:?}", config.kim),
+        );
+    }
+}
+
+#[test]
+fn cached_engine_answers_bit_identically_to_fresh_one() {
+    // a loaded-from-cache engine must answer KIM, PIKS-suggestion, path and
+    // autocomplete queries exactly like the engine that wrote the cache
+    let g = fixture_graph();
+    let model = model_for(&g);
+    let dir = std::env::temp_dir().join("octopus_determinism_cache");
+    std::fs::remove_dir_all(&dir).ok();
+    for config in configs() {
+        let fresh = Octopus::open_or_build(g.clone(), model.clone(), config.clone(), &dir).unwrap();
+        assert!(!fresh.cache_hit(), "first open builds ({:?})", config.kim);
+        let cached =
+            Octopus::open_or_build(g.clone(), model.clone(), config.clone(), &dir).unwrap();
+        assert!(cached.cache_hit(), "second open loads ({:?})", config.kim);
+        assert_artifacts_identical(
+            fresh.offline_artifacts(),
+            cached.offline_artifacts(),
+            &format!("cache round trip under {:?}", config.kim),
+        );
+
+        for query in ["alpha", "beta", "alpha gamma"] {
+            let a = fresh.find_influencers(query, 3).unwrap();
+            let b = cached.find_influencers(query, 3).unwrap();
+            assert_eq!(
+                a.seeds.iter().map(|s| s.node).collect::<Vec<_>>(),
+                b.seeds.iter().map(|s| s.node).collect::<Vec<_>>(),
+                "KIM seeds under {:?} for {query:?}",
+                config.kim
+            );
+            assert_eq!(a.result.spread, b.result.spread, "KIM spread bits");
+        }
+        let a = fresh.suggest_keywords_for(NodeId(0), 2).unwrap();
+        let b = cached.suggest_keywords_for(NodeId(0), 2).unwrap();
+        assert_eq!(a.words, b.words, "PIKS suggestion under {:?}", config.kim);
+        assert_eq!(a.result.spread, b.result.spread, "PIKS spread bits");
+        let a = fresh
+            .explore_paths(
+                "user-0",
+                octopus_core::paths::ExploreDirection::Influences,
+                Some("alpha"),
+            )
+            .unwrap();
+        let b = cached
+            .explore_paths(
+                "user-0",
+                octopus_core::paths::ExploreDirection::Influences,
+                Some("alpha"),
+            )
+            .unwrap();
+        assert_eq!(a.d3_json, b.d3_json, "path exploration JSON");
+        assert_eq!(
+            fresh.autocomplete("user-1", 4),
+            cached.autocomplete("user-1", 4)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_written_by_one_thread_count_is_read_by_another() {
+    // artifacts persisted under one pool size must hit (and agree with) an
+    // open under another — BOTH directions, because the property being
+    // pinned is that the fingerprint covers inputs, not thread counts
+    let g = fixture_graph();
+    let model = model_for(&g);
+    let config = configs().remove(0);
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+
+    // direction 1: 1-thread writer → default-pool reader
+    let dir = std::env::temp_dir().join("octopus_determinism_cache_threads_1w");
+    std::fs::remove_dir_all(&dir).ok();
+    let writer = single
+        .install(|| Octopus::open_or_build(g.clone(), model.clone(), config.clone(), &dir))
+        .unwrap();
+    assert!(!writer.cache_hit());
+    let reader = Octopus::open_or_build(g.clone(), model.clone(), config.clone(), &dir).unwrap();
+    assert!(
+        reader.cache_hit(),
+        "thread count must not affect the cache key"
+    );
+    assert_artifacts_identical(
+        writer.offline_artifacts(),
+        reader.offline_artifacts(),
+        "1-thread writer vs default-pool reader",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // direction 2: default-pool writer → 1-thread reader
+    let dir = std::env::temp_dir().join("octopus_determinism_cache_threads_nw");
+    std::fs::remove_dir_all(&dir).ok();
+    let writer = Octopus::open_or_build(g.clone(), model.clone(), config.clone(), &dir).unwrap();
+    assert!(!writer.cache_hit());
+    let reader = single
+        .install(|| Octopus::open_or_build(g, model, config, &dir))
+        .unwrap();
+    assert!(
+        reader.cache_hit(),
+        "a default-pool cache must hit a 1-thread reader"
+    );
+    assert_artifacts_identical(
+        writer.offline_artifacts(),
+        reader.offline_artifacts(),
+        "default-pool writer vs 1-thread reader",
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -54,6 +54,12 @@ impl From<GraphError> for StoreError {
     }
 }
 
+impl From<octopus_graph::wire::WireError> for StoreError {
+    fn from(e: octopus_graph::wire::WireError) -> Self {
+        StoreError::Corrupt(e.0)
+    }
+}
+
 /// A complete serializable dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
@@ -81,8 +87,7 @@ pub fn encode(ds: &Dataset) -> Bytes {
     let vocab = ds.model.vocab();
     buf.put_u32_le(vocab.len() as u32);
     for (_, w) in vocab.iter() {
-        buf.put_u32_le(w.len() as u32);
-        buf.put_slice(w.as_bytes());
+        octopus_graph::wire::put_string(&mut buf, w);
     }
 
     // model section
@@ -102,9 +107,7 @@ pub fn encode(ds: &Dataset) -> Bytes {
     buf.put_u8(has_labels as u8);
     if has_labels {
         for zi in 0..z {
-            let l = ds.model.label(zi);
-            buf.put_u32_le(l.len() as u32);
-            buf.put_slice(l.as_bytes());
+            octopus_graph::wire::put_string(&mut buf, &ds.model.label(zi));
         }
     }
 
@@ -129,23 +132,14 @@ pub fn encode(ds: &Dataset) -> Bytes {
     buf.freeze()
 }
 
+/// Bounds check delegating to the shared [`octopus_graph::wire`] helpers.
 fn need<B: Buf + ?Sized>(buf: &B, n: usize, what: &str) -> Result<(), StoreError> {
-    if buf.remaining() < n {
-        Err(StoreError::Corrupt(format!(
-            "truncated while reading {what}"
-        )))
-    } else {
-        Ok(())
-    }
+    Ok(octopus_graph::wire::need(buf, n, what)?)
 }
 
+/// Length-prefixed string read delegating to [`octopus_graph::wire`].
 fn read_string<B: Buf + ?Sized>(buf: &mut B, what: &str) -> Result<String, StoreError> {
-    need(buf, 4, what)?;
-    let len = buf.get_u32_le() as usize;
-    need(buf, len, what)?;
-    let mut raw = vec![0u8; len];
-    buf.copy_to_slice(&mut raw);
-    String::from_utf8(raw).map_err(|_| StoreError::Corrupt(format!("invalid utf8 in {what}")))
+    Ok(octopus_graph::wire::read_string(buf, what)?)
 }
 
 /// Deserialize a dataset.

@@ -57,8 +57,7 @@ pub fn encode(g: &TopicGraph) -> Bytes {
     buf.put_u8(named as u8);
     if named {
         for s in &g.names {
-            buf.put_u32_le(s.len() as u32);
-            buf.put_slice(s.as_bytes());
+            crate::wire::put_string(&mut buf, s);
         }
     }
     for &x in &g.fwd_offsets {
@@ -79,14 +78,49 @@ pub fn encode(g: &TopicGraph) -> Bytes {
     buf.freeze()
 }
 
-fn need<B: Buf + ?Sized>(buf: &B, n: usize, what: &str) -> Result<()> {
-    if buf.remaining() < n {
-        Err(GraphError::Codec(format!(
-            "truncated payload while reading {what}"
-        )))
-    } else {
-        Ok(())
+/// FNV-1a over the canonical encoding, computed by streaming the same
+/// fields through the hasher instead of materializing the byte buffer —
+/// hashing a 10M-edge graph must not allocate a transient copy of it.
+///
+/// Invariant (pinned by `hash_equals_hash_of_encoding`): for every graph,
+/// `hash(g) == wire::fnv1a(&encode(g))`. Any field added to [`encode`] must
+/// be added here in the same order and width.
+pub fn hash(g: &TopicGraph) -> u64 {
+    let mut h = crate::wire::Fnv64::new();
+    h.write(MAGIC);
+    h.write_u16(VERSION);
+    h.write_u32(g.num_topics() as u32);
+    h.write_u32(g.node_count() as u32);
+    h.write_u32(g.edge_count() as u32);
+    let named = g.names.iter().any(|s| !s.is_empty());
+    h.write_u8(named as u8);
+    if named {
+        for s in &g.names {
+            h.write_u32(s.len() as u32);
+            h.write(s.as_bytes());
+        }
     }
+    for &x in &g.fwd_offsets {
+        h.write_u32(x);
+    }
+    for &x in &g.fwd_targets {
+        h.write_u32(x);
+    }
+    for &x in &g.prob_offsets {
+        h.write_u32(x);
+    }
+    for &z in &g.prob_topics {
+        h.write_u16(z);
+    }
+    for &p in &g.prob_values {
+        h.write_f32(p);
+    }
+    h.finish()
+}
+
+/// Bounds check delegating to the shared [`crate::wire`] helpers.
+fn need<B: Buf + ?Sized>(buf: &B, n: usize, what: &str) -> Result<()> {
+    Ok(crate::wire::need(buf, n, what)?)
 }
 
 /// Deserialize a graph from a buffer produced by [`encode`].
@@ -109,31 +143,15 @@ pub fn decode(mut buf: impl Buf) -> Result<TopicGraph> {
     let mut names = Vec::with_capacity(n);
     if named {
         for _ in 0..n {
-            need(&buf, 4, "name length")?;
-            let len = buf.get_u32_le() as usize;
-            need(&buf, len, "name bytes")?;
-            let mut raw = vec![0u8; len];
-            buf.copy_to_slice(&mut raw);
-            let s = String::from_utf8(raw)
-                .map_err(|_| GraphError::Codec("invalid utf8 in node name".into()))?;
-            names.push(s);
+            names.push(crate::wire::read_string(&mut buf, "node name")?);
         }
     } else {
         names = vec![String::new(); n];
     }
 
-    let read_u32s = |buf: &mut dyn Buf, count: usize, what: &str| -> Result<Vec<u32>> {
-        need(buf, count * 4, what)?;
-        let mut v = Vec::with_capacity(count);
-        for _ in 0..count {
-            v.push(buf.get_u32_le());
-        }
-        Ok(v)
-    };
-
-    let fwd_offsets = read_u32s(&mut buf, n + 1, "fwd_offsets")?;
-    let fwd_targets = read_u32s(&mut buf, m, "fwd_targets")?;
-    let prob_offsets = read_u32s(&mut buf, m + 1, "prob_offsets")?;
+    let fwd_offsets = crate::wire::read_u32s(&mut buf, n + 1, "fwd_offsets")?;
+    let fwd_targets = crate::wire::read_u32s(&mut buf, m, "fwd_targets")?;
+    let prob_offsets = crate::wire::read_u32s(&mut buf, m + 1, "prob_offsets")?;
     if fwd_offsets.last().copied() != Some(m as u32) {
         return Err(GraphError::Codec(
             "fwd_offsets do not sum to edge count".into(),
@@ -227,6 +245,20 @@ mod tests {
         b.add_edge(v, w, &[(1, 0.75)]).unwrap();
         b.add_edge(w, u, &[(0, 0.125)]).unwrap();
         b.build().unwrap()
+    }
+
+    #[test]
+    fn hash_equals_hash_of_encoding() {
+        // the streaming hash must track the byte encoding exactly, for
+        // named and anonymous graphs alike
+        let named = sample();
+        assert_eq!(hash(&named), crate::wire::fnv1a(&encode(&named)));
+        let mut b = GraphBuilder::new(2);
+        let _ = b.add_nodes(4);
+        b.add_edge(NodeId(0), NodeId(3), &[(1, 0.5)]).unwrap();
+        let anon = b.build().unwrap();
+        assert_eq!(hash(&anon), crate::wire::fnv1a(&encode(&anon)));
+        assert_ne!(hash(&named), hash(&anon));
     }
 
     #[test]

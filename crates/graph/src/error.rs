@@ -85,6 +85,12 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+impl From<crate::wire::WireError> for GraphError {
+    fn from(e: crate::wire::WireError) -> Self {
+        GraphError::Codec(e.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

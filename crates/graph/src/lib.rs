@@ -51,6 +51,7 @@ pub mod error;
 pub mod ids;
 pub mod stats;
 pub mod subgraph;
+pub mod wire;
 
 pub use builder::GraphBuilder;
 pub use csr::{EdgeProbs, TopicGraph};

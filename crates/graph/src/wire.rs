@@ -1,0 +1,195 @@
+//! Low-level helpers shared by every OCTOPUS binary codec.
+//!
+//! Three codecs in the workspace follow the same magic/version/`need()`
+//! discipline — the graph codec ([`crate::codec`]), the dataset store
+//! (`octopus-data::store`), and the offline-artifact cache
+//! (`octopus-core::offline::persist`). This module is their common
+//! substrate: bounds-checked reads that turn truncation into a typed error
+//! instead of a panic, length-prefixed strings, and a stable 64-bit hash
+//! for content fingerprints and payload checksums.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// A low-level codec failure: truncation, bad framing, or invalid UTF-8.
+///
+/// Each codec maps `WireError` into its own error enum (`GraphError::Codec`,
+/// `StoreError::Corrupt`, `PersistError::Corrupt`) so callers keep their
+/// crate-local error types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Fail with a truncation error unless `buf` still holds `n` bytes.
+pub fn need<B: Buf + ?Sized>(buf: &B, n: usize, what: &str) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError(format!("truncated while reading {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+/// Append a `u32`-length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Read a `u32`-length-prefixed UTF-8 string written by [`put_string`].
+pub fn read_string<B: Buf + ?Sized>(buf: &mut B, what: &str) -> Result<String, WireError> {
+    need(buf, 4, what)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len, what)?;
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|_| WireError(format!("invalid utf8 in {what}")))
+}
+
+/// Read `count` little-endian `u32`s after a bounds check.
+pub fn read_u32s<B: Buf + ?Sized>(
+    buf: &mut B,
+    count: usize,
+    what: &str,
+) -> Result<Vec<u32>, WireError> {
+    need(buf, count.saturating_mul(4), what)?;
+    let mut v = Vec::with_capacity(count);
+    for _ in 0..count {
+        v.push(buf.get_u32_le());
+    }
+    Ok(v)
+}
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// An incremental FNV-1a 64-bit hasher with a **stable, documented**
+/// algorithm — unlike `std::hash::DefaultHasher`, its output may be
+/// persisted to disk (cache keys, payload checksums) and compared across
+/// builds and platforms.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorb a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorb a `u32` in little-endian byte order.
+    pub fn write_u32(&mut self, v: u32) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorb a `u16` in little-endian byte order.
+    pub fn write_u16(&mut self, v: u16) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorb a single byte.
+    pub fn write_u8(&mut self, v: u8) -> &mut Self {
+        self.write(&[v])
+    }
+
+    /// Absorb an `f32` by its exact bit pattern.
+    pub fn write_f32(&mut self, v: f32) -> &mut Self {
+        self.write(&v.to_bits().to_le_bytes())
+    }
+
+    /// Absorb an `f64` by its exact bit pattern (distinguishes `-0.0` from
+    /// `0.0` and every NaN payload — a fingerprint must not conflate values
+    /// that could change downstream computation).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn need_rejects_short_buffers() {
+        let raw = [0u8; 3];
+        assert!(need(&&raw[..], 4, "x").is_err());
+        assert!(need(&&raw[..], 3, "x").is_ok());
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut buf = BytesMut::new();
+        put_string(&mut buf, "jiawei han");
+        put_string(&mut buf, "");
+        let frozen = buf.freeze();
+        let mut r = frozen.to_vec();
+        let mut slice = &r[..];
+        assert_eq!(read_string(&mut slice, "a").unwrap(), "jiawei han");
+        assert_eq!(read_string(&mut slice, "b").unwrap(), "");
+        // truncated string fails cleanly
+        r.truncate(6);
+        assert!(read_string(&mut &r[..], "t").is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // canonical FNV-1a 64 test vectors
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo").write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn f64_hashing_uses_exact_bits() {
+        let a = Fnv64::new().write_f64(0.0).finish();
+        let b = Fnv64::new().write_f64(-0.0).finish();
+        assert_ne!(a, b, "sign bit must participate in the fingerprint");
+    }
+}

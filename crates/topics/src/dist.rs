@@ -68,6 +68,35 @@ impl TopicDistribution {
         Ok(d)
     }
 
+    /// Build from entries that are **already exactly normalized** — the
+    /// codec path. Validates like [`TopicDistribution::new`] but skips the
+    /// final renormalization division, so values decoded from a binary
+    /// payload reconstruct **bit-identically** (renormalizing a stored
+    /// vector whose sum is 1±1ulp would drift every entry by an ulp and
+    /// break artifact-cache determinism).
+    pub fn from_normalized(probs: Vec<f64>) -> Result<Self> {
+        if probs.is_empty() {
+            return Err(TopicError::NotADistribution {
+                reason: "empty vector".into(),
+            });
+        }
+        let mut sum = 0.0;
+        for &p in &probs {
+            if !p.is_finite() || p < 0.0 {
+                return Err(TopicError::NotADistribution {
+                    reason: format!("entry {p} is negative or non-finite"),
+                });
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(TopicError::NotADistribution {
+                reason: format!("entries sum to {sum}, expected 1"),
+            });
+        }
+        Ok(TopicDistribution(probs))
+    }
+
     fn renormalize(&mut self, sum: f64) {
         for p in &mut self.0 {
             *p /= sum;

@@ -202,6 +202,146 @@ fn engine_serves_concurrent_queries() {
     assert_eq!(stats.hits + stats.misses, 4);
 }
 
+/// Answers an engine must reproduce exactly after a restart: one query per
+/// artifact-dependent service.
+fn probe(engine: &Octopus) -> (Vec<octopus::NodeId>, f64, Vec<String>, String) {
+    let kim = engine.find_influencers("data mining", 5).expect("kim");
+    let sugg = engine
+        .suggest_keywords_for(kim.seeds[0].node, 2)
+        .expect("piks");
+    let paths = engine
+        .explore_paths(
+            &kim.seeds[0].name,
+            ExploreDirection::Influences,
+            Some("data mining"),
+        )
+        .expect("paths");
+    (
+        kim.seeds.iter().map(|s| s.node).collect(),
+        kim.result.spread,
+        sugg.words.clone(),
+        paths.d3_json,
+    )
+}
+
+#[test]
+fn restart_reopens_from_cache_with_identical_answers() {
+    use octopus::core::offline::persist::{STAGE_ARTIFACT_LOAD, STAGE_ARTIFACT_STORE};
+    let net = small_net();
+    let config = engine_config();
+    let dir = std::env::temp_dir().join("octopus_e2e_citation_restart");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // cold start: full build, cache written
+    let first = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config.clone(), &dir)
+        .expect("cold start builds");
+    let report = first.system_report();
+    assert!(!report.cache_hit, "empty cache dir must miss");
+    assert_eq!(
+        report.stage_timings.last().map(|t| t.stage),
+        Some(STAGE_ARTIFACT_STORE),
+        "fresh build must persist its artifacts"
+    );
+    let before = probe(&first);
+    drop(first);
+
+    // restart: the whole offline phase is replaced by one load
+    let second = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config.clone(), &dir)
+        .expect("restart opens");
+    let report = second.system_report();
+    assert!(report.cache_hit, "unchanged dataset must hit");
+    let stages: Vec<&str> = report.stage_timings.iter().map(|t| t.stage).collect();
+    assert_eq!(
+        stages,
+        vec![STAGE_ARTIFACT_LOAD],
+        "a hit performs zero offline stage builds"
+    );
+    assert_eq!(probe(&second), before, "restart must answer identically");
+    drop(second);
+
+    // a different dataset (same shape, different generator seed) must NOT
+    // reuse the cache
+    let other = CitationConfig {
+        authors: 120,
+        papers: 360,
+        num_topics: 4,
+        words_per_topic: 10,
+        seed: 100,
+        ..Default::default()
+    }
+    .generate();
+    let perturbed = Octopus::open_or_build(other.graph, other.model, config, &dir).unwrap();
+    assert!(
+        !perturbed.system_report().cache_hit,
+        "a changed graph must rebuild, not reuse"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_or_stale_cache_degrades_to_rebuild() {
+    let net = small_net();
+    let config = engine_config();
+    let dir = std::env::temp_dir().join("octopus_e2e_citation_corrupt");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let fresh = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config.clone(), &dir)
+        .expect("cold start builds");
+    let before = probe(&fresh);
+    drop(fresh);
+
+    let cache_file = || {
+        std::fs::read_dir(&dir)
+            .expect("cache dir exists")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "octa"))
+            .expect("one cache file written")
+    };
+
+    // flip a byte deep in the payload: checksum catches it, engine rebuilds
+    let path = cache_file();
+    let mut raw = std::fs::read(&path).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0x55;
+    std::fs::write(&path, &raw).unwrap();
+    let engine = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config.clone(), &dir)
+        .expect("corrupt cache must not fail construction");
+    assert!(
+        !engine.system_report().cache_hit,
+        "corrupt file must degrade to a rebuild"
+    );
+    assert_eq!(probe(&engine), before, "rebuild must answer identically");
+    drop(engine);
+
+    // the rebuild rewrote a clean file — now stamp a stale codec version
+    let path = cache_file();
+    let mut raw = std::fs::read(&path).unwrap();
+    raw[4] = 0xFE;
+    raw[5] = 0xFF;
+    std::fs::write(&path, &raw).unwrap();
+    let engine = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config.clone(), &dir)
+        .expect("stale version must not fail construction");
+    assert!(
+        !engine.system_report().cache_hit,
+        "stale version must degrade to a rebuild"
+    );
+    assert_eq!(probe(&engine), before);
+    drop(engine);
+
+    // truncate mid-file (simulated torn write left behind by a crash)
+    let path = cache_file();
+    let raw = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &raw[..raw.len() / 3]).unwrap();
+    let engine = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config, &dir)
+        .expect("truncated cache must not fail construction");
+    assert!(!engine.system_report().cache_hit);
+    assert_eq!(probe(&engine), before);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn warm_em_pipeline_for_evolving_logs() {
     // dynamic-stream story: learn once, new actions arrive, refit warm

@@ -87,6 +87,49 @@ fn food_influencer_gets_food_keywords() {
 }
 
 #[test]
+fn campaign_engine_restarts_from_cache() {
+    // deployment story: the marketing engine restarts nightly; the offline
+    // phase must come back from disk, not be re-run, and the push lists
+    // must not change across the restart
+    let n = net();
+    let config = OctopusConfig {
+        piks_index_size: 512,
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join("octopus_e2e_messenger_restart");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let first = Octopus::open_or_build(n.graph.clone(), n.model.clone(), config.clone(), &dir)
+        .expect("cold start builds");
+    assert!(!first.system_report().cache_hit);
+    let push_before: Vec<octopus::NodeId> = first
+        .find_influencers("game", 5)
+        .expect("campaign query")
+        .seeds
+        .iter()
+        .map(|s| s.node)
+        .collect();
+    drop(first);
+
+    let second = Octopus::open_or_build(n.graph.clone(), n.model.clone(), config, &dir)
+        .expect("restart opens");
+    assert!(
+        second.system_report().cache_hit,
+        "restart on an unchanged network must hit"
+    );
+    let push_after: Vec<octopus::NodeId> = second
+        .find_influencers("game", 5)
+        .expect("campaign query")
+        .seeds
+        .iter()
+        .map(|s| s.node)
+        .collect();
+    assert_eq!(push_before, push_after, "push list must survive a restart");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn multi_word_product_phrases_resolve() {
     let n = net();
     let (ids, unknown) = n.model.vocab().resolve_query("flight deal bubble tea");
