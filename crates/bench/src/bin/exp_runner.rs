@@ -7,12 +7,19 @@
 //! cargo run --release -p octopus-bench --bin exp_runner -- --quick
 //! cargo run --release -p octopus-bench --bin exp_runner -- --csv out/
 //! cargo run --release -p octopus-bench --bin exp_runner -- --artifact-cache cache/
+//! cargo run --release -p octopus-bench --bin exp_runner -- --quick --delta 8
 //! ```
 //!
 //! With `--artifact-cache <dir>`, every engine construction goes through
 //! [`Octopus::open_or_build`]: the first run of an experiment pays the
 //! offline build and persists it, repeat runs (parameter sweeps, re-runs
 //! after online-path changes) load the artifacts and report the hit.
+//!
+//! With `--delta <k>`, the runner executes the incremental-rebuild
+//! workload instead of the default sweep: build the citation engine cold,
+//! perturb `k` edge weights (plus a rename and an edge-insert variant),
+//! reopen against the same cache, and report per-stage reuse and
+//! partial-rebuild time versus the full build.
 
 use octopus_bench::table::fmt_duration;
 use octopus_bench::workloads::{
@@ -598,6 +605,122 @@ fn rmse(a: &[f64], b: &[f64]) -> f64 {
     (a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>() / n as f64).sqrt()
 }
 
+/// Delta workload (`--delta <k>`): perturb the citation network by a few
+/// edges and measure how much of the offline build `open_or_build` reuses
+/// from the OCTA v2 section cache, versus paying a full rebuild.
+fn delta_workload(s: &Scale, k: usize) {
+    use octopus_graph::delta;
+    println!("\n================ DELTA: incremental offline rebuilds (k={k}) ================");
+    let net = citation_sized(s.citation_authors, s.citation_papers);
+    // the workload needs a guaranteed-cold directory for its baseline; use
+    // a private subdirectory so a user's warmed --artifact-cache dir (the
+    // e1..e10 sweeps share it) is never wiped
+    let dir = ARTIFACT_CACHE
+        .get()
+        .cloned()
+        .unwrap_or_else(std::env::temp_dir)
+        .join(format!("delta-workload-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = OctopusConfig {
+        kim: KimEngineChoice::BestEffort(BoundKind::Precomputation),
+        piks_index_size: 1024,
+        k_max: 25,
+        ..Default::default()
+    };
+    println!(
+        "workload: {} researchers, {} edges; cache dir {}",
+        net.graph.node_count(),
+        net.graph.edge_count(),
+        dir.display()
+    );
+
+    // cold: full build, cache written
+    let t0 = Instant::now();
+    let cold = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config.clone(), &dir)
+        .expect("cold build");
+    let t_full = t0.elapsed();
+    assert!(!cold.cache_hit());
+    drop(cold);
+
+    // the k-edge perturbations, spread across the edge range
+    let m = net.graph.edge_count();
+    let victims: Vec<octopus_graph::EdgeId> = (0..k)
+        .map(|i| octopus_graph::EdgeId(((i * m) / k.max(1)) as u32))
+        .collect();
+    let nudged = delta::nudge_weights(&net.graph, &victims, 0.05).expect("nudge applies");
+    let renamed =
+        delta::rename_node(&net.graph, NodeId(0), "renamed-researcher").expect("rename applies");
+    let (iu, iv) = {
+        // first absent pair scanning from the highest-id node down: a
+        // late-source insert shifts few edge ids, isolating footprint reuse
+        let n = net.graph.node_count() as u32;
+        let mut found = (NodeId(n - 1), NodeId(0));
+        'outer: for u in (0..n).rev() {
+            for v in 0..n {
+                if u != v && net.graph.find_edge(NodeId(u), NodeId(v)).is_none() {
+                    found = (NodeId(u), NodeId(v));
+                    break 'outer;
+                }
+            }
+        }
+        found
+    };
+    let inserted = delta::insert_edge(&net.graph, iu, iv, &[(0, 0.3)]).expect("insert applies");
+
+    let mut t = Table::new(
+        format!("DELTA: partial rebuild vs full build ({} full)", {
+            fmt_duration(t_full)
+        }),
+        &[
+            "delta",
+            "reopen",
+            "speedup",
+            "stages reused",
+            "piks worlds reused",
+            "stages rebuilt",
+        ],
+    );
+    for (label, graph) in [
+        (format!("weight nudge ×{k}"), nudged),
+        ("rename 1 node".to_string(), renamed),
+        ("insert 1 edge".to_string(), inserted),
+        ("no delta (restart)".to_string(), net.graph.clone()),
+    ] {
+        let t0 = Instant::now();
+        let engine = Octopus::open_or_build(graph, net.model.clone(), config.clone(), &dir)
+            .expect("delta reopen");
+        let dt = t0.elapsed();
+        let report = engine.system_report();
+        let full_stages = report.stage_reuse.iter().filter(|s| s.is_full()).count();
+        let rebuilt: Vec<&str> = report
+            .stage_reuse
+            .iter()
+            .filter(|s| !s.is_full())
+            .map(|s| s.stage)
+            .collect();
+        let piks = report
+            .stage_reuse
+            .iter()
+            .find(|s| s.stage == "piks-worlds")
+            .expect("piks stage reported");
+        t.row(vec![
+            label,
+            fmt_duration(dt),
+            format!("{:.1}x", t_full.as_secs_f64() / dt.as_secs_f64().max(1e-9)),
+            format!("{full_stages}/{}", report.stage_reuse.len()),
+            format!("{}/{}", piks.reused, piks.total),
+            if rebuilt.is_empty() {
+                "none (full hit)".to_string()
+            } else {
+                rebuilt.join(", ")
+            },
+        ]);
+    }
+    emit(&t);
+    // the subdirectory is the workload's scratch space either way
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// E7 — EM learning recovery.
 fn e7(s: &Scale) {
     println!("\n================ E7: TIC-EM parameter recovery ================");
@@ -963,6 +1086,24 @@ fn e10(s: &Scale) {
     );
 }
 
+/// Dispatch one experiment by name (the single name→fn table, shared by
+/// the default sweep and the `--delta` mode's extra picks).
+fn run_experiment(name: &str, s: &Scale) {
+    match name {
+        "e1" => e1(s),
+        "e2" => e2(s),
+        "e3" => e3(s),
+        "e4" => e4(s),
+        "e5" => e5(s),
+        "e6" => e6(s),
+        "e7" => e7(s),
+        "e8" => e8(s),
+        "e9" => e9(s),
+        "e10" => e10(s),
+        other => eprintln!("unknown experiment {other:?}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -982,6 +1123,16 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let delta_k = match args.iter().position(|a| a == "--delta") {
+        Some(i) => match args.get(i + 1).and_then(|k| k.parse::<usize>().ok()) {
+            Some(k) if k > 0 => Some(k),
+            _ => {
+                eprintln!("--delta requires a positive edge count argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     let mut skip_next = false;
     let picks: Vec<String> = args
         .iter()
@@ -990,7 +1141,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" || *a == "--artifact-cache" {
+            if *a == "--csv" || *a == "--artifact-cache" || *a == "--delta" {
                 skip_next = true;
                 return false;
             }
@@ -998,40 +1149,24 @@ fn main() {
         })
         .map(|a| a.to_lowercase())
         .collect();
-    let all = picks.is_empty();
     let s = scale(quick);
-    let run = |name: &str| all || picks.iter().any(|p| p == name);
-
+    if let Some(k) = delta_k {
+        // the delta mode is its own workload: run it (plus any explicitly
+        // picked experiments) instead of the full default sweep
+        let t0 = Instant::now();
+        delta_workload(&s, k);
+        for p in &picks {
+            run_experiment(p, &s);
+        }
+        println!("total wall time: {}", fmt_duration(t0.elapsed()));
+        return;
+    }
+    let all = picks.is_empty();
     let t0 = Instant::now();
-    if run("e1") {
-        e1(&s);
-    }
-    if run("e2") {
-        e2(&s);
-    }
-    if run("e3") {
-        e3(&s);
-    }
-    if run("e4") {
-        e4(&s);
-    }
-    if run("e5") {
-        e5(&s);
-    }
-    if run("e6") {
-        e6(&s);
-    }
-    if run("e7") {
-        e7(&s);
-    }
-    if run("e8") {
-        e8(&s);
-    }
-    if run("e9") {
-        e9(&s);
-    }
-    if run("e10") {
-        e10(&s);
+    for name in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"] {
+        if all || picks.iter().any(|p| p == name) {
+            run_experiment(name, &s);
+        }
     }
     println!("total wall time: {}", fmt_duration(t0.elapsed()));
 }

@@ -7,8 +7,8 @@
 //! the prefix and collects the best `limit` terminals below it.
 
 use bytes::{Buf, BufMut, BytesMut};
-use octopus_graph::wire::{self, WireError};
-use octopus_graph::NodeId;
+use octopus_graph::wire::{self, Fnv64, WireError};
+use octopus_graph::{NodeId, TopicGraph};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -30,6 +30,34 @@ fn normalize(s: &str) -> String {
 }
 
 impl Autocomplete {
+    /// Hash of exactly what the engine's autocomplete stage reads from the
+    /// graph: each node's display name and **out-degree** (the default
+    /// importance score), in node-id order.
+    ///
+    /// This is the stage's incremental-rebuild key. Edge *weights* are
+    /// deliberately absent — a probability nudge leaves the trie byte-for-
+    /// byte identical, so the cached section stays valid — while a rename
+    /// or any out-degree change (e.g. a new out-edge) moves the key.
+    pub fn input_key(graph: &TopicGraph) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(b"octa:autocomplete");
+        h.write_u64(graph.node_count() as u64);
+        for u in graph.nodes() {
+            match graph.name(u) {
+                Some(name) => {
+                    h.write_u8(1);
+                    h.write_u32(name.len() as u32);
+                    h.write(name.as_bytes());
+                }
+                None => {
+                    h.write_u8(0);
+                }
+            }
+            h.write_u64(graph.out_degree(u) as u64);
+        }
+        h.finish()
+    }
+
     /// Build from `(name, id, score)` triples. Later duplicates of the same
     /// normalized name keep the higher score.
     pub fn build<'a>(entries: impl IntoIterator<Item = (&'a str, NodeId, f64)>) -> Self {

@@ -14,8 +14,8 @@ use crate::cache::{CacheStats, QueryCache};
 use crate::error::CoreError;
 use crate::kim::bounds::BoundKind;
 use crate::kim::{topic_sample, KimAlgorithm, KimResult, NaiveKim};
-use crate::offline::persist::{self, Fingerprint};
-use crate::offline::{self, OfflineArtifacts, StageTiming};
+use crate::offline::persist::{self, Fingerprint, StageKeys};
+use crate::offline::{self, OfflineArtifacts, StageReuse, StageTiming};
 use crate::paths::{explore, ExploreDirection, PathExploration};
 use crate::piks::{GreedyPiks, PiksConfig, PiksResult};
 use crate::Result;
@@ -168,11 +168,23 @@ pub struct SystemReport {
     /// Per-stage wall-clock timings of the offline phase. A fresh build
     /// reports [`offline::STAGE_ORDER`] (plus
     /// [`persist::STAGE_ARTIFACT_STORE`] when a cache was written); an
-    /// engine restored by [`Octopus::open_or_build`] reports a single
-    /// [`persist::STAGE_ARTIFACT_LOAD`] entry — zero build stages ran.
+    /// engine fully restored by [`Octopus::open_or_build`] reports a single
+    /// [`persist::STAGE_ARTIFACT_LOAD`] entry — zero build stages ran; a
+    /// *partial* rebuild reports exactly the stages that ran.
     pub stage_timings: Vec<StageTiming>,
-    /// Wall-clock duration of the whole offline phase (build, or cache load
-    /// on a hit; stages overlap, so this can be less than the timing sum).
+    /// Per-stage cache hit/miss counters of the offline phase, always one
+    /// entry per [`offline::STAGE_ORDER`] stage. [`Octopus::new`] reports
+    /// all-miss; [`Octopus::open_or_build`] reports how many work units of
+    /// each stage were reloaded — for `piks-worlds` that is world-granular,
+    /// so a k-edge delta shows `reused < total` with the untouched worlds
+    /// still counted as hits.
+    pub stage_reuse: Vec<StageReuse>,
+    /// Wall-clock duration of the whole offline phase. For
+    /// [`Octopus::open_or_build`] this spans cache lookup (file reads,
+    /// section decode, per-world footprint screening) plus whatever
+    /// rebuilding remained — full build, partial rebuild, or pure load —
+    /// so partial-vs-full comparisons are honest. Stages overlap, so this
+    /// can be less than the timing sum.
     pub offline_build_total: Duration,
     /// Whether the offline artifacts were loaded from the on-disk cache
     /// instead of built (always `false` for [`Octopus::new`]).
@@ -212,22 +224,65 @@ impl Octopus {
         Ok(Self::from_parts(graph, model, config, offline, false))
     }
 
-    /// Build the engine, reusing a cached offline build when one matches.
+    /// Build the engine, reusing every cached offline stage whose inputs
+    /// are unchanged and rebuilding only the rest.
     ///
-    /// The cache key is [`Fingerprint::compute`]`(graph, config)` — graph
-    /// topology + weights + names, every config field, and the seed. The
-    /// lookup degrades, never fails: a missing, truncated, corrupted,
-    /// stale-version, or foreign-fingerprint file falls back to a full
-    /// [`offline::build`], after which the fresh artifacts are written back
-    /// to `cache_dir` (atomically; write failures are ignored — a read-only
-    /// cache directory costs the speedup, not the engine).
+    /// Reuse is decided per stage by [`StageKeys`]: each OCTA v2 cache
+    /// section is keyed on exactly the inputs its stage reads, so after a
+    /// small graph delta (a weight nudge from a warm EM refit, an edge
+    /// insert, a rename) the unchanged stages — and, world-by-world, every
+    /// PIKS world whose BFS footprint missed the delta — reload from
+    /// `cache_dir` while the invalidated ones rebuild. The lookup degrades,
+    /// never fails: missing, truncated, corrupted, stale-version (v1), or
+    /// foreign files only reduce how much is reused, after which the merged
+    /// artifacts are written back atomically (write failures are ignored —
+    /// a read-only cache directory costs the speedup, not the engine).
     ///
-    /// On a hit, [`SystemReport::cache_hit`] is `true` and
-    /// [`SystemReport::stage_timings`] holds a single
+    /// [`SystemReport::stage_reuse`] reports the per-stage hit/miss
+    /// breakdown. When **everything** was reused, [`SystemReport::cache_hit`]
+    /// is `true` and [`SystemReport::stage_timings`] holds a single
     /// [`persist::STAGE_ARTIFACT_LOAD`] entry: zero offline stages ran.
-    /// Cached artifacts are bit-identical to freshly built ones (the
-    /// `build_determinism` and end-to-end restart tests pin this), so every
+    /// Reused-or-rebuilt makes no observable difference — a partially
+    /// rebuilt engine is bit-identical to a freshly built one (pinned by
+    /// the `build_determinism` and `delta_invalidation` tests), so every
     /// query answers the same either way.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use octopus_core::engine::{Octopus, OctopusConfig};
+    /// use octopus_graph::GraphBuilder;
+    /// use octopus_topics::{TopicModel, Vocabulary};
+    ///
+    /// let mut b = GraphBuilder::new(1);
+    /// let ada = b.add_node("ada");
+    /// let grace = b.add_node("grace");
+    /// b.add_edge(ada, grace, &[(0, 0.5)]).unwrap();
+    /// let graph = b.build().unwrap();
+    /// let mut vocab = Vocabulary::new();
+    /// vocab.intern("compilers");
+    /// let model = TopicModel::from_rows(vocab, vec![vec![1.0]], vec![1.0]).unwrap();
+    /// let config = OctopusConfig {
+    ///     piks_index_size: 16,
+    ///     mis_rr_per_topic: 32,
+    ///     k_max: 2,
+    ///     ..Default::default()
+    /// };
+    ///
+    /// let dir = std::env::temp_dir().join("octopus-doc-open-or-build");
+    /// // First open builds the offline artifacts and persists them…
+    /// let cold = Octopus::open_or_build(graph.clone(), model.clone(), config.clone(), &dir)?;
+    /// // …so reopening with identical inputs reuses every stage.
+    /// let warm = Octopus::open_or_build(graph, model, config, &dir)?;
+    /// assert!(warm.cache_hit());
+    /// assert!(warm.system_report().stage_reuse.iter().all(|s| s.is_full()));
+    /// assert_eq!(
+    ///     cold.find_influencers("compilers", 1)?.seeds,
+    ///     warm.find_influencers("compilers", 1)?.seeds,
+    /// );
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), octopus_core::CoreError>(())
+    /// ```
     pub fn open_or_build(
         graph: TopicGraph,
         model: TopicModel,
@@ -236,24 +291,40 @@ impl Octopus {
     ) -> Result<Self> {
         check_shapes(&graph, &model)?;
         let fp = Fingerprint::compute(&graph, &config);
-        let path = fp.cache_path(cache_dir);
+        let keys = StageKeys::compute(&graph, &config);
         let t0 = Instant::now();
-        if let Ok(mut loaded) = persist::load(&path, &fp, &graph) {
+        let lookup = persist::lookup(cache_dir, &fp, &keys, &graph, &config);
+        let mut offline = offline::build_with_reuse(&graph, &config, lookup.slots);
+        // the offline phase a caller observes spans the cache lookup
+        // (file reads, section decode, per-world footprint screening) AND
+        // whatever rebuilding remained — not just the build half
+        offline.build_total = t0.elapsed();
+        let path = fp.cache_path(cache_dir);
+        if offline.fully_reused() {
+            // a full hit not served by the exact-fingerprint file alone
+            // (donor epochs contributed, or the exact file is missing or
+            // damaged) earns a merged write-back under the exact name, so
+            // the next identical open fast-paths instead of re-scanning
+            // and re-screening every donor
+            if lookup.sources.as_slice() != [path.clone()] {
+                let _ = persist::save(&offline, &fp, &keys, &path);
+                persist::prune(cache_dir, &path);
+            }
             let elapsed = t0.elapsed();
-            loaded.timings = vec![StageTiming {
+            offline.timings = vec![StageTiming {
                 stage: persist::STAGE_ARTIFACT_LOAD,
                 duration: elapsed,
             }];
-            loaded.build_total = elapsed;
-            return Ok(Self::from_parts(graph, model, config, loaded, true));
+            offline.build_total = elapsed;
+            return Ok(Self::from_parts(graph, model, config, offline, true));
         }
-        let mut offline = offline::build(&graph, &config);
         let t_store = Instant::now();
-        if persist::save(&offline, &fp, &path).is_ok() {
+        if persist::save(&offline, &fp, &keys, &path).is_ok() {
             offline.timings.push(StageTiming {
                 stage: persist::STAGE_ARTIFACT_STORE,
                 duration: t_store.elapsed(),
             });
+            persist::prune(cache_dir, &path);
         }
         Ok(Self::from_parts(graph, model, config, offline, false))
     }
@@ -331,6 +402,7 @@ impl Octopus {
             cached_queries: self.cache.len(),
             spread_cap: self.offline.cap,
             stage_timings: self.offline.timings.clone(),
+            stage_reuse: self.offline.reuse.clone(),
             offline_build_total: self.offline.build_total,
             cache_hit: self.cache_hit,
         }

@@ -69,6 +69,24 @@ impl<B: BoundEstimator + ?Sized> BoundEstimator for &B {
     }
 }
 
+/// The incremental-rebuild cache key of the `spread-cap` offline stage.
+///
+/// [`global_spread_cap`] reads the graph's topology and per-edge topic
+/// probabilities (via `edge_prob_max`) plus the MIA threshold `theta` —
+/// and nothing else. Names, seeds, and every other config field are absent,
+/// so a rename or reseed reuses the cached cap. `topology`/`weights` are
+/// the graph input-slice hashes from `octopus_graph::codec`
+/// ([`hash_topology`](octopus_graph::codec::hash_topology) /
+/// [`hash_weights`](octopus_graph::codec::hash_weights)).
+pub fn spread_cap_key(topology: u64, weights: u64, theta: f64) -> u64 {
+    let mut h = octopus_graph::wire::Fnv64::new();
+    h.write(b"octa:spread-cap");
+    h.write_u64(topology);
+    h.write_u64(weights);
+    h.write_f64(theta);
+    h.finish()
+}
+
 /// Compute the global spread cap `C = max_u σ_MIA(u)` on the
 /// max-probability graph (a query-independent constant shared by NB/LG).
 pub fn global_spread_cap(graph: &TopicGraph, theta: f64) -> f64 {
@@ -221,6 +239,28 @@ impl PrecompBound {
     /// (the artifact-codec path).
     pub fn parts(&self) -> (&[Vec<f64>], f64) {
         (&self.sigma, self.safety)
+    }
+
+    /// The incremental-rebuild cache key of the `pb-bound` offline stage.
+    ///
+    /// [`PrecompBound::build`] is a deterministic MIA computation over the
+    /// graph's topology and weights under `(theta, safety)` — no seed, no
+    /// names — so those are the only inputs hashed. `enabled` records
+    /// whether the configured engine needs the tables at all: a section
+    /// persisted as "absent" must never satisfy a config that requires the
+    /// tables, and vice versa. `topology`/`weights` are the slice hashes
+    /// from `octopus_graph::codec`.
+    pub fn input_key(topology: u64, weights: u64, theta: f64, safety: f64, enabled: bool) -> u64 {
+        let mut h = octopus_graph::wire::Fnv64::new();
+        h.write(b"octa:pb-bound");
+        h.write_u8(enabled as u8);
+        if enabled {
+            h.write_u64(topology);
+            h.write_u64(weights);
+            h.write_f64(theta);
+            h.write_f64(safety);
+        }
+        h.finish()
     }
 }
 

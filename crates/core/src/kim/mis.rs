@@ -95,6 +95,37 @@ impl MisKim {
         }
     }
 
+    /// The incremental-rebuild cache key of the `mis-tables` offline stage.
+    ///
+    /// [`MisKim::build`] reads the graph's topology (RR-set traversals) and
+    /// per-edge topic probabilities (pure-topic materialization), plus
+    /// `k_max`, the RR budget, and the sampling seed. Node **names are
+    /// deliberately absent** — MIS never reads them, so a rename reuses the
+    /// cached tables. `enabled` records whether the configured engine
+    /// builds the tables at all (see `PrecompBound::input_key` for why the
+    /// flag is part of the key). `topology`/`weights` are the graph slice
+    /// hashes from `octopus_graph::codec`.
+    pub fn input_key(
+        topology: u64,
+        weights: u64,
+        k_max: usize,
+        rr_per_topic: usize,
+        seed: u64,
+        enabled: bool,
+    ) -> u64 {
+        let mut h = octopus_graph::wire::Fnv64::new();
+        h.write(b"octa:mis-tables");
+        h.write_u8(enabled as u8);
+        if enabled {
+            h.write_u64(topology);
+            h.write_u64(weights);
+            h.write_u64(k_max as u64);
+            h.write_u64(rr_per_topic as u64);
+            h.write_u64(seed);
+        }
+        h.finish()
+    }
+
     /// The aggregated MIS score of a user under `gamma`.
     pub fn score(&self, u: NodeId, gamma: &TopicDistribution) -> f64 {
         (0..self.num_topics)

@@ -48,32 +48,32 @@
 //! Because branches run concurrently, stage durations can sum to more than
 //! [`OfflineArtifacts::build_total`].
 //!
-//! ## Persistence
+//! ## Persistence and incremental rebuilds
 //!
-//! Determinism (above) is what makes the artifacts *cacheable*: a build is
-//! a pure function of `(graph, config, seed)`, so [`persist`] serializes
-//! [`OfflineArtifacts`] into a versioned binary file keyed by a
-//! [`persist::Fingerprint`] over exactly those inputs. The file layout is
+//! Determinism (above) is what makes the artifacts *cacheable*: each stage
+//! is a pure function of the inputs it reads, so [`persist`] serializes
+//! [`OfflineArtifacts`] into an **OCTA v2 sectioned container** — one
+//! independently keyed, independently checksummed section per stage, each
+//! section's [`persist::StageKeys`] entry hashing only that stage's input
+//! slice (MIS ignores names, autocomplete ignores weights, each PIKS world
+//! is keyed on the edge set its reverse BFS touched). The byte-level format
+//! is specified normatively in `ARCHITECTURE.md` and summarized in the
+//! [`persist`] module docs. Stage timings are telemetry, not artifact
+//! state, and are never persisted.
 //!
-//! ```text
-//! magic "OCTA" | version u16
-//! graph_fp u64 | config_fp u64 | seed u64      ← the cache key
-//! payload_len u64 | payload_checksum u64       ← FNV-1a torn-write guard
-//! payload: cap, PB tables?, MIS tables?, topic samples,
-//!          PIKS worlds (coin seeds + sub-DAG CSRs), autocomplete trie
-//! ```
-//!
-//! (full field grammar in the [`persist`] module docs). Stage timings are
-//! telemetry, not artifact state, and are never persisted.
-//!
-//! [`crate::engine::Octopus::open_or_build`] is the consumer: it loads a
-//! matching file (reporting one [`persist::STAGE_ARTIFACT_LOAD`] timing and
-//! `cache_hit = true` — zero build stages run), and on miss, fingerprint
-//! mismatch, stale version, or corruption it falls back to [`build`] and
-//! atomically writes the fresh artifacts back. Loaded artifacts are
-//! bit-identical to built ones, so every query answers the same either
-//! way — pinned by `tests/build_determinism.rs` and the end-to-end restart
-//! tests.
+//! [`crate::engine::Octopus::open_or_build`] is the consumer: it gathers
+//! every section in the cache directory whose key matches the live inputs
+//! ([`persist::lookup`]), hands them to [`build_with_reuse`] as
+//! [`ReuseSlots`], and rebuilds only the invalidated stages along the DAG.
+//! A full hit reports one [`persist::STAGE_ARTIFACT_LOAD`] timing and
+//! `cache_hit = true` (zero build stages run); a partial hit reports
+//! exactly the rebuilt stages plus per-stage counters in
+//! [`crate::engine::SystemReport::stage_reuse`]. Reused or rebuilt, the
+//! resulting engine is bit-identical to a fresh build — pinned by
+//! `tests/build_determinism.rs`, `tests/delta_invalidation.rs`, and the
+//! end-to-end restart tests.
+
+#![warn(missing_docs)]
 
 pub mod persist;
 
@@ -84,11 +84,18 @@ use crate::kim::bounds::{
 };
 use crate::kim::topic_sample::{TopicSample, TopicSampleKim};
 use crate::kim::{BestEffortKim, KimResult, MisKim};
-use crate::piks::InfluencerIndex;
+use crate::piks::{InfluencerIndex, PiksReuse};
 use octopus_graph::{NodeId, TopicGraph};
 use octopus_topics::TopicDistribution;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
+
+/// XOR applied to [`OctopusConfig::seed`] to derive the PIKS world-sampling
+/// seed — decorrelates the influencer index's randomness from the MIS and
+/// topic-sample streams. Part of the persistence contract: the `piks-worlds`
+/// section key hashes the *derived* seed, so persist and build must agree
+/// on the derivation.
+pub const PIKS_WORLD_SEED_XOR: u64 = 0x1DE;
 
 /// Pipeline stage names, in canonical (DAG topological) order.
 pub const STAGE_ORDER: [&str; 6] = [
@@ -109,6 +116,50 @@ pub struct StageTiming {
     pub duration: Duration,
 }
 
+/// Per-stage reuse telemetry of one pipeline run: how many of the stage's
+/// work units were reloaded from a cached artifact section instead of
+/// rebuilt. Scalar stages have one unit; `piks-worlds` has one per world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReuse {
+    /// Stage name (one of [`STAGE_ORDER`]).
+    pub stage: &'static str,
+    /// Work units reloaded from cache.
+    pub reused: usize,
+    /// Total work units the stage comprises.
+    pub total: usize,
+}
+
+impl StageReuse {
+    /// Whether every unit of the stage was reused (a per-stage cache hit).
+    pub fn is_full(&self) -> bool {
+        self.reused == self.total
+    }
+}
+
+/// Cached stage outputs handed to [`build_with_reuse`]: a populated slot
+/// short-circuits its stage, an empty slot rebuilds it.
+///
+/// The *caller* (the persist layer) is responsible for only populating a
+/// slot when the stage's input fingerprint matches the live inputs — see
+/// `persist::StageKeys`. `build_with_reuse` trusts scalar slots outright;
+/// the PIKS slot is additionally screened world-by-world against this
+/// build's coin derivation.
+#[derive(Debug, Default)]
+pub struct ReuseSlots {
+    /// Cached global spread cap.
+    pub cap: Option<f64>,
+    /// Cached PB tables (`Some(None)` = cached "engine needs no tables").
+    pub pb: Option<Option<PrecompBound>>,
+    /// Cached MIS tables (`Some(None)` = cached "engine needs no tables").
+    pub mis: Option<Option<MisKim>>,
+    /// Cached topic samples (empty vec when the engine precomputes none).
+    pub samples: Option<Vec<TopicSample>>,
+    /// Per-world PIKS reuse slots.
+    pub piks: Option<PiksReuse>,
+    /// Cached autocomplete trie.
+    pub names: Option<Autocomplete>,
+}
+
 /// Everything the engine precomputes before serving its first query.
 #[derive(Debug, Clone)]
 pub struct OfflineArtifacts {
@@ -127,24 +178,78 @@ pub struct OfflineArtifacts {
     pub piks_index: InfluencerIndex,
     /// Name auto-completion trie.
     pub names: Autocomplete,
-    /// Per-stage wall-clock telemetry, in [`STAGE_ORDER`].
+    /// Per-stage wall-clock telemetry, in [`STAGE_ORDER`], covering only
+    /// the stages that actually ran (a stage fully reloaded from cache
+    /// reports no timing — it did no build work).
     pub timings: Vec<StageTiming>,
+    /// Per-stage reuse counters, always all of [`STAGE_ORDER`].
+    pub reuse: Vec<StageReuse>,
     /// Wall-clock duration of the whole pipeline (≤ the timing sum when
     /// branches overlap).
     pub build_total: Duration,
 }
 
-/// Run `f` as the named stage, recording its wall-clock duration.
-fn stage<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, StageTiming) {
-    let start = Instant::now();
-    let value = f();
-    (
-        value,
-        StageTiming {
-            stage: name,
-            duration: start.elapsed(),
-        },
+impl OfflineArtifacts {
+    /// Whether every stage was fully reloaded from cache (zero build work).
+    pub fn fully_reused(&self) -> bool {
+        self.reuse.iter().all(StageReuse::is_full)
+    }
+}
+
+/// Whether the configured engine needs PB bound tables (shared with the
+/// persist layer's stage-key computation — the flag is part of the
+/// `pb-bound` cache key).
+pub fn needs_pb(config: &OctopusConfig) -> bool {
+    matches!(
+        config.kim,
+        KimEngineChoice::BestEffort(BoundKind::Precomputation)
+            | KimEngineChoice::TopicSample {
+                bound: BoundKind::Precomputation,
+                ..
+            }
     )
+}
+
+/// Whether the configured engine needs MIS seed tables.
+pub fn needs_mis(config: &OctopusConfig) -> bool {
+    matches!(config.kim, KimEngineChoice::Mis)
+}
+
+/// Run `f` as the named stage unless `slot` carries a cached value.
+/// Returns the value, a timing only when the stage actually ran, and the
+/// stage's reuse counter.
+fn stage_or<T>(
+    name: &'static str,
+    slot: Option<T>,
+    f: impl FnOnce() -> T,
+) -> (T, Option<StageTiming>, StageReuse) {
+    match slot {
+        Some(value) => (
+            value,
+            None,
+            StageReuse {
+                stage: name,
+                reused: 1,
+                total: 1,
+            },
+        ),
+        None => {
+            let start = Instant::now();
+            let value = f();
+            (
+                value,
+                Some(StageTiming {
+                    stage: name,
+                    duration: start.elapsed(),
+                }),
+                StageReuse {
+                    stage: name,
+                    reused: 0,
+                    total: 1,
+                },
+            )
+        }
+    }
 }
 
 /// Run the full offline pipeline for `graph` under `config`.
@@ -155,34 +260,60 @@ fn stage<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, StageTiming) {
 /// parallelizes internally. Timings are reported in [`STAGE_ORDER`]
 /// regardless of execution interleaving.
 pub fn build(graph: &TopicGraph, config: &OctopusConfig) -> OfflineArtifacts {
+    build_with_reuse(graph, config, ReuseSlots::default())
+}
+
+/// Run the offline pipeline, short-circuiting every stage whose slot in
+/// `slots` carries a cached output and rebuilding only the rest along the
+/// stage DAG (a reused `cap`/`pb` still feeds a rebuilt `topic-samples`,
+/// and vice versa).
+///
+/// Correctness contract: a populated slot must hold exactly what the stage
+/// would compute for `(graph, config)` — slots are keyed by per-stage input
+/// fingerprints in [`persist::StageKeys`], so this holds whenever the slot's
+/// key matches. Under that contract the result is **bit-identical** to
+/// [`build`] with no slots, whatever subset was reused (pinned by the
+/// `delta_invalidation` integration tests). The PIKS stage reuses at world
+/// granularity: each persisted world carries a footprint key over the edge
+/// set its reverse BFS touched, so a k-edge delta rebuilds only the worlds
+/// that actually saw those edges.
+pub fn build_with_reuse(
+    graph: &TopicGraph,
+    config: &OctopusConfig,
+    slots: ReuseSlots,
+) -> OfflineArtifacts {
     let start = Instant::now();
-    let needs_pb = matches!(
-        config.kim,
-        KimEngineChoice::BestEffort(BoundKind::Precomputation)
-            | KimEngineChoice::TopicSample {
-                bound: BoundKind::Precomputation,
-                ..
-            }
-    );
+    let ReuseSlots {
+        cap: cap_slot,
+        pb: pb_slot,
+        mis: mis_slot,
+        samples: samples_slot,
+        piks: piks_slot,
+        names: names_slot,
+    } = slots;
     let ((left, mis_out), (piks_out, names_out)) = rayon::join(
         || {
             rayon::join(
                 || {
                     // sequential chain: cap → pb → topic samples
-                    let (cap, t_cap) =
-                        stage("spread-cap", || global_spread_cap(graph, config.mia_theta));
-                    let (pb, t_pb) = stage("pb-bound", || {
-                        needs_pb
+                    let (cap, t_cap, r_cap) = stage_or("spread-cap", cap_slot, || {
+                        global_spread_cap(graph, config.mia_theta)
+                    });
+                    let (pb, t_pb, r_pb) = stage_or("pb-bound", pb_slot, || {
+                        needs_pb(config)
                             .then(|| PrecompBound::build(graph, config.mia_theta, config.pb_safety))
                     });
-                    let (samples, t_samples) = stage("topic-samples", || {
-                        build_topic_samples(graph, config, &pb, cap)
-                    });
-                    (cap, pb, samples, t_cap, t_pb, t_samples)
+                    let (samples, t_samples, r_samples) =
+                        stage_or("topic-samples", samples_slot, || {
+                            build_topic_samples(graph, config, &pb, cap)
+                        });
+                    (
+                        cap, pb, samples, t_cap, t_pb, t_samples, r_cap, r_pb, r_samples,
+                    )
                 },
                 || {
-                    stage("mis-tables", || {
-                        matches!(config.kim, KimEngineChoice::Mis).then(|| {
+                    stage_or("mis-tables", mis_slot, || {
+                        needs_mis(config).then(|| {
                             MisKim::build(graph, config.k_max, config.mis_rr_per_topic, config.seed)
                         })
                     })
@@ -192,12 +323,33 @@ pub fn build(graph: &TopicGraph, config: &OctopusConfig) -> OfflineArtifacts {
         || {
             rayon::join(
                 || {
-                    stage("piks-worlds", || {
-                        InfluencerIndex::build(graph, config.piks_index_size, config.seed ^ 0x1DE)
-                    })
+                    // world-granular reuse: only rebuilt worlds cost time
+                    let t0 = Instant::now();
+                    let reuse = piks_slot.unwrap_or_default();
+                    let (index, reused) = InfluencerIndex::build_with_reuse(
+                        graph,
+                        config.piks_index_size,
+                        config.seed ^ PIKS_WORLD_SEED_XOR,
+                        &reuse,
+                    );
+                    let total = if graph.node_count() == 0 {
+                        0
+                    } else {
+                        config.piks_index_size
+                    };
+                    let timing = (reused < total).then(|| StageTiming {
+                        stage: "piks-worlds",
+                        duration: t0.elapsed(),
+                    });
+                    let reuse = StageReuse {
+                        stage: "piks-worlds",
+                        reused,
+                        total,
+                    };
+                    (index, timing, reuse)
                 },
                 || {
-                    stage("autocomplete", || {
+                    stage_or("autocomplete", names_slot, || {
                         Autocomplete::build(graph.nodes().filter_map(|u| {
                             graph.name(u).map(|n| (n, u, graph.out_degree(u) as f64))
                         }))
@@ -206,10 +358,10 @@ pub fn build(graph: &TopicGraph, config: &OctopusConfig) -> OfflineArtifacts {
             )
         },
     );
-    let (cap, pb, samples, t_cap, t_pb, t_samples) = left;
-    let (mis, t_mis) = mis_out;
-    let (piks_index, t_piks) = piks_out;
-    let (names, t_names) = names_out;
+    let (cap, pb, samples, t_cap, t_pb, t_samples, r_cap, r_pb, r_samples) = left;
+    let (mis, t_mis, r_mis) = mis_out;
+    let (piks_index, t_piks, r_piks) = piks_out;
+    let (names, t_names, r_names) = names_out;
     OfflineArtifacts {
         cap,
         pb,
@@ -217,7 +369,11 @@ pub fn build(graph: &TopicGraph, config: &OctopusConfig) -> OfflineArtifacts {
         samples,
         piks_index,
         names,
-        timings: vec![t_cap, t_pb, t_mis, t_samples, t_piks, t_names],
+        timings: [t_cap, t_pb, t_mis, t_samples, t_piks, t_names]
+            .into_iter()
+            .flatten()
+            .collect(),
+        reuse: vec![r_cap, r_pb, r_mis, r_samples, r_piks, r_names],
         build_total: start.elapsed(),
     }
 }

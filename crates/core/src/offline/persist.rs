@@ -1,83 +1,123 @@
 //! Fingerprint-keyed on-disk persistence for [`OfflineArtifacts`] — the
-//! cache that lets a process restart skip the whole offline pipeline.
+//! cache that lets a process restart skip the offline pipeline, and (since
+//! OCTA v2) lets a *changed* graph skip every stage whose inputs did not
+//! change.
 //!
-//! ## Cache key
+//! ## Why per-stage keys
 //!
-//! A cached artifact file is only valid for the exact inputs that produced
-//! it, so the key is a [`Fingerprint`] over all three:
+//! OCTA v1 keyed the whole artifact file on one `(graph, config, seed)`
+//! hash, so a single renamed user or nudged edge weight invalidated tables
+//! that never read names or weights. v2 splits the file into independently
+//! keyed **sections**, one per pipeline stage, each hashing only the inputs
+//! that stage actually reads:
 //!
-//! * **graph** — FNV-1a over the canonical [`octopus_graph::codec`]
-//!   encoding (topology, per-edge topic weights, names — names feed the
-//!   autocomplete artifact, so they belong in the key);
-//! * **config** — FNV-1a over every [`OctopusConfig`] field except the
-//!   seed, each hashed by exact bit pattern;
-//! * **seed** — the master RNG seed, kept as its own component (the
-//!   roadmap's incremental-rebuild work keys invalidation off the triple).
+//! | section | key hashes | survives |
+//! |---|---|---|
+//! | `spread-cap` | topology, weights, `mia_theta` | renames, reseeds |
+//! | `pb-bound` | topology, weights, `mia_theta`, `pb_safety`, enabled | renames, reseeds |
+//! | `mis-tables` | topology, weights, `k_max`, `mis_rr_per_topic`, seed, enabled | renames |
+//! | `topic-samples` | topology, weights, kim-variant, `k_max`, bounds params, seed | renames, `direct_eps` tuning |
+//! | `piks-worlds` | `(n, world seed)` + a per-world footprint | any delta outside a world's BFS footprint |
+//! | `autocomplete` | names + out-degrees | weight nudges, reseeds |
 //!
-//! ## File format (little-endian)
+//! `topology`/`weights`/names are the [`octopus_graph::codec`] input-slice
+//! hashes. The PIKS section goes one level deeper: each stored world
+//! carries a [`crate::piks::footprint_hash`] over the edge set its reverse
+//! BFS touched, so a k-edge delta rebuilds only the worlds that actually
+//! saw those edges.
+//!
+//! ## File format (OCTA v2, little-endian)
+//!
+//! The normative byte-level specification lives in `ARCHITECTURE.md`
+//! (§"The OCTA v2 artifact container") and is pinned against this codec by
+//! the `octa_format` integration test. Summary:
 //!
 //! ```text
-//! magic "OCTA" | version u16
-//! graph_fp u64 | config_fp u64 | seed u64
-//! payload_len u64 | payload_checksum u64 (FNV-1a over the payload bytes)
-//! payload:
-//!   cap            f64
-//!   pb?            u8 flag | safety f64 | Z u32 | N u32 | Z×N f64
-//!   mis?           u8 flag | Z u32 | per topic: count u32,
-//!                  count × (node u32, gain f64) sorted by node
-//!   samples        u32 count | per sample: Z u32, Z × f64 γ,
-//!                  seed count u32 + u32 ids, spread f64
-//!   piks index     see [`InfluencerIndex::encode_into`]
-//!   autocomplete   see [`Autocomplete::encode_into`]
+//! magic "OCTA" | version u16 = 2
+//! graph_fp u64 | config_fp u64 | seed u64      ← combined key (file name / diagnostics)
+//! section_count u32
+//! section table: count × { tag u32 | key u64 | len u64 | checksum u64 }
+//! section payloads, concatenated in table order (no padding)
 //! ```
 //!
-//! The checksum makes in-place corruption (bit flips, partial writes)
-//! detectable *before* the structural decode runs, so a damaged cache file
-//! degrades to a rebuild instead of a panic or — worse — silently wrong
-//! tables. Stage timings are telemetry, not artifact state, and are not
-//! persisted; a loaded artifact reports a single
-//! [`STAGE_ARTIFACT_LOAD`] timing instead.
+//! Every section carries its own FNV-1a checksum, so corruption, torn
+//! writes, and truncation are detected **per section**: the damaged section
+//! misses, the intact ones are still reused. A v1 file fails the version
+//! check and is migrated by rebuild — the v2 writer then replaces it for
+//! the same inputs under the same cache-file name scheme.
+//!
+//! ## Lookup
+//!
+//! [`lookup`] first tries the exact combined-fingerprint file name, then
+//! scans the cache directory's other `.octa` files, merging matching
+//! sections across files — so after a graph delta (new combined
+//! fingerprint, hence new file name) the previous epoch's file still
+//! donates every section whose stage inputs are unchanged. After each
+//! write-back, [`prune`] bounds the directory to [`MAX_CACHE_FILES`]
+//! (oldest-modified epochs go first), so a long-lived deployment's disk
+//! and scan cost stay flat. Stage timings are telemetry, not artifact
+//! state, and are never persisted.
 
-use super::OfflineArtifacts;
+#![warn(missing_docs)]
+
+use super::{OfflineArtifacts, ReuseSlots};
 use crate::autocomplete::Autocomplete;
 use crate::engine::{KimEngineChoice, OctopusConfig};
-use crate::kim::bounds::{BoundKind, PrecompBound};
+use crate::kim::bounds::{spread_cap_key, BoundKind, PrecompBound};
 use crate::kim::topic_sample::TopicSample;
 use crate::kim::MisKim;
 use crate::piks::InfluencerIndex;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use octopus_graph::wire::{self, Fnv64, WireError};
+use octopus_graph::wire::{self, Fnv64, SectionEntry, WireError};
 use octopus_graph::{codec as graph_codec, NodeId, TopicGraph};
 use octopus_topics::TopicDistribution;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
 
 const MAGIC: &[u8; 4] = b"OCTA";
-const VERSION: u16 = 1;
-/// Bytes before the payload: magic + version + 3 fingerprint words +
-/// payload length + payload checksum.
-const HEADER_LEN: usize = 4 + 2 + 8 * 3 + 8 + 8;
+const VERSION: u16 = 2;
+/// Bytes before the section table: magic + version + 3 fingerprint words +
+/// section count.
+const HEADER_LEN: usize = 4 + 2 + 8 * 3 + 4;
 
-/// Synthetic stage name reported when artifacts are loaded from cache.
+/// Section tag: the global spread cap (`f64`).
+pub const SECTION_CAP: u32 = 1;
+/// Section tag: PB bound tables.
+pub const SECTION_PB: u32 = 2;
+/// Section tag: MIS per-topic seed tables.
+pub const SECTION_MIS: u32 = 3;
+/// Section tag: precomputed topic samples.
+pub const SECTION_SAMPLES: u32 = 4;
+/// Section tag: PIKS influencer-index worlds.
+pub const SECTION_PIKS: u32 = 5;
+/// Section tag: the autocomplete trie.
+pub const SECTION_NAMES: u32 = 6;
+
+/// Section tags in canonical write order (mirrors the stage DAG order of
+/// [`super::STAGE_ORDER`]).
+pub const SECTION_ORDER: [u32; 6] = [
+    SECTION_CAP,
+    SECTION_PB,
+    SECTION_MIS,
+    SECTION_SAMPLES,
+    SECTION_PIKS,
+    SECTION_NAMES,
+];
+
+/// Synthetic stage name reported when every artifact section is reused.
 pub const STAGE_ARTIFACT_LOAD: &str = "artifact-load";
-/// Synthetic stage name reported for writing a fresh build to cache.
+/// Synthetic stage name reported for writing a build to cache.
 pub const STAGE_ARTIFACT_STORE: &str = "artifact-store";
 
 /// Errors from artifact (de)serialization and cache lookup.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PersistError {
-    /// Payload is truncated, malformed, or fails its checksum.
+    /// The container framing is damaged (bad magic, unreadable table).
+    /// Individual section damage is *not* an error — the section misses.
     Corrupt(String),
-    /// The file was written by an incompatible codec version.
+    /// The file was written by an incompatible codec version (v1 files land
+    /// here and are migrated by rebuild).
     Version(u16),
-    /// The file is valid but keyed to different inputs.
-    Mismatch {
-        /// Key the caller expects.
-        expected: Fingerprint,
-        /// Key stored in the file.
-        found: Fingerprint,
-    },
     /// The file could not be read at all.
     Io(String),
 }
@@ -85,12 +125,8 @@ pub enum PersistError {
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PersistError::Corrupt(m) => write!(f, "corrupt artifact payload: {m}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt artifact container: {m}"),
             PersistError::Version(v) => write!(f, "unsupported artifact version {v}"),
-            PersistError::Mismatch { expected, found } => write!(
-                f,
-                "artifact fingerprint mismatch: expected {expected}, found {found}"
-            ),
             PersistError::Io(m) => write!(f, "artifact io error: {m}"),
         }
     }
@@ -104,12 +140,13 @@ impl From<WireError> for PersistError {
     }
 }
 
-/// The cache key of one offline build: `(graph, config, seed)`.
+/// The combined cache key of one offline build: `(graph, config, seed)`.
 ///
-/// Any perturbation of the graph (an edge, a weight, a name), of any config
+/// Since v2 this no longer gates reuse (the per-stage [`StageKeys`] do); it
+/// names the cache file — one file per exact input triple — and stamps the
+/// header for diagnostics. Any perturbation of the graph, of any config
 /// field, or of the seed produces a different fingerprint — pinned by the
-/// `proptest_persist` sensitivity suite — so a stale cache file can never
-/// masquerade as current.
+/// `proptest_persist` sensitivity suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fingerprint {
     /// Hash of the canonical graph encoding (topology + weights + names).
@@ -131,7 +168,7 @@ impl std::fmt::Display for Fingerprint {
 }
 
 impl Fingerprint {
-    /// Compute the cache key for building `graph` under `config`.
+    /// Compute the combined cache key for building `graph` under `config`.
     ///
     /// The graph component streams the canonical encoding through the
     /// hasher ([`graph_codec::hash`]) rather than materializing the byte
@@ -163,7 +200,8 @@ impl Fingerprint {
 /// Online-only fields (query cache, path count, PIKS thresholds) are
 /// deliberately included: a conservative key can only cause a spurious
 /// rebuild, never a stale artifact — and it keeps the sensitivity contract
-/// simple ("any config change changes the key").
+/// simple ("any config change changes the key"). The per-stage keys in
+/// [`StageKeys`] are the precise ones; this combined key only names files.
 fn config_fingerprint(config: &OctopusConfig) -> u64 {
     let mut h = Fnv64::new();
     match config.kim {
@@ -211,31 +249,174 @@ fn bound_tag(b: BoundKind) -> u32 {
     }
 }
 
-/// Serialize `artifacts` under the cache key `fp`.
-pub fn encode(artifacts: &OfflineArtifacts, fp: &Fingerprint) -> Bytes {
-    // reserve the dominant, exactly-computable sections upfront (PB tables
-    // alone are Z×N×8 bytes at production scale; the trie is estimated) so
-    // a large encode doesn't crawl through doubling reallocations
-    let pb_bytes = artifacts.pb.as_ref().map_or(1, |pb| {
+/// The per-stage cache keys of one offline build — the heart of the
+/// incremental-rebuild machinery.
+///
+/// Each key hashes exactly the inputs its stage reads (see the module docs'
+/// table and each component's `input_key`/`section_key` documentation).
+/// The invariants the `delta_invalidation` tests pin:
+///
+/// * a node **rename** moves only `names`;
+/// * a **weight nudge** moves `cap`/`pb`/`mis`/`samples` (they all read the
+///   probability table) but never `names` or the `piks` *section* key —
+///   world-level footprints decide PIKS reuse;
+/// * a **reseed** moves only `mis`/`samples`/`piks` (the randomized stages);
+/// * an **edge insert** moves everything except `names`-when-degrees-hold
+///   — and for PIKS invalidates exactly the worlds whose footprint saw the
+///   changed edge ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageKeys {
+    /// `spread-cap` key.
+    pub cap: u64,
+    /// `pb-bound` key.
+    pub pb: u64,
+    /// `mis-tables` key.
+    pub mis: u64,
+    /// `topic-samples` key.
+    pub samples: u64,
+    /// `piks-worlds` *section* key (derivation inputs; per-world footprints
+    /// gate the content).
+    pub piks: u64,
+    /// `autocomplete` key.
+    pub names: u64,
+}
+
+impl StageKeys {
+    /// Compute every stage key for building `graph` under `config`.
+    pub fn compute(graph: &TopicGraph, config: &OctopusConfig) -> Self {
+        let topology = graph_codec::hash_topology(graph);
+        let weights = graph_codec::hash_weights(graph);
+        StageKeys {
+            cap: spread_cap_key(topology, weights, config.mia_theta),
+            pb: PrecompBound::input_key(
+                topology,
+                weights,
+                config.mia_theta,
+                config.pb_safety,
+                super::needs_pb(config),
+            ),
+            mis: MisKim::input_key(
+                topology,
+                weights,
+                config.k_max,
+                config.mis_rr_per_topic,
+                config.seed,
+                super::needs_mis(config),
+            ),
+            samples: topic_samples_key(topology, weights, config),
+            piks: InfluencerIndex::section_key(
+                graph.node_count(),
+                config.seed ^ super::PIKS_WORLD_SEED_XOR,
+            ),
+            names: Autocomplete::input_key(graph),
+        }
+    }
+
+    /// The expected key for a section tag (`None` for unknown tags).
+    pub fn for_tag(&self, tag: u32) -> Option<u64> {
+        match tag {
+            SECTION_CAP => Some(self.cap),
+            SECTION_PB => Some(self.pb),
+            SECTION_MIS => Some(self.mis),
+            SECTION_SAMPLES => Some(self.samples),
+            SECTION_PIKS => Some(self.piks),
+            SECTION_NAMES => Some(self.names),
+            _ => None,
+        }
+    }
+}
+
+/// The incremental-rebuild cache key of the `topic-samples` offline stage.
+///
+/// The stage samples query distributions (from `config.seed` and
+/// `extra_samples`) and solves each with the configured best-effort engine,
+/// reading topology, weights, the bound choice and its parameters, `k_max`,
+/// and `mia_theta`. `direct_eps` is **deliberately excluded**: it only
+/// tunes the online direct-answer radius, so retuning it reuses the cached
+/// samples. When the engine is not `TopicSample`, the stage output is
+/// empty and the key collapses to a shared "disabled" value.
+fn topic_samples_key(topology: u64, weights: u64, config: &OctopusConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(b"octa:topic-samples");
+    if let KimEngineChoice::TopicSample {
+        bound,
+        extra_samples,
+        ..
+    } = config.kim
+    {
+        h.write_u8(1)
+            .write_u64(topology)
+            .write_u64(weights)
+            .write_u32(bound_tag(bound))
+            .write_u64(extra_samples as u64)
+            .write_u64(config.seed)
+            .write_u64(config.k_max as u64)
+            .write_f64(config.mia_theta)
+            .write_f64(config.pb_safety)
+            .write_u32(config.lg_depth)
+            .write_f64(config.lg_safety);
+    } else {
+        h.write_u8(0);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Serialize `artifacts` as an OCTA v2 sectioned container stamped with the
+/// combined key `fp` and the per-stage `keys`.
+pub fn encode(artifacts: &OfflineArtifacts, fp: &Fingerprint, keys: &StageKeys) -> Bytes {
+    let sections: Vec<(u32, u64, BytesMut)> = vec![
+        (SECTION_CAP, keys.cap, encode_cap(artifacts)),
+        (SECTION_PB, keys.pb, encode_pb(artifacts)),
+        (SECTION_MIS, keys.mis, encode_mis(artifacts)),
+        (SECTION_SAMPLES, keys.samples, encode_samples(artifacts)),
+        (SECTION_PIKS, keys.piks, encode_piks(artifacts)),
+        (SECTION_NAMES, keys.names, encode_names(artifacts)),
+    ];
+    let payload_len: usize = sections.iter().map(|(_, _, p)| p.len()).sum();
+    let mut buf = BytesMut::with_capacity(
+        HEADER_LEN + sections.len() * wire::SECTION_ENTRY_LEN + payload_len,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(fp.graph);
+    buf.put_u64_le(fp.config);
+    buf.put_u64_le(fp.seed);
+    buf.put_u32_le(sections.len() as u32);
+    for (tag, key, payload) in &sections {
+        wire::put_section_entry(
+            &mut buf,
+            &SectionEntry {
+                tag: *tag,
+                key: *key,
+                len: payload.len() as u64,
+                checksum: wire::fnv1a(payload),
+            },
+        );
+    }
+    for (_, _, payload) in sections {
+        buf.put_slice(&payload);
+    }
+    buf.freeze()
+}
+
+fn encode_cap(artifacts: &OfflineArtifacts) -> BytesMut {
+    let mut payload = BytesMut::with_capacity(8);
+    payload.put_f64_le(artifacts.cap);
+    payload
+}
+
+fn encode_pb(artifacts: &OfflineArtifacts) -> BytesMut {
+    // reserve exactly: PB tables are Z×N×8 bytes at production scale, so a
+    // large encode must not crawl through doubling reallocations
+    let cap = artifacts.pb.as_ref().map_or(1, |pb| {
         let (sigma, _) = pb.parts();
         1 + 16 + sigma.len() * (4 + sigma.first().map_or(0, Vec::len) * 8)
     });
-    let mis_bytes = artifacts.mis.as_ref().map_or(1, |m| {
-        1 + 4 + m.gains().iter().map(|t| 4 + t.len() * 12).sum::<usize>()
-    });
-    let sample_bytes: usize = 4 + artifacts
-        .samples
-        .iter()
-        .map(|s| 16 + s.gamma.num_topics() * 8 + s.seeds.len() * 4)
-        .sum::<usize>();
-    let piks = artifacts.piks_index.stats();
-    let piks_bytes =
-        44 + artifacts.piks_index.len() * 24 + piks.stored_nodes * 8 + piks.stored_edges * 8;
-    let trie_bytes = 8 + artifacts.names.len() * 64;
-    let mut payload =
-        BytesMut::with_capacity(8 + pb_bytes + mis_bytes + sample_bytes + piks_bytes + trie_bytes);
-    payload.put_f64_le(artifacts.cap);
-
+    let mut payload = BytesMut::with_capacity(cap);
     match &artifacts.pb {
         Some(pb) => {
             payload.put_u8(1);
@@ -251,7 +432,14 @@ pub fn encode(artifacts: &OfflineArtifacts, fp: &Fingerprint) -> Bytes {
         }
         None => payload.put_u8(0),
     }
+    payload
+}
 
+fn encode_mis(artifacts: &OfflineArtifacts) -> BytesMut {
+    let cap = artifacts.mis.as_ref().map_or(1, |m| {
+        1 + 4 + m.gains().iter().map(|t| 4 + t.len() * 12).sum::<usize>()
+    });
+    let mut payload = BytesMut::with_capacity(cap);
     match &artifacts.mis {
         Some(mis) => {
             payload.put_u8(1);
@@ -269,7 +457,16 @@ pub fn encode(artifacts: &OfflineArtifacts, fp: &Fingerprint) -> Bytes {
         }
         None => payload.put_u8(0),
     }
+    payload
+}
 
+fn encode_samples(artifacts: &OfflineArtifacts) -> BytesMut {
+    let cap: usize = 4 + artifacts
+        .samples
+        .iter()
+        .map(|s| 16 + s.gamma.num_topics() * 8 + s.seeds.len() * 4)
+        .sum::<usize>();
+    let mut payload = BytesMut::with_capacity(cap);
     payload.put_u32_le(artifacts.samples.len() as u32);
     for s in &artifacts.samples {
         payload.put_u32_le(s.gamma.num_topics() as u32);
@@ -282,99 +479,210 @@ pub fn encode(artifacts: &OfflineArtifacts, fp: &Fingerprint) -> Bytes {
         }
         payload.put_f64_le(s.spread);
     }
-
-    artifacts.piks_index.encode_into(&mut payload);
-    artifacts.names.encode_into(&mut payload);
-
-    let payload = payload.freeze();
-    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u64_le(fp.graph);
-    buf.put_u64_le(fp.config);
-    buf.put_u64_le(fp.seed);
-    buf.put_u64_le(payload.len() as u64);
-    buf.put_u64_le(wire::fnv1a(&payload));
-    buf.put_slice(&payload);
-    buf.freeze()
+    payload
 }
 
-/// Deserialize artifacts from `raw`, verifying magic, version, fingerprint
-/// and payload checksum before any structural decode.
-///
-/// `graph` is the graph the artifacts will serve: every stored dimension
-/// and id is validated against it (PB/MIS table shapes, sample seeds, PIKS
-/// node and edge ids, trie user ids), so a payload that is internally
-/// consistent but keyed to the wrong inputs — or maliciously stamped with
-/// the right fingerprint — fails the load instead of panicking at query
-/// time. It also bounds every allocation: no stored count can exceed what
-/// the graph's own dimensions admit.
-///
-/// The returned artifacts carry no stage timings (telemetry is not
-/// persisted); [`crate::engine::Octopus::open_or_build`] substitutes an
-/// [`STAGE_ARTIFACT_LOAD`] timing.
-pub fn decode(
-    raw: &[u8],
-    expected: &Fingerprint,
-    graph: &TopicGraph,
-) -> Result<OfflineArtifacts, PersistError> {
+fn encode_piks(artifacts: &OfflineArtifacts) -> BytesMut {
+    let piks = artifacts.piks_index.stats();
+    let cap = 8 + artifacts.piks_index.len() * 40 + piks.stored_nodes * 8 + piks.stored_edges * 8;
+    let mut payload = BytesMut::with_capacity(cap);
+    artifacts.piks_index.encode_into(&mut payload);
+    payload
+}
+
+fn encode_names(artifacts: &OfflineArtifacts) -> BytesMut {
+    let mut payload = BytesMut::with_capacity(8 + artifacts.names.len() * 64);
+    artifacts.names.encode_into(&mut payload);
+    payload
+}
+
+// ---------------------------------------------------------------------------
+// Decoding / lookup
+// ---------------------------------------------------------------------------
+
+/// Read the combined fingerprint stamped in a container header
+/// (diagnostics; reuse is decided by section keys, not by this).
+pub fn read_fingerprint(raw: &[u8]) -> Result<Fingerprint, PersistError> {
     let mut buf = raw;
     wire::need(&buf, HEADER_LEN, "artifact header")?;
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
     if &magic != MAGIC {
         return Err(PersistError::Corrupt(
-            "bad magic (not an OCTA payload)".into(),
+            "bad magic (not an OCTA container)".into(),
         ));
     }
     let version = buf.get_u16_le();
     if version != VERSION {
         return Err(PersistError::Version(version));
     }
-    let found = Fingerprint {
+    Ok(Fingerprint {
         graph: buf.get_u64_le(),
         config: buf.get_u64_le(),
         seed: buf.get_u64_le(),
-    };
-    if found != *expected {
-        return Err(PersistError::Mismatch {
-            expected: *expected,
-            found,
-        });
-    }
-    let payload_len = buf.get_u64_le() as usize;
-    let checksum = buf.get_u64_le();
-    if buf.remaining() != payload_len {
-        return Err(PersistError::Corrupt(format!(
-            "payload length {} does not match header {payload_len}",
-            buf.remaining()
-        )));
-    }
-    if wire::fnv1a(buf) != checksum {
-        return Err(PersistError::Corrupt(
-            "payload checksum mismatch (file corrupted in place)".into(),
-        ));
-    }
-    decode_payload(&mut buf, graph)
+    })
 }
 
-fn decode_payload(buf: &mut &[u8], graph: &TopicGraph) -> Result<OfflineArtifacts, PersistError> {
-    let num_topics = graph.num_topics();
-    let node_count = graph.node_count();
-    wire::need(buf, 8 + 1, "spread cap")?;
-    let cap = buf.get_f64_le();
+/// Salvage every reusable stage output from one encoded container.
+///
+/// Fails only on container-level damage (bad magic, stale version, an
+/// unreadable section table): those mean nothing in the file can be
+/// trusted. Section-level problems — key mismatch, checksum failure,
+/// payload truncation, content that fails validation against the live
+/// graph — are not errors; the affected section's slot stays empty and its
+/// stage rebuilds. A slot is populated only when the section's stored key
+/// equals the expected [`StageKeys`] entry **and** the payload decodes and
+/// validates, so a populated slot is safe to hand to
+/// [`super::build_with_reuse`] verbatim.
+pub fn load_sections(
+    raw: &[u8],
+    keys: &StageKeys,
+    graph: &TopicGraph,
+    config: &OctopusConfig,
+) -> Result<ReuseSlots, PersistError> {
+    let mut slots = ReuseSlots::default();
+    load_sections_into(raw, keys, graph, config, &mut slots)?;
+    Ok(slots)
+}
 
-    let pb = if buf.get_u8() != 0 {
-        wire::need(buf, 8 + 4 + 4, "pb header")?;
+/// [`load_sections`], but accumulating into `slots` and decoding **only
+/// still-needed sections** — a scalar slot already filled by an earlier
+/// donor file is not re-decoded (nor even checksummed), and the PIKS
+/// section is skipped once every world up to `piks_index_size` is covered.
+/// PIKS donors union world-by-world ([`PiksReuse::merge_from`]), so two
+/// deltas that invalidated disjoint world sets in different epoch files
+/// reassemble full coverage. Returns whether anything new was salvaged.
+fn load_sections_into(
+    raw: &[u8],
+    keys: &StageKeys,
+    graph: &TopicGraph,
+    config: &OctopusConfig,
+    slots: &mut ReuseSlots,
+) -> Result<bool, PersistError> {
+    read_fingerprint(raw)?; // validates magic + version
+    let mut buf = &raw[HEADER_LEN - 4..];
+    let section_count = buf.get_u32_le() as usize;
+    let table_len = section_count.saturating_mul(wire::SECTION_ENTRY_LEN);
+    let mut table = &raw[HEADER_LEN..];
+    wire::need(&table, table_len, "section table").map_err(PersistError::from)?;
+    let payload_area = &raw[HEADER_LEN + table_len..];
+
+    let r = config.piks_index_size;
+    let mut salvaged = false;
+    let mut offset = 0usize;
+    for _ in 0..section_count {
+        let entry = wire::read_section_entry(&mut table, "section entry")?;
+        let section_offset = offset;
+        offset = offset.saturating_add(entry.len as usize);
+        if keys.for_tag(entry.tag) != Some(entry.key) {
+            continue; // stale inputs or unknown tag: the stage rebuilds
+        }
+        let needed = match entry.tag {
+            SECTION_CAP => slots.cap.is_none(),
+            SECTION_PB => slots.pb.is_none(),
+            SECTION_MIS => slots.mis.is_none(),
+            SECTION_SAMPLES => slots.samples.is_none(),
+            SECTION_PIKS => slots.piks.as_ref().is_none_or(|p| p.available_in(r) < r),
+            SECTION_NAMES => slots.names.is_none(),
+            _ => false,
+        };
+        if !needed {
+            continue; // an earlier donor already supplied this stage
+        }
+        let Ok(payload) = wire::section_payload(payload_area, section_offset, &entry) else {
+            continue; // truncated or corrupted in place: the stage rebuilds
+        };
+        match entry.tag {
+            SECTION_CAP => {
+                if let Ok(cap) = decode_cap(payload) {
+                    slots.cap = Some(cap);
+                    salvaged = true;
+                }
+            }
+            SECTION_PB => {
+                if let Ok(pb) = decode_pb(payload, graph, super::needs_pb(config)) {
+                    slots.pb = Some(pb);
+                    salvaged = true;
+                }
+            }
+            SECTION_MIS => {
+                if let Ok(mis) = decode_mis(payload, graph, super::needs_mis(config)) {
+                    slots.mis = Some(mis);
+                    salvaged = true;
+                }
+            }
+            SECTION_SAMPLES => {
+                if let Ok(samples) = decode_samples(payload, graph) {
+                    slots.samples = Some(samples);
+                    salvaged = true;
+                }
+            }
+            SECTION_PIKS => {
+                let mut cursor = payload;
+                if let Ok(reuse) = InfluencerIndex::load_reusable(&mut cursor, graph) {
+                    if cursor.is_empty() && reuse.available() > 0 {
+                        match &mut slots.piks {
+                            Some(have) => salvaged |= have.merge_from(reuse) > 0,
+                            none => {
+                                *none = Some(reuse);
+                                salvaged = true;
+                            }
+                        }
+                    }
+                }
+            }
+            SECTION_NAMES => {
+                let mut cursor = payload;
+                if let Ok(names) = Autocomplete::decode_from(&mut cursor, graph.node_count()) {
+                    if cursor.is_empty() {
+                        slots.names = Some(names);
+                        salvaged = true;
+                    }
+                }
+            }
+            _ => unreachable!("needed is false for unknown tags"),
+        }
+    }
+    Ok(salvaged)
+}
+
+fn decode_cap(raw: &[u8]) -> Result<f64, WireError> {
+    if raw.len() != 8 {
+        return Err(WireError(format!(
+            "cap section is {} bytes, not 8",
+            raw.len()
+        )));
+    }
+    let mut buf = raw;
+    Ok(buf.get_f64_le())
+}
+
+fn decode_pb(
+    raw: &[u8],
+    graph: &TopicGraph,
+    expected_present: bool,
+) -> Result<Option<PrecompBound>, WireError> {
+    let mut buf = raw;
+    wire::need(&buf, 1, "pb flag")?;
+    let present = buf.get_u8() != 0;
+    if present != expected_present {
+        return Err(WireError(
+            "pb section presence disagrees with the configured engine".into(),
+        ));
+    }
+    let pb = if present {
+        wire::need(&buf, 8 + 4 + 4, "pb header")?;
         let safety = buf.get_f64_le();
         let z = buf.get_u32_le() as usize;
         let n = buf.get_u32_le() as usize;
-        if z != num_topics || n != node_count {
-            return Err(PersistError::Corrupt(format!(
-                "pb tables are {z}×{n}, graph is {num_topics}×{node_count}"
+        if z != graph.num_topics() || n != graph.node_count() {
+            return Err(WireError(format!(
+                "pb tables are {z}×{n}, graph is {}×{}",
+                graph.num_topics(),
+                graph.node_count()
             )));
         }
-        wire::need(buf, z.saturating_mul(n).saturating_mul(8), "pb tables")?;
+        wire::need(&buf, z.saturating_mul(n).saturating_mul(8), "pb tables")?;
         let mut sigma = Vec::with_capacity(z);
         for _ in 0..z {
             let mut row = Vec::with_capacity(n);
@@ -387,27 +695,43 @@ fn decode_payload(buf: &mut &[u8], graph: &TopicGraph) -> Result<OfflineArtifact
     } else {
         None
     };
+    expect_drained(&buf, "pb section")?;
+    Ok(pb)
+}
 
-    wire::need(buf, 1, "mis flag")?;
-    let has_mis = buf.get_u8() != 0;
-    let mis = if has_mis {
-        wire::need(buf, 4, "mis topic count")?;
+fn decode_mis(
+    raw: &[u8],
+    graph: &TopicGraph,
+    expected_present: bool,
+) -> Result<Option<MisKim>, WireError> {
+    let node_count = graph.node_count();
+    let mut buf = raw;
+    wire::need(&buf, 1, "mis flag")?;
+    let present = buf.get_u8() != 0;
+    if present != expected_present {
+        return Err(WireError(
+            "mis section presence disagrees with the configured engine".into(),
+        ));
+    }
+    let mis = if present {
+        wire::need(&buf, 4, "mis topic count")?;
         let z = buf.get_u32_le() as usize;
-        if z != num_topics {
-            return Err(PersistError::Corrupt(format!(
-                "mis tables cover {z} topics, graph has {num_topics}"
+        if z != graph.num_topics() {
+            return Err(WireError(format!(
+                "mis tables cover {z} topics, graph has {}",
+                graph.num_topics()
             )));
         }
         let mut gains = Vec::with_capacity(z);
         for _ in 0..z {
-            wire::need(buf, 4, "mis table size")?;
+            wire::need(&buf, 4, "mis table size")?;
             let count = buf.get_u32_le() as usize;
-            wire::need(buf, count.saturating_mul(12), "mis table entries")?;
+            wire::need(&buf, count.saturating_mul(12), "mis table entries")?;
             let mut table = HashMap::with_capacity(count.min(node_count));
             for _ in 0..count {
                 let u = NodeId(buf.get_u32_le());
                 if u.index() >= node_count {
-                    return Err(PersistError::Corrupt(format!(
+                    return Err(WireError(format!(
                         "mis table references node {u} outside the graph ({node_count} nodes)"
                     )));
                 }
@@ -420,33 +744,40 @@ fn decode_payload(buf: &mut &[u8], graph: &TopicGraph) -> Result<OfflineArtifact
     } else {
         None
     };
+    expect_drained(&buf, "mis section")?;
+    Ok(mis)
+}
 
-    wire::need(buf, 4, "sample count")?;
+fn decode_samples(raw: &[u8], graph: &TopicGraph) -> Result<Vec<TopicSample>, WireError> {
+    let num_topics = graph.num_topics();
+    let node_count = graph.node_count();
+    let mut buf = raw;
+    wire::need(&buf, 4, "sample count")?;
     let sample_count = buf.get_u32_le() as usize;
     let mut samples = Vec::with_capacity(sample_count.min(1 << 16));
     for _ in 0..sample_count {
-        wire::need(buf, 4, "sample gamma size")?;
+        wire::need(&buf, 4, "sample gamma size")?;
         let z = buf.get_u32_le() as usize;
         if z != num_topics {
-            return Err(PersistError::Corrupt(format!(
+            return Err(WireError(format!(
                 "topic sample has {z} topics, graph has {num_topics}"
             )));
         }
-        wire::need(buf, z.saturating_mul(8), "sample gamma")?;
+        wire::need(&buf, z.saturating_mul(8), "sample gamma")?;
         let mut gamma = Vec::with_capacity(z);
         for _ in 0..z {
             gamma.push(buf.get_f64_le());
         }
         let gamma = TopicDistribution::from_normalized(gamma)
-            .map_err(|e| PersistError::Corrupt(format!("sample gamma invalid: {e}")))?;
-        wire::need(buf, 4, "sample seed count")?;
+            .map_err(|e| WireError(format!("sample gamma invalid: {e}")))?;
+        wire::need(&buf, 4, "sample seed count")?;
         let k = buf.get_u32_le() as usize;
-        wire::need(buf, k.saturating_mul(4) + 8, "sample seeds")?;
+        wire::need(&buf, k.saturating_mul(4) + 8, "sample seeds")?;
         let mut seeds = Vec::with_capacity(k);
         for _ in 0..k {
             let u = NodeId(buf.get_u32_le());
             if u.index() >= node_count {
-                return Err(PersistError::Corrupt(format!(
+                return Err(WireError(format!(
                     "topic sample seeds node {u} outside the graph ({node_count} nodes)"
                 )));
             }
@@ -459,26 +790,94 @@ fn decode_payload(buf: &mut &[u8], graph: &TopicGraph) -> Result<OfflineArtifact
             spread,
         });
     }
+    expect_drained(&buf, "samples section")?;
+    Ok(samples)
+}
 
-    let piks_index = InfluencerIndex::decode_from(buf, node_count, graph.edge_count())?;
-    let names = Autocomplete::decode_from(buf, node_count)?;
-    if buf.remaining() != 0 {
-        return Err(PersistError::Corrupt(format!(
-            "{} trailing bytes after artifact payload",
-            buf.remaining()
-        )));
+fn expect_drained(buf: &&[u8], what: &str) -> Result<(), WireError> {
+    if buf.is_empty() {
+        Ok(())
+    } else {
+        Err(WireError(format!(
+            "{} trailing bytes after {what}",
+            buf.len()
+        )))
     }
+}
 
-    Ok(OfflineArtifacts {
-        cap,
-        pb,
-        mis,
-        samples,
-        piks_index,
-        names,
-        timings: Vec::new(),
-        build_total: Duration::ZERO,
-    })
+/// The result of a cache-directory [`lookup`]: merged reuse slots plus the
+/// files that contributed them.
+#[derive(Debug, Default)]
+pub struct CacheLookup {
+    /// Stage outputs salvaged from the cache, ready for
+    /// [`super::build_with_reuse`].
+    pub slots: ReuseSlots,
+    /// Cache files at least one slot came from (exact-fingerprint file
+    /// first when it contributed).
+    pub sources: Vec<PathBuf>,
+}
+
+/// Gather every reusable stage output available under `cache_dir` for the
+/// given inputs.
+///
+/// The exact combined-fingerprint file is consulted first (on an unchanged
+/// restart it satisfies everything by itself); then the directory's other
+/// `.octa` files are scanned in name order, each donating any still-missing
+/// section whose key matches — this is the path a graph delta takes, since
+/// a delta changes the combined fingerprint and therefore the file name.
+/// Slots already satisfied by an earlier file are skipped without decoding;
+/// PIKS world slots **union** across donors (two deltas that invalidated
+/// disjoint world sets in different epoch files reassemble full coverage).
+/// Unreadable, foreign, stale-version, or corrupt files are simply
+/// skipped: lookup degrades, it never fails.
+pub fn lookup(
+    cache_dir: &Path,
+    fp: &Fingerprint,
+    keys: &StageKeys,
+    graph: &TopicGraph,
+    config: &OctopusConfig,
+) -> CacheLookup {
+    let exact = fp.cache_path(cache_dir);
+    let mut candidates = vec![exact.clone()];
+    if let Ok(entries) = std::fs::read_dir(cache_dir) {
+        let mut others: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "octa") && *p != exact)
+            .collect();
+        others.sort();
+        candidates.extend(others);
+    }
+    let mut out = CacheLookup::default();
+    for path in candidates {
+        if complete(&out.slots, graph, config) {
+            break;
+        }
+        let Ok(raw) = std::fs::read(&path) else {
+            continue;
+        };
+        // accumulate directly: already-filled slots are skipped without
+        // re-decoding, and PIKS world slots union across donor files
+        if let Ok(true) = load_sections_into(&raw, keys, graph, config, &mut out.slots) {
+            out.sources.push(path);
+        }
+    }
+    out
+}
+
+/// Whether `slots` already satisfies every stage for `config` (lookup can
+/// stop scanning).
+fn complete(slots: &ReuseSlots, graph: &TopicGraph, config: &OctopusConfig) -> bool {
+    let piks_done = graph.node_count() == 0
+        || slots
+            .piks
+            .as_ref()
+            .is_some_and(|p| p.available_in(config.piks_index_size) >= config.piks_index_size);
+    slots.cap.is_some()
+        && slots.pb.is_some()
+        && slots.mis.is_some()
+        && slots.samples.is_some()
+        && slots.names.is_some()
+        && piks_done
 }
 
 /// Write `artifacts` to `path` atomically (write to a sibling temp file,
@@ -489,7 +888,12 @@ fn decode_payload(buf: &mut &[u8], graph: &TopicGraph) -> Result<OfflineArtifact
 /// services) ever interleave writes into the same temp file — last rename
 /// wins, and every renamed file is whole. A failed write or rename removes
 /// its temp file rather than leaking it into the cache directory.
-pub fn save(artifacts: &OfflineArtifacts, fp: &Fingerprint, path: &Path) -> std::io::Result<()> {
+pub fn save(
+    artifacts: &OfflineArtifacts,
+    fp: &Fingerprint,
+    keys: &StageKeys,
+    path: &Path,
+) -> std::io::Result<()> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     if let Some(dir) = path.parent() {
@@ -500,30 +904,73 @@ pub fn save(artifacts: &OfflineArtifacts, fp: &Fingerprint, path: &Path) -> std:
         std::process::id(),
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
-    let result =
-        std::fs::write(&tmp, encode(artifacts, fp)).and_then(|()| std::fs::rename(&tmp, path));
+    let result = std::fs::write(&tmp, encode(artifacts, fp, keys))
+        .and_then(|()| std::fs::rename(&tmp, path));
     if result.is_err() {
         std::fs::remove_file(&tmp).ok();
     }
     result
 }
 
-/// Load artifacts from `path`, verifying them against the expected key and
-/// the live `graph` (see [`decode`]).
-pub fn load(
+/// How many `.octa` files [`prune`] retains per cache directory.
+///
+/// Every graph delta mints a new combined fingerprint and therefore a new
+/// file, while older epochs stay behind as section donors for future
+/// deltas. A handful of epochs is genuinely useful (different configs
+/// sharing a directory, reverted deltas); unbounded growth is not — disk
+/// and [`lookup`] scan time would grow linearly with deployment age (the
+/// nightly `fit_warm` refit story). Sixteen balances donor coverage
+/// against scan cost; deleting a cache file is always safe (worst case a
+/// future open rebuilds).
+pub const MAX_CACHE_FILES: usize = 16;
+
+/// Bound the cache directory to [`MAX_CACHE_FILES`] `.octa` files by
+/// deleting the oldest-modified ones, never touching `keep` (the file the
+/// caller just wrote). Errors are ignored — pruning is best-effort
+/// hygiene, not correctness.
+pub fn prune(cache_dir: &Path, keep: &Path) {
+    let Ok(entries) = std::fs::read_dir(cache_dir) else {
+        return;
+    };
+    let mut files: Vec<(std::time::SystemTime, PathBuf)> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let path = e.path();
+            if path.extension().is_some_and(|x| x == "octa") && path != *keep {
+                Some((e.metadata().and_then(|m| m.modified()).ok()?, path))
+            } else {
+                None
+            }
+        })
+        .collect();
+    // `keep` occupies one retained slot
+    let excess = (files.len() + 1).saturating_sub(MAX_CACHE_FILES);
+    if excess == 0 {
+        return;
+    }
+    files.sort();
+    for (_, path) in files.into_iter().take(excess) {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+/// Load the reusable sections of a single cache file (see
+/// [`load_sections`]; most callers want the directory-level [`lookup`]).
+pub fn load_file(
     path: &Path,
-    expected: &Fingerprint,
+    keys: &StageKeys,
     graph: &TopicGraph,
-) -> Result<OfflineArtifacts, PersistError> {
+    config: &OctopusConfig,
+) -> Result<ReuseSlots, PersistError> {
     let raw = std::fs::read(path).map_err(|e| PersistError::Io(e.to_string()))?;
-    decode(&raw, expected, graph)
+    load_sections(&raw, keys, graph, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::offline;
-    use octopus_graph::GraphBuilder;
+    use octopus_graph::{delta, GraphBuilder};
 
     /// Small 2-topic graph with names (so the autocomplete trie has content).
     fn tiny_graph() -> TopicGraph {
@@ -570,7 +1017,7 @@ mod tests {
     }
 
     /// Field-by-field equality of everything that is artifact state (the
-    /// timings are telemetry and intentionally not persisted).
+    /// timings and reuse counters are telemetry and are not persisted).
     fn assert_artifacts_equal(a: &OfflineArtifacts, b: &OfflineArtifacts, what: &str) {
         assert_eq!(a.cap, b.cap, "{what}: cap");
         assert_eq!(a.pb, b.pb, "{what}: pb tables");
@@ -580,16 +1027,32 @@ mod tests {
         assert_eq!(a.names, b.names, "{what}: autocomplete trie");
     }
 
+    /// Encode, reload, and reassemble through the same path the engine uses.
+    fn round_trip(art: &OfflineArtifacts, g: &TopicGraph, cfg: &OctopusConfig) -> OfflineArtifacts {
+        let fp = Fingerprint::compute(g, cfg);
+        let keys = StageKeys::compute(g, cfg);
+        let raw = encode(art, &fp, &keys);
+        let slots = load_sections(&raw, &keys, g, cfg).expect("container intact");
+        offline::build_with_reuse(g, cfg, slots)
+    }
+
     #[test]
     fn round_trip_every_field_every_engine() {
         let g = tiny_graph();
         for cfg in all_configs() {
-            let fp = Fingerprint::compute(&g, &cfg);
             let art = offline::build(&g, &cfg);
-            let back = decode(&encode(&art, &fp), &fp, &g)
-                .unwrap_or_else(|e| panic!("decode under {:?}: {e}", cfg.kim));
+            let back = round_trip(&art, &g, &cfg);
+            assert!(
+                back.fully_reused(),
+                "unchanged inputs must reuse every stage under {:?}: {:?}",
+                cfg.kim,
+                back.reuse
+            );
+            assert!(
+                back.timings.is_empty(),
+                "fully reused stages report no build timings"
+            );
             assert_artifacts_equal(&art, &back, &format!("{:?}", cfg.kim));
-            assert!(back.timings.is_empty(), "telemetry must not round-trip");
         }
     }
 
@@ -597,16 +1060,15 @@ mod tests {
     fn loaded_artifacts_answer_queries_identically() {
         let g = tiny_graph();
         let cfg = config(KimEngineChoice::Mis);
-        let fp = Fingerprint::compute(&g, &cfg);
         let art = offline::build(&g, &cfg);
-        let back = decode(&encode(&art, &fp), &fp, &g).unwrap();
+        let back = round_trip(&art, &g, &cfg);
         use crate::kim::KimAlgorithm;
         let gamma = TopicDistribution::uniform(2);
         let a = art.mis.as_ref().unwrap().select(&gamma, 3);
         let b = back.mis.as_ref().unwrap().select(&gamma, 3);
         assert_eq!(a.seeds, b.seeds);
         assert_eq!(a.spread, b.spread);
-        // PIKS sessions over the decoded index agree bit-for-bit
+        // PIKS sessions over the reloaded index agree bit-for-bit
         let mut sa = art.piks_index.session(&g, &gamma);
         let mut sb = back.piks_index.session(&g, &gamma);
         assert_eq!(sa.spread_of(NodeId(0)), sb.spread_of(NodeId(0)));
@@ -619,49 +1081,35 @@ mod tests {
         let g = tiny_graph();
         let cfg = config(KimEngineChoice::Mis);
         let fp = Fingerprint::compute(&g, &cfg);
-        let mut raw = encode(&offline::build(&g, &cfg), &fp).to_vec();
+        let keys = StageKeys::compute(&g, &cfg);
+        let mut raw = encode(&offline::build(&g, &cfg), &fp, &keys).to_vec();
         raw[0] = b'X';
         assert!(matches!(
-            decode(&raw, &fp, &g),
+            load_sections(&raw, &keys, &g, &cfg),
             Err(PersistError::Corrupt(m)) if m.contains("magic")
         ));
     }
 
     #[test]
-    fn rejects_stale_version() {
+    fn rejects_stale_version_for_migration_by_rebuild() {
         let g = tiny_graph();
         let cfg = config(KimEngineChoice::Mis);
         let fp = Fingerprint::compute(&g, &cfg);
-        let mut raw = encode(&offline::build(&g, &cfg), &fp).to_vec();
-        raw[4] = 0xFF;
-        raw[5] = 0xFF;
+        let keys = StageKeys::compute(&g, &cfg);
+        let mut raw = encode(&offline::build(&g, &cfg), &fp, &keys).to_vec();
+        // a v1 file (or any other version) must be refused wholesale
+        raw[4] = 0x01;
+        raw[5] = 0x00;
         assert!(matches!(
-            decode(&raw, &fp, &g),
-            Err(PersistError::Version(0xFFFF))
+            load_sections(&raw, &keys, &g, &cfg),
+            Err(PersistError::Version(1))
         ));
     }
 
     #[test]
-    fn rejects_foreign_fingerprint() {
-        let g = tiny_graph();
-        let cfg = config(KimEngineChoice::Mis);
-        let fp = Fingerprint::compute(&g, &cfg);
-        let raw = encode(&offline::build(&g, &cfg), &fp);
-        let other = Fingerprint {
-            seed: fp.seed ^ 1,
-            ..fp
-        };
-        assert!(matches!(
-            decode(&raw, &other, &g),
-            Err(PersistError::Mismatch { .. })
-        ));
-    }
-
-    #[test]
-    fn rejects_truncations_everywhere() {
-        // mirror store.rs::rejects_truncations_everywhere, but exhaustively:
-        // EVERY strict prefix must fail, at any offset — no read may panic
-        // or accept a cut payload.
+    fn truncation_salvages_only_intact_sections() {
+        // every strict prefix must decode without panicking, reuse nothing
+        // corrupted, and anything it does salvage must equal the original
         let g = tiny_graph();
         let cfg = config(KimEngineChoice::TopicSample {
             bound: BoundKind::Precomputation,
@@ -669,46 +1117,68 @@ mod tests {
             direct_eps: 0.05,
         });
         let fp = Fingerprint::compute(&g, &cfg);
-        let raw = encode(&offline::build(&g, &cfg), &fp);
+        let keys = StageKeys::compute(&g, &cfg);
+        let art = offline::build(&g, &cfg);
+        let raw = encode(&art, &fp, &keys);
+        let mut salvaged_caps = 0usize;
         for cut in 0..raw.len() {
-            assert!(
-                decode(&raw[..cut], &fp, &g).is_err(),
-                "cut at {cut} must fail"
-            );
+            let Ok(slots) = load_sections(&raw[..cut], &keys, &g, &cfg) else {
+                continue; // header/table damage: clean error, nothing reused
+            };
+            // the last section (names) can never survive a strict prefix
+            assert!(slots.names.is_none(), "cut at {cut} salvaged a cut trie");
+            if let Some(cap) = slots.cap {
+                assert_eq!(cap, art.cap, "cut at {cut}: salvaged cap differs");
+                salvaged_caps += 1;
+            }
+            if let Some(pb) = &slots.pb {
+                assert_eq!(pb.as_ref(), art.pb.as_ref(), "cut at {cut}");
+            }
+            if let Some(samples) = &slots.samples {
+                assert_eq!(samples, &art.samples, "cut at {cut}");
+            }
         }
+        assert!(
+            salvaged_caps > 0,
+            "long prefixes must salvage the cap section"
+        );
     }
 
     #[test]
-    fn detects_single_byte_corruption_in_payload() {
+    fn single_byte_corruption_is_contained_to_its_section() {
         let g = tiny_graph();
         let cfg = config(KimEngineChoice::Mis);
         let fp = Fingerprint::compute(&g, &cfg);
-        let clean = encode(&offline::build(&g, &cfg), &fp).to_vec();
-        // flip one byte at several payload offsets: the checksum must catch
-        // every one of them (structural decode alone would accept many)
+        let keys = StageKeys::compute(&g, &cfg);
+        let art = offline::build(&g, &cfg);
+        let clean = encode(&art, &fp, &keys).to_vec();
+        let payload_start = HEADER_LEN + SECTION_ORDER.len() * wire::SECTION_ENTRY_LEN;
         for frac in [0.0, 0.25, 0.5, 0.75, 0.999] {
             let mut raw = clean.clone();
-            let pos = HEADER_LEN + ((raw.len() - HEADER_LEN - 1) as f64 * frac) as usize;
+            let pos = payload_start + ((raw.len() - payload_start - 1) as f64 * frac) as usize;
             raw[pos] ^= 0x40;
+            let slots = load_sections(&raw, &keys, &g, &cfg).expect("framing intact");
+            let rebuilt = offline::build_with_reuse(&g, &cfg, slots);
             assert!(
-                matches!(decode(&raw, &fp, &g), Err(PersistError::Corrupt(_))),
-                "flip at {pos} must be detected"
+                !rebuilt.fully_reused(),
+                "flip at {pos} must invalidate its covering section"
             );
+            // whatever was reused, the result is still exactly right
+            assert_artifacts_equal(&art, &rebuilt, &format!("flip at {pos}"));
         }
     }
 
     #[test]
-    fn rejects_payload_keyed_to_wrong_graph() {
-        // a writer can stamp any fingerprint it likes into the header, so
-        // passing the fingerprint check proves nothing about the content:
-        // decode must validate every dimension and id against the live
-        // graph instead of panicking at query time
+    fn foreign_graph_reuses_nothing_even_with_forged_keys() {
+        // a writer can stamp any keys it likes into the table, so passing
+        // the key check proves nothing about the content: decoding must
+        // validate every dimension and id against the live graph
         let g = tiny_graph();
         let cfg = config(KimEngineChoice::Mis);
         let art = offline::build(&g, &cfg);
 
-        // (1) a graph with a different node count: the PIKS index header
-        // disagrees immediately
+        // a graph with a different node count, stamped with ITS OWN keys so
+        // every section-key comparison passes
         let small = {
             let mut b = GraphBuilder::new(2);
             for i in 0..4 {
@@ -717,47 +1187,28 @@ mod tests {
             b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5)]).unwrap();
             b.build().unwrap()
         };
-        let fp_small = Fingerprint::compute(&small, &cfg);
-        let stamped = encode(&art, &fp_small);
+        let forged_fp = Fingerprint::compute(&small, &cfg);
+        let forged_keys = StageKeys::compute(&small, &cfg);
+        let stamped = encode(&art, &forged_fp, &forged_keys);
+        let mut slots =
+            load_sections(&stamped, &forged_keys, &small, &cfg).expect("framing intact");
+        assert!(slots.pb.is_none() || !offline::needs_pb(&cfg));
+        assert!(slots.mis.is_none(), "foreign MIS tables must not load");
         assert!(
-            matches!(
-                decode(&stamped, &fp_small, &small),
-                Err(PersistError::Corrupt(_))
-            ),
-            "foreign payload with a forged key must fail validation"
+            slots.piks.as_ref().map_or(0, |p| p.available()) == 0,
+            "foreign worlds must fail footprint validation"
         );
-
-        // (2) same node count but fewer edges: stored PIKS EdgeIds fall
-        // outside the sparse graph and must be rejected, not dereferenced
-        let sparse = {
-            let mut b = GraphBuilder::new(2);
-            for i in 0..14 {
-                b.add_node(format!("user-{i}"));
-            }
-            b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5)]).unwrap();
-            b.build().unwrap()
-        };
-        let fp_sparse = Fingerprint::compute(&sparse, &cfg);
-        let stamped = encode(&art, &fp_sparse);
-        assert!(
-            matches!(
-                decode(&stamped, &fp_sparse, &sparse),
-                Err(PersistError::Corrupt(_))
-            ),
-            "stored edge ids outside the live graph must fail validation"
-        );
-    }
-
-    #[test]
-    fn rejects_trailing_garbage() {
-        let g = tiny_graph();
-        let cfg = config(KimEngineChoice::Mis);
-        let fp = Fingerprint::compute(&g, &cfg);
-        let mut raw = encode(&offline::build(&g, &cfg), &fp).to_vec();
-        raw.push(0xEE);
-        assert!(
-            decode(&raw, &fp, &g).is_err(),
-            "trailing bytes must be rejected"
+        assert!(slots.names.is_none(), "foreign trie ids must not load");
+        // the cap section is a bare f64 with no graph-validatable structure,
+        // so a *deliberately* forged key can misreport it (exactly as in v1,
+        // where the cap was equally unvalidatable); honest keys never match
+        // foreign inputs, which is what the StageKeys sensitivity tests pin
+        slots.cap = None;
+        let rebuilt = offline::build_with_reuse(&small, &cfg, slots);
+        assert_artifacts_equal(
+            &offline::build(&small, &cfg),
+            &rebuilt,
+            "rebuild after rejecting forged content",
         );
     }
 
@@ -766,25 +1217,47 @@ mod tests {
         let g = tiny_graph();
         let cfg = config(KimEngineChoice::Mis);
         let fp = Fingerprint::compute(&g, &cfg);
+        let keys = StageKeys::compute(&g, &cfg);
         let art = offline::build(&g, &cfg);
-        let dir = std::env::temp_dir().join("octopus_persist_test");
+        let dir = std::env::temp_dir().join("octopus_persist_test_v2");
+        std::fs::remove_dir_all(&dir).ok();
         let path = fp.cache_path(&dir);
-        save(&art, &fp, &path).unwrap();
-        let back = load(&path, &fp, &g).unwrap();
+        save(&art, &fp, &keys, &path).unwrap();
+        assert_eq!(
+            read_fingerprint(&std::fs::read(&path).unwrap()).unwrap(),
+            fp
+        );
+        let slots = load_file(&path, &keys, &g, &cfg).unwrap();
+        let back = offline::build_with_reuse(&g, &cfg, slots);
+        assert!(back.fully_reused());
         assert_artifacts_equal(&art, &back, "file round trip");
-        std::fs::remove_file(&path).ok();
+        // the directory-level lookup finds the same file
+        let found = lookup(&dir, &fp, &keys, &g, &cfg);
+        assert_eq!(found.sources, vec![path.clone()]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn missing_file_is_io_not_panic() {
         let g = tiny_graph();
-        let fp = Fingerprint {
-            graph: 1,
-            config: 2,
-            seed: 3,
-        };
+        let cfg = config(KimEngineChoice::Mis);
+        let keys = StageKeys::compute(&g, &cfg);
         let path = std::env::temp_dir().join("octopus_persist_never_written.octa");
-        assert!(matches!(load(&path, &fp, &g), Err(PersistError::Io(_))));
+        assert!(matches!(
+            load_file(&path, &keys, &g, &cfg),
+            Err(PersistError::Io(_))
+        ));
+        // lookup on a nonexistent directory degrades to an empty result
+        let fp = Fingerprint::compute(&g, &cfg);
+        let found = lookup(
+            &std::env::temp_dir().join("octopus_no_such_cache_dir"),
+            &fp,
+            &keys,
+            &g,
+            &cfg,
+        );
+        assert!(found.sources.is_empty());
+        assert!(!offline::build_with_reuse(&g, &cfg, found.slots).fully_reused());
     }
 
     #[test]
@@ -810,5 +1283,208 @@ mod tests {
             },
         );
         assert_ne!(a.config, retuned.config);
+    }
+
+    #[test]
+    fn stage_keys_isolate_their_input_slices() {
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let base = StageKeys::compute(&g, &cfg);
+
+        // rename: only the autocomplete stage is invalidated
+        let renamed = delta::rename_node(&g, NodeId(3), "renamed-user").unwrap();
+        let keys = StageKeys::compute(&renamed, &cfg);
+        assert_eq!(keys.cap, base.cap);
+        assert_eq!(keys.pb, base.pb);
+        assert_eq!(keys.mis, base.mis);
+        assert_eq!(keys.samples, base.samples);
+        assert_eq!(keys.piks, base.piks);
+        assert_ne!(keys.names, base.names);
+
+        // weight nudge: every probability-reading stage is invalidated,
+        // names and the piks derivation are not (worlds re-screen by
+        // footprint instead)
+        let nudged = delta::nudge_weights(&g, &[octopus_graph::EdgeId(0)], 0.05).unwrap();
+        let keys = StageKeys::compute(&nudged, &cfg);
+        assert_ne!(keys.cap, base.cap);
+        assert_ne!(keys.mis, base.mis);
+        // pb/samples are disabled under the Mis engine, so their "absent"
+        // markers survive the nudge (the enabled case is pinned below)
+        assert_eq!(keys.pb, base.pb);
+        assert_eq!(keys.samples, base.samples);
+        assert_eq!(keys.names, base.names);
+        assert_eq!(keys.piks, base.piks);
+
+        // reseed: only the randomized stages are invalidated
+        let reseeded = OctopusConfig {
+            seed: cfg.seed ^ 0xBEEF,
+            ..cfg.clone()
+        };
+        let keys = StageKeys::compute(&g, &reseeded);
+        assert_eq!(keys.cap, base.cap);
+        assert_eq!(keys.pb, base.pb);
+        assert_ne!(keys.mis, base.mis);
+        assert_ne!(keys.piks, base.piks);
+        assert_eq!(keys.names, base.names);
+
+        // all six keys of one build are pairwise distinct (domain tags work)
+        let all = [
+            base.cap,
+            base.pb,
+            base.mis,
+            base.samples,
+            base.piks,
+            base.names,
+        ];
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j], "keys {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn pb_key_nudge_only_moves_when_enabled() {
+        let g = tiny_graph();
+        let nudged = delta::nudge_weights(&g, &[octopus_graph::EdgeId(0)], 0.05).unwrap();
+        // disabled PB (Mis engine): the pb section stores "absent" and its
+        // key ignores the graph — a weight nudge reuses the absence marker
+        let mis_cfg = config(KimEngineChoice::Mis);
+        assert_eq!(
+            StageKeys::compute(&g, &mis_cfg).pb,
+            StageKeys::compute(&nudged, &mis_cfg).pb
+        );
+        // enabled PB: the nudge invalidates the tables
+        let pb_cfg = config(KimEngineChoice::BestEffort(BoundKind::Precomputation));
+        assert_ne!(
+            StageKeys::compute(&g, &pb_cfg).pb,
+            StageKeys::compute(&nudged, &pb_cfg).pb
+        );
+        // and enabled vs disabled never share a key
+        assert_ne!(
+            StageKeys::compute(&g, &mis_cfg).pb,
+            StageKeys::compute(&g, &pb_cfg).pb
+        );
+    }
+
+    #[test]
+    fn lookup_unions_piks_worlds_across_donor_epochs() {
+        // two past epochs nudged different edges; for the live graph each
+        // donor's valid worlds are the ones whose footprint missed its
+        // nudge — lookup must union them, not keep the single best donor
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let dir = std::env::temp_dir().join("octopus_persist_union_epochs");
+        std::fs::remove_dir_all(&dir).ok();
+        let e_a = g.find_edge(NodeId(0), NodeId(2)).unwrap();
+        let e_b = g.find_edge(NodeId(1), NodeId(8)).unwrap();
+        for victim in [e_a, e_b] {
+            let epoch = delta::nudge_weights(&g, &[victim], 0.07).unwrap();
+            let fp = Fingerprint::compute(&epoch, &cfg);
+            let keys = StageKeys::compute(&epoch, &cfg);
+            save(
+                &offline::build(&epoch, &cfg),
+                &fp,
+                &keys,
+                &fp.cache_path(&dir),
+            )
+            .unwrap();
+        }
+        let fp = Fingerprint::compute(&g, &cfg);
+        let keys = StageKeys::compute(&g, &cfg);
+        let found = lookup(&dir, &fp, &keys, &g, &cfg);
+        assert_eq!(found.sources.len(), 2, "both epochs must donate");
+        let reference = InfluencerIndex::build(
+            &g,
+            cfg.piks_index_size,
+            cfg.seed ^ super::super::PIKS_WORLD_SEED_XOR,
+        );
+        // a world survives via donor A unless it reached node 2 (edge e_a's
+        // target), via donor B unless it reached node 8 — the union covers
+        // every world that avoided at least one of the two nudges
+        let expected = (0..reference.len())
+            .filter(|&j| {
+                let nodes = reference.world_nodes(j);
+                !nodes.contains(&2) || !nodes.contains(&8)
+            })
+            .count();
+        let piks = found.slots.piks.as_ref().expect("worlds salvaged");
+        assert_eq!(piks.available_in(cfg.piks_index_size), expected);
+        assert!(
+            expected
+                > (0..reference.len())
+                    .filter(|&j| !reference.world_nodes(j).contains(&2))
+                    .count(),
+            "the union must beat the best single donor"
+        );
+        // and the merged slots still reassemble bit-identically
+        let rebuilt = offline::build_with_reuse(&g, &cfg, found.slots);
+        assert_eq!(rebuilt.piks_index, reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_bounds_the_directory_and_never_deletes_keep() {
+        let dir = std::env::temp_dir().join("octopus_persist_prune_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let keep = dir.join("octopus-artifacts-keep.octa");
+        for i in 0..MAX_CACHE_FILES + 5 {
+            let p = dir.join(format!("octopus-artifacts-{i:02}.octa"));
+            std::fs::write(&p, vec![i as u8; 4]).unwrap();
+            // mtime resolution can be coarse: space the writes out so the
+            // oldest-first eviction order is well-defined
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        std::fs::write(&keep, b"kept").unwrap();
+        prune(&dir, &keep);
+        let remaining: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "octa"))
+            .collect();
+        assert_eq!(remaining.len(), MAX_CACHE_FILES, "bounded to the cap");
+        assert!(remaining.contains(&keep), "the kept file must survive");
+        assert!(
+            !remaining.contains(&dir.join("octopus-artifacts-00.octa")),
+            "the oldest epoch must be the one evicted"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cross_file_merge_reuses_sections_from_an_older_epoch() {
+        // the delta story end to end at the persist layer: epoch 1 is
+        // cached; the graph is renamed (epoch 2); lookup must salvage every
+        // non-name section from epoch 1's differently-named file
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let dir = std::env::temp_dir().join("octopus_persist_cross_epoch");
+        std::fs::remove_dir_all(&dir).ok();
+        let fp1 = Fingerprint::compute(&g, &cfg);
+        let keys1 = StageKeys::compute(&g, &cfg);
+        let art = offline::build(&g, &cfg);
+        save(&art, &fp1, &keys1, &fp1.cache_path(&dir)).unwrap();
+
+        let renamed = delta::rename_node(&g, NodeId(0), "the-new-hub").unwrap();
+        let fp2 = Fingerprint::compute(&renamed, &cfg);
+        assert_ne!(fp1, fp2, "rename must change the combined fingerprint");
+        let keys2 = StageKeys::compute(&renamed, &cfg);
+        let found = lookup(&dir, &fp2, &keys2, &renamed, &cfg);
+        assert_eq!(found.sources, vec![fp1.cache_path(&dir)]);
+        let rebuilt = offline::build_with_reuse(&renamed, &cfg, found.slots);
+        assert!(!rebuilt.fully_reused(), "the trie must rebuild");
+        for r in &rebuilt.reuse {
+            match r.stage {
+                "autocomplete" => assert_eq!(r.reused, 0, "renamed trie reused"),
+                _ => assert!(r.is_full(), "stage {} should be reused: {r:?}", r.stage),
+            }
+        }
+        assert_artifacts_equal(
+            &offline::build(&renamed, &cfg),
+            &rebuilt,
+            "partial rebuild after rename",
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

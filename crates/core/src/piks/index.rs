@@ -43,6 +43,12 @@ struct Sample {
     /// edges as `(source local id, edge id)`.
     in_offsets: Vec<u32>,
     in_edges: Vec<(u32, EdgeId)>,
+    /// [`footprint_hash`] of this world over the graph it was built on —
+    /// the world's incremental-rebuild cache key.
+    footprint: u64,
+    /// Edges the construction BFS examined (per-world work counter; summed
+    /// into [`IndexStats::edges_examined`]).
+    edges_examined: usize,
 }
 
 impl Sample {
@@ -75,14 +81,44 @@ pub struct InfluencerIndex {
     stats: IndexStats,
 }
 
-/// Build one world: pick the root from the world's index-derived stream and
-/// reverse-BFS the max-probability superset DAG. Returns the sample plus the
-/// number of edges examined.
 /// Tag separating the root-selection stream from the coin streams (which
 /// derive from the untagged seed in [`EdgeCoins::worlds`]).
 const ROOT_STREAM_TAG: u64 = 0x5EED_2007_D00D_1DE5;
 
-fn build_world(graph: &TopicGraph, j: u64, seed: u64, coins: EdgeCoins) -> (Sample, usize) {
+/// Hash of everything one world's construction and evaluation read from the
+/// graph: for every node of the world's sub-DAG (in BFS discovery order),
+/// the node's global id and its full in-edge list — source id, [`EdgeId`]
+/// (the coin input), and the edge's sparse topic-probability row (which
+/// determines both the build-time `max_z pp^z_e` superset test and the
+/// query-time `pp_e(γ)` liveness test).
+///
+/// This is the world's incremental-rebuild key. The reverse BFS only ever
+/// expands through in-edges of nodes it has reached, so if this hash is
+/// unchanged on a *new* graph, rebuilding the world there would reproduce
+/// the stored sample bit for bit (given the same root and coins, which are
+/// keyed separately on `(seed, n, j)`); and any graph delta the world's
+/// construction or evaluation could observe — a new in-edge on a reached
+/// node, a weight change, an edge-id shift — moves it.
+pub fn footprint_hash(graph: &TopicGraph, nodes: &[u32]) -> u64 {
+    let mut h = octopus_graph::wire::Fnv64::new();
+    h.write(b"octa:piks-world");
+    for &g in nodes {
+        h.write_u32(g);
+        for (u, e) in graph.in_edges(NodeId(g)) {
+            h.write_u32(u.0);
+            h.write_u32(e.0);
+            for (z, p) in graph.edge_topic_probs(e) {
+                h.write_u16(z.0);
+                h.write_f32(p);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Build one world: pick the root from the world's index-derived stream and
+/// reverse-BFS the max-probability superset DAG.
+fn build_world(graph: &TopicGraph, j: u64, seed: u64, coins: EdgeCoins) -> Sample {
     let n = graph.node_count();
     // root: uniform from the world's own stream (stable under parallelism,
     // decorrelated from the world's coin stream by the tag)
@@ -128,17 +164,86 @@ fn build_world(graph: &TopicGraph, j: u64, seed: u64, coins: EdgeCoins) -> (Samp
         in_edges.extend_from_slice(le);
         in_offsets.push(in_edges.len() as u32);
     }
-    (
-        Sample {
-            root,
-            coins,
-            nodes,
-            local_of: local_ids,
-            in_offsets,
-            in_edges,
-        },
+    let footprint = footprint_hash(graph, &nodes);
+    Sample {
+        root,
+        coins,
+        nodes,
+        local_of: local_ids,
+        in_offsets,
+        in_edges,
+        footprint,
         edges_examined,
-    )
+    }
+}
+
+/// Per-world reuse slots decoded from a persisted index, produced by
+/// [`InfluencerIndex::load_reusable`] and consumed by
+/// [`InfluencerIndex::build_with_reuse`].
+///
+/// Slot `j` is `Some` iff the stored world `j` decoded cleanly **and** its
+/// stored [`footprint_hash`] matches the hash recomputed over the live
+/// graph — i.e. rebuilding that world now would reproduce the stored bytes.
+/// Worlds whose BFS footprint intersects a graph delta come back `None`
+/// and are rebuilt; untouched worlds are reloaded as-is.
+#[derive(Debug, Default)]
+pub struct PiksReuse {
+    slots: Vec<Option<Sample>>,
+}
+
+impl PiksReuse {
+    /// Number of stored worlds (reusable or not).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no worlds were stored at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of worlds that survived footprint validation.
+    pub fn available(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of validated worlds among the first `r` slots — the count
+    /// that actually matters to a build of `r` worlds, since reuse is
+    /// positional (world `j` is keyed by `(seed, j)`). A donor persisted
+    /// under a larger index size may have plenty of valid late worlds that
+    /// an `r`-world build can never use; compare donors by this, not by
+    /// [`PiksReuse::available`].
+    pub fn available_in(&self, r: usize) -> usize {
+        self.slots.iter().take(r).filter(|s| s.is_some()).count()
+    }
+
+    /// Per-world reusability pattern (diagnostics / invalidation tests).
+    pub fn reusable_worlds(&self) -> Vec<bool> {
+        self.slots.iter().map(|s| s.is_some()).collect()
+    }
+
+    /// Positional union with another donor: fill every empty slot from
+    /// `other`, returning how many slots were newly filled.
+    ///
+    /// Sound because reuse is positional and both donors must have matched
+    /// the same section key — world `j` is the same `(seed, j)` derivation
+    /// in every donor (and [`InfluencerIndex::build_with_reuse`] re-checks
+    /// the coin seed before trusting any slot). Two deltas that invalidated
+    /// disjoint world sets in different epoch files thus reassemble full
+    /// coverage here instead of rebuilding either set.
+    pub fn merge_from(&mut self, other: PiksReuse) -> usize {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize_with(other.slots.len(), || None);
+        }
+        let mut filled = 0;
+        for (slot, donor) in self.slots.iter_mut().zip(other.slots) {
+            if slot.is_none() && donor.is_some() {
+                *slot = donor;
+                filled += 1;
+            }
+        }
+        filled
+    }
 }
 
 impl InfluencerIndex {
@@ -148,31 +253,79 @@ impl InfluencerIndex {
     /// from `(seed, j)`, so the index is bit-identical for any thread
     /// count.
     pub fn build(graph: &TopicGraph, r: usize, seed: u64) -> Self {
+        Self::build_with_reuse(graph, r, seed, &PiksReuse::default()).0
+    }
+
+    /// Build an index of `r` worlds, reloading every world whose slot in
+    /// `reuse` is populated and rebuilding only the rest. Returns the index
+    /// and the number of worlds actually reused.
+    ///
+    /// World `j`'s randomness derives from `(seed, j)` alone — never from
+    /// `r` — so a reuse set persisted under a different index size
+    /// contributes its prefix. A reused world is bit-identical to what a
+    /// fresh world build would produce (that is what its footprint key
+    /// certifies), so the assembled index equals a from-scratch
+    /// [`InfluencerIndex::build`] no matter which subset was reused —
+    /// pinned by the `delta_invalidation` integration tests.
+    pub fn build_with_reuse(
+        graph: &TopicGraph,
+        r: usize,
+        seed: u64,
+        reuse: &PiksReuse,
+    ) -> (Self, usize) {
         let n = graph.node_count();
         let mut stats = IndexStats {
             samples: r,
             ..IndexStats::default()
         };
         if n == 0 {
-            return InfluencerIndex {
-                n,
-                samples: Vec::new(),
-                stats,
-            };
+            return (
+                InfluencerIndex {
+                    n,
+                    samples: Vec::new(),
+                    stats,
+                },
+                0,
+            );
         }
         let worlds = EdgeCoins::worlds(seed, r);
-        let built: Vec<(Sample, usize)> = (0..r)
+        let reusable = |j: usize| -> Option<&Sample> {
+            // a slot is only trusted when its coins agree with this build's
+            // derivation (the footprint key does not cover the coin seed)
+            reuse
+                .slots
+                .get(j)?
+                .as_ref()
+                .filter(|s| s.coins.seed() == worlds[j].seed())
+        };
+        let reused = (0..r).filter(|&j| reusable(j).is_some()).count();
+        let samples: Vec<Sample> = (0..r)
             .into_par_iter()
-            .map(|j| build_world(graph, j as u64, seed, worlds[j]))
+            .map(|j| match reusable(j) {
+                Some(sample) => sample.clone(),
+                None => build_world(graph, j as u64, seed, worlds[j]),
+            })
             .collect();
-        let mut samples = Vec::with_capacity(r);
-        for (sample, edges_examined) in built {
+        for sample in &samples {
             stats.stored_nodes += sample.nodes.len();
             stats.stored_edges += sample.in_edges.len();
-            stats.edges_examined += edges_examined;
-            samples.push(sample);
+            stats.edges_examined += sample.edges_examined;
         }
-        InfluencerIndex { n, samples, stats }
+        (InfluencerIndex { n, samples, stats }, reused)
+    }
+
+    /// The cache key of the index's *derivation inputs*: node count (the
+    /// root-selection modulus) and the world seed. Graph content is
+    /// deliberately absent — it is covered per world by [`footprint_hash`],
+    /// which is what makes world-granular delta reuse possible. The index
+    /// size is also absent: worlds are keyed by `(seed, j)`, so a resize
+    /// reuses the shared prefix.
+    pub fn section_key(node_count: usize, seed: u64) -> u64 {
+        let mut h = octopus_graph::wire::Fnv64::new();
+        h.write(b"octa:piks-index");
+        h.write_u64(node_count as u64);
+        h.write_u64(seed);
+        h.finish()
     }
 
     /// Number of worlds.
@@ -195,20 +348,37 @@ impl InfluencerIndex {
         self.samples[j].root
     }
 
+    /// Global node ids of world `j`'s stored sub-DAG, in BFS discovery
+    /// order (diagnostics / invalidation tests — this is the node set whose
+    /// in-edges form the world's [`footprint_hash`]).
+    pub fn world_nodes(&self, j: usize) -> &[u32] {
+        &self.samples[j].nodes
+    }
+
     /// Serialize the index into `buf` (the artifact-codec path).
     ///
-    /// Worlds are written in index order; each world stores its coin seed,
-    /// its sub-DAG nodes, and the local CSR. The sparse `local_of` lookup is
-    /// derived data and is rebuilt on decode instead of stored.
+    /// Layout (the OCTA v2 `piks-worlds` section payload; normative spec in
+    /// `ARCHITECTURE.md`):
+    ///
+    /// ```text
+    /// n u32 | world count R u32
+    /// R × world:
+    ///   footprint u64 | coin seed u64 | edges_examined u64
+    ///   node count W u32 | W × global node u32 (BFS order, root first)
+    ///   (W+1) × u32 CSR in-offsets
+    ///   edge count u32 | edges × (source local id u32, edge id u32)
+    /// ```
+    ///
+    /// Each world carries its own [`footprint_hash`] so a later open can
+    /// reuse it independently of every other world. The sparse `local_of`
+    /// lookup is derived data and is rebuilt on decode instead of stored.
     pub fn encode_into(&self, buf: &mut BytesMut) {
         buf.put_u32_le(self.n as u32);
-        buf.put_u64_le(self.stats.samples as u64);
-        buf.put_u64_le(self.stats.stored_nodes as u64);
-        buf.put_u64_le(self.stats.stored_edges as u64);
-        buf.put_u64_le(self.stats.edges_examined as u64);
         buf.put_u32_le(self.samples.len() as u32);
         for s in &self.samples {
+            buf.put_u64_le(s.footprint);
             buf.put_u64_le(s.coins.seed());
+            buf.put_u64_le(s.edges_examined as u64);
             buf.put_u32_le(s.nodes.len() as u32);
             for &g in &s.nodes {
                 buf.put_u32_le(g);
@@ -224,47 +394,39 @@ impl InfluencerIndex {
         }
     }
 
-    /// Decode an index serialized by [`InfluencerIndex::encode_into`].
+    /// Decode worlds serialized by [`InfluencerIndex::encode_into`] into
+    /// per-world reuse slots validated against the **live** graph.
     ///
-    /// `node_count`/`edge_count` are the dimensions of the graph this index
-    /// will be queried against: stored global node ids and edge ids are
-    /// validated here, because a payload that passes the outer checksum can
-    /// still be keyed to the wrong inputs by construction — and an
-    /// out-of-range [`EdgeId`] would otherwise panic inside
-    /// [`TopicGraph::edge_prob`] at query time instead of failing the load.
-    pub fn decode_from<B: Buf + ?Sized>(
+    /// Structural framing damage (truncation, malformed CSR) is an error —
+    /// the caller treats the whole section as a miss. A world that decodes
+    /// cleanly is screened semantically instead: its stored node and edge
+    /// ids must fall inside `graph`, and its stored [`footprint_hash`] must
+    /// equal the hash recomputed over `graph`'s current in-edge content.
+    /// Screening failures are not errors; the world's slot is simply `None`
+    /// (it will be rebuilt), which is exactly the delta-reuse contract —
+    /// a payload keyed to the wrong inputs, or touched by a graph delta,
+    /// can never be served, only ignored.
+    pub fn load_reusable<B: Buf + ?Sized>(
         buf: &mut B,
-        node_count: usize,
-        edge_count: usize,
-    ) -> Result<Self, WireError> {
-        wire::need(buf, 4 + 8 * 4 + 4, "piks index header")?;
+        graph: &TopicGraph,
+    ) -> Result<PiksReuse, WireError> {
+        let node_count = graph.node_count();
+        let edge_count = graph.edge_count();
+        wire::need(buf, 4 + 4, "piks index header")?;
         let n = buf.get_u32_le() as usize;
-        if n != node_count {
-            return Err(WireError(format!(
-                "piks index built over {n} nodes, graph has {node_count}"
-            )));
-        }
-        let stats = IndexStats {
-            samples: buf.get_u64_le() as usize,
-            stored_nodes: buf.get_u64_le() as usize,
-            stored_edges: buf.get_u64_le() as usize,
-            edges_examined: buf.get_u64_le() as usize,
-        };
         let world_count = buf.get_u32_le() as usize;
-        let mut samples = Vec::with_capacity(world_count.min(1 << 20));
+        let derivation_ok = n == node_count;
+        let mut slots = Vec::with_capacity(world_count.min(1 << 20));
         for j in 0..world_count {
-            wire::need(buf, 8 + 4, "piks world header")?;
+            wire::need(buf, 8 + 8 + 8 + 4, "piks world header")?;
+            let footprint = buf.get_u64_le();
             let coins = EdgeCoins::new(buf.get_u64_le());
+            let edges_examined = buf.get_u64_le() as usize;
             let world_nodes = buf.get_u32_le() as usize;
             if world_nodes == 0 {
                 return Err(WireError(format!("piks world {j} has no root")));
             }
             let nodes = wire::read_u32s(buf, world_nodes, "piks world nodes")?;
-            if let Some(&bad) = nodes.iter().find(|&&g| g as usize >= node_count) {
-                return Err(WireError(format!(
-                    "piks world {j} stores node {bad} outside the graph ({node_count} nodes)"
-                )));
-            }
             let in_offsets = wire::read_u32s(buf, world_nodes + 1, "piks world offsets")?;
             wire::need(buf, 4, "piks world edge count")?;
             let world_edges = buf.get_u32_le() as usize;
@@ -276,6 +438,7 @@ impl InfluencerIndex {
             }
             wire::need(buf, world_edges.saturating_mul(8), "piks world edges")?;
             let mut in_edges = Vec::with_capacity(world_edges);
+            let mut ids_ok = true;
             for _ in 0..world_edges {
                 let src = buf.get_u32_le();
                 let e = EdgeId(buf.get_u32_le());
@@ -284,12 +447,13 @@ impl InfluencerIndex {
                         "piks world {j} edge source {src} out of bounds"
                     )));
                 }
-                if e.index() >= edge_count {
-                    return Err(WireError(format!(
-                        "piks world {j} stores edge {e} outside the graph ({edge_count} edges)"
-                    )));
-                }
+                ids_ok &= e.index() < edge_count;
                 in_edges.push((src, e));
+            }
+            ids_ok &= nodes.iter().all(|&g| (g as usize) < node_count);
+            if !(derivation_ok && ids_ok) || footprint_hash(graph, &nodes) != footprint {
+                slots.push(None);
+                continue;
             }
             // the sparse lookup is derived: sort (global, local) by global
             let mut local_of: Vec<(u32, u32)> = nodes
@@ -298,16 +462,18 @@ impl InfluencerIndex {
                 .map(|(local, &global)| (global, local as u32))
                 .collect();
             local_of.sort_unstable();
-            samples.push(Sample {
+            slots.push(Some(Sample {
                 root: NodeId(nodes[0]),
                 coins,
                 nodes,
                 local_of,
                 in_offsets,
                 in_edges,
-            });
+                footprint,
+                edges_examined,
+            }));
         }
-        Ok(InfluencerIndex { n, samples, stats })
+        Ok(PiksReuse { slots })
     }
 
     /// Start a query session for `gamma`. Live sets materialize lazily.
@@ -546,6 +712,71 @@ mod tests {
             distinct.len() >= 5,
             "roots should cover many nodes: {distinct:?}"
         );
+    }
+
+    #[test]
+    fn round_trip_reuses_every_world() {
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 64, 23);
+        let mut buf = BytesMut::new();
+        idx.encode_into(&mut buf);
+        let frozen = buf.freeze();
+        let reuse = InfluencerIndex::load_reusable(&mut &frozen[..], &g).unwrap();
+        assert_eq!(reuse.available(), 64, "unchanged graph reuses all worlds");
+        let (back, reused) = InfluencerIndex::build_with_reuse(&g, 64, 23, &reuse);
+        assert_eq!(reused, 64);
+        assert_eq!(back, idx, "reassembled index is bit-identical");
+        // a wrong master seed distrusts every slot (coins disagree)
+        let (fresh, reused) = InfluencerIndex::build_with_reuse(&g, 64, 99, &reuse);
+        assert_eq!(reused, 0);
+        assert_eq!(fresh, InfluencerIndex::build(&g, 64, 99));
+    }
+
+    #[test]
+    fn weight_nudge_invalidates_exactly_touching_worlds() {
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 200, 31);
+        let mut buf = BytesMut::new();
+        idx.encode_into(&mut buf);
+        let frozen = buf.freeze();
+        // nudge the weight of hub→4; the footprint of a world covers the
+        // in-edges of its reached nodes, so exactly the worlds that
+        // reached node 4 must drop out
+        let victim = g.find_edge(NodeId(0), NodeId(4)).unwrap();
+        let g2 = octopus_graph::delta::nudge_weights(&g, &[victim], 0.07).unwrap();
+        let reuse = InfluencerIndex::load_reusable(&mut &frozen[..], &g2).unwrap();
+        let expected: Vec<bool> = (0..idx.len())
+            .map(|j| !idx.world_nodes(j).contains(&4))
+            .collect();
+        assert_eq!(reuse.reusable_worlds(), expected);
+        assert!(reuse.available() > 0, "some worlds must survive");
+        assert!(reuse.available() < idx.len(), "some worlds must drop");
+        // and the partial rebuild equals a from-scratch build on g2
+        let (rebuilt, reused) = InfluencerIndex::build_with_reuse(&g2, 200, 31, &reuse);
+        assert_eq!(reused, reuse.available());
+        assert_eq!(rebuilt, InfluencerIndex::build(&g2, 200, 31));
+    }
+
+    #[test]
+    fn resize_reuses_the_shared_prefix() {
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 100, 37);
+        let mut buf = BytesMut::new();
+        idx.encode_into(&mut buf);
+        let frozen = buf.freeze();
+        let reuse = InfluencerIndex::load_reusable(&mut &frozen[..], &g).unwrap();
+        // the positional count: only slots below r can serve an r-world build
+        assert_eq!(reuse.available(), 100);
+        assert_eq!(reuse.available_in(40), 40);
+        assert_eq!(reuse.available_in(150), 100);
+        // shrink: reuse the first 40 worlds
+        let (small, reused) = InfluencerIndex::build_with_reuse(&g, 40, 37, &reuse);
+        assert_eq!(reused, 40);
+        assert_eq!(small, InfluencerIndex::build(&g, 40, 37));
+        // grow: reuse all 100, build 50 more
+        let (big, reused) = InfluencerIndex::build_with_reuse(&g, 150, 37, &reuse);
+        assert_eq!(reused, 100);
+        assert_eq!(big, InfluencerIndex::build(&g, 150, 37));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 pub mod index;
 
-pub use index::{IndexStats, InfluencerIndex, QuerySession};
+pub use index::{footprint_hash, IndexStats, InfluencerIndex, PiksReuse, QuerySession};
 
 use crate::error::CoreError;
 use crate::Result;

@@ -139,14 +139,23 @@ fn timings_cover_every_stage() {
 #[test]
 fn persisted_artifacts_are_bit_identical_to_built_ones() {
     // the cache extends the determinism contract across process restarts:
-    // build → encode → decode must equal build, field for field, for every
-    // engine flavour
+    // build → encode → reload-every-section must equal build, field for
+    // field, for every engine flavour
     let g = fixture_graph();
     for config in configs() {
         let fp = Fingerprint::compute(&g, &config);
+        let keys = persist::StageKeys::compute(&g, &config);
         let built = offline::build(&g, &config);
-        let back = persist::decode(&persist::encode(&built, &fp), &fp, &g)
-            .unwrap_or_else(|e| panic!("decode under {:?}: {e}", config.kim));
+        let raw = persist::encode(&built, &fp, &keys);
+        let slots = persist::load_sections(&raw, &keys, &g, &config)
+            .unwrap_or_else(|e| panic!("reload under {:?}: {e}", config.kim));
+        let back = offline::build_with_reuse(&g, &config, slots);
+        assert!(
+            back.fully_reused(),
+            "unchanged inputs must reuse every stage under {:?}: {:?}",
+            config.kim,
+            back.reuse
+        );
         assert_artifacts_identical(
             &built,
             &back,

@@ -1,0 +1,295 @@
+//! The incremental-rebuild contract: after a small graph delta,
+//! `open_or_build` reuses **exactly** the stages whose inputs are unchanged
+//! — never a stage that read something that changed (correctness), never
+//! rebuilding a stage that read nothing that changed (precision) — and the
+//! partially rebuilt engine is bit-identical to a fresh build.
+//!
+//! Delta shapes, per the stage input-slice table in
+//! `offline::persist::StageKeys`:
+//!
+//! * **rename** → only `autocomplete` rebuilds;
+//! * **weight nudge** → `spread-cap`/`pb-bound`/`mis-tables`/`topic-samples`
+//!   rebuild (they read the probability table), `autocomplete` is reused,
+//!   and exactly the PIKS worlds whose BFS footprint contains the nudged
+//!   edge rebuild;
+//! * **edge insert** → exactly the PIKS worlds whose footprint contains a
+//!   *changed* edge id rebuild (the new edge, plus every edge whose dense
+//!   id shifted).
+
+use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig, SystemReport};
+use octopus_core::kim::BoundKind;
+use octopus_core::offline::persist::StageKeys;
+use octopus_core::offline::{self, OfflineArtifacts, PIKS_WORLD_SEED_XOR};
+use octopus_core::piks::InfluencerIndex;
+use octopus_graph::{delta, EdgeId, GraphBuilder, NodeId, TopicGraph};
+use octopus_topics::{TopicModel, Vocabulary};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// `(src, dst, topic, probability)` — one edge of a generated graph.
+type EdgeSpec = (u32, u32, usize, f64);
+
+fn clean_edges(raw: Vec<EdgeSpec>) -> Vec<EdgeSpec> {
+    let mut seen = HashSet::new();
+    let mut edges = Vec::new();
+    for (u, v, z, p) in raw {
+        if u != v && seen.insert((u, v)) {
+            edges.push((u, v, z, p));
+        }
+    }
+    if edges.is_empty() {
+        edges.push((0, 1, 0, 0.42));
+    }
+    edges
+}
+
+fn build_graph(n: usize, edges: &[EdgeSpec]) -> TopicGraph {
+    let mut b = GraphBuilder::new(2);
+    for i in 0..n {
+        b.add_node(format!("user-{i}"));
+    }
+    for &(u, v, z, p) in edges {
+        b.add_edge(NodeId(u), NodeId(v), &[(z, p)]).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn arb_net() -> impl Strategy<Value = (usize, Vec<EdgeSpec>)> {
+    (5usize..12).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0usize..2, 0.1f64..0.8), 4..28)
+            .prop_map(move |raw| (n, clean_edges(raw)))
+    })
+}
+
+fn config() -> OctopusConfig {
+    OctopusConfig {
+        kim: KimEngineChoice::Mis,
+        piks_index_size: 96,
+        mis_rr_per_topic: 150,
+        k_max: 3,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// A node rename invalidates the autocomplete key and nothing else.
+    #[test]
+    fn rename_invalidates_only_name_dependent_stages(
+        (n, edges) in arb_net(),
+        pick in 0usize..64,
+    ) {
+        let g = build_graph(n, &edges);
+        let cfg = config();
+        let base = StageKeys::compute(&g, &cfg);
+        let victim = NodeId((pick % n) as u32);
+        let renamed = delta::rename_node(&g, victim, "renamed-somebody").unwrap();
+        let keys = StageKeys::compute(&renamed, &cfg);
+        prop_assert_eq!(keys.cap, base.cap);
+        prop_assert_eq!(keys.pb, base.pb);
+        prop_assert_eq!(keys.mis, base.mis);
+        prop_assert_eq!(keys.samples, base.samples);
+        prop_assert_eq!(keys.piks, base.piks);
+        prop_assert_ne!(keys.names, base.names);
+        // and the PIKS worlds themselves are footprint-stable: names are
+        // not part of any world's footprint
+        let idx = InfluencerIndex::build(&g, 32, cfg.seed ^ PIKS_WORLD_SEED_XOR);
+        for j in 0..idx.len() {
+            prop_assert_eq!(
+                octopus_core::piks::footprint_hash(&g, idx.world_nodes(j)),
+                octopus_core::piks::footprint_hash(&renamed, idx.world_nodes(j)),
+            );
+        }
+    }
+
+    /// A weight nudge always invalidates the PB and MIS keys (when their
+    /// stages are enabled): no probability change may ever reuse them.
+    #[test]
+    fn weight_nudge_never_reuses_pb_or_mis(
+        (n, edges) in arb_net(),
+        pick in 0usize..64,
+        delta_p in 0.03f64..0.15,
+    ) {
+        let g = build_graph(n, &edges);
+        let victim = EdgeId((pick % g.edge_count()) as u32);
+        let nudged = delta::nudge_weights(&g, &[victim], delta_p).unwrap();
+        for kim in [
+            KimEngineChoice::Mis,
+            KimEngineChoice::BestEffort(BoundKind::Precomputation),
+        ] {
+            let cfg = OctopusConfig { kim, ..config() };
+            let a = StageKeys::compute(&g, &cfg);
+            let b = StageKeys::compute(&nudged, &cfg);
+            if offline::needs_pb(&cfg) {
+                prop_assert_ne!(a.pb, b.pb, "PB read the nudged table");
+            }
+            if offline::needs_mis(&cfg) {
+                prop_assert_ne!(a.mis, b.mis, "MIS read the nudged table");
+            }
+            prop_assert_ne!(a.cap, b.cap, "the cap read the nudged table");
+            prop_assert_eq!(a.names, b.names, "autocomplete never reads weights");
+        }
+    }
+
+    /// An edge insert invalidates exactly the PIKS worlds whose BFS
+    /// footprint contains a changed edge id — the new edge, or any edge
+    /// whose dense id shifted — and reuses every other world.
+    #[test]
+    fn edge_insert_invalidates_exactly_footprint_hit_worlds(
+        (n, edges) in arb_net(),
+        pick in 0usize..64,
+    ) {
+        let g = build_graph(n, &edges);
+        let cfg = config();
+        let r = 64usize;
+        let seed = cfg.seed ^ PIKS_WORLD_SEED_XOR;
+        let idx = InfluencerIndex::build(&g, r, seed);
+        let mut buf = bytes::BytesMut::new();
+        idx.encode_into(&mut buf);
+        let frozen = buf.freeze();
+
+        // pick an absent edge (u, v); skip the case when the graph is complete
+        let mut absent = Vec::new();
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v && g.find_edge(NodeId(u), NodeId(v)).is_none() {
+                    absent.push((NodeId(u), NodeId(v)));
+                }
+            }
+        }
+        prop_assume!(!absent.is_empty());
+        let (u, v) = absent[pick % absent.len()];
+        let bigger = delta::insert_edge(&g, u, v, &[(0, 0.37)]).unwrap();
+        let inserted = bigger.find_edge(u, v).unwrap();
+
+        // changed edge ids in OLD numbering: every old edge at or after the
+        // insertion slot shifted up by one
+        let shifted = |e: EdgeId| e.0 >= inserted.0;
+        let expected: Vec<bool> = (0..r)
+            .map(|j| {
+                let nodes = idx.world_nodes(j);
+                let touches_changed = nodes.iter().any(|&gnode| {
+                    g.in_edges(NodeId(gnode)).any(|(_, e)| shifted(e))
+                        || gnode == v.0 // the new edge lands in v's in-list
+                });
+                !touches_changed
+            })
+            .collect();
+
+        let reuse = InfluencerIndex::load_reusable(&mut &frozen[..], &bigger).unwrap();
+        prop_assert_eq!(reuse.reusable_worlds(), expected);
+
+        // and the partial rebuild is bit-identical to a fresh build
+        let (rebuilt, reused) = InfluencerIndex::build_with_reuse(&bigger, r, seed, &reuse);
+        prop_assert_eq!(reused, reuse.available());
+        prop_assert_eq!(rebuilt, InfluencerIndex::build(&bigger, r, seed));
+    }
+}
+
+/// The full engine path: open → delta → reopen, asserting the per-stage
+/// report and bit-identity against a fresh build for every delta shape.
+#[test]
+fn reopen_after_delta_reuses_exactly_unchanged_stages() {
+    let g = build_graph(
+        9,
+        &[
+            (0, 1, 0, 0.6),
+            (0, 2, 0, 0.55),
+            (1, 3, 1, 0.5),
+            (2, 4, 1, 0.45),
+            (3, 5, 0, 0.4),
+            (4, 6, 1, 0.35),
+            (5, 7, 0, 0.3),
+            (6, 8, 1, 0.25),
+            (7, 8, 0, 0.2),
+        ],
+    );
+    let model = model_for(&g);
+    let cfg = config();
+    let dir = std::env::temp_dir().join("octopus_delta_invalidation_e2e");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let first = Octopus::open_or_build(g.clone(), model.clone(), cfg.clone(), &dir).unwrap();
+    assert!(!first.cache_hit(), "cold start builds");
+
+    // rename: everything except the trie must be reused
+    let renamed = delta::rename_node(&g, NodeId(4), "brand-new-name").unwrap();
+    let engine = Octopus::open_or_build(renamed.clone(), model.clone(), cfg.clone(), &dir).unwrap();
+    let report = engine.system_report();
+    assert!(!report.cache_hit, "a partial rebuild is not a full hit");
+    for s in &report.stage_reuse {
+        match s.stage {
+            "autocomplete" => assert_eq!(s.reused, 0, "rename must rebuild the trie"),
+            _ => assert!(s.is_full(), "rename must reuse {}: {s:?}", s.stage),
+        }
+    }
+    assert_identical_to_fresh(&renamed, &cfg, engine.offline_artifacts(), "rename");
+
+    // weight nudge on top of the rename: PB/MIS/cap/samples rebuild, the
+    // trie (already cached for the renamed graph) and untouched worlds reuse
+    let nudged = delta::nudge_weights(&renamed, &[EdgeId(3)], 0.07).unwrap();
+    let engine = Octopus::open_or_build(nudged.clone(), model.clone(), cfg.clone(), &dir).unwrap();
+    let report = engine.system_report();
+    assert!(!report.cache_hit);
+    let by_stage = |r: &SystemReport, stage: &str| {
+        r.stage_reuse
+            .iter()
+            .find(|s| s.stage == stage)
+            .unwrap_or_else(|| panic!("stage {stage} missing from report"))
+            .clone()
+    };
+    assert_eq!(by_stage(&report, "spread-cap").reused, 0);
+    assert_eq!(by_stage(&report, "mis-tables").reused, 0);
+    assert!(by_stage(&report, "autocomplete").is_full());
+    let piks = by_stage(&report, "piks-worlds");
+    assert!(
+        piks.reused > 0 && piks.reused < piks.total,
+        "a one-edge nudge must reuse some worlds and rebuild others: {piks:?}"
+    );
+    assert_identical_to_fresh(&nudged, &cfg, engine.offline_artifacts(), "nudge");
+
+    // probe answers agree with a cache-less engine
+    let fresh = Octopus::new(nudged.clone(), model.clone(), cfg.clone()).unwrap();
+    let a = engine.find_influencers("alpha", 3).unwrap();
+    let b = fresh.find_influencers("alpha", 3).unwrap();
+    assert_eq!(
+        a.seeds.iter().map(|s| s.node).collect::<Vec<_>>(),
+        b.seeds.iter().map(|s| s.node).collect::<Vec<_>>()
+    );
+    assert_eq!(a.result.spread, b.result.spread);
+
+    // reopening with no further delta is now a full hit again
+    let again = Octopus::open_or_build(nudged, model, cfg, &dir).unwrap();
+    assert!(again.cache_hit(), "unchanged reopen must fully hit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn assert_identical_to_fresh(
+    g: &TopicGraph,
+    cfg: &OctopusConfig,
+    got: &OfflineArtifacts,
+    what: &str,
+) {
+    let fresh = offline::build(g, cfg);
+    assert_eq!(got.cap, fresh.cap, "{what}: cap");
+    assert_eq!(got.pb, fresh.pb, "{what}: pb");
+    assert_eq!(got.mis, fresh.mis, "{what}: mis");
+    assert_eq!(got.samples, fresh.samples, "{what}: samples");
+    assert_eq!(got.piks_index, fresh.piks_index, "{what}: piks");
+    assert_eq!(got.names, fresh.names, "{what}: trie");
+}
+
+/// A 2-topic model whose vocabulary maps one word to each topic.
+fn model_for(g: &TopicGraph) -> TopicModel {
+    assert_eq!(g.num_topics(), 2);
+    let mut vocab = Vocabulary::new();
+    vocab.intern("alpha");
+    vocab.intern("beta");
+    TopicModel::from_rows(
+        vocab,
+        vec![vec![0.85, 0.15], vec![0.15, 0.85]],
+        vec![0.5, 0.5],
+    )
+    .unwrap()
+}

@@ -1,0 +1,194 @@
+//! Pins the OCTA v2 container bytes to the normative specification in
+//! `ARCHITECTURE.md` (§"The OCTA v2 artifact container").
+//!
+//! The parser below is written *independently* against the documented
+//! layout — it shares no framing helpers with the codec (it re-implements
+//! FNV-1a from the documented constants) — so if the writer drifts from the
+//! spec, or the spec from the writer, this test fails. Keep all three in
+//! sync: `offline/persist.rs`, `ARCHITECTURE.md`, and this file.
+
+use octopus_core::engine::{KimEngineChoice, OctopusConfig};
+use octopus_core::offline::persist::{self, Fingerprint, StageKeys};
+use octopus_core::offline::{self};
+use octopus_graph::{GraphBuilder, NodeId, TopicGraph};
+
+/// Independent FNV-1a 64 (documented constants, not the wire helper).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut state: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    state
+}
+
+fn u16_at(raw: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(raw[at..at + 2].try_into().unwrap())
+}
+fn u32_at(raw: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(raw[at..at + 4].try_into().unwrap())
+}
+fn u64_at(raw: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(raw[at..at + 8].try_into().unwrap())
+}
+fn f64_at(raw: &[u8], at: usize) -> f64 {
+    f64::from_le_bytes(raw[at..at + 8].try_into().unwrap())
+}
+
+fn tiny_graph() -> TopicGraph {
+    let mut b = GraphBuilder::new(2);
+    for i in 0..8 {
+        b.add_node(format!("user-{i}"));
+    }
+    for v in 1..=4u32 {
+        b.add_edge(NodeId(0), NodeId(v), &[(0, 0.6)]).unwrap();
+    }
+    for v in 5..=7u32 {
+        b.add_edge(NodeId(1), NodeId(v), &[(1, 0.5)]).unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn container_bytes_follow_the_documented_layout() {
+    let g = tiny_graph();
+    let cfg = OctopusConfig {
+        kim: KimEngineChoice::Mis,
+        piks_index_size: 24,
+        mis_rr_per_topic: 80,
+        k_max: 3,
+        seed: 0x0C7A,
+        ..Default::default()
+    };
+    let fp = Fingerprint::compute(&g, &cfg);
+    let keys = StageKeys::compute(&g, &cfg);
+    let art = offline::build(&g, &cfg);
+    let raw = persist::encode(&art, &fp, &keys);
+
+    // ---- header: magic "OCTA" | version u16 = 2 ------------------------
+    assert_eq!(&raw[0..4], b"OCTA");
+    assert_eq!(u16_at(&raw, 4), 2, "container version");
+    // graph_fp u64 | config_fp u64 | seed u64
+    assert_eq!(u64_at(&raw, 6), fp.graph);
+    assert_eq!(u64_at(&raw, 14), fp.config);
+    assert_eq!(u64_at(&raw, 22), fp.seed);
+    assert_eq!(fp.seed, 0x0C7A, "the seed word is the config seed verbatim");
+    // section_count u32
+    let count = u32_at(&raw, 30) as usize;
+    assert_eq!(count, 6, "six sections, one per offline stage");
+
+    // ---- section table: count × { tag u32, key u64, len u64, checksum u64 }
+    let table_at = 34;
+    let entry_len = 4 + 8 + 8 + 8;
+    let mut entries = Vec::new();
+    for i in 0..count {
+        let at = table_at + i * entry_len;
+        entries.push((
+            u32_at(&raw, at),
+            u64_at(&raw, at + 4),
+            u64_at(&raw, at + 12) as usize,
+            u64_at(&raw, at + 20),
+        ));
+    }
+    // tags in documented order: cap=1, pb=2, mis=3, samples=4, piks=5, names=6
+    assert_eq!(
+        entries.iter().map(|e| e.0).collect::<Vec<_>>(),
+        vec![1, 2, 3, 4, 5, 6]
+    );
+    // keys are the per-stage StageKeys in the same order
+    assert_eq!(
+        entries.iter().map(|e| e.1).collect::<Vec<_>>(),
+        vec![
+            keys.cap,
+            keys.pb,
+            keys.mis,
+            keys.samples,
+            keys.piks,
+            keys.names
+        ]
+    );
+
+    // ---- payload area: sections concatenated in table order, no padding,
+    // each covered by its FNV-1a checksum; nothing after the last one
+    let payloads_at = table_at + count * entry_len;
+    let mut offset = payloads_at;
+    for &(tag, _, len, checksum) in &entries {
+        let payload = &raw[offset..offset + len];
+        assert_eq!(fnv1a(payload), checksum, "section {tag} checksum");
+        offset += len;
+    }
+    assert_eq!(offset, raw.len(), "no trailing bytes after the payloads");
+
+    // ---- spot-check documented per-section payloads --------------------
+    // spread-cap: exactly one little-endian f64
+    let (cap_off, cap_len) = (payloads_at, entries[0].2);
+    assert_eq!(cap_len, 8);
+    assert_eq!(f64_at(&raw, cap_off), art.cap);
+
+    // pb-bound under the MIS engine: a single 0x00 "absent" flag byte
+    let pb_off = cap_off + cap_len;
+    assert_eq!(entries[1].2, 1);
+    assert_eq!(raw[pb_off], 0, "MIS engine persists no PB tables");
+
+    // mis-tables: flag 0x01, then Z u32, then per-topic tables
+    let mis_off = pb_off + entries[1].2;
+    assert_eq!(raw[mis_off], 1, "MIS engine persists its tables");
+    assert_eq!(u32_at(&raw, mis_off + 1) as usize, g.num_topics());
+
+    // topic-samples: u32 count (0 — MIS precomputes no samples)
+    let samples_off = mis_off + entries[2].2;
+    assert_eq!(entries[3].2, 4);
+    assert_eq!(u32_at(&raw, samples_off), 0);
+
+    // piks-worlds: n u32 | R u32, then R worlds, each opening with
+    // footprint u64 | coin seed u64 | edges_examined u64 | node count u32
+    let piks_off = samples_off + entries[3].2;
+    assert_eq!(u32_at(&raw, piks_off) as usize, g.node_count());
+    assert_eq!(u32_at(&raw, piks_off + 4) as usize, cfg.piks_index_size);
+    let world0 = piks_off + 8;
+    let stored_footprint = u64_at(&raw, world0);
+    let world0_nodes = u32_at(&raw, world0 + 24) as usize;
+    assert!(world0_nodes >= 1, "every world stores at least its root");
+    // the stored footprint key is footprint_hash over the stored node list
+    let nodes: Vec<u32> = (0..world0_nodes)
+        .map(|i| u32_at(&raw, world0 + 28 + 4 * i))
+        .collect();
+    assert_eq!(
+        stored_footprint,
+        octopus_core::piks::footprint_hash(&g, &nodes),
+        "per-world key must be the documented footprint hash"
+    );
+
+    // autocomplete: u64 inserted-name count, then the preorder trie
+    let names_off = piks_off + entries[4].2;
+    assert_eq!(u64_at(&raw, names_off) as usize, art.names.len());
+}
+
+#[test]
+fn v1_containers_are_refused_for_migration_by_rebuild() {
+    // a v1 file begins "OCTA" | version 1; the v2 reader must refuse it
+    // wholesale (PersistError::Version) so open_or_build rebuilds and
+    // overwrites it — never misparse the v1 monolithic payload as sections
+    let g = tiny_graph();
+    let cfg = OctopusConfig {
+        kim: KimEngineChoice::Mis,
+        piks_index_size: 8,
+        mis_rr_per_topic: 40,
+        k_max: 2,
+        ..Default::default()
+    };
+    let keys = StageKeys::compute(&g, &cfg);
+    // a plausible v1 header: magic, version=1, fp triple, then v1's
+    // payload_len/checksum words and some payload bytes
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(b"OCTA");
+    v1.extend_from_slice(&1u16.to_le_bytes());
+    for w in [1u64, 2, 3, 64, 0xDEAD] {
+        v1.extend_from_slice(&w.to_le_bytes());
+    }
+    v1.extend_from_slice(&[0u8; 64]);
+    assert!(matches!(
+        persist::load_sections(&v1, &keys, &g, &cfg),
+        Err(persist::PersistError::Version(1))
+    ));
+}

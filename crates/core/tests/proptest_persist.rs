@@ -117,30 +117,60 @@ proptest! {
     }
 
     /// The artifact codec round-trips the full artifact set of random
-    /// graphs, and a decoded payload re-encodes to the identical bytes
-    /// (canonical encoding).
+    /// graphs with every stage reused, and a reloaded artifact re-encodes
+    /// to the identical bytes (canonical encoding).
     #[test]
     fn codec_round_trips_on_random_graphs((n, edges) in arb_net()) {
         let g = build_graph(n, &edges);
         let config = base_config();
         let fp = Fingerprint::compute(&g, &config);
+        let keys = persist::StageKeys::compute(&g, &config);
         let art = offline::build(&g, &config);
-        let raw = persist::encode(&art, &fp);
-        let back = persist::decode(&raw, &fp, &g).expect("decode");
+        let raw = persist::encode(&art, &fp, &keys);
+        let slots = persist::load_sections(&raw, &keys, &g, &config).expect("reload");
+        let back = offline::build_with_reuse(&g, &config, slots);
+        prop_assert!(back.fully_reused(), "unchanged inputs reuse everything");
         assert_artifacts_equal(&art, &back);
-        let again = persist::encode(&back, &fp);
+        let again = persist::encode(&back, &fp, &keys);
         prop_assert_eq!(raw.to_vec(), again.to_vec(), "re-encode must be canonical");
     }
 
-    /// Every strict prefix of a random graph's encoding is rejected.
+    /// Every strict prefix of a random graph's encoding loses at least the
+    /// final section (the trie) — a truncated container can never be
+    /// mistaken for a complete one, whatever the cut point.
     #[test]
-    fn truncation_rejected_on_random_graphs((n, edges) in arb_net(), frac in 0.0f64..1.0) {
+    fn truncation_never_salvages_everything((n, edges) in arb_net(), frac in 0.0f64..1.0) {
         let g = build_graph(n, &edges);
         let config = base_config();
         let fp = Fingerprint::compute(&g, &config);
-        let raw = persist::encode(&offline::build(&g, &config), &fp);
-        let cut = ((raw.len() as f64) * frac) as usize;
-        prop_assert!(persist::decode(&raw[..cut.min(raw.len() - 1)], &fp, &g).is_err());
+        let keys = persist::StageKeys::compute(&g, &config);
+        let raw = persist::encode(&offline::build(&g, &config), &fp, &keys);
+        let cut = (((raw.len() as f64) * frac) as usize).min(raw.len() - 1);
+        match persist::load_sections(&raw[..cut], &keys, &g, &config) {
+            Err(_) => {} // header/table damage: clean error
+            Ok(slots) => prop_assert!(
+                slots.names.is_none(),
+                "a strict prefix cannot contain the final section intact"
+            ),
+        }
+    }
+
+    /// Per-stage keys are a pure function of the inputs, and a weight
+    /// perturbation invalidates exactly the probability-reading stages.
+    #[test]
+    fn stage_keys_track_weight_slices((n, edges) in arb_net(), pick in 0usize..64) {
+        let config = base_config();
+        let a = persist::StageKeys::compute(&build_graph(n, &edges), &config);
+        let b = persist::StageKeys::compute(&build_graph(n, &edges), &config);
+        prop_assert_eq!(a, b, "identical inputs must key identically");
+        let victim = pick % edges.len();
+        let mut nudged = edges.clone();
+        nudged[victim].3 = (nudged[victim].3 + 0.1).min(0.95);
+        let c = persist::StageKeys::compute(&build_graph(n, &nudged), &config);
+        prop_assert_ne!(a.cap, c.cap, "cap reads weights");
+        prop_assert_ne!(a.mis, c.mis, "mis reads weights");
+        prop_assert_eq!(a.names, c.names, "autocomplete never reads weights");
+        prop_assert_eq!(a.piks, c.piks, "piks section key is derivation-only");
     }
 }
 

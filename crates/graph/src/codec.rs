@@ -118,6 +118,75 @@ pub fn hash(g: &TopicGraph) -> u64 {
     h.finish()
 }
 
+/// Domain-separation tags for the input-slice hashes: two different slices
+/// of the same graph must never collide just because their field bytes
+/// happen to agree.
+const TOPOLOGY_TAG: &[u8] = b"octg:topology";
+const WEIGHTS_TAG: &[u8] = b"octg:weights";
+const NAMES_TAG: &[u8] = b"octg:names";
+
+/// FNV-1a over the graph's **topology slice**: node count, edge count, and
+/// the forward CSR (offsets + targets). Ignores edge weights and names.
+///
+/// This is one of the three independent input slices the per-stage artifact
+/// fingerprints (`octopus-core::offline::persist::StageKeys`) are built
+/// from: a stage whose computation never reads names or probabilities can
+/// key itself on this hash alone and survive renames and weight nudges.
+pub fn hash_topology(g: &TopicGraph) -> u64 {
+    let mut h = crate::wire::Fnv64::new();
+    h.write(TOPOLOGY_TAG);
+    h.write_u32(g.node_count() as u32);
+    h.write_u32(g.edge_count() as u32);
+    for &x in &g.fwd_offsets {
+        h.write_u32(x);
+    }
+    for &x in &g.fwd_targets {
+        h.write_u32(x);
+    }
+    h.finish()
+}
+
+/// FNV-1a over the graph's **probability slice**: topic count plus the
+/// per-edge sparse topic-probability table (offsets, topics, values, each
+/// value by exact bit pattern). Ignores names.
+///
+/// The table is indexed by [`crate::EdgeId`], so any change to the edge
+/// *set* moves this hash too (the offsets shift) — which is correct: a
+/// weight table for a different edge numbering is a different input.
+pub fn hash_weights(g: &TopicGraph) -> u64 {
+    let mut h = crate::wire::Fnv64::new();
+    h.write(WEIGHTS_TAG);
+    h.write_u32(g.num_topics() as u32);
+    for &x in &g.prob_offsets {
+        h.write_u32(x);
+    }
+    for &z in &g.prob_topics {
+        h.write_u16(z);
+    }
+    for &p in &g.prob_values {
+        h.write_f32(p);
+    }
+    h.finish()
+}
+
+/// FNV-1a over the graph's **name slice**: the named flag and every node
+/// display name in id order. Ignores topology and weights entirely, so a
+/// pure edge or weight delta leaves it unchanged.
+pub fn hash_names(g: &TopicGraph) -> u64 {
+    let mut h = crate::wire::Fnv64::new();
+    h.write(NAMES_TAG);
+    let named = g.names.iter().any(|s| !s.is_empty());
+    h.write_u8(named as u8);
+    h.write_u32(g.names.len() as u32);
+    if named {
+        for s in &g.names {
+            h.write_u32(s.len() as u32);
+            h.write(s.as_bytes());
+        }
+    }
+    h.finish()
+}
+
 /// Bounds check delegating to the shared [`crate::wire`] helpers.
 fn need<B: Buf + ?Sized>(buf: &B, n: usize, what: &str) -> Result<()> {
     Ok(crate::wire::need(buf, n, what)?)
@@ -259,6 +328,65 @@ mod tests {
         let anon = b.build().unwrap();
         assert_eq!(hash(&anon), crate::wire::fnv1a(&encode(&anon)));
         assert_ne!(hash(&named), hash(&anon));
+    }
+
+    #[test]
+    fn slice_hashes_isolate_their_inputs() {
+        let base = sample();
+        // rename: only the name slice moves
+        let renamed = {
+            let mut b = GraphBuilder::new(3);
+            b.add_node("ada");
+            b.add_node("grace hopper"); // renamed
+            b.add_node("edsger");
+            b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (2, 0.25)])
+                .unwrap();
+            b.add_edge(NodeId(1), NodeId(2), &[(1, 0.75)]).unwrap();
+            b.add_edge(NodeId(2), NodeId(0), &[(0, 0.125)]).unwrap();
+            b.build().unwrap()
+        };
+        assert_eq!(hash_topology(&base), hash_topology(&renamed));
+        assert_eq!(hash_weights(&base), hash_weights(&renamed));
+        assert_ne!(hash_names(&base), hash_names(&renamed));
+
+        // weight nudge: only the probability slice moves
+        let nudged = {
+            let mut b = GraphBuilder::new(3);
+            b.add_node("ada");
+            b.add_node("grace");
+            b.add_node("edsger");
+            b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (2, 0.25)])
+                .unwrap();
+            b.add_edge(NodeId(1), NodeId(2), &[(1, 0.8)]).unwrap(); // nudged
+            b.add_edge(NodeId(2), NodeId(0), &[(0, 0.125)]).unwrap();
+            b.build().unwrap()
+        };
+        assert_eq!(hash_topology(&base), hash_topology(&nudged));
+        assert_ne!(hash_weights(&base), hash_weights(&nudged));
+        assert_eq!(hash_names(&base), hash_names(&nudged));
+
+        // edge insert: topology and weights move (the prob table is
+        // edge-indexed), names stay
+        let extended = {
+            let mut b = GraphBuilder::new(3);
+            b.add_node("ada");
+            b.add_node("grace");
+            b.add_node("edsger");
+            b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (2, 0.25)])
+                .unwrap();
+            b.add_edge(NodeId(1), NodeId(2), &[(1, 0.75)]).unwrap();
+            b.add_edge(NodeId(2), NodeId(0), &[(0, 0.125)]).unwrap();
+            b.add_edge(NodeId(0), NodeId(2), &[(1, 0.3)]).unwrap(); // new
+            b.build().unwrap()
+        };
+        assert_ne!(hash_topology(&base), hash_topology(&extended));
+        assert_ne!(hash_weights(&base), hash_weights(&extended));
+        assert_eq!(hash_names(&base), hash_names(&extended));
+
+        // the three slices of one graph never collide with each other
+        assert_ne!(hash_topology(&base), hash_weights(&base));
+        assert_ne!(hash_topology(&base), hash_names(&base));
+        assert_ne!(hash_weights(&base), hash_names(&base));
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Small-delta edits on an immutable [`TopicGraph`].
+//!
+//! OCTOPUS's online story assumes the network keeps changing under it — new
+//! follows appear, influence-probability estimates drift as the action log
+//! grows (`octopus-data::learn::fit_warm`), users rename themselves. The
+//! CSR graph is deliberately immutable, so a delta produces a *new* graph
+//! by rebuilding through [`GraphBuilder`]; these helpers express the three
+//! delta shapes the incremental offline-rebuild machinery distinguishes
+//! (weight nudge / edge insert / rename) in one call each.
+//!
+//! All helpers preserve node ids. Edge ids are preserved **except** by
+//! [`insert_edge`] / [`remove_edge`], which shift the ids of every edge at
+//! or after the change position (ids are dense in forward-CSR order) — a
+//! consumer holding per-edge state must treat shifted edges as changed,
+//! and the per-stage artifact fingerprints do exactly that.
+
+use crate::builder::GraphBuilder;
+use crate::csr::TopicGraph;
+use crate::error::GraphError;
+use crate::ids::{EdgeId, NodeId};
+use crate::Result;
+
+/// Copy `g` into a fresh [`GraphBuilder`] (same nodes, names, and edges).
+///
+/// The round trip is exact: `builder_from(&g).build() == g` — pinned by the
+/// `rebuild_is_identity` test — so callers can apply an edit on top of the
+/// copy and get a graph that differs from `g` in exactly that edit.
+pub fn builder_from(g: &TopicGraph) -> GraphBuilder {
+    let mut b = GraphBuilder::new(g.num_topics()).with_capacity(g.node_count(), g.edge_count());
+    for u in g.nodes() {
+        b.add_node(g.name(u).unwrap_or(""));
+    }
+    for e in g.edges() {
+        let (u, v) = g.edge_endpoints(e).expect("iterated edge is valid");
+        let probs: Vec<(usize, f64)> = g
+            .edge_topic_probs(e)
+            .map(|(z, p)| (z.index(), p as f64))
+            .collect();
+        b.add_edge(u, v, &probs).expect("copied edge is valid");
+    }
+    b
+}
+
+/// Rebuild `g` with the topic probabilities of each edge in `edges`
+/// perturbed: every sparse entry `p` becomes `p + delta` (reflected off the
+/// `(0, 1]` boundary so the value always actually moves). Node and edge ids
+/// are unchanged; only the probability table differs.
+pub fn nudge_weights(g: &TopicGraph, edges: &[EdgeId], delta: f64) -> Result<TopicGraph> {
+    for &e in edges {
+        g.check_edge(e)?;
+    }
+    let mut b = GraphBuilder::new(g.num_topics()).with_capacity(g.node_count(), g.edge_count());
+    for u in g.nodes() {
+        b.add_node(g.name(u).unwrap_or(""));
+    }
+    for e in g.edges() {
+        let (u, v) = g.edge_endpoints(e).expect("iterated edge is valid");
+        let nudge = edges.contains(&e);
+        let probs: Vec<(usize, f64)> = g
+            .edge_topic_probs(e)
+            .map(|(z, p)| {
+                let p = p as f64;
+                let p = if nudge {
+                    if p + delta <= 1.0 && p + delta > 0.0 {
+                        p + delta
+                    } else {
+                        p - delta
+                    }
+                } else {
+                    p
+                };
+                (z.index(), p)
+            })
+            .collect();
+        b.add_edge(u, v, &probs)?;
+    }
+    b.build()
+}
+
+/// Rebuild `g` with a single additional edge `u → v`.
+///
+/// Fails like [`GraphBuilder::add_edge`] (bad endpoints, self loop, invalid
+/// probability); if the edge already exists the probabilities merge by
+/// per-topic max, exactly as the builder does for parallel edges.
+pub fn insert_edge(
+    g: &TopicGraph,
+    u: NodeId,
+    v: NodeId,
+    probs: &[(usize, f64)],
+) -> Result<TopicGraph> {
+    let mut b = builder_from(g);
+    b.add_edge(u, v, probs)?;
+    b.build()
+}
+
+/// Rebuild `g` without edge `e`. Every edge with a larger id shifts down by
+/// one (ids stay dense in CSR order).
+pub fn remove_edge(g: &TopicGraph, victim: EdgeId) -> Result<TopicGraph> {
+    g.check_edge(victim)?;
+    let mut b = GraphBuilder::new(g.num_topics()).with_capacity(g.node_count(), g.edge_count());
+    for u in g.nodes() {
+        b.add_node(g.name(u).unwrap_or(""));
+    }
+    for e in g.edges() {
+        if e == victim {
+            continue;
+        }
+        let (u, v) = g.edge_endpoints(e).expect("iterated edge is valid");
+        let probs: Vec<(usize, f64)> = g
+            .edge_topic_probs(e)
+            .map(|(z, p)| (z.index(), p as f64))
+            .collect();
+        b.add_edge(u, v, &probs)?;
+    }
+    b.build()
+}
+
+/// Rebuild `g` with node `u` renamed to `name`. Topology, weights, and all
+/// ids are unchanged; only the name slice differs.
+pub fn rename_node(g: &TopicGraph, target: NodeId, name: &str) -> Result<TopicGraph> {
+    g.check_node(target)?;
+    if !name.is_empty()
+        && g.node_by_name(name)
+            .is_some_and(|existing| existing != target)
+    {
+        return Err(GraphError::DuplicateName(name.to_string()));
+    }
+    let mut b = GraphBuilder::new(g.num_topics()).with_capacity(g.node_count(), g.edge_count());
+    for u in g.nodes() {
+        if u == target {
+            b.add_node(name);
+        } else {
+            b.add_node(g.name(u).unwrap_or(""));
+        }
+    }
+    for e in g.edges() {
+        let (u, v) = g.edge_endpoints(e).expect("iterated edge is valid");
+        let probs: Vec<(usize, f64)> = g
+            .edge_topic_probs(e)
+            .map(|(z, p)| (z.index(), p as f64))
+            .collect();
+        b.add_edge(u, v, &probs)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec;
+    use crate::ids::TopicId;
+
+    fn fixture() -> TopicGraph {
+        let mut b = GraphBuilder::new(2);
+        b.add_node("ada");
+        b.add_node("grace");
+        b.add_node("edsger");
+        b.add_node("barbara");
+        b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (1, 0.25)])
+            .unwrap();
+        b.add_edge(NodeId(1), NodeId(2), &[(1, 0.75)]).unwrap();
+        b.add_edge(NodeId(2), NodeId(0), &[(0, 0.125)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rebuild_is_identity() {
+        let g = fixture();
+        assert_eq!(builder_from(&g).build().unwrap(), g);
+        // anonymous graphs too
+        let mut b = GraphBuilder::new(1);
+        let _ = b.add_nodes(3);
+        b.add_edge(NodeId(0), NodeId(2), &[(0, 0.5)]).unwrap();
+        let anon = b.build().unwrap();
+        assert_eq!(builder_from(&anon).build().unwrap(), anon);
+    }
+
+    #[test]
+    fn nudge_changes_only_the_weight_slice() {
+        let g = fixture();
+        let e = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        let nudged = nudge_weights(&g, &[e], 0.1).unwrap();
+        assert_eq!(codec::hash_topology(&g), codec::hash_topology(&nudged));
+        assert_eq!(codec::hash_names(&g), codec::hash_names(&nudged));
+        assert_ne!(codec::hash_weights(&g), codec::hash_weights(&nudged));
+        assert!((nudged.edge_prob_topic(e, TopicId(1)) - 0.85).abs() < 1e-6);
+        // untouched edges keep bit-identical probabilities
+        let other = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(
+            g.edge_prob_topic(other, TopicId(0)),
+            nudged.edge_prob_topic(other, TopicId(0))
+        );
+    }
+
+    #[test]
+    fn nudge_reflects_at_the_boundary() {
+        let mut b = GraphBuilder::new(1);
+        let _ = b.add_nodes(2);
+        b.add_edge(NodeId(0), NodeId(1), &[(0, 0.98)]).unwrap();
+        let g = b.build().unwrap();
+        let e = EdgeId(0);
+        let nudged = nudge_weights(&g, &[e], 0.1).unwrap();
+        let p = nudged.edge_prob_topic(e, TopicId(0));
+        assert!((p - 0.88).abs() < 1e-6, "0.98 + 0.1 reflects to 0.88");
+        assert!(nudge_weights(&g, &[EdgeId(7)], 0.1).is_err());
+    }
+
+    #[test]
+    fn insert_and_remove_shift_ids() {
+        let g = fixture();
+        let bigger = insert_edge(&g, NodeId(0), NodeId(3), &[(1, 0.4)]).unwrap();
+        assert_eq!(bigger.edge_count(), g.edge_count() + 1);
+        // inserted edge sorts between (0,1) and (1,2): later ids shift up
+        assert_eq!(
+            bigger.edge_endpoints(EdgeId(1)).unwrap(),
+            (NodeId(0), NodeId(3))
+        );
+        assert_eq!(
+            bigger.edge_endpoints(EdgeId(2)).unwrap(),
+            (NodeId(1), NodeId(2))
+        );
+        let back = remove_edge(&bigger, EdgeId(1)).unwrap();
+        assert_eq!(back, g, "insert then remove restores the original");
+        assert!(insert_edge(&g, NodeId(0), NodeId(0), &[(0, 0.5)]).is_err());
+    }
+
+    #[test]
+    fn rename_preserves_everything_else() {
+        let g = fixture();
+        let renamed = rename_node(&g, NodeId(1), "grace hopper").unwrap();
+        assert_eq!(codec::hash_topology(&g), codec::hash_topology(&renamed));
+        assert_eq!(codec::hash_weights(&g), codec::hash_weights(&renamed));
+        assert_ne!(codec::hash_names(&g), codec::hash_names(&renamed));
+        assert_eq!(renamed.node_by_name("grace hopper"), Some(NodeId(1)));
+        assert_eq!(renamed.node_by_name("grace"), None);
+        // renaming onto an existing other node is rejected
+        assert!(rename_node(&g, NodeId(1), "ada").is_err());
+        // renaming a node onto its own name is a no-op, not an error
+        assert_eq!(rename_node(&g, NodeId(1), "grace").unwrap(), g);
+    }
+}

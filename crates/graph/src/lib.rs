@@ -47,6 +47,7 @@ pub mod algo;
 pub mod builder;
 pub mod codec;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod stats;

@@ -8,6 +8,8 @@
 //! instead of a panic, length-prefixed strings, and a stable 64-bit hash
 //! for content fingerprints and payload checksums.
 
+#![warn(missing_docs)]
+
 use bytes::{Buf, BufMut, BytesMut};
 
 /// A low-level codec failure: truncation, bad framing, or invalid UTF-8.
@@ -63,6 +65,85 @@ pub fn read_u32s<B: Buf + ?Sized>(
         v.push(buf.get_u32_le());
     }
     Ok(v)
+}
+
+/// On-disk size of one [`SectionEntry`]: tag + key + length + checksum.
+pub const SECTION_ENTRY_LEN: usize = 4 + 8 + 8 + 8;
+
+/// One row of a sectioned container's table of contents.
+///
+/// A *sectioned* codec (the OCTA v2 artifact cache) frames its payload as
+/// independently keyed, independently checksummed byte ranges so a reader
+/// can salvage every intact section of a file whose other sections are
+/// stale, truncated, or corrupt. The table row carries everything needed to
+/// decide reuse *without* decoding the payload: the section `tag` (what it
+/// is), its content `key` (a fingerprint of the inputs that produced it),
+/// its byte `len`, and an FNV-1a `checksum` of the payload bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// Section kind, codec-defined (decoders skip unknown tags).
+    pub tag: u32,
+    /// Fingerprint of the inputs this section's content was computed from.
+    pub key: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a 64 over the payload bytes.
+    pub checksum: u64,
+}
+
+/// Append a section-table row ([`SECTION_ENTRY_LEN`] bytes, little-endian).
+pub fn put_section_entry(buf: &mut BytesMut, e: &SectionEntry) {
+    buf.put_u32_le(e.tag);
+    buf.put_u64_le(e.key);
+    buf.put_u64_le(e.len);
+    buf.put_u64_le(e.checksum);
+}
+
+/// Read a section-table row written by [`put_section_entry`].
+pub fn read_section_entry<B: Buf + ?Sized>(
+    buf: &mut B,
+    what: &str,
+) -> Result<SectionEntry, WireError> {
+    need(buf, SECTION_ENTRY_LEN, what)?;
+    Ok(SectionEntry {
+        tag: buf.get_u32_le(),
+        key: buf.get_u64_le(),
+        len: buf.get_u64_le(),
+        checksum: buf.get_u64_le(),
+    })
+}
+
+/// Slice one section's payload out of the concatenated payload area and
+/// verify its checksum. `offset` is the section's start within `payloads`
+/// (the sum of the preceding sections' lengths — payloads are stored in
+/// table order with no padding). Fails on out-of-bounds ranges (truncated
+/// file) and checksum mismatches (in-place corruption), so a successful
+/// return hands the caller exactly the bytes the writer checksummed.
+pub fn section_payload<'a>(
+    payloads: &'a [u8],
+    offset: usize,
+    entry: &SectionEntry,
+) -> Result<&'a [u8], WireError> {
+    let len = entry.len as usize;
+    let end = offset
+        .checked_add(len)
+        .ok_or_else(|| WireError(format!("section {} length overflows", entry.tag)))?;
+    if end > payloads.len() {
+        return Err(WireError(format!(
+            "section {} extends past the payload area ({} > {})",
+            entry.tag,
+            end,
+            payloads.len()
+        )));
+    }
+    let raw = &payloads[offset..end];
+    if fnv1a(raw) != entry.checksum {
+        return Err(WireError(format!(
+            "section {} checksum mismatch (corrupted in place)",
+            entry.tag
+        )));
+    }
+    Ok(raw)
 }
 
 /// FNV-1a offset basis (64-bit).
@@ -169,6 +250,59 @@ mod tests {
         // truncated string fails cleanly
         r.truncate(6);
         assert!(read_string(&mut &r[..], "t").is_err());
+    }
+
+    #[test]
+    fn section_entries_round_trip_and_verify() {
+        let payload_a = b"cap-section".to_vec();
+        let payload_b = b"trie".to_vec();
+        let entries = [
+            SectionEntry {
+                tag: 1,
+                key: 0xAB,
+                len: payload_a.len() as u64,
+                checksum: fnv1a(&payload_a),
+            },
+            SectionEntry {
+                tag: 6,
+                key: 0xCD,
+                len: payload_b.len() as u64,
+                checksum: fnv1a(&payload_b),
+            },
+        ];
+        let mut buf = BytesMut::new();
+        for e in &entries {
+            put_section_entry(&mut buf, e);
+        }
+        let frozen = buf.freeze();
+        let mut slice = &frozen[..];
+        assert_eq!(read_section_entry(&mut slice, "a").unwrap(), entries[0]);
+        assert_eq!(read_section_entry(&mut slice, "b").unwrap(), entries[1]);
+        assert!(read_section_entry(&mut slice, "eof").is_err());
+
+        let mut payloads = payload_a.clone();
+        payloads.extend_from_slice(&payload_b);
+        assert_eq!(
+            section_payload(&payloads, 0, &entries[0]).unwrap(),
+            &payload_a[..]
+        );
+        assert_eq!(
+            section_payload(&payloads, payload_a.len(), &entries[1]).unwrap(),
+            &payload_b[..]
+        );
+        // truncated payload area: out-of-bounds, not a panic
+        assert!(section_payload(
+            &payloads[..payloads.len() - 1],
+            payload_a.len(),
+            &entries[1]
+        )
+        .is_err());
+        // a flipped byte fails the checksum
+        let mut corrupt = payloads.clone();
+        corrupt[2] ^= 0x10;
+        assert!(section_payload(&corrupt, 0, &entries[0]).is_err());
+        // but leaves the *other* section salvageable
+        assert!(section_payload(&corrupt, payload_a.len(), &entries[1]).is_ok());
     }
 
     #[test]

@@ -343,6 +343,79 @@ fn corrupted_or_stale_cache_degrades_to_rebuild() {
 }
 
 #[test]
+fn delta_restart_reuses_unchanged_stages_with_identical_answers() {
+    // the dynamic-network story: a deployed engine's graph drifts by a few
+    // edges (a warm EM refit nudging weights); reopening must NOT pay a
+    // full offline build — unchanged stages and untouched PIKS worlds
+    // reload, only the invalidated work reruns, and the partially rebuilt
+    // engine answers every probe exactly like a from-scratch build
+    use octopus::graph::delta;
+    let net = small_net();
+    let config = engine_config();
+    let dir = std::env::temp_dir().join("octopus_e2e_citation_delta");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let first = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config.clone(), &dir)
+        .expect("cold start builds");
+    assert!(!first.system_report().cache_hit);
+    drop(first);
+
+    // perturb k=3 edge weights, spread across the edge range
+    let m = net.graph.edge_count() as u32;
+    let victims: Vec<octopus::EdgeId> = [m / 7, m / 2, m - 3]
+        .into_iter()
+        .map(octopus::EdgeId)
+        .collect();
+    let perturbed = delta::nudge_weights(&net.graph, &victims, 0.05).expect("delta applies");
+
+    let reopened =
+        Octopus::open_or_build(perturbed.clone(), net.model.clone(), config.clone(), &dir)
+            .expect("delta reopen");
+    let report = reopened.system_report();
+    assert!(!report.cache_hit, "a delta is a partial, not a full, hit");
+    let reuse_of = |stage: &str| {
+        report
+            .stage_reuse
+            .iter()
+            .find(|s| s.stage == stage)
+            .unwrap_or_else(|| panic!("stage {stage} missing"))
+            .clone()
+    };
+    // the trie never read the weights: full per-stage hit
+    assert!(
+        reuse_of("autocomplete").is_full(),
+        "autocomplete must survive a weight delta: {:?}",
+        report.stage_reuse
+    );
+    // PIKS reuses every world whose BFS footprint missed the nudged edges
+    let piks = reuse_of("piks-worlds");
+    assert!(
+        piks.reused > 0,
+        "a 3-edge delta must leave most worlds reusable: {piks:?}"
+    );
+    assert!(piks.reused < piks.total, "touched worlds must rebuild");
+    // the probability-reading stages correctly rebuilt
+    assert_eq!(reuse_of("spread-cap").reused, 0);
+    // the partial rebuild answers exactly like a cache-less engine
+    let fresh =
+        Octopus::new(perturbed.clone(), net.model.clone(), config.clone()).expect("fresh engine");
+    assert_eq!(
+        probe(&reopened),
+        probe(&fresh),
+        "delta reopen must be exact"
+    );
+    drop(reopened);
+
+    // and the merged write-back makes the next identical open a full hit
+    let again = Octopus::open_or_build(perturbed, net.model.clone(), config, &dir).unwrap();
+    let report = again.system_report();
+    assert!(report.cache_hit, "unchanged re-reopen must fully hit");
+    assert!(report.stage_reuse.iter().all(|s| s.is_full()));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn warm_em_pipeline_for_evolving_logs() {
     // dynamic-stream story: learn once, new actions arrive, refit warm
     use octopus::data::{EmOptions, TicEm};
