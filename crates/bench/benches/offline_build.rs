@@ -1,8 +1,14 @@
-//! Offline-build pipeline bench: sequential (1-thread) vs parallel
-//! (default thread count) staged builds on the citation generator
-//! workload, per engine configuration. The determinism contract says the
-//! outputs are identical — this bench measures how much wall clock the
-//! parallel stage DAG and intra-stage fan-out buy.
+//! Offline-build pipeline bench: sequential (1-thread) vs 2-thread vs
+//! parallel (default thread count) staged builds on the citation
+//! generator workload, per engine configuration. The determinism contract
+//! says the outputs are identical — this bench measures how much wall
+//! clock the parallel stage DAG, the intra-stage fan-out, and the
+//! executor's dynamic chunk-claiming buy. The 2-thread point is the
+//! interesting one for the work-claiming executor: with static chunks a
+//! single hub-rooted PIKS world could strand half the units behind it,
+//! whereas claiming lets the other thread drain the remainder. (Numbers
+//! are only meaningful on a multi-core host; the dev container is
+//! single-CPU.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use octopus_core::engine::{KimEngineChoice, OctopusConfig};
@@ -51,6 +57,10 @@ fn bench_sequential_vs_parallel(c: &mut Criterion) {
         .num_threads(1)
         .build()
         .unwrap();
+    let two = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .unwrap();
     let mut group = c.benchmark_group("offline_build");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(5));
@@ -62,6 +72,13 @@ fn bench_sequential_vs_parallel(c: &mut Criterion) {
                 b.iter(|| {
                     single.install(|| offline::build(std::hint::black_box(&net.graph), config))
                 })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("threads_2", label),
+            &config,
+            |b, config| {
+                b.iter(|| two.install(|| offline::build(std::hint::black_box(&net.graph), config)))
             },
         );
         group.bench_with_input(

@@ -607,7 +607,7 @@ fn rmse(a: &[f64], b: &[f64]) -> f64 {
 
 /// Delta workload (`--delta <k>`): perturb the citation network by a few
 /// edges and measure how much of the offline build `open_or_build` reuses
-/// from the OCTA v2 section cache, versus paying a full rebuild.
+/// from the OCTA section cache, versus paying a full rebuild.
 fn delta_workload(s: &Scale, k: usize) {
     use octopus_graph::delta;
     println!("\n================ DELTA: incremental offline rebuilds (k={k}) ================");

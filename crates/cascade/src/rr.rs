@@ -20,6 +20,35 @@ use octopus_graph::{EdgeProbs, NodeId, TopicGraph};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread epoch-stamped visited buffer for [`sample_rr_set`]:
+    /// `(buffer, last stamp handed out)`. Pool worker threads persist
+    /// across parallel operations, so the buffer amortizes across every
+    /// RR batch a thread ever samples instead of being reallocated per
+    /// chunk.
+    static VISITED: RefCell<(Vec<u64>, u64)> = const { RefCell::new((Vec::new(), 0)) };
+}
+
+/// Run `f` with this thread's visited buffer sized for `n` nodes and a
+/// fresh stamp. Stamps increase monotonically per thread and reset only
+/// when the buffer is resized (which also zeroes it), so a stamp never
+/// collides with a mark left by an earlier set — even one sampled from a
+/// different collection or graph of the same size.
+fn with_visited<R>(n: usize, f: impl FnOnce(&mut [u64], u64) -> R) -> R {
+    VISITED.with(|tl| {
+        let mut tl = tl.borrow_mut();
+        let (buf, stamp) = &mut *tl;
+        if buf.len() != n {
+            buf.clear();
+            buf.resize(n, 0);
+            *stamp = 0;
+        }
+        *stamp += 1;
+        f(buf, *stamp)
+    })
+}
 
 /// A collection of RR sets with an inverted node→sets index.
 ///
@@ -95,40 +124,36 @@ impl RrCollection {
 
     /// Add `additional` RR sets (used by the OPIM doubling loop).
     ///
-    /// Sets are sampled in parallel chunks (each set from its index-derived
-    /// stream, each chunk reusing one epoch-stamped visited buffer); the
+    /// Sets are sampled one per work unit on the shared claiming executor
+    /// (each set from its index-derived stream, each participating thread
+    /// reusing its own epoch-stamped visited buffer), so skewed per-set
+    /// costs load-balance without any chunk-size heuristic here; the
     /// inverted index is then merged sequentially in set order, so the
-    /// collection is independent of the chunk/thread count. Small batches
-    /// stay on the calling thread — `extend` also sits on the online query
-    /// path (naive/OPIM engines), where fan-out overhead would dominate.
+    /// collection is independent of the thread count. Small batches stay
+    /// on the calling thread — `extend` also sits on the online query
+    /// path (naive/OPIM engines), where even one pool handoff is overhead.
     pub fn extend(&mut self, g: &TopicGraph, probs: &EdgeProbs, additional: usize) {
         assert_eq!(g.node_count(), self.n, "graph changed under the collection");
         if self.n == 0 || additional == 0 {
             return;
         }
-        /// Below this many sets per chunk, more chunks only buy overhead.
-        const MIN_SETS_PER_CHUNK: usize = 64;
+        /// Below this many sets, posting to the pool only buys overhead.
+        const MIN_PAR_SETS: usize = 64;
+        let n = self.n;
+        let seed = self.seed;
         let first = self.sets.len() as u64;
-        let chunks = rayon::current_num_threads()
-            .min(additional.div_ceil(MIN_SETS_PER_CHUNK))
-            .max(1);
-        let per_chunk = additional.div_ceil(chunks);
-        let sampled: Vec<Vec<(Vec<u32>, usize)>> = (0..chunks)
-            .into_par_iter()
-            .map(|c| {
-                let lo = c * per_chunk;
-                let hi = ((c + 1) * per_chunk).min(additional);
-                let mut visited = vec![0u64; self.n];
-                (lo..hi)
-                    .map(|i| {
-                        let rng = SmallRng::seed_from_u64(stream_seed(self.seed, first + i as u64));
-                        // stamp i+1: nonzero, unique within this buffer
-                        sample_rr_set(g, probs, rng, &mut visited, i as u64 + 1)
-                    })
-                    .collect()
+        let sample_one = |i: usize| {
+            let rng = SmallRng::seed_from_u64(stream_seed(seed, first + i as u64));
+            with_visited(n, |visited, stamp| {
+                sample_rr_set(g, probs, rng, visited, stamp)
             })
-            .collect();
-        for (members, edges) in sampled.into_iter().flatten() {
+        };
+        let sampled: Vec<(Vec<u32>, usize)> = if additional < MIN_PAR_SETS {
+            (0..additional).map(sample_one).collect()
+        } else {
+            (0..additional).into_par_iter().map(sample_one).collect()
+        };
+        for (members, edges) in sampled.into_iter() {
             let set_id = self.sets.len() as u32;
             self.edges_examined += edges;
             for &u in &members {

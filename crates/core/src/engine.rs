@@ -227,7 +227,7 @@ impl Octopus {
     /// Build the engine, reusing every cached offline stage whose inputs
     /// are unchanged and rebuilding only the rest.
     ///
-    /// Reuse is decided per stage by [`StageKeys`]: each OCTA v2 cache
+    /// Reuse is decided per stage by [`StageKeys`]: each OCTA cache
     /// section is keyed on exactly the inputs its stage reads, so after a
     /// small graph delta (a weight nudge from a warm EM refit, an edge
     /// insert, a rename) the unchanged stages — and, world-by-world, every

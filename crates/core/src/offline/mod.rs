@@ -31,15 +31,28 @@
 //! are additionally parallel *internally* (per-topic CELF runs, per-gamma
 //! best-effort runs, per-world reverse BFS, per-set RR sampling).
 //!
+//! Per-unit costs inside those stages are heavily skewed — a PIKS world
+//! rooted at a hub traverses orders of magnitude more edges than one
+//! rooted at a leaf, and a delta rebuild interleaves expensive rebuilt
+//! worlds between no-op reused slots — so the stand-in `rayon` executes
+//! every fan-out on a persistent worker pool with dynamic chunk-claiming:
+//! threads repeatedly claim small index ranges off a shared cursor
+//! instead of receiving one static chunk each, so a thread stuck on a hub
+//! world never strands the units behind it. The four `join` branches and
+//! all nested parallelism share that one pool.
+//!
 //! ## Determinism
 //!
 //! Every randomized work unit draws from its own RNG stream derived as
 //! [`octopus_cascade::stream_seed`]`(stage_seed, unit_index)` — never from
 //! a shared sequential RNG — and every parallel combinator assembles
-//! results in unit order. Consequently the artifacts are **bit-identical**
+//! results in unit order: each unit writes its own output slot, whatever
+//! thread claims it. Consequently the artifacts are **bit-identical**
 //! for a fixed [`crate::engine::OctopusConfig::seed`] whether the build
-//! runs on one thread or many (`RAYON_NUM_THREADS=1` vs default), which
-//! the `build_determinism` integration tests pin down.
+//! runs on one thread or many (`RAYON_NUM_THREADS=1` vs default), and
+//! regardless of how the work-claiming executor happens to schedule the
+//! units — which the `build_determinism` integration tests and the
+//! executor's own stress suite pin down.
 //!
 //! ## Telemetry
 //!
@@ -52,7 +65,7 @@
 //!
 //! Determinism (above) is what makes the artifacts *cacheable*: each stage
 //! is a pure function of the inputs it reads, so [`persist`] serializes
-//! [`OfflineArtifacts`] into an **OCTA v2 sectioned container** — one
+//! [`OfflineArtifacts`] into an **OCTA v3 sectioned container** — one
 //! independently keyed, independently checksummed section per stage, each
 //! section's [`persist::StageKeys`] entry hashing only that stage's input
 //! slice (MIS ignores names, autocomplete ignores weights, each PIKS world

@@ -26,15 +26,16 @@
 //! BFS touched, so a k-edge delta rebuilds only the worlds that actually
 //! saw those edges.
 //!
-//! ## File format (OCTA v2, little-endian)
+//! ## File format (OCTA v3, little-endian)
 //!
 //! The normative byte-level specification lives in `ARCHITECTURE.md`
-//! (§"The OCTA v2 artifact container") and is pinned against this codec by
+//! (§"The OCTA v3 artifact container") and is pinned against this codec by
 //! the `octa_format` integration test. Summary:
 //!
 //! ```text
-//! magic "OCTA" | version u16 = 2
+//! magic "OCTA" | version u16 = 3
 //! graph_fp u64 | config_fp u64 | seed u64      ← combined key (file name / diagnostics)
+//! write_seq u64                                ← per-directory write sequence (prune order)
 //! section_count u32
 //! section table: count × { tag u32 | key u64 | len u64 | checksum u64 }
 //! section payloads, concatenated in table order (no padding)
@@ -42,9 +43,9 @@
 //!
 //! Every section carries its own FNV-1a checksum, so corruption, torn
 //! writes, and truncation are detected **per section**: the damaged section
-//! misses, the intact ones are still reused. A v1 file fails the version
-//! check and is migrated by rebuild — the v2 writer then replaces it for
-//! the same inputs under the same cache-file name scheme.
+//! misses, the intact ones are still reused. A v1 or v2 file fails the
+//! version check and is migrated by rebuild — the v3 writer then replaces
+//! it for the same inputs under the same cache-file name scheme.
 //!
 //! ## Lookup
 //!
@@ -53,10 +54,11 @@
 //! sections across files — so after a graph delta (new combined
 //! fingerprint, hence new file name) the previous epoch's file still
 //! donates every section whose stage inputs are unchanged. After each
-//! write-back, [`prune`] bounds the directory to [`MAX_CACHE_FILES`]
-//! (oldest-modified epochs go first), so a long-lived deployment's disk
-//! and scan cost stay flat. Stage timings are telemetry, not artifact
-//! state, and are never persisted.
+//! write-back, [`prune`] bounds the directory to [`MAX_CACHE_FILES`],
+//! evicting oldest-first by modification time with the header's
+//! `write_seq` breaking ties (coarse-mtime filesystems would otherwise
+//! order a burst of delta write-backs arbitrarily). Stage timings are
+//! telemetry, not artifact state, and are never persisted.
 
 #![warn(missing_docs)]
 
@@ -75,10 +77,10 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"OCTA";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 /// Bytes before the section table: magic + version + 3 fingerprint words +
-/// section count.
-const HEADER_LEN: usize = 4 + 2 + 8 * 3 + 4;
+/// write sequence + section count.
+const HEADER_LEN: usize = 4 + 2 + 8 * 3 + 8 + 4;
 
 /// Section tag: the global spread cap (`f64`).
 pub const SECTION_CAP: u32 = 1;
@@ -365,9 +367,16 @@ fn topic_samples_key(topology: u64, weights: u64, config: &OctopusConfig) -> u64
 // Encoding
 // ---------------------------------------------------------------------------
 
-/// Serialize `artifacts` as an OCTA v2 sectioned container stamped with the
-/// combined key `fp` and the per-stage `keys`.
-pub fn encode(artifacts: &OfflineArtifacts, fp: &Fingerprint, keys: &StageKeys) -> Bytes {
+/// Serialize `artifacts` as an OCTA v3 sectioned container stamped with the
+/// combined key `fp`, the per-stage `keys`, and the cache directory's
+/// `write_seq` (see [`prune`]; callers outside a cache directory may pass
+/// any value — the sequence never gates reuse).
+pub fn encode(
+    artifacts: &OfflineArtifacts,
+    fp: &Fingerprint,
+    keys: &StageKeys,
+    write_seq: u64,
+) -> Bytes {
     let sections: Vec<(u32, u64, BytesMut)> = vec![
         (SECTION_CAP, keys.cap, encode_cap(artifacts)),
         (SECTION_PB, keys.pb, encode_pb(artifacts)),
@@ -385,6 +394,7 @@ pub fn encode(artifacts: &OfflineArtifacts, fp: &Fingerprint, keys: &StageKeys) 
     buf.put_u64_le(fp.graph);
     buf.put_u64_le(fp.config);
     buf.put_u64_le(fp.seed);
+    buf.put_u64_le(write_seq);
     buf.put_u32_le(sections.len() as u32);
     for (tag, key, payload) in &sections {
         wire::put_section_entry(
@@ -521,6 +531,14 @@ pub fn read_fingerprint(raw: &[u8]) -> Result<Fingerprint, PersistError> {
         config: buf.get_u64_le(),
         seed: buf.get_u64_le(),
     })
+}
+
+/// Read the per-directory write sequence stamped in a container header
+/// (the [`prune`] tie-break; never consulted for reuse).
+pub fn read_write_seq(raw: &[u8]) -> Result<u64, PersistError> {
+    read_fingerprint(raw)?; // validates length, magic, version
+    let mut buf = &raw[HEADER_LEN - 12..];
+    Ok(buf.get_u64_le())
 }
 
 /// Salvage every reusable stage output from one encoded container.
@@ -899,17 +917,48 @@ pub fn save(
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
+    let write_seq = path.parent().map_or(1, next_write_seq);
     let tmp = path.with_extension(format!(
         "octa.tmp.{}.{}",
         std::process::id(),
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
-    let result = std::fs::write(&tmp, encode(artifacts, fp, keys))
+    let result = std::fs::write(&tmp, encode(artifacts, fp, keys, write_seq))
         .and_then(|()| std::fs::rename(&tmp, path));
     if result.is_err() {
         std::fs::remove_file(&tmp).ok();
     }
     result
+}
+
+/// The write sequence a new file in `dir` should carry: one past the
+/// largest sequence already present (headers are read, not whole files).
+/// Unreadable or foreign-version files count as sequence 0, so a directory
+/// of migrated v2 files simply restarts the ordering.
+fn next_write_seq(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 1;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "octa"))
+        .map(|e| file_write_seq(&e.path()))
+        .max()
+        .map_or(1, |m| m.saturating_add(1))
+}
+
+/// Best-effort read of one file's header write sequence (0 on any failure:
+/// a file prune cannot order is treated as oldest).
+fn file_write_seq(path: &Path) -> u64 {
+    use std::io::Read;
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return 0;
+    };
+    let mut header = [0u8; HEADER_LEN];
+    if f.read_exact(&mut header).is_err() {
+        return 0;
+    }
+    read_write_seq(&header).unwrap_or(0)
 }
 
 /// How many `.octa` files [`prune`] retains per cache directory.
@@ -925,19 +974,26 @@ pub fn save(
 pub const MAX_CACHE_FILES: usize = 16;
 
 /// Bound the cache directory to [`MAX_CACHE_FILES`] `.octa` files by
-/// deleting the oldest-modified ones, never touching `keep` (the file the
-/// caller just wrote). Errors are ignored — pruning is best-effort
-/// hygiene, not correctness.
+/// deleting the oldest ones, never touching `keep` (the file the caller
+/// just wrote). "Oldest" is modification time, with ties broken by the
+/// header's write sequence and then by path: on coarse-mtime filesystems a
+/// burst of delta write-backs lands with one shared timestamp, and a
+/// lexicographic-only tie-break could evict the newest donor epoch while
+/// keeping the oldest — the sequence restores write order, and the path
+/// keeps the order total (deterministic) even among files prune cannot
+/// parse. Errors are ignored — pruning is best-effort hygiene, not
+/// correctness.
 pub fn prune(cache_dir: &Path, keep: &Path) {
     let Ok(entries) = std::fs::read_dir(cache_dir) else {
         return;
     };
-    let mut files: Vec<(std::time::SystemTime, PathBuf)> = entries
+    let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = entries
         .filter_map(|e| e.ok())
         .filter_map(|e| {
             let path = e.path();
             if path.extension().is_some_and(|x| x == "octa") && path != *keep {
-                Some((e.metadata().and_then(|m| m.modified()).ok()?, path))
+                let mtime = e.metadata().and_then(|m| m.modified()).ok()?;
+                Some((mtime, file_write_seq(&path), path))
             } else {
                 None
             }
@@ -949,7 +1005,7 @@ pub fn prune(cache_dir: &Path, keep: &Path) {
         return;
     }
     files.sort();
-    for (_, path) in files.into_iter().take(excess) {
+    for (_, _, path) in files.into_iter().take(excess) {
         std::fs::remove_file(path).ok();
     }
 }
@@ -1031,7 +1087,7 @@ mod tests {
     fn round_trip(art: &OfflineArtifacts, g: &TopicGraph, cfg: &OctopusConfig) -> OfflineArtifacts {
         let fp = Fingerprint::compute(g, cfg);
         let keys = StageKeys::compute(g, cfg);
-        let raw = encode(art, &fp, &keys);
+        let raw = encode(art, &fp, &keys, 1);
         let slots = load_sections(&raw, &keys, g, cfg).expect("container intact");
         offline::build_with_reuse(g, cfg, slots)
     }
@@ -1082,7 +1138,7 @@ mod tests {
         let cfg = config(KimEngineChoice::Mis);
         let fp = Fingerprint::compute(&g, &cfg);
         let keys = StageKeys::compute(&g, &cfg);
-        let mut raw = encode(&offline::build(&g, &cfg), &fp, &keys).to_vec();
+        let mut raw = encode(&offline::build(&g, &cfg), &fp, &keys, 1).to_vec();
         raw[0] = b'X';
         assert!(matches!(
             load_sections(&raw, &keys, &g, &cfg),
@@ -1096,7 +1152,7 @@ mod tests {
         let cfg = config(KimEngineChoice::Mis);
         let fp = Fingerprint::compute(&g, &cfg);
         let keys = StageKeys::compute(&g, &cfg);
-        let mut raw = encode(&offline::build(&g, &cfg), &fp, &keys).to_vec();
+        let mut raw = encode(&offline::build(&g, &cfg), &fp, &keys, 1).to_vec();
         // a v1 file (or any other version) must be refused wholesale
         raw[4] = 0x01;
         raw[5] = 0x00;
@@ -1119,7 +1175,7 @@ mod tests {
         let fp = Fingerprint::compute(&g, &cfg);
         let keys = StageKeys::compute(&g, &cfg);
         let art = offline::build(&g, &cfg);
-        let raw = encode(&art, &fp, &keys);
+        let raw = encode(&art, &fp, &keys, 1);
         let mut salvaged_caps = 0usize;
         for cut in 0..raw.len() {
             let Ok(slots) = load_sections(&raw[..cut], &keys, &g, &cfg) else {
@@ -1151,7 +1207,7 @@ mod tests {
         let fp = Fingerprint::compute(&g, &cfg);
         let keys = StageKeys::compute(&g, &cfg);
         let art = offline::build(&g, &cfg);
-        let clean = encode(&art, &fp, &keys).to_vec();
+        let clean = encode(&art, &fp, &keys, 1).to_vec();
         let payload_start = HEADER_LEN + SECTION_ORDER.len() * wire::SECTION_ENTRY_LEN;
         for frac in [0.0, 0.25, 0.5, 0.75, 0.999] {
             let mut raw = clean.clone();
@@ -1189,7 +1245,7 @@ mod tests {
         };
         let forged_fp = Fingerprint::compute(&small, &cfg);
         let forged_keys = StageKeys::compute(&small, &cfg);
-        let stamped = encode(&art, &forged_fp, &forged_keys);
+        let stamped = encode(&art, &forged_fp, &forged_keys, 1);
         let mut slots =
             load_sections(&stamped, &forged_keys, &small, &cfg).expect("framing intact");
         assert!(slots.pb.is_none() || !offline::needs_pb(&cfg));
@@ -1449,6 +1505,100 @@ mod tests {
             !remaining.contains(&dir.join("octopus-artifacts-00.octa")),
             "the oldest epoch must be the one evicted"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A header-only v3 container carrying `write_seq` (zero sections —
+    /// structurally valid, enough for the prune ordering to read).
+    fn write_header_only(path: &Path, write_seq: u64) {
+        let mut raw = Vec::with_capacity(HEADER_LEN);
+        raw.extend_from_slice(MAGIC);
+        raw.extend_from_slice(&VERSION.to_le_bytes());
+        for w in [1u64, 2, 3] {
+            raw.extend_from_slice(&w.to_le_bytes());
+        }
+        raw.extend_from_slice(&write_seq.to_le_bytes());
+        raw.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(path, raw).unwrap();
+    }
+
+    #[test]
+    fn prune_equal_mtime_burst_evicts_by_write_sequence() {
+        // a burst of delta write-backs on a coarse-mtime filesystem: every
+        // file shares one mtime, and the newest epochs get the
+        // lexicographically SMALLEST names, so a path-only tie-break would
+        // evict exactly the wrong files; the header write sequence must
+        // restore write order
+        let dir = std::env::temp_dir().join("octopus_persist_prune_burst");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let total = MAX_CACHE_FILES + 4;
+        let name_for = |seq: usize| {
+            // seq 1 (oldest) → largest name, seq `total` (newest) → smallest
+            dir.join(format!("octopus-artifacts-{:02}.octa", total - seq))
+        };
+        let paths: Vec<PathBuf> = (1..=total).map(name_for).collect();
+        for (i, p) in paths.iter().enumerate() {
+            write_header_only(p, (i + 1) as u64);
+        }
+        let keep = dir.join("octopus-artifacts-keep.octa");
+        write_header_only(&keep, (total + 1) as u64);
+        // collapse every mtime onto one timestamp, as a burst within the
+        // filesystem's granularity would
+        let stamp =
+            std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_700_000_000);
+        for p in paths.iter().chain([&keep]) {
+            std::fs::File::options()
+                .write(true)
+                .open(p)
+                .unwrap()
+                .set_modified(stamp)
+                .unwrap();
+        }
+        prune(&dir, &keep);
+        let remaining: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "octa"))
+            .collect();
+        assert_eq!(remaining.len(), MAX_CACHE_FILES, "bounded to the cap");
+        assert!(remaining.contains(&keep), "the kept file must survive");
+        // keep occupies one slot, so the 5 oldest write sequences go
+        for seq in 1..=total - (MAX_CACHE_FILES - 1) {
+            assert!(
+                !remaining.contains(&name_for(seq)),
+                "oldest epoch seq {seq} must be evicted"
+            );
+        }
+        for seq in total - (MAX_CACHE_FILES - 1) + 1..=total {
+            assert!(
+                remaining.contains(&name_for(seq)),
+                "newest epoch seq {seq} must survive the burst"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_stamps_an_increasing_write_sequence() {
+        let g = tiny_graph();
+        let cfg = config(KimEngineChoice::Mis);
+        let dir = std::env::temp_dir().join("octopus_persist_write_seq");
+        std::fs::remove_dir_all(&dir).ok();
+        let art = offline::build(&g, &cfg);
+        let fp = Fingerprint::compute(&g, &cfg);
+        let keys = StageKeys::compute(&g, &cfg);
+        let first = dir.join("octopus-artifacts-first.octa");
+        save(&art, &fp, &keys, &first).unwrap();
+        let seq1 = read_write_seq(&std::fs::read(&first).unwrap()).unwrap();
+        let second = dir.join("octopus-artifacts-second.octa");
+        save(&art, &fp, &keys, &second).unwrap();
+        let seq2 = read_write_seq(&std::fs::read(&second).unwrap()).unwrap();
+        assert!(seq2 > seq1, "later writes must order after earlier ones");
+        // overwriting an existing name still advances past every file
+        save(&art, &fp, &keys, &first).unwrap();
+        let seq3 = read_write_seq(&std::fs::read(&first).unwrap()).unwrap();
+        assert!(seq3 > seq2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -249,9 +249,12 @@ impl PiksReuse {
 impl InfluencerIndex {
     /// Build an index of `r` worlds over `graph`.
     ///
-    /// Worlds build in parallel; world `j`'s coins and root both derive
-    /// from `(seed, j)`, so the index is bit-identical for any thread
-    /// count.
+    /// Worlds build in parallel, one per work unit on the claiming
+    /// executor — per-world costs are wildly skewed (a hub-rooted reverse
+    /// BFS can touch most of the graph while a leaf-rooted one touches a
+    /// handful of nodes), so dynamic claiming is what keeps every core
+    /// busy. World `j`'s coins and root both derive from `(seed, j)`, so
+    /// the index is bit-identical for any thread count or schedule.
     pub fn build(graph: &TopicGraph, r: usize, seed: u64) -> Self {
         Self::build_with_reuse(graph, r, seed, &PiksReuse::default()).0
     }
@@ -299,6 +302,10 @@ impl InfluencerIndex {
                 .filter(|s| s.coins.seed() == worlds[j].seed())
         };
         let reused = (0..r).filter(|&j| reusable(j).is_some()).count();
+        // delta rebuilds are the skew worst case: most units are cheap
+        // clones of reused worlds with expensive fresh BFS builds sprinkled
+        // between them — the executor's dynamic claiming load-balances the
+        // mix, no chunking heuristic needed here
         let samples: Vec<Sample> = (0..r)
             .into_par_iter()
             .map(|j| match reusable(j) {
@@ -357,7 +364,7 @@ impl InfluencerIndex {
 
     /// Serialize the index into `buf` (the artifact-codec path).
     ///
-    /// Layout (the OCTA v2 `piks-worlds` section payload; normative spec in
+    /// Layout (the OCTA v3 `piks-worlds` section payload; normative spec in
     /// `ARCHITECTURE.md`):
     ///
     /// ```text

@@ -146,7 +146,7 @@ fn persisted_artifacts_are_bit_identical_to_built_ones() {
         let fp = Fingerprint::compute(&g, &config);
         let keys = persist::StageKeys::compute(&g, &config);
         let built = offline::build(&g, &config);
-        let raw = persist::encode(&built, &fp, &keys);
+        let raw = persist::encode(&built, &fp, &keys, 1);
         let slots = persist::load_sections(&raw, &keys, &g, &config)
             .unwrap_or_else(|e| panic!("reload under {:?}: {e}", config.kim));
         let back = offline::build_with_reuse(&g, &config, slots);

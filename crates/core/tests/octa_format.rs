@@ -1,5 +1,5 @@
-//! Pins the OCTA v2 container bytes to the normative specification in
-//! `ARCHITECTURE.md` (§"The OCTA v2 artifact container").
+//! Pins the OCTA v3 container bytes to the normative specification in
+//! `ARCHITECTURE.md` (§"The OCTA v3 artifact container").
 //!
 //! The parser below is written *independently* against the documented
 //! layout — it shares no framing helpers with the codec (it re-implements
@@ -63,22 +63,25 @@ fn container_bytes_follow_the_documented_layout() {
     let fp = Fingerprint::compute(&g, &cfg);
     let keys = StageKeys::compute(&g, &cfg);
     let art = offline::build(&g, &cfg);
-    let raw = persist::encode(&art, &fp, &keys);
+    let raw = persist::encode(&art, &fp, &keys, 0x5E0);
 
-    // ---- header: magic "OCTA" | version u16 = 2 ------------------------
+    // ---- header: magic "OCTA" | version u16 = 3 ------------------------
     assert_eq!(&raw[0..4], b"OCTA");
-    assert_eq!(u16_at(&raw, 4), 2, "container version");
+    assert_eq!(u16_at(&raw, 4), 3, "container version");
     // graph_fp u64 | config_fp u64 | seed u64
     assert_eq!(u64_at(&raw, 6), fp.graph);
     assert_eq!(u64_at(&raw, 14), fp.config);
     assert_eq!(u64_at(&raw, 22), fp.seed);
     assert_eq!(fp.seed, 0x0C7A, "the seed word is the config seed verbatim");
+    // write_seq u64: the per-directory write sequence, stored verbatim
+    assert_eq!(u64_at(&raw, 30), 0x5E0, "write sequence word");
+    assert_eq!(persist::read_write_seq(&raw).unwrap(), 0x5E0);
     // section_count u32
-    let count = u32_at(&raw, 30) as usize;
+    let count = u32_at(&raw, 38) as usize;
     assert_eq!(count, 6, "six sections, one per offline stage");
 
     // ---- section table: count × { tag u32, key u64, len u64, checksum u64 }
-    let table_at = 34;
+    let table_at = 42;
     let entry_len = 4 + 8 + 8 + 8;
     let mut entries = Vec::new();
     for i in 0..count {
@@ -165,10 +168,11 @@ fn container_bytes_follow_the_documented_layout() {
 }
 
 #[test]
-fn v1_containers_are_refused_for_migration_by_rebuild() {
-    // a v1 file begins "OCTA" | version 1; the v2 reader must refuse it
-    // wholesale (PersistError::Version) so open_or_build rebuilds and
-    // overwrites it — never misparse the v1 monolithic payload as sections
+fn v1_and_v2_containers_are_refused_for_migration_by_rebuild() {
+    // earlier-version files must be refused wholesale
+    // (PersistError::Version) so open_or_build rebuilds and overwrites
+    // them — never misparse a v1 monolithic payload as sections, nor a v2
+    // section table as v3 (the v3 header is 8 bytes longer)
     let g = tiny_graph();
     let cfg = OctopusConfig {
         kim: KimEngineChoice::Mis,
@@ -190,5 +194,23 @@ fn v1_containers_are_refused_for_migration_by_rebuild() {
     assert!(matches!(
         persist::load_sections(&v1, &keys, &g, &cfg),
         Err(persist::PersistError::Version(1))
+    ));
+    // a plausible v2 header: magic, version=2, fp triple, section count,
+    // then section-table-shaped bytes
+    let mut v2 = Vec::new();
+    v2.extend_from_slice(b"OCTA");
+    v2.extend_from_slice(&2u16.to_le_bytes());
+    for w in [1u64, 2, 3] {
+        v2.extend_from_slice(&w.to_le_bytes());
+    }
+    v2.extend_from_slice(&6u32.to_le_bytes());
+    v2.extend_from_slice(&[0u8; 6 * 28]);
+    assert!(matches!(
+        persist::load_sections(&v2, &keys, &g, &cfg),
+        Err(persist::PersistError::Version(2))
+    ));
+    assert!(matches!(
+        persist::read_write_seq(&v2),
+        Err(persist::PersistError::Version(2))
     ));
 }

@@ -126,12 +126,12 @@ proptest! {
         let fp = Fingerprint::compute(&g, &config);
         let keys = persist::StageKeys::compute(&g, &config);
         let art = offline::build(&g, &config);
-        let raw = persist::encode(&art, &fp, &keys);
+        let raw = persist::encode(&art, &fp, &keys, 1);
         let slots = persist::load_sections(&raw, &keys, &g, &config).expect("reload");
         let back = offline::build_with_reuse(&g, &config, slots);
         prop_assert!(back.fully_reused(), "unchanged inputs reuse everything");
         assert_artifacts_equal(&art, &back);
-        let again = persist::encode(&back, &fp, &keys);
+        let again = persist::encode(&back, &fp, &keys, 1);
         prop_assert_eq!(raw.to_vec(), again.to_vec(), "re-encode must be canonical");
     }
 
@@ -144,7 +144,7 @@ proptest! {
         let config = base_config();
         let fp = Fingerprint::compute(&g, &config);
         let keys = persist::StageKeys::compute(&g, &config);
-        let raw = persist::encode(&offline::build(&g, &config), &fp, &keys);
+        let raw = persist::encode(&offline::build(&g, &config), &fp, &keys, 1);
         let cut = (((raw.len() as f64) * frac) as usize).min(raw.len() - 1);
         match persist::load_sections(&raw[..cut], &keys, &g, &config) {
             Err(_) => {} // header/table damage: clean error

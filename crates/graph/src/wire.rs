@@ -72,7 +72,7 @@ pub const SECTION_ENTRY_LEN: usize = 4 + 8 + 8 + 8;
 
 /// One row of a sectioned container's table of contents.
 ///
-/// A *sectioned* codec (the OCTA v2 artifact cache) frames its payload as
+/// A *sectioned* codec (the OCTA artifact cache) frames its payload as
 /// independently keyed, independently checksummed byte ranges so a reader
 /// can salvage every intact section of a file whose other sections are
 /// stale, truncated, or corrupt. The table row carries everything needed to

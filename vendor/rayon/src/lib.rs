@@ -1,8 +1,11 @@
 //! Minimal, dependency-free stand-in for `rayon`.
 //!
 //! The build environment has no crates.io access, so this vendored crate
-//! re-implements the subset of rayon the workspace uses with
-//! `std::thread::scope` fan-out instead of a work-stealing pool:
+//! re-implements the subset of rayon the workspace uses. Since the
+//! work-stealing rework, parallel operations run on a **persistent,
+//! lazily started worker pool** with chunk-claiming load balancing (see
+//! `pool`'s module docs) instead of per-call `std::thread::scope`
+//! fan-out with static chunks:
 //!
 //! * [`join`] — run two closures, potentially on two threads;
 //! * [`prelude`] — `par_iter()` on slices and `into_par_iter()` on integer
@@ -12,25 +15,41 @@
 //! * [`current_num_threads`].
 //!
 //! Thread-count resolution order: innermost `install` override, then the
-//! `RAYON_NUM_THREADS` environment variable, then
-//! `std::thread::available_parallelism()`. Every combinator preserves input
-//! order in its output, so results never depend on the thread count — the
-//! property the offline-build determinism tests pin down.
+//! `RAYON_NUM_THREADS` environment variable (read **once** per process and
+//! cached), then `std::thread::available_parallelism()`. Every combinator
+//! assembles results in input order — each work unit writes its own output
+//! slot, whatever thread claims it — so results never depend on the thread
+//! count or on scheduling: the property the offline-build determinism
+//! tests pin down. A panic in any work unit is caught, the operation runs
+//! to completion, and the first panic payload is re-raised on the calling
+//! thread; the pool survives.
+
+mod pool;
 
 use std::cell::Cell;
+use std::sync::OnceLock;
 
 thread_local! {
     /// Scoped thread-count override installed by [`ThreadPool::install`].
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
+/// `RAYON_NUM_THREADS`, parsed once per process.
+///
+/// `current_num_threads()` sits on every parallel operation's hot path
+/// (`join` and every drive consult it), so the environment is read and
+/// parsed a single time; an `install` override still takes precedence over
+/// the cached value at every call.
 fn env_threads() -> Option<usize> {
-    std::env::var("RAYON_NUM_THREADS")
-        .ok()?
-        .trim()
-        .parse::<usize>()
-        .ok()
-        .filter(|&n| n > 0)
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()?
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+    })
 }
 
 /// The number of threads parallel operations currently fan out to.
@@ -42,7 +61,7 @@ pub fn current_num_threads() -> usize {
 }
 
 /// Run `f` with the thread-count override set to `n` (propagating into
-/// worker threads spawned by nested parallel operations).
+/// pool workers that help with parallel operations posted by `f`).
 fn with_override<R>(n: Option<usize>, f: impl FnOnce() -> R) -> R {
     struct Restore(Option<usize>);
     impl Drop for Restore {
@@ -57,6 +76,12 @@ fn with_override<R>(n: Option<usize>, f: impl FnOnce() -> R) -> R {
 
 /// Run `a` and `b`, on two threads when the effective thread count allows,
 /// and return both results.
+///
+/// `b` is posted to the worker pool while `a` runs on the calling thread;
+/// if no worker is free by the time `a` finishes, the caller claims `b`
+/// and runs it inline — `join` never deadlocks waiting for a busy pool.
+/// If either closure panics, both still run to completion before the
+/// panic resumes on the caller (`a`'s payload wins when both panic).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -64,19 +89,58 @@ where
     RA: Send,
     RB: Send,
 {
+    use std::cell::UnsafeCell;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
     if current_num_threads() <= 1 {
         return (a(), b());
     }
     let inherited = OVERRIDE.with(Cell::get);
-    std::thread::scope(|s| {
-        let hb = s.spawn(move || with_override(inherited, b));
-        let ra = a();
-        let rb = match hb.join() {
-            Ok(rb) => rb,
-            Err(panic) => std::panic::resume_unwind(panic),
-        };
-        (ra, rb)
-    })
+
+    /// Single-unit job context: the closure to run and its result slot.
+    /// Exactly one participant claims the unit, so the cells are never
+    /// accessed concurrently.
+    struct JoinCtx<B, RB> {
+        f: UnsafeCell<Option<B>>,
+        out: UnsafeCell<Option<RB>>,
+    }
+    unsafe fn run_b<B: FnOnce() -> RB, RB>(ctx: *const (), _lo: usize, _hi: usize) {
+        let ctx = unsafe { &*(ctx as *const JoinCtx<B, RB>) };
+        let f = unsafe { (*ctx.f.get()).take() }.expect("join unit claimed once");
+        let rb = f();
+        unsafe { *ctx.out.get() = Some(rb) };
+    }
+
+    let ctx = JoinCtx::<B, RB> {
+        f: UnsafeCell::new(Some(b)),
+        out: UnsafeCell::new(None),
+    };
+    // Safety: `ctx` lives on this stack frame until `finish` returns below
+    // (a panicking `a` is caught first), and `run_b` is only invoked for
+    // the single unit by its single claimant.
+    let job = unsafe {
+        pool::JobCore::new(
+            &ctx as *const JoinCtx<B, RB> as *const (),
+            run_b::<B, RB>,
+            1,
+            2,
+            inherited,
+        )
+    };
+    pool::post(&job);
+    // `a` must not unwind past the posted job — a worker may hold pointers
+    // into this frame — so catch, drain the job, then resume.
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    let b_panic = pool::finish(&job);
+    let ra = match ra {
+        Ok(ra) => ra,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    if let Some(payload) = b_panic {
+        std::panic::resume_unwind(payload);
+    }
+    let rb = unsafe { (*ctx.out.get()).take() }.expect("join unit executed");
+    (ra, rb)
 }
 
 /// Builder for a scoped thread-count "pool".
@@ -107,6 +171,10 @@ impl ThreadPoolBuilder {
 }
 
 /// A scoped thread-count override posing as a thread pool.
+///
+/// Unlike real rayon there is no per-pool thread set: every `ThreadPool`
+/// shares the one global worker pool, and `install` only pins how many
+/// threads (caller + helpers) each parallel operation inside it may use.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: Option<usize>,
@@ -130,7 +198,7 @@ impl ThreadPool {
 pub mod iter {
     //! Order-preserving indexed parallel iterators.
 
-    use super::{with_override, OVERRIDE};
+    use super::{pool, OVERRIDE};
     use std::cell::Cell;
 
     /// An indexed parallel computation: `len` independent work units whose
@@ -171,8 +239,17 @@ pub mod iter {
         }
     }
 
-    /// Execute the work units of `it` across the effective thread count,
-    /// returning results in index order.
+    /// Execute the work units of `it` on the shared worker pool, returning
+    /// results in index order.
+    ///
+    /// Units are claimed dynamically (adaptive chunks off a shared atomic
+    /// cursor — see `pool`) by the calling thread plus up to
+    /// `current_num_threads() - 1` pool workers, so skewed per-unit costs
+    /// load-balance instead of idling statically assigned threads. Each
+    /// unit writes its own output slot, so the assembled result is
+    /// bit-identical to the sequential evaluation regardless of which
+    /// thread ran what. A unit panic is re-raised here after all claimed
+    /// units settle.
     fn drive<I: ParallelIterator>(it: &I) -> Vec<I::Item> {
         let n = it.pi_len();
         let threads = super::current_num_threads().min(n).max(1);
@@ -180,30 +257,44 @@ pub mod iter {
             return (0..n).map(|i| it.pi_get(i)).collect();
         }
         let inherited = OVERRIDE.with(Cell::get);
-        let chunk = n.div_ceil(threads);
-        let mut parts: Vec<Vec<I::Item>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    s.spawn(move || {
-                        with_override(inherited, || (lo..hi).map(|i| it.pi_get(i)).collect())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(part) => part,
-                    Err(panic) => std::panic::resume_unwind(panic),
-                })
-                .collect()
-        });
-        let mut out = Vec::with_capacity(n);
-        for part in parts.iter_mut() {
-            out.append(part);
+
+        struct DriveCtx<'a, I: ParallelIterator> {
+            it: &'a I,
+            out: *mut Option<I::Item>,
         }
-        out
+        unsafe fn run_units<I: ParallelIterator>(ctx: *const (), lo: usize, hi: usize) {
+            let ctx = unsafe { &*(ctx as *const DriveCtx<'_, I>) };
+            for i in lo..hi {
+                let v = ctx.it.pi_get(i);
+                unsafe { *ctx.out.add(i) = Some(v) };
+            }
+        }
+
+        let mut out: Vec<Option<I::Item>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let ctx = DriveCtx {
+            it,
+            out: out.as_mut_ptr(),
+        };
+        // Safety: `ctx`, `out`, and `it` outlive `finish`; participants
+        // write disjoint `out` slots for the unit indices they claimed,
+        // and the pool orders those writes before `finish` returns.
+        let job = unsafe {
+            pool::JobCore::new(
+                &ctx as *const DriveCtx<'_, I> as *const (),
+                run_units::<I>,
+                n,
+                threads,
+                inherited,
+            )
+        };
+        pool::post(&job);
+        if let Some(payload) = pool::finish(&job) {
+            std::panic::resume_unwind(payload);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every unit executed"))
+            .collect()
     }
 
     /// Collection types buildable from ordered parallel results.
@@ -306,7 +397,10 @@ pub mod iter {
                 }
 
                 fn pi_get(&self, i: usize) -> $t {
-                    self.start + i as $t
+                    // wrapping: for a range ending at <$t>::MAX the plain sum
+                    // `start + len` overflows even though every unit value
+                    // `start + i` (i < len) is representable
+                    self.start.wrapping_add(i as $t)
                 }
             }
 
@@ -364,6 +458,26 @@ mod tests {
     }
 
     #[test]
+    fn range_par_iter_is_correct_at_the_type_boundary() {
+        // ranges butting against MAX must not overflow `start + i` (debug
+        // builds would abort); every unit value itself is representable
+        let vals: Vec<u32> = (u32::MAX - 1..u32::MAX).into_par_iter().collect();
+        assert_eq!(vals, vec![u32::MAX - 1]);
+        let vals: Vec<u64> = (u64::MAX - 3..u64::MAX).into_par_iter().collect();
+        assert_eq!(vals, vec![u64::MAX - 3, u64::MAX - 2, u64::MAX - 1]);
+        let hi: Vec<usize> = (usize::MAX - 2..usize::MAX)
+            .into_par_iter()
+            .map(|x| usize::MAX - x)
+            .collect();
+        assert_eq!(hi, vec![2, 1]);
+        // empty and inverted ranges stay empty
+        assert_eq!(
+            (u32::MAX..u32::MAX).into_par_iter().collect::<Vec<_>>(),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
     fn install_pins_thread_count() {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         pool.install(|| {
@@ -400,5 +514,27 @@ mod tests {
                 .collect()
         };
         assert_eq!(seq.install(f), par.install(f));
+    }
+
+    #[test]
+    fn env_is_read_once_and_install_still_wins() {
+        // prime the cache with whatever the process environment says now
+        let cached = current_num_threads();
+        let previous = std::env::var("RAYON_NUM_THREADS").ok();
+        // a later env change must NOT leak into the cached resolution...
+        std::env::set_var("RAYON_NUM_THREADS", "1234");
+        assert_eq!(
+            current_num_threads(),
+            cached,
+            "RAYON_NUM_THREADS must be read once per process"
+        );
+        // ...while an install override still beats the cached env value
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 5));
+        assert_eq!(current_num_threads(), cached, "override must not stick");
+        match previous {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
     }
 }

@@ -1,0 +1,252 @@
+//! The persistent work-claiming executor behind the stand-in's parallel
+//! operations.
+//!
+//! ## Design
+//!
+//! One lazily started, process-lifetime pool of worker threads serves every
+//! [`crate::join`] and every `ParallelIterator` drive. A parallel operation
+//! is posted as a [`JobCore`]: `len` independent work units behind a shared
+//! atomic claim cursor. Whoever participates — the posting thread always
+//! does, plus up to `max_participants - 1` pool workers — repeatedly claims
+//! an adaptively sized chunk of unit indices and executes it, so a unit
+//! that turns out to be 100× the others simply occupies one participant
+//! while the rest drain the remaining units. This is the "chunk-claiming
+//! atomic-counter queue" flavour of work stealing: there is no per-worker
+//! deque to steal from because units are never pre-assigned in the first
+//! place.
+//!
+//! ## Why there is no scheduling deadlock
+//!
+//! The posting thread participates until the claim cursor is exhausted and
+//! only then blocks, so every job can be fully executed by its own poster
+//! even when zero workers are free. Nested parallelism (a unit that posts
+//! its own job) therefore always makes progress: waits form a DAG along the
+//! nesting structure and every leaf job drains through its poster.
+//!
+//! ## Memory safety
+//!
+//! A job's context is a raw pointer into the posting thread's stack. The
+//! poster never returns before `done == len` (observed under the `finished`
+//! mutex), and a participant only dereferences the context for unit indices
+//! it claimed below `len`, so the pointee is always alive when touched.
+//! Workers that race a completed job see an exhausted cursor and touch
+//! nothing but the heap-allocated, reference-counted [`JobCore`] itself.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool growth. `install(n)` may request any `n`; concurrency
+/// above this bound degrades gracefully to fewer helpers.
+const MAX_WORKERS: usize = 256;
+
+/// Claim-size divisor: a claim takes `remaining / (participants * LAG)`
+/// units (at least one), so early claims are large — amortizing the atomic
+/// traffic — while the tail is claimed unit-by-unit, which is what
+/// load-balances adversarially skewed unit costs.
+const CHUNK_LAG: usize = 4;
+
+/// One posted parallel operation: `len` work units behind a claim cursor.
+pub(crate) struct JobCore {
+    /// Claim cursor; units `>= len` do not exist.
+    next: AtomicUsize,
+    /// Number of work units.
+    len: usize,
+    /// Units whose execution has been attempted (completed or panicked).
+    done: AtomicUsize,
+    /// Threads that joined the job (the poster counts as one). Guarded by
+    /// the pool mutex on the worker side.
+    participants: AtomicUsize,
+    /// Effective thread count of the posting scope: poster + helpers.
+    max_participants: usize,
+    /// Thread-count override of the posting scope, re-installed in every
+    /// helping worker so `current_num_threads()` and nested parallel ops
+    /// resolve exactly as they would on the poster.
+    inherited: Option<usize>,
+    /// Type-erased context (points into the poster's stack).
+    ctx: *const (),
+    /// Executes units `lo..hi` against `ctx`.
+    run: unsafe fn(*const (), usize, usize),
+    /// First panic payload raised by a unit.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Completion flag + signal (`done == len`).
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+// Safety: `ctx` is only dereferenced through `run` for claimed unit
+// indices, and the poster keeps the pointee alive until `done == len`
+// (see the module docs). Everything else is atomics and sync primitives.
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
+
+impl JobCore {
+    /// Build a job over `len` units.
+    ///
+    /// # Safety
+    ///
+    /// `ctx` must stay valid until [`finish`] returns on the posting
+    /// thread, and `run(ctx, lo, hi)` must be safe for any `lo..hi` within
+    /// `0..len`, including concurrently for disjoint ranges.
+    pub(crate) unsafe fn new(
+        ctx: *const (),
+        run: unsafe fn(*const (), usize, usize),
+        len: usize,
+        max_participants: usize,
+        inherited: Option<usize>,
+    ) -> Arc<JobCore> {
+        debug_assert!(len > 0, "posting an empty job would never complete");
+        debug_assert!(max_participants >= 2, "single-threaded ops stay inline");
+        Arc::new(JobCore {
+            next: AtomicUsize::new(0),
+            len,
+            done: AtomicUsize::new(0),
+            participants: AtomicUsize::new(1),
+            max_participants,
+            inherited,
+            ctx,
+            run,
+            panic: Mutex::new(None),
+            finished: Mutex::new(false),
+            finished_cv: Condvar::new(),
+        })
+    }
+
+    /// Claim the next chunk of units; returns an empty range when the
+    /// cursor is exhausted.
+    fn claim(&self) -> (usize, usize) {
+        loop {
+            let cur = self.next.load(Ordering::Relaxed);
+            if cur >= self.len {
+                return (cur, cur);
+            }
+            let remaining = self.len - cur;
+            let take = (remaining / (self.max_participants * CHUNK_LAG)).max(1);
+            if self
+                .next
+                .compare_exchange_weak(cur, cur + take, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return (cur, cur + take);
+            }
+        }
+    }
+
+    /// Participate: claim and execute chunks until the cursor is exhausted.
+    /// Unit panics are caught and recorded (first wins); the chunk's units
+    /// still count as attempted so completion is always reached.
+    fn work(&self) {
+        loop {
+            let (lo, hi) = self.claim();
+            if lo >= hi {
+                return;
+            }
+            if let Err(payload) =
+                catch_unwind(AssertUnwindSafe(|| unsafe { (self.run)(self.ctx, lo, hi) }))
+            {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            if self.done.fetch_add(hi - lo, Ordering::AcqRel) + (hi - lo) == self.len {
+                *self.finished.lock().unwrap() = true;
+                self.finished_cv.notify_all();
+            }
+        }
+    }
+
+    /// Whether the claim cursor still has units (a racy hint for workers).
+    fn has_work(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.len
+    }
+}
+
+/// The process-global pool: a registry of active jobs plus worker threads
+/// that sleep when the registry is drained.
+struct Pool {
+    shared: Mutex<Registry>,
+    work_cv: Condvar,
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Active jobs; a job is removed by its poster after completion.
+    jobs: Vec<Arc<JobCore>>,
+    /// Worker threads spawned so far (they never exit).
+    workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Mutex::new(Registry::default()),
+        work_cv: Condvar::new(),
+    })
+}
+
+/// Register `job`, growing the pool toward `max_participants - 1` helpers,
+/// and wake sleeping workers. The caller must follow up with [`finish`].
+pub(crate) fn post(job: &Arc<JobCore>) {
+    let p = pool();
+    {
+        let mut reg = p.shared.lock().unwrap();
+        let want = job.max_participants.saturating_sub(1).min(MAX_WORKERS);
+        while reg.workers < want {
+            reg.workers += 1;
+            spawn_worker();
+        }
+        reg.jobs.push(Arc::clone(job));
+    }
+    p.work_cv.notify_all();
+}
+
+/// Participate in `job` until its cursor is exhausted, wait for every
+/// claimed unit to finish, and deregister it. Returns the recorded unit
+/// panic, if any, instead of unwinding — the caller decides when it is
+/// safe to resume it.
+#[must_use = "a recorded unit panic must be propagated"]
+pub(crate) fn finish(job: &Arc<JobCore>) -> Option<Box<dyn Any + Send + 'static>> {
+    job.work();
+    let mut fin = job.finished.lock().unwrap();
+    while !*fin {
+        fin = job.finished_cv.wait(fin).unwrap();
+    }
+    drop(fin);
+    let p = pool();
+    let mut reg = p.shared.lock().unwrap();
+    reg.jobs.retain(|j| !Arc::ptr_eq(j, job));
+    drop(reg);
+    job.panic.lock().unwrap().take()
+}
+
+/// Pick a job a worker can still help with: units left to claim and a free
+/// participant slot. Runs under the registry lock, so the participant
+/// increment cannot oversubscribe.
+fn pick(reg: &mut Registry) -> Option<Arc<JobCore>> {
+    for job in &reg.jobs {
+        if job.has_work() && job.participants.load(Ordering::Relaxed) < job.max_participants {
+            job.participants.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(job));
+        }
+    }
+    None
+}
+
+fn spawn_worker() {
+    std::thread::Builder::new()
+        .name("rayon-standin-worker".into())
+        .spawn(|| {
+            let p = pool();
+            let mut reg = p.shared.lock().unwrap();
+            loop {
+                if let Some(job) = pick(&mut reg) {
+                    drop(reg);
+                    crate::with_override(job.inherited, || job.work());
+                    reg = p.shared.lock().unwrap();
+                } else {
+                    reg = p.work_cv.wait(reg).unwrap();
+                }
+            }
+        })
+        .expect("spawn rayon stand-in pool worker");
+}

@@ -1,0 +1,196 @@
+//! Executor stress suite: adversarially skewed unit costs, nested
+//! parallelism, and panic propagation, each pinned bit-identical to the
+//! 1-thread evaluation.
+//!
+//! The offline pipeline leans on exactly these properties — hub-rooted
+//! PIKS worlds dwarf leaf-rooted ones, delta rebuilds interleave expensive
+//! rebuilt worlds with no-op reused slots, and stages nest `join` inside
+//! `par_iter` — so the suite runs at 1, 2, and 8 threads regardless of the
+//! host's CPU count or the `RAYON_NUM_THREADS` environment (an `install`
+//! override beats both). CI additionally repeats the whole suite to let
+//! scheduling races surface here rather than in a production delta
+//! rebuild.
+
+use rayon::prelude::*;
+use rayon::{join, ThreadPool, ThreadPoolBuilder};
+
+/// The thread counts every property is pinned across.
+fn pools() -> Vec<(usize, ThreadPool)> {
+    [1usize, 2, 8]
+        .into_iter()
+        .map(|n| (n, ThreadPoolBuilder::new().num_threads(n).build().unwrap()))
+        .collect()
+}
+
+/// Deterministic CPU burn: an FNV-ish hash chain of `iters` steps.
+fn churn(seed: u64, iters: u64) -> u64 {
+    let mut h = seed ^ 0xCBF2_9CE4_8422_2325;
+    for i in 0..iters {
+        h ^= i;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        h = h.rotate_left(17);
+    }
+    h
+}
+
+#[test]
+fn skewed_unit_costs_are_bit_identical_across_thread_counts() {
+    // one unit is ~100× the rest: a static chunker strands it in one
+    // chunk; the claiming executor must both load-balance it and keep the
+    // assembled output independent of who ran what
+    let run = || -> Vec<u64> {
+        (0u64..192)
+            .into_par_iter()
+            .map(|i| {
+                let iters = if i == 13 { 200_000 } else { 2_000 };
+                churn(i, iters)
+            })
+            .collect()
+    };
+    let reference: Vec<u64> = (0u64..192)
+        .map(|i| churn(i, if i == 13 { 200_000 } else { 2_000 }))
+        .collect();
+    for (n, pool) in pools() {
+        assert_eq!(pool.install(run), reference, "{n}-thread run diverged");
+    }
+}
+
+#[test]
+fn delta_shaped_skew_no_op_slots_between_heavy_rebuilds() {
+    // the delta-rebuild cost profile: most units are (reused-world) no-ops,
+    // a sparse few are expensive rebuilds
+    let run = || -> Vec<u64> {
+        (0u64..512)
+            .into_par_iter()
+            .map(|i| if i % 97 == 0 { churn(i, 60_000) } else { i })
+            .collect()
+    };
+    let reference: Vec<u64> = (0u64..512)
+        .map(|i| if i % 97 == 0 { churn(i, 60_000) } else { i })
+        .collect();
+    for (n, pool) in pools() {
+        assert_eq!(pool.install(run), reference, "{n}-thread run diverged");
+    }
+}
+
+fn join_fib(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        let (a, b) = join(|| join_fib(n - 1), || join_fib(n - 2));
+        a + b
+    }
+}
+
+#[test]
+fn nested_join_inside_par_iter() {
+    // every unit fans out recursively through the same pool the outer
+    // drive runs on; posters always participate, so this cannot deadlock
+    // even with zero free workers
+    let run = || -> Vec<u64> {
+        (0u64..32)
+            .into_par_iter()
+            .map(|i| join_fib(10 + (i % 3)))
+            .collect()
+    };
+    let reference: Vec<u64> = (0u64..32).map(|i| join_fib(10 + (i % 3))).collect();
+    for (n, pool) in pools() {
+        assert_eq!(pool.install(run), reference, "{n}-thread run diverged");
+    }
+}
+
+#[test]
+fn nested_par_iter_inside_par_iter() {
+    let run = || -> Vec<u64> {
+        (0u64..24)
+            .into_par_iter()
+            .map(|i| {
+                (0u64..200)
+                    .into_par_iter()
+                    .map(|j| churn(i * 1000 + j, 50) % 1_000_003)
+                    .sum()
+            })
+            .collect()
+    };
+    let reference = {
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        single.install(run)
+    };
+    for (n, pool) in pools() {
+        assert_eq!(pool.install(run), reference, "{n}-thread run diverged");
+    }
+}
+
+#[test]
+fn panic_in_one_unit_propagates_and_the_pool_survives() {
+    for (n, pool) in pools() {
+        let caught = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0u64..100)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 37 {
+                            panic!("unit 37 exploded");
+                        }
+                        churn(i, 500)
+                    })
+                    .collect::<Vec<u64>>()
+            })
+        });
+        let payload = caught.expect_err("the unit panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_else(|| payload.downcast_ref::<String>().map_or("", |s| s));
+        assert!(msg.contains("unit 37 exploded"), "{n} threads: got {msg:?}");
+        // the pool must keep serving after a unit panic
+        let v: Vec<u64> = pool.install(|| (0u64..64).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(v, (1u64..=64).collect::<Vec<_>>(), "{n}-thread aftermath");
+    }
+}
+
+#[test]
+fn panic_in_either_join_arm_propagates() {
+    for (n, pool) in pools() {
+        let left = std::panic::catch_unwind(|| {
+            pool.install(|| join(|| panic!("left arm"), || churn(1, 100)))
+        });
+        assert!(left.is_err(), "{n} threads: left-arm panic swallowed");
+        let right = std::panic::catch_unwind(|| {
+            pool.install(|| join(|| churn(1, 100), || panic!("right arm")))
+        });
+        assert!(right.is_err(), "{n} threads: right-arm panic swallowed");
+        let (a, b) = pool.install(|| join(|| 40, || 2));
+        assert_eq!(a + b, 42, "{n}-thread join aftermath");
+    }
+}
+
+#[test]
+fn concurrent_drives_from_many_os_threads_stay_isolated() {
+    // several OS threads race jobs of different widths through the one
+    // global registry; each must see exactly its own ordered results
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let pool = ThreadPoolBuilder::new()
+                    .num_threads(1 + (t as usize % 3) * 3)
+                    .build()
+                    .unwrap();
+                for round in 0..20u64 {
+                    let base = t * 1_000_000 + round * 1_000;
+                    let got: Vec<u64> = pool.install(|| {
+                        (0u64..150)
+                            .into_par_iter()
+                            .map(|i| churn(base + i, 200))
+                            .collect()
+                    });
+                    let want: Vec<u64> = (0u64..150).map(|i| churn(base + i, 200)).collect();
+                    assert_eq!(got, want, "thread {t} round {round}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+}
