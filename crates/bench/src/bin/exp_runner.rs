@@ -8,6 +8,7 @@
 //! cargo run --release -p octopus-bench --bin exp_runner -- --csv out/
 //! cargo run --release -p octopus-bench --bin exp_runner -- --artifact-cache cache/
 //! cargo run --release -p octopus-bench --bin exp_runner -- --quick --delta 8
+//! cargo run --release -p octopus-bench --bin exp_runner -- --quick --serve 8
 //! ```
 //!
 //! With `--artifact-cache <dir>`, every engine construction goes through
@@ -20,6 +21,16 @@
 //! perturb `k` edge weights (plus a rename and an edge-insert variant),
 //! reopen against the same cache, and report per-stage reuse and
 //! partial-rebuild time versus the full build.
+//!
+//! With `--serve <workers>`, the runner executes the serving-under-churn
+//! workload: that many worker threads issue a mixed online-operator
+//! stream against an [`octopus_core::serve::OctopusService`] while a
+//! mutator thread injects weight-nudge delta batches that swap epochs
+//! mid-run, reporting per-operator throughput and p50/p95/p99 latency
+//! plus the swap trajectory. The process exits nonzero on any query
+//! error, failed batch, missing swap, or — with `--serve-p99-ms <ms>` —
+//! any operator p99 above the guardrail, which is what makes it a CI
+//! perf-smoke gate.
 
 use octopus_bench::table::fmt_duration;
 use octopus_bench::workloads::{
@@ -67,6 +78,7 @@ struct Scale {
     messenger_users: usize,
     referee_runs: usize,
     piks_targets: usize,
+    serve_queries_per_worker: usize,
 }
 
 fn scale(quick: bool) -> Scale {
@@ -78,6 +90,7 @@ fn scale(quick: bool) -> Scale {
             messenger_users: 500,
             referee_runs: 1000,
             piks_targets: 4,
+            serve_queries_per_worker: 40,
         }
     } else {
         Scale {
@@ -87,6 +100,7 @@ fn scale(quick: bool) -> Scale {
             messenger_users: 3000,
             referee_runs: 4000,
             piks_targets: 10,
+            serve_queries_per_worker: 150,
         }
     }
 }
@@ -721,6 +735,168 @@ fn delta_workload(s: &Scale, k: usize) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Serve workload (`--serve <workers>`): drive a live
+/// [`octopus_core::serve::OctopusService`] with a mixed query stream
+/// from `workers` threads while a mutator
+/// injects delta batches that swap epochs mid-run. Returns whether the
+/// run was healthy (zero query errors, every batch swapped, p99 under the
+/// optional guardrail) — the CI perf-smoke gate.
+fn serve_workload(s: &Scale, workers: usize, p99_guard: Option<std::time::Duration>) -> bool {
+    use octopus_bench::serve_load::{self, ServeLoadConfig};
+    use std::time::Duration;
+    println!(
+        "\n================ SERVE: concurrent serving under delta churn ({workers} workers) ================"
+    );
+    let net = citation_sized(s.citation_authors, s.citation_papers);
+    // private cache subdir (same reasoning as the delta workload): epoch
+    // rebuilds go through open_or_build so swaps exercise the incremental
+    // reuse machinery, without touching the user's warmed cache dir
+    let dir = ARTIFACT_CACHE
+        .get()
+        .cloned()
+        .unwrap_or_else(std::env::temp_dir)
+        .join(format!("serve-workload-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = OctopusConfig {
+        kim: KimEngineChoice::BestEffort(BoundKind::Precomputation),
+        piks_index_size: 1024,
+        k_max: 25,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let engine = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config, &dir)
+        .expect("epoch 0 builds")
+        .with_user_keywords(user_keywords(&net));
+    println!(
+        "workload: {} researchers, {} edges; epoch 0 built in {}",
+        net.graph.node_count(),
+        net.graph.edge_count(),
+        fmt_duration(t0.elapsed())
+    );
+    let cfg = ServeLoadConfig {
+        workers,
+        min_queries_per_worker: s.serve_queries_per_worker,
+        delta_batches: 4,
+        edges_per_batch: 3,
+        batch_pause: Duration::from_millis(40),
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let report = serve_load::run(engine, &net, &cfg);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut t = Table::new(
+        format!(
+            "SERVE: per-operator latency ({} workers, {} queries, {} wall)",
+            workers,
+            report.total_queries,
+            fmt_duration(report.wall)
+        ),
+        &[
+            "operator", "queries", "errors", "q/s", "p50", "p95", "p99", "max",
+        ],
+    );
+    for op in &report.per_op {
+        t.row(vec![
+            op.operator.label().to_string(),
+            op.queries.to_string(),
+            op.errors.to_string(),
+            format!("{:.0}", op.throughput),
+            fmt_duration(op.p50),
+            fmt_duration(op.p95),
+            fmt_duration(op.p99),
+            fmt_duration(op.max),
+        ]);
+    }
+    emit(&t);
+
+    let mut ts = Table::new(
+        "SERVE: epoch swap trajectory (rebuilds overlap serving)",
+        &[
+            "epoch",
+            "deltas",
+            "rebuild",
+            "piks worlds reused",
+            "stages rebuilt",
+        ],
+    );
+    for swap in &report.swaps {
+        let piks = swap
+            .stage_reuse
+            .iter()
+            .find(|x| x.stage == "piks-worlds")
+            .expect("piks stage reported");
+        let rebuilt: Vec<&str> = swap
+            .stage_reuse
+            .iter()
+            .filter(|x| !x.is_full())
+            .map(|x| x.stage)
+            .collect();
+        ts.row(vec![
+            swap.epoch.to_string(),
+            swap.deltas_applied.to_string(),
+            fmt_duration(swap.rebuild_time),
+            format!("{}/{}", piks.reused, piks.total),
+            if rebuilt.is_empty() {
+                "none (full hit)".to_string()
+            } else {
+                rebuilt.join(", ")
+            },
+        ]);
+    }
+    emit(&ts);
+    println!(
+        "aggregate: {:.0} q/s across operators; epochs observed {}..={}; {} deltas applied over {} swaps\n",
+        report.throughput,
+        report.epochs_observed.0,
+        report.epochs_observed.1,
+        report.deltas_applied,
+        report.swaps.len(),
+    );
+
+    let mut healthy = true;
+    if report.total_errors > 0 {
+        eprintln!("[serve] FAIL: {} query errors", report.total_errors);
+        healthy = false;
+    }
+    if report.batches_failed > 0 {
+        eprintln!(
+            "[serve] FAIL: {} delta batches failed",
+            report.batches_failed
+        );
+        healthy = false;
+    }
+    if report.swaps.len() < cfg.delta_batches {
+        eprintln!(
+            "[serve] FAIL: only {}/{} delta batches swapped an epoch",
+            report.swaps.len(),
+            cfg.delta_batches
+        );
+        healthy = false;
+    }
+    if let Some(guard) = p99_guard {
+        for op in &report.per_op {
+            if op.p99 > guard {
+                eprintln!(
+                    "[serve] FAIL: {} p99 {} exceeds the {} guardrail",
+                    op.operator.label(),
+                    fmt_duration(op.p99),
+                    fmt_duration(guard)
+                );
+                healthy = false;
+            }
+        }
+    }
+    if healthy {
+        println!(
+            "[serve] OK: zero errors across {} queries racing {} epoch swaps",
+            report.total_queries,
+            report.swaps.len()
+        );
+    }
+    healthy
+}
+
 /// E7 — EM learning recovery.
 fn e7(s: &Scale) {
     println!("\n================ E7: TIC-EM parameter recovery ================");
@@ -1133,6 +1309,26 @@ fn main() {
         },
         None => None,
     };
+    let serve_workers = match args.iter().position(|a| a == "--serve") {
+        Some(i) => match args.get(i + 1).and_then(|w| w.parse::<usize>().ok()) {
+            Some(w) if w > 0 => Some(w),
+            _ => {
+                eprintln!("--serve requires a positive worker count argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let serve_p99 = match args.iter().position(|a| a == "--serve-p99-ms") {
+        Some(i) => match args.get(i + 1).and_then(|ms| ms.parse::<u64>().ok()) {
+            Some(ms) if ms > 0 => Some(std::time::Duration::from_millis(ms)),
+            _ => {
+                eprintln!("--serve-p99-ms requires a positive millisecond argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     let mut skip_next = false;
     let picks: Vec<String> = args
         .iter()
@@ -1141,7 +1337,12 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" || *a == "--artifact-cache" || *a == "--delta" {
+            if *a == "--csv"
+                || *a == "--artifact-cache"
+                || *a == "--delta"
+                || *a == "--serve"
+                || *a == "--serve-p99-ms"
+            {
                 skip_next = true;
                 return false;
             }
@@ -1150,15 +1351,25 @@ fn main() {
         .map(|a| a.to_lowercase())
         .collect();
     let s = scale(quick);
-    if let Some(k) = delta_k {
-        // the delta mode is its own workload: run it (plus any explicitly
-        // picked experiments) instead of the full default sweep
+    if delta_k.is_some() || serve_workers.is_some() {
+        // the delta and serve modes are their own workloads: run them
+        // (plus any explicitly picked experiments) instead of the full
+        // default sweep
         let t0 = Instant::now();
-        delta_workload(&s, k);
+        let mut healthy = true;
+        if let Some(k) = delta_k {
+            delta_workload(&s, k);
+        }
+        if let Some(workers) = serve_workers {
+            healthy &= serve_workload(&s, workers, serve_p99);
+        }
         for p in &picks {
             run_experiment(p, &s);
         }
         println!("total wall time: {}", fmt_duration(t0.elapsed()));
+        if !healthy {
+            std::process::exit(1);
+        }
         return;
     }
     let all = picks.is_empty();

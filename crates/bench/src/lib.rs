@@ -1,8 +1,10 @@
 //! Shared infrastructure for the OCTOPUS benchmark harness: standard
 //! workloads (one per experiment in `DESIGN.md` §6), a Monte-Carlo quality
-//! referee, and plain-text table rendering for the `exp_runner` binary.
+//! referee, the serving-layer load generator (`exp_runner --serve`), and
+//! plain-text table rendering for the `exp_runner` binary.
 
 pub mod referee;
+pub mod serve_load;
 pub mod table;
 pub mod workloads;
 

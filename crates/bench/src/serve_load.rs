@@ -1,0 +1,344 @@
+//! Closed-loop load generator for the serving layer — the "serving under
+//! churn" scenario behind `exp_runner --serve <workers>`.
+//!
+//! N worker threads each own a [`Session`](octopus_core::serve::Session)
+//! and issue a seeded mixed workload (influencer ranking, keyword
+//! suggestion, path exploration, autocompletion, keyword radar) against
+//! one [`OctopusService`], while a mutator thread injects
+//! [`GraphDelta`] batches and flushes them into epoch swaps. Workers run
+//! until every swap has happened *and* they have issued their query
+//! quota, so queries provably race every swap. The report carries
+//! per-operator throughput and latency percentiles plus the swap
+//! trajectory (rebuild time and per-stage reuse of every epoch).
+//!
+//! Determinism caveat: per-worker query *choices* are seeded and
+//! reproducible; the interleaving with swaps (and hence per-epoch query
+//! counts and latencies) is scheduling-dependent, as serving is. The
+//! correctness of answers under that nondeterminism is what
+//! `crates/core/tests/serve_epoch.rs` pins; this generator measures it.
+
+use crate::workloads::prolific_users;
+use octopus_core::engine::Octopus;
+use octopus_core::paths::ExploreDirection;
+use octopus_core::serve::{OctopusService, Operator, SwapReport};
+use octopus_data::SyntheticNetwork;
+use octopus_graph::delta::GraphDelta;
+use octopus_graph::EdgeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of one load run.
+#[derive(Debug, Clone)]
+pub struct ServeLoadConfig {
+    /// Worker threads issuing queries.
+    pub workers: usize,
+    /// Minimum queries each worker issues (workers also keep going until
+    /// the mutator finishes, so every swap races live queries).
+    pub min_queries_per_worker: usize,
+    /// Delta batches the mutator injects — one epoch swap each.
+    pub delta_batches: usize,
+    /// Edge-weight nudges per batch.
+    pub edges_per_batch: usize,
+    /// Mutator pause before each batch, letting queries land on the
+    /// current epoch first.
+    pub batch_pause: Duration,
+    /// Master seed for the workers' query choices and the mutator's edge
+    /// picks.
+    pub seed: u64,
+    /// When set, the service rebuilds epochs through the artifact cache
+    /// at this directory (`Octopus::open_or_build`), so swaps exercise
+    /// the incremental per-stage / per-world reuse machinery.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeLoadConfig {
+    fn default() -> Self {
+        ServeLoadConfig {
+            workers: 4,
+            min_queries_per_worker: 100,
+            delta_batches: 4,
+            edges_per_batch: 3,
+            batch_pause: Duration::from_millis(30),
+            seed: 0x5E17_E000,
+            cache_dir: None,
+        }
+    }
+}
+
+/// The query material the mixed workload draws from.
+#[derive(Debug, Clone)]
+pub struct MixPools {
+    /// Keyword queries for influencer ranking and path narrowing.
+    pub queries: Vec<String>,
+    /// User names for suggestion and path exploration.
+    pub users: Vec<String>,
+    /// Single vocabulary words for radar charts.
+    pub words: Vec<String>,
+    /// Name prefixes for autocompletion.
+    pub prefixes: Vec<String>,
+}
+
+impl MixPools {
+    /// Derive pools from a synthetic network: queries are vocabulary
+    /// words (singletons and two-word mixtures), users are the most
+    /// prolific authors, prefixes are their name stems.
+    pub fn from_network(net: &SyntheticNetwork) -> Self {
+        let vocab_size = net.model.vocab_size();
+        let take = vocab_size.min(24);
+        let words: Vec<String> = (0..take)
+            .map(|w| {
+                // spread picks across the vocabulary
+                let id = (w * vocab_size / take.max(1)) as u32;
+                net.model
+                    .vocab()
+                    .word(octopus_topics::KeywordId(id))
+                    .expect("sampled id is in range")
+                    .to_string()
+            })
+            .collect();
+        let mut queries: Vec<String> = words.iter().take(8).cloned().collect();
+        for pair in words.chunks(2).take(6) {
+            queries.push(pair.join(" "));
+        }
+        let users: Vec<String> = prolific_users(net, 8)
+            .into_iter()
+            .filter_map(|u| net.graph.name(u).map(str::to_string))
+            .collect();
+        let prefixes: Vec<String> = users.iter().map(|n| n.chars().take(2).collect()).collect();
+        MixPools {
+            queries,
+            users,
+            words,
+            prefixes,
+        }
+    }
+}
+
+/// Latency/throughput digest of one operator across the whole run.
+#[derive(Debug, Clone)]
+pub struct OperatorReport {
+    /// Which operator.
+    pub operator: Operator,
+    /// Queries issued.
+    pub queries: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Worst observed latency.
+    pub max: Duration,
+    /// Queries per second over the run's wall clock.
+    pub throughput: f64,
+}
+
+/// Everything one load run measured.
+#[derive(Debug, Clone)]
+pub struct ServeLoadReport {
+    /// Wall clock of the whole run.
+    pub wall: Duration,
+    /// Per-operator digests, in [`Operator::ALL`] order (operators with
+    /// zero queries are omitted).
+    pub per_op: Vec<OperatorReport>,
+    /// Total queries across operators and workers.
+    pub total_queries: u64,
+    /// Total errors across operators and workers.
+    pub total_errors: u64,
+    /// Aggregate throughput (queries per second).
+    pub throughput: f64,
+    /// One entry per epoch swap, in order.
+    pub swaps: Vec<SwapReport>,
+    /// Flush batches that failed (must be 0 in a healthy run).
+    pub batches_failed: u64,
+    /// Deltas applied across all swaps.
+    pub deltas_applied: u64,
+    /// Epoch range observed by the workers' queries.
+    pub epochs_observed: (u64, u64),
+}
+
+impl ServeLoadReport {
+    /// The digest for one operator, if it ran.
+    pub fn op(&self, op: Operator) -> Option<&OperatorReport> {
+        self.per_op.iter().find(|r| r.operator == op)
+    }
+}
+
+/// Latency percentile from an unsorted sample set (nearest-rank).
+pub fn percentile(samples: &mut [Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[rank.min(samples.len() - 1)]
+}
+
+/// Per-worker raw measurements, merged after the scope joins.
+#[derive(Default)]
+struct WorkerLog {
+    latencies: [Vec<Duration>; 5],
+    errors: [u64; 5],
+    epochs: Option<(u64, u64)>,
+}
+
+/// Drive `engine` through a full serve-under-churn run (see the module
+/// docs). The engine becomes epoch 0 of a fresh [`OctopusService`];
+/// `net` supplies the query pools and the edge range the mutator nudges.
+pub fn run(engine: Octopus, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -> ServeLoadReport {
+    let pools = MixPools::from_network(net);
+    let service = match &cfg.cache_dir {
+        Some(dir) => OctopusService::with_cache_dir(engine, dir.clone()),
+        None => OctopusService::new(engine),
+    };
+    let edge_count = net.graph.edge_count();
+    let mutations_done = AtomicBool::new(false);
+    let start = Instant::now();
+
+    let (logs, swaps) = std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for w in 0..cfg.workers {
+            let service = &service;
+            let pools = &pools;
+            let mutations_done = &mutations_done;
+            workers.push(s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (0xA11CE + w as u64));
+                let mut session = service.session();
+                let mut log = WorkerLog::default();
+                let mut issued = 0usize;
+                while issued < cfg.min_queries_per_worker || !mutations_done.load(SeqCst) {
+                    let roll = rng.random_range(0..100u32);
+                    let (op, latency, epoch, ok) = if roll < 40 {
+                        let q = &pools.queries[rng.random_range(0..pools.queries.len())];
+                        let k = rng.random_range(1..=8usize);
+                        match session.find_influencers(q, k) {
+                            Ok(a) => (0, a.latency, Some(a.epoch), true),
+                            Err(_) => (0, Duration::ZERO, None, false),
+                        }
+                    } else if roll < 60 {
+                        let u = &pools.users[rng.random_range(0..pools.users.len())];
+                        match session.suggest_keywords(u, 2) {
+                            Ok(a) => (1, a.latency, Some(a.epoch), true),
+                            Err(_) => (1, Duration::ZERO, None, false),
+                        }
+                    } else if roll < 75 {
+                        let u = &pools.users[rng.random_range(0..pools.users.len())];
+                        let q = &pools.queries[rng.random_range(0..pools.queries.len())];
+                        match session.explore_paths(u, ExploreDirection::Influences, Some(q)) {
+                            Ok(a) => (2, a.latency, Some(a.epoch), true),
+                            Err(_) => (2, Duration::ZERO, None, false),
+                        }
+                    } else if roll < 90 {
+                        let p = &pools.prefixes[rng.random_range(0..pools.prefixes.len())];
+                        let a = session.autocomplete(p, 10);
+                        (3, a.latency, Some(a.epoch), true)
+                    } else {
+                        let word = &pools.words[rng.random_range(0..pools.words.len())];
+                        match session.keyword_radar(word) {
+                            Ok(a) => (4, a.latency, Some(a.epoch), true),
+                            Err(_) => (4, Duration::ZERO, None, false),
+                        }
+                    };
+                    if ok {
+                        log.latencies[op].push(latency);
+                    } else {
+                        log.errors[op] += 1;
+                    }
+                    if let Some(e) = epoch {
+                        log.epochs = Some(match log.epochs {
+                            None => (e, e),
+                            Some((lo, hi)) => (lo.min(e), hi.max(e)),
+                        });
+                    }
+                    issued += 1;
+                }
+                log
+            }));
+        }
+
+        // the mutator: one coalesced nudge batch per swap
+        let swaps = {
+            let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0D17A);
+            let mut swaps: Vec<SwapReport> = Vec::new();
+            for _ in 0..cfg.delta_batches {
+                std::thread::sleep(cfg.batch_pause);
+                // one delta per edge: the flush coalesces the batch into a
+                // single rebuild + swap
+                for _ in 0..cfg.edges_per_batch {
+                    service.submit(GraphDelta::NudgeWeights {
+                        edges: vec![EdgeId(rng.random_range(0..edge_count as u32))],
+                        delta: 0.02,
+                    });
+                }
+                if let Ok(Some(report)) = service.apply_pending() {
+                    swaps.push(report);
+                }
+            }
+            mutations_done.store(true, SeqCst);
+            swaps
+        };
+
+        let logs: Vec<WorkerLog> = workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect();
+        (logs, swaps)
+    });
+    let wall = start.elapsed();
+
+    // merge worker logs
+    let mut latencies: [Vec<Duration>; 5] = Default::default();
+    let mut errors = [0u64; 5];
+    let mut epochs_observed: Option<(u64, u64)> = None;
+    for log in logs {
+        for (i, l) in log.latencies.into_iter().enumerate() {
+            latencies[i].extend(l);
+            errors[i] += log.errors[i];
+        }
+        if let Some((lo, hi)) = log.epochs {
+            epochs_observed = Some(match epochs_observed {
+                None => (lo, hi),
+                Some((a, b)) => (a.min(lo), b.max(hi)),
+            });
+        }
+    }
+    let wall_secs = wall.as_secs_f64().max(1e-9);
+    let per_op: Vec<OperatorReport> = Operator::ALL
+        .iter()
+        .enumerate()
+        .zip(latencies.iter_mut())
+        .filter(|((i, _), samples)| !samples.is_empty() || errors[*i] > 0)
+        .map(|((i, &operator), samples)| {
+            let queries = samples.len() as u64 + errors[i];
+            OperatorReport {
+                operator,
+                queries,
+                errors: errors[i],
+                p50: percentile(samples, 50.0),
+                p95: percentile(samples, 95.0),
+                p99: percentile(samples, 99.0),
+                max: samples.last().copied().unwrap_or(Duration::ZERO),
+                throughput: queries as f64 / wall_secs,
+            }
+        })
+        .collect();
+    let total_queries: u64 = per_op.iter().map(|r| r.queries).sum();
+    let total_errors: u64 = per_op.iter().map(|r| r.errors).sum();
+    let stats = service.stats();
+    ServeLoadReport {
+        wall,
+        per_op,
+        total_queries,
+        total_errors,
+        throughput: total_queries as f64 / wall_secs,
+        deltas_applied: stats.deltas_applied,
+        batches_failed: stats.batches_failed,
+        swaps,
+        epochs_observed: epochs_observed.unwrap_or((0, 0)),
+    }
+}

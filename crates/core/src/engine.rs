@@ -368,6 +368,14 @@ impl Octopus {
         self
     }
 
+    /// The per-user keyword candidates attached via
+    /// [`Octopus::with_user_keywords`] (empty if none were). The serving
+    /// layer reads this to carry the overrides forward onto the rebuilt
+    /// engine of the next epoch.
+    pub fn user_keywords(&self) -> &HashMap<NodeId, Vec<KeywordId>> {
+        &self.user_keywords
+    }
+
     /// The underlying graph.
     pub fn graph(&self) -> &TopicGraph {
         &self.graph

@@ -25,7 +25,11 @@
 //!   by an auto-completion tool");
 //! * [`engine`] — the [`engine::Octopus`] facade tying everything to the
 //!   keyword interface ("allows users to employ simple and easy-to-use
-//!   keywords to perform influence analysis").
+//!   keywords to perform influence analysis");
+//! * [`serve`] — the **concurrent serving layer**: an epoch-swapped
+//!   [`serve::OctopusService`] where sessions query wait-free snapshots
+//!   while graph deltas coalesce and rebuild the next epoch in the
+//!   background.
 //!
 //! ```
 //! use octopus_core::engine::{Octopus, OctopusConfig};
@@ -57,6 +61,7 @@ pub mod kim;
 pub mod offline;
 pub mod paths;
 pub mod piks;
+pub mod serve;
 
 pub use error::CoreError;
 

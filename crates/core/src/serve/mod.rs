@@ -1,0 +1,308 @@
+//! The concurrent online serving layer: many readers, live graph deltas,
+//! atomic epoch swaps.
+//!
+//! OCTOPUS is pitched as an *online* system — preprocessing exists so
+//! interactive topic-aware queries return in real time — and real
+//! deployments serve that traffic while the network underneath keeps
+//! changing. [`OctopusService`] is the piece between the engine and the
+//! connection handlers:
+//!
+//! * **Readers** open [`Session`]s and issue the paper's online operators
+//!   (`find_influencers`, `suggest_keywords`, `explore_paths`,
+//!   `autocomplete`, `keyword_radar`); every query grabs the current
+//!   engine snapshot from an [`EpochCell`] — no lock, no waiting on
+//!   writers — and is answered entirely on that snapshot, stamped with
+//!   the epoch id and latency ([`Served`]).
+//! * **Writers** [`submit`](OctopusService::submit)
+//!   [`GraphDelta`] mutations. Deltas queue up; a flush —
+//!   [`apply_pending`](OctopusService::apply_pending), called directly or
+//!   by a [`spawn_rebuilder`](OctopusService::spawn_rebuilder) background
+//!   thread — drains and **coalesces** the whole batch into one new
+//!   graph, rebuilds the engine *off to the side* (through
+//!   [`Octopus::open_or_build`] when a cache directory is configured, so
+//!   the incremental per-stage/per-world reuse machinery pays for most of
+//!   the rebuild), and atomically swaps the epoch.
+//!
+//! ## The epoch lifecycle
+//!
+//! ```text
+//!   epoch N serving ──────────────────────────────▶ still serving ──▶ retired
+//!        │                                               │
+//!        │ submit(δ₁) submit(δ₂) …                       │ in-flight queries
+//!        ▼                                               │ finish on N; new
+//!   pending queue ──flush──▶ coalesce δ₁…δₖ              │ queries land on N+1
+//!                            rebuild engine (background) │
+//!                            swap ───────────────────────┘
+//! ```
+//!
+//! Determinism survives serving: the offline pipeline is bit-identical
+//! however it is scheduled or partially reused, so the engine of epoch
+//! N+1 answers exactly like a fresh engine built from epoch N+1's graph —
+//! a reader racing a swap observes *old* or *new*, never a blend (pinned
+//! by `tests/serve_epoch.rs`).
+
+mod epoch;
+mod session;
+
+pub use epoch::EpochCell;
+pub use session::{OpStats, Operator, Served, Session, SessionStats};
+
+use crate::engine::Octopus;
+use crate::offline::StageReuse;
+use crate::Result;
+use octopus_graph::delta::{self, GraphDelta};
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One generation of the served engine: the engine plus its epoch id.
+pub struct Epoch {
+    id: u64,
+    engine: Octopus,
+}
+
+impl Epoch {
+    /// The epoch id (0 for the engine the service started with, +1 per
+    /// swap).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The engine serving this epoch.
+    pub fn engine(&self) -> &Octopus {
+        &self.engine
+    }
+}
+
+/// What one flush did: the batch it coalesced and the rebuild it paid.
+#[derive(Debug, Clone)]
+pub struct SwapReport {
+    /// Id of the epoch the flush installed.
+    pub epoch: u64,
+    /// Deltas coalesced into this epoch's graph.
+    pub deltas_applied: usize,
+    /// Wall-clock time of the whole flush (delta application + engine
+    /// rebuild + swap).
+    pub rebuild_time: Duration,
+    /// Whether the rebuilt engine's offline artifacts were fully reloaded
+    /// from the artifact cache (only possible with a cache directory).
+    pub cache_hit: bool,
+    /// Per-stage reuse counters of the rebuild — with a cache directory,
+    /// shows how much of the offline work the incremental machinery
+    /// skipped (world-granular for `piks-worlds`).
+    pub stage_reuse: Vec<StageReuse>,
+}
+
+/// Service-level counters, scraped via [`OctopusService::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Id of the epoch currently serving.
+    pub current_epoch: u64,
+    /// Epoch swaps performed since construction.
+    pub epochs_swapped: u64,
+    /// Deltas successfully applied across all swaps.
+    pub deltas_applied: u64,
+    /// Flush batches aborted by a failing delta (the old epoch kept
+    /// serving).
+    pub batches_failed: u64,
+    /// Deltas currently queued and not yet flushed.
+    pub pending_deltas: usize,
+    /// Queries served across all sessions.
+    pub queries_served: u64,
+}
+
+/// The serving layer around one [`Octopus`] engine — see the module docs.
+pub struct OctopusService {
+    cell: EpochCell<Epoch>,
+    pending: Mutex<Vec<GraphDelta>>,
+    /// Serializes flushes; readers never touch it.
+    flush: Mutex<()>,
+    /// `Some(dir)` routes rebuilds through [`Octopus::open_or_build`].
+    cache_dir: Option<PathBuf>,
+    epochs_swapped: AtomicU64,
+    deltas_applied: AtomicU64,
+    batches_failed: AtomicU64,
+    queries_served: AtomicU64,
+}
+
+impl OctopusService {
+    /// Serve `engine` as epoch 0, rebuilding post-delta engines from
+    /// scratch ([`Octopus::new`]).
+    pub fn new(engine: Octopus) -> Self {
+        Self::with_cache_dir_opt(engine, None)
+    }
+
+    /// Serve `engine` as epoch 0, rebuilding post-delta engines through
+    /// the artifact cache at `dir` ([`Octopus::open_or_build`]) so each
+    /// swap reuses every offline stage — and every PIKS world — the batch
+    /// left valid.
+    pub fn with_cache_dir(engine: Octopus, dir: impl Into<PathBuf>) -> Self {
+        Self::with_cache_dir_opt(engine, Some(dir.into()))
+    }
+
+    fn with_cache_dir_opt(engine: Octopus, cache_dir: Option<PathBuf>) -> Self {
+        OctopusService {
+            cell: EpochCell::new(Arc::new(Epoch { id: 0, engine })),
+            pending: Mutex::new(Vec::new()),
+            flush: Mutex::new(()),
+            cache_dir,
+            epochs_swapped: AtomicU64::new(0),
+            deltas_applied: AtomicU64::new(0),
+            batches_failed: AtomicU64::new(0),
+            queries_served: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently serving epoch. The returned handle stays valid (and
+    /// keeps answering identically) for as long as the caller holds it,
+    /// across any number of swaps.
+    pub fn snapshot(&self) -> Arc<Epoch> {
+        self.cell.load()
+    }
+
+    /// Id of the currently serving epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.snapshot().id
+    }
+
+    /// Open a client session.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// Queue a graph mutation for the next flush. Never blocks readers and
+    /// never triggers a rebuild by itself.
+    pub fn submit(&self, delta: GraphDelta) {
+        self.pending.lock().push(delta);
+    }
+
+    /// Queue several mutations at once (kept in order).
+    pub fn submit_all(&self, deltas: impl IntoIterator<Item = GraphDelta>) {
+        self.pending.lock().extend(deltas);
+    }
+
+    /// Drain the pending queue, coalesce it into one new graph, rebuild
+    /// the engine, and atomically swap the epoch.
+    ///
+    /// Returns `Ok(None)` when nothing was pending. On `Ok(Some(report))`
+    /// the new epoch is live: queries that grabbed their snapshot before
+    /// the swap finish on the old engine, later ones see the new one, and
+    /// both answer bit-identically to fresh engines built from their
+    /// respective graphs. On `Err`, the drained batch is discarded and the
+    /// old epoch keeps serving — a batch containing an inapplicable delta
+    /// (say, removing an edge another delta already removed) never
+    /// poisons the service.
+    ///
+    /// Flushes serialize among themselves; deltas submitted while a flush
+    /// is rebuilding wait for the next flush. Readers are never blocked:
+    /// the rebuild runs entirely off to the side, and the swap itself is
+    /// one atomic pointer store.
+    pub fn apply_pending(&self) -> Result<Option<SwapReport>> {
+        let _exclusive = self.flush.lock();
+        let batch: Vec<GraphDelta> = std::mem::take(&mut *self.pending.lock());
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        let start = Instant::now();
+        let base = self.snapshot();
+        let graph = delta::apply_all(base.engine.graph(), &batch).inspect_err(|_| {
+            self.batches_failed.fetch_add(1, SeqCst);
+        })?;
+        let model = base.engine.model().clone();
+        let config = base.engine.config().clone();
+        let rebuilt = match &self.cache_dir {
+            Some(dir) => Octopus::open_or_build(graph, model, config, dir),
+            None => Octopus::new(graph, model, config),
+        }
+        .inspect_err(|_| {
+            self.batches_failed.fetch_add(1, SeqCst);
+        })?
+        .with_user_keywords(base.engine.user_keywords().clone());
+        let report = SwapReport {
+            epoch: base.id + 1,
+            deltas_applied: batch.len(),
+            rebuild_time: start.elapsed(),
+            cache_hit: rebuilt.cache_hit(),
+            stage_reuse: rebuilt.offline_artifacts().reuse.clone(),
+        };
+        let old = self.cell.swap(Arc::new(Epoch {
+            id: base.id + 1,
+            engine: rebuilt,
+        }));
+        drop(old); // in-flight queries may still hold their own snapshots
+        self.epochs_swapped.fetch_add(1, SeqCst);
+        self.deltas_applied.fetch_add(batch.len() as u64, SeqCst);
+        Ok(Some(report))
+    }
+
+    /// Spawn a background thread that flushes the pending queue whenever
+    /// it is non-empty, polling every `poll`. Failed batches are counted
+    /// in [`ServiceStats::batches_failed`] and serving continues on the
+    /// old epoch. Dropping (or [`stop`](RebuilderHandle::stop)ping) the
+    /// returned handle shuts the thread down after its current flush.
+    pub fn spawn_rebuilder(self: &Arc<Self>, poll: Duration) -> RebuilderHandle {
+        let service = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            while !stop_flag.load(SeqCst) {
+                if !service.pending.lock().is_empty() {
+                    // errors are reflected in batches_failed; the rebuilder
+                    // keeps serving the old epoch and keeps polling
+                    let _ = service.apply_pending();
+                }
+                std::thread::sleep(poll);
+            }
+        });
+        RebuilderHandle {
+            stop,
+            join: Some(join),
+        }
+    }
+
+    /// Current service-level counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            current_epoch: self.current_epoch(),
+            epochs_swapped: self.epochs_swapped.load(SeqCst),
+            deltas_applied: self.deltas_applied.load(SeqCst),
+            batches_failed: self.batches_failed.load(SeqCst),
+            pending_deltas: self.pending.lock().len(),
+            queries_served: self.queries_served.load(SeqCst),
+        }
+    }
+
+    pub(crate) fn note_query(&self) {
+        self.queries_served.fetch_add(1, SeqCst);
+    }
+}
+
+/// Handle on a [`spawn_rebuilder`](OctopusService::spawn_rebuilder)
+/// thread; stops it on drop.
+pub struct RebuilderHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RebuilderHandle {
+    /// Stop the rebuilder and wait for it to exit (pending deltas stay
+    /// queued for a later manual flush).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, SeqCst);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for RebuilderHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

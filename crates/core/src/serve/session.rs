@@ -1,0 +1,215 @@
+//! Per-client sessions over [`OctopusService`](super::OctopusService):
+//! the paper's online operators, each answer stamped with the epoch that
+//! served it and its observed latency.
+//!
+//! A [`Session`] is the unit a connection handler owns — cheap to create,
+//! single-threaded (`&mut self`), accumulating per-operator counters the
+//! caller can scrape without touching shared state. Every call grabs the
+//! *current* epoch snapshot, so consecutive calls in one session may span
+//! an epoch swap; [`Session::pin`] freezes one snapshot for callers that
+//! need multi-query read consistency (a UI drilling into one answer).
+
+use super::{Epoch, OctopusService};
+use crate::engine::{KimAnswer, SuggestAnswer};
+use crate::paths::{ExploreDirection, PathExploration};
+use crate::Result;
+use octopus_graph::NodeId;
+use octopus_topics::radar::RadarChart;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The online operators a session exposes, as stats keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operator {
+    /// Scenario 1 — keyword-based influencer discovery.
+    FindInfluencers,
+    /// Scenario 2 — personalized keyword suggestion.
+    SuggestKeywords,
+    /// Scenario 3 — influential path exploration.
+    ExplorePaths,
+    /// Name auto-completion.
+    Autocomplete,
+    /// Keyword radar chart (UI keyword interpretation).
+    KeywordRadar,
+}
+
+impl Operator {
+    /// Every operator, in display order.
+    pub const ALL: [Operator; 5] = [
+        Operator::FindInfluencers,
+        Operator::SuggestKeywords,
+        Operator::ExplorePaths,
+        Operator::Autocomplete,
+        Operator::KeywordRadar,
+    ];
+
+    /// Stable display label (also the per-operator CSV column key).
+    pub fn label(self) -> &'static str {
+        match self {
+            Operator::FindInfluencers => "find-influencers",
+            Operator::SuggestKeywords => "suggest-keywords",
+            Operator::ExplorePaths => "explore-paths",
+            Operator::Autocomplete => "autocomplete",
+            Operator::KeywordRadar => "keyword-radar",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Operator::FindInfluencers => 0,
+            Operator::SuggestKeywords => 1,
+            Operator::ExplorePaths => 2,
+            Operator::Autocomplete => 3,
+            Operator::KeywordRadar => 4,
+        }
+    }
+}
+
+/// One served answer plus its query-level metadata.
+#[derive(Debug, Clone)]
+pub struct Served<T> {
+    /// The operator's answer.
+    pub value: T,
+    /// Id of the epoch that served the query.
+    pub epoch: u64,
+    /// Wall-clock latency observed by the session (snapshot grab included).
+    pub latency: Duration,
+}
+
+/// Accumulated counters for one operator within a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Queries issued (successful and failed).
+    pub queries: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Summed latency of all queries.
+    pub total_latency: Duration,
+    /// Largest single-query latency.
+    pub max_latency: Duration,
+}
+
+/// Per-session statistics: one [`OpStats`] per operator plus the epoch
+/// range the session observed.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    per_op: [OpStats; 5],
+    /// `(first, last)` epoch ids served to this session, if any query ran.
+    pub epochs_seen: Option<(u64, u64)>,
+}
+
+impl SessionStats {
+    /// Counters of one operator.
+    pub fn op(&self, op: Operator) -> &OpStats {
+        &self.per_op[op.index()]
+    }
+
+    /// Total queries across operators.
+    pub fn total_queries(&self) -> u64 {
+        self.per_op.iter().map(|s| s.queries).sum()
+    }
+
+    /// Total errors across operators.
+    pub fn total_errors(&self) -> u64 {
+        self.per_op.iter().map(|s| s.errors).sum()
+    }
+
+    fn record(&mut self, op: Operator, epoch: u64, latency: Duration, ok: bool) {
+        let s = &mut self.per_op[op.index()];
+        s.queries += 1;
+        if !ok {
+            s.errors += 1;
+        }
+        s.total_latency += latency;
+        s.max_latency = s.max_latency.max(latency);
+        self.epochs_seen = Some(match self.epochs_seen {
+            None => (epoch, epoch),
+            Some((first, _)) => (first, epoch),
+        });
+    }
+}
+
+/// One client's handle on the service (see the module docs).
+pub struct Session<'s> {
+    service: &'s OctopusService,
+    stats: SessionStats,
+}
+
+impl<'s> Session<'s> {
+    pub(super) fn new(service: &'s OctopusService) -> Self {
+        Session {
+            service,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The session's accumulated per-operator counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Freeze the current epoch for multi-query consistency: every call on
+    /// the returned snapshot sees the same graph, whatever swaps happen
+    /// meanwhile. Holding a pin never delays a swap — it only keeps the
+    /// pinned epoch's memory alive.
+    pub fn pin(&self) -> Arc<Epoch> {
+        self.service.snapshot()
+    }
+
+    fn run<T>(&mut self, op: Operator, f: impl FnOnce(&Epoch) -> Result<T>) -> Result<Served<T>> {
+        let start = Instant::now();
+        let epoch = self.service.snapshot();
+        let outcome = f(&epoch);
+        let latency = start.elapsed();
+        self.stats.record(op, epoch.id(), latency, outcome.is_ok());
+        self.service.note_query();
+        outcome.map(|value| Served {
+            value,
+            epoch: epoch.id(),
+            latency,
+        })
+    }
+
+    /// Scenario 1: keyword-based influential user discovery.
+    pub fn find_influencers(&mut self, query: &str, k: usize) -> Result<Served<KimAnswer>> {
+        self.run(Operator::FindInfluencers, |e| {
+            e.engine().find_influencers(query, k)
+        })
+    }
+
+    /// Scenario 2: personalized influential keyword suggestion by name.
+    pub fn suggest_keywords(&mut self, user: &str, k: usize) -> Result<Served<SuggestAnswer>> {
+        self.run(Operator::SuggestKeywords, |e| {
+            e.engine().suggest_keywords(user, k)
+        })
+    }
+
+    /// Scenario 3: influential path exploration.
+    pub fn explore_paths(
+        &mut self,
+        user: &str,
+        direction: ExploreDirection,
+        query: Option<&str>,
+    ) -> Result<Served<PathExploration>> {
+        self.run(Operator::ExplorePaths, |e| {
+            e.engine().explore_paths(user, direction, query)
+        })
+    }
+
+    /// Name auto-completion (infallible, still counted and epoch-stamped).
+    pub fn autocomplete(
+        &mut self,
+        prefix: &str,
+        limit: usize,
+    ) -> Served<Vec<(NodeId, String, f64)>> {
+        self.run(Operator::Autocomplete, |e| {
+            Ok(e.engine().autocomplete(prefix, limit))
+        })
+        .expect("autocomplete is infallible")
+    }
+
+    /// Radar chart for one keyword.
+    pub fn keyword_radar(&mut self, word: &str) -> Result<Served<RadarChart>> {
+        self.run(Operator::KeywordRadar, |e| e.engine().keyword_radar(word))
+    }
+}

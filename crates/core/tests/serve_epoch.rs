@@ -1,0 +1,482 @@
+//! Epoch-swap correctness of the serving layer (`octopus_core::serve`).
+//!
+//! The contract under test: readers racing a swap observe exactly the old
+//! or the new epoch (never a blend, never an error), every epoch answers
+//! bit-identically to a fresh engine built from that epoch's graph, a
+//! coalesced delta batch is equivalent to applying its deltas one by one,
+//! and a failing batch leaves the old epoch serving. CI runs this suite
+//! at `RAYON_NUM_THREADS` 1 and 8 and repeats it in the serving soak job,
+//! mirroring the executor flakiness sweep.
+
+use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig};
+use octopus_core::serve::{OctopusService, Operator};
+use octopus_graph::delta::GraphDelta;
+use octopus_graph::{EdgeId, GraphBuilder, NodeId, TopicGraph};
+use octopus_topics::{TopicModel, Vocabulary};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Small two-topic network, cheap enough to rebuild several times per
+/// test: two hubs with followers plus a few cross links so nudges and
+/// removals have something to bite on.
+fn fixture() -> (TopicGraph, TopicModel, OctopusConfig) {
+    let mut b = GraphBuilder::new(2);
+    let han = b.add_node("jiawei han");
+    let jordan = b.add_node("michael jordan");
+    for i in 0..5 {
+        let v = b.add_node(format!("db-follower-{i}"));
+        b.add_edge(han, v, &[(0, 0.7)]).unwrap();
+    }
+    for i in 0..4 {
+        let v = b.add_node(format!("ml-follower-{i}"));
+        b.add_edge(jordan, v, &[(1, 0.7)]).unwrap();
+    }
+    b.add_edge(han, jordan, &[(0, 0.3), (1, 0.1)]).unwrap();
+    let g = b.build().unwrap();
+    let mut vocab = Vocabulary::new();
+    vocab.intern("data mining");
+    vocab.intern("frequent patterns");
+    vocab.intern("em algorithm");
+    vocab.intern("graphical models");
+    let model = TopicModel::from_rows(
+        vocab,
+        vec![vec![0.5, 0.4, 0.05, 0.05], vec![0.05, 0.05, 0.5, 0.4]],
+        vec![0.5, 0.5],
+    )
+    .unwrap()
+    .with_labels(vec!["databases".into(), "machine learning".into()])
+    .unwrap();
+    let config = OctopusConfig {
+        kim: KimEngineChoice::Mis,
+        piks_index_size: 96,
+        mis_rr_per_topic: 400,
+        k_max: 3,
+        ..Default::default()
+    };
+    (g, model, config)
+}
+
+/// The bitwise signature of one engine's answers to a fixed probe set —
+/// two engines with equal signatures answered every probe identically.
+#[derive(Debug, Clone, PartialEq)]
+struct ProbeSignature {
+    seeds: Vec<NodeId>,
+    spread: f64,
+    suggest_words: Vec<String>,
+    suggest_spread: f64,
+    completions: Vec<(NodeId, String, f64)>,
+    path_reached: usize,
+}
+
+fn probe(engine: &Octopus) -> ProbeSignature {
+    let kim = engine.find_influencers("data mining", 2).unwrap();
+    let sugg = engine.suggest_keywords("jiawei han", 2).unwrap();
+    let paths = engine
+        .explore_paths(
+            "jiawei han",
+            octopus_core::paths::ExploreDirection::Influences,
+            Some("data mining"),
+        )
+        .unwrap();
+    ProbeSignature {
+        seeds: kim.seeds.iter().map(|s| s.node).collect(),
+        spread: kim.result.spread,
+        suggest_words: sugg.words,
+        suggest_spread: sugg.result.spread,
+        completions: engine.autocomplete("db-", 10),
+        path_reached: paths.reached,
+    }
+}
+
+/// Probe through a serve session, also returning the epochs that served.
+fn probe_session(service: &OctopusService) -> (ProbeSignature, Vec<u64>) {
+    let mut session = service.session();
+    let kim = session.find_influencers("data mining", 2).unwrap();
+    let sugg = session.suggest_keywords("jiawei han", 2).unwrap();
+    let paths = session
+        .explore_paths(
+            "jiawei han",
+            octopus_core::paths::ExploreDirection::Influences,
+            Some("data mining"),
+        )
+        .unwrap();
+    let comp = session.autocomplete("db-", 10);
+    let epochs = vec![kim.epoch, sugg.epoch, paths.epoch, comp.epoch];
+    (
+        ProbeSignature {
+            seeds: kim.value.seeds.iter().map(|s| s.node).collect(),
+            spread: kim.value.result.spread,
+            suggest_words: sugg.value.words,
+            suggest_spread: sugg.value.result.spread,
+            completions: comp.value,
+            path_reached: paths.value.reached,
+        },
+        epochs,
+    )
+}
+
+#[test]
+fn epoch_zero_matches_a_fresh_engine() {
+    let (g, model, config) = fixture();
+    let fresh = Octopus::new(g.clone(), model.clone(), config.clone()).unwrap();
+    let service = OctopusService::new(Octopus::new(g, model, config).unwrap());
+    let (sig, epochs) = probe_session(&service);
+    assert_eq!(sig, probe(&fresh));
+    assert!(epochs.iter().all(|&e| e == 0), "all served by epoch 0");
+    let stats = service.stats();
+    assert_eq!(stats.current_epoch, 0);
+    assert_eq!(stats.epochs_swapped, 0);
+    assert_eq!(stats.queries_served, 4);
+}
+
+#[test]
+fn swapped_epochs_answer_bit_identically_to_fresh_engines() {
+    let (g0, model, config) = fixture();
+    let service =
+        OctopusService::new(Octopus::new(g0.clone(), model.clone(), config.clone()).unwrap());
+
+    // pre-swap answers match a fresh engine on g0
+    let (before, _) = probe_session(&service);
+    assert_eq!(
+        before,
+        probe(&Octopus::new(g0.clone(), model.clone(), config.clone()).unwrap())
+    );
+
+    // swap: nudge two edges and rename a follower
+    let batch = vec![
+        GraphDelta::NudgeWeights {
+            edges: vec![EdgeId(0), EdgeId(3)],
+            delta: 0.1,
+        },
+        GraphDelta::RenameNode {
+            node: NodeId(2),
+            name: "db-star".into(),
+        },
+    ];
+    service.submit_all(batch.clone());
+    let report = service.apply_pending().unwrap().expect("batch was pending");
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.deltas_applied, 2);
+
+    // post-swap answers match a fresh engine on the delta'd graph
+    let g1 = octopus_graph::delta::apply_all(&g0, &batch).unwrap();
+    let fresh1 = Octopus::new(g1, model, config).unwrap();
+    let (after, epochs) = probe_session(&service);
+    assert_eq!(after, probe(&fresh1));
+    assert!(epochs.iter().all(|&e| e == 1), "all served by epoch 1");
+    // the rename is visible through the swapped trie
+    assert!(service
+        .session()
+        .autocomplete("db-star", 1)
+        .value
+        .iter()
+        .any(|(_, name, _)| name == "db-star"));
+    assert_eq!(service.stats().epochs_swapped, 1);
+}
+
+#[test]
+fn coalesced_batch_is_equivalent_to_one_by_one_application() {
+    let (g, model, config) = fixture();
+    let batch = vec![
+        GraphDelta::NudgeWeights {
+            edges: vec![EdgeId(1)],
+            delta: 0.05,
+        },
+        GraphDelta::InsertEdge {
+            src: NodeId(3),
+            dst: NodeId(7),
+            probs: vec![(0, 0.4)],
+        },
+        GraphDelta::RenameNode {
+            node: NodeId(4),
+            name: "renamed-follower".into(),
+        },
+    ];
+
+    let coalesced =
+        OctopusService::new(Octopus::new(g.clone(), model.clone(), config.clone()).unwrap());
+    coalesced.submit_all(batch.clone());
+    coalesced.apply_pending().unwrap().expect("pending batch");
+
+    let one_by_one = OctopusService::new(Octopus::new(g, model, config).unwrap());
+    for d in batch {
+        one_by_one.submit(d);
+        one_by_one.apply_pending().unwrap().expect("pending delta");
+    }
+
+    // one swap vs three, identical final graphs and answers
+    assert_eq!(coalesced.stats().epochs_swapped, 1);
+    assert_eq!(one_by_one.stats().epochs_swapped, 3);
+    assert_eq!(coalesced.stats().deltas_applied, 3);
+    assert_eq!(one_by_one.stats().deltas_applied, 3);
+    assert_eq!(
+        coalesced.snapshot().engine().graph(),
+        one_by_one.snapshot().engine().graph()
+    );
+    assert_eq!(probe_session(&coalesced).0, probe_session(&one_by_one).0);
+}
+
+#[test]
+fn failed_batch_keeps_the_old_epoch_serving() {
+    let (g, model, config) = fixture();
+    let service = OctopusService::new(Octopus::new(g, model, config).unwrap());
+    let (before, _) = probe_session(&service);
+
+    service.submit_all(vec![
+        GraphDelta::RenameNode {
+            node: NodeId(2),
+            name: "would-have-applied".into(),
+        },
+        GraphDelta::RemoveEdge { edge: EdgeId(9999) },
+    ]);
+    assert!(service.apply_pending().is_err(), "bad batch must fail");
+
+    let stats = service.stats();
+    assert_eq!(stats.current_epoch, 0, "old epoch keeps serving");
+    assert_eq!(stats.epochs_swapped, 0);
+    assert_eq!(stats.batches_failed, 1);
+    assert_eq!(stats.pending_deltas, 0, "the failed batch is discarded");
+    // answers unchanged — the partial rename never leaked
+    assert_eq!(probe_session(&service).0, before);
+    // and the service still accepts good batches afterwards
+    service.submit(GraphDelta::NudgeWeights {
+        edges: vec![EdgeId(0)],
+        delta: 0.05,
+    });
+    assert!(service.apply_pending().unwrap().is_some());
+    assert_eq!(service.stats().current_epoch, 1);
+}
+
+#[test]
+fn flush_with_empty_queue_is_a_no_op() {
+    let (g, model, config) = fixture();
+    let service = OctopusService::new(Octopus::new(g, model, config).unwrap());
+    assert!(service.apply_pending().unwrap().is_none());
+    assert_eq!(service.stats().epochs_swapped, 0);
+}
+
+#[test]
+fn rebuild_through_cache_dir_reuses_unaffected_stages() {
+    let (g, model, config) = fixture();
+    let dir = std::env::temp_dir().join(format!("octopus-serve-reuse-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    // epoch 0 built through the cache so its artifacts are on disk
+    let engine = Octopus::open_or_build(g.clone(), model.clone(), config.clone(), &dir).unwrap();
+    let service = OctopusService::with_cache_dir(engine, &dir);
+
+    // a rename invalidates only the name-reading stages
+    service.submit(GraphDelta::RenameNode {
+        node: NodeId(0),
+        name: "renamed-hub".into(),
+    });
+    let report = service.apply_pending().unwrap().expect("pending delta");
+    let reused: Vec<&str> = report
+        .stage_reuse
+        .iter()
+        .filter(|s| s.is_full())
+        .map(|s| s.stage)
+        .collect();
+    for stage in ["spread-cap", "mis-tables", "piks-worlds"] {
+        assert!(
+            reused.contains(&stage),
+            "a rename must not rebuild {stage}: reused {reused:?}"
+        );
+    }
+    assert!(
+        !reused.contains(&"autocomplete"),
+        "the trie reads names and must rebuild"
+    );
+    // the incrementally rebuilt epoch still answers like a fresh engine
+    let g1 = octopus_graph::delta::apply_all(
+        &g,
+        &[GraphDelta::RenameNode {
+            node: NodeId(0),
+            name: "renamed-hub".into(),
+        }],
+    )
+    .unwrap();
+    let fresh = Octopus::new(g1, model, config).unwrap();
+    let a = service
+        .session()
+        .find_influencers("data mining", 2)
+        .unwrap();
+    let b = fresh.find_influencers("data mining", 2).unwrap();
+    assert_eq!(
+        a.value.seeds.iter().map(|s| s.node).collect::<Vec<_>>(),
+        b.seeds.iter().map(|s| s.node).collect::<Vec<_>>()
+    );
+    assert_eq!(a.value.result.spread, b.result.spread);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn user_keyword_overrides_survive_the_swap() {
+    let (g, model, config) = fixture();
+    let mut map = std::collections::HashMap::new();
+    map.insert(NodeId(0), vec![octopus_topics::KeywordId(1)]);
+    let engine = Octopus::new(g, model, config)
+        .unwrap()
+        .with_user_keywords(map);
+    let service = OctopusService::new(engine);
+    let before = service.session().suggest_keywords("jiawei han", 1).unwrap();
+    assert_eq!(before.value.words, vec!["frequent patterns"]);
+
+    service.submit(GraphDelta::NudgeWeights {
+        edges: vec![EdgeId(0)],
+        delta: 0.05,
+    });
+    service.apply_pending().unwrap().expect("pending delta");
+    let after = service.session().suggest_keywords("jiawei han", 1).unwrap();
+    assert_eq!(
+        after.value.words,
+        vec!["frequent patterns"],
+        "the override must ride along onto epoch 1"
+    );
+    assert_eq!(after.epoch, 1);
+}
+
+/// The heart of the serving contract: concurrent readers racing epoch
+/// swaps observe exactly an old-or-new epoch — every answer matches the
+/// reference engine for the epoch id it was stamped with, and no query
+/// errors or blocks past the test's own runtime.
+#[test]
+fn readers_racing_swaps_observe_exactly_old_or_new() {
+    const SWAPS: usize = 3;
+    const READERS: usize = 4;
+    let (g0, model, config) = fixture();
+
+    // the swap sequence and per-epoch reference signatures, precomputed
+    let deltas: Vec<GraphDelta> = (0..SWAPS)
+        .map(|i| GraphDelta::NudgeWeights {
+            edges: vec![EdgeId(i as u32)],
+            delta: 0.1,
+        })
+        .collect();
+    let mut graphs = vec![g0.clone()];
+    for d in &deltas {
+        graphs.push(d.apply(graphs.last().unwrap()).unwrap());
+    }
+    let references: Vec<ProbeSignature> = graphs
+        .iter()
+        .map(|g| probe(&Octopus::new(g.clone(), model.clone(), config.clone()).unwrap()))
+        .collect();
+
+    let service = OctopusService::new(Octopus::new(g0, model, config).unwrap());
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let mut readers = Vec::new();
+        for _ in 0..READERS {
+            readers.push(s.spawn(|| {
+                let mut session = service.session();
+                let mut checked = 0u64;
+                while !done.load(SeqCst) || checked == 0 {
+                    let kim = session.find_influencers("data mining", 2).unwrap();
+                    let reference = &references[kim.epoch as usize];
+                    assert_eq!(
+                        kim.value.seeds.iter().map(|x| x.node).collect::<Vec<_>>(),
+                        reference.seeds,
+                        "epoch {} must answer exactly like its fresh engine",
+                        kim.epoch
+                    );
+                    assert_eq!(kim.value.result.spread, reference.spread);
+                    let comp = session.autocomplete("db-", 10);
+                    assert_eq!(
+                        comp.value, references[comp.epoch as usize].completions,
+                        "epoch {} trie must be the epoch's own",
+                        comp.epoch
+                    );
+                    checked += 1;
+                }
+                checked
+            }));
+        }
+        for d in &deltas {
+            // let readers land some queries on the current epoch first
+            std::thread::sleep(Duration::from_millis(20));
+            service.submit(d.clone());
+            service.apply_pending().unwrap().expect("pending delta");
+        }
+        done.store(true, SeqCst);
+        let mut total = 0u64;
+        for r in readers {
+            total += r.join().expect("no reader may panic or error");
+        }
+        assert!(total > 0);
+    });
+    let stats = service.stats();
+    assert_eq!(stats.epochs_swapped, SWAPS as u64);
+    assert_eq!(stats.current_epoch, SWAPS as u64);
+    assert_eq!(stats.batches_failed, 0);
+}
+
+#[test]
+fn background_rebuilder_applies_submitted_deltas() {
+    let (g, model, config) = fixture();
+    let service = Arc::new(OctopusService::new(Octopus::new(g, model, config).unwrap()));
+    let rebuilder = service.spawn_rebuilder(Duration::from_millis(5));
+    service.submit(GraphDelta::RenameNode {
+        node: NodeId(2),
+        name: "flushed-in-background".into(),
+    });
+    // poll until the swap lands (bounded)
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while service.current_epoch() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background rebuilder never flushed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    rebuilder.stop();
+    assert_eq!(service.current_epoch(), 1);
+    assert!(service
+        .session()
+        .autocomplete("flushed", 1)
+        .value
+        .iter()
+        .any(|(_, name, _)| name == "flushed-in-background"));
+}
+
+#[test]
+fn session_stats_track_operators_epochs_and_errors() {
+    let (g, model, config) = fixture();
+    let service = OctopusService::new(Octopus::new(g, model, config).unwrap());
+    let mut session = service.session();
+    session.find_influencers("data mining", 2).unwrap();
+    assert!(session.find_influencers("quantum blockchain", 2).is_err());
+    session.autocomplete("db-", 3);
+    assert!(session.keyword_radar("em algorithm").is_ok());
+
+    service.submit(GraphDelta::NudgeWeights {
+        edges: vec![EdgeId(0)],
+        delta: 0.05,
+    });
+    service.apply_pending().unwrap().expect("pending delta");
+    session.find_influencers("data mining", 2).unwrap();
+
+    let stats = session.stats();
+    assert_eq!(stats.op(Operator::FindInfluencers).queries, 3);
+    assert_eq!(stats.op(Operator::FindInfluencers).errors, 1);
+    assert_eq!(stats.op(Operator::Autocomplete).queries, 1);
+    assert_eq!(stats.op(Operator::KeywordRadar).errors, 0);
+    assert_eq!(stats.op(Operator::SuggestKeywords).queries, 0);
+    assert_eq!(stats.total_queries(), 5);
+    assert_eq!(stats.total_errors(), 1);
+    assert_eq!(
+        stats.epochs_seen,
+        Some((0, 1)),
+        "the session spanned the swap"
+    );
+    assert!(stats.op(Operator::FindInfluencers).total_latency > Duration::ZERO);
+    // pinned snapshots freeze an epoch regardless of later swaps
+    let pin = session.pin();
+    service.submit(GraphDelta::NudgeWeights {
+        edges: vec![EdgeId(1)],
+        delta: 0.05,
+    });
+    service.apply_pending().unwrap().expect("pending delta");
+    assert_eq!(pin.id(), 1, "pin keeps the pre-swap epoch");
+    assert_eq!(service.current_epoch(), 2);
+    let _ = pin.engine().find_influencers("data mining", 2).unwrap();
+}

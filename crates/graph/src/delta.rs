@@ -115,6 +115,107 @@ pub fn remove_edge(g: &TopicGraph, victim: EdgeId) -> Result<TopicGraph> {
     b.build()
 }
 
+/// One graph mutation as a first-class value — the submission format of the
+/// serving layer (`octopus_core::serve`), which queues deltas from writer
+/// threads and coalesces a pending batch into a single rebuild.
+///
+/// Each variant corresponds to one of the free helpers in this module and
+/// applies with identical semantics; [`GraphDelta::apply`] is the bridge.
+/// Id caveat: [`EdgeId`]s inside a delta refer to the graph the delta is
+/// applied *to* — in a coalesced batch ([`apply_all`]) that is the output
+/// of the previous delta, so a batch containing `InsertEdge`/`RemoveEdge`
+/// must account for the id shifts those cause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphDelta {
+    /// Perturb the topic probabilities of `edges` by `delta` (reflected off
+    /// the `(0, 1]` boundary) — the shape a warm EM refit produces.
+    NudgeWeights {
+        /// Edges whose probability rows move.
+        edges: Vec<EdgeId>,
+        /// Additive perturbation per sparse entry.
+        delta: f64,
+    },
+    /// Add one influence edge `src → dst` — a new follow.
+    InsertEdge {
+        /// Influencing endpoint.
+        src: NodeId,
+        /// Influenced endpoint.
+        dst: NodeId,
+        /// Sparse `(topic index, probability)` rows of the new edge.
+        probs: Vec<(usize, f64)>,
+    },
+    /// Drop one influence edge — an unfollow.
+    RemoveEdge {
+        /// The edge to drop (later ids shift down by one).
+        edge: EdgeId,
+    },
+    /// Rename one user. Topology, weights, and all ids are unchanged.
+    RenameNode {
+        /// The user to rename.
+        node: NodeId,
+        /// The new display name.
+        name: String,
+    },
+}
+
+impl GraphDelta {
+    /// Apply this mutation to `g`, producing a new graph (see the matching
+    /// free helper for each variant's exact semantics and failure modes).
+    pub fn apply(&self, g: &TopicGraph) -> Result<TopicGraph> {
+        match self {
+            GraphDelta::NudgeWeights { edges, delta } => nudge_weights(g, edges, *delta),
+            GraphDelta::InsertEdge { src, dst, probs } => insert_edge(g, *src, *dst, probs),
+            GraphDelta::RemoveEdge { edge } => remove_edge(g, *edge),
+            GraphDelta::RenameNode { node, name } => rename_node(g, *node, name),
+        }
+    }
+}
+
+/// Apply `deltas` in order, each on the output of the previous one —
+/// exactly what a coalesced serving batch does. Applying a batch in one
+/// call is equivalent, graph-for-graph, to applying its deltas one at a
+/// time (pinned by `coalesced_batch_matches_sequential_application`); an
+/// empty batch returns a clone of `g`. The first failing delta aborts the
+/// whole batch.
+///
+/// Each delta rebuilds the graph through a [`GraphBuilder`] pass, so a
+/// naive fold is `O(k·|G|)` for a `k`-delta batch. The dominant batch
+/// shape under serving churn — a run of weight nudges with the same
+/// perturbation over *distinct* edges (the stream a warm EM refit emits)
+/// — folds into a **single** rebuild instead: equivalent because
+/// [`nudge_weights`] is simultaneous over its edge list and nudges leave
+/// every id stable. Runs touching an edge twice (a double nudge must
+/// compound, and reflection is not additive) or changing the
+/// perturbation are *not* merged and keep sequential semantics.
+pub fn apply_all(g: &TopicGraph, deltas: &[GraphDelta]) -> Result<TopicGraph> {
+    let mut current: Option<TopicGraph> = None;
+    let mut i = 0;
+    while i < deltas.len() {
+        let base = current.as_ref().unwrap_or(g);
+        let mut end = i + 1;
+        let next = if let GraphDelta::NudgeWeights { edges, delta } = &deltas[i] {
+            let mut merged = edges.clone();
+            while let Some(GraphDelta::NudgeWeights {
+                edges: more,
+                delta: d,
+            }) = deltas.get(end)
+            {
+                if d.to_bits() != delta.to_bits() || more.iter().any(|e| merged.contains(e)) {
+                    break;
+                }
+                merged.extend_from_slice(more);
+                end += 1;
+            }
+            nudge_weights(base, &merged, *delta)?
+        } else {
+            deltas[i].apply(base)?
+        };
+        current = Some(next);
+        i = end;
+    }
+    Ok(current.unwrap_or_else(|| g.clone()))
+}
+
 /// Rebuild `g` with node `u` renamed to `name`. Topology, weights, and all
 /// ids are unchanged; only the name slice differs.
 pub fn rename_node(g: &TopicGraph, target: NodeId, name: &str) -> Result<TopicGraph> {
@@ -222,6 +323,134 @@ mod tests {
         let back = remove_edge(&bigger, EdgeId(1)).unwrap();
         assert_eq!(back, g, "insert then remove restores the original");
         assert!(insert_edge(&g, NodeId(0), NodeId(0), &[(0, 0.5)]).is_err());
+    }
+
+    #[test]
+    fn graph_delta_variants_match_the_free_helpers() {
+        let g = fixture();
+        let e = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(
+            GraphDelta::NudgeWeights {
+                edges: vec![e],
+                delta: 0.1
+            }
+            .apply(&g)
+            .unwrap(),
+            nudge_weights(&g, &[e], 0.1).unwrap()
+        );
+        assert_eq!(
+            GraphDelta::InsertEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                probs: vec![(1, 0.4)]
+            }
+            .apply(&g)
+            .unwrap(),
+            insert_edge(&g, NodeId(0), NodeId(3), &[(1, 0.4)]).unwrap()
+        );
+        assert_eq!(
+            GraphDelta::RemoveEdge { edge: e }.apply(&g).unwrap(),
+            remove_edge(&g, e).unwrap()
+        );
+        assert_eq!(
+            GraphDelta::RenameNode {
+                node: NodeId(1),
+                name: "grace hopper".into()
+            }
+            .apply(&g)
+            .unwrap(),
+            rename_node(&g, NodeId(1), "grace hopper").unwrap()
+        );
+        // failures propagate
+        assert!(GraphDelta::RemoveEdge { edge: EdgeId(99) }
+            .apply(&g)
+            .is_err());
+    }
+
+    #[test]
+    fn coalesced_batch_matches_sequential_application() {
+        let g = fixture();
+        let batch = vec![
+            GraphDelta::NudgeWeights {
+                edges: vec![EdgeId(0)],
+                delta: 0.05,
+            },
+            GraphDelta::RenameNode {
+                node: NodeId(2),
+                name: "edsger dijkstra".into(),
+            },
+            GraphDelta::InsertEdge {
+                src: NodeId(3),
+                dst: NodeId(0),
+                probs: vec![(0, 0.2)],
+            },
+        ];
+        let coalesced = apply_all(&g, &batch).unwrap();
+        let mut sequential = g.clone();
+        for d in &batch {
+            sequential = d.apply(&sequential).unwrap();
+        }
+        assert_eq!(coalesced, sequential);
+        // empty batch is the identity
+        assert_eq!(apply_all(&g, &[]).unwrap(), g);
+        // a failing delta mid-batch aborts the whole batch
+        let bad = vec![
+            GraphDelta::RenameNode {
+                node: NodeId(0),
+                name: "renamed".into(),
+            },
+            GraphDelta::RemoveEdge { edge: EdgeId(99) },
+        ];
+        assert!(apply_all(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn nudge_runs_fold_without_changing_semantics() {
+        let g = fixture();
+        let nudge = |edges: Vec<u32>, delta: f64| GraphDelta::NudgeWeights {
+            edges: edges.into_iter().map(EdgeId).collect(),
+            delta,
+        };
+        let sequential = |batch: &[GraphDelta]| {
+            let mut cur = g.clone();
+            for d in batch {
+                cur = d.apply(&cur).unwrap();
+            }
+            cur
+        };
+        // disjoint same-δ run (the serving-churn shape): folds into one
+        // rebuild, same graph as one-at-a-time
+        let run = vec![
+            nudge(vec![0], 0.05),
+            nudge(vec![1], 0.05),
+            nudge(vec![2], 0.05),
+        ];
+        assert_eq!(apply_all(&g, &run).unwrap(), sequential(&run));
+        // repeated edge: the second nudge must compound, not be absorbed
+        let repeat = vec![nudge(vec![0], 0.05), nudge(vec![0], 0.05)];
+        assert_eq!(apply_all(&g, &repeat).unwrap(), sequential(&repeat));
+        assert_ne!(
+            apply_all(&g, &repeat).unwrap(),
+            apply_all(&g, &[nudge(vec![0], 0.05)]).unwrap()
+        );
+        // mixed perturbations: not merged, still equivalent
+        let mixed = vec![nudge(vec![0], 0.05), nudge(vec![1], 0.07)];
+        assert_eq!(apply_all(&g, &mixed).unwrap(), sequential(&mixed));
+        // a run interrupted by another variant stays sequential around it
+        let interrupted = vec![
+            nudge(vec![0], 0.05),
+            GraphDelta::RenameNode {
+                node: NodeId(3),
+                name: "barbara liskov".into(),
+            },
+            nudge(vec![1], 0.05),
+        ];
+        assert_eq!(
+            apply_all(&g, &interrupted).unwrap(),
+            sequential(&interrupted)
+        );
+        // an invalid edge anywhere in a foldable run still aborts
+        assert!(apply_all(&g, &[nudge(vec![0], 0.05), nudge(vec![99], 0.05)]).is_err());
     }
 
     #[test]
