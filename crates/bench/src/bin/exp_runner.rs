@@ -31,7 +31,26 @@
 //! error, failed batch, missing swap, or — with `--serve-p99-ms <ms>` —
 //! any operator p99 above the guardrail, which is what makes it a CI
 //! perf-smoke gate.
+//!
+//! With `--open-bench`, the runner measures engine startup: it builds the
+//! citation artifact cold, then opens it twice — once in owned mode
+//! (decode every section into owned structs) and once in zero-copy mapped
+//! mode ([`Octopus::open_mapped`], O(pages-touched)) — and reports
+//! cold-open wall time, the `artifact-map`/`artifact-validate`/
+//! `artifact-decode` split, first-query latency, and RSS growth for both,
+//! while asserting that all five online operators answer **bit-identically**
+//! in either mode (any divergence exits nonzero). `--paranoid` makes the
+//! mapped open verify every section checksum up front instead of lazily.
+//!
+//! Every invocation also appends one machine-readable run record
+//! (workload, config fingerprint, thread count, per-stage timings,
+//! per-operator latency quantiles, peak RSS) to `BENCH_<workload>.json`
+//! in the current directory (override with `--bench-dir <dir>`) — the
+//! repo-root perf trajectory. With `--referee`, the fresh run is first
+//! diffed against the most recent comparable record and the process exits
+//! nonzero on a regression (>2x and >10ms on any shared metric).
 
+use octopus_bench::record::{self, BenchRecord, Quantiles};
 use octopus_bench::table::fmt_duration;
 use octopus_bench::workloads::{
     citation_queries, citation_sized, messenger_queries, messenger_sized, prolific_users,
@@ -59,6 +78,27 @@ static CSV_DIR: OnceLock<std::path::PathBuf> = OnceLock::new();
 /// [`Octopus::open_or_build`] against this directory instead of
 /// [`Octopus::new`].
 static ARTIFACT_CACHE: OnceLock<std::path::PathBuf> = OnceLock::new();
+
+/// Where `BENCH_<workload>.json` trajectories live (`--bench-dir`,
+/// default: the current directory, i.e. the repo root in CI).
+static BENCH_DIR: OnceLock<std::path::PathBuf> = OnceLock::new();
+
+fn bench_dir() -> std::path::PathBuf {
+    BENCH_DIR
+        .get()
+        .cloned()
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+}
+
+/// FNV-1a 64 over a run descriptor — the record's config fingerprint.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Print a table and mirror it to the CSV directory when requested.
 fn emit(t: &Table) {
@@ -622,7 +662,7 @@ fn rmse(a: &[f64], b: &[f64]) -> f64 {
 /// Delta workload (`--delta <k>`): perturb the citation network by a few
 /// edges and measure how much of the offline build `open_or_build` reuses
 /// from the OCTA section cache, versus paying a full rebuild.
-fn delta_workload(s: &Scale, k: usize) {
+fn delta_workload(s: &Scale, k: usize, rec: &mut BenchRecord) {
     use octopus_graph::delta;
     println!("\n================ DELTA: incremental offline rebuilds (k={k}) ================");
     let net = citation_sized(s.citation_authors, s.citation_papers);
@@ -655,6 +695,7 @@ fn delta_workload(s: &Scale, k: usize) {
     let t_full = t0.elapsed();
     assert!(!cold.cache_hit());
     drop(cold);
+    rec.stage("full-build", t_full);
 
     // the k-edge perturbations, spread across the edge range
     let m = net.graph.edge_count();
@@ -704,6 +745,7 @@ fn delta_workload(s: &Scale, k: usize) {
         let engine = Octopus::open_or_build(graph, net.model.clone(), config.clone(), &dir)
             .expect("delta reopen");
         let dt = t0.elapsed();
+        rec.stage(&format!("reopen {label}"), dt);
         let report = engine.system_report();
         let full_stages = report.stage_reuse.iter().filter(|s| s.is_full()).count();
         let rebuilt: Vec<&str> = report
@@ -741,7 +783,12 @@ fn delta_workload(s: &Scale, k: usize) {
 /// injects delta batches that swap epochs mid-run. Returns whether the
 /// run was healthy (zero query errors, every batch swapped, p99 under the
 /// optional guardrail) — the CI perf-smoke gate.
-fn serve_workload(s: &Scale, workers: usize, p99_guard: Option<std::time::Duration>) -> bool {
+fn serve_workload(
+    s: &Scale,
+    workers: usize,
+    p99_guard: Option<std::time::Duration>,
+    rec: &mut BenchRecord,
+) -> bool {
     use octopus_bench::serve_load::{self, ServeLoadConfig};
     use std::time::Duration;
     println!(
@@ -767,11 +814,13 @@ fn serve_workload(s: &Scale, workers: usize, p99_guard: Option<std::time::Durati
     let engine = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config, &dir)
         .expect("epoch 0 builds")
         .with_user_keywords(user_keywords(&net));
+    let t_epoch0 = t0.elapsed();
+    rec.stage("epoch0-build", t_epoch0);
     println!(
         "workload: {} researchers, {} edges; epoch 0 built in {}",
         net.graph.node_count(),
         net.graph.edge_count(),
-        fmt_duration(t0.elapsed())
+        fmt_duration(t_epoch0)
     );
     let cfg = ServeLoadConfig {
         workers,
@@ -784,6 +833,16 @@ fn serve_workload(s: &Scale, workers: usize, p99_guard: Option<std::time::Durati
     };
     let report = serve_load::run(engine, &net, &cfg);
     std::fs::remove_dir_all(&dir).ok();
+    for op in &report.per_op {
+        rec.op(
+            op.operator.label(),
+            Quantiles::from_durations(op.p50, op.p95, op.p99, op.max),
+        );
+    }
+    rec.note("throughput_qps", report.throughput)
+        .note("total_queries", report.total_queries as f64)
+        .note("epoch_swaps", report.swaps.len() as f64)
+        .note("deltas_applied", report.deltas_applied as f64);
 
     let mut t = Table::new(
         format!(
@@ -895,6 +954,308 @@ fn serve_workload(s: &Scale, workers: usize, p99_guard: Option<std::time::Durati
         );
     }
     healthy
+}
+
+/// Bit-exact answer signature of the five online operators — two engines
+/// serving the same artifact must produce byte-for-byte equal signatures
+/// (floats enter as their IEEE bit patterns, not display roundings).
+fn open_bench_signature(e: &Octopus, target: NodeId, queries: &[&str]) -> String {
+    use std::fmt::Write as _;
+    let mut sig = String::new();
+    let mut top_name = String::new();
+    for q in queries {
+        match e.find_influencers(q, 5) {
+            Ok(a) => {
+                let _ = write!(sig, "kim:{q}:{:016x};", a.result.spread.to_bits());
+                for s in &a.seeds {
+                    let _ = write!(sig, "{}:{}:{};", s.node.0, s.name, s.rank);
+                }
+                for v in a.gamma.as_slice() {
+                    let _ = write!(sig, "{:016x},", v.to_bits());
+                }
+                if top_name.is_empty() {
+                    top_name = a.seeds[0].name.clone();
+                }
+            }
+            Err(err) => {
+                let _ = write!(sig, "kim:{q}:err={err};");
+            }
+        }
+    }
+    match e.suggest_keywords_for(target, 2) {
+        Ok(a) => {
+            let _ = write!(
+                sig,
+                "piks:{}:{:016x};",
+                a.words.join("|"),
+                a.result.spread.to_bits()
+            );
+            for v in &a.radar.values {
+                let _ = write!(sig, "{:016x},", v.to_bits());
+            }
+        }
+        Err(err) => {
+            let _ = write!(sig, "piks:err={err};");
+        }
+    }
+    for dir in [ExploreDirection::Influences, ExploreDirection::InfluencedBy] {
+        match e.explore_paths(&top_name, dir, Some(queries[0])) {
+            Ok(ex) => {
+                let _ = write!(
+                    sig,
+                    "mia:{dir:?}:{}:{:016x}:{};",
+                    ex.reached,
+                    ex.influence.to_bits(),
+                    ex.d3_json
+                );
+            }
+            Err(err) => {
+                let _ = write!(sig, "mia:{dir:?}:err={err};");
+            }
+        }
+    }
+    for prefix in ["a", "j", "zz-no-such-user"] {
+        let _ = write!(sig, "trie:{prefix}:");
+        for (node, name, score) in e.autocomplete(prefix, 8) {
+            let _ = write!(sig, "{}:{}:{:016x},", node.0, name, score.to_bits());
+        }
+        sig.push(';');
+    }
+    match e.keyword_radar("data mining") {
+        Ok(r) => {
+            let _ = write!(sig, "radar:{};", r.axes.join("|"));
+            for v in &r.values {
+                let _ = write!(sig, "{:016x},", v.to_bits());
+            }
+        }
+        Err(err) => {
+            let _ = write!(sig, "radar:err={err};");
+        }
+    }
+    sig
+}
+
+/// Open-bench workload (`--open-bench`): quantify what the zero-copy v4
+/// container buys at engine startup. Builds the citation artifact cold,
+/// then opens the same bytes owned (full decode) and mapped
+/// (O(pages-touched) structural validation, lazy per-section checksums)
+/// and reports open wall time, the map/validate/decode split, first-query
+/// latency, and RSS growth — asserting bit-identical answers across all
+/// five operators. Returns false (→ exit 1) on any divergence.
+fn open_bench_workload(s: &Scale, paranoid: bool, rec: &mut BenchRecord) -> bool {
+    use record::{current_rss_kb, ms};
+    println!(
+        "\n================ OPEN-BENCH: owned decode-open vs zero-copy mapped open{} ================",
+        if paranoid { " (paranoid)" } else { "" }
+    );
+    let net = citation_sized(s.citation_authors, s.citation_papers);
+    let dir = ARTIFACT_CACHE
+        .get()
+        .cloned()
+        .unwrap_or_else(std::env::temp_dir)
+        .join(format!("open-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = OctopusConfig {
+        kim: KimEngineChoice::BestEffort(BoundKind::Precomputation),
+        piks_index_size: 1024,
+        k_max: 25,
+        ..Default::default()
+    };
+
+    // cold: pay the offline build once, leaving the artifact on disk
+    let t0 = Instant::now();
+    let built = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config.clone(), &dir)
+        .expect("cold build");
+    let t_build = t0.elapsed();
+    assert!(!built.cache_hit(), "open-bench scratch dir must start cold");
+    drop(built);
+    println!(
+        "workload: {} researchers, {} edges; offline build {} (artifact written)",
+        net.graph.node_count(),
+        net.graph.edge_count(),
+        fmt_duration(t_build)
+    );
+
+    // owned decode-open: checksum + decode every section into owned structs
+    let rss0 = current_rss_kb();
+    let t0 = Instant::now();
+    let owned = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config.clone(), &dir)
+        .expect("owned open");
+    let t_owned = t0.elapsed();
+    let owned_rss = current_rss_kb().saturating_sub(rss0);
+    assert!(owned.cache_hit() && !owned.is_mapped());
+
+    // mapped open: validate framing, borrow the page cache, decode nothing
+    let rss0 = current_rss_kb();
+    let t0 = Instant::now();
+    let mapped = if paranoid {
+        Octopus::open_mapped_paranoid(net.graph.clone(), net.model.clone(), config.clone(), &dir)
+    } else {
+        Octopus::open_mapped(net.graph.clone(), net.model.clone(), config, &dir)
+    }
+    .expect("mapped open");
+    let t_mapped = t0.elapsed();
+    let mapped_rss = current_rss_kb().saturating_sub(rss0);
+    assert!(mapped.cache_hit() && mapped.is_mapped());
+
+    // first query on each engine: the mapped engine pays its lazy
+    // per-section checksums here, which is part of the honest comparison
+    let queries: Vec<&str> = citation_queries().into_iter().take(3).collect();
+    let target = prolific_users(&net, 1)[0];
+    let t0 = Instant::now();
+    let _ = owned.find_influencers(queries[0], 10);
+    let owned_first = t0.elapsed();
+    let t0 = Instant::now();
+    let _ = mapped.find_influencers(queries[0], 10);
+    let mapped_first = t0.elapsed();
+
+    let stage_of = |e: &Octopus, name: &str| {
+        e.stage_timings()
+            .iter()
+            .find(|t| t.stage == name)
+            .map(|t| t.duration)
+    };
+    let fmt_opt = |d: Option<std::time::Duration>| match d {
+        Some(d) => fmt_duration(d),
+        None => "—".to_string(),
+    };
+    let mut t = Table::new(
+        "OPEN-BENCH: startup cost, same artifact bytes",
+        &["metric", "owned (decode)", "mapped (zero-copy)"],
+    );
+    t.row(vec![
+        "cold open".into(),
+        fmt_duration(t_owned),
+        fmt_duration(t_mapped),
+    ]);
+    for stage in [
+        octopus_core::offline::persist::STAGE_ARTIFACT_MAP,
+        octopus_core::offline::persist::STAGE_ARTIFACT_VALIDATE,
+        octopus_core::offline::persist::STAGE_ARTIFACT_DECODE,
+    ] {
+        t.row(vec![
+            stage.to_string(),
+            fmt_opt(stage_of(&owned, stage)),
+            fmt_opt(stage_of(&mapped, stage)),
+        ]);
+    }
+    t.row(vec![
+        "first find_influencers".into(),
+        fmt_duration(owned_first),
+        fmt_duration(mapped_first),
+    ]);
+    t.row(vec![
+        "RSS growth".into(),
+        format!("{owned_rss} kB"),
+        format!("{mapped_rss} kB"),
+    ]);
+    emit(&t);
+
+    // the contract: identical bytes → bit-identical answers, both modes
+    let sig_owned = open_bench_signature(&owned, target, &queries);
+    let sig_mapped = open_bench_signature(&mapped, target, &queries);
+    let identical = sig_owned == sig_mapped;
+    if identical {
+        println!(
+            "[open-bench] OK: all five operators answer bit-identically in both modes ({} signature bytes)",
+            sig_owned.len()
+        );
+    } else {
+        let at = sig_owned
+            .bytes()
+            .zip(sig_mapped.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(sig_owned.len().min(sig_mapped.len()));
+        eprintln!(
+            "[open-bench] FAIL: owned and mapped answers diverge at signature byte {at}: owned …{:?} vs mapped …{:?}",
+            &sig_owned[at.saturating_sub(24)..(at + 24).min(sig_owned.len())],
+            &sig_mapped[at.saturating_sub(24)..(at + 24).min(sig_mapped.len())],
+        );
+    }
+    if t_mapped < t_owned {
+        println!(
+            "[open-bench] mapped cold-open beats owned decode-open: {} vs {} ({:.1}x)",
+            fmt_duration(t_mapped),
+            fmt_duration(t_owned),
+            t_owned.as_secs_f64() / t_mapped.as_secs_f64().max(1e-9)
+        );
+    } else {
+        eprintln!(
+            "[open-bench] WARN: mapped open {} did not beat owned open {} on this run",
+            fmt_duration(t_mapped),
+            fmt_duration(t_owned)
+        );
+    }
+
+    // steady-state latency quantiles off the mapped engine (the serving
+    // configuration the trajectory tracks)
+    let top_name = mapped
+        .find_influencers(queries[0], 1)
+        .map(|a| a.seeds[0].name.clone())
+        .unwrap_or_default();
+    let reps = 16usize;
+    let mut lat: Vec<(&str, Vec<std::time::Duration>)> = [
+        "find_influencers",
+        "suggest_keywords",
+        "explore_paths",
+        "autocomplete",
+        "keyword_radar",
+    ]
+    .iter()
+    .map(|n| (*n, Vec::with_capacity(reps)))
+    .collect();
+    for i in 0..reps {
+        let q = queries[i % queries.len()];
+        let t0 = Instant::now();
+        let _ = mapped.find_influencers(q, 10);
+        lat[0].1.push(t0.elapsed());
+        let t0 = Instant::now();
+        let _ = mapped.suggest_keywords_for(target, 2);
+        lat[1].1.push(t0.elapsed());
+        let t0 = Instant::now();
+        let _ = mapped.explore_paths(&top_name, ExploreDirection::Influences, None);
+        lat[2].1.push(t0.elapsed());
+        let t0 = Instant::now();
+        let _ = mapped.autocomplete("a", 8);
+        lat[3].1.push(t0.elapsed());
+        let t0 = Instant::now();
+        let _ = mapped.keyword_radar("data mining");
+        lat[4].1.push(t0.elapsed());
+    }
+    for (name, mut xs) in lat {
+        xs.sort();
+        let pct = |p: f64| xs[((xs.len() - 1) as f64 * p).round() as usize];
+        rec.op(
+            name,
+            Quantiles::from_durations(pct(0.50), pct(0.95), pct(0.99), xs[xs.len() - 1]),
+        );
+    }
+
+    // trajectory record: the owned-vs-mapped numbers this PR exists for
+    rec.stage("offline-build", t_build);
+    for (prefix, engine) in [("owned", &owned), ("mapped", &mapped)] {
+        for st in engine.stage_timings() {
+            if st.stage.starts_with("artifact-") {
+                rec.stage(&format!("{prefix} {}", st.stage), st.duration);
+            }
+        }
+    }
+    rec.note("owned_open_ms", ms(t_owned))
+        .note("mapped_open_ms", ms(t_mapped))
+        .note("owned_first_query_ms", ms(owned_first))
+        .note("mapped_first_query_ms", ms(mapped_first))
+        .note("owned_rss_delta_kb", owned_rss as f64)
+        .note("mapped_rss_delta_kb", mapped_rss as f64)
+        .note(
+            "open_speedup",
+            t_owned.as_secs_f64() / t_mapped.as_secs_f64().max(1e-9),
+        )
+        .note("bit_identical", if identical { 1.0 } else { 0.0 });
+
+    drop(owned);
+    drop(mapped);
+    std::fs::remove_dir_all(&dir).ok();
+    identical
 }
 
 /// E7 — EM learning recovery.
@@ -1329,6 +1690,17 @@ fn main() {
         },
         None => None,
     };
+    let open_bench = args.iter().any(|a| a == "--open-bench");
+    let paranoid = args.iter().any(|a| a == "--paranoid");
+    let referee_mode = args.iter().any(|a| a == "--referee");
+    if let Some(i) = args.iter().position(|a| a == "--bench-dir") {
+        if let Some(dir) = args.get(i + 1) {
+            let _ = BENCH_DIR.set(std::path::PathBuf::from(dir));
+        } else {
+            eprintln!("--bench-dir requires a directory argument");
+            std::process::exit(2);
+        }
+    }
     let mut skip_next = false;
     let picks: Vec<String> = args
         .iter()
@@ -1342,6 +1714,7 @@ fn main() {
                 || *a == "--delta"
                 || *a == "--serve"
                 || *a == "--serve-p99-ms"
+                || *a == "--bench-dir"
             {
                 skip_next = true;
                 return false;
@@ -1351,33 +1724,94 @@ fn main() {
         .map(|a| a.to_lowercase())
         .collect();
     let s = scale(quick);
-    if delta_k.is_some() || serve_workers.is_some() {
-        // the delta and serve modes are their own workloads: run them
-        // (plus any explicitly picked experiments) instead of the full
-        // default sweep
-        let t0 = Instant::now();
-        let mut healthy = true;
+
+    // one trajectory record per invocation, named after the dominant mode
+    let workload = if open_bench {
+        "open-bench"
+    } else if serve_workers.is_some() {
+        "serve"
+    } else if delta_k.is_some() {
+        "delta"
+    } else {
+        "sweep"
+    };
+    let descriptor = format!(
+        "{workload}|quick={quick}|paranoid={paranoid}|delta={delta_k:?}|serve={serve_workers:?}|picks={picks:?}|authors={}|papers={}",
+        s.citation_authors, s.citation_papers
+    );
+    let mut rec = BenchRecord::new(
+        workload,
+        fnv1a(descriptor.as_bytes()),
+        rayon::current_num_threads(),
+    );
+    if paranoid {
+        rec.note("paranoid", 1.0);
+    }
+
+    let t0 = Instant::now();
+    let mut healthy = true;
+    if open_bench || delta_k.is_some() || serve_workers.is_some() {
+        // the open-bench, delta, and serve modes are their own workloads:
+        // run them (plus any explicitly picked experiments) instead of the
+        // full default sweep
+        if open_bench {
+            healthy &= open_bench_workload(&s, paranoid, &mut rec);
+        }
         if let Some(k) = delta_k {
-            delta_workload(&s, k);
+            delta_workload(&s, k, &mut rec);
         }
         if let Some(workers) = serve_workers {
-            healthy &= serve_workload(&s, workers, serve_p99);
+            healthy &= serve_workload(&s, workers, serve_p99, &mut rec);
         }
         for p in &picks {
             run_experiment(p, &s);
         }
-        println!("total wall time: {}", fmt_duration(t0.elapsed()));
-        if !healthy {
-            std::process::exit(1);
-        }
-        return;
-    }
-    let all = picks.is_empty();
-    let t0 = Instant::now();
-    for name in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"] {
-        if all || picks.iter().any(|p| p == name) {
-            run_experiment(name, &s);
+    } else {
+        let all = picks.is_empty();
+        for name in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"] {
+            if all || picks.iter().any(|p| p == name) {
+                let te = Instant::now();
+                run_experiment(name, &s);
+                rec.stage(name, te.elapsed());
+            }
         }
     }
-    println!("total wall time: {}", fmt_duration(t0.elapsed()));
+    let wall = t0.elapsed();
+    println!("total wall time: {}", fmt_duration(wall));
+
+    // finish and persist the trajectory record; with --referee, gate on
+    // the most recent comparable record *before* this run is appended
+    rec.note("wall_clock_ms", record::ms(wall));
+    rec.peak_rss_kb = record::peak_rss_kb();
+    let bdir = bench_dir();
+    if referee_mode {
+        let verdict = record::referee_check(&bdir, &rec);
+        match verdict.baseline_time_s {
+            None => println!(
+                "[referee] no comparable baseline in {} — first run on this configuration, vacuous pass",
+                BenchRecord::trajectory_path(&bdir, workload).display()
+            ),
+            Some(ts) => {
+                if verdict.pass() {
+                    println!(
+                        "[referee] OK: {} metrics within {:.1}x of the baseline recorded at unix {ts}",
+                        verdict.compared,
+                        record::REGRESSION_RATIO
+                    );
+                } else {
+                    for r in &verdict.regressions {
+                        eprintln!("[referee] REGRESSION {r}");
+                    }
+                    healthy = false;
+                }
+            }
+        }
+    }
+    match rec.append_to(&bdir) {
+        Ok(path) => println!("[bench] run recorded to {}", path.display()),
+        Err(e) => eprintln!("[bench] record write failed: {e}"),
+    }
+    if !healthy {
+        std::process::exit(1);
+    }
 }

@@ -3,6 +3,7 @@
 //! referee, the serving-layer load generator (`exp_runner --serve`), and
 //! plain-text table rendering for the `exp_runner` binary.
 
+pub mod record;
 pub mod referee;
 pub mod serve_load;
 pub mod table;

@@ -1,0 +1,717 @@
+//! Persisted bench trajectories: every `exp_runner` invocation appends a
+//! machine-readable run record to a `BENCH_<workload>.json` file (JSON
+//! Lines — one record per line) at the repository root, and the
+//! `--referee` mode diffs a fresh run against the most recent comparable
+//! record so CI can *gate* on perf regressions instead of only archiving
+//! artifacts.
+//!
+//! The container has no serde_json (the vendored `serde` is a minimal
+//! stand-in), so this module hand-rolls both directions: a small canonical
+//! JSON writer and a recursive-descent parser for exactly the subset the
+//! writer emits (objects, arrays, strings, finite numbers). Records are
+//! versioned through `schema`; unknown keys are ignored on read so older
+//! binaries can walk newer trajectories.
+//!
+//! What a record carries (the ROADMAP's "structured bench runs" shape):
+//! workload name, config fingerprint, thread count, wall-clock stamp,
+//! per-stage timings, per-operator latency quantiles, peak RSS, and a
+//! free-form `notes` map of workload-specific scalars (e.g. the
+//! owned-vs-mapped cold-open numbers of `--open-bench`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Record schema version; bump when a field changes meaning.
+pub const SCHEMA: u64 = 1;
+
+/// Latency quantiles of one operator, milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Quantiles {
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+}
+
+impl Quantiles {
+    /// Quantiles from duration values.
+    pub fn from_durations(p50: Duration, p95: Duration, p99: Duration, max: Duration) -> Self {
+        Quantiles {
+            p50_ms: ms(p50),
+            p95_ms: ms(p95),
+            p99_ms: ms(p99),
+            max_ms: ms(max),
+        }
+    }
+}
+
+/// Milliseconds as f64 (the unit every number in a record uses).
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One persisted bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Record schema version ([`SCHEMA`]).
+    pub schema: u64,
+    /// Workload name (`open-bench`, `serve`, `delta`, `sweep`); also names
+    /// the trajectory file.
+    pub workload: String,
+    /// Fingerprint of everything that makes runs comparable (workload
+    /// parameters, scale, engine config) — the referee only compares
+    /// records with equal fingerprints.
+    pub config_fp: u64,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Seconds since the unix epoch when the record was written.
+    pub unix_time_s: u64,
+    /// Peak resident set of the process, kilobytes (`VmHWM`; 0 where
+    /// `/proc` is unavailable).
+    pub peak_rss_kb: u64,
+    /// Per-stage wall-clock timings, milliseconds, insertion-ordered.
+    pub stage_timings_ms: Vec<(String, f64)>,
+    /// Per-operator latency quantiles, insertion-ordered.
+    pub op_quantiles_ms: Vec<(String, Quantiles)>,
+    /// Workload-specific scalars (e.g. `mapped_cold_open_ms`).
+    pub notes: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// A fresh record stamped with the current time and peak RSS.
+    pub fn new(workload: &str, config_fp: u64, threads: usize) -> Self {
+        BenchRecord {
+            schema: SCHEMA,
+            workload: workload.to_string(),
+            config_fp,
+            threads,
+            unix_time_s: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            peak_rss_kb: peak_rss_kb(),
+            stage_timings_ms: Vec::new(),
+            op_quantiles_ms: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add one stage timing.
+    pub fn stage(&mut self, name: &str, d: Duration) -> &mut Self {
+        self.stage_timings_ms.push((name.to_string(), ms(d)));
+        self
+    }
+
+    /// Add one operator's quantiles.
+    pub fn op(&mut self, name: &str, q: Quantiles) -> &mut Self {
+        self.op_quantiles_ms.push((name.to_string(), q));
+        self
+    }
+
+    /// Add one workload-specific scalar.
+    pub fn note(&mut self, name: &str, value: f64) -> &mut Self {
+        self.notes.push((name.to_string(), value));
+        self
+    }
+
+    /// The trajectory file this record belongs to, under `dir`.
+    pub fn trajectory_path(dir: &Path, workload: &str) -> PathBuf {
+        dir.join(format!("BENCH_{workload}.json"))
+    }
+
+    /// Serialize as one canonical JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        let _ = write!(
+            s,
+            "\"schema\":{},\"workload\":{},\"config_fp\":\"{:#018x}\",\"threads\":{},\"unix_time_s\":{},\"peak_rss_kb\":{}",
+            self.schema,
+            json_string(&self.workload),
+            self.config_fp,
+            self.threads,
+            self.unix_time_s,
+            self.peak_rss_kb
+        );
+        s.push_str(",\"stage_timings_ms\":{");
+        for (i, (k, v)) in self.stage_timings_ms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}:{}", json_string(k), json_number(*v));
+        }
+        s.push_str("},\"op_quantiles_ms\":{");
+        for (i, (k, q)) in self.op_quantiles_ms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{}:{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                json_string(k),
+                json_number(q.p50_ms),
+                json_number(q.p95_ms),
+                json_number(q.p99_ms),
+                json_number(q.max_ms)
+            );
+        }
+        s.push_str("},\"notes\":{");
+        for (i, (k, v)) in self.notes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}:{}", json_string(k), json_number(*v));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Parse a record from one JSON line.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let value = Json::parse(line)?;
+        let obj = value.as_object().ok_or("record is not a JSON object")?;
+        let num = |key: &str| -> Result<f64, String> {
+            obj.get(key)
+                .and_then(Json::as_number)
+                .ok_or_else(|| format!("missing numeric field {key}"))
+        };
+        let config_fp = match obj.get("config_fp") {
+            Some(Json::String(s)) => {
+                let hex = s.trim_start_matches("0x");
+                u64::from_str_radix(hex, 16).map_err(|e| format!("config_fp: {e}"))?
+            }
+            _ => return Err("missing config_fp".into()),
+        };
+        let scalar_map = |key: &str| -> Result<Vec<(String, f64)>, String> {
+            let m = obj
+                .get(key)
+                .and_then(Json::as_object)
+                .ok_or_else(|| format!("missing object field {key}"))?;
+            m.iter()
+                .map(|(k, v)| {
+                    v.as_number()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("{key}.{k} is not a number"))
+                })
+                .collect()
+        };
+        let quantile_map = obj
+            .get("op_quantiles_ms")
+            .and_then(Json::as_object)
+            .ok_or("missing op_quantiles_ms")?
+            .iter()
+            .map(|(k, v)| {
+                let q = v
+                    .as_object()
+                    .ok_or_else(|| format!("op {k} is not an object"))?;
+                let field = |f: &str| {
+                    q.get(f)
+                        .and_then(Json::as_number)
+                        .ok_or_else(|| format!("op {k} missing {f}"))
+                };
+                Ok((
+                    k.clone(),
+                    Quantiles {
+                        p50_ms: field("p50")?,
+                        p95_ms: field("p95")?,
+                        p99_ms: field("p99")?,
+                        max_ms: field("max")?,
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchRecord {
+            schema: num("schema")? as u64,
+            workload: obj
+                .get("workload")
+                .and_then(Json::as_str)
+                .ok_or("missing workload")?
+                .to_string(),
+            config_fp,
+            threads: num("threads")? as usize,
+            unix_time_s: num("unix_time_s")? as u64,
+            peak_rss_kb: num("peak_rss_kb")? as u64,
+            stage_timings_ms: scalar_map("stage_timings_ms")?,
+            op_quantiles_ms: quantile_map,
+            notes: scalar_map("notes")?,
+        })
+    }
+
+    /// Append this record to its trajectory file under `dir` (one JSON
+    /// line), creating the file on first use. Returns the path written.
+    pub fn append_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        use std::io::Write;
+        let path = Self::trajectory_path(dir, &self.workload);
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        writeln!(f, "{}", self.to_json())?;
+        Ok(path)
+    }
+
+    /// Read every parseable record of `workload`'s trajectory under `dir`
+    /// (oldest first; unparseable lines are skipped, not fatal — the
+    /// trajectory outlives schema bumps).
+    pub fn load_trajectory(dir: &Path, workload: &str) -> Vec<BenchRecord> {
+        let Ok(raw) = std::fs::read_to_string(Self::trajectory_path(dir, workload)) else {
+            return Vec::new();
+        };
+        raw.lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| BenchRecord::from_json(l).ok())
+            .collect()
+    }
+}
+
+/// JSON-escape a string (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite JSON number; `Display` for f64 is shortest-round-trip, so the
+/// parse side recovers the exact bits.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value + recursive-descent parser
+// ---------------------------------------------------------------------------
+
+/// The JSON subset the trajectory uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`, `true`/`false` are folded to numbers 0/1 — the trajectory
+    /// never writes them, but a hand-edited file should not crash the
+    /// parser.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object (sorted map: key order is irrelevant to readers).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parse one JSON document (must consume the whole input).
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut at = 0usize;
+        let v = parse_value(bytes, &mut at)?;
+        skip_ws(bytes, &mut at);
+        if at != bytes.len() {
+            return Err(format!("trailing bytes at offset {at}"));
+        }
+        Ok(v)
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        Some(b'{') => parse_object(b, at),
+        Some(b'[') => parse_array(b, at),
+        Some(b'"') => Ok(Json::String(parse_string(b, at)?)),
+        Some(b't') => parse_lit(b, at, "true", Json::Number(1.0)),
+        Some(b'f') => parse_lit(b, at, "false", Json::Number(0.0)),
+        Some(b'n') => parse_lit(b, at, "null", Json::Number(0.0)),
+        Some(_) => parse_number(b, at),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], at: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*at..].starts_with(lit.as_bytes()) {
+        *at += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {at}"))
+    }
+}
+
+fn parse_object(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    *at += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, at);
+    if b.get(*at) == Some(&b'}') {
+        *at += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(b, at);
+        let key = parse_string(b, at)?;
+        skip_ws(b, at);
+        if b.get(*at) != Some(&b':') {
+            return Err(format!("expected ':' at offset {at}"));
+        }
+        *at += 1;
+        let value = parse_value(b, at)?;
+        map.insert(key, value);
+        skip_ws(b, at);
+        match b.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b'}') => {
+                *at += 1;
+                return Ok(Json::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {at}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    *at += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, at);
+    if b.get(*at) == Some(&b']') {
+        *at += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, at)?);
+        skip_ws(b, at);
+        match b.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b']') => {
+                *at += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {at}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], at: &mut usize) -> Result<String, String> {
+    if b.get(*at) != Some(&b'"') {
+        return Err(format!("expected string at offset {at}"));
+    }
+    *at += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*at) {
+        match c {
+            b'"' => {
+                *at += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *at += 1;
+                match b.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*at + 1..*at + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *at += 4;
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *at += 1;
+            }
+            _ => {
+                // consume one UTF-8 scalar (input is a &str, so slicing on
+                // char boundaries is safe via the str API)
+                let rest = std::str::from_utf8(&b[*at..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *at += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    let start = *at;
+    while *at < b.len() && matches!(b[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *at += 1;
+    }
+    std::str::from_utf8(&b[start..*at])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Number)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+// ---------------------------------------------------------------------------
+// Process RSS probes (linux /proc; zeros elsewhere)
+// ---------------------------------------------------------------------------
+
+fn proc_status_kb(field: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Peak resident set size of this process, kilobytes (`VmHWM`).
+pub fn peak_rss_kb() -> u64 {
+    proc_status_kb("VmHWM:")
+}
+
+/// Current resident set size of this process, kilobytes (`VmRSS`).
+pub fn current_rss_kb() -> u64 {
+    proc_status_kb("VmRSS:")
+}
+
+// ---------------------------------------------------------------------------
+// The referee: gate a fresh run against its trajectory
+// ---------------------------------------------------------------------------
+
+/// A fresh metric is a regression when it exceeds `REGRESSION_RATIO` × the
+/// baseline **and** the absolute slowdown clears [`REGRESSION_FLOOR_MS`] —
+/// the floor keeps micro-timings (scheduler noise at sub-millisecond
+/// scale) from tripping CI.
+pub const REGRESSION_RATIO: f64 = 2.0;
+/// Minimum absolute slowdown (milliseconds) that can count as a regression.
+pub const REGRESSION_FLOOR_MS: f64 = 10.0;
+
+/// Outcome of one referee comparison.
+#[derive(Debug, Clone)]
+pub struct RefereeReport {
+    /// The baseline's timestamp, if a comparable record existed.
+    pub baseline_time_s: Option<u64>,
+    /// Metrics compared (present in both records).
+    pub compared: usize,
+    /// Human-readable regression lines (empty = pass).
+    pub regressions: Vec<String>,
+}
+
+impl RefereeReport {
+    /// Whether the fresh run passes (no regressions).
+    pub fn pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare `fresh` against the most recent trajectory record with the
+/// same workload, config fingerprint, and thread count. No comparable
+/// baseline (first run on this configuration) passes vacuously with
+/// `baseline_time_s = None`.
+pub fn referee_check(dir: &Path, fresh: &BenchRecord) -> RefereeReport {
+    let baseline = BenchRecord::load_trajectory(dir, &fresh.workload)
+        .into_iter()
+        .rfind(|r| {
+            r.schema == fresh.schema && r.config_fp == fresh.config_fp && r.threads == fresh.threads
+        });
+    let Some(base) = baseline else {
+        return RefereeReport {
+            baseline_time_s: None,
+            compared: 0,
+            regressions: Vec::new(),
+        };
+    };
+    let mut compared = 0usize;
+    let mut regressions = Vec::new();
+    let mut check = |metric: &str, fresh_ms: f64, base_ms: f64| {
+        compared += 1;
+        if fresh_ms > base_ms * REGRESSION_RATIO && fresh_ms - base_ms > REGRESSION_FLOOR_MS {
+            regressions.push(format!(
+                "{metric}: {fresh_ms:.2} ms vs baseline {base_ms:.2} ms ({:.1}x)",
+                fresh_ms / base_ms.max(1e-9)
+            ));
+        }
+    };
+    for (name, fresh_ms) in &fresh.stage_timings_ms {
+        if let Some((_, base_ms)) = base.stage_timings_ms.iter().find(|(n, _)| n == name) {
+            check(&format!("stage {name}"), *fresh_ms, *base_ms);
+        }
+    }
+    for (name, q) in &fresh.op_quantiles_ms {
+        if let Some((_, bq)) = base.op_quantiles_ms.iter().find(|(n, _)| n == name) {
+            check(&format!("{name} p50"), q.p50_ms, bq.p50_ms);
+            check(&format!("{name} p99"), q.p99_ms, bq.p99_ms);
+        }
+    }
+    for (name, v) in &fresh.notes {
+        // only timing-shaped notes participate in the gate
+        if name.ends_with("_ms") {
+            if let Some((_, b)) = base.notes.iter().find(|(n, _)| n == name) {
+                check(&format!("note {name}"), *v, *b);
+            }
+        }
+    }
+    RefereeReport {
+        baseline_time_s: Some(base.unix_time_s),
+        compared,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        let mut r = BenchRecord::new("open-bench", 0xABCD_EF01_2345_6789, 8);
+        r.stage("artifact-map", Duration::from_micros(120))
+            .stage("artifact-validate", Duration::from_micros(480))
+            .op(
+                "find_influencers",
+                Quantiles::from_durations(
+                    Duration::from_millis(1),
+                    Duration::from_millis(2),
+                    Duration::from_millis(3),
+                    Duration::from_millis(4),
+                ),
+            )
+            .note("mapped_cold_open_ms", 0.61)
+            .note("name with \"quotes\"\n", 1.5);
+        r
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let r = sample();
+        let parsed = BenchRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, parsed);
+    }
+
+    #[test]
+    fn trajectory_appends_and_loads_in_order() {
+        let dir = std::env::temp_dir().join("octopus_bench_record_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut a = sample();
+        a.unix_time_s = 100;
+        let mut b = sample();
+        b.unix_time_s = 200;
+        a.append_to(&dir).unwrap();
+        b.append_to(&dir).unwrap();
+        // an unparseable line must be skipped, not fatal
+        use std::io::Write;
+        let path = BenchRecord::trajectory_path(&dir, "open-bench");
+        writeln!(
+            std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap(),
+            "{{corrupt"
+        )
+        .unwrap();
+        let loaded = BenchRecord::load_trajectory(&dir, "open-bench");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].unix_time_s, 100);
+        assert_eq!(loaded[1].unix_time_s, 200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn referee_passes_without_baseline_and_catches_regressions() {
+        let dir = std::env::temp_dir().join("octopus_bench_referee_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut base = sample();
+        base.stage_timings_ms = vec![("open".into(), 50.0)];
+        base.op_quantiles_ms = vec![(
+            "find_influencers".into(),
+            Quantiles {
+                p50_ms: 5.0,
+                p95_ms: 8.0,
+                p99_ms: 10.0,
+                max_ms: 12.0,
+            },
+        )];
+        base.notes = vec![("mapped_cold_open_ms".into(), 20.0)];
+
+        // first run: no baseline, vacuous pass
+        let first = referee_check(&dir, &base);
+        assert!(first.pass() && first.baseline_time_s.is_none());
+        base.append_to(&dir).unwrap();
+
+        // identical rerun passes against the recorded baseline
+        let rerun = referee_check(&dir, &base);
+        assert!(rerun.pass());
+        assert!(rerun.baseline_time_s.is_some());
+        assert!(rerun.compared >= 4);
+
+        // a 3x stage blowup over the floor is a regression
+        let mut slow = base.clone();
+        slow.stage_timings_ms = vec![("open".into(), 150.0)];
+        let caught = referee_check(&dir, &slow);
+        assert!(!caught.pass());
+        assert!(caught.regressions[0].contains("stage open"));
+
+        // sub-floor noise never trips the gate
+        let mut noisy = base.clone();
+        noisy.op_quantiles_ms[0].1.p50_ms = 14.0; // 2.8x but +9ms < floor
+        assert!(referee_check(&dir, &noisy).pass());
+
+        // a different config fingerprint is never compared
+        let mut other = slow.clone();
+        other.config_fp ^= 1;
+        let skipped = referee_check(&dir, &other);
+        assert!(skipped.pass() && skipped.baseline_time_s.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -6,8 +6,8 @@
 //! out-degree by default, so famous users surface first); completion walks
 //! the prefix and collects the best `limit` terminals below it.
 
-use bytes::{Buf, BufMut, BytesMut};
-use octopus_graph::wire::{self, Fnv64, WireError};
+use bytes::{BufMut, BytesMut};
+use octopus_graph::wire::{Fnv64, WireError};
 use octopus_graph::{NodeId, TopicGraph};
 use std::collections::HashMap;
 
@@ -128,81 +128,116 @@ impl Autocomplete {
         found
     }
 
-    /// Serialize the trie into `buf` (the artifact-codec path). Children are
-    /// written in ascending character order so the encoding is canonical
-    /// regardless of `HashMap` iteration order. Preorder, with an explicit
-    /// work stack: trie depth equals the longest normalized name, which is
-    /// user-controlled data and must not bound the call stack.
+    /// Serialize the trie into `buf` (the OCTA v4 `autocomplete` section
+    /// payload; normative spec in `ARCHITECTURE.md`).
+    ///
+    /// ```text
+    /// name count u64
+    /// node area (root record at area offset 0), preorder-contiguous:
+    ///   terminal u32 (0|1) | child count u32
+    ///   if terminal: id u32 | pad u32 = 0 | score f64
+    ///   child count × (char u32 | pad u32 = 0 | child offset u64)
+    /// ```
+    ///
+    /// Every record is a multiple of 8 bytes and records are laid out in
+    /// preorder with no gaps, so each child offset (area-relative) is
+    /// strictly greater than its parent's — the cycle-safety invariant the
+    /// reader enforces. Children are written in ascending character order
+    /// so the encoding is canonical regardless of `HashMap` iteration
+    /// order. Iterative throughout: trie depth equals the longest
+    /// normalized name, which is user-controlled data and must not bound
+    /// the call stack.
     pub fn encode_into(&self, buf: &mut BytesMut) {
         buf.put_u64_le(self.size as u64);
-        enum Work<'a> {
-            Node(&'a TrieNode),
-            Char(char),
+        // pass 1: flatten to preorder, recording parent→child flat links
+        struct Flat<'a> {
+            node: &'a TrieNode,
+            children: Vec<(char, usize)>,
         }
-        let mut stack = vec![Work::Node(&self.root)];
-        while let Some(work) = stack.pop() {
-            match work {
-                Work::Char(c) => buf.put_u32_le(c as u32),
-                Work::Node(node) => {
-                    match node.terminal {
-                        Some((id, score)) => {
-                            buf.put_u8(1);
-                            buf.put_u32_le(id.0);
-                            buf.put_f64_le(score);
-                        }
-                        None => buf.put_u8(0),
-                    }
-                    let mut chars: Vec<char> = node.children.keys().copied().collect();
-                    chars.sort_unstable();
-                    buf.put_u32_le(chars.len() as u32);
-                    // push in descending order so children pop ascending,
-                    // each preceded by its edge character
-                    for &c in chars.iter().rev() {
-                        stack.push(Work::Node(&node.children[&c]));
-                        stack.push(Work::Char(c));
-                    }
-                }
+        let mut flat: Vec<Flat<'_>> = Vec::new();
+        let mut work: Vec<(&TrieNode, Option<(usize, char)>)> = vec![(&self.root, None)];
+        while let Some((node, link)) = work.pop() {
+            let idx = flat.len();
+            if let Some((parent, c)) = link {
+                flat[parent].children.push((c, idx));
+            }
+            flat.push(Flat {
+                node,
+                children: Vec::with_capacity(node.children.len()),
+            });
+            let mut chars: Vec<char> = node.children.keys().copied().collect();
+            chars.sort_unstable();
+            // descending pushes pop ascending, keeping preorder canonical
+            for &c in chars.iter().rev() {
+                work.push((&node.children[&c], Some((idx, c))));
+            }
+        }
+        // pass 2: preorder layout — offset of flat record i is the running
+        // sum of the record sizes before it
+        let rec_size = |f: &Flat<'_>| -> u64 {
+            8 + if f.node.terminal.is_some() { 16 } else { 0 } + 16 * f.children.len() as u64
+        };
+        let mut offsets = Vec::with_capacity(flat.len());
+        let mut off = 0u64;
+        for f in &flat {
+            offsets.push(off);
+            off += rec_size(f);
+        }
+        for f in &flat {
+            match f.node.terminal {
+                Some(_) => buf.put_u32_le(1),
+                None => buf.put_u32_le(0),
+            }
+            buf.put_u32_le(f.children.len() as u32);
+            if let Some((id, score)) = f.node.terminal {
+                buf.put_u32_le(id.0);
+                buf.put_u32_le(0);
+                buf.put_f64_le(score);
+            }
+            for &(c, child) in &f.children {
+                buf.put_u32_le(c as u32);
+                buf.put_u32_le(0);
+                buf.put_u64_le(offsets[child]);
             }
         }
     }
 
-    /// Decode a trie serialized by [`Autocomplete::encode_into`].
-    ///
-    /// `node_count` bounds the terminal user ids: a payload referencing a
-    /// node outside the live graph is rejected here rather than panicking
-    /// in a later lookup. Iterative for the same reason the encoder is.
-    pub fn decode_from<B: Buf + ?Sized>(buf: &mut B, node_count: usize) -> Result<Self, WireError> {
-        wire::need(buf, 8, "autocomplete size")?;
-        let size = buf.get_u64_le() as usize;
-        // (edge char into the parent, node under construction, children
-        // still to decode); the root has no inbound edge char
-        let mut stack: Vec<(Option<char>, TrieNode, u32)> = Vec::new();
-        let mut pending = read_node_header(buf, node_count)?;
-        stack.push((None, pending.0, pending.1));
-        loop {
-            // close completed frames, attaching each to its parent
-            while stack
-                .last()
-                .is_some_and(|(_, _, remaining)| *remaining == 0)
-            {
-                let (edge, node, _) = stack.pop().expect("non-empty");
-                match (edge, stack.last_mut()) {
-                    (Some(c), Some((_, parent, _))) => {
-                        parent.children.insert(c, node);
-                    }
-                    (None, None) => return Ok(Autocomplete { root: node, size }),
-                    _ => return Err(WireError("autocomplete trie frames inconsistent".into())),
-                }
-            }
-            let top = stack.last_mut().expect("root still open");
-            top.2 -= 1;
-            wire::need(buf, 4, "trie child char")?;
-            let raw = buf.get_u32_le();
-            let c = char::from_u32(raw)
-                .ok_or_else(|| WireError(format!("invalid trie character {raw:#x}")))?;
-            pending = read_node_header(buf, node_count)?;
-            stack.push((Some(c), pending.0, pending.1));
+    /// Decode a trie serialized by [`Autocomplete::encode_into`], rebuilding
+    /// the owned `HashMap` form. Validation is [`TrieView::parse`]'s; the
+    /// rebuild walks records in reverse offset order so every child is
+    /// already built when its parent needs it (children live at strictly
+    /// larger offsets).
+    pub fn decode_from(raw: &[u8], node_count: usize) -> Result<Self, WireError> {
+        let view = TrieView::parse(raw, node_count)?;
+        let area = &raw[8..];
+        let mut record_offs = Vec::new();
+        let mut off = 0usize;
+        while off < area.len() {
+            record_offs.push(off);
+            off += view.record_size(off);
         }
+        let mut built: HashMap<usize, TrieNode> = HashMap::new();
+        for &off in record_offs.iter().rev() {
+            let mut children = HashMap::new();
+            for i in 0..view.child_count(off) {
+                let (c, child_off) = view.child(off, i);
+                let child = built
+                    .remove(&child_off)
+                    .ok_or_else(|| WireError("trie child offsets not preorder".into()))?;
+                children.insert(c, child);
+            }
+            built.insert(
+                off,
+                TrieNode {
+                    children,
+                    terminal: view.terminal(off),
+                },
+            );
+        }
+        Ok(Autocomplete {
+            root: built.remove(&0).expect("root record exists"),
+            size: view.len(),
+        })
     }
 
     /// Exact lookup of a (normalized) name.
@@ -216,35 +251,228 @@ impl Autocomplete {
     }
 }
 
-/// Read one node's own data (terminal payload + child count); the children
-/// themselves are decoded by the caller's frame loop.
-fn read_node_header<B: Buf + ?Sized>(
-    buf: &mut B,
-    node_count: usize,
-) -> Result<(TrieNode, u32), WireError> {
-    wire::need(buf, 1, "trie terminal flag")?;
-    let terminal = if buf.get_u8() != 0 {
-        wire::need(buf, 12, "trie terminal payload")?;
-        let id = NodeId(buf.get_u32_le());
-        if id.index() >= node_count {
+/// Zero-copy view over a v4 `autocomplete` section payload.
+///
+/// [`TrieView::parse`] walks the whole node area once, enforcing the
+/// preorder-contiguous layout (each record starts exactly where the
+/// previous subtree ended, child offsets strictly increase, the final
+/// record ends exactly at the section end), character validity, zero pads,
+/// bounded terminal ids, and finite scores. After that, [`TrieView::lookup`]
+/// and [`TrieView::complete`] serve queries straight off the bytes with
+/// answers identical to the owned [`Autocomplete`] — the completion
+/// comparator is total, so collection order cannot show through.
+#[derive(Debug, Clone, Copy)]
+pub struct TrieView<'a> {
+    /// The node area (section payload past the name-count word).
+    area: &'a [u8],
+    name_count: usize,
+}
+
+fn u64_at(raw: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(raw[off..off + 8].try_into().expect("validated by parse"))
+}
+
+fn u32_at(raw: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(raw[off..off + 4].try_into().expect("validated by parse"))
+}
+
+impl<'a> TrieView<'a> {
+    /// Validate a section payload and return a view over it.
+    pub fn parse(raw: &'a [u8], node_count: usize) -> Result<Self, WireError> {
+        if raw.len() < 8 {
+            return Err(WireError("autocomplete section header truncated".into()));
+        }
+        let name_count = u64_at(raw, 0) as usize;
+        let area = &raw[8..];
+        // preorder walk: every record must start exactly at the running
+        // offset, which rules out gaps, overlaps, sharing, and cycles
+        let mut expect = 0usize;
+        let mut stack: Vec<usize> = vec![0];
+        while let Some(off) = stack.pop() {
+            if off != expect {
+                return Err(WireError(format!(
+                    "trie record at {off} breaks preorder (expected {expect})"
+                )));
+            }
+            if off + 8 > area.len() {
+                return Err(WireError(format!("trie record header at {off} truncated")));
+            }
+            let terminal = u32_at(area, off);
+            if terminal > 1 {
+                return Err(WireError(format!("trie terminal flag {terminal} invalid")));
+            }
+            let child_count = u32_at(area, off + 4) as usize;
+            let size = 8 + 16 * terminal as usize + 16 * child_count;
+            if area.len() - off < size {
+                return Err(WireError(format!("trie record at {off} truncated")));
+            }
+            if terminal == 1 {
+                let id = u32_at(area, off + 8);
+                if id as usize >= node_count {
+                    return Err(WireError(format!(
+                        "trie terminal references node {id} outside the graph ({node_count} nodes)"
+                    )));
+                }
+                if u32_at(area, off + 12) != 0 {
+                    return Err(WireError("trie terminal pad word nonzero".into()));
+                }
+                if !f64::from_bits(u64_at(area, off + 16)).is_finite() {
+                    return Err(WireError("trie terminal score not finite".into()));
+                }
+            }
+            let base = off + 8 + 16 * terminal as usize;
+            let mut prev_char: Option<u32> = None;
+            // push child offsets descending so they pop in preorder
+            let mut child_offs = Vec::with_capacity(child_count);
+            for i in 0..child_count {
+                let c = u32_at(area, base + 16 * i);
+                if char::from_u32(c).is_none() {
+                    return Err(WireError(format!("invalid trie character {c:#x}")));
+                }
+                if prev_char.is_some_and(|p| p >= c) {
+                    return Err(WireError("trie children not in ascending order".into()));
+                }
+                prev_char = Some(c);
+                if u32_at(area, base + 16 * i + 4) != 0 {
+                    return Err(WireError("trie child pad word nonzero".into()));
+                }
+                let child_off = u64_at(area, base + 16 * i + 8);
+                if child_off <= off as u64
+                    || !child_off.is_multiple_of(8)
+                    || child_off >= area.len() as u64
+                {
+                    return Err(WireError(format!(
+                        "trie child offset {child_off} out of range (parent {off})"
+                    )));
+                }
+                child_offs.push(child_off as usize);
+            }
+            stack.extend(child_offs.into_iter().rev());
+            expect = off + size;
+        }
+        if expect != area.len() {
             return Err(WireError(format!(
-                "trie terminal references node {id} outside the graph ({node_count} nodes)"
+                "trie area length {} != walked {expect}",
+                area.len()
             )));
         }
-        let score = buf.get_f64_le();
-        Some((id, score))
-    } else {
-        None
-    };
-    wire::need(buf, 4, "trie child count")?;
-    let child_count = buf.get_u32_le();
-    Ok((
-        TrieNode {
-            children: HashMap::with_capacity((child_count as usize).min(256)),
-            terminal,
-        },
-        child_count,
-    ))
+        Ok(TrieView { area, name_count })
+    }
+
+    /// Rebind a view over bytes a previous [`TrieView::parse`] already
+    /// validated, skipping the `O(area)` preorder walk.
+    ///
+    /// The mapped open path validates the trie section once (checksum +
+    /// structure) and then reconstructs per-query views with this — a
+    /// lookup must cost `O(|name|)`, not `O(trie)`. Caller contract: `raw`
+    /// is byte-identical to a payload that parsed successfully. Safe Rust
+    /// either way (a violated contract can only mis-answer or panic on a
+    /// slice bound, never read out of bounds).
+    pub(crate) fn assume_checked(raw: &'a [u8]) -> Self {
+        debug_assert!(Self::parse(raw, usize::MAX).is_ok());
+        TrieView {
+            area: &raw[8..],
+            name_count: u64_at(raw, 0) as usize,
+        }
+    }
+
+    /// Number of inserted names (the stored count, including overwritten
+    /// duplicates — mirrors [`Autocomplete::len`]).
+    pub fn len(&self) -> usize {
+        self.name_count
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.name_count == 0
+    }
+
+    fn terminal(&self, off: usize) -> Option<(NodeId, f64)> {
+        if u32_at(self.area, off) == 1 {
+            Some((
+                NodeId(u32_at(self.area, off + 8)),
+                f64::from_bits(u64_at(self.area, off + 16)),
+            ))
+        } else {
+            None
+        }
+    }
+
+    fn child_count(&self, off: usize) -> usize {
+        u32_at(self.area, off + 4) as usize
+    }
+
+    fn child(&self, off: usize, i: usize) -> (char, usize) {
+        let base = off + 8 + 16 * (u32_at(self.area, off) as usize) + 16 * i;
+        (
+            char::from_u32(u32_at(self.area, base)).expect("validated by parse"),
+            u64_at(self.area, base + 8) as usize,
+        )
+    }
+
+    fn record_size(&self, off: usize) -> usize {
+        8 + 16 * (u32_at(self.area, off) as usize) + 16 * self.child_count(off)
+    }
+
+    /// Follow the edge labelled `c` out of the record at `off` — binary
+    /// search over the ascending child characters.
+    fn descend(&self, off: usize, c: char) -> Option<usize> {
+        let n = self.child_count(off);
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if (self.child(off, mid).0 as u32) < c as u32 {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo < n && self.child(off, lo).0 == c).then(|| self.child(off, lo).1)
+    }
+
+    /// Exact lookup of a (normalized) name — mirrors
+    /// [`Autocomplete::lookup`].
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        let norm = normalize(name);
+        let mut off = 0usize;
+        for c in norm.chars() {
+            off = self.descend(off, c)?;
+        }
+        self.terminal(off).map(|(id, _)| id)
+    }
+
+    /// The top-`limit` completions of `prefix` — identical answers to
+    /// [`Autocomplete::complete`].
+    pub fn complete(&self, prefix: &str, limit: usize) -> Vec<(NodeId, String, f64)> {
+        let norm = normalize(prefix);
+        let mut off = 0usize;
+        for c in norm.chars() {
+            match self.descend(off, c) {
+                Some(next) => off = next,
+                None => return Vec::new(),
+            }
+        }
+        let mut found: Vec<(NodeId, String, f64)> = Vec::new();
+        let mut stack: Vec<(usize, String)> = vec![(off, norm)];
+        while let Some((off, path)) = stack.pop() {
+            if let Some((id, score)) = self.terminal(off) {
+                found.push((id, path.clone(), score));
+            }
+            for i in 0..self.child_count(off) {
+                let (c, child) = self.child(off, i);
+                let mut next = path.clone();
+                next.push(c);
+                stack.push((child, next));
+            }
+        }
+        found.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
+        found.truncate(limit);
+        found
+    }
 }
 
 #[cfg(test)]
@@ -312,5 +540,70 @@ mod tests {
         let mut ac = Autocomplete::default();
         ac.insert("  ", NodeId(1), 1.0);
         assert!(ac.complete("", 5).is_empty());
+    }
+
+    #[test]
+    fn flat_encoding_round_trips_and_view_matches() {
+        let ac = sample();
+        let mut buf = BytesMut::new();
+        ac.encode_into(&mut buf);
+        let raw = buf.freeze();
+        let back = Autocomplete::decode_from(&raw[..], 5).unwrap();
+        assert_eq!(back, ac, "owned decode is lossless");
+        let view = TrieView::parse(&raw[..], 5).unwrap();
+        assert_eq!(view.len(), ac.len());
+        for prefix in [
+            "",
+            "j",
+            "ji",
+            "jia",
+            "michael",
+            "  MICHAEL ",
+            "zz",
+            "jure leskovec",
+        ] {
+            for limit in [0, 1, 3, 100] {
+                assert_eq!(
+                    view.complete(prefix, limit),
+                    ac.complete(prefix, limit),
+                    "complete({prefix:?}, {limit})"
+                );
+            }
+            assert_eq!(view.lookup(prefix), ac.lookup(prefix), "lookup({prefix:?})");
+        }
+        // empty trie round-trips too
+        let empty = Autocomplete::default();
+        let mut buf = BytesMut::new();
+        empty.encode_into(&mut buf);
+        let raw = buf.freeze();
+        assert_eq!(Autocomplete::decode_from(&raw[..], 0).unwrap(), empty);
+        assert!(TrieView::parse(&raw[..], 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn view_rejects_malformed_payloads() {
+        let ac = sample();
+        let mut buf = BytesMut::new();
+        ac.encode_into(&mut buf);
+        let raw = buf.freeze();
+        // truncation anywhere fails closed
+        for cut in [0, 7, 8, 15, raw.len() - 8, raw.len() - 1] {
+            assert!(
+                TrieView::parse(&raw[..cut], 5).is_err(),
+                "cut at {cut} must not parse"
+            );
+        }
+        // a terminal id outside the graph is rejected
+        assert!(TrieView::parse(&raw[..], 1).is_err());
+        // a forged child offset breaks the preorder invariant: the root is
+        // non-terminal here, so its first child offset word sits at 8+16
+        let mut bent = raw.to_vec();
+        let off = u64::from_le_bytes(bent[24..32].try_into().unwrap());
+        bent[24..32].copy_from_slice(&(off + 8).to_le_bytes());
+        assert!(TrieView::parse(&bent, 5).is_err());
+        // a non-terminal root record of the wrong parity: flag > 1
+        let mut flag = raw.to_vec();
+        flag[8] = 7;
+        assert!(TrieView::parse(&flag, 5).is_err());
     }
 }

@@ -15,7 +15,8 @@ use crate::error::CoreError;
 use crate::kim::bounds::BoundKind;
 use crate::kim::{topic_sample, KimAlgorithm, KimResult, NaiveKim};
 use crate::offline::persist::{self, Fingerprint, StageKeys};
-use crate::offline::{self, OfflineArtifacts, StageReuse, StageTiming};
+use crate::offline::view::MappedArtifacts;
+use crate::offline::{self, OfflineArtifacts, PbSource, StageReuse, StageTiming};
 use crate::paths::{explore, ExploreDirection, PathExploration};
 use crate::piks::{GreedyPiks, PiksConfig, PiksResult};
 use crate::Result;
@@ -168,8 +169,10 @@ pub struct SystemReport {
     /// Per-stage wall-clock timings of the offline phase. A fresh build
     /// reports [`offline::STAGE_ORDER`] (plus
     /// [`persist::STAGE_ARTIFACT_STORE`] when a cache was written); an
-    /// engine fully restored by [`Octopus::open_or_build`] reports a single
-    /// [`persist::STAGE_ARTIFACT_LOAD`] entry — zero build stages ran; a
+    /// engine fully restored by [`Octopus::open_or_build`] or
+    /// [`Octopus::open_mapped`] reports the three artifact stages —
+    /// [`persist::STAGE_ARTIFACT_MAP`], [`persist::STAGE_ARTIFACT_VALIDATE`],
+    /// [`persist::STAGE_ARTIFACT_DECODE`] — and zero build stages; a
     /// *partial* rebuild reports exactly the stages that ran.
     pub stage_timings: Vec<StageTiming>,
     /// Per-stage cache hit/miss counters of the offline phase, always one
@@ -191,6 +194,30 @@ pub struct SystemReport {
     pub cache_hit: bool,
 }
 
+/// Where the engine's offline structures live: decoded on the heap, or
+/// served zero-copy off a memory-mapped OCTA v4 file.
+///
+/// Both modes answer every operator bit-identically (pinned by the
+/// `mapped_mode` tests); the difference is purely operational — startup
+/// cost, resident memory, and page-cache sharing across replicas.
+// One store exists per engine, so the Owned/Mapped size gap is irrelevant;
+// boxing the owned artifacts would add a pointer hop to every hot-path access.
+#[allow(clippy::large_enum_variant)]
+enum ArtifactStore {
+    /// Heap-decoded artifacts ([`Octopus::new`] / [`Octopus::open_or_build`]).
+    Owned(OfflineArtifacts),
+    /// A mapped v4 artifact, plus the telemetry captured when the engine
+    /// entered mapped mode ([`Octopus::open_mapped`]): a pure mapped hit
+    /// carries the three artifact stages, a build-then-remap carries the
+    /// build stages followed by them.
+    Mapped {
+        art: MappedArtifacts,
+        timings: Vec<StageTiming>,
+        reuse: Vec<StageReuse>,
+        build_total: Duration,
+    },
+}
+
 /// The OCTOPUS engine.
 ///
 /// `Octopus` is `Send + Sync`: all offline structures are immutable after
@@ -200,9 +227,10 @@ pub struct Octopus {
     graph: TopicGraph,
     model: TopicModel,
     config: OctopusConfig,
-    /// Everything the offline pipeline precomputed (see [`offline::build`]).
-    offline: OfflineArtifacts,
-    /// Whether `offline` came from the on-disk artifact cache.
+    /// Everything the offline pipeline precomputed (see [`offline::build`]),
+    /// owned or mapped.
+    store: ArtifactStore,
+    /// Whether the offline structures came from the on-disk artifact cache.
     cache_hit: bool,
     user_keywords: HashMap<NodeId, Vec<KeywordId>>,
     cache: QueryCache,
@@ -240,8 +268,9 @@ impl Octopus {
     ///
     /// [`SystemReport::stage_reuse`] reports the per-stage hit/miss
     /// breakdown. When **everything** was reused, [`SystemReport::cache_hit`]
-    /// is `true` and [`SystemReport::stage_timings`] holds a single
-    /// [`persist::STAGE_ARTIFACT_LOAD`] entry: zero offline stages ran.
+    /// is `true` and [`SystemReport::stage_timings`] holds only the three
+    /// artifact stages — map (plain file reads on this owned path),
+    /// validate (framing + checksums), decode: zero offline stages ran.
     /// Reused-or-rebuilt makes no observable difference — a partially
     /// rebuilt engine is bit-identical to a freshly built one (pinned by
     /// the `build_determinism` and `delta_invalidation` tests), so every
@@ -310,12 +339,22 @@ impl Octopus {
                 let _ = persist::save(&offline, &fp, &keys, &path);
                 persist::prune(cache_dir, &path);
             }
-            let elapsed = t0.elapsed();
-            offline.timings = vec![StageTiming {
-                stage: persist::STAGE_ARTIFACT_LOAD,
-                duration: elapsed,
-            }];
-            offline.build_total = elapsed;
+            let t = lookup.timings;
+            offline.timings = vec![
+                StageTiming {
+                    stage: persist::STAGE_ARTIFACT_MAP,
+                    duration: t.map,
+                },
+                StageTiming {
+                    stage: persist::STAGE_ARTIFACT_VALIDATE,
+                    duration: t.validate,
+                },
+                StageTiming {
+                    stage: persist::STAGE_ARTIFACT_DECODE,
+                    duration: t.decode,
+                },
+            ];
+            offline.build_total = t0.elapsed();
             return Ok(Self::from_parts(graph, model, config, offline, true));
         }
         let t_store = Instant::now();
@@ -329,6 +368,104 @@ impl Octopus {
         Ok(Self::from_parts(graph, model, config, offline, false))
     }
 
+    /// Open the engine in **mapped mode**: serve queries zero-copy off a
+    /// memory-mapped OCTA v4 artifact instead of decoding it onto the heap.
+    ///
+    /// Fast path: when `cache_dir` holds a complete artifact whose combined
+    /// fingerprint and every per-stage key match these exact inputs, the
+    /// file is mapped and validated in `O(pages touched)` — header, section
+    /// table, and the small eager sections only (see
+    /// [`crate::offline::view`]) — so startup cost no longer scales with
+    /// the big PB/MIS/PIKS tables, and replicas mapping the same file share
+    /// its page cache. [`SystemReport::cache_hit`] is `true`; the deferred
+    /// section checksums verify lazily at first operator touch and fail
+    /// closed ([`CoreError::Artifact`]) if the file was damaged.
+    ///
+    /// Miss path: the artifacts are built (or partially reused) through the
+    /// owned pipeline, written back, and the freshly written file is mapped
+    /// — a cold start still ends in mapped mode, paying the build once. If
+    /// even that is impossible (say, an unwritable cache directory), the
+    /// engine falls back to owned mode. Answers are bit-identical in every
+    /// mode (pinned by the `mapped_mode` tests).
+    pub fn open_mapped(
+        graph: TopicGraph,
+        model: TopicModel,
+        config: OctopusConfig,
+        cache_dir: &std::path::Path,
+    ) -> Result<Self> {
+        Self::open_mapped_inner(graph, model, config, cache_dir, false)
+    }
+
+    /// [`Octopus::open_mapped`] with every section checksum verified up
+    /// front (the `--paranoid` flag of `exp_runner`): damage anywhere in
+    /// the file fails the mapped open instead of the first query touching
+    /// the damaged section.
+    pub fn open_mapped_paranoid(
+        graph: TopicGraph,
+        model: TopicModel,
+        config: OctopusConfig,
+        cache_dir: &std::path::Path,
+    ) -> Result<Self> {
+        Self::open_mapped_inner(graph, model, config, cache_dir, true)
+    }
+
+    fn open_mapped_inner(
+        graph: TopicGraph,
+        model: TopicModel,
+        config: OctopusConfig,
+        cache_dir: &std::path::Path,
+        paranoid: bool,
+    ) -> Result<Self> {
+        check_shapes(&graph, &model)?;
+        let fp = Fingerprint::compute(&graph, &config);
+        let keys = StageKeys::compute(&graph, &config);
+        let path = fp.cache_path(cache_dir);
+        let t0 = Instant::now();
+        if let Ok(art) = offline::view::open(&path, &fp, &keys, &graph, &config, paranoid) {
+            let store = ArtifactStore::Mapped {
+                timings: art.timings().to_vec(),
+                reuse: art.reuse().to_vec(),
+                build_total: art.open_total(),
+                art,
+            };
+            return Ok(Self::from_store(graph, model, config, store, true));
+        }
+        // No exact mappable file. Run the owned open — which salvages
+        // whatever cached sections still match and rebuilds the rest —
+        // write the merged artifact back, and map the fresh file.
+        let lookup = persist::lookup(cache_dir, &fp, &keys, &graph, &config);
+        let mut offline = offline::build_with_reuse(&graph, &config, lookup.slots);
+        let full = offline.fully_reused();
+        let t_store = Instant::now();
+        if persist::save(&offline, &fp, &keys, &path).is_ok() {
+            offline.timings.push(StageTiming {
+                stage: persist::STAGE_ARTIFACT_STORE,
+                duration: t_store.elapsed(),
+            });
+            persist::prune(cache_dir, &path);
+            if let Ok(art) = offline::view::open(&path, &fp, &keys, &graph, &config, paranoid) {
+                let mut timings = std::mem::take(&mut offline.timings);
+                timings.extend(art.timings().iter().cloned());
+                let store = ArtifactStore::Mapped {
+                    timings,
+                    reuse: std::mem::take(&mut offline.reuse),
+                    build_total: t0.elapsed(),
+                    art,
+                };
+                return Ok(Self::from_store(graph, model, config, store, full));
+            }
+        }
+        // Mapping is impossible here: stay owned rather than fail.
+        offline.build_total = t0.elapsed();
+        Ok(Self::from_store(
+            graph,
+            model,
+            config,
+            ArtifactStore::Owned(offline),
+            full,
+        ))
+    }
+
     fn from_parts(
         graph: TopicGraph,
         model: TopicModel,
@@ -336,12 +473,28 @@ impl Octopus {
         offline: OfflineArtifacts,
         cache_hit: bool,
     ) -> Self {
+        Self::from_store(
+            graph,
+            model,
+            config,
+            ArtifactStore::Owned(offline),
+            cache_hit,
+        )
+    }
+
+    fn from_store(
+        graph: TopicGraph,
+        model: TopicModel,
+        config: OctopusConfig,
+        store: ArtifactStore,
+        cache_hit: bool,
+    ) -> Self {
         let cache = QueryCache::new(config.cache_capacity, config.cache_tolerance);
         Octopus {
             graph,
             model,
             config,
-            offline,
+            store,
             cache_hit,
             user_keywords: HashMap::new(),
             cache,
@@ -349,15 +502,109 @@ impl Octopus {
     }
 
     /// Whether this engine's offline artifacts came from the on-disk cache
-    /// (only ever `true` for [`Octopus::open_or_build`]).
+    /// (only ever `true` for [`Octopus::open_or_build`] and
+    /// [`Octopus::open_mapped`]).
     pub fn cache_hit(&self) -> bool {
         self.cache_hit
     }
 
+    /// Whether this engine serves queries zero-copy off a memory-mapped
+    /// artifact (see [`Octopus::open_mapped`]).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.store, ArtifactStore::Mapped { .. })
+    }
+
+    /// `"mapped"` or `"owned"` — how the offline structures are held.
+    pub fn mode(&self) -> &'static str {
+        if self.is_mapped() {
+            "mapped"
+        } else {
+            "owned"
+        }
+    }
+
+    /// The mapped artifact this engine serves from (`None` in owned mode).
+    pub fn mapped_artifacts(&self) -> Option<&MappedArtifacts> {
+        match &self.store {
+            ArtifactStore::Mapped { art, .. } => Some(art),
+            ArtifactStore::Owned(_) => None,
+        }
+    }
+
+    /// Per-stage wall-clock timings of the offline phase, mode-agnostic
+    /// (what [`SystemReport::stage_timings`] reports).
+    pub fn stage_timings(&self) -> &[StageTiming] {
+        match &self.store {
+            ArtifactStore::Owned(a) => &a.timings,
+            ArtifactStore::Mapped { timings, .. } => timings,
+        }
+    }
+
+    /// Per-stage cache reuse counters of the offline phase, mode-agnostic
+    /// (what [`SystemReport::stage_reuse`] reports).
+    pub fn stage_reuse(&self) -> &[StageReuse] {
+        match &self.store {
+            ArtifactStore::Owned(a) => &a.reuse,
+            ArtifactStore::Mapped { reuse, .. } => reuse,
+        }
+    }
+
     /// The artifacts the offline pipeline produced (sizes, tables, per-stage
     /// timings).
+    ///
+    /// # Panics
+    ///
+    /// In mapped mode there are no owned artifacts to return — use
+    /// [`Octopus::mapped_artifacts`], [`Octopus::stage_timings`], and
+    /// [`Octopus::stage_reuse`] instead.
     pub fn offline_artifacts(&self) -> &OfflineArtifacts {
-        &self.offline
+        match &self.store {
+            ArtifactStore::Owned(art) => art,
+            ArtifactStore::Mapped { .. } => {
+                panic!("offline_artifacts() is owned-mode only; this engine is mapped")
+            }
+        }
+    }
+
+    /// The global MIA spread cap, whichever mode holds it.
+    fn spread_cap(&self) -> f64 {
+        match &self.store {
+            ArtifactStore::Owned(a) => a.cap,
+            ArtifactStore::Mapped { art, .. } => art.cap(),
+        }
+    }
+
+    /// The precomputed topic samples, whichever mode holds them.
+    fn topic_samples(&self) -> &[topic_sample::TopicSample] {
+        match &self.store {
+            ArtifactStore::Owned(a) => &a.samples,
+            ArtifactStore::Mapped { art, .. } => art.samples(),
+        }
+    }
+
+    /// PB tables for a best-effort run: owned tables, or a zero-copy view
+    /// (whose section checksum verifies on first touch and fails closed).
+    fn pb_source(&self) -> Result<PbSource<'_>> {
+        match &self.store {
+            ArtifactStore::Owned(a) => Ok(PbSource::Owned(a.pb.as_ref())),
+            ArtifactStore::Mapped { art, .. } => Ok(PbSource::View(art.pb_view()?)),
+        }
+    }
+
+    /// Exact name lookup against whichever trie form is resident.
+    fn name_lookup(&self, name: &str) -> Option<NodeId> {
+        match &self.store {
+            ArtifactStore::Owned(a) => a.names.lookup(name),
+            ArtifactStore::Mapped { art, .. } => art.trie_view().lookup(name),
+        }
+    }
+
+    /// Prefix completion against whichever trie form is resident.
+    fn name_complete(&self, prefix: &str, limit: usize) -> Vec<(NodeId, String, f64)> {
+        match &self.store {
+            ArtifactStore::Owned(a) => a.names.complete(prefix, limit),
+            ArtifactStore::Mapped { art, .. } => art.trie_view().complete(prefix, limit),
+        }
     }
 
     /// Attach per-user keyword candidates (from the action log: "keywords
@@ -398,20 +645,43 @@ impl Octopus {
 
     /// Operational summary of the resident offline structures.
     pub fn system_report(&self) -> SystemReport {
+        // structure sizes come straight from whichever form is resident;
+        // in mapped mode PB presence is a config property (the open already
+        // validated that the section agrees with it), so reporting never
+        // forces a lazy checksum
+        let (piks_worlds, piks_stored_nodes, pb_tables, topic_samples, build_total) =
+            match &self.store {
+                ArtifactStore::Owned(a) => (
+                    a.piks_index.len(),
+                    a.piks_index.stats().stored_nodes,
+                    a.pb.is_some(),
+                    a.samples.len(),
+                    a.build_total,
+                ),
+                ArtifactStore::Mapped {
+                    art, build_total, ..
+                } => (
+                    art.piks_len(),
+                    art.piks_stored_nodes(),
+                    offline::needs_pb(&self.config),
+                    art.samples().len(),
+                    *build_total,
+                ),
+            };
         SystemReport {
             users: self.graph.node_count(),
             edges: self.graph.edge_count(),
             topics: self.graph.num_topics(),
             keywords: self.model.vocab_size(),
-            piks_worlds: self.offline.piks_index.len(),
-            piks_stored_nodes: self.offline.piks_index.stats().stored_nodes,
-            pb_tables: self.offline.pb.is_some(),
-            topic_samples: self.offline.samples.len(),
+            piks_worlds,
+            piks_stored_nodes,
+            pb_tables,
+            topic_samples,
             cached_queries: self.cache.len(),
-            spread_cap: self.offline.cap,
-            stage_timings: self.offline.timings.clone(),
-            stage_reuse: self.offline.reuse.clone(),
-            offline_build_total: self.offline.build_total,
+            spread_cap: self.spread_cap(),
+            stage_timings: self.stage_timings().to_vec(),
+            stage_reuse: self.stage_reuse().to_vec(),
+            offline_build_total: build_total,
             cache_hit: self.cache_hit,
         }
     }
@@ -459,22 +729,30 @@ impl Octopus {
         }
         let res = match self.config.kim {
             KimEngineChoice::Naive => NaiveKim::new(&self.graph).select(gamma, k),
-            KimEngineChoice::Mis => self
-                .offline
-                .mis
-                .as_ref()
-                .expect("MIS built at construction")
-                .select(gamma, k),
-            KimEngineChoice::BestEffort(bound) => offline::run_best_effort(
-                &self.graph,
-                bound,
-                &self.offline.pb,
-                self.offline.cap,
-                &self.config,
-                gamma,
-                k,
-                &[],
-            ),
+            KimEngineChoice::Mis => match &self.store {
+                ArtifactStore::Owned(a) => a
+                    .mis
+                    .as_ref()
+                    .expect("MIS built at construction")
+                    .select(gamma, k),
+                ArtifactStore::Mapped { art, .. } => art
+                    .mis_view()?
+                    .expect("MIS section present in mapped artifact")
+                    .select(gamma, k),
+            },
+            KimEngineChoice::BestEffort(bound) => {
+                let pb = self.pb_source()?;
+                offline::run_best_effort(
+                    &self.graph,
+                    bound,
+                    pb,
+                    self.spread_cap(),
+                    &self.config,
+                    gamma,
+                    k,
+                    &[],
+                )
+            }
             KimEngineChoice::TopicSample {
                 bound, direct_eps, ..
             } => {
@@ -482,7 +760,8 @@ impl Octopus {
                 // — the samples are immutable offline artifacts, so the
                 // query path never clones them); direct-answer rule shared
                 // with the TopicSampleKim engine via the topic_sample helpers
-                let samples = &self.offline.samples;
+                let pb = self.pb_source()?;
+                let samples = self.topic_samples();
                 match topic_sample::nearest_sample(samples, gamma) {
                     Some((idx, dist)) => {
                         topic_sample::direct_answer(samples, idx, dist, direct_eps, k)
@@ -492,8 +771,8 @@ impl Octopus {
                                 offline::run_best_effort(
                                     &self.graph,
                                     bound,
-                                    &self.offline.pb,
-                                    self.offline.cap,
+                                    pb,
+                                    self.spread_cap(),
                                     &self.config,
                                     gamma,
                                     k,
@@ -504,8 +783,8 @@ impl Octopus {
                     None => offline::run_best_effort(
                         &self.graph,
                         bound,
-                        &self.offline.pb,
-                        self.offline.cap,
+                        pb,
+                        self.spread_cap(),
                         &self.config,
                         gamma,
                         k,
@@ -587,9 +866,7 @@ impl Octopus {
     /// Scenario 2: personalized influential keyword suggestion by user name.
     pub fn suggest_keywords(&self, user: &str, k: usize) -> Result<SuggestAnswer> {
         let node = self
-            .offline
-            .names
-            .lookup(user)
+            .name_lookup(user)
             .or_else(|| self.graph.node_by_name(user))
             .ok_or_else(|| CoreError::UnknownUser(user.to_string()))?;
         self.suggest_keywords_for(node, k)
@@ -600,12 +877,11 @@ impl Octopus {
         self.graph.check_node(user)?;
         let candidates = self.keyword_candidates(user);
         let start = Instant::now();
-        let engine = GreedyPiks::new(
-            &self.graph,
-            &self.model,
-            &self.offline.piks_index,
-            self.config.piks.clone(),
-        );
+        let index: crate::piks::PiksHandle<'_> = match &self.store {
+            ArtifactStore::Owned(a) => (&a.piks_index).into(),
+            ArtifactStore::Mapped { art, .. } => art.piks_view()?.into(),
+        };
+        let engine = GreedyPiks::new(&self.graph, &self.model, index, self.config.piks.clone());
         let result = engine.suggest(user, &candidates, k)?;
         let elapsed = start.elapsed();
         let words = result
@@ -638,9 +914,7 @@ impl Octopus {
         query: Option<&str>,
     ) -> Result<PathExploration> {
         let node = self
-            .offline
-            .names
-            .lookup(user)
+            .name_lookup(user)
             .or_else(|| self.graph.node_by_name(user))
             .ok_or_else(|| CoreError::UnknownUser(user.to_string()))?;
         let gamma = match query {
@@ -670,7 +944,7 @@ impl Octopus {
 
     /// Name auto-completion.
     pub fn autocomplete(&self, prefix: &str, limit: usize) -> Vec<(NodeId, String, f64)> {
-        self.offline.names.complete(prefix, limit)
+        self.name_complete(prefix, limit)
     }
 
     /// Radar chart for one keyword (UI keyword interpretation).
@@ -985,8 +1259,12 @@ mod tests {
         let stages: Vec<&str> = report.stage_timings.iter().map(|t| t.stage).collect();
         assert_eq!(
             stages,
-            vec![persist::STAGE_ARTIFACT_LOAD],
-            "a hit runs zero offline stages"
+            vec![
+                persist::STAGE_ARTIFACT_MAP,
+                persist::STAGE_ARTIFACT_VALIDATE,
+                persist::STAGE_ARTIFACT_DECODE,
+            ],
+            "a hit runs zero offline stages, only the artifact load phases"
         );
         // both engines answer identically
         let a = first.find_influencers("data mining", 3).unwrap();
@@ -996,6 +1274,60 @@ mod tests {
             b.seeds.iter().map(|s| s.node).collect::<Vec<_>>()
         );
         assert_eq!(a.result.spread, b.result.spread);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_mapped_cold_builds_then_maps_and_warm_hits() {
+        let (g, model, config) = fixture(KimEngineChoice::Mis);
+        let dir = std::env::temp_dir().join("octopus_engine_mapped_mode");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let cold = Octopus::open_mapped(g.clone(), model.clone(), config.clone(), &dir).unwrap();
+        assert!(cold.is_mapped(), "cold open must end mapped (build+remap)");
+        assert!(!cold.cache_hit(), "nothing was cached yet");
+        assert_eq!(cold.mode(), "mapped");
+        let stages: Vec<&str> = cold.stage_timings().iter().map(|t| t.stage).collect();
+        assert!(
+            stages.starts_with(&crate::offline::STAGE_ORDER),
+            "cold mapped open runs the build first: {stages:?}"
+        );
+        assert_eq!(
+            stages.last().copied(),
+            Some(persist::STAGE_ARTIFACT_DECODE),
+            "…then maps the written file: {stages:?}"
+        );
+
+        let warm = Octopus::open_mapped(g.clone(), model.clone(), config.clone(), &dir).unwrap();
+        assert!(warm.is_mapped() && warm.cache_hit());
+        let stages: Vec<&str> = warm.stage_timings().iter().map(|t| t.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                persist::STAGE_ARTIFACT_MAP,
+                persist::STAGE_ARTIFACT_VALIDATE,
+                persist::STAGE_ARTIFACT_DECODE,
+            ],
+            "warm mapped open runs zero build stages"
+        );
+        assert!(warm.system_report().stage_reuse.iter().all(|s| s.is_full()));
+
+        // mapped answers are bit-identical to the owned engine's
+        let owned = Octopus::open_or_build(g, model, config, &dir).unwrap();
+        assert!(!owned.is_mapped());
+        let a = owned.find_influencers("data mining", 3).unwrap();
+        let b = warm.find_influencers("data mining", 3).unwrap();
+        assert_eq!(
+            a.seeds.iter().map(|s| s.node).collect::<Vec<_>>(),
+            b.seeds.iter().map(|s| s.node).collect::<Vec<_>>()
+        );
+        assert_eq!(a.result.spread.to_bits(), b.result.spread.to_bits());
+        let sa = owned.suggest_keywords("jiawei han", 2).unwrap();
+        let sb = warm.suggest_keywords("jiawei han", 2).unwrap();
+        assert_eq!(sa.words, sb.words);
+        assert_eq!(sa.result.spread.to_bits(), sb.result.spread.to_bits());
+        assert_eq!(owned.autocomplete("db-", 3), warm.autocomplete("db-", 3));
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -19,6 +19,12 @@ pub enum CoreError {
         /// The user in question.
         user: String,
     },
+    /// A memory-mapped artifact section failed its (lazily verified)
+    /// integrity check — the on-disk bytes this engine is serving from are
+    /// damaged, and the query cannot be answered from them. The check is
+    /// sticky: every later query touching the section fails the same way
+    /// (fail closed; reopen or rebuild the artifact to recover).
+    Artifact(String),
     /// Propagated graph-layer error.
     Graph(octopus_graph::GraphError),
     /// Propagated topic-layer error.
@@ -39,6 +45,7 @@ impl fmt::Display for CoreError {
                     "user {user:?} has no keyword candidates (no authored items)"
                 )
             }
+            CoreError::Artifact(m) => write!(f, "artifact integrity error: {m}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Topic(e) => write!(f, "topic error: {e}"),
         }

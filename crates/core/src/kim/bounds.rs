@@ -280,6 +280,140 @@ impl BoundEstimator for PrecompBound {
 }
 
 // ---------------------------------------------------------------------------
+// v4 flat layout of the pb-bound section (zero-copy mapped read path)
+// ---------------------------------------------------------------------------
+
+/// Encode the `pb-bound` OCTA v4 section: `present u64` (0 or 1), then —
+/// when present — `safety f64 | z u64 | n u64 | sigma z·n × f64` with
+/// `sigma[z][u]` row-major at byte `32 + (z·n + u)·8`. Every field is
+/// 8-aligned relative to the (8-aligned) section start, so a mapped reader
+/// serves `upper_bound` straight off the file bytes.
+pub fn encode_pb_section(pb: Option<&PrecompBound>, buf: &mut bytes::BytesMut) {
+    use bytes::BufMut;
+    match pb {
+        None => buf.put_u64_le(0),
+        Some(t) => {
+            let (sigma, safety) = t.parts();
+            let n = sigma.first().map_or(0, Vec::len);
+            buf.reserve(32 + sigma.len() * n * 8);
+            buf.put_u64_le(1);
+            buf.put_f64_le(safety);
+            buf.put_u64_le(sigma.len() as u64);
+            buf.put_u64_le(n as u64);
+            for row in sigma {
+                debug_assert_eq!(row.len(), n, "ragged sigma table");
+                for &s in row {
+                    buf.put_f64_le(s);
+                }
+            }
+        }
+    }
+}
+
+/// A zero-copy view of a persisted `pb-bound` section: answers
+/// [`BoundEstimator::upper_bound`] directly off the mapped section bytes,
+/// bit-identically to the owned [`PrecompBound`] (same summation order,
+/// same float ops).
+#[derive(Debug, Clone, Copy)]
+pub struct PbTableView<'a> {
+    /// The f64 table area (`z · n` values, row-major by topic).
+    sigma: &'a [u8],
+    z: usize,
+    n: usize,
+    safety: f64,
+}
+
+impl<'a> PbTableView<'a> {
+    /// Parse and structurally validate a v4 `pb-bound` payload. Returns
+    /// `Ok(None)` for a persisted-absent section. Validation is O(1): the
+    /// dimensions must match the graph and the length must match exactly,
+    /// after which every `upper_bound` read is in bounds by construction.
+    pub fn parse(
+        raw: &'a [u8],
+        num_topics: usize,
+        node_count: usize,
+    ) -> Result<Option<Self>, octopus_graph::wire::WireError> {
+        use octopus_graph::wire::WireError;
+        let word = |at: usize| u64::from_le_bytes(raw[at..at + 8].try_into().expect("8 bytes"));
+        if raw.len() < 8 {
+            return Err(WireError("pb section shorter than its present flag".into()));
+        }
+        match word(0) {
+            0 => {
+                if raw.len() != 8 {
+                    return Err(WireError("absent pb section has trailing bytes".into()));
+                }
+                Ok(None)
+            }
+            1 => {
+                if raw.len() < 32 {
+                    return Err(WireError("pb section header truncated".into()));
+                }
+                let safety = f64::from_le_bytes(raw[8..16].try_into().expect("8 bytes"));
+                let z = word(16) as usize;
+                let n = word(24) as usize;
+                if z != num_topics || n != node_count {
+                    return Err(WireError(format!(
+                        "pb table dims {z}x{n} do not match graph {num_topics}x{node_count}"
+                    )));
+                }
+                let want = 32
+                    + z.checked_mul(n)
+                        .and_then(|c| c.checked_mul(8))
+                        .ok_or_else(|| WireError("pb table size overflows".to_string()))?;
+                if raw.len() != want {
+                    return Err(WireError(format!(
+                        "pb section length {} does not match dims (want {want})",
+                        raw.len()
+                    )));
+                }
+                Ok(Some(PbTableView {
+                    sigma: &raw[32..],
+                    z,
+                    n,
+                    safety,
+                }))
+            }
+            other => Err(WireError(format!("invalid pb present flag {other}"))),
+        }
+    }
+
+    /// The stored pure-topic spread `σ̂_z(u)`.
+    #[inline]
+    pub fn topic_spread(&self, u: NodeId, z: usize) -> f64 {
+        let at = (z * self.n + u.index()) * 8;
+        f64::from_le_bytes(self.sigma[at..at + 8].try_into().expect("validated len"))
+    }
+
+    /// Decode into the owned form (the non-mapped artifact-cache path).
+    pub fn to_precomp(&self) -> PrecompBound {
+        let sigma = (0..self.z)
+            .map(|z| {
+                (0..self.n)
+                    .map(|u| self.topic_spread(NodeId(u as u32), z))
+                    .collect()
+            })
+            .collect();
+        PrecompBound::from_parts(sigma, self.safety)
+    }
+}
+
+impl BoundEstimator for PbTableView<'_> {
+    fn upper_bound(&self, u: NodeId, gamma: &TopicDistribution) -> f64 {
+        let agg: f64 = (0..self.z)
+            .map(|z| gamma[z] * self.topic_spread(u, z))
+            .sum();
+        // identical expression to PrecompBound::upper_bound — mapped and
+        // owned engines must answer bit-identically
+        (1.0 + self.safety * (agg - 1.0)).max(1.0)
+    }
+
+    fn kind(&self) -> BoundKind {
+        BoundKind::Precomputation
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Local-graph bound
 // ---------------------------------------------------------------------------
 
@@ -509,5 +643,44 @@ mod tests {
         assert_eq!(BoundKind::Precomputation.label(), "PB");
         assert_eq!(BoundKind::LocalGraph.label(), "LG");
         assert_eq!(BoundKind::Neighborhood.label(), "NB");
+    }
+
+    #[test]
+    fn pb_view_round_trips_and_answers_bit_identically() {
+        let g = two_topic_hubs();
+        let pb = PrecompBound::build(&g, THETA, 1.2);
+        let mut buf = bytes::BytesMut::new();
+        encode_pb_section(Some(&pb), &mut buf);
+        let view = PbTableView::parse(&buf, g.num_topics(), g.node_count())
+            .unwrap()
+            .expect("present");
+        for gamma in [
+            TopicDistribution::pure(2, 0),
+            TopicDistribution::pure(2, 1),
+            TopicDistribution::uniform(2),
+        ] {
+            for u in g.nodes() {
+                assert_eq!(
+                    view.upper_bound(u, &gamma).to_bits(),
+                    pb.upper_bound(u, &gamma).to_bits(),
+                    "mapped and owned bounds must be bit-identical at {u:?}"
+                );
+            }
+        }
+        assert_eq!(view.to_precomp(), pb);
+        assert_eq!(view.kind(), BoundKind::Precomputation);
+
+        // persisted-absent tables parse to None
+        let mut absent = bytes::BytesMut::new();
+        encode_pb_section(None, &mut absent);
+        assert_eq!(absent.len(), 8);
+        assert!(PbTableView::parse(&absent, 2, g.node_count())
+            .unwrap()
+            .is_none());
+
+        // truncation and dimension mismatches fail closed
+        assert!(PbTableView::parse(&buf[..buf.len() - 1], 2, g.node_count()).is_err());
+        assert!(PbTableView::parse(&buf, 3, g.node_count()).is_err());
+        assert!(PbTableView::parse(&buf[..4], 2, g.node_count()).is_err());
     }
 }

@@ -134,6 +134,291 @@ impl MisKim {
     }
 }
 
+// ---------------------------------------------------------------------------
+// v4 flat layout of the mis-tables section (zero-copy mapped read path)
+// ---------------------------------------------------------------------------
+
+/// Encode the `mis-tables` OCTA v4 section: `present u64` (0 or 1), then —
+/// when present —
+///
+/// ```text
+/// z u64 @8 | total u64 @16 | union u64 @24
+/// topic_offsets (z+1) × u64 @32        -- prefix entry counts into ids/gains
+/// ids      total × u32                 -- per topic, sorted by id ascending
+/// [zero pad to 8]
+/// gains    total × f64
+/// union_ids union × u32                -- sorted ascending (the candidates)
+/// [zero pad to 8]
+/// ```
+///
+/// `total` is the sum of per-topic entry counts; `union_ids` is the sorted
+/// deduplicated union of all per-topic ids — exactly the candidate order
+/// [`MisKim::select`] scans, so a mapped reader reproduces its answers
+/// bit for bit.
+pub fn encode_mis_section(mis: Option<&MisKim>, buf: &mut bytes::BytesMut) {
+    use bytes::BufMut;
+    use octopus_graph::wire::pad8;
+    let Some(m) = mis else {
+        buf.put_u64_le(0);
+        return;
+    };
+    let per_topic: Vec<Vec<(NodeId, f64)>> = m
+        .gains
+        .iter()
+        .map(|table| {
+            let mut rows: Vec<(NodeId, f64)> = table.iter().map(|(&u, &g)| (u, g)).collect();
+            rows.sort_by_key(|&(u, _)| u);
+            rows
+        })
+        .collect();
+    let total: usize = per_topic.iter().map(Vec::len).sum();
+    buf.put_u64_le(1);
+    buf.put_u64_le(m.num_topics as u64);
+    buf.put_u64_le(total as u64);
+    buf.put_u64_le(m.candidates.len() as u64);
+    let mut cum = 0u64;
+    buf.put_u64_le(0);
+    for rows in &per_topic {
+        cum += rows.len() as u64;
+        buf.put_u64_le(cum);
+    }
+    for rows in &per_topic {
+        for &(u, _) in rows {
+            buf.put_u32_le(u.0);
+        }
+    }
+    buf.put_bytes(0, pad8(4 * total));
+    for rows in &per_topic {
+        for &(_, g) in rows {
+            buf.put_f64_le(g);
+        }
+    }
+    for &u in &m.candidates {
+        buf.put_u32_le(u.0);
+    }
+    buf.put_bytes(0, pad8(4 * m.candidates.len()));
+}
+
+/// A zero-copy view of a persisted `mis-tables` section: scores and selects
+/// directly off the mapped section bytes, bit-identically to the owned
+/// [`MisKim`] (same candidate scan order, same summation order).
+#[derive(Debug, Clone, Copy)]
+pub struct MisView<'a> {
+    raw: &'a [u8],
+    z: usize,
+    union: usize,
+    ids_off: usize,
+    gains_off: usize,
+    union_off: usize,
+}
+
+impl<'a> MisView<'a> {
+    /// Parse and structurally validate a v4 `mis-tables` payload. Returns
+    /// `Ok(None)` for a persisted-absent section. Validates the offset
+    /// table (monotone prefix counts), exact section length, per-topic id
+    /// sortedness, id bounds, and that `union_ids` is exactly the sorted
+    /// union of the per-topic ids — everything [`MisView::select`] relies
+    /// on to mirror the owned engine.
+    pub fn parse(
+        raw: &'a [u8],
+        num_topics: usize,
+        node_count: usize,
+    ) -> Result<Option<Self>, octopus_graph::wire::WireError> {
+        use octopus_graph::wire::{align8, WireError};
+        let word = |at: usize| u64::from_le_bytes(raw[at..at + 8].try_into().expect("8 bytes"));
+        if raw.len() < 8 {
+            return Err(WireError(
+                "mis section shorter than its present flag".into(),
+            ));
+        }
+        match word(0) {
+            0 => {
+                if raw.len() != 8 {
+                    return Err(WireError("absent mis section has trailing bytes".into()));
+                }
+                Ok(None)
+            }
+            1 => {
+                if raw.len() < 32 {
+                    return Err(WireError("mis section header truncated".into()));
+                }
+                let z = word(8) as usize;
+                let total = word(16) as usize;
+                let union = word(24) as usize;
+                if z != num_topics {
+                    return Err(WireError(format!(
+                        "mis table has {z} topics, graph has {num_topics}"
+                    )));
+                }
+                let offs_at = 32;
+                let ids_off = offs_at + 8 * (z + 1);
+                if raw.len() < ids_off {
+                    return Err(WireError("mis topic offsets truncated".into()));
+                }
+                let gains_off = align8(ids_off + 4 * total);
+                let union_off = gains_off + 8 * total;
+                let want = align8(union_off + 4 * union);
+                if raw.len() != want {
+                    return Err(WireError(format!(
+                        "mis section length {} does not match its counts (want {want})",
+                        raw.len()
+                    )));
+                }
+                let view = MisView {
+                    raw,
+                    z,
+                    union,
+                    ids_off,
+                    gains_off,
+                    union_off,
+                };
+                // prefix counts must be monotone and end at `total`
+                let mut prev = view.prefix(0);
+                if prev != 0 {
+                    return Err(WireError("mis topic offsets must start at 0".into()));
+                }
+                for t in 1..=z {
+                    let cur = view.prefix(t);
+                    if cur < prev {
+                        return Err(WireError("mis topic offsets must be monotone".into()));
+                    }
+                    prev = cur;
+                }
+                if prev != total {
+                    return Err(WireError("mis topic offsets must end at total".into()));
+                }
+                // per-topic ids strictly ascending and in bounds
+                let mut all_ids: Vec<u32> = Vec::with_capacity(total);
+                for t in 0..z {
+                    let (lo, hi) = view.topic_bounds(t);
+                    for i in lo..hi {
+                        let id = view.id_at(i);
+                        if id as usize >= node_count {
+                            return Err(WireError(format!("mis id {id} out of bounds")));
+                        }
+                        if i > lo && view.id_at(i - 1) >= id {
+                            return Err(WireError(
+                                "mis topic ids must be strictly ascending".into(),
+                            ));
+                        }
+                        all_ids.push(id);
+                    }
+                }
+                // union_ids must be exactly the sorted union of the topic ids
+                all_ids.sort_unstable();
+                all_ids.dedup();
+                if all_ids.len() != union || (0..union).any(|i| view.union_id_at(i) != all_ids[i]) {
+                    return Err(WireError(
+                        "mis union_ids do not match the per-topic id union".into(),
+                    ));
+                }
+                Ok(Some(view))
+            }
+            other => Err(WireError(format!("invalid mis present flag {other}"))),
+        }
+    }
+
+    #[inline]
+    fn prefix(&self, t: usize) -> usize {
+        let at = 32 + 8 * t;
+        u64::from_le_bytes(self.raw[at..at + 8].try_into().expect("validated len")) as usize
+    }
+
+    /// Entry range of topic `t` within the ids/gains arrays.
+    #[inline]
+    fn topic_bounds(&self, t: usize) -> (usize, usize) {
+        (self.prefix(t), self.prefix(t + 1))
+    }
+
+    #[inline]
+    fn id_at(&self, i: usize) -> u32 {
+        let at = self.ids_off + 4 * i;
+        u32::from_le_bytes(self.raw[at..at + 4].try_into().expect("validated len"))
+    }
+
+    #[inline]
+    fn gain_at(&self, i: usize) -> f64 {
+        let at = self.gains_off + 8 * i;
+        f64::from_le_bytes(self.raw[at..at + 8].try_into().expect("validated len"))
+    }
+
+    #[inline]
+    fn union_id_at(&self, i: usize) -> u32 {
+        let at = self.union_off + 4 * i;
+        u32::from_le_bytes(self.raw[at..at + 4].try_into().expect("validated len"))
+    }
+
+    /// Candidate users (the persisted sorted union of per-topic seeds).
+    pub fn candidate_count(&self) -> usize {
+        self.union
+    }
+
+    /// The aggregated MIS score of a user under `gamma` — the same
+    /// expression as [`MisKim::score`], with per-topic lookups served by
+    /// binary search over the sorted id arrays.
+    pub fn score(&self, u: NodeId, gamma: &TopicDistribution) -> f64 {
+        (0..self.z)
+            .map(|t| {
+                let (lo, hi) = self.topic_bounds(t);
+                let mut left = lo;
+                let mut right = hi;
+                let mut gain = 0.0;
+                while left < right {
+                    let mid = left + (right - left) / 2;
+                    match self.id_at(mid).cmp(&u.0) {
+                        std::cmp::Ordering::Less => left = mid + 1,
+                        std::cmp::Ordering::Greater => right = mid,
+                        std::cmp::Ordering::Equal => {
+                            gain = self.gain_at(mid);
+                            break;
+                        }
+                    }
+                }
+                gamma[t] * gain
+            })
+            .sum()
+    }
+
+    /// Top-`k` selection, mirroring [`MisKim::select`] exactly: same
+    /// candidate order, same comparator, same spread summation.
+    pub fn select(&self, gamma: &TopicDistribution, k: usize) -> KimResult {
+        let mut scored: Vec<(NodeId, f64)> = (0..self.union)
+            .map(|i| {
+                let u = NodeId(self.union_id_at(i));
+                (u, self.score(u, gamma))
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        let spread = scored.iter().map(|&(_, s)| s).sum();
+        KimResult {
+            seeds: scored.iter().map(|&(u, _)| u).collect(),
+            spread,
+            stats: KimStats {
+                bound_evaluations: self.union,
+                ..KimStats::default()
+            },
+        }
+    }
+
+    /// Decode into the owned form (the non-mapped artifact-cache path).
+    pub fn to_mis(&self) -> MisKim {
+        let gains = (0..self.z)
+            .map(|t| {
+                let (lo, hi) = self.topic_bounds(t);
+                (lo..hi)
+                    .map(|i| (NodeId(self.id_at(i)), self.gain_at(i)))
+                    .collect()
+            })
+            .collect();
+        MisKim::from_parts(gains)
+    }
+}
+
 impl KimAlgorithm for MisKim {
     fn select(&self, gamma: &TopicDistribution, k: usize) -> KimResult {
         let mut scored: Vec<(NodeId, f64)> = self
@@ -229,5 +514,48 @@ mod tests {
         let m = engine();
         let res = m.select(&TopicDistribution::uniform(2), 100);
         assert!(res.seeds.len() <= m.candidates().len());
+    }
+
+    #[test]
+    fn mis_view_round_trips_and_selects_bit_identically() {
+        let g = two_topic_hubs();
+        let m = engine();
+        let mut buf = bytes::BytesMut::new();
+        encode_mis_section(Some(&m), &mut buf);
+        assert_eq!(buf.len() % 8, 0, "section records are padded to 8");
+        let view = MisView::parse(&buf, g.num_topics(), g.node_count())
+            .unwrap()
+            .expect("present");
+        assert_eq!(view.candidate_count(), m.candidates().len());
+        for gamma in [
+            TopicDistribution::pure(2, 0),
+            TopicDistribution::pure(2, 1),
+            TopicDistribution::uniform(2),
+            TopicDistribution::new(vec![0.9, 0.1]).unwrap(),
+        ] {
+            for &u in m.candidates() {
+                assert_eq!(
+                    view.score(u, &gamma).to_bits(),
+                    m.score(u, &gamma).to_bits()
+                );
+            }
+            for k in [1, 2, 5, 100] {
+                let a = view.select(&gamma, k);
+                let b = m.select(&gamma, k);
+                assert_eq!(a.seeds, b.seeds);
+                assert_eq!(a.spread.to_bits(), b.spread.to_bits());
+                assert_eq!(a.stats, b.stats);
+            }
+        }
+        assert_eq!(view.to_mis(), m);
+
+        // absent tables parse to None; truncation fails closed
+        let mut absent = bytes::BytesMut::new();
+        encode_mis_section(None, &mut absent);
+        assert!(MisView::parse(&absent, 2, g.node_count())
+            .unwrap()
+            .is_none());
+        assert!(MisView::parse(&buf[..buf.len() - 8], 2, g.node_count()).is_err());
+        assert!(MisView::parse(&buf, 3, g.node_count()).is_err());
     }
 }

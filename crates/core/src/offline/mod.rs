@@ -65,7 +65,7 @@
 //!
 //! Determinism (above) is what makes the artifacts *cacheable*: each stage
 //! is a pure function of the inputs it reads, so [`persist`] serializes
-//! [`OfflineArtifacts`] into an **OCTA v3 sectioned container** — one
+//! [`OfflineArtifacts`] into an **OCTA v4 sectioned container** — one
 //! independently keyed, independently checksummed section per stage, each
 //! section's [`persist::StageKeys`] entry hashing only that stage's input
 //! slice (MIS ignores names, autocomplete ignores weights, each PIKS world
@@ -78,17 +78,24 @@
 //! every section in the cache directory whose key matches the live inputs
 //! ([`persist::lookup`]), hands them to [`build_with_reuse`] as
 //! [`ReuseSlots`], and rebuilds only the invalidated stages along the DAG.
-//! A full hit reports one [`persist::STAGE_ARTIFACT_LOAD`] timing and
-//! `cache_hit = true` (zero build stages run); a partial hit reports
-//! exactly the rebuilt stages plus per-stage counters in
+//! A full hit reports the three synthetic artifact timings
+//! ([`persist::STAGE_ARTIFACT_MAP`] / [`persist::STAGE_ARTIFACT_VALIDATE`]
+//! / [`persist::STAGE_ARTIFACT_DECODE`]) and `cache_hit = true` (zero
+//! build stages run); a partial hit reports exactly the rebuilt stages
+//! plus per-stage counters in
 //! [`crate::engine::SystemReport::stage_reuse`]. Reused or rebuilt, the
 //! resulting engine is bit-identical to a fresh build — pinned by
 //! `tests/build_determinism.rs`, `tests/delta_invalidation.rs`, and the
 //! end-to-end restart tests.
+//!
+//! The v4 layout additionally supports a **mapped** open ([`view`]): the
+//! same file is memory-mapped and served zero-copy, skipping this
+//! pipeline (and most of the decode work) entirely.
 
 #![warn(missing_docs)]
 
 pub mod persist;
+pub mod view;
 
 use crate::autocomplete::Autocomplete;
 use crate::engine::{KimEngineChoice, OctopusConfig};
@@ -417,7 +424,16 @@ fn build_topic_samples(
     gammas
         .par_iter()
         .map(|gamma| {
-            let res = run_best_effort(graph, bound, pb, cap, config, gamma, config.k_max, &[]);
+            let res = run_best_effort(
+                graph,
+                bound,
+                PbSource::Owned(pb.as_ref()),
+                cap,
+                config,
+                gamma,
+                config.k_max,
+                &[],
+            );
             TopicSample {
                 gamma: gamma.clone(),
                 seeds: res.seeds,
@@ -427,13 +443,25 @@ fn build_topic_samples(
         .collect()
 }
 
+/// Where a best-effort run gets its PB bound tables from: the owned decode
+/// or a zero-copy view over a mapped artifact. Both implement
+/// [`crate::kim::bounds::BoundEstimator`] identically, so the selection is
+/// bit-identical either way.
+#[derive(Clone, Copy)]
+pub(crate) enum PbSource<'a> {
+    /// Owned tables (fresh build or decoded cache hit).
+    Owned(Option<&'a PrecompBound>),
+    /// Zero-copy tables over a mapped OCTA v4 PB section.
+    View(Option<crate::kim::bounds::PbTableView<'a>>),
+}
+
 /// Run one best-effort selection with the configured bound estimator —
 /// shared by the topic-samples stage and the engine's online query path.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_best_effort(
     graph: &TopicGraph,
     bound: BoundKind,
-    pb: &Option<PrecompBound>,
+    pb: PbSource<'_>,
     cap: f64,
     config: &OctopusConfig,
     gamma: &TopicDistribution,
@@ -441,10 +469,16 @@ pub(crate) fn run_best_effort(
     warm: &[NodeId],
 ) -> KimResult {
     match bound {
-        BoundKind::Precomputation => {
-            let table = pb.as_ref().expect("PB table built at construction");
-            BestEffortKim::new(graph, table, config.mia_theta).select_warm(gamma, k, warm)
-        }
+        BoundKind::Precomputation => match pb {
+            PbSource::Owned(table) => {
+                let table = table.expect("PB table built at construction");
+                BestEffortKim::new(graph, table, config.mia_theta).select_warm(gamma, k, warm)
+            }
+            PbSource::View(view) => {
+                let view = view.expect("PB section present in mapped artifact");
+                BestEffortKim::new(graph, view, config.mia_theta).select_warm(gamma, k, warm)
+            }
+        },
         BoundKind::Neighborhood => {
             BestEffortKim::new(graph, NeighborhoodBound::new(graph, cap), config.mia_theta)
                 .select_warm(gamma, k, warm)

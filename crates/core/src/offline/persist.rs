@@ -26,26 +26,33 @@
 //! BFS touched, so a k-edge delta rebuilds only the worlds that actually
 //! saw those edges.
 //!
-//! ## File format (OCTA v3, little-endian)
+//! ## File format (OCTA v4, little-endian)
 //!
 //! The normative byte-level specification lives in `ARCHITECTURE.md`
-//! (§"The OCTA v3 artifact container") and is pinned against this codec by
+//! (§"The OCTA v4 artifact container") and is pinned against this codec by
 //! the `octa_format` integration test. Summary:
 //!
 //! ```text
-//! magic "OCTA" | version u16 = 3
+//! magic "OCTA" | version u16 = 4 | pad u16 = 0
 //! graph_fp u64 | config_fp u64 | seed u64      ← combined key (file name / diagnostics)
 //! write_seq u64                                ← per-directory write sequence (prune order)
-//! section_count u32
-//! section table: count × { tag u32 | key u64 | len u64 | checksum u64 }
-//! section payloads, concatenated in table order (no padding)
+//! section_count u32 | pad u32 = 0
+//! section table: count × { tag u32 | pad u32 = 0 | key u64 | off u64 | len u64 | checksum u64 }
+//! section payloads at their table offsets, zero-padded so each starts
+//! 8-aligned; file length = last off + last len
 //! ```
 //!
-//! Every section carries its own FNV-1a checksum, so corruption, torn
-//! writes, and truncation are detected **per section**: the damaged section
-//! misses, the intact ones are still reused. A v1 or v2 file fails the
-//! version check and is migrated by rebuild — the v3 writer then replaces
-//! it for the same inputs under the same cache-file name scheme.
+//! v4 exists for the memory-mapped read path ([`super::view`]): every
+//! section records its absolute offset, starts 8-aligned, and uses flat
+//! fixed-width in-section layouts, so an open can serve queries straight
+//! off the mapped bytes — `O(pages touched)`, not `O(file)`. Every section
+//! still carries its own FNV-1a checksum, so corruption, torn writes, and
+//! truncation are detected **per section**: the damaged section misses, the
+//! intact ones are still reused. On the decode path checksums are verified
+//! before decoding; the mapped path defers them per section to first touch
+//! ([`wire::section_range`] frames without hashing). A v1–v3 file fails
+//! the version check and is migrated by rebuild — the v4 writer then
+//! replaces it for the same inputs under the same cache-file name scheme.
 //!
 //! ## Lookup
 //!
@@ -73,14 +80,14 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use octopus_graph::wire::{self, Fnv64, SectionEntry, WireError};
 use octopus_graph::{codec as graph_codec, NodeId, TopicGraph};
 use octopus_topics::TopicDistribution;
-use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 4] = b"OCTA";
-const VERSION: u16 = 3;
-/// Bytes before the section table: magic + version + 3 fingerprint words +
-/// write sequence + section count.
-const HEADER_LEN: usize = 4 + 2 + 8 * 3 + 8 + 4;
+pub(crate) const MAGIC: &[u8; 4] = b"OCTA";
+pub(crate) const VERSION: u16 = 4;
+/// Bytes before the section table: magic + version + pad + 3 fingerprint
+/// words + write sequence + section count + pad. 8-aligned by design so
+/// the table (40-byte entries) and the first payload stay 8-aligned.
+pub(crate) const HEADER_LEN: usize = 4 + 2 + 2 + 8 * 3 + 8 + 4 + 4;
 
 /// Section tag: the global spread cap (`f64`).
 pub const SECTION_CAP: u32 = 1;
@@ -106,8 +113,16 @@ pub const SECTION_ORDER: [u32; 6] = [
     SECTION_NAMES,
 ];
 
-/// Synthetic stage name reported when every artifact section is reused.
-pub const STAGE_ARTIFACT_LOAD: &str = "artifact-load";
+/// Synthetic stage name for reading cache files into memory (or mapping
+/// them) on a full artifact hit.
+pub const STAGE_ARTIFACT_MAP: &str = "artifact-map";
+/// Synthetic stage name for header/table/checksum validation on a full
+/// artifact hit.
+pub const STAGE_ARTIFACT_VALIDATE: &str = "artifact-validate";
+/// Synthetic stage name for decoding section payloads into their owned
+/// forms on a full artifact hit (zero in mapped mode for the lazy
+/// sections — that is the point of the mapped path).
+pub const STAGE_ARTIFACT_DECODE: &str = "artifact-decode";
 /// Synthetic stage name reported for writing a build to cache.
 pub const STAGE_ARTIFACT_STORE: &str = "artifact-store";
 
@@ -367,10 +382,15 @@ fn topic_samples_key(topology: u64, weights: u64, config: &OctopusConfig) -> u64
 // Encoding
 // ---------------------------------------------------------------------------
 
-/// Serialize `artifacts` as an OCTA v3 sectioned container stamped with the
+/// Serialize `artifacts` as an OCTA v4 sectioned container stamped with the
 /// combined key `fp`, the per-stage `keys`, and the cache directory's
 /// `write_seq` (see [`prune`]; callers outside a cache directory may pass
 /// any value — the sequence never gates reuse).
+///
+/// Sections are laid out in [`SECTION_ORDER`] at ascending 8-aligned
+/// offsets recorded in the table, with zero padding *before* any section
+/// whose predecessor ends unaligned; checksums and lengths cover the
+/// payload bytes only, never the padding.
 pub fn encode(
     artifacts: &OfflineArtifacts,
     fp: &Fingerprint,
@@ -385,29 +405,36 @@ pub fn encode(
         (SECTION_PIKS, keys.piks, encode_piks(artifacts)),
         (SECTION_NAMES, keys.names, encode_names(artifacts)),
     ];
-    let payload_len: usize = sections.iter().map(|(_, _, p)| p.len()).sum();
-    let mut buf = BytesMut::with_capacity(
-        HEADER_LEN + sections.len() * wire::SECTION_ENTRY_LEN + payload_len,
-    );
+    let table_len = sections.len() * wire::SECTION_ENTRY_LEN;
+    let payload_len: usize = sections.iter().map(|(_, _, p)| wire::align8(p.len())).sum();
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + table_len + payload_len);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
+    buf.put_u16_le(0);
     buf.put_u64_le(fp.graph);
     buf.put_u64_le(fp.config);
     buf.put_u64_le(fp.seed);
     buf.put_u64_le(write_seq);
     buf.put_u32_le(sections.len() as u32);
+    buf.put_u32_le(0);
+    debug_assert_eq!(buf.len(), HEADER_LEN);
+    let mut off = (HEADER_LEN + table_len) as u64;
     for (tag, key, payload) in &sections {
+        off = wire::align8(off as usize) as u64;
         wire::put_section_entry(
             &mut buf,
             &SectionEntry {
                 tag: *tag,
                 key: *key,
+                off,
                 len: payload.len() as u64,
                 checksum: wire::fnv1a(payload),
             },
         );
+        off += payload.len() as u64;
     }
     for (_, _, payload) in sections {
+        buf.put_bytes(0, wire::pad8(buf.len()));
         buf.put_slice(&payload);
     }
     buf.freeze()
@@ -422,51 +449,25 @@ fn encode_cap(artifacts: &OfflineArtifacts) -> BytesMut {
 fn encode_pb(artifacts: &OfflineArtifacts) -> BytesMut {
     // reserve exactly: PB tables are Z×N×8 bytes at production scale, so a
     // large encode must not crawl through doubling reallocations
-    let cap = artifacts.pb.as_ref().map_or(1, |pb| {
+    let cap = artifacts.pb.as_ref().map_or(8, |pb| {
         let (sigma, _) = pb.parts();
-        1 + 16 + sigma.len() * (4 + sigma.first().map_or(0, Vec::len) * 8)
+        32 + sigma.len() * sigma.first().map_or(0, Vec::len) * 8
     });
     let mut payload = BytesMut::with_capacity(cap);
-    match &artifacts.pb {
-        Some(pb) => {
-            payload.put_u8(1);
-            let (sigma, safety) = pb.parts();
-            payload.put_f64_le(safety);
-            payload.put_u32_le(sigma.len() as u32);
-            payload.put_u32_le(sigma.first().map_or(0, Vec::len) as u32);
-            for row in sigma {
-                for &s in row {
-                    payload.put_f64_le(s);
-                }
-            }
-        }
-        None => payload.put_u8(0),
-    }
+    crate::kim::bounds::encode_pb_section(artifacts.pb.as_ref(), &mut payload);
     payload
 }
 
 fn encode_mis(artifacts: &OfflineArtifacts) -> BytesMut {
-    let cap = artifacts.mis.as_ref().map_or(1, |m| {
-        1 + 4 + m.gains().iter().map(|t| 4 + t.len() * 12).sum::<usize>()
+    let cap = artifacts.mis.as_ref().map_or(8, |m| {
+        32 + m
+            .gains()
+            .iter()
+            .map(|t| 8 * (1 + 2 * t.len()))
+            .sum::<usize>()
     });
     let mut payload = BytesMut::with_capacity(cap);
-    match &artifacts.mis {
-        Some(mis) => {
-            payload.put_u8(1);
-            payload.put_u32_le(mis.gains().len() as u32);
-            for table in mis.gains() {
-                // canonical order: HashMap iteration is arbitrary, sort by id
-                let mut pairs: Vec<(NodeId, f64)> = table.iter().map(|(&u, &g)| (u, g)).collect();
-                pairs.sort_by_key(|&(u, _)| u);
-                payload.put_u32_le(pairs.len() as u32);
-                for (u, g) in pairs {
-                    payload.put_u32_le(u.0);
-                    payload.put_f64_le(g);
-                }
-            }
-        }
-        None => payload.put_u8(0),
-    }
+    crate::kim::mis::encode_mis_section(artifacts.mis.as_ref(), &mut payload);
     payload
 }
 
@@ -526,6 +527,9 @@ pub fn read_fingerprint(raw: &[u8]) -> Result<Fingerprint, PersistError> {
     if version != VERSION {
         return Err(PersistError::Version(version));
     }
+    if buf.get_u16_le() != 0 {
+        return Err(PersistError::Corrupt("header pad word nonzero".into()));
+    }
     Ok(Fingerprint {
         graph: buf.get_u64_le(),
         config: buf.get_u64_le(),
@@ -537,8 +541,21 @@ pub fn read_fingerprint(raw: &[u8]) -> Result<Fingerprint, PersistError> {
 /// (the [`prune`] tie-break; never consulted for reuse).
 pub fn read_write_seq(raw: &[u8]) -> Result<u64, PersistError> {
     read_fingerprint(raw)?; // validates length, magic, version
-    let mut buf = &raw[HEADER_LEN - 12..];
+    let mut buf = &raw[32..];
     Ok(buf.get_u64_le())
+}
+
+/// Read the section count stamped in a container header.
+pub(crate) fn read_section_count(raw: &[u8]) -> Result<usize, PersistError> {
+    read_fingerprint(raw)?;
+    let mut buf = &raw[40..];
+    let count = buf.get_u32_le() as usize;
+    if buf.get_u32_le() != 0 {
+        return Err(PersistError::Corrupt(
+            "header count pad word nonzero".into(),
+        ));
+    }
+    Ok(count)
 }
 
 /// Salvage every reusable stage output from one encoded container.
@@ -559,7 +576,14 @@ pub fn load_sections(
     config: &OctopusConfig,
 ) -> Result<ReuseSlots, PersistError> {
     let mut slots = ReuseSlots::default();
-    load_sections_into(raw, keys, graph, config, &mut slots)?;
+    load_sections_into(
+        raw,
+        keys,
+        graph,
+        config,
+        &mut slots,
+        &mut LoadTimings::default(),
+    )?;
     Ok(slots)
 }
 
@@ -576,22 +600,21 @@ fn load_sections_into(
     graph: &TopicGraph,
     config: &OctopusConfig,
     slots: &mut ReuseSlots,
+    timings: &mut LoadTimings,
 ) -> Result<bool, PersistError> {
-    read_fingerprint(raw)?; // validates magic + version
-    let mut buf = &raw[HEADER_LEN - 4..];
-    let section_count = buf.get_u32_le() as usize;
+    let t_validate = std::time::Instant::now();
+    let section_count = read_section_count(raw)?; // validates magic + version
     let table_len = section_count.saturating_mul(wire::SECTION_ENTRY_LEN);
     let mut table = &raw[HEADER_LEN..];
     wire::need(&table, table_len, "section table").map_err(PersistError::from)?;
-    let payload_area = &raw[HEADER_LEN + table_len..];
+    timings.validate += t_validate.elapsed();
 
     let r = config.piks_index_size;
     let mut salvaged = false;
-    let mut offset = 0usize;
     for _ in 0..section_count {
+        let t_validate = std::time::Instant::now();
         let entry = wire::read_section_entry(&mut table, "section entry")?;
-        let section_offset = offset;
-        offset = offset.saturating_add(entry.len as usize);
+        timings.validate += t_validate.elapsed();
         if keys.for_tag(entry.tag) != Some(entry.key) {
             continue; // stale inputs or unknown tag: the stage rebuilds
         }
@@ -607,9 +630,13 @@ fn load_sections_into(
         if !needed {
             continue; // an earlier donor already supplied this stage
         }
-        let Ok(payload) = wire::section_payload(payload_area, section_offset, &entry) else {
+        let t_validate = std::time::Instant::now();
+        let payload = wire::section_payload(raw, &entry);
+        timings.validate += t_validate.elapsed();
+        let Ok(payload) = payload else {
             continue; // truncated or corrupted in place: the stage rebuilds
         };
+        let t_decode = std::time::Instant::now();
         match entry.tag {
             SECTION_CAP => {
                 if let Ok(cap) = decode_cap(payload) {
@@ -636,9 +663,8 @@ fn load_sections_into(
                 }
             }
             SECTION_PIKS => {
-                let mut cursor = payload;
-                if let Ok(reuse) = InfluencerIndex::load_reusable(&mut cursor, graph) {
-                    if cursor.is_empty() && reuse.available() > 0 {
+                if let Ok(reuse) = InfluencerIndex::load_reusable(payload, graph) {
+                    if reuse.available() > 0 {
                         match &mut slots.piks {
                             Some(have) => salvaged |= have.merge_from(reuse) > 0,
                             none => {
@@ -650,21 +676,19 @@ fn load_sections_into(
                 }
             }
             SECTION_NAMES => {
-                let mut cursor = payload;
-                if let Ok(names) = Autocomplete::decode_from(&mut cursor, graph.node_count()) {
-                    if cursor.is_empty() {
-                        slots.names = Some(names);
-                        salvaged = true;
-                    }
+                if let Ok(names) = Autocomplete::decode_from(payload, graph.node_count()) {
+                    slots.names = Some(names);
+                    salvaged = true;
                 }
             }
             _ => unreachable!("needed is false for unknown tags"),
         }
+        timings.decode += t_decode.elapsed();
     }
     Ok(salvaged)
 }
 
-fn decode_cap(raw: &[u8]) -> Result<f64, WireError> {
+pub(crate) fn decode_cap(raw: &[u8]) -> Result<f64, WireError> {
     if raw.len() != 8 {
         return Err(WireError(format!(
             "cap section is {} bytes, not 8",
@@ -675,98 +699,43 @@ fn decode_cap(raw: &[u8]) -> Result<f64, WireError> {
     Ok(buf.get_f64_le())
 }
 
+/// Decode a PB section via its zero-copy view ([`PbTableView::parse`] does
+/// all validation, so the writer, the mapped reader, and this owned decode
+/// can never disagree about the byte format).
 fn decode_pb(
     raw: &[u8],
     graph: &TopicGraph,
     expected_present: bool,
 ) -> Result<Option<PrecompBound>, WireError> {
-    let mut buf = raw;
-    wire::need(&buf, 1, "pb flag")?;
-    let present = buf.get_u8() != 0;
-    if present != expected_present {
+    let view = crate::kim::bounds::PbTableView::parse(raw, graph.num_topics(), graph.node_count())?;
+    if view.is_some() != expected_present {
         return Err(WireError(
             "pb section presence disagrees with the configured engine".into(),
         ));
     }
-    let pb = if present {
-        wire::need(&buf, 8 + 4 + 4, "pb header")?;
-        let safety = buf.get_f64_le();
-        let z = buf.get_u32_le() as usize;
-        let n = buf.get_u32_le() as usize;
-        if z != graph.num_topics() || n != graph.node_count() {
-            return Err(WireError(format!(
-                "pb tables are {z}×{n}, graph is {}×{}",
-                graph.num_topics(),
-                graph.node_count()
-            )));
-        }
-        wire::need(&buf, z.saturating_mul(n).saturating_mul(8), "pb tables")?;
-        let mut sigma = Vec::with_capacity(z);
-        for _ in 0..z {
-            let mut row = Vec::with_capacity(n);
-            for _ in 0..n {
-                row.push(buf.get_f64_le());
-            }
-            sigma.push(row);
-        }
-        Some(PrecompBound::from_parts(sigma, safety))
-    } else {
-        None
-    };
-    expect_drained(&buf, "pb section")?;
-    Ok(pb)
+    Ok(view.map(|v| v.to_precomp()))
 }
 
+/// Decode a MIS section via its zero-copy view (same single-format
+/// guarantee as [`decode_pb`]).
 fn decode_mis(
     raw: &[u8],
     graph: &TopicGraph,
     expected_present: bool,
 ) -> Result<Option<MisKim>, WireError> {
-    let node_count = graph.node_count();
-    let mut buf = raw;
-    wire::need(&buf, 1, "mis flag")?;
-    let present = buf.get_u8() != 0;
-    if present != expected_present {
+    let view = crate::kim::mis::MisView::parse(raw, graph.num_topics(), graph.node_count())?;
+    if view.is_some() != expected_present {
         return Err(WireError(
             "mis section presence disagrees with the configured engine".into(),
         ));
     }
-    let mis = if present {
-        wire::need(&buf, 4, "mis topic count")?;
-        let z = buf.get_u32_le() as usize;
-        if z != graph.num_topics() {
-            return Err(WireError(format!(
-                "mis tables cover {z} topics, graph has {}",
-                graph.num_topics()
-            )));
-        }
-        let mut gains = Vec::with_capacity(z);
-        for _ in 0..z {
-            wire::need(&buf, 4, "mis table size")?;
-            let count = buf.get_u32_le() as usize;
-            wire::need(&buf, count.saturating_mul(12), "mis table entries")?;
-            let mut table = HashMap::with_capacity(count.min(node_count));
-            for _ in 0..count {
-                let u = NodeId(buf.get_u32_le());
-                if u.index() >= node_count {
-                    return Err(WireError(format!(
-                        "mis table references node {u} outside the graph ({node_count} nodes)"
-                    )));
-                }
-                let g = buf.get_f64_le();
-                table.insert(u, g);
-            }
-            gains.push(table);
-        }
-        Some(MisKim::from_parts(gains))
-    } else {
-        None
-    };
-    expect_drained(&buf, "mis section")?;
-    Ok(mis)
+    Ok(view.map(|v| v.to_mis()))
 }
 
-fn decode_samples(raw: &[u8], graph: &TopicGraph) -> Result<Vec<TopicSample>, WireError> {
+pub(crate) fn decode_samples(
+    raw: &[u8],
+    graph: &TopicGraph,
+) -> Result<Vec<TopicSample>, WireError> {
     let num_topics = graph.num_topics();
     let node_count = graph.node_count();
     let mut buf = raw;
@@ -823,6 +792,20 @@ fn expect_drained(buf: &&[u8], what: &str) -> Result<(), WireError> {
     }
 }
 
+/// Wall-clock breakdown of a cache [`lookup`], split the way the engine
+/// reports a full artifact hit: reading bytes ([`STAGE_ARTIFACT_MAP`]),
+/// header/table/checksum verification ([`STAGE_ARTIFACT_VALIDATE`]), and
+/// payload decoding ([`STAGE_ARTIFACT_DECODE`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LoadTimings {
+    /// Time spent reading (or mapping) cache files.
+    pub map: std::time::Duration,
+    /// Time spent on header, table, and checksum validation.
+    pub validate: std::time::Duration,
+    /// Time spent decoding section payloads into owned stage outputs.
+    pub decode: std::time::Duration,
+}
+
 /// The result of a cache-directory [`lookup`]: merged reuse slots plus the
 /// files that contributed them.
 #[derive(Debug, Default)]
@@ -833,6 +816,9 @@ pub struct CacheLookup {
     /// Cache files at least one slot came from (exact-fingerprint file
     /// first when it contributed).
     pub sources: Vec<PathBuf>,
+    /// Where the lookup's wall-clock went (telemetry for
+    /// [`crate::engine::SystemReport`]).
+    pub timings: LoadTimings,
 }
 
 /// Gather every reusable stage output available under `cache_dir` for the
@@ -870,12 +856,17 @@ pub fn lookup(
         if complete(&out.slots, graph, config) {
             break;
         }
-        let Ok(raw) = std::fs::read(&path) else {
+        let t_map = std::time::Instant::now();
+        let raw = std::fs::read(&path);
+        out.timings.map += t_map.elapsed();
+        let Ok(raw) = raw else {
             continue;
         };
         // accumulate directly: already-filled slots are skipped without
         // re-decoding, and PIKS world slots union across donor files
-        if let Ok(true) = load_sections_into(&raw, keys, graph, config, &mut out.slots) {
+        if let Ok(true) =
+            load_sections_into(&raw, keys, graph, config, &mut out.slots, &mut out.timings)
+        {
             out.sources.push(path);
         }
     }
@@ -981,8 +972,12 @@ pub const MAX_CACHE_FILES: usize = 16;
 /// lexicographic-only tie-break could evict the newest donor epoch while
 /// keeping the oldest — the sequence restores write order, and the path
 /// keeps the order total (deterministic) even among files prune cannot
-/// parse. Errors are ignored — pruning is best-effort hygiene, not
-/// correctness.
+/// parse. A file currently memory-mapped by this process
+/// ([`super::view::is_mapped`]) is never a candidate: unlinking it would
+/// not fault the live mapping on unix, but the cache directory would
+/// silently stop containing the bytes a running replica is serving from —
+/// the file is skipped and becomes evictable once its last view drops.
+/// Errors are ignored — pruning is best-effort hygiene, not correctness.
 pub fn prune(cache_dir: &Path, keep: &Path) {
     let Ok(entries) = std::fs::read_dir(cache_dir) else {
         return;
@@ -991,7 +986,10 @@ pub fn prune(cache_dir: &Path, keep: &Path) {
         .filter_map(|e| e.ok())
         .filter_map(|e| {
             let path = e.path();
-            if path.extension().is_some_and(|x| x == "octa") && path != *keep {
+            if path.extension().is_some_and(|x| x == "octa")
+                && path != *keep
+                && !super::view::is_mapped(&path)
+            {
                 let mtime = e.metadata().and_then(|m| m.modified()).ok()?;
                 Some((mtime, file_write_seq(&path), path))
             } else {
@@ -1160,6 +1158,13 @@ mod tests {
             load_sections(&raw, &keys, &g, &cfg),
             Err(PersistError::Version(1))
         ));
+        // v3 (the pre-mmap sectioned format) is likewise migrated by
+        // rebuild, not parsed: its section table has no offset column
+        raw[4] = 0x03;
+        assert!(matches!(
+            load_sections(&raw, &keys, &g, &cfg),
+            Err(PersistError::Version(3))
+        ));
     }
 
     #[test]
@@ -1208,10 +1213,25 @@ mod tests {
         let keys = StageKeys::compute(&g, &cfg);
         let art = offline::build(&g, &cfg);
         let clean = encode(&art, &fp, &keys, 1).to_vec();
+        // the bytes actually covered by a section's `len`/checksum — a flip
+        // in inter-section alignment padding is invisible by design, so the
+        // probe positions must land inside real payloads
+        let covered: Vec<std::ops::Range<usize>> = {
+            let mut table = &clean[HEADER_LEN..];
+            (0..SECTION_ORDER.len())
+                .map(|_| {
+                    let e = wire::read_section_entry(&mut table, "test entry").unwrap();
+                    e.off as usize..(e.off + e.len) as usize
+                })
+                .collect()
+        };
         let payload_start = HEADER_LEN + SECTION_ORDER.len() * wire::SECTION_ENTRY_LEN;
         for frac in [0.0, 0.25, 0.5, 0.75, 0.999] {
             let mut raw = clean.clone();
-            let pos = payload_start + ((raw.len() - payload_start - 1) as f64 * frac) as usize;
+            let mut pos = payload_start + ((raw.len() - payload_start - 1) as f64 * frac) as usize;
+            while !covered.iter().any(|r| r.contains(&pos)) {
+                pos += 1; // step out of padding into the next payload
+            }
             raw[pos] ^= 0x40;
             let slots = load_sections(&raw, &keys, &g, &cfg).expect("framing intact");
             let rebuilt = offline::build_with_reuse(&g, &cfg, slots);
@@ -1508,17 +1528,20 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
-    /// A header-only v3 container carrying `write_seq` (zero sections —
+    /// A header-only v4 container carrying `write_seq` (zero sections —
     /// structurally valid, enough for the prune ordering to read).
     fn write_header_only(path: &Path, write_seq: u64) {
         let mut raw = Vec::with_capacity(HEADER_LEN);
         raw.extend_from_slice(MAGIC);
         raw.extend_from_slice(&VERSION.to_le_bytes());
+        raw.extend_from_slice(&0u16.to_le_bytes());
         for w in [1u64, 2, 3] {
             raw.extend_from_slice(&w.to_le_bytes());
         }
         raw.extend_from_slice(&write_seq.to_le_bytes());
         raw.extend_from_slice(&0u32.to_le_bytes());
+        raw.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(raw.len(), HEADER_LEN);
         std::fs::write(path, raw).unwrap();
     }
 

@@ -1,0 +1,698 @@
+//! Zero-copy mapped artifacts: serve queries straight off a memory-mapped
+//! OCTA v4 file instead of decoding it into owned structures.
+//!
+//! ## Why
+//!
+//! The owned open path ([`super::persist::lookup`] +
+//! [`super::build_with_reuse`]) reads the whole cache file and decodes
+//! every section into heap structures before the first query — `O(file)`
+//! startup cost and a private copy of the tables in every serving replica.
+//! The v4 layout was designed so neither is necessary: sections are flat,
+//! fixed-width, 8-aligned, and offset-indexed, so [`open`] merely maps the
+//! file, validates the header and section table, and eagerly touches only
+//! the sections that are small or structurally cheap to walk. Startup is
+//! `O(pages touched)`, and replicas mapping the same file share its page
+//! cache.
+//!
+//! ## Validation strategy
+//!
+//! At open, always:
+//!
+//! * header + section table: magic, version, exact combined fingerprint,
+//!   canonical section order, per-stage key equality, 8-aligned in-bounds
+//!   monotone offsets, exact file length;
+//! * `cap` + `samples`: checksum and full decode (tiny, and eagerly
+//!   needed);
+//! * `names`: checksum + full structural walk (per-query lookups then run
+//!   `O(|name|)` via `TrieView::assume_checked`);
+//! * `pb` / `mis`: structural parse (header arithmetic, offset tables) —
+//!   **checksums deferred**;
+//! * `piks`: `O(R)` world framing walk — per-world payloads untouched,
+//!   checksum deferred.
+//!
+//! The deferred checksums are verified **once, at first operator touch**
+//! ([`MappedArtifacts::pb_view`] / [`MappedArtifacts::mis_view`] /
+//! [`MappedArtifacts::piks_view`]), recorded in a sticky per-section state:
+//! a section that fails verification fails every subsequent touch with
+//! [`CoreError::Artifact`] — the engine fails closed rather than serving
+//! from damaged bytes. Opening with `paranoid = true` verifies every
+//! checksum up front instead (the `--paranoid` flag of `exp_runner`).
+//!
+//! A mapped open serves only a **complete, exact** artifact: same combined
+//! fingerprint, every stage key equal. Partial reuse (donor sections from
+//! older epochs) stays an owned-path feature — merging sections across
+//! files requires decoding anyway.
+//!
+//! ## Prune integration
+//!
+//! Every live mapping registers its canonical path in a process-global
+//! registry; [`is_mapped`] is consulted by [`super::persist::prune`] so the
+//! cache janitor never unlinks a file a running engine is serving from.
+//! The registration drops with the last [`MappedArtifacts`] clone.
+
+#![warn(missing_docs)]
+
+use super::persist::{self, Fingerprint, PersistError, StageKeys};
+use super::{needs_mis, needs_pb, StageReuse, StageTiming, STAGE_ORDER};
+use crate::autocomplete::TrieView;
+use crate::engine::OctopusConfig;
+use crate::error::CoreError;
+use crate::kim::bounds::PbTableView;
+use crate::kim::mis::MisView;
+use crate::kim::topic_sample::TopicSample;
+use crate::piks::PiksWorldsView;
+use mmap::Mmap;
+use octopus_graph::{wire, TopicGraph};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Section indices within the canonical table (mirror
+/// [`persist::SECTION_ORDER`]).
+const I_CAP: usize = 0;
+const I_PB: usize = 1;
+const I_MIS: usize = 2;
+const I_SAMPLES: usize = 3;
+const I_PIKS: usize = 4;
+const I_NAMES: usize = 5;
+
+/// Lazy-checksum states (sticky; see the module docs).
+const UNVERIFIED: u8 = 0;
+const VERIFIED: u8 = 1;
+const DAMAGED: u8 = 2;
+
+/// One validated section-table entry plus its sticky verification state.
+struct SectionMeta {
+    entry: wire::SectionEntry,
+    state: AtomicU8,
+}
+
+/// The shared innards of a mapped artifact (one per [`open`]; reference
+/// counted so engine clones share the mapping and the registry entry).
+struct MapInner {
+    map: Mmap,
+    reg_key: PathBuf,
+    sections: Vec<SectionMeta>,
+    // graph dimensions the views re-validate against on reconstruction
+    num_topics: usize,
+    node_count: usize,
+    // eagerly decoded small sections
+    cap: f64,
+    samples: Vec<TopicSample>,
+    // counts captured at open for reporting
+    piks_total: usize,
+    piks_stored_nodes: usize,
+    piks_stored_edges: usize,
+    names_len: usize,
+    // synthetic open telemetry (map / validate / decode)
+    timings: Vec<StageTiming>,
+    reuse: Vec<StageReuse>,
+    open_total: Duration,
+}
+
+impl Drop for MapInner {
+    fn drop(&mut self) {
+        deregister(&self.reg_key);
+    }
+}
+
+/// A complete OCTA v4 artifact served zero-copy off a memory mapping.
+///
+/// Construction is [`open`]; the engine holds one of these in mapped mode
+/// and reconstructs per-query views through the accessors. Cloning shares
+/// the mapping (cheap `Arc` clone).
+#[derive(Clone)]
+pub struct MappedArtifacts {
+    inner: Arc<MapInner>,
+}
+
+impl std::fmt::Debug for MappedArtifacts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedArtifacts")
+            .field("path", &self.inner.reg_key)
+            .field("bytes", &self.inner.map.len())
+            .field("piks_total", &self.inner.piks_total)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The live-mapping registry (prune integration)
+// ---------------------------------------------------------------------------
+
+fn registry() -> &'static Mutex<HashMap<PathBuf, usize>> {
+    static REG: OnceLock<Mutex<HashMap<PathBuf, usize>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Canonical registry key for a path (symlink/relative-path robust; falls
+/// back to the verbatim path when canonicalization fails).
+fn canon(path: &Path) -> PathBuf {
+    path.canonicalize().unwrap_or_else(|_| path.to_path_buf())
+}
+
+fn register(path: &Path) -> PathBuf {
+    let key = canon(path);
+    if let Ok(mut reg) = registry().lock() {
+        *reg.entry(key.clone()).or_insert(0) += 1;
+    }
+    key
+}
+
+fn deregister(key: &Path) {
+    if let Ok(mut reg) = registry().lock() {
+        if let Some(n) = reg.get_mut(key) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                reg.remove(key);
+            }
+        }
+    }
+}
+
+/// Whether any live [`MappedArtifacts`] in this process is currently
+/// serving from `path` ([`persist::prune`] skips such files).
+pub fn is_mapped(path: &Path) -> bool {
+    registry()
+        .lock()
+        .map(|reg| reg.contains_key(&canon(path)))
+        .unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------------
+// Open
+// ---------------------------------------------------------------------------
+
+/// Map `path` and validate it as a complete OCTA v4 artifact for exactly
+/// these inputs (see the module docs for what "validate" touches; with
+/// `paranoid` every section checksum is verified up front).
+///
+/// Any mismatch — foreign fingerprint, stale stage key, non-canonical
+/// layout, damaged eager section — is an error; the caller falls back to
+/// the owned path (which can still salvage matching sections).
+pub fn open(
+    path: &Path,
+    fp: &Fingerprint,
+    keys: &StageKeys,
+    graph: &TopicGraph,
+    config: &OctopusConfig,
+    paranoid: bool,
+) -> Result<MappedArtifacts, PersistError> {
+    let t0 = Instant::now();
+    let map = Mmap::map_file(path).map_err(|e| PersistError::Io(e.to_string()))?;
+    let t_map = t0.elapsed();
+
+    // -- validate: header, table, canonical layout ------------------------
+    let t1 = Instant::now();
+    let raw: &[u8] = &map;
+    let stamped = persist::read_fingerprint(raw)?;
+    if stamped != *fp {
+        return Err(PersistError::Corrupt(format!(
+            "artifact keyed {stamped}, engine inputs key {fp}"
+        )));
+    }
+    let count = persist::read_section_count(raw)?;
+    if count != persist::SECTION_ORDER.len() {
+        return Err(PersistError::Corrupt(format!(
+            "expected {} sections, found {count}",
+            persist::SECTION_ORDER.len()
+        )));
+    }
+    let table_end = persist::HEADER_LEN + count * wire::SECTION_ENTRY_LEN;
+    let mut table = &raw[persist::HEADER_LEN..];
+    wire::need(&table, count * wire::SECTION_ENTRY_LEN, "section table")?;
+    let mut sections = Vec::with_capacity(count);
+    let mut prev_end = table_end;
+    for &tag in &persist::SECTION_ORDER {
+        let entry = wire::read_section_entry(&mut table, "section entry")?;
+        if entry.tag != tag {
+            return Err(PersistError::Corrupt(format!(
+                "section tag {} out of canonical order (expected {tag})",
+                entry.tag
+            )));
+        }
+        if keys.for_tag(tag) != Some(entry.key) {
+            // a stale stage key means this exact file cannot serve mapped;
+            // the owned path may still salvage its other sections
+            return Err(PersistError::Corrupt(format!(
+                "section tag {tag} carries a stale stage key"
+            )));
+        }
+        wire::section_range(raw.len(), &entry)?;
+        if entry.off as usize != wire::align8(prev_end) {
+            return Err(PersistError::Corrupt(format!(
+                "section tag {tag} at offset {} breaks the canonical layout",
+                entry.off
+            )));
+        }
+        prev_end = (entry.off + entry.len) as usize;
+        sections.push(SectionMeta {
+            entry,
+            state: AtomicU8::new(UNVERIFIED),
+        });
+    }
+    if prev_end != raw.len() {
+        return Err(PersistError::Corrupt(format!(
+            "file length {} does not end at the last section ({prev_end})",
+            raw.len()
+        )));
+    }
+    let t_validate = t1.elapsed();
+
+    // -- decode: eager sections + structural parses -----------------------
+    let t2 = Instant::now();
+    // checksum + full decode of the small eager sections
+    let cap = persist::decode_cap(checked_payload(raw, &sections[I_CAP])?)?;
+    sections[I_CAP].state.store(VERIFIED, Ordering::Release);
+    let samples = persist::decode_samples(checked_payload(raw, &sections[I_SAMPLES])?, graph)?;
+    sections[I_SAMPLES].state.store(VERIFIED, Ordering::Release);
+    let names_len = TrieView::parse(
+        checked_payload(raw, &sections[I_NAMES])?,
+        graph.node_count(),
+    )?
+    .len();
+    sections[I_NAMES].state.store(VERIFIED, Ordering::Release);
+
+    // structural parses of the lazily-checksummed sections
+    let pb = PbTableView::parse(
+        raw_payload(raw, &sections[I_PB]),
+        graph.num_topics(),
+        graph.node_count(),
+    )?;
+    if pb.is_some() != needs_pb(config) {
+        return Err(PersistError::Corrupt(
+            "pb section presence disagrees with the configured engine".into(),
+        ));
+    }
+    let mis = MisView::parse(
+        raw_payload(raw, &sections[I_MIS]),
+        graph.num_topics(),
+        graph.node_count(),
+    )?;
+    if mis.is_some() != needs_mis(config) {
+        return Err(PersistError::Corrupt(
+            "mis section presence disagrees with the configured engine".into(),
+        ));
+    }
+    let piks = PiksWorldsView::parse(raw_payload(raw, &sections[I_PIKS]))?;
+    if piks.n() != graph.node_count() {
+        return Err(PersistError::Corrupt(format!(
+            "piks worlds cover {} nodes, graph has {}",
+            piks.n(),
+            graph.node_count()
+        )));
+    }
+    let expected_worlds = if graph.node_count() == 0 {
+        0
+    } else {
+        config.piks_index_size
+    };
+    if piks.len() != expected_worlds {
+        return Err(PersistError::Corrupt(format!(
+            "piks section stores {} worlds, config wants {expected_worlds}",
+            piks.len()
+        )));
+    }
+    let (piks_total, piks_stored_nodes, piks_stored_edges) =
+        (piks.len(), piks.stored_nodes(), piks.stored_edges());
+    if paranoid {
+        for i in [I_PB, I_MIS, I_PIKS] {
+            checked_payload(raw, &sections[i])?;
+            sections[i].state.store(VERIFIED, Ordering::Release);
+        }
+    }
+    let t_decode = t2.elapsed();
+
+    let timings = vec![
+        StageTiming {
+            stage: persist::STAGE_ARTIFACT_MAP,
+            duration: t_map,
+        },
+        StageTiming {
+            stage: persist::STAGE_ARTIFACT_VALIDATE,
+            duration: t_validate,
+        },
+        StageTiming {
+            stage: persist::STAGE_ARTIFACT_DECODE,
+            duration: t_decode,
+        },
+    ];
+    let reuse = STAGE_ORDER
+        .iter()
+        .map(|&stage| {
+            let units = if stage == "piks-worlds" {
+                piks_total
+            } else {
+                1
+            };
+            StageReuse {
+                stage,
+                reused: units,
+                total: units,
+            }
+        })
+        .collect();
+
+    Ok(MappedArtifacts {
+        inner: Arc::new(MapInner {
+            reg_key: register(path),
+            map,
+            sections,
+            num_topics: graph.num_topics(),
+            node_count: graph.node_count(),
+            cap,
+            samples,
+            piks_total,
+            piks_stored_nodes,
+            piks_stored_edges,
+            names_len,
+            timings,
+            reuse,
+            open_total: t0.elapsed(),
+        }),
+    })
+}
+
+/// Checksum-verified payload of a section (range was validated earlier).
+fn checked_payload<'a>(raw: &'a [u8], meta: &SectionMeta) -> Result<&'a [u8], PersistError> {
+    Ok(wire::section_payload(raw, &meta.entry)?)
+}
+
+/// Payload bytes of a section without checksum work (range was validated).
+fn raw_payload<'a>(raw: &'a [u8], meta: &SectionMeta) -> &'a [u8] {
+    let (off, len) = (meta.entry.off as usize, meta.entry.len as usize);
+    &raw[off..off + len]
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
+impl MappedArtifacts {
+    /// The canonical path of the mapped file (the registry key).
+    pub fn path(&self) -> &Path {
+        &self.inner.reg_key
+    }
+
+    /// Raw payload of section `i` (structure was validated at open).
+    fn section(&self, i: usize) -> &[u8] {
+        let entry = &self.inner.sections[i].entry;
+        &self.inner.map[entry.off as usize..(entry.off + entry.len) as usize]
+    }
+
+    /// Sticky lazy checksum verification of section `i` (see module docs).
+    fn verified_section(&self, i: usize) -> Result<&[u8], CoreError> {
+        let meta = &self.inner.sections[i];
+        match meta.state.load(Ordering::Acquire) {
+            VERIFIED => Ok(self.section(i)),
+            DAMAGED => Err(CoreError::Artifact(format!(
+                "section tag {} failed its checksum (sticky)",
+                meta.entry.tag
+            ))),
+            _ => match wire::section_payload(&self.inner.map, &meta.entry) {
+                Ok(payload) => {
+                    meta.state.store(VERIFIED, Ordering::Release);
+                    Ok(payload)
+                }
+                Err(e) => {
+                    meta.state.store(DAMAGED, Ordering::Release);
+                    Err(CoreError::Artifact(format!(
+                        "section tag {} failed verification: {}",
+                        meta.entry.tag, e.0
+                    )))
+                }
+            },
+        }
+    }
+
+    /// The global spread cap (eagerly decoded at open).
+    pub fn cap(&self) -> f64 {
+        self.inner.cap
+    }
+
+    /// The precomputed topic samples (eagerly decoded at open).
+    pub fn samples(&self) -> &[TopicSample] {
+        &self.inner.samples
+    }
+
+    /// The PB bound tables, zero-copy (`None` when the engine needs none).
+    /// First call verifies the section checksum.
+    pub fn pb_view(&self) -> Result<Option<PbTableView<'_>>, CoreError> {
+        let payload = self.verified_section(I_PB)?;
+        PbTableView::parse(payload, self.inner.num_topics, self.inner.node_count)
+            .map_err(|e| CoreError::Artifact(format!("pb section: {}", e.0)))
+    }
+
+    /// The MIS seed tables, zero-copy (`None` when the engine needs none).
+    /// First call verifies the section checksum.
+    pub fn mis_view(&self) -> Result<Option<MisView<'_>>, CoreError> {
+        let payload = self.verified_section(I_MIS)?;
+        MisView::parse(payload, self.inner.num_topics, self.inner.node_count)
+            .map_err(|e| CoreError::Artifact(format!("mis section: {}", e.0)))
+    }
+
+    /// The PIKS possible-worlds index, zero-copy. First call verifies the
+    /// section checksum.
+    pub fn piks_view(&self) -> Result<PiksWorldsView<'_>, CoreError> {
+        let payload = self.verified_section(I_PIKS)?;
+        PiksWorldsView::parse(payload)
+            .map_err(|e| CoreError::Artifact(format!("piks section: {}", e.0)))
+    }
+
+    /// The autocomplete trie, zero-copy (checksum and structure were
+    /// verified eagerly at open, so reconstruction is `O(1)`).
+    pub fn trie_view(&self) -> TrieView<'_> {
+        TrieView::assume_checked(self.section(I_NAMES))
+    }
+
+    /// World count of the mapped PIKS index.
+    pub fn piks_len(&self) -> usize {
+        self.inner.piks_total
+    }
+
+    /// Total nodes stored across all mapped PIKS worlds.
+    pub fn piks_stored_nodes(&self) -> usize {
+        self.inner.piks_stored_nodes
+    }
+
+    /// Total reverse edges stored across all mapped PIKS worlds.
+    pub fn piks_stored_edges(&self) -> usize {
+        self.inner.piks_stored_edges
+    }
+
+    /// Stored name count of the mapped autocomplete trie.
+    pub fn names_len(&self) -> usize {
+        self.inner.names_len
+    }
+
+    /// Synthetic open telemetry: the three artifact stages (map, validate,
+    /// decode), mirroring what a full owned cache hit reports.
+    pub fn timings(&self) -> &[StageTiming] {
+        &self.inner.timings
+    }
+
+    /// Per-stage reuse counters (every stage fully reused — a mapped open
+    /// is by definition a complete artifact hit).
+    pub fn reuse(&self) -> &[StageReuse] {
+        &self.inner.reuse
+    }
+
+    /// Wall-clock duration of the whole [`open`].
+    pub fn open_total(&self) -> Duration {
+        self.inner.open_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::KimEngineChoice;
+    use crate::offline;
+    use octopus_graph::{GraphBuilder, NodeId};
+    use octopus_topics::TopicDistribution;
+
+    fn tiny_graph() -> TopicGraph {
+        let mut b = GraphBuilder::new(2);
+        for i in 0..14 {
+            b.add_node(format!("user-{i}"));
+        }
+        for v in 2..=7u32 {
+            b.add_edge(NodeId(0), NodeId(v), &[(0, 0.6)]).unwrap();
+        }
+        for v in 8..=13u32 {
+            b.add_edge(NodeId(1), NodeId(v), &[(1, 0.6)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn config() -> OctopusConfig {
+        OctopusConfig {
+            kim: KimEngineChoice::Mis,
+            piks_index_size: 200,
+            mis_rr_per_topic: 400,
+            k_max: 3,
+            seed: 0xFEED,
+            ..Default::default()
+        }
+    }
+
+    /// Build, save, and return (dir, path, fp, keys, graph, config, art).
+    fn saved_artifact(
+        dir_name: &str,
+    ) -> (
+        PathBuf,
+        PathBuf,
+        Fingerprint,
+        StageKeys,
+        TopicGraph,
+        OctopusConfig,
+        offline::OfflineArtifacts,
+    ) {
+        let g = tiny_graph();
+        let cfg = config();
+        let fp = Fingerprint::compute(&g, &cfg);
+        let keys = StageKeys::compute(&g, &cfg);
+        let art = offline::build(&g, &cfg);
+        let dir = std::env::temp_dir().join(dir_name);
+        std::fs::remove_dir_all(&dir).ok();
+        let path = fp.cache_path(&dir);
+        persist::save(&art, &fp, &keys, &path).unwrap();
+        (dir, path, fp, keys, g, cfg, art)
+    }
+
+    #[test]
+    fn open_serves_every_section_bit_identically() {
+        let (dir, path, fp, keys, g, cfg, art) = saved_artifact("octopus_view_open_test");
+        for paranoid in [false, true] {
+            let mapped = open(&path, &fp, &keys, &g, &cfg, paranoid).expect("mapped open");
+            assert_eq!(mapped.cap().to_bits(), art.cap.to_bits());
+            assert_eq!(mapped.samples(), &art.samples[..]);
+            assert_eq!(mapped.piks_len(), art.piks_index.len());
+            assert_eq!(mapped.names_len(), art.names.len());
+            // MIS selection off the view matches the owned tables
+            let gamma = TopicDistribution::uniform(2);
+            let view = mapped.mis_view().unwrap().expect("mis present");
+            use crate::kim::KimAlgorithm;
+            let a = art.mis.as_ref().unwrap().select(&gamma, 3);
+            let b = view.select(&gamma, 3);
+            assert_eq!(a.seeds, b.seeds);
+            assert_eq!(a.spread.to_bits(), b.spread.to_bits());
+            // PIKS spreads match bit-for-bit
+            let piks = mapped.piks_view().unwrap();
+            let mut owned = art.piks_index.session(&g, &gamma);
+            let mut viewed = piks.session(&g, &gamma);
+            for u in [0u32, 1, 5, 9] {
+                assert_eq!(
+                    owned.spread_of(NodeId(u)).to_bits(),
+                    viewed.spread_of(NodeId(u)).to_bits()
+                );
+            }
+            // trie answers match
+            assert_eq!(mapped.trie_view().lookup("user-3"), Some(NodeId(3)));
+            assert_eq!(
+                mapped.trie_view().complete("user-1", 4),
+                art.names.complete("user-1", 4)
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn registry_tracks_live_mappings_and_prune_skips_them() {
+        let (dir, path, fp, keys, g, cfg, _) = saved_artifact("octopus_view_registry_test");
+        assert!(!is_mapped(&path));
+        let a = open(&path, &fp, &keys, &g, &cfg, false).unwrap();
+        let b = a.clone();
+        assert!(is_mapped(&path), "open must register the mapping");
+        drop(a);
+        assert!(is_mapped(&path), "clones keep the registration alive");
+
+        // flood the directory past the cap; the mapped file is among the
+        // prune candidates (write_seq 0 would make dummies newer? no —
+        // dummies are unparseable = seq 0, the real file has seq >= 1, but
+        // mtime ordering dominates and the real file is OLDEST) and must
+        // survive anyway
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        for i in 0..persist::MAX_CACHE_FILES + 3 {
+            std::fs::write(dir.join(format!("dummy-{i:02}.octa")), [i as u8; 4]).unwrap();
+        }
+        let keep = dir.join("dummy-00.octa");
+        persist::prune(&dir, &keep);
+        assert!(path.exists(), "prune must never evict a mapped file");
+
+        drop(b);
+        assert!(!is_mapped(&path), "last drop must deregister");
+        persist::prune(&dir, &keep);
+        assert!(!path.exists(), "unmapped, the file is evictable again");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_fingerprint_and_stale_keys_are_refused() {
+        let (dir, path, fp, keys, g, cfg, _) = saved_artifact("octopus_view_foreign_test");
+        let other_cfg = OctopusConfig {
+            seed: cfg.seed ^ 1,
+            ..cfg.clone()
+        };
+        let other_fp = Fingerprint::compute(&g, &other_cfg);
+        let other_keys = StageKeys::compute(&g, &other_cfg);
+        // wrong combined fingerprint: refused before the table is read
+        assert!(matches!(
+            open(&path, &other_fp, &keys, &g, &cfg, false),
+            Err(PersistError::Corrupt(m)) if m.contains("keyed")
+        ));
+        // right fingerprint file name but stale stage keys (reseed): refused
+        assert!(matches!(
+            open(&path, &fp, &other_keys, &g, &other_cfg, false),
+            Err(PersistError::Corrupt(m)) if m.contains("stale stage key")
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lazy_sections_fail_closed_and_sticky_on_first_touch() {
+        let (dir, path, fp, keys, g, cfg, _) = saved_artifact("octopus_view_lazy_test");
+        // flip one byte inside the MIS payload (lazily checksummed)
+        let mut raw = std::fs::read(&path).unwrap();
+        let mut table = &raw[persist::HEADER_LEN..];
+        let mut mis_entry = None;
+        for _ in 0..persist::SECTION_ORDER.len() {
+            let e = wire::read_section_entry(&mut table, "t").unwrap();
+            if e.tag == persist::SECTION_MIS {
+                mis_entry = Some(e);
+            }
+        }
+        let e = mis_entry.unwrap();
+        // flip inside the gains array — gains are never examined by the
+        // structural parse (only scored), so the open must still succeed
+        // and only the deferred checksum can catch the damage
+        let payload = &raw[e.off as usize..(e.off + e.len) as usize];
+        let z = u64::from_le_bytes(payload[8..16].try_into().unwrap()) as usize;
+        let total = u64::from_le_bytes(payload[16..24].try_into().unwrap()) as usize;
+        assert!(total > 0, "mis tables must not be empty in this fixture");
+        let gains_off = wire::align8(32 + 8 * (z + 1) + 4 * total);
+        raw[e.off as usize + gains_off + 1] ^= 0x10;
+        std::fs::write(&path, &raw).unwrap();
+
+        let mapped = open(&path, &fp, &keys, &g, &cfg, false)
+            .expect("structural damage in a lazy payload must not fail the open");
+        let first = mapped.mis_view();
+        assert!(
+            matches!(first, Err(CoreError::Artifact(ref m)) if m.contains("verification")),
+            "first touch must fail closed: {first:?}"
+        );
+        assert!(
+            matches!(mapped.mis_view(), Err(CoreError::Artifact(ref m)) if m.contains("sticky")),
+            "the failure must be sticky"
+        );
+        // other sections still serve
+        assert_eq!(mapped.trie_view().lookup("user-3"), Some(NodeId(3)));
+        assert!(mapped.piks_view().is_ok());
+
+        // paranoid open refuses the same file outright
+        assert!(open(&path, &fp, &keys, &g, &cfg, true).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

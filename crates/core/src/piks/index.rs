@@ -22,7 +22,7 @@
 //! the spread of a target `u` is then the classic RR estimate
 //! `n/R · #{j : u ∈ live_j}`.
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{BufMut, BytesMut};
 use octopus_cascade::{stream_seed, EdgeCoins};
 use octopus_graph::wire::{self, WireError};
 use octopus_graph::{EdgeId, NodeId, TopicGraph};
@@ -364,36 +364,64 @@ impl InfluencerIndex {
 
     /// Serialize the index into `buf` (the artifact-codec path).
     ///
-    /// Layout (the OCTA v3 `piks-worlds` section payload; normative spec in
-    /// `ARCHITECTURE.md`):
+    /// Layout (the OCTA v4 `piks-worlds` section payload; normative spec in
+    /// `ARCHITECTURE.md`). All fields little-endian; every world record
+    /// starts 8-aligned and has a length that is a multiple of 8, so a
+    /// memory-mapped file can serve queries straight off the bytes:
     ///
     /// ```text
-    /// n u32 | world count R u32
+    /// n u64 | world count R u64
+    /// (R+1) × u64 world offsets (section-relative; world j occupies
+    ///                            [off[j], off[j+1]); off[R] = section len)
     /// R × world:
     ///   footprint u64 | coin seed u64 | edges_examined u64
-    ///   node count W u32 | W × global node u32 (BFS order, root first)
-    ///   (W+1) × u32 CSR in-offsets
-    ///   edge count u32 | edges × (source local id u32, edge id u32)
+    ///   node count W u64 | edge count E u64
+    ///   W × global node u32 (BFS order, root first)        [pad to 8]
+    ///   W × (global u32, local u32) sorted by global
+    ///   (W+1) × u32 CSR in-offsets                         [pad to 8]
+    ///   E × (source local id u32, edge id u32)
     /// ```
     ///
     /// Each world carries its own [`footprint_hash`] so a later open can
-    /// reuse it independently of every other world. The sparse `local_of`
-    /// lookup is derived data and is rebuilt on decode instead of stored.
+    /// reuse it independently of every other world. Unlike v3, the sparse
+    /// `local_of` lookup is stored rather than rebuilt on decode — the
+    /// mapped read path binary-searches it in place, and the owned decode
+    /// path validates it against `nodes` instead of sorting.
     pub fn encode_into(&self, buf: &mut BytesMut) {
-        buf.put_u32_le(self.n as u32);
-        buf.put_u32_le(self.samples.len() as u32);
+        fn world_len(s: &Sample) -> u64 {
+            let w = s.nodes.len() as u64;
+            let e = s.in_edges.len() as u64;
+            let local_off = wire::align8((40 + 4 * w) as usize) as u64;
+            let edges_off = wire::align8((local_off + 8 * w + 4 * (w + 1)) as usize) as u64;
+            edges_off + 8 * e
+        }
+        buf.put_u64_le(self.n as u64);
+        buf.put_u64_le(self.samples.len() as u64);
+        let mut off = 16 + 8 * (self.samples.len() as u64 + 1);
         for s in &self.samples {
+            buf.put_u64_le(off);
+            off += world_len(s);
+        }
+        buf.put_u64_le(off);
+        for s in &self.samples {
+            let w = s.nodes.len();
             buf.put_u64_le(s.footprint);
             buf.put_u64_le(s.coins.seed());
             buf.put_u64_le(s.edges_examined as u64);
-            buf.put_u32_le(s.nodes.len() as u32);
+            buf.put_u64_le(w as u64);
+            buf.put_u64_le(s.in_edges.len() as u64);
             for &g in &s.nodes {
                 buf.put_u32_le(g);
+            }
+            buf.put_bytes(0, wire::pad8(4 * w));
+            for &(g, l) in &s.local_of {
+                buf.put_u32_le(g);
+                buf.put_u32_le(l);
             }
             for &o in &s.in_offsets {
                 buf.put_u32_le(o);
             }
-            buf.put_u32_le(s.in_edges.len() as u32);
+            buf.put_bytes(0, wire::pad8(4 * (w + 1)));
             for &(src, e) in &s.in_edges {
                 buf.put_u32_le(src);
                 buf.put_u32_le(e.0);
@@ -404,52 +432,42 @@ impl InfluencerIndex {
     /// Decode worlds serialized by [`InfluencerIndex::encode_into`] into
     /// per-world reuse slots validated against the **live** graph.
     ///
-    /// Structural framing damage (truncation, malformed CSR) is an error —
-    /// the caller treats the whole section as a miss. A world that decodes
-    /// cleanly is screened semantically instead: its stored node and edge
-    /// ids must fall inside `graph`, and its stored [`footprint_hash`] must
-    /// equal the hash recomputed over `graph`'s current in-edge content.
+    /// Structural framing damage (truncation, malformed CSR, an
+    /// inconsistent stored local lookup) is an error — the caller treats
+    /// the whole section as a miss. A world that decodes cleanly is
+    /// screened semantically instead: its stored node and edge ids must
+    /// fall inside `graph`, and its stored [`footprint_hash`] must equal
+    /// the hash recomputed over `graph`'s current in-edge content.
     /// Screening failures are not errors; the world's slot is simply `None`
     /// (it will be rebuilt), which is exactly the delta-reuse contract —
     /// a payload keyed to the wrong inputs, or touched by a graph delta,
     /// can never be served, only ignored.
-    pub fn load_reusable<B: Buf + ?Sized>(
-        buf: &mut B,
-        graph: &TopicGraph,
-    ) -> Result<PiksReuse, WireError> {
+    pub fn load_reusable(raw: &[u8], graph: &TopicGraph) -> Result<PiksReuse, WireError> {
         let node_count = graph.node_count();
         let edge_count = graph.edge_count();
-        wire::need(buf, 4 + 4, "piks index header")?;
-        let n = buf.get_u32_le() as usize;
-        let world_count = buf.get_u32_le() as usize;
-        let derivation_ok = n == node_count;
-        let mut slots = Vec::with_capacity(world_count.min(1 << 20));
-        for j in 0..world_count {
-            wire::need(buf, 8 + 8 + 8 + 4, "piks world header")?;
-            let footprint = buf.get_u64_le();
-            let coins = EdgeCoins::new(buf.get_u64_le());
-            let edges_examined = buf.get_u64_le() as usize;
-            let world_nodes = buf.get_u32_le() as usize;
-            if world_nodes == 0 {
-                return Err(WireError(format!("piks world {j} has no root")));
+        let view = PiksWorldsView::parse(raw)?;
+        let derivation_ok = view.n() == node_count;
+        let mut slots = Vec::with_capacity(view.len().min(1 << 20));
+        for j in 0..view.len() {
+            let wv = view.world(j);
+            let w = wv.node_count();
+            let world_edges = wv.edge_count();
+            let mut in_offsets = Vec::with_capacity(w + 1);
+            for i in 0..=w {
+                in_offsets.push(wv.in_offset(i));
             }
-            let nodes = wire::read_u32s(buf, world_nodes, "piks world nodes")?;
-            let in_offsets = wire::read_u32s(buf, world_nodes + 1, "piks world offsets")?;
-            wire::need(buf, 4, "piks world edge count")?;
-            let world_edges = buf.get_u32_le() as usize;
             if in_offsets[0] != 0
-                || in_offsets.windows(2).any(|w| w[0] > w[1])
-                || in_offsets[world_nodes] as usize != world_edges
+                || in_offsets.windows(2).any(|p| p[0] > p[1])
+                || in_offsets[w] as usize != world_edges
             {
                 return Err(WireError(format!("piks world {j} CSR offsets malformed")));
             }
-            wire::need(buf, world_edges.saturating_mul(8), "piks world edges")?;
+            let nodes: Vec<u32> = (0..w).map(|i| wv.node(i)).collect();
             let mut in_edges = Vec::with_capacity(world_edges);
             let mut ids_ok = true;
-            for _ in 0..world_edges {
-                let src = buf.get_u32_le();
-                let e = EdgeId(buf.get_u32_le());
-                if src as usize >= world_nodes {
+            for k in 0..world_edges {
+                let (src, e) = wv.in_edge(k);
+                if src as usize >= w {
                     return Err(WireError(format!(
                         "piks world {j} edge source {src} out of bounds"
                     )));
@@ -457,27 +475,31 @@ impl InfluencerIndex {
                 ids_ok &= e.index() < edge_count;
                 in_edges.push((src, e));
             }
+            // the stored sparse lookup must be the sorted inverse of `nodes`
+            let mut local_of = Vec::with_capacity(w);
+            let mut prev: Option<u32> = None;
+            for i in 0..w {
+                let (g, l) = wv.local_pair(i);
+                if (l as usize) >= w || nodes[l as usize] != g || prev.is_some_and(|p| p >= g) {
+                    return Err(WireError(format!("piks world {j} local lookup malformed")));
+                }
+                prev = Some(g);
+                local_of.push((g, l));
+            }
             ids_ok &= nodes.iter().all(|&g| (g as usize) < node_count);
-            if !(derivation_ok && ids_ok) || footprint_hash(graph, &nodes) != footprint {
+            if !(derivation_ok && ids_ok) || footprint_hash(graph, &nodes) != wv.footprint() {
                 slots.push(None);
                 continue;
             }
-            // the sparse lookup is derived: sort (global, local) by global
-            let mut local_of: Vec<(u32, u32)> = nodes
-                .iter()
-                .enumerate()
-                .map(|(local, &global)| (global, local as u32))
-                .collect();
-            local_of.sort_unstable();
             slots.push(Some(Sample {
                 root: NodeId(nodes[0]),
-                coins,
+                coins: EdgeCoins::new(wv.coin_seed()),
                 nodes,
                 local_of,
                 in_offsets,
                 in_edges,
-                footprint,
-                edges_examined,
+                footprint: wv.footprint(),
+                edges_examined: wv.edges_examined(),
             }));
         }
         Ok(PiksReuse { slots })
@@ -583,6 +605,331 @@ impl QuerySession<'_> {
 
     /// How many worlds have been materialized so far (work metric for the
     /// lazy-evaluation experiments).
+    pub fn materialized_worlds(&self) -> usize {
+        self.materialized
+    }
+}
+
+fn u64_at(raw: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(raw[off..off + 8].try_into().expect("framed by parse"))
+}
+
+fn u32_at(raw: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(raw[off..off + 4].try_into().expect("framed by parse"))
+}
+
+/// Zero-copy view over a v4 `piks-worlds` section payload.
+///
+/// [`PiksWorldsView::parse`] validates the *framing* in `O(R)` — the world
+/// offset table (8-aligned, strictly monotone, exactly spanning the
+/// section) and every world's header against its slot length — without
+/// touching node or edge payload bytes, which is what keeps a mapped open
+/// proportional to pages touched. Payload integrity is the container
+/// checksum's job (verified lazily by the artifact view layer); the graph
+/// fingerprint baked into the containing file is what entitles the view to
+/// skip the per-world footprint screening that [`InfluencerIndex::load_reusable`]
+/// performs for cross-graph reuse.
+#[derive(Debug, Clone, Copy)]
+pub struct PiksWorldsView<'a> {
+    raw: &'a [u8],
+    n: usize,
+    r: usize,
+    stored_nodes: usize,
+    stored_edges: usize,
+}
+
+impl<'a> PiksWorldsView<'a> {
+    /// Validate the section framing and return a view. Purely structural:
+    /// the stored node count `n` is exposed via [`PiksWorldsView::n`] for
+    /// the caller to check against its graph.
+    pub fn parse(raw: &'a [u8]) -> Result<Self, WireError> {
+        if raw.len() < 16 {
+            return Err(WireError("piks section header truncated".into()));
+        }
+        let n = u64_at(raw, 0) as usize;
+        let r = u64_at(raw, 8);
+        let table_end = (r + 1)
+            .checked_mul(8)
+            .and_then(|t| t.checked_add(16))
+            .filter(|&t| t <= raw.len() as u64)
+            .ok_or_else(|| WireError(format!("piks world table for {r} worlds truncated")))?
+            as usize;
+        let r = r as usize;
+        let mut stored_nodes = 0usize;
+        let mut stored_edges = 0usize;
+        let mut prev = table_end as u64;
+        if u64_at(raw, 16) != prev {
+            return Err(WireError(format!(
+                "piks world 0 offset {} != table end {prev}",
+                u64_at(raw, 16)
+            )));
+        }
+        for j in 0..r {
+            let lo = u64_at(raw, 16 + 8 * j);
+            let hi = u64_at(raw, 16 + 8 * (j + 1));
+            if lo != prev || !lo.is_multiple_of(8) || hi <= lo || hi > raw.len() as u64 {
+                return Err(WireError(format!(
+                    "piks world {j} offsets [{lo}, {hi}) malformed"
+                )));
+            }
+            prev = hi;
+            let wlen = hi - lo;
+            if wlen < 40 {
+                return Err(WireError(format!("piks world {j} header truncated")));
+            }
+            let lo = lo as usize;
+            let w = u64_at(raw, lo + 24);
+            let e = u64_at(raw, lo + 32);
+            if w == 0 {
+                return Err(WireError(format!("piks world {j} has no root")));
+            }
+            if w > u32::MAX as u64 || e > u32::MAX as u64 {
+                return Err(WireError(format!("piks world {j} dimensions overflow u32")));
+            }
+            let local_off = wire::align8(40 + 4 * w as usize) as u64;
+            let edges_off = wire::align8((local_off + 8 * w + 4 * (w + 1)) as usize) as u64;
+            if edges_off + 8 * e != wlen {
+                return Err(WireError(format!(
+                    "piks world {j} length {wlen} != framed {} for W={w} E={e}",
+                    edges_off + 8 * e
+                )));
+            }
+            stored_nodes += w as usize;
+            stored_edges += e as usize;
+        }
+        if prev != raw.len() as u64 {
+            return Err(WireError(format!(
+                "piks section length {} != framed {prev}",
+                raw.len()
+            )));
+        }
+        Ok(PiksWorldsView {
+            raw,
+            n,
+            r,
+            stored_nodes,
+            stored_edges,
+        })
+    }
+
+    /// Stored node count the index was built over (the RR-estimate scale
+    /// factor) — callers must check it against their graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored worlds.
+    pub fn len(&self) -> usize {
+        self.r
+    }
+
+    /// Whether the view holds no worlds.
+    pub fn is_empty(&self) -> bool {
+        self.r == 0
+    }
+
+    /// Total nodes across stored sub-DAGs (mirror of
+    /// [`IndexStats::stored_nodes`]).
+    pub fn stored_nodes(&self) -> usize {
+        self.stored_nodes
+    }
+
+    /// Total edges across stored sub-DAGs (mirror of
+    /// [`IndexStats::stored_edges`]).
+    pub fn stored_edges(&self) -> usize {
+        self.stored_edges
+    }
+
+    /// World `j`'s record.
+    pub fn world(&self, j: usize) -> PiksWorldView<'a> {
+        let lo = u64_at(self.raw, 16 + 8 * j) as usize;
+        let hi = u64_at(self.raw, 16 + 8 * (j + 1)) as usize;
+        PiksWorldView {
+            raw: &self.raw[lo..hi],
+        }
+    }
+
+    /// Start a query session over the mapped worlds. Mirrors
+    /// [`InfluencerIndex::session`] bit for bit — same lazy
+    /// materialization, same estimates.
+    pub fn session(
+        &self,
+        graph: &'a TopicGraph,
+        gamma: &TopicDistribution,
+    ) -> MappedQuerySession<'a> {
+        MappedQuerySession {
+            view: *self,
+            graph,
+            gamma: gamma.as_slice().to_vec(),
+            live: vec![None; self.r],
+            materialized: 0,
+        }
+    }
+}
+
+/// One world's record inside a [`PiksWorldsView`].
+#[derive(Debug, Clone, Copy)]
+pub struct PiksWorldView<'a> {
+    raw: &'a [u8],
+}
+
+impl PiksWorldView<'_> {
+    /// The stored [`footprint_hash`] of this world.
+    pub fn footprint(&self) -> u64 {
+        u64_at(self.raw, 0)
+    }
+
+    /// The world's coin seed ([`EdgeCoins::seed`]).
+    pub fn coin_seed(&self) -> u64 {
+        u64_at(self.raw, 8)
+    }
+
+    /// Edges the construction BFS examined.
+    pub fn edges_examined(&self) -> usize {
+        u64_at(self.raw, 16) as usize
+    }
+
+    /// Stored sub-DAG node count `W`.
+    pub fn node_count(&self) -> usize {
+        u64_at(self.raw, 24) as usize
+    }
+
+    /// Stored sub-DAG edge count `E`.
+    pub fn edge_count(&self) -> usize {
+        u64_at(self.raw, 32) as usize
+    }
+
+    fn local_off(&self) -> usize {
+        wire::align8(40 + 4 * self.node_count())
+    }
+
+    fn edges_off(&self) -> usize {
+        let w = self.node_count();
+        wire::align8(self.local_off() + 8 * w + 4 * (w + 1))
+    }
+
+    /// Global node id of local node `local` (the BFS discovery order; local
+    /// 0 is the root).
+    pub fn node(&self, local: usize) -> u32 {
+        u32_at(self.raw, 40 + 4 * local)
+    }
+
+    /// Pair `i` of the stored `(global, local)` lookup, sorted by global.
+    pub fn local_pair(&self, i: usize) -> (u32, u32) {
+        let base = self.local_off() + 8 * i;
+        (u32_at(self.raw, base), u32_at(self.raw, base + 4))
+    }
+
+    /// Local id of `global`, if it is in this world's stored superset —
+    /// in-place binary search over the stored lookup, the mirror of the
+    /// owned `Sample::local`.
+    pub fn local(&self, global: NodeId) -> Option<u32> {
+        let base = self.local_off();
+        let (mut lo, mut hi) = (0usize, self.node_count());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if u32_at(self.raw, base + 8 * mid) < global.0 {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < self.node_count() && u32_at(self.raw, base + 8 * lo) == global.0 {
+            Some(u32_at(self.raw, base + 8 * lo + 4))
+        } else {
+            None
+        }
+    }
+
+    /// CSR in-offset `i` (of `W+1`).
+    pub fn in_offset(&self, i: usize) -> u32 {
+        let w = self.node_count();
+        u32_at(self.raw, self.local_off() + 8 * w + 4 * i)
+    }
+
+    /// Stored edge `k`: `(source local id, edge id)`.
+    pub fn in_edge(&self, k: usize) -> (u32, EdgeId) {
+        let base = self.edges_off() + 8 * k;
+        (u32_at(self.raw, base), EdgeId(u32_at(self.raw, base + 4)))
+    }
+}
+
+/// The mapped twin of [`QuerySession`]: same lazy per-world
+/// materialization, same BFS, same RR estimate — evaluated directly off
+/// the section bytes with coins replayed from each world's stored seed.
+/// Pinned bit-identical to the owned session by the `mapped_mode` tests.
+pub struct MappedQuerySession<'a> {
+    view: PiksWorldsView<'a>,
+    graph: &'a TopicGraph,
+    gamma: Vec<f64>,
+    live: Vec<Option<Vec<u32>>>,
+    materialized: usize,
+}
+
+impl MappedQuerySession<'_> {
+    fn live_set(&mut self, j: usize) -> &[u32] {
+        if self.live[j].is_none() {
+            self.materialized += 1;
+            let s = self.view.world(j);
+            let coins = EdgeCoins::new(s.coin_seed());
+            // BFS from the root (local id 0) over γ-live stored edges —
+            // the exact loop of `QuerySession::live_set`
+            let mut live_local = vec![false; s.node_count()];
+            live_local[0] = true;
+            let mut queue = vec![0u32];
+            let mut head = 0usize;
+            let mut members = vec![s.node(0)];
+            while head < queue.len() {
+                let v = queue[head] as usize;
+                head += 1;
+                let lo = s.in_offset(v) as usize;
+                let hi = s.in_offset(v + 1) as usize;
+                for k in lo..hi {
+                    let (u_local, e) = s.in_edge(k);
+                    if live_local[u_local as usize] {
+                        continue;
+                    }
+                    let p = self.graph.edge_prob(e, &self.gamma);
+                    if coins.is_live(e, p) {
+                        live_local[u_local as usize] = true;
+                        queue.push(u_local);
+                        members.push(s.node(u_local as usize));
+                    }
+                }
+            }
+            members.sort_unstable();
+            self.live[j] = Some(members);
+        }
+        self.live[j].as_deref().expect("just materialized")
+    }
+
+    /// Estimated influence spread of a seed set — see
+    /// [`QuerySession::spread`].
+    pub fn spread(&mut self, seeds: &[NodeId]) -> f64 {
+        if self.view.is_empty() {
+            return 0.0;
+        }
+        let r = self.view.len();
+        let mut hits = 0usize;
+        for j in 0..r {
+            let sample = self.view.world(j);
+            if seeds.iter().all(|&s| sample.local(s).is_none()) {
+                continue;
+            }
+            let live = self.live_set(j);
+            if seeds.iter().any(|s| live.binary_search(&s.0).is_ok()) {
+                hits += 1;
+            }
+        }
+        self.view.n as f64 * hits as f64 / r as f64
+    }
+
+    /// Single-target spread (the common PIKS case).
+    pub fn spread_of(&mut self, u: NodeId) -> f64 {
+        self.spread(&[u])
+    }
+
+    /// How many worlds have been materialized so far.
     pub fn materialized_worlds(&self) -> usize {
         self.materialized
     }
@@ -728,7 +1075,7 @@ mod tests {
         let mut buf = BytesMut::new();
         idx.encode_into(&mut buf);
         let frozen = buf.freeze();
-        let reuse = InfluencerIndex::load_reusable(&mut &frozen[..], &g).unwrap();
+        let reuse = InfluencerIndex::load_reusable(&frozen[..], &g).unwrap();
         assert_eq!(reuse.available(), 64, "unchanged graph reuses all worlds");
         let (back, reused) = InfluencerIndex::build_with_reuse(&g, 64, 23, &reuse);
         assert_eq!(reused, 64);
@@ -751,7 +1098,7 @@ mod tests {
         // reached node 4 must drop out
         let victim = g.find_edge(NodeId(0), NodeId(4)).unwrap();
         let g2 = octopus_graph::delta::nudge_weights(&g, &[victim], 0.07).unwrap();
-        let reuse = InfluencerIndex::load_reusable(&mut &frozen[..], &g2).unwrap();
+        let reuse = InfluencerIndex::load_reusable(&frozen[..], &g2).unwrap();
         let expected: Vec<bool> = (0..idx.len())
             .map(|j| !idx.world_nodes(j).contains(&4))
             .collect();
@@ -771,7 +1118,7 @@ mod tests {
         let mut buf = BytesMut::new();
         idx.encode_into(&mut buf);
         let frozen = buf.freeze();
-        let reuse = InfluencerIndex::load_reusable(&mut &frozen[..], &g).unwrap();
+        let reuse = InfluencerIndex::load_reusable(&frozen[..], &g).unwrap();
         // the positional count: only slots below r can serve an r-world build
         assert_eq!(reuse.available(), 100);
         assert_eq!(reuse.available_in(40), 40);
@@ -784,6 +1131,73 @@ mod tests {
         let (big, reused) = InfluencerIndex::build_with_reuse(&g, 150, 37, &reuse);
         assert_eq!(reused, 100);
         assert_eq!(big, InfluencerIndex::build(&g, 150, 37));
+    }
+
+    #[test]
+    fn mapped_view_answers_bit_identically() {
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 500, 23);
+        let mut buf = BytesMut::new();
+        idx.encode_into(&mut buf);
+        let raw = buf.freeze();
+        let view = PiksWorldsView::parse(&raw[..]).unwrap();
+        assert_eq!(view.len(), idx.len());
+        assert_eq!(view.n(), 9);
+        assert_eq!(view.stored_nodes(), idx.stats().stored_nodes);
+        assert_eq!(view.stored_edges(), idx.stats().stored_edges);
+        for gamma in [
+            TopicDistribution::pure(2, 0),
+            TopicDistribution::pure(2, 1),
+            TopicDistribution::uniform(2),
+        ] {
+            let mut owned = idx.session(&g, &gamma);
+            let mut mapped = view.session(&g, &gamma);
+            for u in 0..9u32 {
+                assert_eq!(
+                    owned.spread_of(NodeId(u)).to_bits(),
+                    mapped.spread_of(NodeId(u)).to_bits(),
+                    "node {u} under {:?}",
+                    gamma.as_slice()
+                );
+            }
+            assert_eq!(owned.materialized_worlds(), mapped.materialized_worlds());
+            let seeds = [NodeId(0), NodeId(3)];
+            assert_eq!(
+                owned.spread(&seeds).to_bits(),
+                mapped.spread(&seeds).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn view_rejects_framing_damage() {
+        let g = hub_graph();
+        let idx = InfluencerIndex::build(&g, 16, 29);
+        let mut buf = BytesMut::new();
+        idx.encode_into(&mut buf);
+        let raw = buf.freeze();
+        // truncation anywhere in the framing fails closed
+        for cut in [0, 8, 15, 16, 24, raw.len() - 8, raw.len() - 1] {
+            assert!(
+                PiksWorldsView::parse(&raw[..cut]).is_err(),
+                "cut at {cut} must not parse"
+            );
+        }
+        // a nudged world offset breaks the contiguity invariant
+        let mut bent = raw.to_vec();
+        let off0 = u64::from_le_bytes(bent[16..24].try_into().unwrap());
+        bent[16..24].copy_from_slice(&(off0 + 8).to_le_bytes());
+        assert!(PiksWorldsView::parse(&bent).is_err());
+        // ...and load_reusable surfaces the same structural error
+        assert!(InfluencerIndex::load_reusable(&bent, &g).is_err());
+        // a corrupted local-lookup entry is structural damage on decode
+        let view = PiksWorldsView::parse(&raw[..]).unwrap();
+        let table_end = 16 + 8 * (view.len() + 1);
+        let pairs_at = table_end + wire::align8(40 + 4 * view.world(0).node_count());
+        let mut forged = raw.to_vec();
+        forged[pairs_at + 4] ^= 0x01; // flip the local id of the first pair
+        assert!(PiksWorldsView::parse(&forged).is_ok(), "framing untouched");
+        assert!(InfluencerIndex::load_reusable(&forged, &g).is_err());
     }
 
     #[test]

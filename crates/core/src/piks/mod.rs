@@ -19,12 +19,72 @@
 
 pub mod index;
 
-pub use index::{footprint_hash, IndexStats, InfluencerIndex, PiksReuse, QuerySession};
+pub use index::{
+    footprint_hash, IndexStats, InfluencerIndex, MappedQuerySession, PiksReuse, PiksWorldView,
+    PiksWorldsView, QuerySession,
+};
 
 use crate::error::CoreError;
 use crate::Result;
 use octopus_graph::{NodeId, TopicGraph};
 use octopus_topics::{consistency, KeywordId, TopicDistribution, TopicModel};
+
+/// A handle to either representation of the possible-worlds index: the
+/// owned [`InfluencerIndex`] or a zero-copy [`PiksWorldsView`] over a
+/// mapped artifact. Both spawn query sessions with **bit-identical**
+/// spread estimates (same coin streams, same BFS order, same summation
+/// order), so the suggestion engines are representation-agnostic.
+#[derive(Clone, Copy)]
+pub enum PiksHandle<'a> {
+    /// The owned index (fresh build or decoded cache hit).
+    Owned(&'a InfluencerIndex),
+    /// A zero-copy view over a mapped OCTA v4 `piks-worlds` section.
+    Mapped(PiksWorldsView<'a>),
+}
+
+impl<'a> From<&'a InfluencerIndex> for PiksHandle<'a> {
+    fn from(index: &'a InfluencerIndex) -> Self {
+        PiksHandle::Owned(index)
+    }
+}
+
+impl<'a> From<PiksWorldsView<'a>> for PiksHandle<'a> {
+    fn from(view: PiksWorldsView<'a>) -> Self {
+        PiksHandle::Mapped(view)
+    }
+}
+
+impl<'a> PiksHandle<'a> {
+    /// Open a lazily-materializing query session under `gamma`.
+    fn session(&self, graph: &'a TopicGraph, gamma: &TopicDistribution) -> SessionHandle<'a> {
+        match self {
+            PiksHandle::Owned(index) => SessionHandle::Owned(index.session(graph, gamma)),
+            PiksHandle::Mapped(view) => SessionHandle::Mapped(view.session(graph, gamma)),
+        }
+    }
+}
+
+/// The session counterpart of [`PiksHandle`].
+enum SessionHandle<'a> {
+    Owned(QuerySession<'a>),
+    Mapped(MappedQuerySession<'a>),
+}
+
+impl SessionHandle<'_> {
+    fn spread_of(&mut self, u: NodeId) -> f64 {
+        match self {
+            SessionHandle::Owned(s) => s.spread_of(u),
+            SessionHandle::Mapped(s) => s.spread_of(u),
+        }
+    }
+
+    fn materialized_worlds(&self) -> usize {
+        match self {
+            SessionHandle::Owned(s) => s.materialized_worlds(),
+            SessionHandle::Mapped(s) => s.materialized_worlds(),
+        }
+    }
+}
 
 /// Work counters for one suggestion query.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -75,22 +135,23 @@ impl Default for PiksConfig {
 pub struct GreedyPiks<'a> {
     graph: &'a TopicGraph,
     model: &'a TopicModel,
-    index: &'a InfluencerIndex,
+    index: PiksHandle<'a>,
     config: PiksConfig,
 }
 
 impl<'a> GreedyPiks<'a> {
-    /// Create the engine.
+    /// Create the engine over either index representation (`&InfluencerIndex`
+    /// or a mapped [`PiksWorldsView`] both convert).
     pub fn new(
         graph: &'a TopicGraph,
         model: &'a TopicModel,
-        index: &'a InfluencerIndex,
+        index: impl Into<PiksHandle<'a>>,
         config: PiksConfig,
     ) -> Self {
         GreedyPiks {
             graph,
             model,
-            index,
+            index: index.into(),
             config,
         }
     }
@@ -247,22 +308,22 @@ impl<'a> GreedyPiks<'a> {
 pub struct ExhaustivePiks<'a> {
     graph: &'a TopicGraph,
     model: &'a TopicModel,
-    index: &'a InfluencerIndex,
+    index: PiksHandle<'a>,
     config: PiksConfig,
 }
 
 impl<'a> ExhaustivePiks<'a> {
-    /// Create the oracle engine.
+    /// Create the oracle engine over either index representation.
     pub fn new(
         graph: &'a TopicGraph,
         model: &'a TopicModel,
-        index: &'a InfluencerIndex,
+        index: impl Into<PiksHandle<'a>>,
         config: PiksConfig,
     ) -> Self {
         ExhaustivePiks {
             graph,
             model,
-            index,
+            index: index.into(),
             config,
         }
     }
@@ -427,6 +488,25 @@ mod tests {
             ex.spread
         );
         assert!(gr.stats.evaluations <= ex.stats.evaluations + 5);
+    }
+
+    #[test]
+    fn greedy_over_a_mapped_view_matches_owned_bit_for_bit() {
+        let (g, m, idx) = fixture();
+        let mut buf = bytes::BytesMut::new();
+        idx.encode_into(&mut buf);
+        let frozen = buf.freeze();
+        let view = PiksWorldsView::parse(&frozen[..]).unwrap();
+        let ks = all_keywords(&m);
+        let owned = GreedyPiks::new(&g, &m, &idx, PiksConfig::default())
+            .suggest(NodeId(0), &ks, 2)
+            .unwrap();
+        let mapped = GreedyPiks::new(&g, &m, view, PiksConfig::default())
+            .suggest(NodeId(0), &ks, 2)
+            .unwrap();
+        assert_eq!(owned.keywords, mapped.keywords);
+        assert_eq!(owned.spread.to_bits(), mapped.spread.to_bits());
+        assert_eq!(owned.stats, mapped.stats, "identical work, identical order");
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   graph, rebuilds the engine *off to the side* (through
 //!   [`Octopus::open_or_build`] when a cache directory is configured, so
 //!   the incremental per-stage/per-world reuse machinery pays for most of
-//!   the rebuild), and atomically swaps the epoch.
+//!   the rebuild), and atomically swaps the epoch. A service built with
+//!   [`with_mapped_cache`](OctopusService::with_mapped_cache) goes one
+//!   step further: the flush writes the new epoch's OCTA v4 artifact and
+//!   **remaps** it, so the swapped-in engine serves zero-copy off the
+//!   page cache and rebuild writes never enter the read path.
 //!
 //! ## The epoch lifecycle
 //!
@@ -119,8 +123,14 @@ pub struct OctopusService {
     pending: Mutex<Vec<GraphDelta>>,
     /// Serializes flushes; readers never touch it.
     flush: Mutex<()>,
-    /// `Some(dir)` routes rebuilds through [`Octopus::open_or_build`].
+    /// `Some(dir)` routes rebuilds through [`Octopus::open_or_build`] (or
+    /// [`Octopus::open_mapped`] when `mapped` is set).
     cache_dir: Option<PathBuf>,
+    /// With a cache directory: rebuild engines in **mapped mode** — the
+    /// flush writes the new epoch's OCTA v4 artifact, then *remaps* it,
+    /// so the swapped-in engine serves zero-copy off the page cache and
+    /// the rebuild's decode work stays out of the read path.
+    mapped: bool,
     epochs_swapped: AtomicU64,
     deltas_applied: AtomicU64,
     batches_failed: AtomicU64,
@@ -142,12 +152,26 @@ impl OctopusService {
         Self::with_cache_dir_opt(engine, Some(dir.into()))
     }
 
+    /// Serve `engine` as epoch 0 and rebuild post-delta engines in
+    /// **mapped mode** against the artifact cache at `dir`
+    /// ([`Octopus::open_mapped`]): each flush builds off to the side
+    /// (reusing every stage and PIKS world the batch left valid), writes
+    /// the new epoch's OCTA v4 file, and swaps in an engine that serves
+    /// zero-copy off the mapping — replicas sharing `dir` then share page
+    /// cache, and a restart of any of them opens in `O(pages touched)`.
+    pub fn with_mapped_cache(engine: Octopus, dir: impl Into<PathBuf>) -> Self {
+        let mut s = Self::with_cache_dir_opt(engine, Some(dir.into()));
+        s.mapped = true;
+        s
+    }
+
     fn with_cache_dir_opt(engine: Octopus, cache_dir: Option<PathBuf>) -> Self {
         OctopusService {
             cell: EpochCell::new(Arc::new(Epoch { id: 0, engine })),
             pending: Mutex::new(Vec::new()),
             flush: Mutex::new(()),
             cache_dir,
+            mapped: false,
             epochs_swapped: AtomicU64::new(0),
             deltas_applied: AtomicU64::new(0),
             batches_failed: AtomicU64::new(0),
@@ -213,6 +237,7 @@ impl OctopusService {
         let model = base.engine.model().clone();
         let config = base.engine.config().clone();
         let rebuilt = match &self.cache_dir {
+            Some(dir) if self.mapped => Octopus::open_mapped(graph, model, config, dir),
             Some(dir) => Octopus::open_or_build(graph, model, config, dir),
             None => Octopus::new(graph, model, config),
         }
@@ -225,7 +250,7 @@ impl OctopusService {
             deltas_applied: batch.len(),
             rebuild_time: start.elapsed(),
             cache_hit: rebuilt.cache_hit(),
-            stage_reuse: rebuilt.offline_artifacts().reuse.clone(),
+            stage_reuse: rebuilt.stage_reuse().to_vec(),
         };
         let old = self.cell.swap(Arc::new(Epoch {
             id: base.id + 1,

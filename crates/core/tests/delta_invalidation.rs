@@ -177,7 +177,7 @@ proptest! {
             })
             .collect();
 
-        let reuse = InfluencerIndex::load_reusable(&mut &frozen[..], &bigger).unwrap();
+        let reuse = InfluencerIndex::load_reusable(&frozen, &bigger).unwrap();
         prop_assert_eq!(reuse.reusable_worlds(), expected);
 
         // and the partial rebuild is bit-identical to a fresh build

@@ -1,0 +1,233 @@
+//! Mapped-mode equivalence contract: an engine serving zero-copy off a
+//! memory-mapped OCTA v4 artifact answers **all five online operators**
+//! bit-identically to the owned-mode engine decoding the same file — at
+//! 1 and at 8 worker threads, under every engine flavour that exercises a
+//! distinct set of mapped sections (MIS tables, PB σ̂ tables, PIKS worlds,
+//! the trie).
+//!
+//! Spreads and scores are compared through `f64::to_bits`, names and seed
+//! ranks exactly — "close enough" is not equivalence.
+
+use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig};
+use octopus_core::kim::BoundKind;
+use octopus_core::paths::ExploreDirection;
+use octopus_graph::{GraphBuilder, TopicGraph};
+use octopus_topics::{TopicModel, Vocabulary};
+
+/// Two-topic network with named users, hub structure, and a themed
+/// vocabulary — big enough that every operator has real work.
+fn fixture() -> (TopicGraph, TopicModel) {
+    let mut b = GraphBuilder::new(2);
+    let han = b.add_node("jiawei han"); // db hub
+    let jordan = b.add_node("michael jordan"); // ml hub
+    for i in 0..12 {
+        let v = b.add_node(format!("db-follower-{i}"));
+        b.add_edge(han, v, &[(0, 0.7)]).unwrap();
+        if i < 6 {
+            let w = b.add_node(format!("db-fan-{i}"));
+            b.add_edge(v, w, &[(0, 0.4)]).unwrap();
+        }
+    }
+    for i in 0..9 {
+        let v = b.add_node(format!("ml-follower-{i}"));
+        b.add_edge(jordan, v, &[(1, 0.7)]).unwrap();
+    }
+    let g = b.build().unwrap();
+    let mut vocab = Vocabulary::new();
+    vocab.intern("data mining"); // w0 → t0
+    vocab.intern("frequent patterns"); // w1 → t0
+    vocab.intern("em algorithm"); // w2 → t1
+    vocab.intern("graphical models"); // w3 → t1
+    let model = TopicModel::from_rows(
+        vocab,
+        vec![vec![0.5, 0.4, 0.05, 0.05], vec![0.05, 0.05, 0.5, 0.4]],
+        vec![0.5, 0.5],
+    )
+    .unwrap()
+    .with_labels(vec!["databases".into(), "machine learning".into()])
+    .unwrap();
+    (g, model)
+}
+
+fn config(kim: KimEngineChoice) -> OctopusConfig {
+    OctopusConfig {
+        kim,
+        piks_index_size: 600,
+        mis_rr_per_topic: 1200,
+        k_max: 4,
+        seed: 0x4AB5_0C7A,
+        ..Default::default()
+    }
+}
+
+/// Drive all five online operators through both engines and demand
+/// bit-identical answers.
+fn assert_all_five_operators_identical(owned: &Octopus, mapped: &Octopus, what: &str) {
+    assert!(
+        !owned.is_mapped() && mapped.is_mapped(),
+        "{what}: mode mix-up"
+    );
+
+    // 1. find_influencers — seeds, ranks, gamma, and spread to the bit
+    for (query, k) in [("data mining", 3), ("em algorithm frequent patterns", 2)] {
+        let a = owned.find_influencers(query, k).unwrap();
+        let b = mapped.find_influencers(query, k).unwrap();
+        assert_eq!(a.keywords, b.keywords, "{what}: {query}: keywords");
+        assert_eq!(
+            a.gamma
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            b.gamma
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "{what}: {query}: gamma"
+        );
+        assert_eq!(
+            a.seeds
+                .iter()
+                .map(|s| (s.node, s.name.clone(), s.rank))
+                .collect::<Vec<_>>(),
+            b.seeds
+                .iter()
+                .map(|s| (s.node, s.name.clone(), s.rank))
+                .collect::<Vec<_>>(),
+            "{what}: {query}: seed sets"
+        );
+        assert_eq!(
+            a.result.spread.to_bits(),
+            b.result.spread.to_bits(),
+            "{what}: {query}: spread"
+        );
+    }
+
+    // 2. suggest_keywords — words and PIKS spread to the bit
+    for user in ["jiawei han", "michael jordan"] {
+        let a = owned.suggest_keywords(user, 2).unwrap();
+        let b = mapped.suggest_keywords(user, 2).unwrap();
+        assert_eq!(a.user, b.user, "{what}: {user}: resolved node");
+        assert_eq!(a.words, b.words, "{what}: {user}: suggested words");
+        assert_eq!(
+            a.result.spread.to_bits(),
+            b.result.spread.to_bits(),
+            "{what}: {user}: piks spread"
+        );
+        assert_eq!(
+            a.radar
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            b.radar
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "{what}: {user}: suggestion radar"
+        );
+    }
+
+    // 3. explore_paths — whole rendered tree (captures every path weight)
+    for dir in [ExploreDirection::Influences, ExploreDirection::InfluencedBy] {
+        let a = owned
+            .explore_paths("jiawei han", dir, Some("data mining"))
+            .unwrap();
+        let b = mapped
+            .explore_paths("jiawei han", dir, Some("data mining"))
+            .unwrap();
+        assert_eq!(a.reached, b.reached, "{what}: {dir:?}: tree size");
+        assert_eq!(
+            a.influence.to_bits(),
+            b.influence.to_bits(),
+            "{what}: {dir:?}: influence mass"
+        );
+        assert_eq!(a.d3_json, b.d3_json, "{what}: {dir:?}: rendered tree");
+    }
+
+    // 4. autocomplete — served off the mapped trie vs the owned one
+    for prefix in ["db-", "ml-follower-", "j", "nobody"] {
+        let a = owned.autocomplete(prefix, 5);
+        let b = mapped.autocomplete(prefix, 5);
+        assert_eq!(a.len(), b.len(), "{what}: {prefix}: completion count");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.0, &x.1), (y.0, &y.1), "{what}: {prefix}: completion");
+            assert_eq!(
+                x.2.to_bits(),
+                y.2.to_bits(),
+                "{what}: {prefix}: completion score"
+            );
+        }
+    }
+
+    // 5. keyword_radar — exact probability mass per axis
+    for word in ["data mining", "graphical models"] {
+        let a = owned.keyword_radar(word).unwrap();
+        let b = mapped.keyword_radar(word).unwrap();
+        assert_eq!(a.axes, b.axes, "{what}: {word}: radar axes");
+        assert_eq!(
+            a.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "{what}: {word}: radar values"
+        );
+    }
+}
+
+#[test]
+fn all_five_operators_bit_identical_owned_vs_mapped_at_1_and_8_threads() {
+    let (g, model) = fixture();
+    // MIS exercises the mapped MIS tables; best-effort PB exercises the
+    // mapped σ̂ tables; both exercise PIKS worlds, the trie, and samples
+    for kim in [
+        KimEngineChoice::Mis,
+        KimEngineChoice::BestEffort(BoundKind::Precomputation),
+    ] {
+        let cfg = config(kim);
+        let dir = std::env::temp_dir().join(format!(
+            "octopus_mapped_mode_{}",
+            match kim {
+                KimEngineChoice::Mis => "mis",
+                _ => "pb",
+            }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        for threads in [1usize, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let what = format!("{kim:?} @ {threads} thread(s)");
+            let (owned, mapped) = pool.install(|| {
+                // owned open writes the artifact on the first (1-thread)
+                // pass and decodes it on the second — either way the mapped
+                // engine then serves the byte-identical file
+                let owned =
+                    Octopus::open_or_build(g.clone(), model.clone(), cfg.clone(), &dir).unwrap();
+                let mapped =
+                    Octopus::open_mapped(g.clone(), model.clone(), cfg.clone(), &dir).unwrap();
+                (owned, mapped)
+            });
+            assert!(
+                mapped.cache_hit(),
+                "{what}: the mapped open must hit the just-written artifact"
+            );
+            pool.install(|| assert_all_five_operators_identical(&owned, &mapped, &what));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn paranoid_mapped_open_answers_identically_too() {
+    let (g, model) = fixture();
+    let cfg = config(KimEngineChoice::Mis);
+    let dir = std::env::temp_dir().join("octopus_mapped_mode_paranoid");
+    std::fs::remove_dir_all(&dir).ok();
+    let owned = Octopus::open_or_build(g.clone(), model.clone(), cfg.clone(), &dir).unwrap();
+    let mapped = Octopus::open_mapped_paranoid(g, model, cfg, &dir).unwrap();
+    assert!(mapped.is_mapped() && mapped.cache_hit());
+    assert_all_five_operators_identical(&owned, &mapped, "paranoid");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,16 +1,28 @@
-//! Pins the OCTA v3 container bytes to the normative specification in
-//! `ARCHITECTURE.md` (§"The OCTA v3 artifact container").
+//! Pins the OCTA v4 container bytes to the normative specification in
+//! `ARCHITECTURE.md` (§"The OCTA v4 artifact container").
 //!
 //! The parser below is written *independently* against the documented
 //! layout — it shares no framing helpers with the codec (it re-implements
-//! FNV-1a from the documented constants) — so if the writer drifts from the
-//! spec, or the spec from the writer, this test fails. Keep all three in
-//! sync: `offline/persist.rs`, `ARCHITECTURE.md`, and this file.
+//! FNV-1a from the documented constants and hardcodes every offset) — so if
+//! the writer drifts from the spec, or the spec from the writer, this test
+//! fails. Keep all three in sync: `offline/persist.rs`, `ARCHITECTURE.md`,
+//! and this file.
+//!
+//! The second half of the file is the adversarial mapped-mode battery: a
+//! memory-mapped open defers section checksums to first touch, so these
+//! tests pin that truncation, misaligned offsets, and in-place bit flips
+//! fail **closed** — at open or at first touch, never by serving garbage.
 
 use octopus_core::engine::{KimEngineChoice, OctopusConfig};
 use octopus_core::offline::persist::{self, Fingerprint, StageKeys};
-use octopus_core::offline::{self};
+use octopus_core::offline::{self, view};
 use octopus_graph::{GraphBuilder, NodeId, TopicGraph};
+
+/// Documented header length: magic + version + pad + 3 fingerprint words +
+/// write_seq + section count + pad.
+const HEADER_LEN: usize = 48;
+/// Documented section-table row length: tag + pad + key + off + len + checksum.
+const ENTRY_LEN: usize = 40;
 
 /// Independent FNV-1a 64 (documented constants, not the wire helper).
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -20,6 +32,11 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         state = state.wrapping_mul(0x0000_0100_0000_01B3);
     }
     state
+}
+
+/// Documented alignment rule: payloads start on 8-byte boundaries.
+fn align8(n: usize) -> usize {
+    n.div_ceil(8) * 8
 }
 
 fn u16_at(raw: &[u8], at: usize) -> u16 {
@@ -33,6 +50,35 @@ fn u64_at(raw: &[u8], at: usize) -> u64 {
 }
 fn f64_at(raw: &[u8], at: usize) -> f64 {
     f64::from_le_bytes(raw[at..at + 8].try_into().unwrap())
+}
+
+/// One parsed section-table row.
+#[derive(Clone, Copy)]
+struct Entry {
+    tag: u32,
+    key: u64,
+    off: usize,
+    len: usize,
+    checksum: u64,
+}
+
+/// Parse the six-row section table at its documented offset, checking the
+/// pad words.
+fn parse_table(raw: &[u8]) -> Vec<Entry> {
+    let count = u32_at(raw, 40) as usize;
+    (0..count)
+        .map(|i| {
+            let at = HEADER_LEN + i * ENTRY_LEN;
+            assert_eq!(u32_at(raw, at + 4), 0, "table row {i} pad word");
+            Entry {
+                tag: u32_at(raw, at),
+                key: u64_at(raw, at + 8),
+                off: u64_at(raw, at + 16) as usize,
+                len: u64_at(raw, at + 24) as usize,
+                checksum: u64_at(raw, at + 32),
+            }
+        })
+        .collect()
 }
 
 fn tiny_graph() -> TopicGraph {
@@ -49,58 +95,52 @@ fn tiny_graph() -> TopicGraph {
     b.build().unwrap()
 }
 
-#[test]
-fn container_bytes_follow_the_documented_layout() {
-    let g = tiny_graph();
-    let cfg = OctopusConfig {
+fn tiny_config() -> OctopusConfig {
+    OctopusConfig {
         kim: KimEngineChoice::Mis,
         piks_index_size: 24,
         mis_rr_per_topic: 80,
         k_max: 3,
         seed: 0x0C7A,
         ..Default::default()
-    };
+    }
+}
+
+#[test]
+fn container_bytes_follow_the_documented_layout() {
+    let g = tiny_graph();
+    let cfg = tiny_config();
     let fp = Fingerprint::compute(&g, &cfg);
     let keys = StageKeys::compute(&g, &cfg);
     let art = offline::build(&g, &cfg);
     let raw = persist::encode(&art, &fp, &keys, 0x5E0);
 
-    // ---- header: magic "OCTA" | version u16 = 3 ------------------------
+    // ---- header: magic "OCTA" | version u16 = 4 | pad u16 = 0 ----------
     assert_eq!(&raw[0..4], b"OCTA");
-    assert_eq!(u16_at(&raw, 4), 3, "container version");
-    // graph_fp u64 | config_fp u64 | seed u64
-    assert_eq!(u64_at(&raw, 6), fp.graph);
-    assert_eq!(u64_at(&raw, 14), fp.config);
-    assert_eq!(u64_at(&raw, 22), fp.seed);
+    assert_eq!(u16_at(&raw, 4), 4, "container version");
+    assert_eq!(u16_at(&raw, 6), 0, "header pad word");
+    // graph_fp u64 | config_fp u64 | seed u64 — all 8-aligned
+    assert_eq!(u64_at(&raw, 8), fp.graph);
+    assert_eq!(u64_at(&raw, 16), fp.config);
+    assert_eq!(u64_at(&raw, 24), fp.seed);
     assert_eq!(fp.seed, 0x0C7A, "the seed word is the config seed verbatim");
     // write_seq u64: the per-directory write sequence, stored verbatim
-    assert_eq!(u64_at(&raw, 30), 0x5E0, "write sequence word");
+    assert_eq!(u64_at(&raw, 32), 0x5E0, "write sequence word");
     assert_eq!(persist::read_write_seq(&raw).unwrap(), 0x5E0);
-    // section_count u32
-    let count = u32_at(&raw, 38) as usize;
-    assert_eq!(count, 6, "six sections, one per offline stage");
+    // section_count u32 | pad u32 = 0
+    assert_eq!(u32_at(&raw, 40), 6, "six sections, one per offline stage");
+    assert_eq!(u32_at(&raw, 44), 0, "header tail pad word");
 
-    // ---- section table: count × { tag u32, key u64, len u64, checksum u64 }
-    let table_at = 42;
-    let entry_len = 4 + 8 + 8 + 8;
-    let mut entries = Vec::new();
-    for i in 0..count {
-        let at = table_at + i * entry_len;
-        entries.push((
-            u32_at(&raw, at),
-            u64_at(&raw, at + 4),
-            u64_at(&raw, at + 12) as usize,
-            u64_at(&raw, at + 20),
-        ));
-    }
+    // ---- section table ------------------------------------------------
+    let entries = parse_table(&raw);
     // tags in documented order: cap=1, pb=2, mis=3, samples=4, piks=5, names=6
     assert_eq!(
-        entries.iter().map(|e| e.0).collect::<Vec<_>>(),
+        entries.iter().map(|e| e.tag).collect::<Vec<_>>(),
         vec![1, 2, 3, 4, 5, 6]
     );
     // keys are the per-stage StageKeys in the same order
     assert_eq!(
-        entries.iter().map(|e| e.1).collect::<Vec<_>>(),
+        entries.iter().map(|e| e.key).collect::<Vec<_>>(),
         vec![
             keys.cap,
             keys.pb,
@@ -111,68 +151,167 @@ fn container_bytes_follow_the_documented_layout() {
         ]
     );
 
-    // ---- payload area: sections concatenated in table order, no padding,
-    // each covered by its FNV-1a checksum; nothing after the last one
-    let payloads_at = table_at + count * entry_len;
-    let mut offset = payloads_at;
-    for &(tag, _, len, checksum) in &entries {
-        let payload = &raw[offset..offset + len];
-        assert_eq!(fnv1a(payload), checksum, "section {tag} checksum");
-        offset += len;
+    // ---- offsets: canonical, ascending, 8-aligned, in-bounds ------------
+    // the first payload starts right after the table (already 8-aligned:
+    // 48 + 6×40 = 288); each later one at the predecessor's padded end
+    let mut expect_off = HEADER_LEN + entries.len() * ENTRY_LEN;
+    assert_eq!(expect_off % 8, 0, "table end is 8-aligned by construction");
+    for e in &entries {
+        assert_eq!(e.off, align8(expect_off), "section {} offset", e.tag);
+        assert_eq!(e.off % 8, 0, "section {} offset 8-aligned", e.tag);
+        // alignment padding before the section is zero bytes
+        assert!(
+            raw[expect_off..e.off].iter().all(|&b| b == 0),
+            "nonzero padding before section {}",
+            e.tag
+        );
+        assert!(e.off + e.len <= raw.len(), "section {} in bounds", e.tag);
+        expect_off = e.off + e.len;
     }
-    assert_eq!(offset, raw.len(), "no trailing bytes after the payloads");
-
-    // ---- spot-check documented per-section payloads --------------------
-    // spread-cap: exactly one little-endian f64
-    let (cap_off, cap_len) = (payloads_at, entries[0].2);
-    assert_eq!(cap_len, 8);
-    assert_eq!(f64_at(&raw, cap_off), art.cap);
-
-    // pb-bound under the MIS engine: a single 0x00 "absent" flag byte
-    let pb_off = cap_off + cap_len;
-    assert_eq!(entries[1].2, 1);
-    assert_eq!(raw[pb_off], 0, "MIS engine persists no PB tables");
-
-    // mis-tables: flag 0x01, then Z u32, then per-topic tables
-    let mis_off = pb_off + entries[1].2;
-    assert_eq!(raw[mis_off], 1, "MIS engine persists its tables");
-    assert_eq!(u32_at(&raw, mis_off + 1) as usize, g.num_topics());
-
-    // topic-samples: u32 count (0 — MIS precomputes no samples)
-    let samples_off = mis_off + entries[2].2;
-    assert_eq!(entries[3].2, 4);
-    assert_eq!(u32_at(&raw, samples_off), 0);
-
-    // piks-worlds: n u32 | R u32, then R worlds, each opening with
-    // footprint u64 | coin seed u64 | edges_examined u64 | node count u32
-    let piks_off = samples_off + entries[3].2;
-    assert_eq!(u32_at(&raw, piks_off) as usize, g.node_count());
-    assert_eq!(u32_at(&raw, piks_off + 4) as usize, cfg.piks_index_size);
-    let world0 = piks_off + 8;
-    let stored_footprint = u64_at(&raw, world0);
-    let world0_nodes = u32_at(&raw, world0 + 24) as usize;
-    assert!(world0_nodes >= 1, "every world stores at least its root");
-    // the stored footprint key is footprint_hash over the stored node list
-    let nodes: Vec<u32> = (0..world0_nodes)
-        .map(|i| u32_at(&raw, world0 + 28 + 4 * i))
-        .collect();
     assert_eq!(
-        stored_footprint,
-        octopus_core::piks::footprint_hash(&g, &nodes),
-        "per-world key must be the documented footprint hash"
+        expect_off,
+        raw.len(),
+        "file ends exactly at the last payload byte (no trailing bytes)"
     );
 
-    // autocomplete: u64 inserted-name count, then the preorder trie
-    let names_off = piks_off + entries[4].2;
-    assert_eq!(u64_at(&raw, names_off) as usize, art.names.len());
+    // ---- checksums cover the payload bytes only (never the padding) ----
+    for e in &entries {
+        assert_eq!(
+            fnv1a(&raw[e.off..e.off + e.len]),
+            e.checksum,
+            "section {} checksum",
+            e.tag
+        );
+    }
+
+    // ---- per-section payloads ------------------------------------------
+    // spread-cap: exactly one little-endian f64
+    let cap = entries[0];
+    assert_eq!(cap.len, 8);
+    assert_eq!(f64_at(&raw, cap.off), art.cap);
+
+    // pb-bound under the MIS engine: a single u64 = 0 "absent" word
+    let pb = entries[1];
+    assert_eq!(pb.len, 8);
+    assert_eq!(u64_at(&raw, pb.off), 0, "MIS engine persists no PB tables");
+
+    // mis-tables: present u64 = 1 | Z u64 | total u64 | candidates u64 |
+    // cumulative offsets (Z+1)×u64 | node ids total×u32 (padded) |
+    // gains total×f64 | candidates cand×u32 (padded)
+    let mis = entries[2];
+    assert_eq!(u64_at(&raw, mis.off), 1, "MIS engine persists its tables");
+    let z = u64_at(&raw, mis.off + 8) as usize;
+    assert_eq!(z, g.num_topics());
+    let total = u64_at(&raw, mis.off + 16) as usize;
+    let cand = u64_at(&raw, mis.off + 24) as usize;
+    let cum_at = mis.off + 32;
+    assert_eq!(u64_at(&raw, cum_at), 0, "cumulative offsets start at 0");
+    let mut prev = 0;
+    for t in 0..z {
+        let c = u64_at(&raw, cum_at + 8 * (t + 1)) as usize;
+        assert!(c >= prev, "cumulative offsets are monotone");
+        prev = c;
+    }
+    assert_eq!(prev, total, "last cumulative offset is the grand total");
+    let ids_at = cum_at + 8 * (z + 1);
+    let gains_at = mis.off + align8(32 + 8 * (z + 1) + 4 * total);
+    for t in 0..z {
+        let (lo, hi) = (
+            u64_at(&raw, cum_at + 8 * t) as usize,
+            u64_at(&raw, cum_at + 8 * (t + 1)) as usize,
+        );
+        let mut last = None;
+        for r in lo..hi {
+            let u = u32_at(&raw, ids_at + 4 * r);
+            assert!((u as usize) < g.node_count(), "MIS node id in range");
+            assert!(Some(u) > last, "per-topic node ids strictly ascending");
+            last = Some(u);
+            assert!(
+                f64_at(&raw, gains_at + 8 * r).is_finite(),
+                "gain is a real number"
+            );
+        }
+    }
+    let cand_at = gains_at + 8 * total;
+    assert_eq!(
+        mis.len,
+        (cand_at - mis.off) + align8(4 * cand),
+        "mis section ends after the padded candidate list"
+    );
+
+    // topic-samples: u32 count (0 — MIS precomputes no samples)
+    let samples = entries[3];
+    assert_eq!(samples.len, 4);
+    assert_eq!(u32_at(&raw, samples.off), 0);
+
+    // piks-worlds: n u64 | R u64 | world offsets (R+1)×u64 (section-relative,
+    // last = section length) | R world records, each opening with
+    // footprint u64 | coin seed u64 | edges_examined u64 | w u64 | e u64
+    let piks = entries[4];
+    assert_eq!(u64_at(&raw, piks.off) as usize, g.node_count());
+    let r_worlds = u64_at(&raw, piks.off + 8) as usize;
+    assert_eq!(r_worlds, cfg.piks_index_size);
+    let wtab = piks.off + 16;
+    let first = u64_at(&raw, wtab) as usize;
+    assert_eq!(
+        first,
+        16 + 8 * (r_worlds + 1),
+        "first world starts right after the offset table"
+    );
+    assert_eq!(
+        u64_at(&raw, wtab + 8 * r_worlds) as usize,
+        piks.len,
+        "the sentinel offset is the section length"
+    );
+    for i in 0..r_worlds {
+        let (lo, hi) = (
+            u64_at(&raw, wtab + 8 * i) as usize,
+            u64_at(&raw, wtab + 8 * (i + 1)) as usize,
+        );
+        assert!(
+            lo % 8 == 0 && lo < hi && hi <= piks.len,
+            "world {i} framing"
+        );
+        let world = piks.off + lo;
+        let w = u64_at(&raw, world + 24) as usize;
+        let e = u64_at(&raw, world + 32) as usize;
+        assert!(w >= 1, "every world stores at least its root");
+        // documented world record arithmetic reproduces the framing
+        let local_off = align8(40 + 4 * w);
+        let edges_off = align8(local_off + 8 * w + 4 * (w + 1));
+        assert_eq!(hi - lo, edges_off + 8 * e, "world {i} record length");
+        // the stored footprint key is footprint_hash over the stored nodes
+        let nodes: Vec<u32> = (0..w).map(|j| u32_at(&raw, world + 40 + 4 * j)).collect();
+        assert_eq!(
+            u64_at(&raw, world),
+            octopus_core::piks::footprint_hash(&g, &nodes),
+            "world {i} key must be the documented footprint hash"
+        );
+    }
+
+    // autocomplete: u64 inserted-name count, then preorder records of
+    // terminal u32 | nchildren u32 | [id u32 | pad u32 | score f64] |
+    // nchildren × (char u32 | pad u32 | child offset u64)
+    let names = entries[5];
+    assert_eq!(u64_at(&raw, names.off) as usize, art.names.len());
+    let root = names.off + 8;
+    assert_eq!(u32_at(&raw, root), 0, "root is not terminal");
+    assert_eq!(u32_at(&raw, root + 4), 1, "all names share the 'u' child");
+    assert_eq!(u32_at(&raw, root + 8), 'u' as u32, "child edge label");
+    assert_eq!(u32_at(&raw, root + 12), 0, "child entry pad word");
+    assert_eq!(
+        u64_at(&raw, root + 16),
+        24,
+        "preorder: the only child record starts right after the 24-byte root"
+    );
 }
 
 #[test]
-fn v1_and_v2_containers_are_refused_for_migration_by_rebuild() {
+fn v1_v2_and_v3_containers_are_refused_for_migration_by_rebuild() {
     // earlier-version files must be refused wholesale
     // (PersistError::Version) so open_or_build rebuilds and overwrites
-    // them — never misparse a v1 monolithic payload as sections, nor a v2
-    // section table as v3 (the v3 header is 8 bytes longer)
+    // them — never misparse a v1 monolithic payload as sections, a v2
+    // table as v3, nor a v3 packed table (28-byte rows, no offsets) as v4
     let g = tiny_graph();
     let cfg = OctopusConfig {
         kim: KimEngineChoice::Mis,
@@ -213,4 +352,143 @@ fn v1_and_v2_containers_are_refused_for_migration_by_rebuild() {
         persist::read_write_seq(&v2),
         Err(persist::PersistError::Version(2))
     ));
+    // a plausible v3 header: like v2 plus the write_seq word — its packed
+    // 28-byte table rows must not parse as v4's 40-byte aligned rows
+    let mut v3 = Vec::new();
+    v3.extend_from_slice(b"OCTA");
+    v3.extend_from_slice(&3u16.to_le_bytes());
+    for w in [1u64, 2, 3, 0x5E0] {
+        v3.extend_from_slice(&w.to_le_bytes());
+    }
+    v3.extend_from_slice(&6u32.to_le_bytes());
+    v3.extend_from_slice(&[0u8; 6 * 28]);
+    assert!(matches!(
+        persist::load_sections(&v3, &keys, &g, &cfg),
+        Err(persist::PersistError::Version(3))
+    ));
+    assert!(matches!(
+        persist::read_write_seq(&v3),
+        Err(persist::PersistError::Version(3))
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial mapped-mode battery
+// ---------------------------------------------------------------------------
+
+/// Build + save a real artifact and return everything a mapped open needs.
+#[allow(clippy::type_complexity)]
+fn saved(
+    dir_name: &str,
+) -> (
+    std::path::PathBuf,
+    std::path::PathBuf,
+    Fingerprint,
+    StageKeys,
+    TopicGraph,
+    OctopusConfig,
+) {
+    let g = tiny_graph();
+    let cfg = tiny_config();
+    let fp = Fingerprint::compute(&g, &cfg);
+    let keys = StageKeys::compute(&g, &cfg);
+    let art = offline::build(&g, &cfg);
+    let dir = std::env::temp_dir().join(dir_name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("artifact.octa");
+    std::fs::write(&path, persist::encode(&art, &fp, &keys, 1)).unwrap();
+    (dir, path, fp, keys, g, cfg)
+}
+
+#[test]
+fn mapped_open_rejects_truncation_at_every_section_boundary() {
+    let (dir, path, fp, keys, g, cfg) = saved("octa_v4_truncation_sweep");
+    let raw = std::fs::read(&path).unwrap();
+    let entries = parse_table(&raw);
+    // every section start and end, the table end, one byte short of the
+    // full file, and a handful of mid-section cuts
+    let mut cuts: Vec<usize> = vec![0, 4, HEADER_LEN - 1, HEADER_LEN, raw.len() - 1];
+    for e in &entries {
+        cuts.extend([e.off, e.off + e.len, e.off + e.len / 2]);
+    }
+    cuts.retain(|&c| c < raw.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    for cut in cuts {
+        std::fs::write(&path, &raw[..cut]).unwrap();
+        for paranoid in [false, true] {
+            let res = view::open(&path, &fp, &keys, &g, &cfg, paranoid);
+            assert!(
+                res.is_err(),
+                "truncation to {cut}/{} bytes must fail the mapped open",
+                raw.len()
+            );
+        }
+    }
+    // the untouched file still opens (the sweep didn't test a broken fixture)
+    std::fs::write(&path, &raw).unwrap();
+    assert!(view::open(&path, &fp, &keys, &g, &cfg, true).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mapped_open_rejects_misaligned_and_non_canonical_offsets() {
+    let (dir, path, fp, keys, g, cfg) = saved("octa_v4_offset_tamper");
+    let raw = std::fs::read(&path).unwrap();
+    for i in 0..6 {
+        let off_at = HEADER_LEN + i * ENTRY_LEN + 16;
+        let real = u64_at(&raw, off_at);
+        // misaligned (off+4), canonical-break (off+8, still aligned), and
+        // out-of-bounds offsets must all be refused at open
+        for tampered in [real + 4, real + 8, raw.len() as u64 + 8] {
+            let mut bad = raw.clone();
+            bad[off_at..off_at + 8].copy_from_slice(&tampered.to_le_bytes());
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                view::open(&path, &fp, &keys, &g, &cfg, false).is_err(),
+                "section {i} offset {real}→{tampered} must fail the mapped open"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flips_fail_closed_at_open_or_first_touch_never_read_garbage() {
+    let (dir, path, fp, keys, g, cfg) = saved("octa_v4_bitflip_sweep");
+    let raw = std::fs::read(&path).unwrap();
+    let entries = parse_table(&raw);
+    for e in &entries {
+        // flip a bit at several depths of the payload
+        for frac in [0, 1, 2, 3] {
+            let at = e.off + (e.len * frac / 4).min(e.len - 1);
+            let mut bad = raw.clone();
+            bad[at] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            // paranoid mode verifies every checksum up front: always refused
+            assert!(
+                view::open(&path, &fp, &keys, &g, &cfg, true).is_err(),
+                "paranoid open must refuse a flipped bit in section {}",
+                e.tag
+            );
+            // lazy mode: either the open already fails (eagerly checked or
+            // structurally load-bearing byte), or the damaged section's
+            // first touch fails closed — never a garbage answer
+            if let Ok(mapped) = view::open(&path, &fp, &keys, &g, &cfg, false) {
+                let touched: Result<(), octopus_core::error::CoreError> = (|| {
+                    mapped.pb_view()?;
+                    mapped.mis_view()?;
+                    mapped.piks_view()?;
+                    Ok(())
+                })();
+                assert!(
+                    touched.is_err(),
+                    "a lazily-checked flip in section {} must fail first touch",
+                    e.tag
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

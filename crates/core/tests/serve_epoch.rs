@@ -480,3 +480,55 @@ fn session_stats_track_operators_epochs_and_errors() {
     assert_eq!(service.current_epoch(), 2);
     let _ = pin.engine().find_influencers("data mining", 2).unwrap();
 }
+
+#[test]
+fn mapped_service_swaps_remap_and_answer_like_fresh_engines() {
+    let (g, model, config) = fixture();
+    let dir = std::env::temp_dir().join(format!("octopus-serve-mapped-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    // epoch 0 itself opens mapped (cold: build + write + remap)
+    let engine = Octopus::open_mapped(g.clone(), model.clone(), config.clone(), &dir).unwrap();
+    assert!(engine.is_mapped());
+    let service = OctopusService::with_mapped_cache(engine, &dir);
+
+    let deltas = vec![
+        GraphDelta::NudgeWeights {
+            edges: vec![EdgeId(0), EdgeId(3)],
+            delta: 0.05,
+        },
+        GraphDelta::RenameNode {
+            node: NodeId(1),
+            name: "m. i. jordan".into(),
+        },
+    ];
+    service.submit_all(deltas.clone());
+    let report = service.apply_pending().unwrap().expect("pending deltas");
+    assert_eq!(report.epoch, 1);
+    // the flush wrote the new epoch's artifact and remapped it: the
+    // serving engine is in mapped mode, and the weight-blind stages were
+    // reused rather than rebuilt
+    let snap = service.snapshot();
+    assert!(
+        snap.engine().is_mapped(),
+        "a mapped service must swap in mapped engines"
+    );
+    assert!(report
+        .stage_reuse
+        .iter()
+        .any(|s| s.stage == "spread-cap" || s.is_full()));
+
+    // the remapped epoch answers bit-identically to a fresh owned engine
+    // of the post-delta graph
+    let g1 = octopus_graph::delta::apply_all(&g, &deltas).unwrap();
+    let fresh = Octopus::new(g1, model, config).unwrap();
+    let (served, epochs) = probe_session(&service);
+    let reference = probe(&fresh);
+    assert_eq!(served, reference, "mapped epoch 1 must answer like fresh");
+    assert!(epochs.iter().all(|&e| e == 1));
+
+    // the previous epoch's file may be pruned once nothing maps it, but
+    // the *current* epoch's backing file must survive any prune
+    let stats = service.stats();
+    assert_eq!(stats.epochs_swapped, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

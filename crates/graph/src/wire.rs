@@ -67,8 +67,25 @@ pub fn read_u32s<B: Buf + ?Sized>(
     Ok(v)
 }
 
-/// On-disk size of one [`SectionEntry`]: tag + key + length + checksum.
-pub const SECTION_ENTRY_LEN: usize = 4 + 8 + 8 + 8;
+/// The alignment every sectioned payload starts on (and the unit all
+/// fixed-width record layouts are padded to): 8 bytes, so `u64`/`f64`
+/// fields inside a section sit on natural boundaries of the mapped file.
+pub const SECTION_ALIGN: usize = 8;
+
+/// Round `n` up to the next multiple of [`SECTION_ALIGN`].
+pub const fn align8(n: usize) -> usize {
+    (n + (SECTION_ALIGN - 1)) & !(SECTION_ALIGN - 1)
+}
+
+/// Zero bytes needed after `n` to reach the next multiple of
+/// [`SECTION_ALIGN`] (0 when already aligned).
+pub const fn pad8(n: usize) -> usize {
+    align8(n) - n
+}
+
+/// On-disk size of one [`SectionEntry`]:
+/// tag + pad + key + offset + length + checksum.
+pub const SECTION_ENTRY_LEN: usize = 4 + 4 + 8 + 8 + 8 + 8;
 
 /// One row of a sectioned container's table of contents.
 ///
@@ -78,72 +95,96 @@ pub const SECTION_ENTRY_LEN: usize = 4 + 8 + 8 + 8;
 /// stale, truncated, or corrupt. The table row carries everything needed to
 /// decide reuse *without* decoding the payload: the section `tag` (what it
 /// is), its content `key` (a fingerprint of the inputs that produced it),
-/// its byte `len`, and an FNV-1a `checksum` of the payload bytes.
+/// its absolute byte offset `off` (8-aligned, so a memory-mapped reader can
+/// serve `u64`/`f64` fields in place), its byte `len`, and an FNV-1a
+/// `checksum` of the payload bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SectionEntry {
     /// Section kind, codec-defined (decoders skip unknown tags).
     pub tag: u32,
     /// Fingerprint of the inputs this section's content was computed from.
     pub key: u64,
-    /// Payload length in bytes.
+    /// Absolute byte offset of the payload from the start of the file;
+    /// must be a multiple of [`SECTION_ALIGN`].
+    pub off: u64,
+    /// Payload length in bytes (padding between sections is not counted).
     pub len: u64,
     /// FNV-1a 64 over the payload bytes.
     pub checksum: u64,
 }
 
-/// Append a section-table row ([`SECTION_ENTRY_LEN`] bytes, little-endian).
+/// Append a section-table row ([`SECTION_ENTRY_LEN`] bytes, little-endian):
+/// `tag u32 | pad u32 = 0 | key u64 | off u64 | len u64 | checksum u64`.
 pub fn put_section_entry(buf: &mut BytesMut, e: &SectionEntry) {
     buf.put_u32_le(e.tag);
+    buf.put_u32_le(0);
     buf.put_u64_le(e.key);
+    buf.put_u64_le(e.off);
     buf.put_u64_le(e.len);
     buf.put_u64_le(e.checksum);
 }
 
-/// Read a section-table row written by [`put_section_entry`].
+/// Read a section-table row written by [`put_section_entry`]. The pad word
+/// must be zero — a nonzero pad means the bytes are not a v4 table row.
 pub fn read_section_entry<B: Buf + ?Sized>(
     buf: &mut B,
     what: &str,
 ) -> Result<SectionEntry, WireError> {
     need(buf, SECTION_ENTRY_LEN, what)?;
+    let tag = buf.get_u32_le();
+    let pad = buf.get_u32_le();
+    if pad != 0 {
+        return Err(WireError(format!(
+            "nonzero pad word {pad:#x} in section-table row of {what}"
+        )));
+    }
     Ok(SectionEntry {
-        tag: buf.get_u32_le(),
+        tag,
         key: buf.get_u64_le(),
+        off: buf.get_u64_le(),
         len: buf.get_u64_le(),
         checksum: buf.get_u64_le(),
     })
 }
 
-/// Slice one section's payload out of the concatenated payload area and
-/// verify its checksum. `offset` is the section's start within `payloads`
-/// (the sum of the preceding sections' lengths — payloads are stored in
-/// table order with no padding). Fails on out-of-bounds ranges (truncated
-/// file) and checksum mismatches (in-place corruption), so a successful
-/// return hands the caller exactly the bytes the writer checksummed.
-pub fn section_payload<'a>(
-    payloads: &'a [u8],
-    offset: usize,
-    entry: &SectionEntry,
-) -> Result<&'a [u8], WireError> {
-    let len = entry.len as usize;
-    let end = offset
-        .checked_add(len)
-        .ok_or_else(|| WireError(format!("section {} length overflows", entry.tag)))?;
-    if end > payloads.len() {
+/// Bounds- and alignment-check one section's byte range against the whole
+/// file, **without** touching the payload bytes (no checksum): this is the
+/// open-time validation of a memory-mapped reader, which defers checksums
+/// to first touch. Returns the `(start, end)` byte range.
+pub fn section_range(file_len: usize, entry: &SectionEntry) -> Result<(usize, usize), WireError> {
+    let off = entry.off as usize;
+    if !off.is_multiple_of(SECTION_ALIGN) {
         return Err(WireError(format!(
-            "section {} extends past the payload area ({} > {})",
-            entry.tag,
-            end,
-            payloads.len()
+            "section {} is misaligned (offset {} not a multiple of {})",
+            entry.tag, off, SECTION_ALIGN
         )));
     }
-    let raw = &payloads[offset..end];
-    if fnv1a(raw) != entry.checksum {
+    let end = off
+        .checked_add(entry.len as usize)
+        .ok_or_else(|| WireError(format!("section {} length overflows", entry.tag)))?;
+    if end > file_len {
+        return Err(WireError(format!(
+            "section {} extends past end of file ({} > {})",
+            entry.tag, end, file_len
+        )));
+    }
+    Ok((off, end))
+}
+
+/// Slice one section's payload out of the file bytes and verify its
+/// checksum. Fails on misaligned or out-of-bounds ranges (truncated file)
+/// and checksum mismatches (in-place corruption), so a successful return
+/// hands the caller exactly the bytes the writer checksummed.
+pub fn section_payload<'a>(raw: &'a [u8], entry: &SectionEntry) -> Result<&'a [u8], WireError> {
+    let (start, end) = section_range(raw.len(), entry)?;
+    let payload = &raw[start..end];
+    if fnv1a(payload) != entry.checksum {
         return Err(WireError(format!(
             "section {} checksum mismatch (corrupted in place)",
             entry.tag
         )));
     }
-    Ok(raw)
+    Ok(payload)
 }
 
 /// FNV-1a offset basis (64-bit).
@@ -253,19 +294,34 @@ mod tests {
     }
 
     #[test]
+    fn alignment_helpers() {
+        assert_eq!(align8(0), 0);
+        assert_eq!(align8(1), 8);
+        assert_eq!(align8(8), 8);
+        assert_eq!(align8(9), 16);
+        assert_eq!(pad8(8), 0);
+        assert_eq!(pad8(11), 5);
+    }
+
+    #[test]
     fn section_entries_round_trip_and_verify() {
-        let payload_a = b"cap-section".to_vec();
+        // two sections laid out 8-aligned with zero padding between them
+        let payload_a = b"cap-section!".to_vec(); // 12 bytes -> padded to 16
         let payload_b = b"trie".to_vec();
+        let a_off = 0usize;
+        let b_off = align8(payload_a.len());
         let entries = [
             SectionEntry {
                 tag: 1,
                 key: 0xAB,
+                off: a_off as u64,
                 len: payload_a.len() as u64,
                 checksum: fnv1a(&payload_a),
             },
             SectionEntry {
                 tag: 6,
                 key: 0xCD,
+                off: b_off as u64,
                 len: payload_b.len() as u64,
                 checksum: fnv1a(&payload_b),
             },
@@ -274,35 +330,43 @@ mod tests {
         for e in &entries {
             put_section_entry(&mut buf, e);
         }
+        assert_eq!(buf.len(), 2 * SECTION_ENTRY_LEN);
         let frozen = buf.freeze();
         let mut slice = &frozen[..];
         assert_eq!(read_section_entry(&mut slice, "a").unwrap(), entries[0]);
         assert_eq!(read_section_entry(&mut slice, "b").unwrap(), entries[1]);
         assert!(read_section_entry(&mut slice, "eof").is_err());
+        // a nonzero pad word is rejected
+        let mut bad = frozen.to_vec();
+        bad[4] = 0xFF;
+        assert!(read_section_entry(&mut &bad[..], "pad").is_err());
 
-        let mut payloads = payload_a.clone();
-        payloads.extend_from_slice(&payload_b);
+        let mut raw = payload_a.clone();
+        raw.resize(b_off, 0); // alignment padding
+        raw.extend_from_slice(&payload_b);
+        assert_eq!(section_payload(&raw, &entries[0]).unwrap(), &payload_a[..]);
+        assert_eq!(section_payload(&raw, &entries[1]).unwrap(), &payload_b[..]);
         assert_eq!(
-            section_payload(&payloads, 0, &entries[0]).unwrap(),
-            &payload_a[..]
-        );
-        assert_eq!(
-            section_payload(&payloads, payload_a.len(), &entries[1]).unwrap(),
-            &payload_b[..]
+            section_range(raw.len(), &entries[1]).unwrap(),
+            (b_off, b_off + payload_b.len())
         );
         // truncated payload area: out-of-bounds, not a panic
-        assert!(section_payload(
-            &payloads[..payloads.len() - 1],
-            payload_a.len(),
-            &entries[1]
-        )
-        .is_err());
+        assert!(section_payload(&raw[..raw.len() - 1], &entries[1]).is_err());
+        // a misaligned offset is rejected before any byte is read
+        let misaligned = SectionEntry {
+            off: 4,
+            ..entries[1]
+        };
+        assert!(section_range(raw.len(), &misaligned).is_err());
         // a flipped byte fails the checksum
-        let mut corrupt = payloads.clone();
+        let mut corrupt = raw.clone();
         corrupt[2] ^= 0x10;
-        assert!(section_payload(&corrupt, 0, &entries[0]).is_err());
+        assert!(section_payload(&corrupt, &entries[0]).is_err());
         // but leaves the *other* section salvageable
-        assert!(section_payload(&corrupt, payload_a.len(), &entries[1]).is_ok());
+        assert!(section_payload(&corrupt, &entries[1]).is_ok());
+        // and section_range (the lazy-checksum open path) still accepts the
+        // corrupted range — corruption is caught at first touch, by design
+        assert!(section_range(corrupt.len(), &entries[0]).is_ok());
     }
 
     #[test]

@@ -226,7 +226,9 @@ fn probe(engine: &Octopus) -> (Vec<octopus::NodeId>, f64, Vec<String>, String) {
 
 #[test]
 fn restart_reopens_from_cache_with_identical_answers() {
-    use octopus::core::offline::persist::{STAGE_ARTIFACT_LOAD, STAGE_ARTIFACT_STORE};
+    use octopus::core::offline::persist::{
+        STAGE_ARTIFACT_DECODE, STAGE_ARTIFACT_MAP, STAGE_ARTIFACT_STORE, STAGE_ARTIFACT_VALIDATE,
+    };
     let net = small_net();
     let config = engine_config();
     let dir = std::env::temp_dir().join("octopus_e2e_citation_restart");
@@ -253,7 +255,11 @@ fn restart_reopens_from_cache_with_identical_answers() {
     let stages: Vec<&str> = report.stage_timings.iter().map(|t| t.stage).collect();
     assert_eq!(
         stages,
-        vec![STAGE_ARTIFACT_LOAD],
+        vec![
+            STAGE_ARTIFACT_MAP,
+            STAGE_ARTIFACT_VALIDATE,
+            STAGE_ARTIFACT_DECODE,
+        ],
         "a hit performs zero offline stage builds"
     );
     assert_eq!(probe(&second), before, "restart must answer identically");

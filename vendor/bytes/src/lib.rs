@@ -139,6 +139,18 @@ pub trait BufMut {
     fn put_f64_le(&mut self, v: f64) {
         self.put_u64_le(v.to_bits());
     }
+
+    /// Append `cnt` copies of `val` (alignment padding, zero fills).
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        // 16-byte chunks keep the common small-padding case allocation-free
+        let chunk = [val; 16];
+        let mut left = cnt;
+        while left > 0 {
+            let n = left.min(chunk.len());
+            self.put_slice(&chunk[..n]);
+            left -= n;
+        }
+    }
 }
 
 /// An immutable, cheaply clonable byte buffer.
@@ -246,6 +258,11 @@ impl BytesMut {
     /// Convert into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from_vec(self.data)
+    }
+
+    /// Preallocate room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
     }
 }
 

@@ -1,0 +1,237 @@
+//! Minimal file-backed **read-only** memory mapping.
+//!
+//! The OCTOPUS artifact cache opens its OCTA v4 files through this crate so
+//! engine startup touches only the pages a query actually reads, and
+//! serving replicas opening the same artifact share one page-cache copy.
+//! The build environment has no crates.io access, so this is a vendored
+//! stand-in for the usual `memmap2`-style crate, reduced to exactly what
+//! the cache needs:
+//!
+//! * [`Mmap::map_file`] — map a whole file read-only (`PROT_READ`,
+//!   `MAP_PRIVATE`);
+//! * a **`Read` fallback** — on non-Unix platforms, for empty files (a
+//!   zero-length `mmap` is an error), or when forced via
+//!   [`FORCE_FALLBACK_ENV`], the file is read into an owned buffer behind
+//!   the same API, so every caller and test can exercise both paths;
+//! * `Deref<Target = [u8]>` — callers see a plain byte slice either way.
+//!
+//! The mapping is private and read-only: the kernel may drop clean pages
+//! under memory pressure and re-fault them from the file, which is exactly
+//! the shared-page-cache behavior the serving layer wants. A file mutated
+//! *in place* while mapped can change bytes under the reader — the artifact
+//! cache never does that (files are written to a temp name and atomically
+//! renamed into place; an unlinked mapping stays valid on Unix).
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+
+/// Setting this environment variable (to any value) forces
+/// [`Mmap::map_file`] onto the owned `Read` fallback — used by tests to
+/// cover the fallback path on platforms where real mapping succeeds.
+pub const FORCE_FALLBACK_ENV: &str = "OCTOPUS_MMAP_FORCE_FALLBACK";
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+enum Inner {
+    /// A live kernel mapping; unmapped on drop.
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// The `Read` fallback: the whole file in an owned buffer.
+    Owned(Vec<u8>),
+}
+
+/// A read-only view of a file's bytes — memory-mapped when possible, an
+/// owned buffer otherwise. Dereferences to `&[u8]`.
+pub struct Mmap {
+    inner: Inner,
+}
+
+// The mapping is immutable for its whole lifetime (PROT_READ, private), so
+// sharing the raw pointer across threads is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `path` read-only. Falls back to reading the file into memory on
+    /// non-Unix platforms, for empty files, when the kernel refuses the
+    /// mapping, or when [`FORCE_FALLBACK_ENV`] is set.
+    pub fn map_file(path: &Path) -> io::Result<Mmap> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too large to map",
+            ));
+        }
+        let len = len as usize;
+        if len > 0 && std::env::var_os(FORCE_FALLBACK_ENV).is_none() {
+            if let Some(map) = Self::try_map(&file, len) {
+                return Ok(map);
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Owned(buf),
+        })
+    }
+
+    #[cfg(unix)]
+    fn try_map(file: &File, len: usize) -> Option<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() || ptr.is_null() {
+            return None;
+        }
+        Some(Mmap {
+            inner: Inner::Mapped {
+                ptr: ptr as *const u8,
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn try_map(_file: &File, _len: usize) -> Option<Mmap> {
+        None
+    }
+
+    /// Whether this view is a live kernel mapping (`false` on the `Read`
+    /// fallback). Telemetry only — the byte contents are identical.
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { .. } => true,
+            Inner::Owned(_) => false,
+        }
+    }
+
+    /// The bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Owned(v) => v,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // a failed munmap leaks the mapping; nothing actionable here
+            unsafe {
+                sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("mmap-test-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_file("basic", b"OCTA mapped bytes");
+        let map = Mmap::map_file(&path).unwrap();
+        assert_eq!(&map[..], b"OCTA mapped bytes");
+        assert_eq!(map.as_ref(), b"OCTA mapped bytes");
+        #[cfg(unix)]
+        assert!(map.is_mapped(), "unix should take the real mmap path");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_uses_fallback() {
+        let path = temp_file("empty", b"");
+        let map = Mmap::map_file(&path).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped(), "zero-length mappings are not attempted");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("mmap-test-definitely-missing");
+        assert!(Mmap::map_file(&path).is_err());
+    }
+
+    #[test]
+    fn mapping_survives_unlink() {
+        // the artifact pruner may delete a file other processes still map;
+        // on unix the pages stay valid until unmapped
+        let path = temp_file("unlink", b"still here after unlink");
+        let map = Mmap::map_file(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(&map[..], b"still here after unlink");
+    }
+}
