@@ -9,6 +9,7 @@
 //! cargo run --release -p octopus-bench --bin exp_runner -- --artifact-cache cache/
 //! cargo run --release -p octopus-bench --bin exp_runner -- --quick --delta 8
 //! cargo run --release -p octopus-bench --bin exp_runner -- --quick --serve 8
+//! cargo run --release -p octopus-bench --bin exp_runner -- --quick --serve 8 --shards 4
 //! ```
 //!
 //! With `--artifact-cache <dir>`, every engine construction goes through
@@ -30,7 +31,12 @@
 //! plus the swap trajectory. The process exits nonzero on any query
 //! error, failed batch, missing swap, or — with `--serve-p99-ms <ms>` —
 //! any operator p99 above the guardrail, which is what makes it a CI
-//! perf-smoke gate.
+//! perf-smoke gate. Adding `--shards <k>` retargets the stream at an
+//! [`octopus_core::serve::ShardedService`] over `k` disjoint copies of
+//! the network — the scatter-gather router fans queries out per shard
+//! and deltas rebuild only the shards they touch (the swap table gains a
+//! `shard` column). `--shards` also extends `--delta` with a routed-flush
+//! leg measuring single-shard rebuild confinement.
 //!
 //! With `--open-bench`, the runner measures engine startup: it builds the
 //! citation artifact cold, then opens it twice — once in owned mode
@@ -661,8 +667,12 @@ fn rmse(a: &[f64], b: &[f64]) -> f64 {
 
 /// Delta workload (`--delta <k>`): perturb the citation network by a few
 /// edges and measure how much of the offline build `open_or_build` reuses
-/// from the OCTA section cache, versus paying a full rebuild.
-fn delta_workload(s: &Scale, k: usize, rec: &mut BenchRecord) {
+/// from the OCTA section cache, versus paying a full rebuild. With
+/// `--shards <n>` it additionally measures *routed* rebuilds: the same
+/// nudge batch flushed through a [`octopus_core::serve::ShardedService`]
+/// over `n` disjoint copies of the network, where only the touched shards
+/// rebuild and the rest keep serving their epoch untouched.
+fn delta_workload(s: &Scale, k: usize, shards: Option<usize>, rec: &mut BenchRecord) {
     use octopus_graph::delta;
     println!("\n================ DELTA: incremental offline rebuilds (k={k}) ================");
     let net = citation_sized(s.citation_authors, s.citation_papers);
@@ -773,26 +783,102 @@ fn delta_workload(s: &Scale, k: usize, rec: &mut BenchRecord) {
         ]);
     }
     emit(&t);
+
+    // routed rebuilds: the same class of nudge batch, flushed through a
+    // sharded service — only the touched shards pay anything
+    if let Some(n) = shards {
+        use octopus_core::serve::ShardedService;
+        let union = octopus_bench::workloads::disjoint_copies(&net, n);
+        let shard_dir = dir.join("sharded");
+        let t0 = Instant::now();
+        let service =
+            ShardedService::with_cache_dir(union, net.model.clone(), config.clone(), n, &shard_dir)
+                .expect("shard engines build");
+        let t_shard_build = t0.elapsed();
+        rec.stage("sharded-build", t_shard_build);
+        let m = service.edge_count();
+        // the k victims again, but confined to copy 0 — one shard's range —
+        // so the flush demonstrates single-shard confinement at any n
+        for i in 0..k {
+            service.submit(octopus_graph::delta::GraphDelta::NudgeWeights {
+                edges: vec![octopus_graph::EdgeId(((i * (m / n)) / k.max(1)) as u32)],
+                delta: 0.05,
+            });
+        }
+        let t0 = Instant::now();
+        let swaps = service.apply_pending().expect("routed flush applies");
+        let t_flush = t0.elapsed();
+        rec.stage("sharded-flush", t_flush);
+        rec.note("sharded_shards", service.shard_count() as f64)
+            .note("sharded_shards_touched", swaps.len() as f64);
+        let mut ts = Table::new(
+            format!(
+                "DELTA: routed flush over {} shards ({} union edges; built {}, flush {})",
+                service.shard_count(),
+                service.edge_count(),
+                fmt_duration(t_shard_build),
+                fmt_duration(t_flush)
+            ),
+            &["shard", "epoch", "deltas", "rebuild", "stages rebuilt"],
+        );
+        for swap in &swaps {
+            let rebuilt: Vec<&str> = swap
+                .report
+                .stage_reuse
+                .iter()
+                .filter(|x| !x.is_full())
+                .map(|x| x.stage)
+                .collect();
+            ts.row(vec![
+                swap.shard.to_string(),
+                swap.report.epoch.to_string(),
+                swap.report.deltas_applied.to_string(),
+                fmt_duration(swap.report.rebuild_time),
+                if rebuilt.is_empty() {
+                    "none (full hit)".to_string()
+                } else {
+                    rebuilt.join(", ")
+                },
+            ]);
+        }
+        emit(&ts);
+        println!(
+            "routing confined the k={k} nudge batch to {}/{} shard(s); untouched shards kept epoch 0\n",
+            swaps.len(),
+            service.shard_count()
+        );
+    }
+
     // the subdirectory is the workload's scratch space either way
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// Serve workload (`--serve <workers>`): drive a live
-/// [`octopus_core::serve::OctopusService`] with a mixed query stream
-/// from `workers` threads while a mutator
-/// injects delta batches that swap epochs mid-run. Returns whether the
-/// run was healthy (zero query errors, every batch swapped, p99 under the
-/// optional guardrail) — the CI perf-smoke gate.
+/// Serve workload (`--serve <workers>`, optionally `--shards <k>`):
+/// drive a live serving layer with a mixed query stream from `workers`
+/// threads while a mutator injects delta batches that swap epochs
+/// mid-run. Without `--shards` the target is one whole-graph
+/// [`octopus_core::serve::OctopusService`]; with it, a
+/// [`octopus_core::serve::ShardedService`] over `k` disjoint copies of
+/// the citation network (one copy per shard), so routed deltas rebuild
+/// 1/k of the corpus and the swap trajectory is per-shard. Returns
+/// whether the run was healthy (zero query errors, every batch swapped,
+/// p99 under the optional guardrail) — the CI perf-smoke gate.
 fn serve_workload(
     s: &Scale,
     workers: usize,
+    shards: Option<usize>,
     p99_guard: Option<std::time::Duration>,
     rec: &mut BenchRecord,
 ) -> bool {
-    use octopus_bench::serve_load::{self, ServeLoadConfig};
+    use octopus_bench::serve_load::{self, ServeLoadConfig, ServeTarget};
+    use octopus_core::serve::{OctopusService, ShardedService};
     use std::time::Duration;
     println!(
-        "\n================ SERVE: concurrent serving under delta churn ({workers} workers) ================"
+        "\n================ SERVE: concurrent serving under delta churn ({workers} workers{}) ================",
+        match shards {
+            Some(k) => format!(", {k} shards"),
+            None => String::new(),
+        }
     );
     let net = citation_sized(s.citation_authors, s.citation_papers);
     // private cache subdir (same reasoning as the delta workload): epoch
@@ -811,15 +897,36 @@ fn serve_workload(
         ..Default::default()
     };
     let t0 = Instant::now();
-    let engine = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config, &dir)
-        .expect("epoch 0 builds")
-        .with_user_keywords(user_keywords(&net));
+    let target = match shards {
+        None => {
+            let engine = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config, &dir)
+                .expect("epoch 0 builds")
+                .with_user_keywords(user_keywords(&net));
+            ServeTarget::Single(OctopusService::with_cache_dir(engine, &dir))
+        }
+        Some(k) => {
+            let union = octopus_bench::workloads::disjoint_copies(&net, k);
+            ServeTarget::Sharded(Box::new(
+                ShardedService::with_options(
+                    union,
+                    net.model.clone(),
+                    config,
+                    k,
+                    Some(dir.clone()),
+                    false,
+                    user_keywords(&net),
+                )
+                .expect("shard engines build"),
+            ))
+        }
+    };
     let t_epoch0 = t0.elapsed();
     rec.stage("epoch0-build", t_epoch0);
     println!(
-        "workload: {} researchers, {} edges; epoch 0 built in {}",
+        "workload: {} researchers, {} edges ×{} shard(s); epoch 0 built in {}",
         net.graph.node_count(),
         net.graph.edge_count(),
+        target.shard_count(),
         fmt_duration(t_epoch0)
     );
     let cfg = ServeLoadConfig {
@@ -828,10 +935,9 @@ fn serve_workload(
         delta_batches: 4,
         edges_per_batch: 3,
         batch_pause: Duration::from_millis(40),
-        cache_dir: Some(dir.clone()),
         ..Default::default()
     };
-    let report = serve_load::run(engine, &net, &cfg);
+    let report = serve_load::run(target, &net, &cfg);
     std::fs::remove_dir_all(&dir).ok();
     for op in &report.per_op {
         rec.op(
@@ -842,7 +948,8 @@ fn serve_workload(
     rec.note("throughput_qps", report.throughput)
         .note("total_queries", report.total_queries as f64)
         .note("epoch_swaps", report.swaps.len() as f64)
-        .note("deltas_applied", report.deltas_applied as f64);
+        .note("deltas_applied", report.deltas_applied as f64)
+        .note("shards", report.shards as f64);
 
     let mut t = Table::new(
         format!(
@@ -870,8 +977,9 @@ fn serve_workload(
     emit(&t);
 
     let mut ts = Table::new(
-        "SERVE: epoch swap trajectory (rebuilds overlap serving)",
+        "SERVE: per-shard swap trajectory (rebuilds overlap serving)",
         &[
+            "shard",
             "epoch",
             "deltas",
             "rebuild",
@@ -881,20 +989,23 @@ fn serve_workload(
     );
     for swap in &report.swaps {
         let piks = swap
+            .report
             .stage_reuse
             .iter()
             .find(|x| x.stage == "piks-worlds")
             .expect("piks stage reported");
         let rebuilt: Vec<&str> = swap
+            .report
             .stage_reuse
             .iter()
             .filter(|x| !x.is_full())
             .map(|x| x.stage)
             .collect();
         ts.row(vec![
-            swap.epoch.to_string(),
-            swap.deltas_applied.to_string(),
-            fmt_duration(swap.rebuild_time),
+            swap.shard.to_string(),
+            swap.report.epoch.to_string(),
+            swap.report.deltas_applied.to_string(),
+            fmt_duration(swap.report.rebuild_time),
             format!("{}/{}", piks.reused, piks.total),
             if rebuilt.is_empty() {
                 "none (full hit)".to_string()
@@ -904,13 +1015,21 @@ fn serve_workload(
         ]);
     }
     emit(&ts);
+    let shards_touched = {
+        let mut touched: Vec<usize> = report.swaps.iter().map(|s| s.shard).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        touched.len()
+    };
     println!(
-        "aggregate: {:.0} q/s across operators; epochs observed {}..={}; {} deltas applied over {} swaps\n",
+        "aggregate: {:.0} q/s across operators; epochs observed {}..={}; {} deltas applied over {} swaps touching {}/{} shard(s)\n",
         report.throughput,
         report.epochs_observed.0,
         report.epochs_observed.1,
         report.deltas_applied,
         report.swaps.len(),
+        shards_touched,
+        report.shards,
     );
 
     let mut healthy = true;
@@ -1680,6 +1799,16 @@ fn main() {
         },
         None => None,
     };
+    let shards = match args.iter().position(|a| a == "--shards") {
+        Some(i) => match args.get(i + 1).and_then(|k| k.parse::<usize>().ok()) {
+            Some(k) if k > 0 => Some(k),
+            _ => {
+                eprintln!("--shards requires a positive shard count argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     let serve_p99 = match args.iter().position(|a| a == "--serve-p99-ms") {
         Some(i) => match args.get(i + 1).and_then(|ms| ms.parse::<u64>().ok()) {
             Some(ms) if ms > 0 => Some(std::time::Duration::from_millis(ms)),
@@ -1713,6 +1842,7 @@ fn main() {
                 || *a == "--artifact-cache"
                 || *a == "--delta"
                 || *a == "--serve"
+                || *a == "--shards"
                 || *a == "--serve-p99-ms"
                 || *a == "--bench-dir"
             {
@@ -1736,7 +1866,7 @@ fn main() {
         "sweep"
     };
     let descriptor = format!(
-        "{workload}|quick={quick}|paranoid={paranoid}|delta={delta_k:?}|serve={serve_workers:?}|picks={picks:?}|authors={}|papers={}",
+        "{workload}|quick={quick}|paranoid={paranoid}|delta={delta_k:?}|serve={serve_workers:?}|shards={shards:?}|picks={picks:?}|authors={}|papers={}",
         s.citation_authors, s.citation_papers
     );
     let mut rec = BenchRecord::new(
@@ -1758,10 +1888,10 @@ fn main() {
             healthy &= open_bench_workload(&s, paranoid, &mut rec);
         }
         if let Some(k) = delta_k {
-            delta_workload(&s, k, &mut rec);
+            delta_workload(&s, k, shards, &mut rec);
         }
         if let Some(workers) = serve_workers {
-            healthy &= serve_workload(&s, workers, serve_p99, &mut rec);
+            healthy &= serve_workload(&s, workers, shards, serve_p99, &mut rec);
         }
         for p in &picks {
             run_experiment(p, &s);

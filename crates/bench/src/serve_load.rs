@@ -1,32 +1,37 @@
 //! Closed-loop load generator for the serving layer — the "serving under
-//! churn" scenario behind `exp_runner --serve <workers>`.
+//! churn" scenario behind `exp_runner --serve <workers>` (optionally
+//! `--shards <k>`).
 //!
-//! N worker threads each own a [`Session`](octopus_core::serve::Session)
-//! and issue a seeded mixed workload (influencer ranking, keyword
-//! suggestion, path exploration, autocompletion, keyword radar) against
-//! one [`OctopusService`], while a mutator thread injects
-//! [`GraphDelta`] batches and flushes them into epoch swaps. Workers run
-//! until every swap has happened *and* they have issued their query
-//! quota, so queries provably race every swap. The report carries
+//! N worker threads issue a seeded mixed workload (influencer ranking,
+//! keyword suggestion, path exploration, autocompletion, keyword radar)
+//! against one [`ServeTarget`] — an unsharded [`OctopusService`] (each
+//! worker owning a [`Session`](octopus_core::serve::Session)) or a
+//! [`ShardedService`] scatter-gather router — while a mutator thread
+//! injects [`GraphDelta`] batches and flushes them into epoch swaps.
+//! Workers run until every swap has happened *and* they have issued their
+//! query quota, so queries provably race every swap. The report carries
 //! per-operator throughput and latency percentiles plus the swap
-//! trajectory (rebuild time and per-stage reuse of every epoch).
+//! trajectory (per-shard: which shard swapped, rebuild time, and
+//! per-stage reuse of every epoch; the unsharded service reports as the
+//! degenerate single shard 0).
 //!
 //! Determinism caveat: per-worker query *choices* are seeded and
 //! reproducible; the interleaving with swaps (and hence per-epoch query
 //! counts and latencies) is scheduling-dependent, as serving is. The
 //! correctness of answers under that nondeterminism is what
-//! `crates/core/tests/serve_epoch.rs` pins; this generator measures it.
+//! `crates/core/tests/serve_epoch.rs` and `serve_shard.rs` pin; this
+//! generator measures it.
 
 use crate::workloads::prolific_users;
-use octopus_core::engine::Octopus;
-use octopus_core::paths::ExploreDirection;
-use octopus_core::serve::{OctopusService, Operator, SwapReport};
+use octopus_core::engine::{KimAnswer, SuggestAnswer};
+use octopus_core::paths::{ExploreDirection, PathExploration};
+use octopus_core::serve::{OctopusService, Operator, Served, ShardSwap, ShardedService};
 use octopus_data::SyntheticNetwork;
 use octopus_graph::delta::GraphDelta;
-use octopus_graph::EdgeId;
+use octopus_graph::{EdgeId, NodeId};
+use octopus_topics::radar::RadarChart;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::time::{Duration, Instant};
 
@@ -38,7 +43,7 @@ pub struct ServeLoadConfig {
     /// Minimum queries each worker issues (workers also keep going until
     /// the mutator finishes, so every swap races live queries).
     pub min_queries_per_worker: usize,
-    /// Delta batches the mutator injects — one epoch swap each.
+    /// Delta batches the mutator injects — at least one shard swap each.
     pub delta_batches: usize,
     /// Edge-weight nudges per batch.
     pub edges_per_batch: usize,
@@ -48,10 +53,6 @@ pub struct ServeLoadConfig {
     /// Master seed for the workers' query choices and the mutator's edge
     /// picks.
     pub seed: u64,
-    /// When set, the service rebuilds epochs through the artifact cache
-    /// at this directory (`Octopus::open_or_build`), so swaps exercise
-    /// the incremental per-stage / per-world reuse machinery.
-    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServeLoadConfig {
@@ -63,7 +64,127 @@ impl Default for ServeLoadConfig {
             edges_per_batch: 3,
             batch_pause: Duration::from_millis(30),
             seed: 0x5E17_E000,
-            cache_dir: None,
+        }
+    }
+}
+
+/// What the load generator drives: either serving-layer flavor, behind
+/// one face so the worker and mutator loops are flavor-blind.
+pub enum ServeTarget {
+    /// One whole-graph engine behind an epoch cell.
+    Single(OctopusService),
+    /// Per-shard engines behind a scatter-gather router (boxed: the
+    /// router carries per-shard state and dwarfs the single variant).
+    Sharded(Box<ShardedService>),
+}
+
+impl ServeTarget {
+    /// Number of shards serving (1 for the unsharded service).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            ServeTarget::Single(_) => 1,
+            ServeTarget::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    fn edge_count(&self) -> usize {
+        match self {
+            ServeTarget::Single(s) => s.snapshot().engine().graph().edge_count(),
+            ServeTarget::Sharded(s) => s.edge_count(),
+        }
+    }
+
+    fn handle(&self) -> Handle<'_> {
+        match self {
+            ServeTarget::Single(s) => Handle::Single(Box::new(s.session())),
+            ServeTarget::Sharded(s) => Handle::Sharded(s),
+        }
+    }
+
+    fn submit(&self, delta: GraphDelta) {
+        match self {
+            ServeTarget::Single(s) => s.submit(delta),
+            ServeTarget::Sharded(s) => s.submit(delta),
+        }
+    }
+
+    /// Flush pending deltas; one [`ShardSwap`] per swapped shard (the
+    /// unsharded service reports as shard 0).
+    fn apply_pending(&self) -> octopus_core::Result<Vec<ShardSwap>> {
+        match self {
+            ServeTarget::Single(s) => Ok(s
+                .apply_pending()?
+                .map(|report| vec![ShardSwap { shard: 0, report }])
+                .unwrap_or_default()),
+            ServeTarget::Sharded(s) => s.apply_pending(),
+        }
+    }
+
+    /// `(deltas_applied, batches_failed)` counters.
+    fn counters(&self) -> (u64, u64) {
+        match self {
+            ServeTarget::Single(s) => {
+                let st = s.stats();
+                (st.deltas_applied, st.batches_failed)
+            }
+            ServeTarget::Sharded(s) => {
+                let st = s.stats();
+                (st.deltas_applied, st.batches_failed)
+            }
+        }
+    }
+}
+
+/// One worker's query interface over either target flavor (the session
+/// is boxed — it carries per-session stats, the router reference is a
+/// pointer).
+enum Handle<'a> {
+    Single(Box<octopus_core::serve::Session<'a>>),
+    Sharded(&'a ShardedService),
+}
+
+impl Handle<'_> {
+    fn find_influencers(&mut self, q: &str, k: usize) -> octopus_core::Result<Served<KimAnswer>> {
+        match self {
+            Handle::Single(s) => s.find_influencers(q, k),
+            Handle::Sharded(s) => s.find_influencers(q, k),
+        }
+    }
+
+    fn suggest_keywords(
+        &mut self,
+        user: &str,
+        k: usize,
+    ) -> octopus_core::Result<Served<SuggestAnswer>> {
+        match self {
+            Handle::Single(s) => s.suggest_keywords(user, k),
+            Handle::Sharded(s) => s.suggest_keywords(user, k),
+        }
+    }
+
+    fn explore_paths(
+        &mut self,
+        user: &str,
+        direction: ExploreDirection,
+        query: Option<&str>,
+    ) -> octopus_core::Result<Served<PathExploration>> {
+        match self {
+            Handle::Single(s) => s.explore_paths(user, direction, query),
+            Handle::Sharded(s) => s.explore_paths(user, direction, query),
+        }
+    }
+
+    fn autocomplete(&mut self, prefix: &str, limit: usize) -> Served<Vec<(NodeId, String, f64)>> {
+        match self {
+            Handle::Single(s) => s.autocomplete(prefix, limit),
+            Handle::Sharded(s) => s.autocomplete(prefix, limit),
+        }
+    }
+
+    fn keyword_radar(&mut self, word: &str) -> octopus_core::Result<Served<RadarChart>> {
+        match self {
+            Handle::Single(s) => s.keyword_radar(word),
+            Handle::Sharded(s) => s.keyword_radar(word),
         }
     }
 }
@@ -152,8 +273,12 @@ pub struct ServeLoadReport {
     pub total_errors: u64,
     /// Aggregate throughput (queries per second).
     pub throughput: f64,
-    /// One entry per epoch swap, in order.
-    pub swaps: Vec<SwapReport>,
+    /// Shards serving (1 for the unsharded service).
+    pub shards: usize,
+    /// One entry per shard swap, in flush order (the unsharded service
+    /// reports every swap as shard 0; a sharded flush touching three
+    /// shards contributes three entries).
+    pub swaps: Vec<ShardSwap>,
     /// Flush batches that failed (must be 0 in a healthy run).
     pub batches_failed: u64,
     /// Deltas applied across all swaps.
@@ -187,16 +312,13 @@ struct WorkerLog {
     epochs: Option<(u64, u64)>,
 }
 
-/// Drive `engine` through a full serve-under-churn run (see the module
-/// docs). The engine becomes epoch 0 of a fresh [`OctopusService`];
-/// `net` supplies the query pools and the edge range the mutator nudges.
-pub fn run(engine: Octopus, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -> ServeLoadReport {
+/// Drive `target` through a full serve-under-churn run (see the module
+/// docs). `net` supplies the query pools; the mutator nudges edges across
+/// the target's own (possibly multi-shard) edge range.
+pub fn run(target: ServeTarget, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -> ServeLoadReport {
     let pools = MixPools::from_network(net);
-    let service = match &cfg.cache_dir {
-        Some(dir) => OctopusService::with_cache_dir(engine, dir.clone()),
-        None => OctopusService::new(engine),
-    };
-    let edge_count = net.graph.edge_count();
+    let service = target;
+    let edge_count = service.edge_count();
     let mutations_done = AtomicBool::new(false);
     let start = Instant::now();
 
@@ -208,7 +330,7 @@ pub fn run(engine: Octopus, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -> Se
             let mutations_done = &mutations_done;
             workers.push(s.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (0xA11CE + w as u64));
-                let mut session = service.session();
+                let mut session = service.handle();
                 let mut log = WorkerLog::default();
                 let mut issued = 0usize;
                 while issued < cfg.min_queries_per_worker || !mutations_done.load(SeqCst) {
@@ -261,22 +383,21 @@ pub fn run(engine: Octopus, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -> Se
             }));
         }
 
-        // the mutator: one coalesced nudge batch per swap
+        // the mutator: one coalesced nudge batch per flush — the flush
+        // rebuilds and swaps only the shards the batch's footprint touches
         let swaps = {
             let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0D17A);
-            let mut swaps: Vec<SwapReport> = Vec::new();
+            let mut swaps: Vec<ShardSwap> = Vec::new();
             for _ in 0..cfg.delta_batches {
                 std::thread::sleep(cfg.batch_pause);
-                // one delta per edge: the flush coalesces the batch into a
-                // single rebuild + swap
                 for _ in 0..cfg.edges_per_batch {
                     service.submit(GraphDelta::NudgeWeights {
                         edges: vec![EdgeId(rng.random_range(0..edge_count as u32))],
                         delta: 0.02,
                     });
                 }
-                if let Ok(Some(report)) = service.apply_pending() {
-                    swaps.push(report);
+                if let Ok(mut batch_swaps) = service.apply_pending() {
+                    swaps.append(&mut batch_swaps);
                 }
             }
             mutations_done.store(true, SeqCst);
@@ -329,15 +450,16 @@ pub fn run(engine: Octopus, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -> Se
         .collect();
     let total_queries: u64 = per_op.iter().map(|r| r.queries).sum();
     let total_errors: u64 = per_op.iter().map(|r| r.errors).sum();
-    let stats = service.stats();
+    let (deltas_applied, batches_failed) = service.counters();
     ServeLoadReport {
         wall,
         per_op,
         total_queries,
         total_errors,
         throughput: total_queries as f64 / wall_secs,
-        deltas_applied: stats.deltas_applied,
-        batches_failed: stats.batches_failed,
+        shards: service.shard_count(),
+        deltas_applied,
+        batches_failed,
         swaps,
         epochs_observed: epochs_observed.unwrap_or((0, 0)),
     }

@@ -29,6 +29,40 @@ pub fn citation_small() -> SyntheticNetwork {
     citation_sized(300, 800)
 }
 
+/// `copies` disjoint copies of a network's graph in one `TopicGraph` —
+/// the sharded serving workloads (`exp_runner --shards <k>`). Each copy
+/// is its own set of weakly connected components, so the locality
+/// partition places whole copies (one per shard when `copies == k`) and a
+/// routed delta confines its rebuild to the one copy it touches. Copy 0
+/// keeps the original names (query pools and user-keyword overrides keep
+/// resolving); later copies suffix names with `·<copy>` to stay unique.
+pub fn disjoint_copies(net: &SyntheticNetwork, copies: usize) -> octopus_graph::TopicGraph {
+    use octopus_graph::{GraphBuilder, NodeId};
+    let g = &net.graph;
+    let copies = copies.max(1);
+    let mut b = GraphBuilder::new(g.num_topics());
+    for c in 0..copies {
+        for u in g.nodes() {
+            match (g.name(u), c) {
+                (Some(name), 0) => b.add_node(name),
+                (Some(name), _) => b.add_node(format!("{name}·{}", c + 1)),
+                (None, _) => b.add_node(""),
+            };
+        }
+        let base = (c * g.node_count()) as u32;
+        for e in g.edges() {
+            let (u, v) = g.edge_endpoints(e).expect("edge id in range");
+            let probs: Vec<(usize, f64)> = g
+                .edge_topic_probs(e)
+                .map(|(z, p)| (z.0 as usize, p as f64))
+                .collect();
+            b.add_edge(NodeId(u.0 + base), NodeId(v.0 + base), &probs)
+                .expect("copied edge applies");
+        }
+    }
+    b.build().expect("copied graph builds")
+}
+
 /// The messenger workload (experiment E8).
 pub fn messenger_default() -> SyntheticNetwork {
     messenger_sized(3000)

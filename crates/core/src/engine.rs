@@ -337,7 +337,7 @@ impl Octopus {
             // and re-screening every donor
             if lookup.sources.as_slice() != [path.clone()] {
                 let _ = persist::save(&offline, &fp, &keys, &path);
-                persist::prune(cache_dir, &path);
+                persist::prune(cache_dir, &[&path]);
             }
             let t = lookup.timings;
             offline.timings = vec![
@@ -363,7 +363,7 @@ impl Octopus {
                 stage: persist::STAGE_ARTIFACT_STORE,
                 duration: t_store.elapsed(),
             });
-            persist::prune(cache_dir, &path);
+            persist::prune(cache_dir, &[&path]);
         }
         Ok(Self::from_parts(graph, model, config, offline, false))
     }
@@ -442,7 +442,7 @@ impl Octopus {
                 stage: persist::STAGE_ARTIFACT_STORE,
                 duration: t_store.elapsed(),
             });
-            persist::prune(cache_dir, &path);
+            persist::prune(cache_dir, &[&path]);
             if let Ok(art) = offline::view::open(&path, &fp, &keys, &graph, &config, paranoid) {
                 let mut timings = std::mem::take(&mut offline.timings);
                 timings.extend(art.timings().iter().cloned());

@@ -25,6 +25,18 @@ pub enum CoreError {
     /// sticky: every later query touching the section fails the same way
     /// (fail closed; reopen or rebuild the artifact to recover).
     Artifact(String),
+    /// A graph delta's edge footprint spans two shards of a sharded
+    /// service. The locality partition never cuts an edge, so an insert
+    /// whose endpoints live in different shards cannot be routed — it
+    /// would merge two components and invalidate the partition. The batch
+    /// carrying it is rejected (and eventually dropped after its retries);
+    /// repartition with fewer shards to accept such an edge.
+    CrossShardDelta {
+        /// Influencing endpoint and its shard.
+        src: (octopus_graph::NodeId, usize),
+        /// Influenced endpoint and its shard.
+        dst: (octopus_graph::NodeId, usize),
+    },
     /// Propagated graph-layer error.
     Graph(octopus_graph::GraphError),
     /// Propagated topic-layer error.
@@ -46,6 +58,12 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::Artifact(m) => write!(f, "artifact integrity error: {m}"),
+            CoreError::CrossShardDelta { src, dst } => write!(
+                f,
+                "delta edge {}→{} crosses shards ({} → {}): the locality \
+                 partition cannot route it",
+                src.0 .0, dst.0 .0, src.1, dst.1
+            ),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Topic(e) => write!(f, "topic error: {e}"),
         }

@@ -965,20 +965,25 @@ fn file_write_seq(path: &Path) -> u64 {
 pub const MAX_CACHE_FILES: usize = 16;
 
 /// Bound the cache directory to [`MAX_CACHE_FILES`] `.octa` files by
-/// deleting the oldest ones, never touching `keep` (the file the caller
-/// just wrote). "Oldest" is modification time, with ties broken by the
-/// header's write sequence and then by path: on coarse-mtime filesystems a
-/// burst of delta write-backs lands with one shared timestamp, and a
-/// lexicographic-only tie-break could evict the newest donor epoch while
-/// keeping the oldest — the sequence restores write order, and the path
-/// keeps the order total (deterministic) even among files prune cannot
-/// parse. A file currently memory-mapped by this process
-/// ([`super::view::is_mapped`]) is never a candidate: unlinking it would
-/// not fault the live mapping on unix, but the cache directory would
+/// deleting the oldest ones, never touching any path in `keep` — the files
+/// the caller (or its co-tenants) just wrote. The keep-set matters the
+/// moment more than one engine shares a cache directory: a sharded service
+/// writes one artifact per shard, and a prune run by shard A that only
+/// protected A's own file could evict shard B's newest artifact, forcing B
+/// into a full rebuild on its next open. Each keep path occupies one
+/// retained slot whether or not it exists yet. "Oldest" is modification
+/// time, with ties broken by the header's write sequence and then by path:
+/// on coarse-mtime filesystems a burst of delta write-backs lands with one
+/// shared timestamp, and a lexicographic-only tie-break could evict the
+/// newest donor epoch while keeping the oldest — the sequence restores
+/// write order, and the path keeps the order total (deterministic) even
+/// among files prune cannot parse. A file currently memory-mapped by this
+/// process ([`super::view::is_mapped`]) is never a candidate: unlinking it
+/// would not fault the live mapping on unix, but the cache directory would
 /// silently stop containing the bytes a running replica is serving from —
 /// the file is skipped and becomes evictable once its last view drops.
 /// Errors are ignored — pruning is best-effort hygiene, not correctness.
-pub fn prune(cache_dir: &Path, keep: &Path) {
+pub fn prune(cache_dir: &Path, keep: &[&Path]) {
     let Ok(entries) = std::fs::read_dir(cache_dir) else {
         return;
     };
@@ -987,7 +992,7 @@ pub fn prune(cache_dir: &Path, keep: &Path) {
         .filter_map(|e| {
             let path = e.path();
             if path.extension().is_some_and(|x| x == "octa")
-                && path != *keep
+                && !keep.iter().any(|k| path == **k)
                 && !super::view::is_mapped(&path)
             {
                 let mtime = e.metadata().and_then(|m| m.modified()).ok()?;
@@ -997,8 +1002,8 @@ pub fn prune(cache_dir: &Path, keep: &Path) {
             }
         })
         .collect();
-    // `keep` occupies one retained slot
-    let excess = (files.len() + 1).saturating_sub(MAX_CACHE_FILES);
+    // every keep path occupies one retained slot
+    let excess = (files.len() + keep.len()).saturating_sub(MAX_CACHE_FILES);
     if excess == 0 {
         return;
     }
@@ -1513,7 +1518,7 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
         std::fs::write(&keep, b"kept").unwrap();
-        prune(&dir, &keep);
+        prune(&dir, &[&keep]);
         let remaining: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok().map(|e| e.path()))
@@ -1525,6 +1530,42 @@ mod tests {
             !remaining.contains(&dir.join("octopus-artifacts-00.octa")),
             "the oldest epoch must be the one evicted"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_keep_set_protects_every_co_tenant_writer() {
+        // two engines (shards) share one cache directory; writer A prunes
+        // after its own save, and writer B's newest artifact — the OLDEST
+        // candidate by mtime, since B wrote before the flood — must survive
+        // because A passed it in the keep-set
+        let dir = std::env::temp_dir().join("octopus_persist_prune_two_writers");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let keep_b = dir.join("octopus-artifacts-writer-b.octa");
+        std::fs::write(&keep_b, b"writer b").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        for i in 0..MAX_CACHE_FILES + 5 {
+            let p = dir.join(format!("octopus-artifacts-{i:02}.octa"));
+            std::fs::write(&p, vec![i as u8; 4]).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let keep_a = dir.join("octopus-artifacts-writer-a.octa");
+        std::fs::write(&keep_a, b"writer a").unwrap();
+        prune(&dir, &[&keep_a, &keep_b]);
+        let remaining: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "octa"))
+            .collect();
+        assert_eq!(remaining.len(), MAX_CACHE_FILES, "bounded to the cap");
+        assert!(remaining.contains(&keep_a), "writer a's file must survive");
+        assert!(
+            remaining.contains(&keep_b),
+            "writer b's newest artifact must survive a's prune"
+        );
+        // with both keeps occupying slots, the 7 oldest flood files go
+        assert!(!remaining.contains(&dir.join("octopus-artifacts-00.octa")));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1578,7 +1619,7 @@ mod tests {
                 .set_modified(stamp)
                 .unwrap();
         }
-        prune(&dir, &keep);
+        prune(&dir, &[&keep]);
         let remaining: Vec<PathBuf> = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok().map(|e| e.path()))

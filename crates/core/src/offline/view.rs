@@ -619,12 +619,12 @@ mod tests {
             std::fs::write(dir.join(format!("dummy-{i:02}.octa")), [i as u8; 4]).unwrap();
         }
         let keep = dir.join("dummy-00.octa");
-        persist::prune(&dir, &keep);
+        persist::prune(&dir, &[&keep]);
         assert!(path.exists(), "prune must never evict a mapped file");
 
         drop(b);
         assert!(!is_mapped(&path), "last drop must deregister");
-        persist::prune(&dir, &keep);
+        persist::prune(&dir, &[&keep]);
         assert!(!path.exists(), "unmapped, the file is evictable again");
         std::fs::remove_dir_all(&dir).ok();
     }

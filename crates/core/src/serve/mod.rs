@@ -44,12 +44,19 @@
 //! N+1 answers exactly like a fresh engine built from epoch N+1's graph —
 //! a reader racing a swap observes *old* or *new*, never a blend (pinned
 //! by `tests/serve_epoch.rs`).
+//!
+//! For graphs too big for one engine, [`shard::ShardedService`] splits
+//! the graph into K locality-based shards, runs one engine + epoch cell
+//! per shard, scatter-gathers the five operators, and routes each delta
+//! to only the shards it touches — see the [`shard`] module docs.
 
 mod epoch;
 mod session;
+pub mod shard;
 
 pub use epoch::EpochCell;
 pub use session::{OpStats, Operator, Served, Session, SessionStats};
+pub use shard::{ShardSwap, ShardedService, ShardedStats};
 
 use crate::engine::Octopus;
 use crate::offline::StageReuse;
@@ -108,14 +115,29 @@ pub struct ServiceStats {
     pub epochs_swapped: u64,
     /// Deltas successfully applied across all swaps.
     pub deltas_applied: u64,
-    /// Flush batches aborted by a failing delta (the old epoch kept
-    /// serving).
+    /// Flush attempts aborted by a failing delta or rebuild (the old epoch
+    /// kept serving; the batch was re-queued for retry unless it had
+    /// exhausted [`MAX_BATCH_RETRIES`]).
     pub batches_failed: u64,
-    /// Deltas currently queued and not yet flushed.
+    /// Batches dropped for good after failing [`MAX_BATCH_RETRIES`]
+    /// consecutive flush attempts — the terminal error surface: a nonzero
+    /// value means submitted deltas were lost and an operator should look
+    /// at the rejected mutations.
+    pub terminal_failures: u64,
+    /// Deltas currently queued and not yet flushed (re-queued failed
+    /// batches included).
     pub pending_deltas: usize,
     /// Queries served across all sessions.
     pub queries_served: u64,
 }
+
+/// How many consecutive flush attempts a failing batch gets before
+/// [`OctopusService::apply_pending`] drops it and counts a
+/// [`ServiceStats::terminal_failures`]. Transient failures (an unwritable
+/// cache volume, a mid-compaction artifact) heal within a retry or two; a
+/// deterministically inapplicable batch would otherwise wedge the queue
+/// head forever.
+pub const MAX_BATCH_RETRIES: u64 = 3;
 
 /// The serving layer around one [`Octopus`] engine — see the module docs.
 pub struct OctopusService {
@@ -134,6 +156,12 @@ pub struct OctopusService {
     epochs_swapped: AtomicU64,
     deltas_applied: AtomicU64,
     batches_failed: AtomicU64,
+    terminal_failures: AtomicU64,
+    /// Consecutive failed flush attempts of the current queue head (reset
+    /// by any successful flush; only ever touched under the flush lock).
+    flush_failures: AtomicU64,
+    /// Test-only fault injection: fail this many upcoming rebuilds.
+    inject_failures: AtomicU64,
     queries_served: AtomicU64,
 }
 
@@ -175,6 +203,9 @@ impl OctopusService {
             epochs_swapped: AtomicU64::new(0),
             deltas_applied: AtomicU64::new(0),
             batches_failed: AtomicU64::new(0),
+            terminal_failures: AtomicU64::new(0),
+            flush_failures: AtomicU64::new(0),
+            inject_failures: AtomicU64::new(0),
             queries_served: AtomicU64::new(0),
         }
     }
@@ -214,10 +245,20 @@ impl OctopusService {
     /// the new epoch is live: queries that grabbed their snapshot before
     /// the swap finish on the old engine, later ones see the new one, and
     /// both answer bit-identically to fresh engines built from their
-    /// respective graphs. On `Err`, the drained batch is discarded and the
-    /// old epoch keeps serving — a batch containing an inapplicable delta
-    /// (say, removing an edge another delta already removed) never
-    /// poisons the service.
+    /// respective graphs.
+    ///
+    /// On `Err`, the old epoch keeps serving and the drained batch is
+    /// **re-queued at the front** of the pending queue (ahead of deltas
+    /// submitted meanwhile, preserving submission order), so a transient
+    /// failure — an unwritable cache volume, a racing compaction — costs a
+    /// retry, not the mutations. A batch that keeps failing is dropped
+    /// after [`MAX_BATCH_RETRIES`] consecutive attempts and surfaces as a
+    /// [`ServiceStats::terminal_failures`] increment: an inapplicable
+    /// delta (say, removing an edge another delta already removed) delays
+    /// the queue for a bounded number of flushes, never poisons the
+    /// service, and never wedges the queue head forever. Until then the
+    /// failing batch blocks later deltas (head-of-line) — deliberate,
+    /// because deltas are order-dependent.
     ///
     /// Flushes serialize among themselves; deltas submitted while a flush
     /// is rebuilding wait for the next flush. Readers are never blocked:
@@ -231,20 +272,14 @@ impl OctopusService {
         }
         let start = Instant::now();
         let base = self.snapshot();
-        let graph = delta::apply_all(base.engine.graph(), &batch).inspect_err(|_| {
-            self.batches_failed.fetch_add(1, SeqCst);
-        })?;
-        let model = base.engine.model().clone();
-        let config = base.engine.config().clone();
-        let rebuilt = match &self.cache_dir {
-            Some(dir) if self.mapped => Octopus::open_mapped(graph, model, config, dir),
-            Some(dir) => Octopus::open_or_build(graph, model, config, dir),
-            None => Octopus::new(graph, model, config),
-        }
-        .inspect_err(|_| {
-            self.batches_failed.fetch_add(1, SeqCst);
-        })?
-        .with_user_keywords(base.engine.user_keywords().clone());
+        let rebuilt = match self.rebuild(&base, &batch) {
+            Ok(r) => r,
+            Err(e) => {
+                self.note_flush_failure(batch);
+                return Err(e);
+            }
+        };
+        self.flush_failures.store(0, SeqCst);
         let report = SwapReport {
             epoch: base.id + 1,
             deltas_applied: batch.len(),
@@ -260,6 +295,53 @@ impl OctopusService {
         self.epochs_swapped.fetch_add(1, SeqCst);
         self.deltas_applied.fetch_add(batch.len() as u64, SeqCst);
         Ok(Some(report))
+    }
+
+    /// Coalesce `batch` onto `base`'s graph and build the replacement
+    /// engine (no swap; pure function of its inputs plus the cache dir).
+    fn rebuild(&self, base: &Epoch, batch: &[GraphDelta]) -> Result<Octopus> {
+        let graph = delta::apply_all(base.engine.graph(), batch)?;
+        if self.inject_failures.load(SeqCst) > 0 {
+            self.inject_failures.fetch_sub(1, SeqCst);
+            return Err(crate::CoreError::Artifact(
+                "injected transient rebuild failure".into(),
+            ));
+        }
+        let model = base.engine.model().clone();
+        let config = base.engine.config().clone();
+        let rebuilt = match &self.cache_dir {
+            Some(dir) if self.mapped => Octopus::open_mapped(graph, model, config, dir),
+            Some(dir) => Octopus::open_or_build(graph, model, config, dir),
+            None => Octopus::new(graph, model, config),
+        }?;
+        Ok(rebuilt.with_user_keywords(base.engine.user_keywords().clone()))
+    }
+
+    /// Bookkeeping for one failed flush attempt: count it, and either
+    /// re-queue `batch` at the queue front or — after [`MAX_BATCH_RETRIES`]
+    /// consecutive failures — drop it and record the terminal failure.
+    /// Only ever called under the flush lock.
+    fn note_flush_failure(&self, batch: Vec<GraphDelta>) {
+        self.batches_failed.fetch_add(1, SeqCst);
+        let failures = self.flush_failures.fetch_add(1, SeqCst) + 1;
+        if failures >= MAX_BATCH_RETRIES {
+            self.flush_failures.store(0, SeqCst);
+            self.terminal_failures.fetch_add(1, SeqCst);
+            return; // batch dropped for good
+        }
+        let mut pending = self.pending.lock();
+        let mut requeued = batch;
+        requeued.append(&mut pending);
+        *pending = requeued;
+    }
+
+    /// Test-only fault injection: make the next `n` flush attempts fail
+    /// after delta application, as a transiently failing rebuild would.
+    /// Genuine rebuild failures are deterministic (a bad delta fails every
+    /// retry), so the retry path is only reachable through this hook.
+    #[doc(hidden)]
+    pub fn fail_next_rebuilds(&self, n: u64) {
+        self.inject_failures.store(n, SeqCst);
     }
 
     /// Spawn a background thread that flushes the pending queue whenever
@@ -294,6 +376,7 @@ impl OctopusService {
             epochs_swapped: self.epochs_swapped.load(SeqCst),
             deltas_applied: self.deltas_applied.load(SeqCst),
             batches_failed: self.batches_failed.load(SeqCst),
+            terminal_failures: self.terminal_failures.load(SeqCst),
             pending_deltas: self.pending.lock().len(),
             queries_served: self.queries_served.load(SeqCst),
         }

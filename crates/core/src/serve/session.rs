@@ -133,6 +133,7 @@ impl SessionStats {
 pub struct Session<'s> {
     service: &'s OctopusService,
     stats: SessionStats,
+    pinned: Option<Arc<Epoch>>,
 }
 
 impl<'s> Session<'s> {
@@ -140,6 +141,7 @@ impl<'s> Session<'s> {
         Session {
             service,
             stats: SessionStats::default(),
+            pinned: None,
         }
     }
 
@@ -148,17 +150,38 @@ impl<'s> Session<'s> {
         &self.stats
     }
 
-    /// Freeze the current epoch for multi-query consistency: every call on
-    /// the returned snapshot sees the same graph, whatever swaps happen
-    /// meanwhile. Holding a pin never delays a swap — it only keeps the
-    /// pinned epoch's memory alive.
-    pub fn pin(&self) -> Arc<Epoch> {
-        self.service.snapshot()
+    /// Freeze the current epoch for multi-query consistency: until
+    /// [`unpin`](Session::unpin), every query this session issues runs on
+    /// (and its [`Served::epoch`] is stamped from) this exact snapshot,
+    /// whatever swaps happen meanwhile — the stamp comes from the snapshot
+    /// actually queried, never from the cell's moved-on counter, so a swap
+    /// storm during the pin window cannot misattribute an answer to an
+    /// epoch that did not produce it. Holding a pin never delays a swap —
+    /// it only keeps the pinned epoch's memory alive. The returned handle
+    /// lets the caller inspect the frozen epoch directly.
+    pub fn pin(&mut self) -> Arc<Epoch> {
+        let epoch = self.service.snapshot();
+        self.pinned = Some(Arc::clone(&epoch));
+        epoch
+    }
+
+    /// Release the pin: subsequent queries run on the current epoch again.
+    pub fn unpin(&mut self) {
+        self.pinned = None;
+    }
+
+    /// The snapshot queries currently run on: the pinned epoch, or the
+    /// service's live one.
+    fn snapshot(&self) -> Arc<Epoch> {
+        match &self.pinned {
+            Some(pin) => Arc::clone(pin),
+            None => self.service.snapshot(),
+        }
     }
 
     fn run<T>(&mut self, op: Operator, f: impl FnOnce(&Epoch) -> Result<T>) -> Result<Served<T>> {
         let start = Instant::now();
-        let epoch = self.service.snapshot();
+        let epoch = self.snapshot();
         let outcome = f(&epoch);
         let latency = start.elapsed();
         self.stats.record(op, epoch.id(), latency, outcome.is_ok());

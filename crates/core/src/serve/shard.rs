@@ -1,0 +1,720 @@
+//! Sharded serving: per-shard engines behind a scatter-gather router.
+//!
+//! [`super::OctopusService`] wraps one whole-graph engine, so every delta
+//! pays a whole-graph rebuild and swap latency grows with the graph. A
+//! [`ShardedService`] splits the `TopicGraph` into K locality-based
+//! subgraphs ([`octopus_graph::subgraph::partition`] — whole weakly
+//! connected components, so no influence path is ever cut), runs one
+//! engine + [`EpochCell`] per shard (owned, cached, or
+//! mapped — the same three rebuild modes the unsharded service offers,
+//! each shard keeping its own OCTA cache subdirectory keyed by its
+//! subgraph's fingerprint), and routes:
+//!
+//! * **Queries** fan out across shards and merge:
+//!   - `find_influencers` runs the greedy selection on every shard, then
+//!     k-way-merges the per-shard seed sequences by marginal gain —
+//!     recovered from each shard's influence curve — with the
+//!     deterministic tie-break **(gain desc, original node id asc)**, the
+//!     same lower-id-wins rule the single-engine CELF heap applies.
+//!     Because the partition never splits a component and MIA influence
+//!     cannot cross components, the merged ranking is the single-engine
+//!     ranking (pinned by `tests/serve_shard.rs`); the merged spread is
+//!     the sum of the per-shard prefix spreads actually taken.
+//!   - `suggest_keywords` and `explore_paths` are single-owner queries:
+//!     the one shard that knows the user answers, and node ids in the
+//!     answer are lifted back to global coordinates
+//!     ([`Subgraph::lift`], `Arborescence::remap`).
+//!   - `autocomplete` union-merges the per-shard completions under the
+//!     trie's own ordering (score desc, node id asc) and truncates.
+//!   - `keyword_radar` depends only on the topic model, which every shard
+//!     shares — the degenerate union-merge: shard 0 answers.
+//! * **Deltas** route to only the shards whose node/edge footprint they
+//!   touch: a flush computes each delta's endpoints against the current
+//!   global graph, rebuilds just the touched shards — concurrently, on
+//!   the work-claiming pool — and swaps them; untouched shards keep their
+//!   epoch and pay nothing. An [`GraphDelta::InsertEdge`] whose endpoints
+//!   live in different shards is rejected
+//!   ([`CoreError::CrossShardDelta`]): the locality partition guarantees
+//!   no edge crosses shards, and such an insert would merge two
+//!   components. Failed batches follow the unsharded retry contract —
+//!   re-queued at the front, dropped after
+//!   [`MAX_BATCH_RETRIES`] consecutive
+//!   failures, surfaced via [`ShardedStats::terminal_failures`]. No shard
+//!   is swapped unless every touched shard rebuilt: a flush is all-or-
+//!   nothing, so the shards never serve graphs from different batches.
+
+use super::{Epoch, Served, SwapReport, MAX_BATCH_RETRIES};
+use crate::engine::{KimAnswer, Octopus, OctopusConfig, SeedInfo, SuggestAnswer};
+use crate::kim::{KimResult, KimStats};
+use crate::paths::{ExploreDirection, PathExploration};
+use crate::serve::EpochCell;
+use crate::{CoreError, Result};
+use octopus_graph::delta::{self, GraphDelta};
+use octopus_graph::subgraph::{induced, partition, Subgraph};
+use octopus_graph::{NodeId, TopicGraph};
+use octopus_topics::radar::RadarChart;
+use octopus_topics::{KeywordId, TopicModel};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One shard's scatter result for the influencer merge: its local seed
+/// selection plus the influence curve that recovers per-seed marginal
+/// gains (`curve[i] = (seed count, cumulative spread)`).
+type ShardSelection = (KimResult, Vec<(usize, f64)>);
+
+/// One shard: its stable member list (sub id → original id, ascending)
+/// plus the epoch cell its engine lives in. The member set never changes
+/// (no delta adds or removes nodes), so the mapping survives every
+/// rebuild; only the engine and its subgraph are replaced on swap.
+struct Shard {
+    to_original: Vec<NodeId>,
+    cell: EpochCell<Epoch>,
+}
+
+impl Shard {
+    fn lift(&self, local: NodeId) -> NodeId {
+        self.to_original[local.index()]
+    }
+}
+
+/// One shard's swap out of a routed flush.
+#[derive(Debug, Clone)]
+pub struct ShardSwap {
+    /// Index of the shard that swapped.
+    pub shard: usize,
+    /// What the swap did (per-shard epoch id, rebuild time, stage reuse).
+    pub report: SwapReport,
+}
+
+/// Aggregated counters of a [`ShardedService`], scraped via
+/// [`ShardedService::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Per-shard current epoch ids (index = shard).
+    pub current_epochs: Vec<u64>,
+    /// Shard swaps performed across all flushes (one flush touching three
+    /// shards counts three).
+    pub epochs_swapped: u64,
+    /// Deltas successfully applied across all flushes.
+    pub deltas_applied: u64,
+    /// Flush attempts aborted by a failing delta or rebuild.
+    pub batches_failed: u64,
+    /// Batches dropped for good after exhausting their retries.
+    pub terminal_failures: u64,
+    /// Deltas currently queued (re-queued failed batches included).
+    pub pending_deltas: usize,
+    /// Queries served across all operators.
+    pub queries_served: u64,
+}
+
+impl ShardedStats {
+    /// Sum of per-shard epoch ids — the service-level epoch stamp
+    /// ([`Served::epoch`] of a sharded answer; equals the engine epoch at
+    /// K = 1).
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epochs.iter().sum()
+    }
+}
+
+/// The sharded serving layer — see the module docs.
+pub struct ShardedService {
+    shards: Vec<Shard>,
+    /// `owner[node.index()] = shard index` (global coordinates).
+    owner: Vec<u32>,
+    /// The current global graph — deltas arrive in global coordinates and
+    /// are routed (and footprint-checked) against this. Only flushes
+    /// touch it.
+    global: Mutex<TopicGraph>,
+    model: TopicModel,
+    config: OctopusConfig,
+    /// Global-coordinate user→keywords overrides, re-projected onto each
+    /// touched shard at every rebuild.
+    user_keywords: HashMap<NodeId, Vec<KeywordId>>,
+    /// `Some(root)` gives shard `i` the cache directory `root/shard-NNN`
+    /// — per-shard subdirectories, so each shard's prune budget and
+    /// donor-epoch history are its own and co-tenant eviction cannot
+    /// happen by construction (the [`crate::offline::persist::prune`]
+    /// keep-set guards the shared-directory case for callers that want
+    /// it).
+    cache_root: Option<PathBuf>,
+    mapped: bool,
+    pending: Mutex<Vec<GraphDelta>>,
+    flush: Mutex<()>,
+    epochs_swapped: AtomicU64,
+    deltas_applied: AtomicU64,
+    batches_failed: AtomicU64,
+    terminal_failures: AtomicU64,
+    flush_failures: AtomicU64,
+    queries_served: AtomicU64,
+}
+
+impl ShardedService {
+    /// Partition `graph` into (at most) `k` shards and serve one
+    /// freshly built engine per shard ([`Octopus::new`]; rebuilds from
+    /// scratch on every routed delta).
+    pub fn new(
+        graph: TopicGraph,
+        model: TopicModel,
+        config: OctopusConfig,
+        k: usize,
+    ) -> Result<Self> {
+        Self::with_options(graph, model, config, k, None, false, HashMap::new())
+    }
+
+    /// Like [`ShardedService::new`], but each shard rebuilds through its
+    /// own OCTA artifact cache subdirectory under `dir`
+    /// ([`Octopus::open_or_build`]), so a routed delta reuses every
+    /// offline stage — and every PIKS world — it left valid *within the
+    /// one shard it touched*.
+    pub fn with_cache_dir(
+        graph: TopicGraph,
+        model: TopicModel,
+        config: OctopusConfig,
+        k: usize,
+        dir: impl Into<PathBuf>,
+    ) -> Result<Self> {
+        Self::with_options(
+            graph,
+            model,
+            config,
+            k,
+            Some(dir.into()),
+            false,
+            HashMap::new(),
+        )
+    }
+
+    /// Like [`ShardedService::with_cache_dir`], but shards serve
+    /// zero-copy off memory-mapped artifacts ([`Octopus::open_mapped`]).
+    pub fn with_mapped_cache(
+        graph: TopicGraph,
+        model: TopicModel,
+        config: OctopusConfig,
+        k: usize,
+        dir: impl Into<PathBuf>,
+    ) -> Result<Self> {
+        Self::with_options(
+            graph,
+            model,
+            config,
+            k,
+            Some(dir.into()),
+            true,
+            HashMap::new(),
+        )
+    }
+
+    /// The fully general constructor: cache mode and per-user keyword
+    /// overrides (global node ids; projected per shard) chosen explicitly.
+    pub fn with_options(
+        graph: TopicGraph,
+        model: TopicModel,
+        config: OctopusConfig,
+        k: usize,
+        cache_root: Option<PathBuf>,
+        mapped: bool,
+        user_keywords: HashMap<NodeId, Vec<KeywordId>>,
+    ) -> Result<Self> {
+        let parts = partition(&graph, k)?;
+        let service = ShardedService {
+            shards: Vec::new(),
+            owner: parts.owner,
+            global: Mutex::new(graph),
+            model,
+            config,
+            user_keywords,
+            cache_root,
+            mapped,
+            pending: Mutex::new(Vec::new()),
+            flush: Mutex::new(()),
+            epochs_swapped: AtomicU64::new(0),
+            deltas_applied: AtomicU64::new(0),
+            batches_failed: AtomicU64::new(0),
+            terminal_failures: AtomicU64::new(0),
+            flush_failures: AtomicU64::new(0),
+            queries_served: AtomicU64::new(0),
+        };
+        // initial engines build concurrently, like rebuilds do
+        let engines: Vec<Result<Octopus>> = (0..parts.shards.len())
+            .into_par_iter()
+            .map(|i| {
+                let sub = &parts.shards[i];
+                service.build_engine(i, sub, sub.graph.clone())
+            })
+            .collect();
+        let mut shards = Vec::with_capacity(parts.shards.len());
+        for (sub, engine) in parts.shards.into_iter().zip(engines) {
+            shards.push(Shard {
+                to_original: sub.to_original,
+                cell: EpochCell::new(Arc::new(Epoch {
+                    id: 0,
+                    engine: engine?,
+                })),
+            });
+        }
+        Ok(ShardedService { shards, ..service })
+    }
+
+    /// Build (or open from its shard cache) the engine serving `sub`,
+    /// with the user-keyword overrides projected into shard coordinates.
+    fn build_engine(&self, idx: usize, sub: &Subgraph, graph: TopicGraph) -> Result<Octopus> {
+        let model = self.model.clone();
+        let config = self.config.clone();
+        let engine = match &self.cache_root {
+            Some(root) if self.mapped => {
+                Octopus::open_mapped(graph, model, config, &shard_dir(root, idx))
+            }
+            Some(root) => Octopus::open_or_build(graph, model, config, &shard_dir(root, idx)),
+            None => Octopus::new(graph, model, config),
+        }?;
+        let projected: HashMap<NodeId, Vec<KeywordId>> = self
+            .user_keywords
+            .iter()
+            .filter_map(|(node, words)| sub.to_sub.get(node).map(|&local| (local, words.clone())))
+            .collect();
+        Ok(engine.with_user_keywords(projected))
+    }
+
+    /// Number of shards (≤ the requested K: capped by the graph's
+    /// component count).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning global node `u`, if in range.
+    pub fn owner_of(&self, u: NodeId) -> Option<usize> {
+        self.owner.get(u.index()).map(|&s| s as usize)
+    }
+
+    /// Number of edges in the current global graph (the union of every
+    /// shard) — delta generators size their edge picks with this.
+    pub fn edge_count(&self) -> usize {
+        self.global.lock().edge_count()
+    }
+
+    /// Snapshot every shard's current epoch. Queries run entirely on one
+    /// such snapshot vector, so a swap mid-query is harmless — the query
+    /// finishes on the epochs it grabbed.
+    pub fn snapshots(&self) -> Vec<Arc<Epoch>> {
+        self.shards.iter().map(|s| s.cell.load()).collect()
+    }
+
+    /// Queue a graph mutation (global coordinates) for the next flush.
+    pub fn submit(&self, delta: GraphDelta) {
+        self.pending.lock().push(delta);
+    }
+
+    /// Queue several mutations at once (kept in order).
+    pub fn submit_all(&self, deltas: impl IntoIterator<Item = GraphDelta>) {
+        self.pending.lock().extend(deltas);
+    }
+
+    /// Aggregated service counters.
+    pub fn stats(&self) -> ShardedStats {
+        ShardedStats {
+            current_epochs: self.shards.iter().map(|s| s.cell.load().id).collect(),
+            epochs_swapped: self.epochs_swapped.load(SeqCst),
+            deltas_applied: self.deltas_applied.load(SeqCst),
+            batches_failed: self.batches_failed.load(SeqCst),
+            terminal_failures: self.terminal_failures.load(SeqCst),
+            pending_deltas: self.pending.lock().len(),
+            queries_served: self.queries_served.load(SeqCst),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // delta routing
+    // ------------------------------------------------------------------
+
+    /// Drain the pending queue, route the batch to the shards its
+    /// node/edge footprint touches, rebuild exactly those shards
+    /// (concurrently) against the new global graph, and swap them.
+    ///
+    /// Returns one [`ShardSwap`] per touched shard (`Ok(vec![])` when
+    /// nothing was pending). Untouched shards keep their epoch — their
+    /// engines, caches, and id mappings are not even looked at. The flush
+    /// is all-or-nothing: no shard swaps unless every touched shard's
+    /// rebuild succeeded, so shards never serve graphs of different
+    /// batches. On `Err` the batch is re-queued at the front and retried
+    /// on later flushes, up to
+    /// [`MAX_BATCH_RETRIES`] consecutive
+    /// failures — then it is dropped and counted in
+    /// [`ShardedStats::terminal_failures`] (the same contract as the
+    /// unsharded [`super::OctopusService::apply_pending`]).
+    pub fn apply_pending(&self) -> Result<Vec<ShardSwap>> {
+        let _exclusive = self.flush.lock();
+        let batch: Vec<GraphDelta> = std::mem::take(&mut *self.pending.lock());
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.flush_batch(&batch) {
+            Ok(swaps) => {
+                self.flush_failures.store(0, SeqCst);
+                self.deltas_applied.fetch_add(batch.len() as u64, SeqCst);
+                self.epochs_swapped.fetch_add(swaps.len() as u64, SeqCst);
+                Ok(swaps)
+            }
+            Err(e) => {
+                self.batches_failed.fetch_add(1, SeqCst);
+                let failures = self.flush_failures.fetch_add(1, SeqCst) + 1;
+                if failures >= MAX_BATCH_RETRIES {
+                    self.flush_failures.store(0, SeqCst);
+                    self.terminal_failures.fetch_add(1, SeqCst);
+                } else {
+                    let mut pending = self.pending.lock();
+                    let mut requeued = batch;
+                    requeued.append(&mut pending);
+                    *pending = requeued;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Apply `batch` to the global graph, computing the touched-shard set
+    /// along the way, rebuild those shards, and swap them in. Performs no
+    /// state mutation unless the whole batch routes and rebuilds cleanly.
+    fn flush_batch(&self, batch: &[GraphDelta]) -> Result<Vec<ShardSwap>> {
+        let start = Instant::now();
+        let base = self.global.lock().clone();
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
+        // Edge ids refer to the graph each delta applies TO, and edge
+        // inserts/removals shift later ids — so footprints for such
+        // batches are read against the running fold. The dominant batch
+        // shape (id-stable nudges and renames) takes the coalesced
+        // apply_all fast path with footprints off the base graph.
+        let id_stable = batch.iter().all(|d| {
+            matches!(
+                d,
+                GraphDelta::NudgeWeights { .. } | GraphDelta::RenameNode { .. }
+            )
+        });
+        let new_global = if id_stable {
+            for d in batch {
+                self.touch(d, &base, &mut touched)?;
+            }
+            delta::apply_all(&base, batch)?
+        } else {
+            let mut g = base;
+            for d in batch {
+                self.touch(d, &g, &mut touched)?;
+                g = d.apply(&g)?;
+            }
+            g
+        };
+        let touched: Vec<usize> = touched.into_iter().collect();
+        // rebuild every touched shard concurrently on the claiming pool
+        let rebuilt: Vec<Result<(usize, Octopus)>> = touched
+            .par_iter()
+            .map(|&s| {
+                let sub = induced(&new_global, &self.shards[s].to_original)?;
+                let engine = self.build_engine(s, &sub, sub.graph.clone())?;
+                Ok((s, engine))
+            })
+            .collect();
+        let rebuilt: Vec<(usize, Octopus)> = rebuilt.into_iter().collect::<Result<_>>()?;
+        // every rebuild succeeded — now (and only now) swap
+        let mut swaps = Vec::with_capacity(rebuilt.len());
+        for (s, engine) in rebuilt {
+            let shard = &self.shards[s];
+            let epoch = shard.cell.load().id + 1;
+            let report = SwapReport {
+                epoch,
+                deltas_applied: batch.len(),
+                rebuild_time: start.elapsed(),
+                cache_hit: engine.cache_hit(),
+                stage_reuse: engine.stage_reuse().to_vec(),
+            };
+            drop(shard.cell.swap(Arc::new(Epoch { id: epoch, engine })));
+            swaps.push(ShardSwap { shard: s, report });
+        }
+        *self.global.lock() = new_global;
+        Ok(swaps)
+    }
+
+    /// Add the shards `d`'s footprint touches (read against `g`) to
+    /// `touched`; rejects cross-shard edge inserts.
+    fn touch(&self, d: &GraphDelta, g: &TopicGraph, touched: &mut BTreeSet<usize>) -> Result<()> {
+        let note = |u: NodeId, touched: &mut BTreeSet<usize>| -> Result<usize> {
+            g.check_node(u)?;
+            let s = self.owner[u.index()] as usize;
+            touched.insert(s);
+            Ok(s)
+        };
+        match d {
+            GraphDelta::NudgeWeights { edges, .. } => {
+                // both endpoints share a shard (no edge crosses one)
+                for &e in edges {
+                    let (u, _) = g.edge_endpoints(e)?;
+                    note(u, touched)?;
+                }
+            }
+            GraphDelta::RemoveEdge { edge } => {
+                let (u, _) = g.edge_endpoints(*edge)?;
+                note(u, touched)?;
+            }
+            GraphDelta::InsertEdge { src, dst, .. } => {
+                let s = note(*src, touched)?;
+                let t = note(*dst, touched)?;
+                if s != t {
+                    return Err(CoreError::CrossShardDelta {
+                        src: (*src, s),
+                        dst: (*dst, t),
+                    });
+                }
+            }
+            GraphDelta::RenameNode { node, .. } => {
+                note(*node, touched)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // scatter-gather operators
+    // ------------------------------------------------------------------
+
+    fn serve<T>(&self, f: impl FnOnce(&[Arc<Epoch>]) -> Result<T>) -> Result<Served<T>> {
+        let start = Instant::now();
+        let snaps = self.snapshots();
+        self.queries_served.fetch_add(1, SeqCst);
+        let value = f(&snaps)?;
+        Ok(Served {
+            value,
+            epoch: snaps.iter().map(|e| e.id).sum(),
+            latency: start.elapsed(),
+        })
+    }
+
+    /// Scenario 1, sharded: run the selection on every shard and merge
+    /// the per-shard greedy sequences into the global top-k by marginal
+    /// gain, tie-broken on **(gain desc, original node id asc)** — the
+    /// documented deterministic merge order (see the module docs for why
+    /// this reproduces the single-engine ranking).
+    pub fn find_influencers(&self, query: &str, k: usize) -> Result<Served<KimAnswer>> {
+        self.serve(|snaps| self.find_influencers_on(snaps, query, k))
+    }
+
+    fn find_influencers_on(
+        &self,
+        snaps: &[Arc<Epoch>],
+        query: &str,
+        k: usize,
+    ) -> Result<KimAnswer> {
+        if k == 0 {
+            return Err(CoreError::ZeroK);
+        }
+        let model = &self.model;
+        let (keywords, unknown) = model.vocab().resolve_query(query);
+        if keywords.is_empty() {
+            return Err(CoreError::NoKnownKeywords { unknown });
+        }
+        let gamma = model.infer(&keywords)?;
+        let start = Instant::now();
+        // scatter: every shard selects its own k seeds; the influence
+        // curve (cache-hitting the selection) recovers per-seed marginal
+        // gains for the merge
+        let per_shard: Vec<Result<ShardSelection>> = snaps
+            .par_iter()
+            .map(|snap| {
+                let res = snap.engine.find_influencers_gamma(&gamma, k)?;
+                let curve = if res.seeds.is_empty() {
+                    Vec::new()
+                } else {
+                    snap.engine.influence_curve(&gamma, k)?
+                };
+                Ok((res, curve))
+            })
+            .collect();
+        let per_shard: Vec<ShardSelection> = per_shard.into_iter().collect::<Result<_>>()?;
+        // gather: k-way merge of the per-shard sequences
+        let mut stats = KimStats::default();
+        let mut heads: Vec<(usize, usize)> = Vec::new(); // (shard, next index)
+        for (s, (res, _)) in per_shard.iter().enumerate() {
+            stats.exact_evaluations += res.stats.exact_evaluations;
+            stats.bound_evaluations += res.stats.bound_evaluations;
+            stats.pruned_candidates += res.stats.pruned_candidates;
+            stats.answered_from_sample |= res.stats.answered_from_sample;
+            stats.answered_from_cache |= res.stats.answered_from_cache;
+            if !res.seeds.is_empty() {
+                heads.push((s, 0));
+            }
+        }
+        let gain = |s: usize, i: usize| -> f64 {
+            let curve = &per_shard[s].1;
+            if i == 0 {
+                curve[0].1
+            } else {
+                curve[i].1 - curve[i - 1].1
+            }
+        };
+        let mut seeds: Vec<SeedInfo> = Vec::with_capacity(k);
+        let mut taken = vec![0usize; per_shard.len()];
+        while seeds.len() < k && !heads.is_empty() {
+            // max gain, ties to the LOWER original node id — matching the
+            // single-engine CELF heap's lower-id-wins rule
+            let mut best = 0usize;
+            for h in 1..heads.len() {
+                let (bs, bi) = heads[best];
+                let (hs, hi) = heads[h];
+                let (gb, gh) = (gain(bs, bi), gain(hs, hi));
+                let idb = self.shards[bs].lift(per_shard[bs].0.seeds[bi]);
+                let idh = self.shards[hs].lift(per_shard[hs].0.seeds[hi]);
+                if gh > gb || (gh == gb && idh < idb) {
+                    best = h;
+                }
+            }
+            let (s, i) = heads[best];
+            let local = per_shard[s].0.seeds[i];
+            let node = self.shards[s].lift(local);
+            let snap = &snaps[s];
+            seeds.push(SeedInfo {
+                node,
+                name: snap
+                    .engine
+                    .graph()
+                    .name(local)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| node.0.to_string()),
+                rank: seeds.len(),
+            });
+            taken[s] = i + 1;
+            if i + 1 < per_shard[s].0.seeds.len() {
+                heads[best].1 = i + 1;
+            } else {
+                heads.swap_remove(best);
+            }
+        }
+        // merged spread: components are disjoint, so the global spread of
+        // the merged set is the sum of each shard's prefix spread
+        let spread: f64 = per_shard
+            .iter()
+            .zip(&taken)
+            .filter(|(_, &t)| t > 0)
+            .map(|((_, curve), &t)| curve[t - 1].1)
+            .sum();
+        Ok(KimAnswer {
+            keywords,
+            unknown,
+            gamma,
+            result: KimResult {
+                seeds: seeds.iter().map(|s| s.node).collect(),
+                spread,
+                stats,
+            },
+            seeds,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Scenario 2, sharded: the single shard that owns `user` answers;
+    /// the answer's node id is lifted back to global coordinates.
+    pub fn suggest_keywords(&self, user: &str, k: usize) -> Result<Served<SuggestAnswer>> {
+        self.serve(|snaps| {
+            for (s, snap) in snaps.iter().enumerate() {
+                match snap.engine.suggest_keywords(user, k) {
+                    Err(CoreError::UnknownUser(_)) => continue,
+                    Ok(mut answer) => {
+                        answer.user = self.shards[s].lift(answer.user);
+                        return Ok(answer);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(CoreError::UnknownUser(user.to_string()))
+        })
+    }
+
+    /// Scenario 3, sharded: the owner shard explores, and every node id
+    /// in the exploration — root, clusters, paths, the arborescence, and
+    /// the re-rendered d3 document — is lifted back to global coordinates.
+    pub fn explore_paths(
+        &self,
+        user: &str,
+        direction: ExploreDirection,
+        query: Option<&str>,
+    ) -> Result<Served<PathExploration>> {
+        self.serve(|snaps| {
+            for (s, snap) in snaps.iter().enumerate() {
+                match snap.engine.explore_paths(user, direction, query) {
+                    Err(CoreError::UnknownUser(_)) => continue,
+                    Ok(mut exp) => {
+                        let shard = &self.shards[s];
+                        exp.root = shard.lift(exp.root);
+                        for c in &mut exp.clusters {
+                            c.head = shard.lift(c.head);
+                            for m in &mut c.members {
+                                *m = shard.lift(*m);
+                            }
+                        }
+                        for p in &mut exp.top_paths {
+                            for n in &mut p.nodes {
+                                *n = shard.lift(*n);
+                            }
+                        }
+                        exp.tree = exp.tree.remap(|u| shard.lift(u));
+                        // the d3 document embeds ids: re-render it from
+                        // the lifted tree, resolving names through the
+                        // shard mapping (`to_original` is ascending, so
+                        // global → local is a binary search)
+                        let local_graph = snap.engine.graph();
+                        exp.d3_json = octopus_mia::json::arborescence_to_d3_with(&exp.tree, |u| {
+                            shard
+                                .to_original
+                                .binary_search(&u)
+                                .ok()
+                                .and_then(|i| local_graph.name(NodeId(i as u32)))
+                                .map(str::to_string)
+                        })
+                        .to_string();
+                        return Ok(exp);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(CoreError::UnknownUser(user.to_string()))
+        })
+    }
+
+    /// Name auto-completion, sharded: union-merge of the per-shard
+    /// completions under the trie's own ordering (score desc, node id
+    /// asc), truncated to `limit` — node-id ties compare **lifted**
+    /// (global) ids, so the order equals the single-engine order.
+    pub fn autocomplete(&self, prefix: &str, limit: usize) -> Served<Vec<(NodeId, String, f64)>> {
+        self.serve(|snaps| {
+            let mut merged: Vec<(NodeId, String, f64)> = Vec::new();
+            for (s, snap) in snaps.iter().enumerate() {
+                merged.extend(
+                    snap.engine
+                        .autocomplete(prefix, limit)
+                        .into_iter()
+                        .map(|(id, name, score)| (self.shards[s].lift(id), name, score)),
+                );
+            }
+            merged.sort_by(|a, b| {
+                b.2.partial_cmp(&a.2)
+                    .expect("finite scores")
+                    .then(a.0.cmp(&b.0))
+            });
+            merged.truncate(limit);
+            Ok(merged)
+        })
+        .expect("autocomplete is infallible")
+    }
+
+    /// Radar chart for one keyword. Model-level and therefore shard-
+    /// invariant — the degenerate union-merge: shard 0 answers for all.
+    pub fn keyword_radar(&self, word: &str) -> Result<Served<RadarChart>> {
+        self.serve(|snaps| snaps[0].engine.keyword_radar(word))
+    }
+}
+
+/// The cache subdirectory of shard `idx` under `root`.
+fn shard_dir(root: &std::path::Path, idx: usize) -> PathBuf {
+    root.join(format!("shard-{idx:03}"))
+}

@@ -236,9 +236,27 @@ fn failed_batch_keeps_the_old_epoch_serving() {
     assert_eq!(stats.current_epoch, 0, "old epoch keeps serving");
     assert_eq!(stats.epochs_swapped, 0);
     assert_eq!(stats.batches_failed, 1);
-    assert_eq!(stats.pending_deltas, 0, "the failed batch is discarded");
+    assert_eq!(
+        stats.pending_deltas, 2,
+        "the failed batch is re-queued for retry, not lost"
+    );
     // answers unchanged — the partial rename never leaked
     assert_eq!(probe_session(&service).0, before);
+
+    // a deterministically bad batch fails every retry and is dropped
+    // after MAX_BATCH_RETRIES consecutive attempts, surfacing as a
+    // terminal failure — it never wedges the queue head forever
+    for attempt in 2..=octopus_core::serve::MAX_BATCH_RETRIES {
+        assert!(
+            service.apply_pending().is_err(),
+            "retry {attempt} must fail too"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.batches_failed, octopus_core::serve::MAX_BATCH_RETRIES);
+    assert_eq!(stats.terminal_failures, 1, "the batch was dropped for good");
+    assert_eq!(stats.pending_deltas, 0);
+
     // and the service still accepts good batches afterwards
     service.submit(GraphDelta::NudgeWeights {
         edges: vec![EdgeId(0)],
@@ -246,6 +264,67 @@ fn failed_batch_keeps_the_old_epoch_serving() {
     });
     assert!(service.apply_pending().unwrap().is_some());
     assert_eq!(service.stats().current_epoch, 1);
+}
+
+#[test]
+fn transiently_failing_batch_is_eventually_applied() {
+    let (g, model, config) = fixture();
+    let service =
+        OctopusService::new(Octopus::new(g.clone(), model.clone(), config.clone()).unwrap());
+    let batch = vec![GraphDelta::RenameNode {
+        node: NodeId(2),
+        name: "survived-the-outage".into(),
+    }];
+    service.submit_all(batch.clone());
+
+    // two transient rebuild failures (an unwritable cache volume, say):
+    // each failed flush re-queues the batch at the front
+    service.fail_next_rebuilds(2);
+    for attempt in 1..=2 {
+        assert!(service.apply_pending().is_err(), "attempt {attempt} fails");
+        let stats = service.stats();
+        assert_eq!(stats.pending_deltas, 1, "the batch stays queued");
+        assert_eq!(stats.terminal_failures, 0);
+        assert_eq!(stats.current_epoch, 0);
+    }
+
+    // deltas submitted during the outage queue BEHIND the re-queued
+    // batch, preserving submission order
+    service.submit(GraphDelta::NudgeWeights {
+        edges: vec![EdgeId(0)],
+        delta: 0.05,
+    });
+
+    // the outage ends: the third attempt applies the whole queue
+    let report = service.apply_pending().unwrap().expect("pending deltas");
+    assert_eq!(report.deltas_applied, 2, "retried batch + later delta");
+    let stats = service.stats();
+    assert_eq!(stats.current_epoch, 1);
+    assert_eq!(stats.batches_failed, 2);
+    assert_eq!(stats.terminal_failures, 0);
+    assert_eq!(stats.deltas_applied, 2);
+    assert_eq!(stats.pending_deltas, 0);
+
+    // the transiently failing batch really landed — and the final graph
+    // is exactly base + rename + nudge
+    assert!(service
+        .session()
+        .autocomplete("survived", 1)
+        .value
+        .iter()
+        .any(|(_, name, _)| name == "survived-the-outage"));
+    let expected = octopus_graph::delta::apply_all(
+        &g,
+        &[
+            batch[0].clone(),
+            GraphDelta::NudgeWeights {
+                edges: vec![EdgeId(0)],
+                delta: 0.05,
+            },
+        ],
+    )
+    .unwrap();
+    assert_eq!(service.snapshot().engine().graph(), &expected);
 }
 
 #[test]
@@ -479,6 +558,78 @@ fn session_stats_track_operators_epochs_and_errors() {
     assert_eq!(pin.id(), 1, "pin keeps the pre-swap epoch");
     assert_eq!(service.current_epoch(), 2);
     let _ = pin.engine().find_influencers("data mining", 2).unwrap();
+    // queries issued while pinned run on (and are stamped from) the pin
+    let pinned = session.find_influencers("data mining", 2).unwrap();
+    assert_eq!(pinned.epoch, 1, "stamp comes from the snapshot queried");
+    session.unpin();
+    let live = session.find_influencers("data mining", 2).unwrap();
+    assert_eq!(live.epoch, 2, "unpin resumes the current epoch");
+}
+
+/// Regression test for the pin/stamp race: the `Served::epoch` stamp must
+/// come from the snapshot that actually answered the query, never from
+/// the service's moved-on epoch counter. A pinned session racing a swap
+/// storm must keep answering from — and stamping — the pinned epoch.
+#[test]
+fn pinned_session_stamps_the_snapshot_actually_queried() {
+    let (g, model, config) = fixture();
+    let reference = probe(&Octopus::new(g.clone(), model.clone(), config.clone()).unwrap());
+    let service = OctopusService::new(Octopus::new(g, model, config).unwrap());
+    let mut session = service.session();
+    let pin = session.pin();
+    assert_eq!(pin.id(), 0);
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let mut swaps = 0u32;
+            while !done.load(SeqCst) {
+                service.submit(GraphDelta::NudgeWeights {
+                    edges: vec![EdgeId(swaps % 5)],
+                    delta: 0.01,
+                });
+                service.apply_pending().unwrap().expect("pending delta");
+                swaps += 1;
+            }
+            swaps
+        });
+        // keep reading until at least one swap has really landed under
+        // the pin — a fixed round count can outrun the writer's first
+        // rebuild and leave nothing racing
+        let mut rounds = 0;
+        while rounds < 4 || service.current_epoch() == 0 {
+            let kim = session.find_influencers("data mining", 2).unwrap();
+            assert_eq!(kim.epoch, 0, "pinned query must stamp the pinned epoch");
+            assert_eq!(
+                kim.value.seeds.iter().map(|x| x.node).collect::<Vec<_>>(),
+                reference.seeds,
+                "pinned answers come from the pinned engine, not a swapped one"
+            );
+            assert_eq!(kim.value.result.spread, reference.spread);
+            let comp = session.autocomplete("db-", 10);
+            assert_eq!(comp.epoch, 0);
+            assert_eq!(comp.value, reference.completions);
+            rounds += 1;
+        }
+        done.store(true, SeqCst);
+        let swaps = writer.join().expect("writer must not panic");
+        assert!(swaps > 0, "at least one swap raced the pinned reads");
+    });
+
+    // releasing the pin resumes the live epoch
+    session.unpin();
+    let live = session.autocomplete("db-", 10);
+    assert_eq!(live.epoch, service.current_epoch());
+    assert!(
+        live.epoch > 0,
+        "swaps really happened during the pin window"
+    );
+    let stats = session.stats();
+    assert_eq!(
+        stats.epochs_seen.map(|(first, _)| first),
+        Some(0),
+        "every pinned query was recorded against epoch 0"
+    );
 }
 
 #[test]

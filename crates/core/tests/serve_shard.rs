@@ -1,0 +1,433 @@
+//! Sharded-vs-whole equivalence of the scatter-gather serving layer
+//! (`octopus_core::serve::shard`).
+//!
+//! The contract under test: a [`ShardedService`] over K locality shards is
+//! observationally equivalent to one engine over the whole graph — the
+//! merged top-k is bit-identical (seeds, names, ranks) under the
+//! documented (gain desc, node id asc) tie-break at K ∈ {1, 2, 4}, the
+//! single-owner and union-merge operators lift ids back to global
+//! coordinates exactly, a routed delta rebuilds *only* the shards its
+//! footprint touches (pinned through per-shard [`SwapReport`]s and epoch
+//! vectors), and a cross-shard edge insert is rejected rather than
+//! silently mis-routed. CI runs this suite at `RAYON_NUM_THREADS` 1 and 8
+//! in the serving-soak matrix, next to the unsharded epoch suite.
+
+use octopus_core::engine::{Octopus, OctopusConfig};
+use octopus_core::serve::{ShardedService, MAX_BATCH_RETRIES};
+use octopus_core::CoreError;
+use octopus_graph::delta::GraphDelta;
+use octopus_graph::{EdgeId, GraphBuilder, NodeId, TopicGraph};
+use octopus_topics::{TopicModel, Vocabulary};
+use std::sync::Arc;
+
+/// Four weakly connected components — the partition units — with
+/// deliberately spread-out gains plus one *exact* cross-component tie:
+///
+/// * comp A (nodes 0–4):   hub "ada db" → 4 fans at topic-0 weight 0.8
+/// * comp B (nodes 5–8):   hub "bea ml" → 3 fans at topic-1 weight 0.8
+/// * comp C (nodes 9–11):  hub "cal db" → 2 fans at 0.6 + a 0.3 chain
+/// * comp D (nodes 12–14): hub "dot db" → 2 fans at 0.6 + a 0.3 chain
+///
+/// C and D are structurally identical, so their hubs' marginal gains tie
+/// *bit-for-bit* under any query distribution — which pins the merge's
+/// lower-original-id tie-break. Fan names share the "fan-" prefix across
+/// components so autocomplete union-merges across shards.
+///
+/// Component sizes (5, 4, 3, 3) make the K = 2 greedy bin-pack
+/// deterministic: shard 0 = {A, D}, shard 1 = {B, C}.
+fn fixture() -> (TopicGraph, TopicModel, OctopusConfig) {
+    let mut b = GraphBuilder::new(2);
+    let ada = b.add_node("ada db");
+    for i in 0..4 {
+        let v = b.add_node(format!("fan-a-{i}"));
+        b.add_edge(ada, v, &[(0, 0.8)]).unwrap();
+    }
+    let bea = b.add_node("bea ml");
+    for i in 0..3 {
+        let v = b.add_node(format!("fan-b-{i}"));
+        b.add_edge(bea, v, &[(1, 0.8)]).unwrap();
+    }
+    for hub_name in ["cal db", "dot db"] {
+        let hub = b.add_node(hub_name);
+        let tag = &hub_name[..1];
+        let f0 = b.add_node(format!("fan-{tag}-0"));
+        let f1 = b.add_node(format!("fan-{tag}-1"));
+        b.add_edge(hub, f0, &[(0, 0.6)]).unwrap();
+        b.add_edge(hub, f1, &[(0, 0.6)]).unwrap();
+        b.add_edge(f0, f1, &[(0, 0.3)]).unwrap();
+    }
+    let g = b.build().unwrap();
+    let mut vocab = Vocabulary::new();
+    vocab.intern("data mining");
+    vocab.intern("frequent patterns");
+    vocab.intern("em algorithm");
+    vocab.intern("graphical models");
+    let model = TopicModel::from_rows(
+        vocab,
+        vec![vec![0.5, 0.4, 0.05, 0.05], vec![0.05, 0.05, 0.5, 0.4]],
+        vec![0.5, 0.5],
+    )
+    .unwrap()
+    .with_labels(vec!["databases".into(), "machine learning".into()])
+    .unwrap();
+    // best-effort CELF over exact MIA evaluation: deterministic and
+    // exactly component-decomposable, so sharded-vs-whole seed rankings
+    // must agree to the bit
+    let config = OctopusConfig {
+        piks_index_size: 96,
+        mis_rr_per_topic: 200,
+        k_max: 4,
+        ..Default::default()
+    };
+    (g, model, config)
+}
+
+fn reference(g: &TopicGraph, model: &TopicModel, config: &OctopusConfig) -> Octopus {
+    Octopus::new(g.clone(), model.clone(), config.clone()).unwrap()
+}
+
+/// Assert the sharded service answers all five operators like `single`.
+/// Seeds/ids/names/paths are compared bit-identically; only the merged
+/// spread (a re-grouped floating-point sum) gets an epsilon.
+fn assert_equivalent(sharded: &ShardedService, single: &Octopus) {
+    // scenario 1 — the merged top-k: seeds bit-identical, spread re-summed
+    let want = single.find_influencers("data mining", 4).unwrap();
+    let got = sharded.find_influencers("data mining", 4).unwrap().value;
+    assert_eq!(got.keywords, want.keywords);
+    assert_eq!(
+        got.seeds, want.seeds,
+        "merged ranking must be the global one"
+    );
+    assert_eq!(got.result.seeds, want.result.seeds);
+    assert!(
+        (got.result.spread - want.result.spread).abs() <= 1e-9 * want.result.spread.abs(),
+        "merged spread {} vs single {}",
+        got.result.spread,
+        want.result.spread
+    );
+
+    // scenario 2 — single-owner, id lifted back to global coordinates
+    let want = single.suggest_keywords("ada db", 2).unwrap();
+    let got = sharded.suggest_keywords("ada db", 2).unwrap().value;
+    assert_eq!(got.user, want.user, "suggest user id must be global");
+    assert_eq!(got.user_name, want.user_name);
+    assert_eq!(got.words, want.words);
+
+    // scenario 3 — owner shard explores; every id in the answer lifted
+    let want = single
+        .explore_paths(
+            "cal db",
+            octopus_core::paths::ExploreDirection::Influences,
+            Some("data mining"),
+        )
+        .unwrap();
+    let got = sharded
+        .explore_paths(
+            "cal db",
+            octopus_core::paths::ExploreDirection::Influences,
+            Some("data mining"),
+        )
+        .unwrap()
+        .value;
+    assert_eq!(got.root, want.root);
+    assert_eq!(got.root_name, want.root_name);
+    assert_eq!(got.reached, want.reached);
+    assert_eq!(got.influence, want.influence, "exact MIA mass, bit-equal");
+    assert_eq!(got.clusters, want.clusters);
+    assert_eq!(got.top_paths, want.top_paths);
+    assert_eq!(got.tree, want.tree, "remapped arborescence in global ids");
+    assert_eq!(got.d3_json, want.d3_json);
+
+    // union-merge operators: the "fan-" prefix spans every component
+    assert_eq!(
+        sharded.autocomplete("fan-", 10).value,
+        single.autocomplete("fan-", 10),
+        "union-merged completions under (score desc, global id asc)"
+    );
+    assert_eq!(
+        sharded.keyword_radar("data mining").unwrap().value,
+        single.keyword_radar("data mining").unwrap()
+    );
+}
+
+#[test]
+fn sharding_is_transparent_at_every_shard_count() {
+    let (g, model, config) = fixture();
+    let single = reference(&g, &model, &config);
+    for (k, expected_shards) in [(1usize, 1usize), (2, 2), (4, 4)] {
+        let sharded = ShardedService::new(g.clone(), model.clone(), config.clone(), k).unwrap();
+        assert_eq!(sharded.shard_count(), expected_shards, "k = {k}");
+        assert_equivalent(&sharded, &single);
+    }
+    // requesting more shards than components caps at the component count
+    let capped = ShardedService::new(g, model, config, 64).unwrap();
+    assert_eq!(capped.shard_count(), 4);
+}
+
+#[test]
+fn merged_topk_breaks_exact_gain_ties_on_original_node_id() {
+    let (g, model, config) = fixture();
+    let single = reference(&g, &model, &config);
+    // comps C and D are bit-identical, so their hubs' gains tie exactly;
+    // the single-engine CELF heap resolves to the lower id — "cal db"
+    // (node 9) before "dot db" (node 12)
+    let want = single.find_influencers("data mining", 4).unwrap();
+    let cal = want.seeds.iter().position(|s| s.node == NodeId(9));
+    let dot = want.seeds.iter().position(|s| s.node == NodeId(12));
+    assert!(
+        cal.unwrap() < dot.unwrap(),
+        "lower-id hub must win the exact tie: {:?}",
+        want.seeds
+    );
+    // the sharded merge applies the same (gain desc, node id asc) rule
+    // even when the tied hubs live in *different* shards
+    for k in [2usize, 4] {
+        let sharded = ShardedService::new(g.clone(), model.clone(), config.clone(), k).unwrap();
+        assert_ne!(
+            sharded.owner_of(NodeId(9)),
+            sharded.owner_of(NodeId(12)),
+            "fixture must keep the tied hubs in different shards at k = {k}"
+        );
+        let got = sharded.find_influencers("data mining", 4).unwrap().value;
+        assert_eq!(got.seeds, want.seeds);
+    }
+}
+
+#[test]
+fn routed_delta_rebuilds_only_the_touched_shard() {
+    let (g, model, config) = fixture();
+    let sharded = ShardedService::new(g.clone(), model.clone(), config.clone(), 4).unwrap();
+    let before = sharded.snapshots();
+
+    // EdgeId(7) is "cal db" → "fan-c-0", entirely inside component C
+    let delta = GraphDelta::NudgeWeights {
+        edges: vec![EdgeId(7)],
+        delta: 0.1,
+    };
+    sharded.submit(delta.clone());
+    let swaps = sharded.apply_pending().unwrap();
+    assert_eq!(swaps.len(), 1, "exactly one shard swaps");
+    let cal_shard = sharded.owner_of(NodeId(9)).unwrap();
+    assert_eq!(swaps[0].shard, cal_shard);
+    assert_eq!(swaps[0].report.epoch, 1);
+    assert_eq!(swaps[0].report.deltas_applied, 1);
+
+    // untouched shards keep serving the very same epoch objects
+    let after = sharded.snapshots();
+    for (s, (b, a)) in before.iter().zip(&after).enumerate() {
+        if s == cal_shard {
+            assert!(!Arc::ptr_eq(b, a), "touched shard must have swapped");
+            assert_eq!(a.id(), 1);
+        } else {
+            assert!(Arc::ptr_eq(b, a), "untouched shard {s} must not rebuild");
+            assert_eq!(a.id(), 0);
+        }
+    }
+    let stats = sharded.stats();
+    let mut expected_epochs = vec![0u64; 4];
+    expected_epochs[cal_shard] = 1;
+    assert_eq!(stats.current_epochs, expected_epochs);
+    assert_eq!(stats.epochs_swapped, 1);
+    assert_eq!(stats.deltas_applied, 1);
+    assert_eq!(stats.current_epoch(), 1);
+
+    // post-delta answers still equal a whole-graph engine on the new graph
+    let g1 = delta.apply(&g).unwrap();
+    assert_equivalent(&sharded, &reference(&g1, &model, &config));
+}
+
+#[test]
+fn multi_shard_batch_swaps_every_touched_shard_atomically() {
+    let (g, model, config) = fixture();
+    let sharded = ShardedService::new(g.clone(), model.clone(), config.clone(), 4).unwrap();
+    // one batch touching components A (nudge) and B (rename): both shards
+    // swap in the same flush, C and D pay nothing
+    let batch = vec![
+        GraphDelta::NudgeWeights {
+            edges: vec![EdgeId(0)],
+            delta: 0.05,
+        },
+        GraphDelta::RenameNode {
+            node: NodeId(5),
+            name: "bea ml-jordan".into(),
+        },
+    ];
+    sharded.submit_all(batch.clone());
+    let swaps = sharded.apply_pending().unwrap();
+    let mut swapped: Vec<usize> = swaps.iter().map(|s| s.shard).collect();
+    swapped.sort_unstable();
+    let expected = {
+        let mut v = vec![
+            sharded.owner_of(NodeId(0)).unwrap(),
+            sharded.owner_of(NodeId(5)).unwrap(),
+        ];
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(swapped, expected);
+    assert!(swaps.iter().all(|s| s.report.deltas_applied == 2));
+    let stats = sharded.stats();
+    assert_eq!(stats.epochs_swapped, 2);
+    assert_eq!(stats.deltas_applied, 2);
+    assert_eq!(stats.current_epoch(), 2);
+    // the rename is visible through the union-merged trie
+    assert!(sharded
+        .autocomplete("bea ml-j", 1)
+        .value
+        .iter()
+        .any(|(id, name, _)| *id == NodeId(5) && name == "bea ml-jordan"));
+
+    let g1 = octopus_graph::delta::apply_all(&g, &batch).unwrap();
+    assert_equivalent(&sharded, &reference(&g1, &model, &config));
+}
+
+#[test]
+fn cross_shard_insert_is_rejected_and_eventually_dropped() {
+    let (g, model, config) = fixture();
+    let sharded = ShardedService::new(g, model, config, 4).unwrap();
+    sharded.submit(GraphDelta::InsertEdge {
+        src: NodeId(0),
+        dst: NodeId(5),
+        probs: vec![(0, 0.4)],
+    });
+    // the insert would merge components A and B — every attempt must be
+    // rejected with the routing error, and the retry contract eventually
+    // drops the batch instead of wedging the queue
+    for attempt in 1..=MAX_BATCH_RETRIES {
+        match sharded.apply_pending() {
+            Err(CoreError::CrossShardDelta { src, dst }) => {
+                assert_eq!(src.0, NodeId(0));
+                assert_eq!(dst.0, NodeId(5));
+                assert_ne!(src.1, dst.1);
+            }
+            other => panic!("attempt {attempt}: expected CrossShardDelta, got {other:?}"),
+        }
+    }
+    let stats = sharded.stats();
+    assert_eq!(stats.batches_failed, MAX_BATCH_RETRIES);
+    assert_eq!(stats.terminal_failures, 1);
+    assert_eq!(stats.pending_deltas, 0);
+    assert_eq!(stats.current_epochs, vec![0; 4], "no shard ever swapped");
+
+    // a same-shard insert (inside component C) still routes and applies
+    sharded.submit(GraphDelta::InsertEdge {
+        src: NodeId(11),
+        dst: NodeId(9),
+        probs: vec![(0, 0.2)],
+    });
+    let swaps = sharded.apply_pending().unwrap();
+    assert_eq!(swaps.len(), 1);
+    assert_eq!(Some(swaps[0].shard), sharded.owner_of(NodeId(9)));
+    assert_eq!(sharded.stats().terminal_failures, 1);
+}
+
+#[test]
+fn sharded_equivalence_holds_at_one_and_eight_threads() {
+    let (g, model, config) = fixture();
+    let single = reference(&g, &model, &config);
+    for threads in [1usize, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let sharded = ShardedService::new(g.clone(), model.clone(), config.clone(), 2).unwrap();
+            assert_equivalent(&sharded, &single);
+            // a routed delta under this thread count, then re-check
+            let delta = GraphDelta::NudgeWeights {
+                edges: vec![EdgeId(4)],
+                delta: 0.05,
+            };
+            sharded.submit(delta.clone());
+            let swaps = sharded.apply_pending().unwrap();
+            assert_eq!(swaps.len(), 1, "threads = {threads}");
+            let g1 = delta.apply(&g).unwrap();
+            assert_equivalent(&sharded, &reference(&g1, &model, &config));
+        });
+    }
+}
+
+#[test]
+fn cached_and_mapped_shards_serve_identically() {
+    let (g, model, config) = fixture();
+    let single = reference(&g, &model, &config);
+    let root = std::env::temp_dir().join(format!("octopus-serve-shard-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+
+    // cached mode: per-shard OCTA subdirectories under the root
+    let cached = ShardedService::with_cache_dir(
+        g.clone(),
+        model.clone(),
+        config.clone(),
+        2,
+        root.join("cached"),
+    )
+    .unwrap();
+    assert_equivalent(&cached, &single);
+    for idx in 0..2 {
+        assert!(
+            root.join("cached").join(format!("shard-{idx:03}")).is_dir(),
+            "each shard keeps its own cache subdirectory"
+        );
+    }
+    // a routed rename rebuilds one shard *through its cache*, reusing the
+    // weight-reading stages it left valid
+    let delta = GraphDelta::RenameNode {
+        node: NodeId(12),
+        name: "dot db-lee".into(),
+    };
+    cached.submit(delta.clone());
+    let swaps = cached.apply_pending().unwrap();
+    assert_eq!(swaps.len(), 1);
+    assert!(
+        swaps[0]
+            .report
+            .stage_reuse
+            .iter()
+            .any(|s| s.stage == "spread-cap" && s.is_full()),
+        "a rename must reuse the shard's weight-blind stages: {:?}",
+        swaps[0].report.stage_reuse
+    );
+    let g1 = delta.apply(&g).unwrap();
+    assert_equivalent(&cached, &reference(&g1, &model, &config));
+
+    // mapped mode: every shard engine serves zero-copy off its artifact
+    let mapped = ShardedService::with_mapped_cache(
+        g.clone(),
+        model.clone(),
+        config.clone(),
+        2,
+        root.join("mapped"),
+    )
+    .unwrap();
+    for snap in mapped.snapshots() {
+        assert!(snap.engine().is_mapped(), "shard engines must be mapped");
+    }
+    assert_equivalent(&mapped, &single);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn user_keyword_overrides_project_onto_their_shard() {
+    let (g, model, config) = fixture();
+    let mut overrides = std::collections::HashMap::new();
+    overrides.insert(NodeId(0), vec![octopus_topics::KeywordId(1)]);
+    let sharded = ShardedService::with_options(
+        g.clone(),
+        model.clone(),
+        config.clone(),
+        4,
+        None,
+        false,
+        overrides.clone(),
+    )
+    .unwrap();
+    let single = Octopus::new(g, model, config)
+        .unwrap()
+        .with_user_keywords(overrides);
+    let want = single.suggest_keywords("ada db", 1).unwrap();
+    let got = sharded.suggest_keywords("ada db", 1).unwrap().value;
+    assert_eq!(got.words, want.words);
+    assert_eq!(got.words, vec!["frequent patterns"]);
+    assert_eq!(got.user, NodeId(0), "lifted back to the global id");
+}

@@ -6,6 +6,7 @@
 //! subgraph spanned by a node set while preserving all per-topic edge
 //! probabilities, returning the id mapping in both directions.
 
+use crate::algo::weakly_connected_components;
 use crate::builder::GraphBuilder;
 use crate::csr::TopicGraph;
 use crate::ids::NodeId;
@@ -67,6 +68,101 @@ pub fn induced(g: &TopicGraph, members: &[NodeId]) -> Result<Subgraph> {
         to_sub,
         to_original,
     })
+}
+
+/// A locality-based K-way split of a graph into induced subgraphs.
+///
+/// Produced by [`partition`]. Every node belongs to exactly one shard;
+/// `owner[u.index()]` names it. Shards never split a weakly connected
+/// component, so influence computation (which cannot cross components)
+/// is exact per shard.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// The shard subgraphs, each with its id mappings. May be fewer than
+    /// the requested `k` when the graph has fewer components.
+    pub shards: Vec<Subgraph>,
+    /// `owner[original.index()] = shard index` into `shards`.
+    pub owner: Vec<u32>,
+}
+
+impl Partition {
+    /// Number of shards actually produced.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the partition holds no shards (empty input graph).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard owning original node `u`, if in range.
+    pub fn owner_of(&self, u: NodeId) -> Option<usize> {
+        self.owner.get(u.index()).map(|&s| s as usize)
+    }
+}
+
+/// Partition `g` into at most `k` locality-based shards.
+///
+/// Whole weakly connected components are assigned to shards — influence
+/// never crosses a component boundary, so per-shard analysis stays exact
+/// and no edge is ever cut. Assignment is a deterministic greedy bin-pack:
+/// components ordered by (size desc, min node id asc) go to the currently
+/// lightest shard (ties broken by lowest shard index). Each shard's member
+/// list is sorted ascending by original id, so subgraph ids preserve the
+/// original relative order within a shard and renumbering-sensitive
+/// tie-breaks (lowest-id-wins selections, summation order) agree with the
+/// whole graph.
+///
+/// Returns fewer than `k` shards when the graph has fewer components than
+/// `k`; empty shards are never produced. `k = 0` is treated as `k = 1`.
+pub fn partition(g: &TopicGraph, k: usize) -> Result<Partition> {
+    let k = k.max(1);
+    let n = g.node_count();
+    if n == 0 {
+        return Ok(Partition {
+            shards: Vec::new(),
+            owner: Vec::new(),
+        });
+    }
+    let (comp, num_comps) = weakly_connected_components(g);
+    // component -> (size, min node id)
+    let mut size = vec![0usize; num_comps];
+    let mut min_id = vec![u32::MAX; num_comps];
+    for (u, &c) in comp.iter().enumerate() {
+        size[c as usize] += 1;
+        min_id[c as usize] = min_id[c as usize].min(u as u32);
+    }
+    let mut order: Vec<u32> = (0..num_comps as u32).collect();
+    order.sort_by(|&a, &b| {
+        size[b as usize]
+            .cmp(&size[a as usize])
+            .then(min_id[a as usize].cmp(&min_id[b as usize]))
+    });
+    let num_shards = k.min(num_comps);
+    let mut load = vec![0usize; num_shards];
+    let mut comp_shard = vec![0u32; num_comps];
+    for &c in &order {
+        let lightest = (0..num_shards)
+            .min_by_key(|&s| (load[s], s))
+            .expect("at least one shard");
+        comp_shard[c as usize] = lightest as u32;
+        load[lightest] += size[c as usize];
+    }
+    // members per shard in ascending original-id order (single pass over
+    // 0..n preserves it)
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num_shards];
+    let mut owner = vec![0u32; n];
+    for (u, &c) in comp.iter().enumerate() {
+        let s = comp_shard[c as usize];
+        owner[u] = s;
+        members[s as usize].push(NodeId(u as u32));
+    }
+    let shards = members
+        .iter()
+        .map(|m| induced(g, m))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Partition { shards, owner })
 }
 
 #[cfg(test)]
@@ -132,6 +228,84 @@ mod tests {
     fn out_of_bounds_member_errors() {
         let g = sample();
         assert!(induced(&g, &[NodeId(99)]).is_err());
+    }
+
+    /// 0→1→2 (comp A, 3 nodes), 3→4 (comp B, 2 nodes), 5 isolated (comp C).
+    fn three_components() -> TopicGraph {
+        let mut b = GraphBuilder::new(1);
+        for i in 0..6 {
+            b.add_node(format!("u{i}"));
+        }
+        for (u, v) in [(0, 1), (1, 2), (3, 4)] {
+            b.add_edge(NodeId(u), NodeId(v), &[(0, 0.5)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn partition_never_splits_a_component() {
+        let g = three_components();
+        for k in 1..=4 {
+            let p = partition(&g, k).unwrap();
+            // endpoints of every original edge share a shard
+            for e in g.edges() {
+                let (u, v) = g.edge_endpoints(e).unwrap();
+                assert_eq!(p.owner[u.index()], p.owner[v.index()]);
+            }
+            // every node appears in exactly one shard, total coverage
+            let total: usize = p.shards.iter().map(|s| s.graph.node_count()).sum();
+            assert_eq!(total, g.node_count());
+            assert_eq!(g.edge_count(), {
+                let edges: usize = p.shards.iter().map(|s| s.graph.edge_count()).sum();
+                edges
+            });
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_balanced() {
+        let g = three_components();
+        let p = partition(&g, 2).unwrap();
+        assert_eq!(p.len(), 2);
+        // biggest component (0,1,2) to shard 0, then (3,4) to shard 1,
+        // then singleton 5 to the lighter shard 1
+        assert_eq!(p.owner, vec![0, 0, 0, 1, 1, 1]);
+        let p2 = partition(&g, 2).unwrap();
+        assert_eq!(p.owner, p2.owner);
+    }
+
+    #[test]
+    fn partition_caps_at_component_count() {
+        let g = three_components();
+        let p = partition(&g, 8).unwrap();
+        assert_eq!(p.len(), 3); // only 3 components; no empty shards
+        assert!(p.shards.iter().all(|s| s.graph.node_count() > 0));
+    }
+
+    #[test]
+    fn partition_members_keep_ascending_original_order() {
+        let g = three_components();
+        let p = partition(&g, 2).unwrap();
+        for sub in &p.shards {
+            let mut sorted = sub.to_original.clone();
+            sorted.sort();
+            assert_eq!(sub.to_original, sorted);
+        }
+        // lift/project round-trip through the owner map
+        for u in 0..g.node_count() {
+            let u = NodeId(u as u32);
+            let s = p.owner_of(u).unwrap();
+            let sub = &p.shards[s];
+            assert_eq!(sub.lift(sub.project(u).unwrap()), u);
+        }
+    }
+
+    #[test]
+    fn partition_of_empty_graph_is_empty() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        let p = partition(&g, 4).unwrap();
+        assert!(p.is_empty());
+        assert!(p.owner.is_empty());
     }
 
     #[test]

@@ -251,6 +251,36 @@ impl Arborescence {
         count
     }
 
+    /// Rebuild the arborescence with every node id passed through `f`,
+    /// preserving structure, probabilities, depths and settle order.
+    ///
+    /// Sharded serving computes explorations on shard-local subgraphs and
+    /// lifts them back into global coordinates with this; `f` must be
+    /// injective over the tree's nodes or the index will silently collapse
+    /// duplicates.
+    pub fn remap(&self, mut f: impl FnMut(NodeId) -> NodeId) -> Arborescence {
+        let nodes: Vec<ArbNode> = self
+            .nodes
+            .iter()
+            .map(|n| ArbNode {
+                node: f(n.node),
+                ..n.clone()
+            })
+            .collect();
+        let index = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.node, i as u32))
+            .collect();
+        Arborescence {
+            root: nodes[0].node,
+            direction: self.direction,
+            theta: self.theta,
+            nodes,
+            index,
+        }
+    }
+
     /// Sum of `path_prob` over the subtree of `u`.
     pub fn subtree_mass(&self, u: NodeId) -> f64 {
         let Some(&start) = self.index.get(&u) else {
@@ -372,6 +402,31 @@ mod tests {
         assert_eq!(arb.len(), 1);
         assert_eq!(arb.total_influence(), 1.0);
         assert_eq!(arb.path_to(NodeId(0)), None);
+    }
+
+    #[test]
+    fn remap_preserves_structure_under_id_translation() {
+        let (g, p) = sample();
+        let arb = Arborescence::build(&g, &p, NodeId(0), 0.01, ArbDirection::Out);
+        let shift = |u: NodeId| NodeId(u.0 + 100);
+        let lifted = arb.remap(shift);
+        assert_eq!(lifted.root(), NodeId(100));
+        assert_eq!(lifted.len(), arb.len());
+        assert_eq!(lifted.theta(), arb.theta());
+        for (a, b) in arb.nodes().iter().zip(lifted.nodes()) {
+            assert_eq!(shift(a.node), b.node);
+            assert_eq!(a.parent, b.parent);
+            assert_eq!(a.children, b.children);
+            assert_eq!(a.path_prob, b.path_prob);
+            assert_eq!(a.depth, b.depth);
+        }
+        // lookups work in the new coordinate space
+        assert_eq!(lifted.path_prob(NodeId(103)), arb.path_prob(NodeId(3)));
+        assert_eq!(
+            lifted.path_to(NodeId(103)).unwrap(),
+            vec![NodeId(100), NodeId(101), NodeId(102), NodeId(103)]
+        );
+        assert!(!lifted.contains(NodeId(0)));
     }
 
     #[test]

@@ -106,12 +106,25 @@ impl Json {
 /// `name` falls back to the numeric id when the graph is anonymous;
 /// `effect` is the subtree influence mass (drives node sizing in the UI).
 pub fn arborescence_to_d3(g: &TopicGraph, arb: &Arborescence) -> Json {
-    fn build(g: &TopicGraph, arb: &Arborescence, idx: u32) -> Json {
+    arborescence_to_d3_with(arb, |u| g.name(u).map(str::to_string))
+}
+
+/// Like [`arborescence_to_d3`], but names resolve through an arbitrary
+/// lookup instead of one `TopicGraph` — for arborescences whose node ids
+/// live in a different coordinate space than any single graph (a sharded
+/// serving layer lifting a shard-local tree back to global ids renders
+/// through this, resolving names via its shard mapping).
+pub fn arborescence_to_d3_with(
+    arb: &Arborescence,
+    name_of: impl Fn(octopus_graph::NodeId) -> Option<String>,
+) -> Json {
+    fn build(
+        name_of: &impl Fn(octopus_graph::NodeId) -> Option<String>,
+        arb: &Arborescence,
+        idx: u32,
+    ) -> Json {
         let n = &arb.nodes()[idx as usize];
-        let name = g
-            .name(n.node)
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("{}", n.node.0));
+        let name = name_of(n.node).unwrap_or_else(|| format!("{}", n.node.0));
         let mut fields = vec![
             ("name".to_string(), Json::Str(name)),
             ("id".to_string(), Json::Num(n.node.0 as f64)),
@@ -120,12 +133,12 @@ pub fn arborescence_to_d3(g: &TopicGraph, arb: &Arborescence) -> Json {
             ("effect".to_string(), Json::Num(arb.subtree_mass(n.node))),
         ];
         if !n.children.is_empty() {
-            let children: Vec<Json> = n.children.iter().map(|&c| build(g, arb, c)).collect();
+            let children: Vec<Json> = n.children.iter().map(|&c| build(name_of, arb, c)).collect();
             fields.push(("children".to_string(), Json::Arr(children)));
         }
         Json::Obj(fields)
     }
-    build(g, arb, 0)
+    build(&name_of, arb, 0)
 }
 
 #[cfg(test)]
