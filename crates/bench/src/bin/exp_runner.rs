@@ -10,6 +10,8 @@
 //! cargo run --release -p octopus-bench --bin exp_runner -- --quick --delta 8
 //! cargo run --release -p octopus-bench --bin exp_runner -- --quick --serve 8
 //! cargo run --release -p octopus-bench --bin exp_runner -- --quick --serve 8 --shards 4
+//! cargo run --release -p octopus-bench --bin exp_runner -- --quick --serve 8 --budget-sweep
+//! cargo run --release -p octopus-bench --bin exp_runner -- --quick --serve 16 --shed --budget-ms 50
 //! ```
 //!
 //! With `--artifact-cache <dir>`, every engine construction goes through
@@ -36,7 +38,16 @@
 //! the network — the scatter-gather router fans queries out per shard
 //! and deltas rebuild only the shards they touch (the swap table gains a
 //! `shard` column). `--shards` also extends `--delta` with a routed-flush
-//! leg measuring single-shard rebuild confinement.
+//! leg measuring single-shard rebuild confinement. `--budget-ms <ms>`
+//! gives every serve query that deadline budget (anytime operators);
+//! `--shed` adds a tiny admission controller for the overload-soak leg —
+//! the run must shed a nonzero-but-bounded fraction while the p99 of
+//! admitted queries stays under the guardrail. `--budget-sweep` runs the
+//! quality-vs-budget curve: anytime `find_influencers` at increasing
+//! sample budgets scored as recall@k against the exact run, appended to
+//! `BENCH_serve.json` so `--referee` gates answer-quality regressions
+//! (a recall drop > 0.05 at the same configuration fails) alongside
+//! latency ones.
 //!
 //! With `--open-bench`, the runner measures engine startup: it builds the
 //! citation artifact cold, then opens it twice — once in owned mode
@@ -860,25 +871,41 @@ fn delta_workload(s: &Scale, k: usize, shards: Option<usize>, rec: &mut BenchRec
 /// [`octopus_core::serve::OctopusService`]; with it, a
 /// [`octopus_core::serve::ShardedService`] over `k` disjoint copies of
 /// the citation network (one copy per shard), so routed deltas rebuild
-/// 1/k of the corpus and the swap trajectory is per-shard. Returns
-/// whether the run was healthy (zero query errors, every batch swapped,
-/// p99 under the optional guardrail) — the CI perf-smoke gate.
+/// 1/k of the corpus and the swap trajectory is per-shard.
+///
+/// `--budget-ms <ms>` gives every query that deadline budget, routing it
+/// through the anytime operators; `--shed` puts a deliberately tiny
+/// admission controller in front of the target (2 execution slots,
+/// per-class queues of 2) so an overload run sheds instead of queueing
+/// without bound — the run then *requires* a nonzero but bounded shed
+/// rate and gates the p99 of **admitted** queries (shed queries never
+/// execute and contribute no latency sample). Returns whether the run
+/// was healthy (zero query errors, every batch swapped, p99 under the
+/// guardrail, shed contract honored) — the CI perf-smoke/soak gate.
 fn serve_workload(
     s: &Scale,
     workers: usize,
     shards: Option<usize>,
     p99_guard: Option<std::time::Duration>,
+    budget_ms: Option<u64>,
+    shed: bool,
     rec: &mut BenchRecord,
 ) -> bool {
     use octopus_bench::serve_load::{self, ServeLoadConfig, ServeTarget};
-    use octopus_core::serve::{OctopusService, ShardedService};
+    use octopus_core::serve::{AdmissionConfig, OctopusService, ShardedService};
+    use octopus_core::QueryBudget;
     use std::time::Duration;
     println!(
-        "\n================ SERVE: concurrent serving under delta churn ({workers} workers{}) ================",
+        "\n================ SERVE: concurrent serving under delta churn ({workers} workers{}{}{}) ================",
         match shards {
             Some(k) => format!(", {k} shards"),
             None => String::new(),
-        }
+        },
+        match budget_ms {
+            Some(ms) => format!(", {ms}ms budget"),
+            None => String::new(),
+        },
+        if shed { ", shed-on-overload" } else { "" }
     );
     let net = citation_sized(s.citation_authors, s.citation_papers);
     // private cache subdir (same reasoning as the delta workload): epoch
@@ -896,28 +923,40 @@ fn serve_workload(
         k_max: 25,
         ..Default::default()
     };
+    // the overload leg's deliberately tiny controller: 2 slots, 2 queued
+    // per class — with workers ≫ slots the bounded queues must shed
+    let admission = AdmissionConfig {
+        max_inflight: 2,
+        queue_caps: [2, 2, 2],
+    };
     let t0 = Instant::now();
     let target = match shards {
         None => {
             let engine = Octopus::open_or_build(net.graph.clone(), net.model.clone(), config, &dir)
                 .expect("epoch 0 builds")
                 .with_user_keywords(user_keywords(&net));
-            ServeTarget::Single(OctopusService::with_cache_dir(engine, &dir))
+            let mut service = OctopusService::with_cache_dir(engine, &dir);
+            if shed {
+                service = service.with_admission(admission);
+            }
+            ServeTarget::Single(Box::new(service))
         }
         Some(k) => {
             let union = octopus_bench::workloads::disjoint_copies(&net, k);
-            ServeTarget::Sharded(Box::new(
-                ShardedService::with_options(
-                    union,
-                    net.model.clone(),
-                    config,
-                    k,
-                    Some(dir.clone()),
-                    false,
-                    user_keywords(&net),
-                )
-                .expect("shard engines build"),
-            ))
+            let mut service = ShardedService::with_options(
+                union,
+                net.model.clone(),
+                config,
+                k,
+                Some(dir.clone()),
+                false,
+                user_keywords(&net),
+            )
+            .expect("shard engines build");
+            if shed {
+                service = service.with_admission(admission);
+            }
+            ServeTarget::Sharded(Box::new(service))
         }
     };
     let t_epoch0 = t0.elapsed();
@@ -935,6 +974,10 @@ fn serve_workload(
         delta_batches: 4,
         edges_per_batch: 3,
         batch_pause: Duration::from_millis(40),
+        budget: match budget_ms {
+            Some(ms) => QueryBudget::deadline(Duration::from_millis(ms)),
+            None => QueryBudget::unlimited(),
+        },
         ..Default::default()
     };
     let report = serve_load::run(target, &net, &cfg);
@@ -942,24 +985,26 @@ fn serve_workload(
     for op in &report.per_op {
         rec.op(
             op.operator.label(),
-            Quantiles::from_durations(op.p50, op.p95, op.p99, op.max),
+            Quantiles::from_durations(op.p50, op.p95, op.p99, op.max, op.queries),
         );
     }
     rec.note("throughput_qps", report.throughput)
         .note("total_queries", report.total_queries as f64)
         .note("epoch_swaps", report.swaps.len() as f64)
         .note("deltas_applied", report.deltas_applied as f64)
-        .note("shards", report.shards as f64);
+        .note("shards", report.shards as f64)
+        .note("shed_total", report.total_shed as f64)
+        .note("shed_rate", report.shed_rate());
 
     let mut t = Table::new(
         format!(
-            "SERVE: per-operator latency ({} workers, {} queries, {} wall)",
+            "SERVE: per-operator latency of admitted queries ({} workers, {} queries, {} wall)",
             workers,
             report.total_queries,
             fmt_duration(report.wall)
         ),
         &[
-            "operator", "queries", "errors", "q/s", "p50", "p95", "p99", "max",
+            "operator", "queries", "errors", "shed", "q/s", "p50", "p95", "p99", "max",
         ],
     );
     for op in &report.per_op {
@@ -967,6 +1012,7 @@ fn serve_workload(
             op.operator.label().to_string(),
             op.queries.to_string(),
             op.errors.to_string(),
+            op.shed.to_string(),
             format!("{:.0}", op.throughput),
             fmt_duration(op.p50),
             fmt_duration(op.p95),
@@ -1052,6 +1098,23 @@ fn serve_workload(
         );
         healthy = false;
     }
+    // the overload contract: under --shed, p99 of *admitted* queries is
+    // always gated — against --serve-p99-ms when given, else a default
+    // derived from the budget deadline. The multiplier budgets for the
+    // bounded pipeline an admitted query can sit behind: ~3 dispatch
+    // generations (2-deep class queue over 2 slots), each generation an
+    // execution that may overshoot the deadline by one refinement chunk
+    // (deadlines are checked at chunk boundaries only), with epoch
+    // rebuilds sharing the rayon pool — but the queue caps keep the
+    // whole thing bounded by construction, which is what the gate pins:
+    // shed-not-queue means latency stays O(deadline), never unbounded
+    let p99_guard = if shed {
+        Some(p99_guard.unwrap_or_else(|| {
+            Duration::from_millis(budget_ms.unwrap_or(50) * 20).max(Duration::from_millis(1000))
+        }))
+    } else {
+        p99_guard
+    };
     if let Some(guard) = p99_guard {
         for op in &report.per_op {
             if op.p99 > guard {
@@ -1065,6 +1128,31 @@ fn serve_workload(
             }
         }
     }
+    if shed {
+        println!(
+            "[serve] shed {} of {} queries ({:.1}% shed rate) under admission control",
+            report.total_shed,
+            report.total_queries,
+            report.shed_rate() * 100.0
+        );
+        if report.total_shed == 0 {
+            eprintln!("[serve] FAIL: overload leg shed nothing — admission control never engaged");
+            healthy = false;
+        }
+        if report.shed_rate() > 0.95 {
+            eprintln!(
+                "[serve] FAIL: shed rate {:.1}% — admission starved the serving layer",
+                report.shed_rate() * 100.0
+            );
+            healthy = false;
+        }
+    } else if report.total_shed > 0 {
+        eprintln!(
+            "[serve] FAIL: {} queries shed without admission control configured",
+            report.total_shed
+        );
+        healthy = false;
+    }
     if healthy {
         println!(
             "[serve] OK: zero errors across {} queries racing {} epoch swaps",
@@ -1072,6 +1160,113 @@ fn serve_workload(
             report.swaps.len()
         );
     }
+    healthy
+}
+
+/// Quality-vs-budget sweep (`--budget-sweep`): run the anytime
+/// `find_influencers` at increasing sample budgets against the exact run
+/// and append the recall@k curve to the `serve` trajectory, so the
+/// referee gates *answer quality* across commits, not just latency. Also
+/// asserts the degraded path's determinism contract: at a fixed sample
+/// budget a repeat run must be bit-identical.
+fn budget_sweep_workload(s: &Scale, rec: &mut BenchRecord) -> bool {
+    use octopus_core::QueryBudget;
+    println!(
+        "\n================ BUDGET SWEEP: answer quality vs per-query sample budget ================"
+    );
+    let net = citation_sized(s.citation_authors, s.citation_papers);
+    let (engine, _) = engine_with(&net, KimEngineChoice::BestEffort(BoundKind::Precomputation));
+    let queries = citation_queries();
+    let k = 5usize;
+    let budgets = [32usize, 128, 512, 2048];
+    let exact: Vec<Vec<NodeId>> = queries
+        .iter()
+        .map(|q| {
+            engine
+                .find_influencers(q, k)
+                .expect("exact answer")
+                .result
+                .seeds
+        })
+        .collect();
+    let mut t = Table::new(
+        format!("BUDGET SWEEP: recall@{k} of anytime find-influencers vs the exact run"),
+        &[
+            "budget (RR sets)",
+            "recall",
+            "mean bound width",
+            "mean samples used",
+            "sweep time",
+        ],
+    );
+    let mut healthy = true;
+    let mut curve: Vec<(usize, f64)> = Vec::new();
+    for &b in &budgets {
+        let budget = QueryBudget::samples(b);
+        let (mut hits, mut total) = (0usize, 0usize);
+        let (mut width, mut used) = (0.0f64, 0usize);
+        let t0 = Instant::now();
+        for (q, ex) in queries.iter().zip(&exact) {
+            let a = engine
+                .find_influencers_budgeted(q, k, &budget)
+                .expect("budgeted answer");
+            // determinism at a fixed budget: a repeat must be bit-identical
+            let again = engine
+                .find_influencers_budgeted(q, k, &budget)
+                .expect("budgeted answer");
+            if a.value.result.seeds != again.value.result.seeds
+                || a.value.result.spread.to_bits() != again.value.result.spread.to_bits()
+            {
+                eprintln!("[budget-sweep] FAIL: budget {b} is not deterministic on {q:?}");
+                healthy = false;
+            }
+            hits += a
+                .value
+                .result
+                .seeds
+                .iter()
+                .filter(|seed| ex.contains(seed))
+                .count();
+            total += ex.len();
+            width += a.bound.upper - a.bound.lower;
+            used += a.bound.samples_used;
+        }
+        let elapsed = t0.elapsed();
+        let recall = hits as f64 / total.max(1) as f64;
+        let nq = queries.len().max(1) as f64;
+        t.row(vec![
+            b.to_string(),
+            format!("{recall:.3}"),
+            format!("{:.2}", width / nq),
+            format!("{:.0}", used as f64 / nq),
+            fmt_duration(elapsed),
+        ]);
+        rec.note(&format!("recall_at_k_b{b}"), recall);
+        curve.push((b, recall));
+    }
+    emit(&t);
+    // advisory (the referee's cross-run quality gate is the hard check):
+    // a fixed-seed curve should be monotone-ish in the budget
+    for w in curve.windows(2) {
+        if w[1].1 + 0.15 < w[0].1 {
+            eprintln!(
+                "[budget-sweep] WARN: recall dropped {:.3} -> {:.3} when the budget grew {} -> {}",
+                w[0].1, w[1].1, w[0].0, w[1].0
+            );
+        }
+    }
+    let (lo, hi) = (
+        curve.first().expect("nonempty"),
+        curve.last().expect("nonempty"),
+    );
+    println!(
+        "[budget-sweep] recall@{k} {:.3} at {} RR sets -> {:.3} at {} RR sets across {} queries\n",
+        lo.1,
+        lo.0,
+        hi.1,
+        hi.0,
+        queries.len()
+    );
     healthy
 }
 
@@ -1346,7 +1541,13 @@ fn open_bench_workload(s: &Scale, paranoid: bool, rec: &mut BenchRecord) -> bool
         let pct = |p: f64| xs[((xs.len() - 1) as f64 * p).round() as usize];
         rec.op(
             name,
-            Quantiles::from_durations(pct(0.50), pct(0.95), pct(0.99), xs[xs.len() - 1]),
+            Quantiles::from_durations(
+                pct(0.50),
+                pct(0.95),
+                pct(0.99),
+                xs[xs.len() - 1],
+                xs.len() as u64,
+            ),
         );
     }
 
@@ -1819,6 +2020,18 @@ fn main() {
         },
         None => None,
     };
+    let budget_ms = match args.iter().position(|a| a == "--budget-ms") {
+        Some(i) => match args.get(i + 1).and_then(|ms| ms.parse::<u64>().ok()) {
+            Some(ms) if ms > 0 => Some(ms),
+            _ => {
+                eprintln!("--budget-ms requires a positive millisecond argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let shed = args.iter().any(|a| a == "--shed");
+    let budget_sweep = args.iter().any(|a| a == "--budget-sweep");
     let open_bench = args.iter().any(|a| a == "--open-bench");
     let paranoid = args.iter().any(|a| a == "--paranoid");
     let referee_mode = args.iter().any(|a| a == "--referee");
@@ -1844,6 +2057,7 @@ fn main() {
                 || *a == "--serve"
                 || *a == "--shards"
                 || *a == "--serve-p99-ms"
+                || *a == "--budget-ms"
                 || *a == "--bench-dir"
             {
                 skip_next = true;
@@ -1858,7 +2072,9 @@ fn main() {
     // one trajectory record per invocation, named after the dominant mode
     let workload = if open_bench {
         "open-bench"
-    } else if serve_workers.is_some() {
+    } else if serve_workers.is_some() || budget_sweep {
+        // the quality-vs-budget curve lives in the serve trajectory: it
+        // gates the same serving-layer answers
         "serve"
     } else if delta_k.is_some() {
         "delta"
@@ -1866,7 +2082,7 @@ fn main() {
         "sweep"
     };
     let descriptor = format!(
-        "{workload}|quick={quick}|paranoid={paranoid}|delta={delta_k:?}|serve={serve_workers:?}|shards={shards:?}|picks={picks:?}|authors={}|papers={}",
+        "{workload}|quick={quick}|paranoid={paranoid}|delta={delta_k:?}|serve={serve_workers:?}|shards={shards:?}|budget_ms={budget_ms:?}|shed={shed}|sweep={budget_sweep}|picks={picks:?}|authors={}|papers={}",
         s.citation_authors, s.citation_papers
     );
     let mut rec = BenchRecord::new(
@@ -1880,10 +2096,10 @@ fn main() {
 
     let t0 = Instant::now();
     let mut healthy = true;
-    if open_bench || delta_k.is_some() || serve_workers.is_some() {
-        // the open-bench, delta, and serve modes are their own workloads:
-        // run them (plus any explicitly picked experiments) instead of the
-        // full default sweep
+    if open_bench || delta_k.is_some() || serve_workers.is_some() || budget_sweep {
+        // the open-bench, delta, serve, and budget-sweep modes are their
+        // own workloads: run them (plus any explicitly picked experiments)
+        // instead of the full default sweep
         if open_bench {
             healthy &= open_bench_workload(&s, paranoid, &mut rec);
         }
@@ -1891,7 +2107,10 @@ fn main() {
             delta_workload(&s, k, shards, &mut rec);
         }
         if let Some(workers) = serve_workers {
-            healthy &= serve_workload(&s, workers, shards, serve_p99, &mut rec);
+            healthy &= serve_workload(&s, workers, shards, serve_p99, budget_ms, shed, &mut rec);
+        }
+        if budget_sweep {
+            healthy &= budget_sweep_workload(&s, &mut rec);
         }
         for p in &picks {
             run_experiment(p, &s);

@@ -37,16 +37,30 @@ pub struct Quantiles {
     pub p99_ms: f64,
     /// Worst observed.
     pub max_ms: f64,
+    /// Observations the quantiles were computed from (0 = unknown, for
+    /// records written before the field existed). The referee skips
+    /// *relative* quantile gates below [`QUANTILE_MIN_SAMPLES`]: with a
+    /// handful of observations p99 is a max-statistic and even the median
+    /// reflects whichever churn phases the short run happened to overlap,
+    /// so run-to-run ratios are noise, not regressions.
+    pub samples: u64,
 }
 
 impl Quantiles {
-    /// Quantiles from duration values.
-    pub fn from_durations(p50: Duration, p95: Duration, p99: Duration, max: Duration) -> Self {
+    /// Quantiles from duration values and the observation count behind them.
+    pub fn from_durations(
+        p50: Duration,
+        p95: Duration,
+        p99: Duration,
+        max: Duration,
+        samples: u64,
+    ) -> Self {
         Quantiles {
             p50_ms: ms(p50),
             p95_ms: ms(p95),
             p99_ms: ms(p99),
             max_ms: ms(max),
+            samples,
         }
     }
 }
@@ -153,12 +167,13 @@ impl BenchRecord {
             }
             let _ = write!(
                 s,
-                "{}:{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                "{}:{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"n\":{}}}",
                 json_string(k),
                 json_number(q.p50_ms),
                 json_number(q.p95_ms),
                 json_number(q.p99_ms),
-                json_number(q.max_ms)
+                json_number(q.max_ms),
+                q.samples
             );
         }
         s.push_str("},\"notes\":{");
@@ -222,6 +237,9 @@ impl BenchRecord {
                         p95_ms: field("p95")?,
                         p99_ms: field("p99")?,
                         max_ms: field("max")?,
+                        // absent in records written before the field
+                        // existed: 0 = unknown, gated as before
+                        samples: q.get("n").and_then(Json::as_number).unwrap_or(0.0) as u64,
                     },
                 ))
             })
@@ -535,6 +553,22 @@ pub fn current_rss_kb() -> u64 {
 pub const REGRESSION_RATIO: f64 = 2.0;
 /// Minimum absolute slowdown (milliseconds) that can count as a regression.
 pub const REGRESSION_FLOOR_MS: f64 = 10.0;
+/// Minimum observations behind a latency quantile for the referee to gate
+/// it *relatively* (fresh vs baseline). Below this — e.g. `--quick` serve
+/// runs with a few dozen queries per operator — p99 is a max-statistic
+/// (one query descheduled behind an epoch rebuild shifts it by two orders
+/// of magnitude) and even p50 depends on which churn phases the short run
+/// overlapped, so ratio gates flap without any code change. Smoke-scale
+/// runs stay guarded by the *absolute* limits (`--serve-p99-ms`, the
+/// `--shed` deadline guard) and by the recall quality notes, which are
+/// deterministic at any scale. Quantiles with an unknown count (records
+/// predating the `n` field) are gated as before.
+pub const QUANTILE_MIN_SAMPLES: u64 = 200;
+/// Quality gate: a `recall*` note is a regression when it *drops* by more
+/// than this (absolute recall) against the baseline — answer quality is
+/// gated alongside latency, so an anytime-path change cannot buy speed by
+/// silently degrading answers.
+pub const QUALITY_DROP: f64 = 0.05;
 
 /// Outcome of one referee comparison.
 #[derive(Debug, Clone)]
@@ -587,17 +621,38 @@ pub fn referee_check(dir: &Path, fresh: &BenchRecord) -> RefereeReport {
             check(&format!("stage {name}"), *fresh_ms, *base_ms);
         }
     }
+    // a known-but-small sample count on either side makes the relative
+    // comparison statistically meaningless (see QUANTILE_MIN_SAMPLES)
+    let too_few = |n: u64| n != 0 && n < QUANTILE_MIN_SAMPLES;
     for (name, q) in &fresh.op_quantiles_ms {
         if let Some((_, bq)) = base.op_quantiles_ms.iter().find(|(n, _)| n == name) {
+            if too_few(q.samples) || too_few(bq.samples) {
+                continue;
+            }
             check(&format!("{name} p50"), q.p50_ms, bq.p50_ms);
             check(&format!("{name} p99"), q.p99_ms, bq.p99_ms);
         }
     }
     for (name, v) in &fresh.notes {
-        // only timing-shaped notes participate in the gate
+        // timing-shaped notes participate in the latency gate
         if name.ends_with("_ms") {
             if let Some((_, b)) = base.notes.iter().find(|(n, _)| n == name) {
                 check(&format!("note {name}"), *v, *b);
+            }
+        }
+    }
+    for (name, v) in &fresh.notes {
+        // recall-shaped notes participate in the quality gate: they
+        // regress in the OTHER direction (a drop, not a slowdown)
+        if name.starts_with("recall") {
+            if let Some((_, b)) = base.notes.iter().find(|(n, _)| n == name) {
+                compared += 1;
+                if b - v > QUALITY_DROP {
+                    regressions.push(format!(
+                        "note {name}: recall {v:.3} vs baseline {b:.3} (drop {:.3})",
+                        b - v
+                    ));
+                }
             }
         }
     }
@@ -623,6 +678,7 @@ mod tests {
                     Duration::from_millis(2),
                     Duration::from_millis(3),
                     Duration::from_millis(4),
+                    1000,
                 ),
             )
             .note("mapped_cold_open_ms", 0.61)
@@ -680,6 +736,7 @@ mod tests {
                 p95_ms: 8.0,
                 p99_ms: 10.0,
                 max_ms: 12.0,
+                samples: 1000,
             },
         )];
         base.notes = vec![("mapped_cold_open_ms".into(), 20.0)];
@@ -712,6 +769,88 @@ mod tests {
         other.config_fp ^= 1;
         let skipped = referee_check(&dir, &other);
         assert!(skipped.pass() && skipped.baseline_time_s.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn referee_skips_relative_quantile_gates_on_smoke_scale_samples() {
+        let dir = std::env::temp_dir().join("octopus_bench_smoke_scale_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut base = sample();
+        base.stage_timings_ms.clear();
+        base.notes.clear();
+        base.op_quantiles_ms = vec![(
+            "autocomplete".into(),
+            Quantiles {
+                p50_ms: 0.1,
+                p95_ms: 0.2,
+                p99_ms: 0.3,
+                max_ms: 0.4,
+                samples: 40,
+            },
+        )];
+        base.append_to(&dir).unwrap();
+
+        // a huge tail swing on 40 observations is a max-statistic, not a
+        // regression: the relative gate must not fire
+        let mut tail = base.clone();
+        tail.op_quantiles_ms[0].1.p99_ms = 32.0;
+        assert!(referee_check(&dir, &tail).pass());
+
+        // the same swing backed by enough samples on both sides trips it
+        let mut solid_base = base.clone();
+        solid_base.config_fp ^= 1;
+        solid_base.op_quantiles_ms[0].1.samples = QUANTILE_MIN_SAMPLES;
+        solid_base.append_to(&dir).unwrap();
+        let mut solid_tail = solid_base.clone();
+        solid_tail.op_quantiles_ms[0].1.p99_ms = 32.0;
+        assert!(!referee_check(&dir, &solid_tail).pass());
+
+        // a smoke-scale fresh run against a well-sampled baseline (or the
+        // reverse) is still not comparable
+        let mut mixed = solid_tail.clone();
+        mixed.op_quantiles_ms[0].1.samples = 40;
+        assert!(referee_check(&dir, &mixed).pass());
+
+        // unknown counts (records predating the field) keep the old gate
+        let mut legacy_base = base.clone();
+        legacy_base.config_fp ^= 2;
+        legacy_base.op_quantiles_ms[0].1.samples = 0;
+        legacy_base.append_to(&dir).unwrap();
+        let mut legacy_tail = legacy_base.clone();
+        legacy_tail.op_quantiles_ms[0].1.p99_ms = 32.0;
+        assert!(!referee_check(&dir, &legacy_tail).pass());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn referee_gates_recall_drops_but_not_gains() {
+        let dir = std::env::temp_dir().join("octopus_bench_quality_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut base = sample();
+        base.stage_timings_ms.clear();
+        base.op_quantiles_ms.clear();
+        base.notes = vec![("recall_at_k_b128".into(), 0.90)];
+        base.append_to(&dir).unwrap();
+
+        // within the tolerance: pass
+        let mut ok = base.clone();
+        ok.notes = vec![("recall_at_k_b128".into(), 0.86)];
+        assert!(referee_check(&dir, &ok).pass());
+
+        // a drop past the tolerance: regression
+        let mut dropped = base.clone();
+        dropped.notes = vec![("recall_at_k_b128".into(), 0.80)];
+        let caught = referee_check(&dir, &dropped);
+        assert!(!caught.pass());
+        assert!(caught.regressions[0].contains("recall_at_k_b128"));
+
+        // a gain never trips the gate
+        let mut gained = base.clone();
+        gained.notes = vec![("recall_at_k_b128".into(), 1.0)];
+        assert!(referee_check(&dir, &gained).pass());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

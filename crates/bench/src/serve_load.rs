@@ -26,6 +26,7 @@ use crate::workloads::prolific_users;
 use octopus_core::engine::{KimAnswer, SuggestAnswer};
 use octopus_core::paths::{ExploreDirection, PathExploration};
 use octopus_core::serve::{OctopusService, Operator, Served, ShardSwap, ShardedService};
+use octopus_core::{Anytime, CoreError, QueryBudget};
 use octopus_data::SyntheticNetwork;
 use octopus_graph::delta::GraphDelta;
 use octopus_graph::{EdgeId, NodeId};
@@ -53,6 +54,14 @@ pub struct ServeLoadConfig {
     /// Master seed for the workers' query choices and the mutator's edge
     /// picks.
     pub seed: u64,
+    /// Per-query budget every worker carries. Unlimited (the default)
+    /// runs the exact operators; a limited budget routes queries through
+    /// the anytime variants. The budget's class drives admission when the
+    /// target was built with an admission controller — shed queries
+    /// ([`CoreError::Overloaded`]) are counted separately from errors and
+    /// contribute no latency sample, so the report's percentiles are
+    /// percentiles *of admitted queries*.
+    pub budget: QueryBudget,
 }
 
 impl Default for ServeLoadConfig {
@@ -64,6 +73,7 @@ impl Default for ServeLoadConfig {
             edges_per_batch: 3,
             batch_pause: Duration::from_millis(30),
             seed: 0x5E17_E000,
+            budget: QueryBudget::unlimited(),
         }
     }
 }
@@ -71,8 +81,9 @@ impl Default for ServeLoadConfig {
 /// What the load generator drives: either serving-layer flavor, behind
 /// one face so the worker and mutator loops are flavor-blind.
 pub enum ServeTarget {
-    /// One whole-graph engine behind an epoch cell.
-    Single(OctopusService),
+    /// One whole-graph engine behind an epoch cell (boxed: the service
+    /// carries the admission controller and stats counters inline).
+    Single(Box<OctopusService>),
     /// Per-shard engines behind a scatter-gather router (boxed: the
     /// router carries per-shard state and dwarfs the single variant).
     Sharded(Box<ShardedService>),
@@ -94,10 +105,14 @@ impl ServeTarget {
         }
     }
 
-    fn handle(&self) -> Handle<'_> {
+    fn handle(&self, budget: QueryBudget) -> Handle<'_> {
         match self {
-            ServeTarget::Single(s) => Handle::Single(Box::new(s.session())),
-            ServeTarget::Sharded(s) => Handle::Sharded(s),
+            ServeTarget::Single(s) => {
+                let mut session = s.session();
+                session.set_budget(budget);
+                Handle::Single(Box::new(session))
+            }
+            ServeTarget::Sharded(s) => Handle::Sharded { service: s, budget },
         }
     }
 
@@ -140,14 +155,33 @@ impl ServeTarget {
 /// pointer).
 enum Handle<'a> {
     Single(Box<octopus_core::serve::Session<'a>>),
-    Sharded(&'a ShardedService),
+    Sharded {
+        service: &'a ShardedService,
+        budget: QueryBudget,
+    },
+}
+
+/// Unwrap a budgeted answer for latency accounting (the load generator
+/// measures; the anytime tests certify the bounds).
+fn flatten<T>(served: Served<Anytime<T>>) -> Served<T> {
+    Served {
+        value: served.value.value,
+        epoch: served.epoch,
+        latency: served.latency,
+    }
 }
 
 impl Handle<'_> {
     fn find_influencers(&mut self, q: &str, k: usize) -> octopus_core::Result<Served<KimAnswer>> {
         match self {
-            Handle::Single(s) => s.find_influencers(q, k),
-            Handle::Sharded(s) => s.find_influencers(q, k),
+            Handle::Single(s) if s.budget().is_unlimited() => s.find_influencers(q, k),
+            Handle::Single(s) => s.find_influencers_budgeted(q, k).map(flatten),
+            Handle::Sharded { service, budget } if budget.is_unlimited() => {
+                service.find_influencers(q, k)
+            }
+            Handle::Sharded { service, budget } => {
+                service.find_influencers_budgeted(q, k, budget).map(flatten)
+            }
         }
     }
 
@@ -157,8 +191,14 @@ impl Handle<'_> {
         k: usize,
     ) -> octopus_core::Result<Served<SuggestAnswer>> {
         match self {
-            Handle::Single(s) => s.suggest_keywords(user, k),
-            Handle::Sharded(s) => s.suggest_keywords(user, k),
+            Handle::Single(s) if s.budget().is_unlimited() => s.suggest_keywords(user, k),
+            Handle::Single(s) => s.suggest_keywords_budgeted(user, k).map(flatten),
+            Handle::Sharded { service, budget } if budget.is_unlimited() => {
+                service.suggest_keywords(user, k)
+            }
+            Handle::Sharded { service, budget } => service
+                .suggest_keywords_budgeted(user, k, budget)
+                .map(flatten),
         }
     }
 
@@ -169,22 +209,38 @@ impl Handle<'_> {
         query: Option<&str>,
     ) -> octopus_core::Result<Served<PathExploration>> {
         match self {
-            Handle::Single(s) => s.explore_paths(user, direction, query),
-            Handle::Sharded(s) => s.explore_paths(user, direction, query),
+            Handle::Single(s) if s.budget().is_unlimited() => {
+                s.explore_paths(user, direction, query)
+            }
+            Handle::Single(s) => s
+                .explore_paths_budgeted(user, direction, query)
+                .map(flatten),
+            Handle::Sharded { service, budget } if budget.is_unlimited() => {
+                service.explore_paths(user, direction, query)
+            }
+            Handle::Sharded { service, budget } => service
+                .explore_paths_budgeted(user, direction, query, budget)
+                .map(flatten),
         }
     }
 
     fn autocomplete(&mut self, prefix: &str, limit: usize) -> Served<Vec<(NodeId, String, f64)>> {
         match self {
             Handle::Single(s) => s.autocomplete(prefix, limit),
-            Handle::Sharded(s) => s.autocomplete(prefix, limit),
+            Handle::Sharded { service, .. } => service.autocomplete(prefix, limit),
         }
     }
 
     fn keyword_radar(&mut self, word: &str) -> octopus_core::Result<Served<RadarChart>> {
         match self {
-            Handle::Single(s) => s.keyword_radar(word),
-            Handle::Sharded(s) => s.keyword_radar(word),
+            Handle::Single(s) if s.budget().is_unlimited() => s.keyword_radar(word),
+            Handle::Single(s) => s.keyword_radar_budgeted(word).map(flatten),
+            Handle::Sharded { service, budget } if budget.is_unlimited() => {
+                service.keyword_radar(word)
+            }
+            Handle::Sharded { service, budget } => {
+                service.keyword_radar_budgeted(word, budget).map(flatten)
+            }
         }
     }
 }
@@ -245,9 +301,11 @@ pub struct OperatorReport {
     pub operator: Operator,
     /// Queries issued.
     pub queries: u64,
-    /// Queries that returned an error.
+    /// Queries that returned an error (shed queries excluded).
     pub errors: u64,
-    /// Median latency.
+    /// Queries shed by admission control ([`CoreError::Overloaded`]).
+    pub shed: u64,
+    /// Median latency (admitted queries only).
     pub p50: Duration,
     /// 95th-percentile latency.
     pub p95: Duration,
@@ -269,8 +327,10 @@ pub struct ServeLoadReport {
     pub per_op: Vec<OperatorReport>,
     /// Total queries across operators and workers.
     pub total_queries: u64,
-    /// Total errors across operators and workers.
+    /// Total errors across operators and workers (shed excluded).
     pub total_errors: u64,
+    /// Total queries shed by admission control.
+    pub total_shed: u64,
     /// Aggregate throughput (queries per second).
     pub throughput: f64,
     /// Shards serving (1 for the unsharded service).
@@ -292,6 +352,15 @@ impl ServeLoadReport {
     pub fn op(&self, op: Operator) -> Option<&OperatorReport> {
         self.per_op.iter().find(|r| r.operator == op)
     }
+
+    /// Fraction of issued queries that were shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.total_queries == 0 {
+            0.0
+        } else {
+            self.total_shed as f64 / self.total_queries as f64
+        }
+    }
 }
 
 /// Latency percentile from an unsorted sample set (nearest-rank).
@@ -309,6 +378,7 @@ pub fn percentile(samples: &mut [Duration], p: f64) -> Duration {
 struct WorkerLog {
     latencies: [Vec<Duration>; 5],
     errors: [u64; 5],
+    shed: [u64; 5],
     epochs: Option<(u64, u64)>,
 }
 
@@ -330,47 +400,65 @@ pub fn run(target: ServeTarget, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -
             let mutations_done = &mutations_done;
             workers.push(s.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (0xA11CE + w as u64));
-                let mut session = service.handle();
+                let mut session = service.handle(cfg.budget);
                 let mut log = WorkerLog::default();
                 let mut issued = 0usize;
+                // per-op outcome: Ok carries the measurement, Err is split
+                // into shed (admission said no; nothing ran) vs real error
+                enum Outcome {
+                    Ok(Duration, u64),
+                    Shed,
+                    Err,
+                }
+                fn outcome<T>(r: octopus_core::Result<Served<T>>) -> Outcome {
+                    match r {
+                        Ok(a) => Outcome::Ok(a.latency, a.epoch),
+                        Err(CoreError::Overloaded { .. }) => Outcome::Shed,
+                        Err(_) => Outcome::Err,
+                    }
+                }
                 while issued < cfg.min_queries_per_worker || !mutations_done.load(SeqCst) {
                     let roll = rng.random_range(0..100u32);
-                    let (op, latency, epoch, ok) = if roll < 40 {
+                    let (op, out) = if roll < 40 {
                         let q = &pools.queries[rng.random_range(0..pools.queries.len())];
                         let k = rng.random_range(1..=8usize);
-                        match session.find_influencers(q, k) {
-                            Ok(a) => (0, a.latency, Some(a.epoch), true),
-                            Err(_) => (0, Duration::ZERO, None, false),
-                        }
+                        (0, outcome(session.find_influencers(q, k)))
                     } else if roll < 60 {
                         let u = &pools.users[rng.random_range(0..pools.users.len())];
-                        match session.suggest_keywords(u, 2) {
-                            Ok(a) => (1, a.latency, Some(a.epoch), true),
-                            Err(_) => (1, Duration::ZERO, None, false),
-                        }
+                        (1, outcome(session.suggest_keywords(u, 2)))
                     } else if roll < 75 {
                         let u = &pools.users[rng.random_range(0..pools.users.len())];
                         let q = &pools.queries[rng.random_range(0..pools.queries.len())];
-                        match session.explore_paths(u, ExploreDirection::Influences, Some(q)) {
-                            Ok(a) => (2, a.latency, Some(a.epoch), true),
-                            Err(_) => (2, Duration::ZERO, None, false),
-                        }
+                        (
+                            2,
+                            outcome(session.explore_paths(
+                                u,
+                                ExploreDirection::Influences,
+                                Some(q),
+                            )),
+                        )
                     } else if roll < 90 {
                         let p = &pools.prefixes[rng.random_range(0..pools.prefixes.len())];
                         let a = session.autocomplete(p, 10);
-                        (3, a.latency, Some(a.epoch), true)
+                        (3, Outcome::Ok(a.latency, a.epoch))
                     } else {
                         let word = &pools.words[rng.random_range(0..pools.words.len())];
-                        match session.keyword_radar(word) {
-                            Ok(a) => (4, a.latency, Some(a.epoch), true),
-                            Err(_) => (4, Duration::ZERO, None, false),
+                        (4, outcome(session.keyword_radar(word)))
+                    };
+                    let epoch = match out {
+                        Outcome::Ok(latency, epoch) => {
+                            log.latencies[op].push(latency);
+                            Some(epoch)
+                        }
+                        Outcome::Shed => {
+                            log.shed[op] += 1;
+                            None
+                        }
+                        Outcome::Err => {
+                            log.errors[op] += 1;
+                            None
                         }
                     };
-                    if ok {
-                        log.latencies[op].push(latency);
-                    } else {
-                        log.errors[op] += 1;
-                    }
                     if let Some(e) = epoch {
                         log.epochs = Some(match log.epochs {
                             None => (e, e),
@@ -415,11 +503,13 @@ pub fn run(target: ServeTarget, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -
     // merge worker logs
     let mut latencies: [Vec<Duration>; 5] = Default::default();
     let mut errors = [0u64; 5];
+    let mut shed = [0u64; 5];
     let mut epochs_observed: Option<(u64, u64)> = None;
     for log in logs {
         for (i, l) in log.latencies.into_iter().enumerate() {
             latencies[i].extend(l);
             errors[i] += log.errors[i];
+            shed[i] += log.shed[i];
         }
         if let Some((lo, hi)) = log.epochs {
             epochs_observed = Some(match epochs_observed {
@@ -433,13 +523,14 @@ pub fn run(target: ServeTarget, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -
         .iter()
         .enumerate()
         .zip(latencies.iter_mut())
-        .filter(|((i, _), samples)| !samples.is_empty() || errors[*i] > 0)
+        .filter(|((i, _), samples)| !samples.is_empty() || errors[*i] > 0 || shed[*i] > 0)
         .map(|((i, &operator), samples)| {
-            let queries = samples.len() as u64 + errors[i];
+            let queries = samples.len() as u64 + errors[i] + shed[i];
             OperatorReport {
                 operator,
                 queries,
                 errors: errors[i],
+                shed: shed[i],
                 p50: percentile(samples, 50.0),
                 p95: percentile(samples, 95.0),
                 p99: percentile(samples, 99.0),
@@ -450,12 +541,14 @@ pub fn run(target: ServeTarget, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -
         .collect();
     let total_queries: u64 = per_op.iter().map(|r| r.queries).sum();
     let total_errors: u64 = per_op.iter().map(|r| r.errors).sum();
+    let total_shed: u64 = per_op.iter().map(|r| r.shed).sum();
     let (deltas_applied, batches_failed) = service.counters();
     ServeLoadReport {
         wall,
         per_op,
         total_queries,
         total_errors,
+        total_shed,
         throughput: total_queries as f64 / wall_secs,
         shards: service.shard_count(),
         deltas_applied,

@@ -38,5 +38,5 @@ pub use celf::{celf_select, greedy_select, CelfResult, SpreadOracle};
 pub use coins::{stream_seed, EdgeCoins};
 pub use heuristics::{degree_discount, single_discount, top_degree};
 pub use mc::{estimate_spread, estimate_spread_parallel, simulate_once, McOracle};
-pub use opim::{opim_select, OpimOptions, OpimResult};
+pub use opim::{opim_select, opim_select_budgeted, OpimBudget, OpimOptions, OpimResult};
 pub use rr::{RrCollection, RrOracle};

@@ -12,6 +12,7 @@
 
 use crate::rr::RrCollection;
 use octopus_graph::{EdgeProbs, NodeId, TopicGraph};
+use std::time::Instant;
 
 /// Parameters for [`opim_select`].
 #[derive(Debug, Clone)]
@@ -43,11 +44,42 @@ impl Default for OpimOptions {
     }
 }
 
+/// An anytime resource envelope for [`opim_select_budgeted`].
+///
+/// Both limits are optional; with neither set the run is identical to
+/// [`opim_select`]. The sample cap is the *deterministic* knob: RR
+/// generation uses per-set RNG streams, so a run capped at `max_rr_sets`
+/// is bit-identical at any thread count. The deadline is only consulted
+/// at round boundaries — each round's output is deterministic, but which
+/// round a wall-clock deadline stops at is not.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpimBudget {
+    /// Cap on total RR sets across both collections (split evenly).
+    pub max_rr_sets: Option<usize>,
+    /// Wall-clock deadline, checked between doubling rounds.
+    pub deadline: Option<Instant>,
+}
+
+impl OpimBudget {
+    /// No limits: budgeted selection degenerates to the exact path.
+    pub fn unlimited() -> Self {
+        OpimBudget::default()
+    }
+
+    /// Whether neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_rr_sets.is_none() && self.deadline.is_none()
+    }
+}
+
 /// Result of an OPIM run.
 #[derive(Debug, Clone)]
 pub struct OpimResult {
     /// Selected seed set (selection order).
     pub seeds: Vec<NodeId>,
+    /// Per-seed marginal spread gains (selection order, from the
+    /// selection collection) — what a scatter-gather merge ranks by.
+    pub gains: Vec<f64>,
     /// Point estimate of `σ(S)` from the validation collection.
     pub spread: f64,
     /// Certified lower bound on `σ(S)`.
@@ -90,16 +122,34 @@ fn opt_upper_bound(n: usize, cov: usize, theta: usize, a: f64) -> f64 {
 /// `1 − 1/e − ε` (or `max_rounds` is exhausted, in which case the best
 /// certificate found is returned).
 pub fn opim_select(g: &TopicGraph, probs: &EdgeProbs, opts: &OpimOptions) -> OpimResult {
+    opim_select_budgeted(g, probs, opts, &OpimBudget::unlimited())
+}
+
+/// [`opim_select`] under an anytime [`OpimBudget`]: stop early when the
+/// sample cap is reached or the deadline expires, returning the best
+/// certificate found so far. At a fixed sample cap the result is
+/// bit-identical at any thread count: collections grow to exactly
+/// `⌊cap/2⌋` sets each via per-set RNG streams, and every evaluation is
+/// a deterministic function of the collections.
+pub fn opim_select_budgeted(
+    g: &TopicGraph,
+    probs: &EdgeProbs,
+    opts: &OpimOptions,
+    budget: &OpimBudget,
+) -> OpimResult {
     let n = g.node_count();
     let target = 1.0 - 1.0 / std::f64::consts::E - opts.epsilon;
     let a = (3.0 * opts.max_rounds as f64 / opts.delta).ln();
 
-    let mut r1 = RrCollection::generate(g, probs, opts.initial_samples, opts.seed ^ 0x5151);
-    let mut r2 = RrCollection::generate(g, probs, opts.initial_samples, opts.seed ^ 0xA2A2);
+    // Per-collection cap: half the total sample budget, at least one set.
+    let cap_each = budget.max_rr_sets.map(|b| (b / 2).max(1));
+    let init = cap_each.map_or(opts.initial_samples, |c| opts.initial_samples.min(c));
+    let mut r1 = RrCollection::generate(g, probs, init, opts.seed ^ 0x5151);
+    let mut r2 = RrCollection::generate(g, probs, init, opts.seed ^ 0xA2A2);
 
     let mut best: Option<OpimResult> = None;
     for round in 1..=opts.max_rounds {
-        let (seeds, cov1) = r1.select_seeds(opts.k);
+        let (seeds, cov1, gains) = r1.select_seeds_with_gains(opts.k);
         let cov2 = r2.coverage(&seeds);
         let lb = spread_lower_bound(n, cov2, r2.len(), a);
         let ub = opt_upper_bound(n, cov1, r1.len(), a).min(n as f64);
@@ -107,6 +157,7 @@ pub fn opim_select(g: &TopicGraph, probs: &EdgeProbs, opts: &OpimOptions) -> Opi
         let result = OpimResult {
             spread: r2.estimate_spread(&seeds),
             seeds,
+            gains,
             spread_lower: lb,
             opt_upper: ub,
             ratio,
@@ -120,12 +171,22 @@ pub fn opim_select(g: &TopicGraph, probs: &EdgeProbs, opts: &OpimOptions) -> Opi
         if best.as_ref().map(|b| b.ratio >= target).unwrap_or(false) {
             break;
         }
-        if round < opts.max_rounds {
-            let grow1 = r1.len();
-            let grow2 = r2.len();
-            r1.extend(g, probs, grow1);
-            r2.extend(g, probs, grow2);
+        if budget.deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
         }
+        let at_cap = cap_each.is_some_and(|c| r1.len() >= c);
+        if at_cap || round == opts.max_rounds {
+            break;
+        }
+        // Double, clamped so each collection lands exactly on its cap.
+        let mut grow1 = r1.len();
+        let mut grow2 = r2.len();
+        if let Some(c) = cap_each {
+            grow1 = grow1.min(c - r1.len());
+            grow2 = grow2.min(c - r2.len());
+        }
+        r1.extend(g, probs, grow1);
+        r2.extend(g, probs, grow2);
     }
     best.expect("at least one round always runs")
 }
@@ -238,6 +299,43 @@ mod tests {
             },
         );
         assert!(res.seeds.is_empty());
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_exact() {
+        let (g, p) = random_graph(120, 3, 0.2);
+        let opts = OpimOptions {
+            k: 4,
+            seed: 9,
+            ..Default::default()
+        };
+        let exact = opim_select(&g, &p, &opts);
+        let anytime = opim_select_budgeted(&g, &p, &opts, &OpimBudget::unlimited());
+        assert_eq!(exact.seeds, anytime.seeds);
+        assert_eq!(exact.spread.to_bits(), anytime.spread.to_bits());
+        assert_eq!(exact.rr_sets, anytime.rr_sets);
+        assert_eq!(exact.gains.len(), exact.seeds.len());
+    }
+
+    #[test]
+    fn sample_budget_caps_rr_sets_and_keeps_sound_bounds() {
+        let (g, p) = random_graph(120, 3, 0.2);
+        let opts = OpimOptions {
+            k: 4,
+            epsilon: 0.01, // unreachable target: force the cap to bind
+            seed: 9,
+            ..Default::default()
+        };
+        let budget = OpimBudget {
+            max_rr_sets: Some(300),
+            deadline: None,
+        };
+        let res = opim_select_budgeted(&g, &p, &opts, &budget);
+        assert!(res.rr_sets <= 300, "rr_sets {} over budget", res.rr_sets);
+        assert!(res.spread_lower <= res.opt_upper);
+        // gains are the per-seed marginal decomposition of R1's coverage
+        assert_eq!(res.gains.len(), res.seeds.len());
+        assert!(res.gains.windows(2).all(|w| w[0] >= w[1]));
     }
 
     #[test]

@@ -221,10 +221,24 @@ impl RrCollection {
     /// Returns the seeds (selection order) and the number of RR sets they
     /// cover. Linear total work in `Σ|RR|` via coverage-count decrements.
     pub fn select_seeds(&self, k: usize) -> (Vec<NodeId>, usize) {
+        let (seeds, total, _) = self.select_seeds_with_gains(k);
+        (seeds, total)
+    }
+
+    /// [`select_seeds`](Self::select_seeds) plus each seed's marginal
+    /// coverage gain converted to spread units (`n · Δcov / R`) — the
+    /// per-seed scores a scatter-gather merge ranks by.
+    pub fn select_seeds_with_gains(&self, k: usize) -> (Vec<NodeId>, usize, Vec<f64>) {
         let mut cov_count: Vec<usize> = self.node_to_sets.iter().map(Vec::len).collect();
         let mut covered = vec![false; self.sets.len()];
         let mut chosen = vec![false; self.n];
         let mut seeds = Vec::with_capacity(k);
+        let mut gains = Vec::with_capacity(k);
+        let scale = if self.sets.is_empty() {
+            0.0
+        } else {
+            self.n as f64 / self.sets.len() as f64
+        };
         let mut total = 0usize;
         for _ in 0..k.min(self.n) {
             // argmax coverage count, ties by lower id
@@ -241,12 +255,14 @@ impl RrCollection {
                 if let Some(u) = (0..self.n).find(|&u| !chosen[u]) {
                     chosen[u] = true;
                     seeds.push(NodeId(u as u32));
+                    gains.push(0.0);
                     continue;
                 }
                 break;
             }
             chosen[best] = true;
             seeds.push(NodeId(best as u32));
+            gains.push(best_count as f64 * scale);
             total += best_count;
             for &j in &self.node_to_sets[best] {
                 if !covered[j as usize] {
@@ -257,7 +273,7 @@ impl RrCollection {
                 }
             }
         }
-        (seeds, total)
+        (seeds, total, gains)
     }
 }
 

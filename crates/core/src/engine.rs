@@ -10,10 +10,11 @@
 //! * [`Octopus::explore_paths`] — Scenario 3;
 //! * [`Octopus::autocomplete`] — name completion.
 
+use crate::budget::{Anytime, QualityBound, QueryBudget};
 use crate::cache::{CacheStats, QueryCache};
 use crate::error::CoreError;
 use crate::kim::bounds::BoundKind;
-use crate::kim::{topic_sample, KimAlgorithm, KimResult, NaiveKim};
+use crate::kim::{topic_sample, KimAlgorithm, KimResult, KimStats, NaiveKim};
 use crate::offline::persist::{self, Fingerprint, StageKeys};
 use crate::offline::view::MappedArtifacts;
 use crate::offline::{self, OfflineArtifacts, PbSource, StageReuse, StageTiming};
@@ -951,6 +952,352 @@ impl Octopus {
     pub fn keyword_radar(&self, word: &str) -> Result<RadarChart> {
         let w = self.model.vocab().require(word)?;
         Ok(keyword_radar(&self.model, w)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Anytime (budgeted) operator variants.
+    //
+    // Every variant dispatches to the exact path unchanged when the budget
+    // is unlimited (so an infinite budget is bit-identical to the exact
+    // operator), and otherwise returns a best-so-far answer with a
+    // `QualityBound`. Finite-budget answers bypass the query cache in both
+    // directions: they must not poison exact answers, and a cached exact
+    // answer would make the degraded path nondeterministic in the budget.
+    // At a fixed *sample* budget every variant is a deterministic function
+    // of the snapshot (per-set RR streams, pinned candidate/axis orders);
+    // deadlines are checked only at deterministic chunk boundaries.
+    // ------------------------------------------------------------------
+
+    /// [`Octopus::find_influencers_gamma`] under a [`QueryBudget`], also
+    /// reporting per-seed marginal gains (what a scatter-gather merge
+    /// ranks by). The finite-budget path runs the budgeted OPIM sampler —
+    /// the one estimator with a certificate — regardless of the
+    /// configured engine; its Chernoff bounds become the
+    /// [`QualityBound`].
+    pub fn find_influencers_budgeted_gamma(
+        &self,
+        gamma: &TopicDistribution,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<(KimResult, QualityBound, Vec<f64>)> {
+        if k == 0 {
+            return Err(CoreError::ZeroK);
+        }
+        self.graph.check_gamma(gamma.as_slice())?;
+        if budget.is_unlimited() {
+            let result = self.find_influencers_gamma(gamma, k)?;
+            // exact per-seed gains from the MIA prefix curve, consistent
+            // with influence_curve()
+            let probs = self.graph.materialize(gamma.as_slice())?;
+            let mut gains = Vec::with_capacity(result.seeds.len());
+            let mut prev = 0.0;
+            for i in 1..=result.seeds.len() {
+                let s = octopus_mia::mia_spread_set(
+                    &self.graph,
+                    &probs,
+                    &result.seeds[..i],
+                    self.config.mia_theta,
+                );
+                gains.push((s - prev).max(0.0));
+                prev = s;
+            }
+            let bound = QualityBound::exact(result.spread);
+            return Ok((result, bound, gains));
+        }
+        let start = Instant::now();
+        let probs = self.graph.materialize(gamma.as_slice())?;
+        let opts = octopus_cascade::OpimOptions {
+            k,
+            ..octopus_cascade::OpimOptions::default()
+        };
+        let ob = octopus_cascade::OpimBudget {
+            max_rr_sets: budget.samples,
+            deadline: budget.deadline_from(start),
+        };
+        let res = octopus_cascade::opim_select_budgeted(&self.graph, &probs, &opts, &ob);
+        let bound = QualityBound::degraded(
+            res.spread_lower,
+            res.opt_upper.min(self.graph.node_count() as f64),
+            res.rr_sets,
+        );
+        let result = KimResult {
+            seeds: res.seeds,
+            spread: res.spread,
+            stats: KimStats {
+                exact_evaluations: res.rr_sets,
+                ..KimStats::default()
+            },
+        };
+        Ok((result, bound, res.gains))
+    }
+
+    /// Scenario 1 under a [`QueryBudget`].
+    pub fn find_influencers_budgeted(
+        &self,
+        query: &str,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<Anytime<KimAnswer>> {
+        let (keywords, unknown) = self.model.vocab().resolve_query(query);
+        if keywords.is_empty() {
+            return Err(CoreError::NoKnownKeywords { unknown });
+        }
+        let gamma = self.model.infer(&keywords)?;
+        let start = Instant::now();
+        let (result, bound, _gains) = self.find_influencers_budgeted_gamma(&gamma, k, budget)?;
+        let elapsed = start.elapsed();
+        let seeds = result
+            .seeds
+            .iter()
+            .enumerate()
+            .map(|(rank, &node)| SeedInfo {
+                node,
+                name: self
+                    .graph
+                    .name(node)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| node.0.to_string()),
+                rank,
+            })
+            .collect();
+        Ok(Anytime {
+            value: KimAnswer {
+                keywords,
+                unknown,
+                gamma,
+                seeds,
+                result,
+                elapsed,
+            },
+            bound,
+        })
+    }
+
+    /// Scenario 2 under a [`QueryBudget`], by user name.
+    pub fn suggest_keywords_budgeted(
+        &self,
+        user: &str,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<Anytime<SuggestAnswer>> {
+        let node = self
+            .name_lookup(user)
+            .or_else(|| self.graph.node_by_name(user))
+            .ok_or_else(|| CoreError::UnknownUser(user.to_string()))?;
+        self.suggest_keywords_for_budgeted(node, k, budget)
+    }
+
+    /// Scenario 2 under a [`QueryBudget`], by node id.
+    ///
+    /// The sample budget caps how many keyword candidates the greedy
+    /// scores, taken as a *prefix* of the pinned candidate order (so a
+    /// fixed budget is deterministic); under a deadline the candidate
+    /// prefix doubles per chunk, keeping the last completed answer. The
+    /// bound's lower edge is the degraded answer's own spread (the exact
+    /// greedy anchors at the best singleton of a candidate superset);
+    /// the upper edge is the engine's global MIA spread cap.
+    pub fn suggest_keywords_for_budgeted(
+        &self,
+        user: NodeId,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<Anytime<SuggestAnswer>> {
+        if budget.is_unlimited() {
+            let ans = self.suggest_keywords_for(user, k)?;
+            let spread = ans.result.spread;
+            return Ok(Anytime::exact(ans, spread));
+        }
+        self.graph.check_node(user)?;
+        let candidates = self.keyword_candidates(user);
+        if candidates.is_empty() {
+            return Err(CoreError::NoCandidates {
+                user: self
+                    .graph
+                    .name(user)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| user.0.to_string()),
+            });
+        }
+        let start = Instant::now();
+        let deadline = budget.deadline_from(start);
+        let cap = candidates
+            .len()
+            .min(budget.samples.unwrap_or(usize::MAX))
+            .max(1);
+        let index: crate::piks::PiksHandle<'_> = match &self.store {
+            ArtifactStore::Owned(a) => (&a.piks_index).into(),
+            ArtifactStore::Mapped { art, .. } => art.piks_view()?.into(),
+        };
+        let engine = GreedyPiks::new(&self.graph, &self.model, index, self.config.piks.clone());
+        // progressive refinement: no deadline → one run at the cap;
+        // deadline → doubling candidate prefixes, best-so-far kept
+        let mut m = if deadline.is_some() {
+            cap.min(k.max(2))
+        } else {
+            cap
+        };
+        let mut result = engine.suggest(user, &candidates[..m], k)?;
+        while m < cap && deadline.is_none_or(|d| Instant::now() < d) {
+            m = (m * 2).min(cap);
+            result = engine.suggest(user, &candidates[..m], k)?;
+        }
+        let elapsed = start.elapsed();
+        let words = result
+            .keywords
+            .iter()
+            .map(|&w| self.model.vocab().word(w).map(str::to_string))
+            .collect::<octopus_topics::Result<Vec<_>>>()?;
+        let radar = octopus_topics::radar::keyword_set_radar(&self.model, &result.keywords)?;
+        let bound = QualityBound::degraded(result.spread, self.spread_cap(), m);
+        let ans = SuggestAnswer {
+            user,
+            user_name: self
+                .graph
+                .name(user)
+                .map(str::to_string)
+                .unwrap_or_else(|| user.0.to_string()),
+            words,
+            result,
+            radar,
+            elapsed,
+        };
+        Ok(Anytime { value: ans, bound })
+    }
+
+    /// Scenario 3 under a [`QueryBudget`].
+    ///
+    /// The sample budget raises the effective MIA threshold to
+    /// `max(mia_theta, 1/samples)`, shrinking the tree the exploration
+    /// walks; under a deadline the threshold descends geometrically from
+    /// a coarse start, keeping the last completed tree. The bound is the
+    /// MIA truncation argument: a node missing from a `θ`-truncated tree
+    /// contributes `< θ` influence each, so the exact influence lies in
+    /// `[influence, influence + θ_eff·(n − reached)]`.
+    pub fn explore_paths_budgeted(
+        &self,
+        user: &str,
+        direction: ExploreDirection,
+        query: Option<&str>,
+        budget: &QueryBudget,
+    ) -> Result<Anytime<PathExploration>> {
+        if budget.is_unlimited() {
+            let ex = self.explore_paths(user, direction, query)?;
+            let influence = ex.influence;
+            return Ok(Anytime::exact(ex, influence));
+        }
+        let node = self
+            .name_lookup(user)
+            .or_else(|| self.graph.node_by_name(user))
+            .ok_or_else(|| CoreError::UnknownUser(user.to_string()))?;
+        let gamma = match query {
+            Some(q) => {
+                let (ws, unknown) = self.model.vocab().resolve_query(q);
+                if ws.is_empty() {
+                    return Err(CoreError::NoKnownKeywords { unknown });
+                }
+                self.model.infer(&ws)?
+            }
+            None => TopicDistribution::from_weights(
+                (0..self.model.num_topics())
+                    .map(|z| self.model.topic_prior(z))
+                    .collect(),
+            )
+            .map_err(CoreError::Topic)?,
+        };
+        let start = Instant::now();
+        let deadline = budget.deadline_from(start);
+        let theta_target = budget
+            .samples
+            .map(|s| (1.0 / s.max(1) as f64).max(self.config.mia_theta))
+            .unwrap_or(self.config.mia_theta);
+        let run = |theta: f64| {
+            explore(
+                &self.graph,
+                node,
+                &gamma,
+                theta,
+                direction,
+                self.config.top_paths,
+            )
+        };
+        let mut theta = if deadline.is_some() {
+            theta_target.max(1.0 / 64.0)
+        } else {
+            theta_target
+        };
+        let mut ex = run(theta)?;
+        while theta > theta_target && deadline.is_none_or(|d| Instant::now() < d) {
+            theta = (theta / 8.0).max(theta_target);
+            ex = run(theta)?;
+        }
+        if theta <= self.config.mia_theta {
+            // the walk ran at the exact threshold: nothing was degraded
+            let influence = ex.influence;
+            return Ok(Anytime::exact(ex, influence));
+        }
+        let n = self.graph.node_count() as f64;
+        let slack = theta * (n - ex.reached as f64).max(0.0);
+        let bound = QualityBound::degraded(ex.influence, (ex.influence + slack).min(n), ex.reached);
+        Ok(Anytime { value: ex, bound })
+    }
+
+    /// Name auto-completion under a [`QueryBudget`]. Trie walks are
+    /// sublinear and never degraded — every budget returns the exact
+    /// completion list (the bound's value is the hit count).
+    pub fn autocomplete_budgeted(
+        &self,
+        prefix: &str,
+        limit: usize,
+        _budget: &QueryBudget,
+    ) -> Anytime<Vec<(NodeId, String, f64)>> {
+        let hits = self.name_complete(prefix, limit);
+        let score = hits.len() as f64;
+        Anytime::exact(hits, score)
+    }
+
+    /// Keyword radar under a [`QueryBudget`]. The sample budget keeps the
+    /// top-`b` axes by mass (ties to the lower axis index) and zeroes the
+    /// rest without renormalizing; kept mass bounds the chart's total
+    /// mass from below, kept mass plus `(axes − b)` copies of the
+    /// smallest kept value from above. Deadlines never bind (the chart
+    /// is one vocabulary row). Always completes; never degraded when
+    /// `b ≥ axes`.
+    pub fn keyword_radar_budgeted(
+        &self,
+        word: &str,
+        budget: &QueryBudget,
+    ) -> Result<Anytime<RadarChart>> {
+        let chart = self.keyword_radar(word)?;
+        let total: f64 = chart.values.iter().sum();
+        let b = budget.samples.unwrap_or(usize::MAX);
+        if budget.is_unlimited() || b >= chart.values.len() {
+            return Ok(Anytime::exact(chart, total));
+        }
+        let b = b.max(1);
+        // top-b axes by value, ties to the lower axis index
+        let mut order: Vec<usize> = (0..chart.values.len()).collect();
+        order.sort_by(|&i, &j| {
+            chart.values[j]
+                .partial_cmp(&chart.values[i])
+                .expect("finite mass")
+                .then(i.cmp(&j))
+        });
+        let keep: Vec<usize> = order.into_iter().take(b).collect();
+        let mut values = vec![0.0; chart.values.len()];
+        let mut kept_mass = 0.0;
+        let mut smallest_kept = f64::INFINITY;
+        for &i in &keep {
+            values[i] = chart.values[i];
+            kept_mass += chart.values[i];
+            smallest_kept = smallest_kept.min(chart.values[i]);
+        }
+        let dropped = chart.values.len() - keep.len();
+        let upper = (kept_mass + dropped as f64 * smallest_kept).min(total);
+        let bound = QualityBound::degraded(kept_mass, upper, keep.len());
+        Ok(Anytime {
+            value: RadarChart { values, ..chart },
+            bound,
+        })
     }
 
     /// Keywords topically related to `word` — the UI's "did you also mean"

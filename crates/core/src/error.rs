@@ -37,6 +37,17 @@ pub enum CoreError {
         /// Influenced endpoint and its shard.
         dst: (octopus_graph::NodeId, usize),
     },
+    /// The serving layer shed this query: every inflight slot was busy
+    /// and the arriving query's priority-class queue was already at its
+    /// cap. The query was never executed; retry later or at a higher
+    /// priority class.
+    Overloaded {
+        /// Label of the priority class that was shed.
+        class: &'static str,
+        /// The class's wait-queue occupancy when the query arrived (at
+        /// its configured cap by definition of shedding).
+        queued: usize,
+    },
     /// Propagated graph-layer error.
     Graph(octopus_graph::GraphError),
     /// Propagated topic-layer error.
@@ -63,6 +74,10 @@ impl fmt::Display for CoreError {
                 "delta edge {}→{} crosses shards ({} → {}): the locality \
                  partition cannot route it",
                 src.0 .0, dst.0 .0, src.1, dst.1
+            ),
+            CoreError::Overloaded { class, queued } => write!(
+                f,
+                "query shed: service overloaded ({class} queue full at {queued})"
             ),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Topic(e) => write!(f, "topic error: {e}"),

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod autocomplete;
+pub mod budget;
 pub mod cache;
 pub mod engine;
 pub mod error;
@@ -63,6 +64,7 @@ pub mod paths;
 pub mod piks;
 pub mod serve;
 
+pub use budget::{Anytime, PriorityClass, QualityBound, QueryBudget};
 pub use error::CoreError;
 
 /// Convenient result alias used across the crate.

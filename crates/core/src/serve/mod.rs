@@ -50,14 +50,17 @@
 //! per shard, scatter-gathers the five operators, and routes each delta
 //! to only the shards it touches — see the [`shard`] module docs.
 
+pub mod admission;
 mod epoch;
 mod session;
 pub mod shard;
 
+pub use admission::{AdmissionConfig, AdmissionController, Permit};
 pub use epoch::EpochCell;
 pub use session::{OpStats, Operator, Served, Session, SessionStats};
 pub use shard::{ShardSwap, ShardedService, ShardedStats};
 
+use crate::budget::PriorityClass;
 use crate::engine::Octopus;
 use crate::offline::StageReuse;
 use crate::Result;
@@ -129,6 +132,15 @@ pub struct ServiceStats {
     pub pending_deltas: usize,
     /// Queries served across all sessions.
     pub queries_served: u64,
+    /// Queries admitted by the admission controller (0 when admission is
+    /// off — every query runs unconditionally then).
+    pub queries_admitted: u64,
+    /// Queries shed with [`CoreError::Overloaded`](crate::CoreError),
+    /// total across classes. Always equals the number of `Overloaded`
+    /// errors sessions observed (pinned by `tests/admission.rs`).
+    pub queries_shed: u64,
+    /// Per-class shed counts, [`PriorityClass::ALL`] order.
+    pub shed_by_class: [u64; 3],
 }
 
 /// How many consecutive flush attempts a failing batch gets before
@@ -163,6 +175,9 @@ pub struct OctopusService {
     /// Test-only fault injection: fail this many upcoming rebuilds.
     inject_failures: AtomicU64,
     queries_served: AtomicU64,
+    /// `Some` puts an admission controller in front of every session
+    /// query (see [`OctopusService::with_admission`]).
+    admission: Option<AdmissionController>,
 }
 
 impl OctopusService {
@@ -207,6 +222,27 @@ impl OctopusService {
             flush_failures: AtomicU64::new(0),
             inject_failures: AtomicU64::new(0),
             queries_served: AtomicU64::new(0),
+            admission: None,
+        }
+    }
+
+    /// Put an admission controller in front of every session query:
+    /// bounded per-class wait queues, at most `cfg.max_inflight` queries
+    /// executing, shed-on-overload with
+    /// [`CoreError::Overloaded`](crate::CoreError). Without this, every
+    /// query runs unconditionally (the pre-admission behavior).
+    pub fn with_admission(mut self, cfg: AdmissionConfig) -> Self {
+        self.admission = Some(AdmissionController::new(cfg));
+        self
+    }
+
+    /// Acquire an execution slot for a query of `class`: `Ok(None)` when
+    /// admission is off, `Ok(Some(permit))` once admitted (possibly after
+    /// waiting in the class queue), `Err(Overloaded)` when shed.
+    pub(crate) fn admit(&self, class: PriorityClass) -> Result<Option<Permit<'_>>> {
+        match &self.admission {
+            None => Ok(None),
+            Some(ctl) => ctl.admit(class).map(Some),
         }
     }
 
@@ -371,6 +407,11 @@ impl OctopusService {
 
     /// Current service-level counters.
     pub fn stats(&self) -> ServiceStats {
+        let (admitted, shed) = self
+            .admission
+            .as_ref()
+            .map(|a| a.counters())
+            .unwrap_or(([0; 3], [0; 3]));
         ServiceStats {
             current_epoch: self.current_epoch(),
             epochs_swapped: self.epochs_swapped.load(SeqCst),
@@ -379,6 +420,9 @@ impl OctopusService {
             terminal_failures: self.terminal_failures.load(SeqCst),
             pending_deltas: self.pending.lock().len(),
             queries_served: self.queries_served.load(SeqCst),
+            queries_admitted: admitted.iter().sum(),
+            queries_shed: shed.iter().sum(),
+            shed_by_class: shed,
         }
     }
 

@@ -10,6 +10,7 @@
 //! need multi-query read consistency (a UI drilling into one answer).
 
 use super::{Epoch, OctopusService};
+use crate::budget::{Anytime, QueryBudget};
 use crate::engine::{KimAnswer, SuggestAnswer};
 use crate::paths::{ExploreDirection, PathExploration};
 use crate::Result;
@@ -127,6 +128,14 @@ impl SessionStats {
             Some((first, _)) => (first, epoch),
         });
     }
+
+    /// A shed query: counted as an issued, failed query, but with no
+    /// epoch (nothing executed) and no latency contribution.
+    fn record_shed(&mut self, op: Operator) {
+        let s = &mut self.per_op[op.index()];
+        s.queries += 1;
+        s.errors += 1;
+    }
 }
 
 /// One client's handle on the service (see the module docs).
@@ -134,6 +143,7 @@ pub struct Session<'s> {
     service: &'s OctopusService,
     stats: SessionStats,
     pinned: Option<Arc<Epoch>>,
+    budget: QueryBudget,
 }
 
 impl<'s> Session<'s> {
@@ -142,12 +152,26 @@ impl<'s> Session<'s> {
             service,
             stats: SessionStats::default(),
             pinned: None,
+            budget: QueryBudget::unlimited(),
         }
     }
 
     /// The session's accumulated per-operator counters.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// Set the [`QueryBudget`] every subsequent query carries: its
+    /// priority class drives admission for *all* operators; its
+    /// deadline/sample limits bind the `*_budgeted` variants. Sessions
+    /// start unlimited ([`PriorityClass::Standard`](crate::PriorityClass)).
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// The session's current query budget.
+    pub fn budget(&self) -> &QueryBudget {
+        &self.budget
     }
 
     /// Freeze the current epoch for multi-query consistency: until
@@ -181,6 +205,22 @@ impl<'s> Session<'s> {
 
     fn run<T>(&mut self, op: Operator, f: impl FnOnce(&Epoch) -> Result<T>) -> Result<Served<T>> {
         let start = Instant::now();
+        // Admission first: a shed query never grabs a snapshot or
+        // executes. Served::latency includes any admission wait — that
+        // is the latency the client observed. Autocomplete bypasses the
+        // controller (a sublinear trie walk costs less than the queue it
+        // would wait in), which also keeps it genuinely infallible.
+        let _permit = if op == Operator::Autocomplete {
+            None
+        } else {
+            match self.service.admit(self.budget.class) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.stats.record_shed(op);
+                    return Err(e);
+                }
+            }
+        };
         let epoch = self.snapshot();
         let outcome = f(&epoch);
         let latency = start.elapsed();
@@ -234,5 +274,68 @@ impl<'s> Session<'s> {
     /// Radar chart for one keyword.
     pub fn keyword_radar(&mut self, word: &str) -> Result<Served<RadarChart>> {
         self.run(Operator::KeywordRadar, |e| e.engine().keyword_radar(word))
+    }
+
+    // Anytime variants: the session's [`QueryBudget`] limits apply, and
+    // the answer carries its `QualityBound`. With an unlimited budget
+    // each is bit-identical to the exact operator above.
+
+    /// Scenario 1 under the session budget.
+    pub fn find_influencers_budgeted(
+        &mut self,
+        query: &str,
+        k: usize,
+    ) -> Result<Served<Anytime<KimAnswer>>> {
+        let budget = self.budget;
+        self.run(Operator::FindInfluencers, |e| {
+            e.engine().find_influencers_budgeted(query, k, &budget)
+        })
+    }
+
+    /// Scenario 2 under the session budget.
+    pub fn suggest_keywords_budgeted(
+        &mut self,
+        user: &str,
+        k: usize,
+    ) -> Result<Served<Anytime<SuggestAnswer>>> {
+        let budget = self.budget;
+        self.run(Operator::SuggestKeywords, |e| {
+            e.engine().suggest_keywords_budgeted(user, k, &budget)
+        })
+    }
+
+    /// Scenario 3 under the session budget.
+    pub fn explore_paths_budgeted(
+        &mut self,
+        user: &str,
+        direction: ExploreDirection,
+        query: Option<&str>,
+    ) -> Result<Served<Anytime<PathExploration>>> {
+        let budget = self.budget;
+        self.run(Operator::ExplorePaths, |e| {
+            e.engine()
+                .explore_paths_budgeted(user, direction, query, &budget)
+        })
+    }
+
+    /// Name auto-completion under the session budget (never degraded).
+    pub fn autocomplete_budgeted(
+        &mut self,
+        prefix: &str,
+        limit: usize,
+    ) -> Served<Anytime<Vec<(NodeId, String, f64)>>> {
+        let budget = self.budget;
+        self.run(Operator::Autocomplete, |e| {
+            Ok(e.engine().autocomplete_budgeted(prefix, limit, &budget))
+        })
+        .expect("autocomplete is infallible")
+    }
+
+    /// Keyword radar under the session budget.
+    pub fn keyword_radar_budgeted(&mut self, word: &str) -> Result<Served<Anytime<RadarChart>>> {
+        let budget = self.budget;
+        self.run(Operator::KeywordRadar, |e| {
+            e.engine().keyword_radar_budgeted(word, &budget)
+        })
     }
 }

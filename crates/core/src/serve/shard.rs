@@ -43,7 +43,9 @@
 //!   is swapped unless every touched shard rebuilt: a flush is all-or-
 //!   nothing, so the shards never serve graphs from different batches.
 
+use super::admission::{AdmissionConfig, AdmissionController};
 use super::{Epoch, Served, SwapReport, MAX_BATCH_RETRIES};
+use crate::budget::{Anytime, PriorityClass, QualityBound, QueryBudget};
 use crate::engine::{KimAnswer, Octopus, OctopusConfig, SeedInfo, SuggestAnswer};
 use crate::kim::{KimResult, KimStats};
 use crate::paths::{ExploreDirection, PathExploration};
@@ -110,6 +112,13 @@ pub struct ShardedStats {
     pub pending_deltas: usize,
     /// Queries served across all operators.
     pub queries_served: u64,
+    /// Queries admitted by the admission controller (0 when admission is
+    /// off).
+    pub queries_admitted: u64,
+    /// Queries shed with [`CoreError::Overloaded`], total across classes.
+    pub queries_shed: u64,
+    /// Per-class shed counts, [`PriorityClass::ALL`] order.
+    pub shed_by_class: [u64; 3],
 }
 
 impl ShardedStats {
@@ -151,6 +160,9 @@ pub struct ShardedService {
     terminal_failures: AtomicU64,
     flush_failures: AtomicU64,
     queries_served: AtomicU64,
+    /// `Some` puts an admission controller in front of the router's
+    /// operators (see [`ShardedService::with_admission`]).
+    admission: Option<AdmissionController>,
 }
 
 impl ShardedService {
@@ -238,6 +250,7 @@ impl ShardedService {
             terminal_failures: AtomicU64::new(0),
             flush_failures: AtomicU64::new(0),
             queries_served: AtomicU64::new(0),
+            admission: None,
         };
         // initial engines build concurrently, like rebuilds do
         let engines: Vec<Result<Octopus>> = (0..parts.shards.len())
@@ -280,6 +293,18 @@ impl ShardedService {
         Ok(engine.with_user_keywords(projected))
     }
 
+    /// Put an admission controller in front of the router: every
+    /// operator (autocomplete excepted — a sublinear trie walk costs
+    /// less than the queue it would wait in) passes admission before it
+    /// scatters, and sheds with [`CoreError::Overloaded`] when its
+    /// class's bounded queue is full. One controller guards the whole
+    /// router — the scatter across shards happens inside one admitted
+    /// slot, so a query is admitted or shed exactly once.
+    pub fn with_admission(mut self, cfg: AdmissionConfig) -> Self {
+        self.admission = Some(AdmissionController::new(cfg));
+        self
+    }
+
     /// Number of shards (≤ the requested K: capped by the graph's
     /// component count).
     pub fn shard_count(&self) -> usize {
@@ -316,6 +341,11 @@ impl ShardedService {
 
     /// Aggregated service counters.
     pub fn stats(&self) -> ShardedStats {
+        let (admitted, shed) = self
+            .admission
+            .as_ref()
+            .map(|a| a.counters())
+            .unwrap_or(([0; 3], [0; 3]));
         ShardedStats {
             current_epochs: self.shards.iter().map(|s| s.cell.load().id).collect(),
             epochs_swapped: self.epochs_swapped.load(SeqCst),
@@ -324,6 +354,9 @@ impl ShardedService {
             terminal_failures: self.terminal_failures.load(SeqCst),
             pending_deltas: self.pending.lock().len(),
             queries_served: self.queries_served.load(SeqCst),
+            queries_admitted: admitted.iter().sum(),
+            queries_shed: shed.iter().sum(),
+            shed_by_class: shed,
         }
     }
 
@@ -479,8 +512,34 @@ impl ShardedService {
     // scatter-gather operators
     // ------------------------------------------------------------------
 
+    /// Admission-free serve path (autocomplete, and everything when no
+    /// controller is configured).
     fn serve<T>(&self, f: impl FnOnce(&[Arc<Epoch>]) -> Result<T>) -> Result<Served<T>> {
         let start = Instant::now();
+        let snaps = self.snapshots();
+        self.queries_served.fetch_add(1, SeqCst);
+        let value = f(&snaps)?;
+        Ok(Served {
+            value,
+            epoch: snaps.iter().map(|e| e.id).sum(),
+            latency: start.elapsed(),
+        })
+    }
+
+    /// Serve one query of `class` through the admission controller (a
+    /// no-op passthrough when admission is off). A shed query never
+    /// snapshots or scatters; `Served::latency` of admitted queries
+    /// includes the admission wait.
+    fn serve_admitted<T>(
+        &self,
+        class: PriorityClass,
+        f: impl FnOnce(&[Arc<Epoch>]) -> Result<T>,
+    ) -> Result<Served<T>> {
+        let start = Instant::now();
+        let _permit = match &self.admission {
+            None => None,
+            Some(ctl) => Some(ctl.admit(class)?),
+        };
         let snaps = self.snapshots();
         self.queries_served.fetch_add(1, SeqCst);
         let value = f(&snaps)?;
@@ -497,7 +556,9 @@ impl ShardedService {
     /// documented deterministic merge order (see the module docs for why
     /// this reproduces the single-engine ranking).
     pub fn find_influencers(&self, query: &str, k: usize) -> Result<Served<KimAnswer>> {
-        self.serve(|snaps| self.find_influencers_on(snaps, query, k))
+        self.serve_admitted(PriorityClass::Standard, |snaps| {
+            self.find_influencers_on(snaps, query, k)
+        })
     }
 
     fn find_influencers_on(
@@ -615,7 +676,7 @@ impl ShardedService {
     /// Scenario 2, sharded: the single shard that owns `user` answers;
     /// the answer's node id is lifted back to global coordinates.
     pub fn suggest_keywords(&self, user: &str, k: usize) -> Result<Served<SuggestAnswer>> {
-        self.serve(|snaps| {
+        self.serve_admitted(PriorityClass::Standard, |snaps| {
             for (s, snap) in snaps.iter().enumerate() {
                 match snap.engine.suggest_keywords(user, k) {
                     Err(CoreError::UnknownUser(_)) => continue,
@@ -639,39 +700,12 @@ impl ShardedService {
         direction: ExploreDirection,
         query: Option<&str>,
     ) -> Result<Served<PathExploration>> {
-        self.serve(|snaps| {
+        self.serve_admitted(PriorityClass::Standard, |snaps| {
             for (s, snap) in snaps.iter().enumerate() {
                 match snap.engine.explore_paths(user, direction, query) {
                     Err(CoreError::UnknownUser(_)) => continue,
                     Ok(mut exp) => {
-                        let shard = &self.shards[s];
-                        exp.root = shard.lift(exp.root);
-                        for c in &mut exp.clusters {
-                            c.head = shard.lift(c.head);
-                            for m in &mut c.members {
-                                *m = shard.lift(*m);
-                            }
-                        }
-                        for p in &mut exp.top_paths {
-                            for n in &mut p.nodes {
-                                *n = shard.lift(*n);
-                            }
-                        }
-                        exp.tree = exp.tree.remap(|u| shard.lift(u));
-                        // the d3 document embeds ids: re-render it from
-                        // the lifted tree, resolving names through the
-                        // shard mapping (`to_original` is ascending, so
-                        // global → local is a binary search)
-                        let local_graph = snap.engine.graph();
-                        exp.d3_json = octopus_mia::json::arborescence_to_d3_with(&exp.tree, |u| {
-                            shard
-                                .to_original
-                                .binary_search(&u)
-                                .ok()
-                                .and_then(|i| local_graph.name(NodeId(i as u32)))
-                                .map(str::to_string)
-                        })
-                        .to_string();
+                        self.lift_exploration(s, snap, &mut exp);
                         return Ok(exp);
                     }
                     Err(e) => return Err(e),
@@ -679,6 +713,39 @@ impl ShardedService {
             }
             Err(CoreError::UnknownUser(user.to_string()))
         })
+    }
+
+    /// Lift every node id in an exploration answered by shard `s` — root,
+    /// clusters, paths, the arborescence, and the re-rendered d3 document
+    /// — back to global coordinates.
+    fn lift_exploration(&self, s: usize, snap: &Epoch, exp: &mut PathExploration) {
+        let shard = &self.shards[s];
+        exp.root = shard.lift(exp.root);
+        for c in &mut exp.clusters {
+            c.head = shard.lift(c.head);
+            for m in &mut c.members {
+                *m = shard.lift(*m);
+            }
+        }
+        for p in &mut exp.top_paths {
+            for n in &mut p.nodes {
+                *n = shard.lift(*n);
+            }
+        }
+        exp.tree = exp.tree.remap(|u| shard.lift(u));
+        // the d3 document embeds ids: re-render it from the lifted tree,
+        // resolving names through the shard mapping (`to_original` is
+        // ascending, so global → local is a binary search)
+        let local_graph = snap.engine.graph();
+        exp.d3_json = octopus_mia::json::arborescence_to_d3_with(&exp.tree, |u| {
+            shard
+                .to_original
+                .binary_search(&u)
+                .ok()
+                .and_then(|i| local_graph.name(NodeId(i as u32)))
+                .map(str::to_string)
+        })
+        .to_string();
     }
 
     /// Name auto-completion, sharded: union-merge of the per-shard
@@ -707,10 +774,276 @@ impl ShardedService {
         .expect("autocomplete is infallible")
     }
 
-    /// Radar chart for one keyword. Model-level and therefore shard-
-    /// invariant — the degenerate union-merge: shard 0 answers for all.
+    /// Radar chart for one keyword: scatter to every shard and gather by
+    /// **elementwise max** over the axis values (the documented merge
+    /// tie-break — with a shared topic model the per-shard charts are
+    /// identical, so max-merge reproduces any one of them, and it stays
+    /// correct if a future model ever diverged per shard by keeping the
+    /// strongest signal per axis). Pinned sharded == whole-graph in
+    /// `tests/serve_shard.rs`.
     pub fn keyword_radar(&self, word: &str) -> Result<Served<RadarChart>> {
-        self.serve(|snaps| snaps[0].engine.keyword_radar(word))
+        self.serve_admitted(PriorityClass::Standard, |snaps| {
+            let mut merged = snaps[0].engine.keyword_radar(word)?;
+            for snap in &snaps[1..] {
+                let chart = snap.engine.keyword_radar(word)?;
+                for (m, v) in merged.values.iter_mut().zip(&chart.values) {
+                    *m = m.max(*v);
+                }
+            }
+            Ok(merged)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // anytime (budgeted) operators
+    // ------------------------------------------------------------------
+
+    /// Scenario 1 under a budget, sharded: the budget is
+    /// [`split`](QueryBudget::split) across the scattered shards (each
+    /// shard gets an equal sample slice; the deadline and class are
+    /// shared), the per-shard anytime selections merge by marginal gain
+    /// under the same (gain desc, original id asc) tie-break as the exact
+    /// router, and the gather keeps the per-shard [`QualityBound`]s
+    /// sound:
+    ///
+    /// * `lower` = **max** of the per-shard lowers — each shard's lower
+    ///   bounds its own k-seed set, a feasible global choice the global
+    ///   optimum dominates (components are disjoint), so the max is a
+    ///   sound global lower;
+    /// * `upper` = **sum** of the per-shard uppers, clamped to n — the
+    ///   global optimum's per-shard slices are each bounded by that
+    ///   shard's k-seed optimum;
+    /// * `samples_used` sums.
+    ///
+    /// An unlimited budget routes to the exact scatter-gather and is
+    /// bit-identical to [`ShardedService::find_influencers`].
+    pub fn find_influencers_budgeted(
+        &self,
+        query: &str,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<Served<Anytime<KimAnswer>>> {
+        let budget = *budget;
+        self.serve_admitted(budget.class, |snaps| {
+            if budget.is_unlimited() {
+                let answer = self.find_influencers_on(snaps, query, k)?;
+                let spread = answer.result.spread;
+                return Ok(Anytime::exact(answer, spread));
+            }
+            self.find_influencers_budgeted_on(snaps, query, k, &budget)
+        })
+    }
+
+    fn find_influencers_budgeted_on(
+        &self,
+        snaps: &[Arc<Epoch>],
+        query: &str,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<Anytime<KimAnswer>> {
+        if k == 0 {
+            return Err(CoreError::ZeroK);
+        }
+        let (keywords, unknown) = self.model.vocab().resolve_query(query);
+        if keywords.is_empty() {
+            return Err(CoreError::NoKnownKeywords { unknown });
+        }
+        let gamma = self.model.infer(&keywords)?;
+        let start = Instant::now();
+        let shard_budget = budget.split(snaps.len());
+        let per_shard: Vec<Result<(KimResult, QualityBound, Vec<f64>)>> = snaps
+            .par_iter()
+            .map(|snap| {
+                snap.engine
+                    .find_influencers_budgeted_gamma(&gamma, k, &shard_budget)
+            })
+            .collect();
+        let per_shard: Vec<(KimResult, QualityBound, Vec<f64>)> =
+            per_shard.into_iter().collect::<Result<_>>()?;
+        // gather: k-way merge of the per-shard anytime sequences by the
+        // estimator's own marginal gains
+        let mut stats = KimStats::default();
+        let mut heads: Vec<(usize, usize)> = Vec::new(); // (shard, next index)
+        for (s, (res, _, gains)) in per_shard.iter().enumerate() {
+            stats.exact_evaluations += res.stats.exact_evaluations;
+            stats.bound_evaluations += res.stats.bound_evaluations;
+            stats.pruned_candidates += res.stats.pruned_candidates;
+            stats.answered_from_sample |= res.stats.answered_from_sample;
+            stats.answered_from_cache |= res.stats.answered_from_cache;
+            if !res.seeds.is_empty() && !gains.is_empty() {
+                heads.push((s, 0));
+            }
+        }
+        let gain = |s: usize, i: usize| -> f64 { per_shard[s].2[i] };
+        let mut seeds: Vec<SeedInfo> = Vec::with_capacity(k);
+        let mut taken = vec![0usize; per_shard.len()];
+        while seeds.len() < k && !heads.is_empty() {
+            let mut best = 0usize;
+            for h in 1..heads.len() {
+                let (bs, bi) = heads[best];
+                let (hs, hi) = heads[h];
+                let (gb, gh) = (gain(bs, bi), gain(hs, hi));
+                let idb = self.shards[bs].lift(per_shard[bs].0.seeds[bi]);
+                let idh = self.shards[hs].lift(per_shard[hs].0.seeds[hi]);
+                if gh > gb || (gh == gb && idh < idb) {
+                    best = h;
+                }
+            }
+            let (s, i) = heads[best];
+            let local = per_shard[s].0.seeds[i];
+            let node = self.shards[s].lift(local);
+            let snap = &snaps[s];
+            seeds.push(SeedInfo {
+                node,
+                name: snap
+                    .engine
+                    .graph()
+                    .name(local)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| node.0.to_string()),
+                rank: seeds.len(),
+            });
+            taken[s] = i + 1;
+            if i + 1 < per_shard[s].0.seeds.len() && i + 1 < per_shard[s].2.len() {
+                heads[best].1 = i + 1;
+            } else {
+                heads.swap_remove(best);
+            }
+        }
+        // merged estimate: disjoint components, so the taken prefixes'
+        // gains sum
+        let spread: f64 = per_shard
+            .iter()
+            .zip(&taken)
+            .map(|((_, _, gains), &t)| gains[..t].iter().sum::<f64>())
+            .sum();
+        let n = self.owner.len() as f64;
+        let mut lower = 0.0f64;
+        let mut upper = 0.0f64;
+        let mut samples = 0usize;
+        let mut exact = true;
+        for (_, b, _) in &per_shard {
+            lower = lower.max(b.lower);
+            upper += b.upper;
+            samples += b.samples_used;
+            exact &= b.exact;
+        }
+        let bound = if exact {
+            QualityBound::exact(spread)
+        } else {
+            QualityBound::degraded(lower, upper.min(n), samples)
+        };
+        Ok(Anytime {
+            value: KimAnswer {
+                keywords,
+                unknown,
+                gamma,
+                result: KimResult {
+                    seeds: seeds.iter().map(|s| s.node).collect(),
+                    spread,
+                    stats,
+                },
+                seeds,
+                elapsed: start.elapsed(),
+            },
+            bound,
+        })
+    }
+
+    /// Scenario 2 under a budget, sharded: single-owner, so the owning
+    /// shard receives the *whole* budget (no split — only one shard
+    /// runs); the answer's node id is lifted like the exact path's.
+    pub fn suggest_keywords_budgeted(
+        &self,
+        user: &str,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<Served<Anytime<SuggestAnswer>>> {
+        let budget = *budget;
+        self.serve_admitted(budget.class, |snaps| {
+            for (s, snap) in snaps.iter().enumerate() {
+                match snap.engine.suggest_keywords_budgeted(user, k, &budget) {
+                    Err(CoreError::UnknownUser(_)) => continue,
+                    Ok(mut anytime) => {
+                        anytime.value.user = self.shards[s].lift(anytime.value.user);
+                        return Ok(anytime);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(CoreError::UnknownUser(user.to_string()))
+        })
+    }
+
+    /// Scenario 3 under a budget, sharded: single-owner with the whole
+    /// budget, ids lifted via the same path as the exact exploration.
+    pub fn explore_paths_budgeted(
+        &self,
+        user: &str,
+        direction: ExploreDirection,
+        query: Option<&str>,
+        budget: &QueryBudget,
+    ) -> Result<Served<Anytime<PathExploration>>> {
+        let budget = *budget;
+        self.serve_admitted(budget.class, |snaps| {
+            for (s, snap) in snaps.iter().enumerate() {
+                match snap
+                    .engine
+                    .explore_paths_budgeted(user, direction, query, &budget)
+                {
+                    Err(CoreError::UnknownUser(_)) => continue,
+                    Ok(mut anytime) => {
+                        self.lift_exploration(s, snap, &mut anytime.value);
+                        return Ok(anytime);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(CoreError::UnknownUser(user.to_string()))
+        })
+    }
+
+    /// Name auto-completion under a budget: never degraded (the trie walk
+    /// is sublinear), never queued (admission bypass like the exact path).
+    pub fn autocomplete_budgeted(
+        &self,
+        prefix: &str,
+        limit: usize,
+        _budget: &QueryBudget,
+    ) -> Served<Anytime<Vec<(NodeId, String, f64)>>> {
+        let served = self.autocomplete(prefix, limit);
+        let score = served.value.len() as f64;
+        Served {
+            value: Anytime::exact(served.value, score),
+            epoch: served.epoch,
+            latency: served.latency,
+        }
+    }
+
+    /// Keyword radar under a budget, sharded: every shard degrades its
+    /// chart under the same budget (the model is shared, so the charts —
+    /// and their bounds — are identical), merged elementwise-max like the
+    /// exact radar.
+    pub fn keyword_radar_budgeted(
+        &self,
+        word: &str,
+        budget: &QueryBudget,
+    ) -> Result<Served<Anytime<RadarChart>>> {
+        let budget = *budget;
+        self.serve_admitted(budget.class, |snaps| {
+            let mut merged = snaps[0].engine.keyword_radar_budgeted(word, &budget)?;
+            for snap in &snaps[1..] {
+                let next = snap.engine.keyword_radar_budgeted(word, &budget)?;
+                for (m, v) in merged.value.values.iter_mut().zip(&next.value.values) {
+                    *m = m.max(*v);
+                }
+                merged.bound.lower = merged.bound.lower.max(next.bound.lower);
+                merged.bound.upper = merged.bound.upper.max(next.bound.upper);
+                merged.bound.exact &= next.bound.exact;
+                merged.bound.samples_used = merged.bound.samples_used.max(next.bound.samples_used);
+            }
+            Ok(merged)
+        })
     }
 }
 

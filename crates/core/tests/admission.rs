@@ -1,0 +1,180 @@
+//! Property tests for the admission-control state machine.
+//!
+//! [`AdmissionCore`] is pure, so proptest can drive it through arbitrary
+//! arrival/departure interleavings and check the serving-layer contract
+//! after every step:
+//!
+//! * conservation — every arrival is admitted, waiting, or shed, exactly
+//!   one of the three; nothing is both answered and shed;
+//! * bounded queues — no class's waiting count ever exceeds its cap, and
+//!   inflight never exceeds `max_inflight`;
+//! * no idle shedding — a query only waits (or sheds) when every
+//!   execution slot is busy (`waiting > 0 ⟹ inflight == max_inflight`),
+//!   and a shed additionally requires the class's queue to be full;
+//! * strict priority — a departure dispatches the highest-priority
+//!   non-empty class, so a higher class is never left waiting while a
+//!   lower one runs in its place;
+//! * honest counters — the cumulative shed counter equals the number of
+//!   `Shed` outcomes callers observed, per class.
+
+use octopus_core::serve::admission::{AdmissionCore, Arrival};
+use octopus_core::PriorityClass;
+use proptest::prelude::*;
+
+/// One scripted event: an arrival of a class, or a departure.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrive(PriorityClass),
+    Depart,
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    // 0..3 → an arrival of that class, 3..5 → a departure (arrivals
+    // weighted 3:2 so queues actually fill)
+    (0usize..5).prop_map(|i| match i {
+        0..=2 => Event::Arrive(PriorityClass::ALL[i]),
+        _ => Event::Depart,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn admission_invariants_hold_under_any_interleaving(
+        max_inflight in 1usize..4,
+        caps in (0usize..4, 0usize..4, 0usize..4),
+        script in proptest::collection::vec(event(), 1..200),
+    ) {
+        let mut core = AdmissionCore::new(max_inflight, [caps.0, caps.1, caps.2]);
+        // shadow tallies of what callers observed
+        let mut arrivals = [0u64; 3];
+        let mut observed_shed = [0u64; 3];
+        let mut observed_admit = [0u64; 3];
+
+        for ev in script {
+            match ev {
+                Event::Arrive(class) => {
+                    let c = class.index();
+                    arrivals[c] += 1;
+                    let slot_was_free = core.inflight() < core.max_inflight();
+                    match core.arrive(class) {
+                        Arrival::Admit => {
+                            observed_admit[c] += 1;
+                            prop_assert!(
+                                slot_was_free,
+                                "admitted with every slot busy"
+                            );
+                        }
+                        Arrival::Enqueue { ticket } => {
+                            prop_assert!(
+                                !slot_was_free,
+                                "queued while a slot was free"
+                            );
+                            prop_assert!(ticket < core.dispatched()[c] + core.waiting()[c] as u64);
+                        }
+                        Arrival::Shed => {
+                            observed_shed[c] += 1;
+                            prop_assert!(
+                                !slot_was_free,
+                                "shed while a slot was free"
+                            );
+                            prop_assert_eq!(
+                                core.waiting()[c], core.queue_caps()[c],
+                                "shed with queue room left"
+                            );
+                        }
+                    }
+                }
+                Event::Depart => {
+                    if core.inflight() == 0 {
+                        continue; // nothing to finish
+                    }
+                    let before = core.waiting();
+                    match core.depart() {
+                        Some(class) => {
+                            // strict priority: nothing higher was waiting
+                            for higher in &PriorityClass::ALL[..class.index()] {
+                                prop_assert_eq!(
+                                    before[higher.index()], 0,
+                                    "dispatched {} past waiting {}",
+                                    class.label(), higher.label()
+                                );
+                            }
+                            observed_admit[class.index()] += 1;
+                            prop_assert_eq!(
+                                core.inflight(), core.max_inflight(),
+                                "slot-transfer dispatch left a slot free"
+                            );
+                        }
+                        None => {
+                            prop_assert_eq!(before, [0; 3], "slot freed past waiters");
+                        }
+                    }
+                }
+            }
+
+            // step-invariants
+            let waiting = core.waiting();
+            for (c, (&w, &cap)) in waiting.iter().zip(&core.queue_caps()).enumerate() {
+                prop_assert!(w <= cap, "class {c} queue over its cap");
+            }
+            prop_assert!(core.inflight() <= core.max_inflight());
+            if waiting.iter().any(|&w| w > 0) {
+                prop_assert_eq!(
+                    core.inflight(), core.max_inflight(),
+                    "waiters exist while a slot is free"
+                );
+            }
+            // conservation: every arrival is exactly one of
+            // admitted / still waiting / shed — nothing double-counted,
+            // nothing lost
+            for c in 0..3 {
+                prop_assert_eq!(
+                    core.admitted()[c] + waiting[c] as u64 + core.shed()[c],
+                    arrivals[c],
+                    "class {} arrivals not conserved", c
+                );
+            }
+        }
+
+        // honest counters: the machine's tallies equal what callers saw
+        prop_assert_eq!(core.shed(), observed_shed);
+        prop_assert_eq!(core.admitted(), observed_admit);
+    }
+
+    #[test]
+    fn higher_class_never_shed_while_lower_admitted(
+        max_inflight in 1usize..3,
+        cap in 1usize..4,
+        script in proptest::collection::vec(event(), 1..120),
+    ) {
+        // Equal caps isolate the priority dimension: with symmetric
+        // queues, whenever a higher class sheds, a lower-class arrival at
+        // the same instant must shed too (it can never be admitted in the
+        // higher one's place).
+        let mut core = AdmissionCore::new(max_inflight, [cap; 3]);
+        for ev in script {
+            match ev {
+                Event::Arrive(class) => {
+                    if core.arrive(class) == Arrival::Shed {
+                        for lower in &PriorityClass::ALL[class.index() + 1..] {
+                            let mut probe = core.clone();
+                            let outcome = probe.arrive(*lower);
+                            prop_assert_ne!(
+                                outcome, Arrival::Admit,
+                                "{} shed but {} would run immediately",
+                                class.label(), lower.label()
+                            );
+                        }
+                    }
+                }
+                Event::Depart => {
+                    if core.inflight() > 0 {
+                        core.depart();
+                    }
+                }
+            }
+        }
+    }
+}

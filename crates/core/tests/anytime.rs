@@ -1,0 +1,335 @@
+//! Quality-vs-budget pinning for the anytime operators.
+//!
+//! Three contracts from the budget module, checked on two seeded
+//! fixtures (a citation-flavored network and a messenger-flavored one):
+//!
+//! 1. **Fixed-budget determinism** — at a fixed *sample* budget the
+//!    anytime `find_influencers` answer (seeds, spread bits, bound bits)
+//!    is bit-identical whether rayon runs 1 thread or 8, and across
+//!    repeated calls (the budgeted path bypasses the query cache).
+//! 2. **Bound soundness** — every degraded answer's [`QualityBound`]
+//!    contains the exact path's scalar on the same snapshot: spread for
+//!    influencer ranking and keyword suggestion, reachable influence for
+//!    path exploration, kept topic mass for the radar.
+//! 3. **Infinite budget ≡ exact** — an unlimited [`QueryBudget`] is
+//!    bit-identical to the exact operator for all five operators, with
+//!    an `exact` bound pinched onto the answer's own score.
+
+use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig};
+use octopus_core::paths::ExploreDirection;
+use octopus_core::{QualityBound, QueryBudget};
+use octopus_graph::{GraphBuilder, TopicGraph};
+use octopus_topics::{TopicModel, Vocabulary};
+
+/// Citation-flavored network: two scholarly hubs with follower fans and
+/// a cross link, the same shape the serving suites pin against.
+fn citation_fixture() -> Octopus {
+    let mut b = GraphBuilder::new(2);
+    let han = b.add_node("jiawei han");
+    let jordan = b.add_node("michael jordan");
+    for i in 0..6 {
+        let v = b.add_node(format!("db-student-{i}"));
+        b.add_edge(han, v, &[(0, 0.7)]).unwrap();
+    }
+    for i in 0..5 {
+        let v = b.add_node(format!("ml-student-{i}"));
+        b.add_edge(jordan, v, &[(1, 0.7)]).unwrap();
+    }
+    b.add_edge(han, jordan, &[(0, 0.3), (1, 0.1)]).unwrap();
+    let g = b.build().unwrap();
+    let mut vocab = Vocabulary::new();
+    vocab.intern("data mining");
+    vocab.intern("frequent patterns");
+    vocab.intern("em algorithm");
+    vocab.intern("graphical models");
+    let model = TopicModel::from_rows(
+        vocab,
+        vec![vec![0.5, 0.4, 0.05, 0.05], vec![0.05, 0.05, 0.5, 0.4]],
+        vec![0.5, 0.5],
+    )
+    .unwrap();
+    build(g, model)
+}
+
+/// Messenger-flavored network: chat broadcasters with reshare fans,
+/// structurally denser cross-talk than the citation graph so the
+/// budgeted estimators see a different regime.
+fn messenger_fixture() -> Octopus {
+    let mut b = GraphBuilder::new(2);
+    let alice = b.add_node("alice");
+    let bob = b.add_node("bob");
+    let carol = b.add_node("carol");
+    for i in 0..5 {
+        let v = b.add_node(format!("meme-fan-{i}"));
+        b.add_edge(alice, v, &[(0, 0.6)]).unwrap();
+        if i < 2 {
+            b.add_edge(carol, v, &[(0, 0.2)]).unwrap();
+        }
+    }
+    for i in 0..4 {
+        let v = b.add_node(format!("game-fan-{i}"));
+        b.add_edge(bob, v, &[(1, 0.6)]).unwrap();
+    }
+    b.add_edge(alice, bob, &[(0, 0.2), (1, 0.2)]).unwrap();
+    b.add_edge(bob, carol, &[(0, 0.3)]).unwrap();
+    let g = b.build().unwrap();
+    let mut vocab = Vocabulary::new();
+    vocab.intern("viral memes");
+    vocab.intern("reaction gifs");
+    vocab.intern("esports");
+    vocab.intern("speedrunning");
+    let model = TopicModel::from_rows(
+        vocab,
+        vec![vec![0.45, 0.45, 0.05, 0.05], vec![0.1, 0.1, 0.4, 0.4]],
+        vec![0.6, 0.4],
+    )
+    .unwrap();
+    build(g, model)
+}
+
+fn build(g: TopicGraph, model: TopicModel) -> Octopus {
+    let config = OctopusConfig {
+        kim: KimEngineChoice::Mis,
+        piks_index_size: 96,
+        mis_rr_per_topic: 300,
+        k_max: 3,
+        ..Default::default()
+    };
+    Octopus::new(g, model, config).unwrap()
+}
+
+/// `(fixture, kim query, hub user, radar word, autocomplete prefix)`
+/// probe sets, one per fixture.
+fn probes() -> Vec<(
+    Octopus,
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+)> {
+    vec![
+        (
+            citation_fixture(),
+            "data mining",
+            "jiawei han",
+            "data mining",
+            "db-",
+        ),
+        (
+            messenger_fixture(),
+            "viral memes",
+            "alice",
+            "esports",
+            "meme-",
+        ),
+    ]
+}
+
+/// The bitwise signature of one budgeted influencer answer.
+fn kim_signature(engine: &Octopus, query: &str, budget: &QueryBudget) -> (Vec<u32>, u64, Vec<u64>) {
+    let ans = engine.find_influencers_budgeted(query, 2, budget).unwrap();
+    (
+        ans.value.seeds.iter().map(|s| s.node.0).collect(),
+        ans.value.result.spread.to_bits(),
+        vec![
+            ans.bound.lower.to_bits(),
+            ans.bound.upper.to_bits(),
+            ans.bound.samples_used as u64,
+        ],
+    )
+}
+
+#[test]
+fn fixed_sample_budget_is_thread_count_invariant() {
+    for (engine, query, _, _, _) in probes() {
+        for samples in [16, 64, 256] {
+            let budget = QueryBudget::samples(samples);
+            let signatures: Vec<_> = [1usize, 8]
+                .iter()
+                .map(|&threads| {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .unwrap();
+                    pool.install(|| kim_signature(&engine, query, &budget))
+                })
+                .collect();
+            assert_eq!(
+                signatures[0], signatures[1],
+                "budgeted answer diverged between 1 and 8 threads at {samples} samples"
+            );
+            // and across repeated calls: the budgeted path bypasses the
+            // query cache, so each call re-derives the same bits
+            assert_eq!(
+                signatures[0],
+                kim_signature(&engine, query, &budget),
+                "budgeted answer not reproducible across calls at {samples} samples"
+            );
+        }
+    }
+}
+
+#[test]
+fn sample_budget_caps_samples_used() {
+    for (engine, query, _, _, _) in probes() {
+        for samples in [16, 64, 256] {
+            let budget = QueryBudget::samples(samples);
+            let ans = engine.find_influencers_budgeted(query, 2, &budget).unwrap();
+            assert!(!ans.bound.exact, "finite budget must report degraded");
+            assert!(
+                ans.bound.samples_used <= samples,
+                "used {} RR sets against a budget of {samples}",
+                ans.bound.samples_used
+            );
+            assert!(ans.bound.samples_used > 0, "budgeted run did no work");
+        }
+    }
+}
+
+fn assert_sound(bound: &QualityBound, exact: f64, what: &str) {
+    assert!(
+        bound.contains(exact),
+        "{what}: exact value {exact} outside bound [{}, {}]",
+        bound.lower,
+        bound.upper
+    );
+    assert!(
+        bound.lower <= bound.upper + 1e-9,
+        "{what}: inverted bound [{}, {}]",
+        bound.lower,
+        bound.upper
+    );
+}
+
+#[test]
+fn quality_bounds_contain_the_exact_answer() {
+    for (engine, query, user, word, _) in probes() {
+        let exact_kim = engine.find_influencers(query, 2).unwrap();
+        let exact_sugg = engine.suggest_keywords(user, 2).unwrap();
+        let exact_paths = engine
+            .explore_paths(user, ExploreDirection::Influences, Some(query))
+            .unwrap();
+        let exact_radar = engine.keyword_radar(word).unwrap();
+        let exact_mass: f64 = exact_radar.values.iter().sum();
+        for samples in [1, 2, 8, 64] {
+            let budget = QueryBudget::samples(samples);
+            let kim = engine.find_influencers_budgeted(query, 2, &budget).unwrap();
+            assert_sound(
+                &kim.bound,
+                exact_kim.result.spread,
+                &format!("find-influencers@{samples}"),
+            );
+            let sugg = engine.suggest_keywords_budgeted(user, 2, &budget).unwrap();
+            assert_sound(
+                &sugg.bound,
+                exact_sugg.result.spread,
+                &format!("suggest-keywords@{samples}"),
+            );
+            let paths = engine
+                .explore_paths_budgeted(user, ExploreDirection::Influences, Some(query), &budget)
+                .unwrap();
+            assert_sound(
+                &paths.bound,
+                exact_paths.influence,
+                &format!("explore-paths@{samples}"),
+            );
+            let radar = engine.keyword_radar_budgeted(word, &budget).unwrap();
+            assert_sound(
+                &radar.bound,
+                exact_mass,
+                &format!("keyword-radar@{samples}"),
+            );
+            // the degraded answer's own score also sits inside its bound
+            assert!(kim.bound.contains(kim.value.result.spread));
+            assert!(paths.bound.contains(paths.value.influence));
+        }
+    }
+}
+
+#[test]
+fn tiny_budgets_actually_degrade() {
+    // A one-sample radar on a 4-axis chart must drop axes (bound opens
+    // up), and a one-sample exploration must coarsen its threshold —
+    // guarding against a budgeted path that quietly ignores its budget.
+    for (engine, query, user, word, _) in probes() {
+        let budget = QueryBudget::samples(1);
+        let radar = engine.keyword_radar_budgeted(word, &budget).unwrap();
+        assert!(!radar.bound.exact);
+        assert_eq!(radar.bound.samples_used, 1);
+        let kept = radar.value.values.iter().filter(|v| **v > 0.0).count();
+        assert!(kept <= 1, "radar kept {kept} axes on a 1-axis budget");
+        let paths = engine
+            .explore_paths_budgeted(user, ExploreDirection::Influences, Some(query), &budget)
+            .unwrap();
+        assert!(!paths.bound.exact);
+        assert!(
+            paths.bound.upper > paths.bound.lower,
+            "a θ=1 exploration must admit unexplored influence"
+        );
+    }
+}
+
+#[test]
+fn unlimited_budget_is_bit_identical_to_exact_for_all_operators() {
+    for (engine, query, user, word, prefix) in probes() {
+        let budget = QueryBudget::unlimited();
+
+        let exact = engine.find_influencers(query, 2).unwrap();
+        let any = engine.find_influencers_budgeted(query, 2, &budget).unwrap();
+        assert_eq!(
+            exact.seeds.iter().map(|s| s.node).collect::<Vec<_>>(),
+            any.value.seeds.iter().map(|s| s.node).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            exact.result.spread.to_bits(),
+            any.value.result.spread.to_bits()
+        );
+        assert!(any.bound.exact);
+        assert_eq!(any.bound.lower.to_bits(), any.bound.upper.to_bits());
+        assert_eq!(any.bound.lower.to_bits(), exact.result.spread.to_bits());
+
+        let exact = engine.suggest_keywords(user, 2).unwrap();
+        let any = engine.suggest_keywords_budgeted(user, 2, &budget).unwrap();
+        assert_eq!(exact.words, any.value.words);
+        assert_eq!(
+            exact.result.spread.to_bits(),
+            any.value.result.spread.to_bits()
+        );
+        assert!(any.bound.exact);
+
+        let exact = engine
+            .explore_paths(user, ExploreDirection::Influences, Some(query))
+            .unwrap();
+        let any = engine
+            .explore_paths_budgeted(user, ExploreDirection::Influences, Some(query), &budget)
+            .unwrap();
+        assert_eq!(exact.reached, any.value.reached);
+        assert_eq!(exact.influence.to_bits(), any.value.influence.to_bits());
+        assert_eq!(exact.theta.to_bits(), any.value.theta.to_bits());
+        assert_eq!(exact.d3_json, any.value.d3_json);
+        assert!(any.bound.exact);
+
+        let exact = engine.autocomplete(prefix, 10);
+        let any = engine.autocomplete_budgeted(prefix, 10, &budget);
+        assert_eq!(exact, any.value);
+        assert!(any.bound.exact);
+
+        let exact = engine.keyword_radar(word).unwrap();
+        let any = engine.keyword_radar_budgeted(word, &budget).unwrap();
+        assert_eq!(exact, any.value);
+        assert!(any.bound.exact);
+    }
+}
+
+#[test]
+fn generous_sample_budget_on_radar_is_exact() {
+    // A budget at least as wide as the chart drops nothing: the radar
+    // variant reports exact rather than a vacuously degraded bound.
+    for (engine, _, _, word, _) in probes() {
+        let chart = engine.keyword_radar(word).unwrap();
+        let budget = QueryBudget::samples(chart.values.len());
+        let any = engine.keyword_radar_budgeted(word, &budget).unwrap();
+        assert!(any.bound.exact);
+        assert_eq!(any.value, chart);
+    }
+}

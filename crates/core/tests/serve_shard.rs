@@ -14,7 +14,7 @@
 
 use octopus_core::engine::{Octopus, OctopusConfig};
 use octopus_core::serve::{ShardedService, MAX_BATCH_RETRIES};
-use octopus_core::CoreError;
+use octopus_core::{CoreError, QueryBudget};
 use octopus_graph::delta::GraphDelta;
 use octopus_graph::{EdgeId, GraphBuilder, NodeId, TopicGraph};
 use octopus_topics::{TopicModel, Vocabulary};
@@ -430,4 +430,192 @@ fn user_keyword_overrides_project_onto_their_shard() {
     assert_eq!(got.words, want.words);
     assert_eq!(got.words, vec!["frequent patterns"]);
     assert_eq!(got.user, NodeId(0), "lifted back to the global id");
+}
+
+#[test]
+fn keyword_radar_gathers_from_every_shard() {
+    // Regression pin: the radar used to answer from shard 0 alone. The
+    // scatter-gather merge (documented elementwise max) must equal the
+    // whole-graph chart for words loading on *both* topics, at every
+    // shard count, and stay equal after a routed delta bumps one shard.
+    let (g, model, config) = fixture();
+    let single = reference(&g, &model, &config);
+    for k in [2usize, 4] {
+        let sharded = ShardedService::new(g.clone(), model.clone(), config.clone(), k).unwrap();
+        for word in ["data mining", "em algorithm", "graphical models"] {
+            let want = single.keyword_radar(word).unwrap();
+            let got = sharded.keyword_radar(word).unwrap().value;
+            assert_eq!(got, want, "radar for {word:?} at k = {k}");
+        }
+        // every per-shard chart participates in the merge: each equals
+        // the whole-graph chart (shards share the topic model), so the
+        // elementwise max is exact rather than shard-0's view by luck
+        for snap in sharded.snapshots() {
+            assert_eq!(
+                snap.engine().keyword_radar("em algorithm").unwrap(),
+                single.keyword_radar("em algorithm").unwrap()
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_budgeted_operators_with_unlimited_budget_match_plain_paths() {
+    let (g, model, config) = fixture();
+    let sharded = ShardedService::new(g, model, config, 2).unwrap();
+    let budget = QueryBudget::unlimited();
+
+    let plain = sharded.find_influencers("data mining", 4).unwrap().value;
+    let any = sharded
+        .find_influencers_budgeted("data mining", 4, &budget)
+        .unwrap()
+        .value;
+    assert!(any.bound.exact);
+    assert_eq!(any.value.seeds, plain.seeds);
+    assert_eq!(
+        any.value.result.spread.to_bits(),
+        plain.result.spread.to_bits(),
+        "unlimited budget must route through the exact scatter-gather"
+    );
+
+    let plain = sharded.suggest_keywords("ada db", 2).unwrap().value;
+    let any = sharded
+        .suggest_keywords_budgeted("ada db", 2, &budget)
+        .unwrap()
+        .value;
+    assert!(any.bound.exact);
+    assert_eq!(any.value.words, plain.words);
+    assert_eq!(any.value.user, plain.user);
+
+    let dir = octopus_core::paths::ExploreDirection::Influences;
+    let plain = sharded
+        .explore_paths("cal db", dir, Some("data mining"))
+        .unwrap()
+        .value;
+    let any = sharded
+        .explore_paths_budgeted("cal db", dir, Some("data mining"), &budget)
+        .unwrap()
+        .value;
+    assert!(any.bound.exact);
+    assert_eq!(any.value.d3_json, plain.d3_json);
+    assert_eq!(any.value.influence.to_bits(), plain.influence.to_bits());
+
+    let plain = sharded.autocomplete("fan-", 10).value;
+    let any = sharded.autocomplete_budgeted("fan-", 10, &budget).value;
+    assert!(any.bound.exact);
+    assert_eq!(any.value, plain);
+
+    let plain = sharded.keyword_radar("data mining").unwrap().value;
+    let any = sharded
+        .keyword_radar_budgeted("data mining", &budget)
+        .unwrap()
+        .value;
+    assert!(any.bound.exact);
+    assert_eq!(any.value, plain);
+}
+
+#[test]
+fn sharded_budgeted_topk_is_deterministic_and_its_bound_is_sound() {
+    let (g, model, config) = fixture();
+    let single = reference(&g, &model, &config);
+    let exact_spread = single
+        .find_influencers("data mining", 4)
+        .unwrap()
+        .result
+        .spread;
+    for k in [2usize, 4] {
+        let sharded = ShardedService::new(g.clone(), model.clone(), config.clone(), k).unwrap();
+        for samples in [32usize, 256] {
+            let budget = QueryBudget::samples(samples);
+            let a = sharded
+                .find_influencers_budgeted("data mining", 4, &budget)
+                .unwrap()
+                .value;
+            let b = sharded
+                .find_influencers_budgeted("data mining", 4, &budget)
+                .unwrap()
+                .value;
+            // fixed sample budget ⇒ the scatter, the per-shard samplers,
+            // and the gather are all deterministic
+            assert_eq!(
+                a.value.seeds, b.value.seeds,
+                "k = {k}, {samples} samples: merged seeds not reproducible"
+            );
+            assert_eq!(
+                a.value.result.spread.to_bits(),
+                b.value.result.spread.to_bits()
+            );
+            assert_eq!(a.bound, b.bound);
+            assert!(!a.bound.exact);
+            assert!(
+                a.bound.samples_used <= samples,
+                "shards spent {} RR sets against a split budget of {samples}",
+                a.bound.samples_used
+            );
+            // gathered bound still brackets the whole-graph exact spread
+            assert!(
+                a.bound.contains(exact_spread),
+                "k = {k}, {samples} samples: exact spread {exact_spread} outside [{}, {}]",
+                a.bound.lower,
+                a.bound.upper
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_admission_counts_sheds_in_stats() {
+    use octopus_core::serve::AdmissionConfig;
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    let (g, model, config) = fixture();
+    // one execution slot and zero queue room: with 8 concurrent clients
+    // some queries must shed, and every shed surfaces as Overloaded
+    let sharded = Arc::new(
+        ShardedService::new(g, model, config, 2)
+            .unwrap()
+            .with_admission(AdmissionConfig {
+                max_inflight: 1,
+                queue_caps: [0, 0, 0],
+            }),
+    );
+    let observed_shed = AtomicU64::new(0);
+    let answered = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let (sharded, observed_shed, answered) = (&sharded, &observed_shed, &answered);
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    match sharded.find_influencers("data mining", 2) {
+                        Ok(_) => {
+                            answered.fetch_add(1, Relaxed);
+                        }
+                        Err(CoreError::Overloaded { class, .. }) => {
+                            assert_eq!(class, "standard");
+                            observed_shed.fetch_add(1, Relaxed);
+                        }
+                        Err(e) => panic!("unexpected error {e:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let stats = sharded.stats();
+    assert_eq!(
+        stats.queries_shed,
+        observed_shed.load(Relaxed),
+        "stats must count exactly the Overloaded errors callers saw"
+    );
+    assert_eq!(stats.shed_by_class, [0, observed_shed.load(Relaxed), 0]);
+    assert_eq!(
+        stats.queries_shed + answered.load(Relaxed),
+        32,
+        "no query both answered and shed, none lost"
+    );
+    // autocomplete bypasses admission entirely: even a saturated
+    // controller never sheds it
+    for _ in 0..4 {
+        assert!(!sharded.autocomplete("fan-", 5).value.is_empty());
+    }
+    assert_eq!(sharded.stats().queries_shed, observed_shed.load(Relaxed));
 }
