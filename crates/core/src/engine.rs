@@ -179,9 +179,11 @@ pub struct SystemReport {
     /// Per-stage cache hit/miss counters of the offline phase, always one
     /// entry per [`offline::STAGE_ORDER`] stage. [`Octopus::new`] reports
     /// all-miss; [`Octopus::open_or_build`] reports how many work units of
-    /// each stage were reloaded — for `piks-worlds` that is world-granular,
-    /// so a k-edge delta shows `reused < total` with the untouched worlds
-    /// still counted as hits.
+    /// each stage were reloaded — `piks-worlds` is world-granular and
+    /// `spread-cap`/`pb-bound`/`mis-tables` are topic-granular, so a
+    /// k-edge delta shows `reused < total` with the untouched worlds still
+    /// counted as hits, and a topic-z-confined nudge shows `Z-1/Z` on the
+    /// weight stages with only topic z rebuilt.
     pub stage_reuse: Vec<StageReuse>,
     /// Wall-clock duration of the whole offline phase. For
     /// [`Octopus::open_or_build`] this spans cache lookup (file reads,
@@ -196,7 +198,7 @@ pub struct SystemReport {
 }
 
 /// Where the engine's offline structures live: decoded on the heap, or
-/// served zero-copy off a memory-mapped OCTA v4 file.
+/// served zero-copy off a memory-mapped OCTA v5 file.
 ///
 /// Both modes answer every operator bit-identically (pinned by the
 /// `mapped_mode` tests); the difference is purely operational — startup
@@ -207,7 +209,7 @@ pub struct SystemReport {
 enum ArtifactStore {
     /// Heap-decoded artifacts ([`Octopus::new`] / [`Octopus::open_or_build`]).
     Owned(OfflineArtifacts),
-    /// A mapped v4 artifact, plus the telemetry captured when the engine
+    /// A mapped v5 artifact, plus the telemetry captured when the engine
     /// entered mapped mode ([`Octopus::open_mapped`]): a pure mapped hit
     /// carries the three artifact stages, a build-then-remap carries the
     /// build stages followed by them.
@@ -256,13 +258,16 @@ impl Octopus {
     /// Build the engine, reusing every cached offline stage whose inputs
     /// are unchanged and rebuilding only the rest.
     ///
-    /// Reuse is decided per stage by [`StageKeys`]: each OCTA cache
-    /// section is keyed on exactly the inputs its stage reads, so after a
-    /// small graph delta (a weight nudge from a warm EM refit, an edge
-    /// insert, a rename) the unchanged stages — and, world-by-world, every
-    /// PIKS world whose BFS footprint missed the delta — reload from
-    /// `cache_dir` while the invalidated ones rebuild. The lookup degrades,
-    /// never fails: missing, truncated, corrupted, stale-version (v1), or
+    /// Reuse is decided per work unit by [`StageKeys`]: each OCTA cache
+    /// section is keyed on exactly the input slice its unit reads — for
+    /// the weight-dependent stages (`spread-cap`/`pb-bound`/`mis-tables`)
+    /// that is one topic's sparse weight slice per unit — so after a small
+    /// graph delta (a weight nudge from a warm EM refit, an edge insert, a
+    /// rename) the unchanged units — and, world-by-world, every PIKS world
+    /// whose BFS footprint missed the delta — reload from `cache_dir`
+    /// while the invalidated ones rebuild. A topic-z-confined nudge
+    /// therefore recomputes exactly topic z's cap/PB/MIS units. The lookup degrades,
+    /// never fails: missing, truncated, corrupted, stale-version (v1–v4), or
     /// foreign files only reduce how much is reused, after which the merged
     /// artifacts are written back atomically (write failures are ignored —
     /// a read-only cache directory costs the speedup, not the engine).
@@ -370,7 +375,7 @@ impl Octopus {
     }
 
     /// Open the engine in **mapped mode**: serve queries zero-copy off a
-    /// memory-mapped OCTA v4 artifact instead of decoding it onto the heap.
+    /// memory-mapped OCTA v5 artifact instead of decoding it onto the heap.
     ///
     /// Fast path: when `cache_dir` holds a complete artifact whose combined
     /// fingerprint and every per-stage key match these exact inputs, the

@@ -69,26 +69,69 @@ impl<B: BoundEstimator + ?Sized> BoundEstimator for &B {
     }
 }
 
-/// The incremental-rebuild cache key of the `spread-cap` offline stage.
+/// The incremental-rebuild cache key of one **topic's** `spread-cap` unit.
 ///
-/// [`global_spread_cap`] reads the graph's topology and per-edge topic
-/// probabilities (via `edge_prob_max`) plus the MIA threshold `theta` —
-/// and nothing else. Names, seeds, and every other config field are absent,
-/// so a rename or reseed reuses the cached cap. `topology`/`weights` are
-/// the graph input-slice hashes from `octopus_graph::codec`
-/// ([`hash_topology`](octopus_graph::codec::hash_topology) /
-/// [`hash_weights`](octopus_graph::codec::hash_weights)).
-pub fn spread_cap_key(topology: u64, weights: u64, theta: f64) -> u64 {
+/// [`topic_arrival_cap`] reads exactly the topic-`z` probability slice —
+/// the `(src, dst, p_z)` edge triples plus the node universe, all captured
+/// by [`hash_weights_topic`](octopus_graph::codec::hash_weights_topic) —
+/// and nothing else: no names, no seed, no `theta` (the arrival cap is
+/// threshold-free), no other topics. A nudge confined to topic `z` moves
+/// only topic `z`'s key; a rename or reseed moves none.
+pub fn spread_cap_topic_key(weights_topic: u64) -> u64 {
     let mut h = octopus_graph::wire::Fnv64::new();
-    h.write(b"octa:spread-cap");
-    h.write_u64(topology);
-    h.write_u64(weights);
-    h.write_f64(theta);
+    h.write(b"octa:spread-cap-topic");
+    h.write_u64(weights_topic);
     h.finish()
 }
 
-/// Compute the global spread cap `C = max_u σ_MIA(u)` on the
-/// max-probability graph (a query-independent constant shared by NB/LG).
+/// Per-topic unit of the global spread cap: `cap_z = 1 + Σ_v t_z(v)` where
+/// `t_z(v)` is the largest topic-`z` probability over `v`'s in-edges (0 for
+/// a node with none).
+///
+/// **Soundness.** Under MIA on the max-probability graph, every maximum
+/// path probability `pp_max(u, v)` is at most its final edge's probability,
+/// which is at most `max_z t_z(v)`; summing over destinations,
+/// `σ_maxgraph(u) ≤ 1 + Σ_v max_z t_z(v) ≤ 1 + Σ_z (cap_z − 1)` — so the
+/// per-topic units combine ([`combine_topic_caps`]) into a valid global cap
+/// `C ≥ max_u σ_MIA(u)` at any `theta`. It is looser than the exact
+/// [`global_spread_cap`] (NB/LG prune a little less), but each unit is a
+/// pure function of one topic's edge triples: a foreign-topic delta leaves
+/// `cap_z` bit-identical, which is what makes the `spread-cap` stage
+/// reusable per topic.
+pub fn topic_arrival_cap(graph: &TopicGraph, z: usize) -> f64 {
+    let zt = octopus_graph::TopicId(z as u16);
+    let mut total = 0.0f64;
+    for v in graph.nodes() {
+        let mut best = 0.0f32;
+        for (_, e) in graph.in_edges(v) {
+            let p = graph.edge_prob_topic(e, zt);
+            if p > best {
+                best = p;
+            }
+        }
+        total += best as f64;
+    }
+    1.0 + total
+}
+
+/// Combine per-topic cap units into the global spread cap the NB/LG
+/// estimators consume: `C = 1 + Σ_z (cap_z − 1)`, summed in ascending
+/// topic order so the result is bit-identical no matter which topics were
+/// rebuilt and which were reused.
+pub fn combine_topic_caps(caps: &[f64]) -> f64 {
+    let mut c = 1.0f64;
+    for &cz in caps {
+        c += cz - 1.0;
+    }
+    c.max(1.0)
+}
+
+/// Compute the exact global spread cap `C = max_u σ_MIA(u)` on the
+/// max-probability graph — the tight reference constant the per-topic
+/// arrival caps ([`topic_arrival_cap`]) over-approximate. The offline
+/// pipeline builds the per-topic units (reusable under topic-confined
+/// deltas); this monolithic form remains the oracle the cap tests compare
+/// against.
 pub fn global_spread_cap(graph: &TopicGraph, theta: f64) -> f64 {
     // materialize the per-edge maxima as a fake single-query table
     let max_probs =
@@ -212,16 +255,24 @@ impl PrecompBound {
         let z_count = graph.num_topics();
         let sigma: Vec<Vec<f64>> = (0..z_count)
             .into_par_iter()
-            .map(|z| {
-                let gamma = TopicDistribution::pure(z_count, z);
-                let probs = graph.materialize(gamma.as_slice()).expect("valid corner");
-                graph
-                    .nodes()
-                    .map(|u| mioa_spread(graph, &probs, u, theta))
-                    .collect()
-            })
+            .map(|z| Self::build_topic(graph, z, theta))
             .collect();
         PrecompBound { sigma, safety }
+    }
+
+    /// Build one topic's σ̂ row — the per-topic rebuild unit of the
+    /// `pb-bound` stage. Pure-topic MIA touches only edges carrying a
+    /// topic-`z` probability (zero-probability edges are skipped before any
+    /// state change), so the row is bit-identical across any foreign-topic
+    /// delta, and a partial rebuild assembling reused and fresh rows equals
+    /// a monolithic [`PrecompBound::build`] exactly.
+    pub fn build_topic(graph: &TopicGraph, z: usize, theta: f64) -> Vec<f64> {
+        let gamma = TopicDistribution::pure(graph.num_topics(), z);
+        let probs = graph.materialize(gamma.as_slice()).expect("valid corner");
+        graph
+            .nodes()
+            .map(|u| mioa_spread(graph, &probs, u, theta))
+            .collect()
     }
 
     /// The stored pure-topic spread `σ̂_z(u)`.
@@ -241,22 +292,23 @@ impl PrecompBound {
         (&self.sigma, self.safety)
     }
 
-    /// The incremental-rebuild cache key of the `pb-bound` offline stage.
+    /// The incremental-rebuild cache key of one **topic's** `pb-bound` unit.
     ///
-    /// [`PrecompBound::build`] is a deterministic MIA computation over the
-    /// graph's topology and weights under `(theta, safety)` — no seed, no
-    /// names — so those are the only inputs hashed. `enabled` records
-    /// whether the configured engine needs the tables at all: a section
-    /// persisted as "absent" must never satisfy a config that requires the
-    /// tables, and vice versa. `topology`/`weights` are the slice hashes
-    /// from `octopus_graph::codec`.
-    pub fn input_key(topology: u64, weights: u64, theta: f64, safety: f64, enabled: bool) -> u64 {
+    /// [`PrecompBound::build_topic`] is a deterministic pure-topic MIA
+    /// computation: it reads exactly the topic-`z` probability slice
+    /// (`weights_topic` =
+    /// [`hash_weights_topic`](octopus_graph::codec::hash_weights_topic),
+    /// which also pins the node universe) under `(theta, safety)` — no
+    /// seed, no names, no other topics. `enabled` records whether the
+    /// configured engine needs the tables at all: a unit persisted as
+    /// "absent" must never satisfy a config that requires the tables, and
+    /// vice versa.
+    pub fn input_key_topic(weights_topic: u64, theta: f64, safety: f64, enabled: bool) -> u64 {
         let mut h = octopus_graph::wire::Fnv64::new();
-        h.write(b"octa:pb-bound");
+        h.write(b"octa:pb-topic");
         h.write_u8(enabled as u8);
         if enabled {
-            h.write_u64(topology);
-            h.write_u64(weights);
+            h.write_u64(weights_topic);
             h.write_f64(theta);
             h.write_f64(safety);
         }
@@ -280,114 +332,149 @@ impl BoundEstimator for PrecompBound {
 }
 
 // ---------------------------------------------------------------------------
-// v4 flat layout of the pb-bound section (zero-copy mapped read path)
+// v5 per-topic flat layout of the pb-bound units (zero-copy mapped read path)
 // ---------------------------------------------------------------------------
 
-/// Encode the `pb-bound` OCTA v4 section: `present u64` (0 or 1), then —
-/// when present — `safety f64 | z u64 | n u64 | sigma z·n × f64` with
-/// `sigma[z][u]` row-major at byte `32 + (z·n + u)·8`. Every field is
-/// 8-aligned relative to the (8-aligned) section start, so a mapped reader
-/// serves `upper_bound` straight off the file bytes.
-pub fn encode_pb_section(pb: Option<&PrecompBound>, buf: &mut bytes::BytesMut) {
+/// Encode one topic's `pb-bound` OCTA v5 unit: `present u64` (0 or 1),
+/// then — when present — `safety f64 | n u64 | row n × f64` with `σ̂_z(u)`
+/// at byte `24 + u·8`. Every field is 8-aligned relative to the (8-aligned)
+/// section start, so a mapped reader serves `upper_bound` straight off the
+/// file bytes. Each topic is its own container section with its own key and
+/// checksum; `safety` is repeated per unit and must agree bitwise across
+/// the assembled table.
+pub fn encode_pb_topic_section(row: Option<&[f64]>, safety: f64, buf: &mut bytes::BytesMut) {
     use bytes::BufMut;
-    match pb {
+    match row {
         None => buf.put_u64_le(0),
-        Some(t) => {
-            let (sigma, safety) = t.parts();
-            let n = sigma.first().map_or(0, Vec::len);
-            buf.reserve(32 + sigma.len() * n * 8);
+        Some(row) => {
+            buf.reserve(24 + row.len() * 8);
             buf.put_u64_le(1);
             buf.put_f64_le(safety);
-            buf.put_u64_le(sigma.len() as u64);
-            buf.put_u64_le(n as u64);
-            for row in sigma {
-                debug_assert_eq!(row.len(), n, "ragged sigma table");
-                for &s in row {
-                    buf.put_f64_le(s);
-                }
+            buf.put_u64_le(row.len() as u64);
+            for &s in row {
+                buf.put_f64_le(s);
             }
         }
     }
 }
 
-/// A zero-copy view of a persisted `pb-bound` section: answers
+/// A zero-copy view of the persisted per-topic `pb-bound` units: answers
 /// [`BoundEstimator::upper_bound`] directly off the mapped section bytes,
 /// bit-identically to the owned [`PrecompBound`] (same summation order,
 /// same float ops).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PbTableView<'a> {
-    /// The f64 table area (`z · n` values, row-major by topic).
-    sigma: &'a [u8],
-    z: usize,
+    /// Per-topic f64 row areas (`n` values each), indexed by topic.
+    rows: Vec<&'a [u8]>,
     n: usize,
     safety: f64,
 }
 
 impl<'a> PbTableView<'a> {
-    /// Parse and structurally validate a v4 `pb-bound` payload. Returns
-    /// `Ok(None)` for a persisted-absent section. Validation is O(1): the
-    /// dimensions must match the graph and the length must match exactly,
-    /// after which every `upper_bound` read is in bounds by construction.
-    pub fn parse(
+    /// Parse and structurally validate one topic's v5 `pb-bound` payload
+    /// into `Ok(None)` (persisted absent) or `Ok(Some((safety, row_bytes)))`.
+    /// Validation is O(1): the row length must match the graph exactly,
+    /// after which every read is in bounds by construction.
+    pub fn parse_topic(
         raw: &'a [u8],
-        num_topics: usize,
         node_count: usize,
-    ) -> Result<Option<Self>, octopus_graph::wire::WireError> {
+    ) -> Result<Option<(f64, &'a [u8])>, octopus_graph::wire::WireError> {
         use octopus_graph::wire::WireError;
-        let word = |at: usize| u64::from_le_bytes(raw[at..at + 8].try_into().expect("8 bytes"));
         if raw.len() < 8 {
-            return Err(WireError("pb section shorter than its present flag".into()));
+            return Err(WireError(
+                "pb topic unit shorter than its present flag".into(),
+            ));
         }
+        let word = |at: usize| u64::from_le_bytes(raw[at..at + 8].try_into().expect("8 bytes"));
         match word(0) {
             0 => {
                 if raw.len() != 8 {
-                    return Err(WireError("absent pb section has trailing bytes".into()));
+                    return Err(WireError("absent pb topic unit has trailing bytes".into()));
                 }
                 Ok(None)
             }
             1 => {
-                if raw.len() < 32 {
-                    return Err(WireError("pb section header truncated".into()));
+                if raw.len() < 24 {
+                    return Err(WireError("pb topic unit header truncated".into()));
                 }
                 let safety = f64::from_le_bytes(raw[8..16].try_into().expect("8 bytes"));
-                let z = word(16) as usize;
-                let n = word(24) as usize;
-                if z != num_topics || n != node_count {
+                let n = word(16) as usize;
+                if n != node_count {
                     return Err(WireError(format!(
-                        "pb table dims {z}x{n} do not match graph {num_topics}x{node_count}"
+                        "pb row has {n} nodes, graph has {node_count}"
                     )));
                 }
-                let want = 32
-                    + z.checked_mul(n)
-                        .and_then(|c| c.checked_mul(8))
-                        .ok_or_else(|| WireError("pb table size overflows".to_string()))?;
+                let want = 24 + n * 8;
                 if raw.len() != want {
                     return Err(WireError(format!(
-                        "pb section length {} does not match dims (want {want})",
+                        "pb topic unit length {} does not match row (want {want})",
                         raw.len()
                     )));
                 }
-                Ok(Some(PbTableView {
-                    sigma: &raw[32..],
-                    z,
-                    n,
-                    safety,
-                }))
+                Ok(Some((safety, &raw[24..])))
             }
             other => Err(WireError(format!("invalid pb present flag {other}"))),
         }
     }
 
+    /// Assemble the view from every topic's v5 unit payload (canonical
+    /// ascending topic order). Returns `Ok(None)` when all units are
+    /// persisted-absent; mixed presence or a bitwise `safety` disagreement
+    /// across units fails closed — a valid writer never produces either.
+    pub fn parse(
+        slices: &[&'a [u8]],
+        node_count: usize,
+    ) -> Result<Option<Self>, octopus_graph::wire::WireError> {
+        use octopus_graph::wire::WireError;
+        let mut rows = Vec::with_capacity(slices.len());
+        let mut safety: Option<f64> = None;
+        for (z, raw) in slices.iter().enumerate() {
+            match (Self::parse_topic(raw, node_count)?, z) {
+                (None, 0) => return Self::expect_all_absent(slices, node_count),
+                (None, _) => return Err(WireError(format!("pb unit {z} absent amid present"))),
+                (Some((s, row)), _) => {
+                    if let Some(prev) = safety {
+                        if prev.to_bits() != s.to_bits() {
+                            return Err(WireError(format!(
+                                "pb unit {z} safety {s} disagrees with {prev}"
+                            )));
+                        }
+                    }
+                    safety = Some(s);
+                    rows.push(row);
+                }
+            }
+        }
+        Ok(safety.map(|safety| PbTableView {
+            rows,
+            n: node_count,
+            safety,
+        }))
+    }
+
+    fn expect_all_absent(
+        slices: &[&'a [u8]],
+        node_count: usize,
+    ) -> Result<Option<Self>, octopus_graph::wire::WireError> {
+        use octopus_graph::wire::WireError;
+        for (z, raw) in slices.iter().enumerate() {
+            if Self::parse_topic(raw, node_count)?.is_some() {
+                return Err(WireError(format!("pb unit {z} present amid absent")));
+            }
+        }
+        Ok(None)
+    }
+
     /// The stored pure-topic spread `σ̂_z(u)`.
     #[inline]
     pub fn topic_spread(&self, u: NodeId, z: usize) -> f64 {
-        let at = (z * self.n + u.index()) * 8;
-        f64::from_le_bytes(self.sigma[at..at + 8].try_into().expect("validated len"))
+        let at = u.index() * 8;
+        f64::from_le_bytes(self.rows[z][at..at + 8].try_into().expect("validated len"))
     }
 
     /// Decode into the owned form (the non-mapped artifact-cache path).
     pub fn to_precomp(&self) -> PrecompBound {
-        let sigma = (0..self.z)
+        let sigma = (0..self.rows.len())
             .map(|z| {
                 (0..self.n)
                     .map(|u| self.topic_spread(NodeId(u as u32), z))
@@ -400,7 +487,7 @@ impl<'a> PbTableView<'a> {
 
 impl BoundEstimator for PbTableView<'_> {
     fn upper_bound(&self, u: NodeId, gamma: &TopicDistribution) -> f64 {
-        let agg: f64 = (0..self.z)
+        let agg: f64 = (0..self.rows.len())
             .map(|z| gamma[z] * self.topic_spread(u, z))
             .sum();
         // identical expression to PrecompBound::upper_bound — mapped and
@@ -649,9 +736,17 @@ mod tests {
     fn pb_view_round_trips_and_answers_bit_identically() {
         let g = two_topic_hubs();
         let pb = PrecompBound::build(&g, THETA, 1.2);
-        let mut buf = bytes::BytesMut::new();
-        encode_pb_section(Some(&pb), &mut buf);
-        let view = PbTableView::parse(&buf, g.num_topics(), g.node_count())
+        let (sigma, safety) = pb.parts();
+        let units: Vec<bytes::BytesMut> = sigma
+            .iter()
+            .map(|row| {
+                let mut buf = bytes::BytesMut::new();
+                encode_pb_topic_section(Some(row), safety, &mut buf);
+                buf
+            })
+            .collect();
+        let slices: Vec<&[u8]> = units.iter().map(|u| &u[..]).collect();
+        let view = PbTableView::parse(&slices, g.node_count())
             .unwrap()
             .expect("present");
         for gamma in [
@@ -668,19 +763,92 @@ mod tests {
             }
         }
         assert_eq!(view.to_precomp(), pb);
-        assert_eq!(view.kind(), BoundKind::Precomputation);
+        assert_eq!(view.clone().kind(), BoundKind::Precomputation);
 
-        // persisted-absent tables parse to None
+        // per-topic rebuild units match the monolithic build exactly
+        for (z, row) in sigma.iter().enumerate() {
+            assert_eq!(&PrecompBound::build_topic(&g, z, THETA), row);
+        }
+
+        // persisted-absent units parse to None
         let mut absent = bytes::BytesMut::new();
-        encode_pb_section(None, &mut absent);
+        encode_pb_topic_section(None, safety, &mut absent);
         assert_eq!(absent.len(), 8);
-        assert!(PbTableView::parse(&absent, 2, g.node_count())
+        let absent_slices: Vec<&[u8]> = vec![&absent, &absent];
+        assert!(PbTableView::parse(&absent_slices, g.node_count())
             .unwrap()
             .is_none());
 
-        // truncation and dimension mismatches fail closed
-        assert!(PbTableView::parse(&buf[..buf.len() - 1], 2, g.node_count()).is_err());
-        assert!(PbTableView::parse(&buf, 3, g.node_count()).is_err());
-        assert!(PbTableView::parse(&buf[..4], 2, g.node_count()).is_err());
+        // truncation, dimension mismatches, and mixed presence fail closed
+        let s0 = slices[0];
+        assert!(PbTableView::parse_topic(&s0[..s0.len() - 1], g.node_count()).is_err());
+        assert!(PbTableView::parse_topic(s0, g.node_count() + 1).is_err());
+        assert!(PbTableView::parse_topic(&s0[..4], g.node_count()).is_err());
+        assert!(PbTableView::parse(&[s0, &absent], g.node_count()).is_err());
+        assert!(PbTableView::parse(&[&absent, s0], g.node_count()).is_err());
+        // bitwise safety disagreement across units fails closed
+        let mut other = bytes::BytesMut::new();
+        encode_pb_topic_section(Some(&sigma[1]), safety + 0.1, &mut other);
+        assert!(PbTableView::parse(&[s0, &other], g.node_count()).is_err());
+    }
+
+    #[test]
+    fn topic_caps_combine_soundly() {
+        let g = two_topic_hubs();
+        let caps: Vec<f64> = (0..g.num_topics())
+            .map(|z| topic_arrival_cap(&g, z))
+            .collect();
+        let combined = combine_topic_caps(&caps);
+        // the combined arrival cap dominates the exact reference cap, hence
+        // every MIA spread NB/LG compare against
+        assert!(combined >= global_spread_cap(&g, THETA) - 1e-12);
+        for z in 0..2 {
+            let gamma = TopicDistribution::pure(2, z);
+            for u in g.nodes() {
+                assert!(combined >= exact(&g, u, &gamma) - 1e-9);
+            }
+        }
+        // each unit is at least the empty-spread floor
+        assert!(caps.iter().all(|&c| c >= 1.0));
+        assert_eq!(combine_topic_caps(&[]), 1.0);
+    }
+
+    #[test]
+    fn topic_caps_ignore_foreign_topic_deltas() {
+        use octopus_graph::GraphBuilder;
+        let g = two_topic_hubs();
+        // re-build the fixture with one extra pure-topic-1 edge
+        let mut b = GraphBuilder::new(2);
+        for u in g.nodes() {
+            b.add_node(g.name(u).unwrap_or(""));
+        }
+        for u in g.nodes() {
+            for (v, e) in g.out_edges(u) {
+                let probs: Vec<(usize, f64)> = g
+                    .edge_topic_probs(e)
+                    .map(|(z, p)| (z.index(), p as f64))
+                    .collect();
+                b.add_edge(u, v, &probs).unwrap();
+            }
+        }
+        // target node 3, which has no topic-1 in-edge in the fixture, so
+        // the insert raises its topic-1 arrival mass from zero
+        b.add_edge(NodeId(9), NodeId(3), &[(1, 0.4)]).unwrap();
+        let g2 = b.build().unwrap();
+        // topic 0's arrival cap is bit-identical; topic 1's moved
+        assert_eq!(
+            topic_arrival_cap(&g, 0).to_bits(),
+            topic_arrival_cap(&g2, 0).to_bits()
+        );
+        assert!(topic_arrival_cap(&g2, 1) > topic_arrival_cap(&g, 1));
+        // and NB stays sound under the combined arrival cap
+        let caps: Vec<f64> = (0..2).map(|z| topic_arrival_cap(&g2, z)).collect();
+        let nb = NeighborhoodBound::new(&g2, combine_topic_caps(&caps));
+        let gamma = TopicDistribution::uniform(2);
+        for u in g2.nodes() {
+            let probs = g2.materialize(gamma.as_slice()).unwrap();
+            let s = mia_spread_set(&g2, &probs, &[u], THETA);
+            assert!(nb.upper_bound(u, &gamma) >= s - 1e-9);
+        }
     }
 }

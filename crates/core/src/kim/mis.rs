@@ -40,32 +40,36 @@ impl MisKim {
         let z_count = graph.num_topics();
         let gains: Vec<HashMap<NodeId, f64>> = (0..z_count)
             .into_par_iter()
-            .map(|z| {
-                let gamma = TopicDistribution::pure(z_count, z);
-                let probs = graph
-                    .materialize(gamma.as_slice())
-                    .expect("valid corner gamma");
-                let mut oracle =
-                    RrOracle::new(graph, &probs, rr_per_topic, stream_seed(seed, z as u64));
-                let res = celf_select(&mut oracle, k_max);
-                res.seeds
-                    .iter()
-                    .copied()
-                    .zip(res.gains.iter().copied())
-                    .collect()
-            })
+            .map(|z| Self::build_topic(graph, z, k_max, rr_per_topic, seed))
             .collect();
-        let mut candidate_set: Vec<NodeId> = gains
+        Self::from_parts(gains)
+    }
+
+    /// Build one topic's marginal-gain table — the per-topic rebuild unit
+    /// of the `mis-tables` stage. Topic `z` samples from its own stream
+    /// (`stream_seed(seed, z)`), and the pure-topic RR sampler consumes no
+    /// randomness on zero-probability edges, so the table is a function of
+    /// the topic-`z` edge triples, the node universe, and `(k_max,
+    /// rr_per_topic, seed)` alone: a partial rebuild assembling reused and
+    /// fresh tables equals a monolithic [`MisKim::build`] exactly.
+    pub fn build_topic(
+        graph: &TopicGraph,
+        z: usize,
+        k_max: usize,
+        rr_per_topic: usize,
+        seed: u64,
+    ) -> HashMap<NodeId, f64> {
+        let gamma = TopicDistribution::pure(graph.num_topics(), z);
+        let probs = graph
+            .materialize(gamma.as_slice())
+            .expect("valid corner gamma");
+        let mut oracle = RrOracle::new(graph, &probs, rr_per_topic, stream_seed(seed, z as u64));
+        let res = celf_select(&mut oracle, k_max);
+        res.seeds
             .iter()
-            .flat_map(|table| table.keys().copied())
-            .collect();
-        candidate_set.sort();
-        candidate_set.dedup();
-        MisKim {
-            gains,
-            candidates: candidate_set,
-            num_topics: z_count,
-        }
+            .copied()
+            .zip(res.gains.iter().copied())
+            .collect()
     }
 
     /// Users appearing in at least one per-topic seed table.
@@ -95,30 +99,32 @@ impl MisKim {
         }
     }
 
-    /// The incremental-rebuild cache key of the `mis-tables` offline stage.
+    /// The incremental-rebuild cache key of one **topic's** `mis-tables`
+    /// unit.
     ///
-    /// [`MisKim::build`] reads the graph's topology (RR-set traversals) and
-    /// per-edge topic probabilities (pure-topic materialization), plus
-    /// `k_max`, the RR budget, and the sampling seed. Node **names are
-    /// deliberately absent** — MIS never reads them, so a rename reuses the
-    /// cached tables. `enabled` records whether the configured engine
-    /// builds the tables at all (see `PrecompBound::input_key` for why the
-    /// flag is part of the key). `topology`/`weights` are the graph slice
-    /// hashes from `octopus_graph::codec`.
-    pub fn input_key(
-        topology: u64,
-        weights: u64,
+    /// [`MisKim::build_topic`] reads exactly the topic-`z` probability
+    /// slice (`weights_topic` =
+    /// [`hash_weights_topic`](octopus_graph::codec::hash_weights_topic),
+    /// which pins the topic index, the edge triples, and the node universe
+    /// the RR roots are drawn from), plus `k_max`, the RR budget, and the
+    /// sampling seed. Node **names are deliberately absent** — MIS never
+    /// reads them, so a rename reuses the cached tables — and so are the
+    /// other topics' probabilities, so a topic-confined nudge rebuilds one
+    /// unit. `enabled` records whether the configured engine builds the
+    /// tables at all (see `PrecompBound::input_key_topic` for why the flag
+    /// is part of the key).
+    pub fn input_key_topic(
+        weights_topic: u64,
         k_max: usize,
         rr_per_topic: usize,
         seed: u64,
         enabled: bool,
     ) -> u64 {
         let mut h = octopus_graph::wire::Fnv64::new();
-        h.write(b"octa:mis-tables");
+        h.write(b"octa:mis-topic");
         h.write_u8(enabled as u8);
         if enabled {
-            h.write_u64(topology);
-            h.write_u64(weights);
+            h.write_u64(weights_topic);
             h.write_u64(k_max as u64);
             h.write_u64(rr_per_topic as u64);
             h.write_u64(seed);
@@ -135,182 +141,114 @@ impl MisKim {
 }
 
 // ---------------------------------------------------------------------------
-// v4 flat layout of the mis-tables section (zero-copy mapped read path)
+// v5 per-topic flat layout of the mis-tables units (zero-copy mapped read
+// path)
 // ---------------------------------------------------------------------------
 
-/// Encode the `mis-tables` OCTA v4 section: `present u64` (0 or 1), then —
-/// when present —
+/// Encode one topic's `mis-tables` OCTA v5 unit: `present u64` (0 or 1),
+/// then — when present —
 ///
 /// ```text
-/// z u64 @8 | total u64 @16 | union u64 @24
-/// topic_offsets (z+1) × u64 @32        -- prefix entry counts into ids/gains
-/// ids      total × u32                 -- per topic, sorted by id ascending
+/// count u64 @8
+/// ids   count × u32 @16                -- sorted by id ascending
 /// [zero pad to 8]
-/// gains    total × f64
-/// union_ids union × u32                -- sorted ascending (the candidates)
-/// [zero pad to 8]
+/// gains count × f64
 /// ```
 ///
-/// `total` is the sum of per-topic entry counts; `union_ids` is the sorted
-/// deduplicated union of all per-topic ids — exactly the candidate order
-/// [`MisKim::select`] scans, so a mapped reader reproduces its answers
-/// bit for bit.
-pub fn encode_mis_section(mis: Option<&MisKim>, buf: &mut bytes::BytesMut) {
+/// Each topic is its own container section with its own key and checksum.
+/// The candidate union [`MisKim::select`] scans is **derived** at parse
+/// time (exactly as [`MisKim::from_parts`] derives it), not persisted —
+/// a unit reused from one epoch and a unit rebuilt in another always
+/// reassemble the same union.
+pub fn encode_mis_topic_section(table: Option<&HashMap<NodeId, f64>>, buf: &mut bytes::BytesMut) {
     use bytes::BufMut;
     use octopus_graph::wire::pad8;
-    let Some(m) = mis else {
+    let Some(table) = table else {
         buf.put_u64_le(0);
         return;
     };
-    let per_topic: Vec<Vec<(NodeId, f64)>> = m
-        .gains
-        .iter()
-        .map(|table| {
-            let mut rows: Vec<(NodeId, f64)> = table.iter().map(|(&u, &g)| (u, g)).collect();
-            rows.sort_by_key(|&(u, _)| u);
-            rows
-        })
-        .collect();
-    let total: usize = per_topic.iter().map(Vec::len).sum();
+    let mut rows: Vec<(NodeId, f64)> = table.iter().map(|(&u, &g)| (u, g)).collect();
+    rows.sort_by_key(|&(u, _)| u);
+    buf.reserve(16 + rows.len() * 12 + 8);
     buf.put_u64_le(1);
-    buf.put_u64_le(m.num_topics as u64);
-    buf.put_u64_le(total as u64);
-    buf.put_u64_le(m.candidates.len() as u64);
-    let mut cum = 0u64;
-    buf.put_u64_le(0);
-    for rows in &per_topic {
-        cum += rows.len() as u64;
-        buf.put_u64_le(cum);
-    }
-    for rows in &per_topic {
-        for &(u, _) in rows {
-            buf.put_u32_le(u.0);
-        }
-    }
-    buf.put_bytes(0, pad8(4 * total));
-    for rows in &per_topic {
-        for &(_, g) in rows {
-            buf.put_f64_le(g);
-        }
-    }
-    for &u in &m.candidates {
+    buf.put_u64_le(rows.len() as u64);
+    for &(u, _) in &rows {
         buf.put_u32_le(u.0);
     }
-    buf.put_bytes(0, pad8(4 * m.candidates.len()));
+    buf.put_bytes(0, pad8(4 * rows.len()));
+    for &(_, g) in &rows {
+        buf.put_f64_le(g);
+    }
 }
 
-/// A zero-copy view of a persisted `mis-tables` section: scores and selects
-/// directly off the mapped section bytes, bit-identically to the owned
-/// [`MisKim`] (same candidate scan order, same summation order).
+/// One topic's validated unit within a [`MisView`].
 #[derive(Debug, Clone, Copy)]
+struct MisTopicView<'a> {
+    /// The u32 id area (`count` entries, strictly ascending).
+    ids: &'a [u8],
+    /// The f64 gain area (`count` entries, parallel to `ids`).
+    gains: &'a [u8],
+    count: usize,
+}
+
+/// A zero-copy view of the persisted per-topic `mis-tables` units: scores
+/// and selects directly off the mapped section bytes, bit-identically to
+/// the owned [`MisKim`] (same candidate scan order, same summation order).
+/// The candidate union is computed once at parse time — the same k-way
+/// merge the v4 validator already paid.
+#[derive(Debug, Clone)]
 pub struct MisView<'a> {
-    raw: &'a [u8],
-    z: usize,
-    union: usize,
-    ids_off: usize,
-    gains_off: usize,
-    union_off: usize,
+    topics: Vec<MisTopicView<'a>>,
+    union: Vec<NodeId>,
 }
 
 impl<'a> MisView<'a> {
-    /// Parse and structurally validate a v4 `mis-tables` payload. Returns
-    /// `Ok(None)` for a persisted-absent section. Validates the offset
-    /// table (monotone prefix counts), exact section length, per-topic id
-    /// sortedness, id bounds, and that `union_ids` is exactly the sorted
-    /// union of the per-topic ids — everything [`MisView::select`] relies
-    /// on to mirror the owned engine.
-    pub fn parse(
+    /// Parse and structurally validate one topic's v5 `mis-tables` payload
+    /// into `Ok(None)` (persisted absent) or the validated unit. Checks the
+    /// exact unit length, strict id sortedness, and id bounds.
+    fn parse_topic_inner(
         raw: &'a [u8],
-        num_topics: usize,
         node_count: usize,
-    ) -> Result<Option<Self>, octopus_graph::wire::WireError> {
+    ) -> Result<Option<MisTopicView<'a>>, octopus_graph::wire::WireError> {
         use octopus_graph::wire::{align8, WireError};
-        let word = |at: usize| u64::from_le_bytes(raw[at..at + 8].try_into().expect("8 bytes"));
         if raw.len() < 8 {
-            return Err(WireError(
-                "mis section shorter than its present flag".into(),
-            ));
+            return Err(WireError("mis topic unit shorter than its flag".into()));
         }
+        let word = |at: usize| u64::from_le_bytes(raw[at..at + 8].try_into().expect("8 bytes"));
         match word(0) {
             0 => {
                 if raw.len() != 8 {
-                    return Err(WireError("absent mis section has trailing bytes".into()));
+                    return Err(WireError("absent mis topic unit has trailing bytes".into()));
                 }
                 Ok(None)
             }
             1 => {
-                if raw.len() < 32 {
-                    return Err(WireError("mis section header truncated".into()));
+                if raw.len() < 16 {
+                    return Err(WireError("mis topic unit header truncated".into()));
                 }
-                let z = word(8) as usize;
-                let total = word(16) as usize;
-                let union = word(24) as usize;
-                if z != num_topics {
-                    return Err(WireError(format!(
-                        "mis table has {z} topics, graph has {num_topics}"
-                    )));
-                }
-                let offs_at = 32;
-                let ids_off = offs_at + 8 * (z + 1);
-                if raw.len() < ids_off {
-                    return Err(WireError("mis topic offsets truncated".into()));
-                }
-                let gains_off = align8(ids_off + 4 * total);
-                let union_off = gains_off + 8 * total;
-                let want = align8(union_off + 4 * union);
+                let count = word(8) as usize;
+                let ids_off = 16;
+                let gains_off = align8(ids_off + 4 * count);
+                let want = gains_off + 8 * count;
                 if raw.len() != want {
                     return Err(WireError(format!(
-                        "mis section length {} does not match its counts (want {want})",
+                        "mis topic unit length {} does not match its count (want {want})",
                         raw.len()
                     )));
                 }
-                let view = MisView {
-                    raw,
-                    z,
-                    union,
-                    ids_off,
-                    gains_off,
-                    union_off,
+                let view = MisTopicView {
+                    ids: &raw[ids_off..ids_off + 4 * count],
+                    gains: &raw[gains_off..],
+                    count,
                 };
-                // prefix counts must be monotone and end at `total`
-                let mut prev = view.prefix(0);
-                if prev != 0 {
-                    return Err(WireError("mis topic offsets must start at 0".into()));
-                }
-                for t in 1..=z {
-                    let cur = view.prefix(t);
-                    if cur < prev {
-                        return Err(WireError("mis topic offsets must be monotone".into()));
+                for i in 0..count {
+                    let id = view.id_at(i);
+                    if id as usize >= node_count {
+                        return Err(WireError(format!("mis id {id} out of bounds")));
                     }
-                    prev = cur;
-                }
-                if prev != total {
-                    return Err(WireError("mis topic offsets must end at total".into()));
-                }
-                // per-topic ids strictly ascending and in bounds
-                let mut all_ids: Vec<u32> = Vec::with_capacity(total);
-                for t in 0..z {
-                    let (lo, hi) = view.topic_bounds(t);
-                    for i in lo..hi {
-                        let id = view.id_at(i);
-                        if id as usize >= node_count {
-                            return Err(WireError(format!("mis id {id} out of bounds")));
-                        }
-                        if i > lo && view.id_at(i - 1) >= id {
-                            return Err(WireError(
-                                "mis topic ids must be strictly ascending".into(),
-                            ));
-                        }
-                        all_ids.push(id);
+                    if i > 0 && view.id_at(i - 1) >= id {
+                        return Err(WireError("mis topic ids must be strictly ascending".into()));
                     }
-                }
-                // union_ids must be exactly the sorted union of the topic ids
-                all_ids.sort_unstable();
-                all_ids.dedup();
-                if all_ids.len() != union || (0..union).any(|i| view.union_id_at(i) != all_ids[i]) {
-                    return Err(WireError(
-                        "mis union_ids do not match the per-topic id union".into(),
-                    ));
                 }
                 Ok(Some(view))
             }
@@ -318,58 +256,90 @@ impl<'a> MisView<'a> {
         }
     }
 
-    #[inline]
-    fn prefix(&self, t: usize) -> usize {
-        let at = 32 + 8 * t;
-        u64::from_le_bytes(self.raw[at..at + 8].try_into().expect("validated len")) as usize
+    /// Structurally validate one topic's unit without assembling a view
+    /// (the independent-parser and salvage paths).
+    pub fn validate_topic(
+        raw: &'a [u8],
+        node_count: usize,
+    ) -> Result<bool, octopus_graph::wire::WireError> {
+        Ok(Self::parse_topic_inner(raw, node_count)?.is_some())
     }
 
-    /// Entry range of topic `t` within the ids/gains arrays.
-    #[inline]
-    fn topic_bounds(&self, t: usize) -> (usize, usize) {
-        (self.prefix(t), self.prefix(t + 1))
+    /// Decode one topic's unit into its owned gains table (the non-mapped
+    /// artifact-cache path; `Ok(None)` = persisted-absent marker).
+    pub fn decode_topic(
+        raw: &'a [u8],
+        node_count: usize,
+    ) -> Result<Option<HashMap<NodeId, f64>>, octopus_graph::wire::WireError> {
+        Ok(Self::parse_topic_inner(raw, node_count)?.map(|unit| {
+            (0..unit.count)
+                .map(|i| (NodeId(unit.id_at(i)), unit.gain_at(i)))
+                .collect()
+        }))
     }
 
-    #[inline]
-    fn id_at(&self, i: usize) -> u32 {
-        let at = self.ids_off + 4 * i;
-        u32::from_le_bytes(self.raw[at..at + 4].try_into().expect("validated len"))
+    /// Assemble the view from every topic's v5 unit payload (canonical
+    /// ascending topic order). Returns `Ok(None)` when all units are
+    /// persisted-absent; mixed presence fails closed — a valid writer
+    /// never produces it.
+    pub fn parse(
+        slices: &[&'a [u8]],
+        node_count: usize,
+    ) -> Result<Option<Self>, octopus_graph::wire::WireError> {
+        use octopus_graph::wire::WireError;
+        let mut topics = Vec::with_capacity(slices.len());
+        let mut absent = 0usize;
+        for (z, raw) in slices.iter().enumerate() {
+            match Self::parse_topic_inner(raw, node_count)? {
+                Some(unit) => topics.push(unit),
+                None => {
+                    if z != absent {
+                        return Err(WireError(format!("mis unit {z} absent amid present")));
+                    }
+                    absent += 1;
+                }
+            }
+        }
+        if absent == slices.len() {
+            return Ok(None);
+        }
+        if absent != 0 {
+            return Err(WireError("mis units mix absent and present".into()));
+        }
+        // candidate union: sorted dedup of all per-topic ids, exactly as
+        // MisKim::from_parts derives it
+        let mut union: Vec<NodeId> = topics
+            .iter()
+            .flat_map(|t| (0..t.count).map(|i| NodeId(t.id_at(i))))
+            .collect();
+        union.sort();
+        union.dedup();
+        Ok(Some(MisView { topics, union }))
     }
 
-    #[inline]
-    fn gain_at(&self, i: usize) -> f64 {
-        let at = self.gains_off + 8 * i;
-        f64::from_le_bytes(self.raw[at..at + 8].try_into().expect("validated len"))
-    }
-
-    #[inline]
-    fn union_id_at(&self, i: usize) -> u32 {
-        let at = self.union_off + 4 * i;
-        u32::from_le_bytes(self.raw[at..at + 4].try_into().expect("validated len"))
-    }
-
-    /// Candidate users (the persisted sorted union of per-topic seeds).
+    /// Candidate users (the derived sorted union of per-topic seeds).
     pub fn candidate_count(&self) -> usize {
-        self.union
+        self.union.len()
     }
 
     /// The aggregated MIS score of a user under `gamma` — the same
     /// expression as [`MisKim::score`], with per-topic lookups served by
     /// binary search over the sorted id arrays.
     pub fn score(&self, u: NodeId, gamma: &TopicDistribution) -> f64 {
-        (0..self.z)
-            .map(|t| {
-                let (lo, hi) = self.topic_bounds(t);
-                let mut left = lo;
-                let mut right = hi;
+        self.topics
+            .iter()
+            .enumerate()
+            .map(|(t, unit)| {
+                let mut left = 0usize;
+                let mut right = unit.count;
                 let mut gain = 0.0;
                 while left < right {
                     let mid = left + (right - left) / 2;
-                    match self.id_at(mid).cmp(&u.0) {
+                    match unit.id_at(mid).cmp(&u.0) {
                         std::cmp::Ordering::Less => left = mid + 1,
                         std::cmp::Ordering::Greater => right = mid,
                         std::cmp::Ordering::Equal => {
-                            gain = self.gain_at(mid);
+                            gain = unit.gain_at(mid);
                             break;
                         }
                     }
@@ -382,11 +352,10 @@ impl<'a> MisView<'a> {
     /// Top-`k` selection, mirroring [`MisKim::select`] exactly: same
     /// candidate order, same comparator, same spread summation.
     pub fn select(&self, gamma: &TopicDistribution, k: usize) -> KimResult {
-        let mut scored: Vec<(NodeId, f64)> = (0..self.union)
-            .map(|i| {
-                let u = NodeId(self.union_id_at(i));
-                (u, self.score(u, gamma))
-            })
+        let mut scored: Vec<(NodeId, f64)> = self
+            .union
+            .iter()
+            .map(|&u| (u, self.score(u, gamma)))
             .collect();
         scored.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
@@ -399,7 +368,7 @@ impl<'a> MisView<'a> {
             seeds: scored.iter().map(|&(u, _)| u).collect(),
             spread,
             stats: KimStats {
-                bound_evaluations: self.union,
+                bound_evaluations: self.union.len(),
                 ..KimStats::default()
             },
         }
@@ -407,15 +376,30 @@ impl<'a> MisView<'a> {
 
     /// Decode into the owned form (the non-mapped artifact-cache path).
     pub fn to_mis(&self) -> MisKim {
-        let gains = (0..self.z)
-            .map(|t| {
-                let (lo, hi) = self.topic_bounds(t);
-                (lo..hi)
-                    .map(|i| (NodeId(self.id_at(i)), self.gain_at(i)))
+        let gains = self
+            .topics
+            .iter()
+            .map(|unit| {
+                (0..unit.count)
+                    .map(|i| (NodeId(unit.id_at(i)), unit.gain_at(i)))
                     .collect()
             })
             .collect();
         MisKim::from_parts(gains)
+    }
+}
+
+impl MisTopicView<'_> {
+    #[inline]
+    fn id_at(&self, i: usize) -> u32 {
+        let at = 4 * i;
+        u32::from_le_bytes(self.ids[at..at + 4].try_into().expect("validated len"))
+    }
+
+    #[inline]
+    fn gain_at(&self, i: usize) -> f64 {
+        let at = 8 * i;
+        f64::from_le_bytes(self.gains[at..at + 8].try_into().expect("validated len"))
     }
 }
 
@@ -520,10 +504,18 @@ mod tests {
     fn mis_view_round_trips_and_selects_bit_identically() {
         let g = two_topic_hubs();
         let m = engine();
-        let mut buf = bytes::BytesMut::new();
-        encode_mis_section(Some(&m), &mut buf);
-        assert_eq!(buf.len() % 8, 0, "section records are padded to 8");
-        let view = MisView::parse(&buf, g.num_topics(), g.node_count())
+        let units: Vec<bytes::BytesMut> = m
+            .gains()
+            .iter()
+            .map(|table| {
+                let mut buf = bytes::BytesMut::new();
+                encode_mis_topic_section(Some(table), &mut buf);
+                assert_eq!(buf.len() % 8, 0, "unit records are padded to 8");
+                buf
+            })
+            .collect();
+        let slices: Vec<&[u8]> = units.iter().map(|u| &u[..]).collect();
+        let view = MisView::parse(&slices, g.node_count())
             .unwrap()
             .expect("present");
         assert_eq!(view.candidate_count(), m.candidates().len());
@@ -549,13 +541,24 @@ mod tests {
         }
         assert_eq!(view.to_mis(), m);
 
-        // absent tables parse to None; truncation fails closed
+        // per-topic rebuild units match the monolithic build exactly
+        for (z, table) in m.gains().iter().enumerate() {
+            assert_eq!(&MisKim::build_topic(&g, z, 5, 3000, 42), table);
+        }
+
+        // absent units parse to None; truncation and mixed presence fail
+        // closed
         let mut absent = bytes::BytesMut::new();
-        encode_mis_section(None, &mut absent);
-        assert!(MisView::parse(&absent, 2, g.node_count())
+        encode_mis_topic_section(None, &mut absent);
+        let absent_slices: Vec<&[u8]> = vec![&absent, &absent];
+        assert!(MisView::parse(&absent_slices, g.node_count())
             .unwrap()
             .is_none());
-        assert!(MisView::parse(&buf[..buf.len() - 8], 2, g.node_count()).is_err());
-        assert!(MisView::parse(&buf, 3, g.node_count()).is_err());
+        let s0 = slices[0];
+        assert!(MisView::parse(&[&s0[..s0.len() - 8], slices[1]], g.node_count()).is_err());
+        assert!(MisView::parse(&[s0, &absent], g.node_count()).is_err());
+        assert!(MisView::parse(&[&absent, s0], g.node_count()).is_err());
+        assert!(MisView::validate_topic(s0, g.node_count()).unwrap());
+        assert!(!MisView::validate_topic(&absent, g.node_count()).unwrap());
     }
 }

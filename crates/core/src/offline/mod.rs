@@ -11,7 +11,7 @@
 //!
 //! ```text
 //!        ┌──────────────┐
-//!        │  spread-cap  │  global MIA cap C on the max-prob graph
+//!        │  spread-cap  │  per-topic arrival caps cap_z, combined into C
 //!        └──────┬───────┘
 //!               │                ┌───────────┐   ┌──────────────┐   ┌──────────────┐
 //!        ┌──────▼───────┐        │ mis-tables│   │  piks-worlds │   │ autocomplete │
@@ -22,6 +22,10 @@
 //!        │topic-samples │  per-gamma best-effort seed sets
 //!        └──────────────┘
 //! ```
+//!
+//! The `spread-cap`, `pb-bound`, and `mis-tables` stages decompose into
+//! one work unit per topic (their rebuild/reuse granularity — see
+//! *Persistence* below); `piks-worlds` into one unit per world.
 //!
 //! The left chain is sequential (`spread-cap → pb-bound → topic-samples`:
 //! the samples warm-start from the PB table and NB bound, both of which
@@ -65,13 +69,17 @@
 //!
 //! Determinism (above) is what makes the artifacts *cacheable*: each stage
 //! is a pure function of the inputs it reads, so [`persist`] serializes
-//! [`OfflineArtifacts`] into an **OCTA v4 sectioned container** — one
-//! independently keyed, independently checksummed section per stage, each
-//! section's [`persist::StageKeys`] entry hashing only that stage's input
-//! slice (MIS ignores names, autocomplete ignores weights, each PIKS world
-//! is keyed on the edge set its reverse BFS touched). The byte-level format
-//! is specified normatively in `ARCHITECTURE.md` and summarized in the
-//! [`persist`] module docs. Stage timings are telemetry, not artifact
+//! [`OfflineArtifacts`] into an **OCTA v5 sectioned container** — one
+//! independently keyed, independently checksummed section per work unit,
+//! each unit's [`persist::StageKeys`] entry hashing only that unit's input
+//! slice. The three weight-dependent stages are **topic-granular**: the
+//! cap, PB, and MIS payloads are split into one sub-section per topic,
+//! keyed on [`octopus_graph::codec::hash_weights_topic`] (MIS ignores
+//! names; autocomplete ignores weights; each PIKS world is keyed on the
+//! edge set its reverse BFS touched), so a delta confined to topic-`z`
+//! edges invalidates exactly topic `z`'s cap/PB/MIS units. The byte-level
+//! format is specified normatively in `ARCHITECTURE.md` and summarized in
+//! the [`persist`] module docs. Stage timings are telemetry, not artifact
 //! state, and are never persisted.
 //!
 //! [`crate::engine::Octopus::open_or_build`] is the consumer: it gathers
@@ -82,13 +90,14 @@
 //! ([`persist::STAGE_ARTIFACT_MAP`] / [`persist::STAGE_ARTIFACT_VALIDATE`]
 //! / [`persist::STAGE_ARTIFACT_DECODE`]) and `cache_hit = true` (zero
 //! build stages run); a partial hit reports exactly the rebuilt stages
-//! plus per-stage counters in
-//! [`crate::engine::SystemReport::stage_reuse`]. Reused or rebuilt, the
-//! resulting engine is bit-identical to a fresh build — pinned by
+//! plus per-unit counters in
+//! [`crate::engine::SystemReport::stage_reuse`] — `reused/total` topics
+//! for cap/PB/MIS, worlds for PIKS. Reused or rebuilt, the resulting
+//! engine is bit-identical to a fresh build — pinned by
 //! `tests/build_determinism.rs`, `tests/delta_invalidation.rs`, and the
 //! end-to-end restart tests.
 //!
-//! The v4 layout additionally supports a **mapped** open ([`view`]): the
+//! The v5 layout additionally supports a **mapped** open ([`view`]): the
 //! same file is memory-mapped and served zero-copy, skipping this
 //! pipeline (and most of the decode work) entirely.
 
@@ -100,7 +109,8 @@ pub mod view;
 use crate::autocomplete::Autocomplete;
 use crate::engine::{KimEngineChoice, OctopusConfig};
 use crate::kim::bounds::{
-    global_spread_cap, BoundKind, LocalGraphBound, NeighborhoodBound, PrecompBound, TrivialBound,
+    combine_topic_caps, topic_arrival_cap, BoundKind, LocalGraphBound, NeighborhoodBound,
+    PrecompBound, TrivialBound,
 };
 use crate::kim::topic_sample::{TopicSample, TopicSampleKim};
 use crate::kim::{BestEffortKim, KimResult, MisKim};
@@ -156,22 +166,38 @@ impl StageReuse {
     }
 }
 
+/// One cached `pb-bound` topic unit: `Some(row)` is the topic's σ̂ row,
+/// `None` is the cached **absent marker** ("this configuration needs no PB
+/// tables" — keyed by the `enabled` flag in
+/// [`PrecompBound::input_key_topic`], so a marker never satisfies a config
+/// that needs the tables).
+pub type PbTopicRow = Option<Vec<f64>>;
+
+/// One cached `mis-tables` topic unit: `Some(gains)` is the topic's CELF
+/// gains table, `None` the cached absent marker (same contract as
+/// [`PbTopicRow`], keyed by [`MisKim::input_key_topic`]).
+pub type MisTopicGains = Option<std::collections::HashMap<NodeId, f64>>;
+
 /// Cached stage outputs handed to [`build_with_reuse`]: a populated slot
-/// short-circuits its stage, an empty slot rebuilds it.
+/// short-circuits its work unit, an empty slot rebuilds it. The three
+/// weight-dependent stages are topic-granular — one slot per topic, so a
+/// topic-confined delta hands back every foreign topic's unit and rebuilds
+/// exactly the invalidated ones. Shorter-than-`Z` vectors are treated as
+/// all-empty tails (the persist layer always sizes them to `Z`).
 ///
 /// The *caller* (the persist layer) is responsible for only populating a
-/// slot when the stage's input fingerprint matches the live inputs — see
-/// `persist::StageKeys`. `build_with_reuse` trusts scalar slots outright;
-/// the PIKS slot is additionally screened world-by-world against this
-/// build's coin derivation.
+/// slot when the unit's input fingerprint matches the live inputs — see
+/// `persist::StageKeys`. `build_with_reuse` trusts scalar and per-topic
+/// slots outright; the PIKS slot is additionally screened world-by-world
+/// against this build's coin derivation.
 #[derive(Debug, Default)]
 pub struct ReuseSlots {
-    /// Cached global spread cap.
-    pub cap: Option<f64>,
-    /// Cached PB tables (`Some(None)` = cached "engine needs no tables").
-    pub pb: Option<Option<PrecompBound>>,
-    /// Cached MIS tables (`Some(None)` = cached "engine needs no tables").
-    pub mis: Option<Option<MisKim>>,
+    /// Per-topic cached arrival caps (`cap_z`).
+    pub cap: Vec<Option<f64>>,
+    /// Per-topic cached PB σ̂ rows (see [`PbTopicRow`]).
+    pub pb: Vec<Option<PbTopicRow>>,
+    /// Per-topic cached MIS gains tables (see [`MisTopicGains`]).
+    pub mis: Vec<Option<MisTopicGains>>,
     /// Cached topic samples (empty vec when the engine precomputes none).
     pub samples: Option<Vec<TopicSample>>,
     /// Per-world PIKS reuse slots.
@@ -183,8 +209,11 @@ pub struct ReuseSlots {
 /// Everything the engine precomputes before serving its first query.
 #[derive(Debug, Clone)]
 pub struct OfflineArtifacts {
-    /// Global MIA spread cap `C` on the max-probability graph (NB/LG bound
-    /// constant).
+    /// Per-topic arrival caps `cap_z` (the per-topic rebuild units of the
+    /// `spread-cap` stage), in topic order.
+    pub topic_caps: Vec<f64>,
+    /// Combined spread cap `C` (NB/LG bound constant) —
+    /// [`combine_topic_caps`] over `topic_caps`.
     pub cap: f64,
     /// Per-topic PB bound tables (present iff the configured engine needs
     /// them).
@@ -235,6 +264,45 @@ pub fn needs_mis(config: &OctopusConfig) -> bool {
     matches!(config.kim, KimEngineChoice::Mis)
 }
 
+/// Run a topic-granular stage: unit `z` is reloaded from `slots[z]` when
+/// populated and rebuilt via `f(z)` otherwise (rebuilds in parallel,
+/// assembled in topic order). Returns the per-topic values, a timing only
+/// when at least one unit rebuilt, and a `reused/total` counter over
+/// topics.
+fn stage_per_topic<T: Send>(
+    name: &'static str,
+    num_topics: usize,
+    mut slots: Vec<Option<T>>,
+    f: impl Fn(usize) -> T + Sync,
+) -> (Vec<T>, Option<StageTiming>, StageReuse) {
+    slots.resize_with(num_topics, || None);
+    slots.truncate(num_topics);
+    let reused = slots.iter().filter(|s| s.is_some()).count();
+    let start = Instant::now();
+    let missing: Vec<usize> = (0..num_topics).filter(|&z| slots[z].is_none()).collect();
+    let rebuilt: Vec<T> = missing.par_iter().map(|&z| f(z)).collect();
+    for (&z, value) in missing.iter().zip(rebuilt) {
+        slots[z] = Some(value);
+    }
+    let values: Vec<T> = slots
+        .into_iter()
+        .map(|s| s.expect("every unit reused or rebuilt"))
+        .collect();
+    let timing = (reused < num_topics).then(|| StageTiming {
+        stage: name,
+        duration: start.elapsed(),
+    });
+    (
+        values,
+        timing,
+        StageReuse {
+            stage: name,
+            reused,
+            total: num_topics,
+        },
+    )
+}
+
 /// Run `f` as the named stage unless `slot` carries a cached value.
 /// Returns the value, a timing only when the stage actually ran, and the
 /// stage's reuse counter.
@@ -283,30 +351,34 @@ pub fn build(graph: &TopicGraph, config: &OctopusConfig) -> OfflineArtifacts {
     build_with_reuse(graph, config, ReuseSlots::default())
 }
 
-/// Run the offline pipeline, short-circuiting every stage whose slot in
-/// `slots` carries a cached output and rebuilding only the rest along the
-/// stage DAG (a reused `cap`/`pb` still feeds a rebuilt `topic-samples`,
-/// and vice versa).
+/// Run the offline pipeline, short-circuiting every work unit whose slot
+/// in `slots` carries a cached output and rebuilding only the rest along
+/// the stage DAG (a reused `cap`/`pb` still feeds a rebuilt
+/// `topic-samples`, and vice versa).
 ///
-/// Correctness contract: a populated slot must hold exactly what the stage
-/// would compute for `(graph, config)` — slots are keyed by per-stage input
+/// Correctness contract: a populated slot must hold exactly what its unit
+/// would compute for `(graph, config)` — slots are keyed by per-unit input
 /// fingerprints in [`persist::StageKeys`], so this holds whenever the slot's
 /// key matches. Under that contract the result is **bit-identical** to
 /// [`build`] with no slots, whatever subset was reused (pinned by the
-/// `delta_invalidation` integration tests). The PIKS stage reuses at world
-/// granularity: each persisted world carries a footprint key over the edge
-/// set its reverse BFS touched, so a k-edge delta rebuilds only the worlds
-/// that actually saw those edges.
+/// `delta_invalidation` integration tests). The weight-dependent stages
+/// reuse at **topic** granularity (each cap/PB/MIS unit is keyed on its
+/// topic's weight slice, so a topic-`z` nudge rebuilds only topic `z`'s
+/// units) and the PIKS stage at **world** granularity (each persisted
+/// world carries a footprint key over the edge set its reverse BFS
+/// touched, so a k-edge delta rebuilds only the worlds that saw those
+/// edges).
 pub fn build_with_reuse(
     graph: &TopicGraph,
     config: &OctopusConfig,
     slots: ReuseSlots,
 ) -> OfflineArtifacts {
     let start = Instant::now();
+    let z_count = graph.num_topics();
     let ReuseSlots {
-        cap: cap_slot,
-        pb: pb_slot,
-        mis: mis_slot,
+        cap: cap_slots,
+        pb: pb_slots,
+        mis: mis_slots,
         samples: samples_slot,
         piks: piks_slot,
         names: names_slot,
@@ -315,28 +387,56 @@ pub fn build_with_reuse(
         || {
             rayon::join(
                 || {
-                    // sequential chain: cap → pb → topic samples
-                    let (cap, t_cap, r_cap) = stage_or("spread-cap", cap_slot, || {
-                        global_spread_cap(graph, config.mia_theta)
-                    });
-                    let (pb, t_pb, r_pb) = stage_or("pb-bound", pb_slot, || {
-                        needs_pb(config)
-                            .then(|| PrecompBound::build(graph, config.mia_theta, config.pb_safety))
+                    // sequential chain: cap → pb → topic samples; cap and
+                    // pb rebuild per topic
+                    let (topic_caps, t_cap, r_cap) =
+                        stage_per_topic("spread-cap", z_count, cap_slots, |z| {
+                            topic_arrival_cap(graph, z)
+                        });
+                    let cap = combine_topic_caps(&topic_caps);
+                    let (pb_rows, t_pb, r_pb) =
+                        stage_per_topic("pb-bound", z_count, pb_slots, |z| {
+                            needs_pb(config)
+                                .then(|| PrecompBound::build_topic(graph, z, config.mia_theta))
+                        });
+                    let pb = needs_pb(config).then(|| {
+                        let rows = pb_rows
+                            .into_iter()
+                            .map(|r| r.expect("pb units keyed on the enabled flag"))
+                            .collect();
+                        PrecompBound::from_parts(rows, config.pb_safety)
                     });
                     let (samples, t_samples, r_samples) =
                         stage_or("topic-samples", samples_slot, || {
                             build_topic_samples(graph, config, &pb, cap)
                         });
                     (
-                        cap, pb, samples, t_cap, t_pb, t_samples, r_cap, r_pb, r_samples,
+                        topic_caps, cap, pb, samples, t_cap, t_pb, t_samples, r_cap, r_pb,
+                        r_samples,
                     )
                 },
                 || {
-                    stage_or("mis-tables", mis_slot, || {
-                        needs_mis(config).then(|| {
-                            MisKim::build(graph, config.k_max, config.mis_rr_per_topic, config.seed)
-                        })
-                    })
+                    let (gains, t_mis, r_mis) =
+                        stage_per_topic("mis-tables", z_count, mis_slots, |z| {
+                            needs_mis(config).then(|| {
+                                MisKim::build_topic(
+                                    graph,
+                                    z,
+                                    config.k_max,
+                                    config.mis_rr_per_topic,
+                                    config.seed,
+                                )
+                            })
+                        });
+                    let mis = needs_mis(config).then(|| {
+                        MisKim::from_parts(
+                            gains
+                                .into_iter()
+                                .map(|g| g.expect("mis units keyed on the enabled flag"))
+                                .collect(),
+                        )
+                    });
+                    (mis, t_mis, r_mis)
                 },
             )
         },
@@ -378,11 +478,12 @@ pub fn build_with_reuse(
             )
         },
     );
-    let (cap, pb, samples, t_cap, t_pb, t_samples, r_cap, r_pb, r_samples) = left;
+    let (topic_caps, cap, pb, samples, t_cap, t_pb, t_samples, r_cap, r_pb, r_samples) = left;
     let (mis, t_mis, r_mis) = mis_out;
     let (piks_index, t_piks, r_piks) = piks_out;
     let (names, t_names, r_names) = names_out;
     OfflineArtifacts {
+        topic_caps,
         cap,
         pb,
         mis,
@@ -447,11 +548,11 @@ fn build_topic_samples(
 /// or a zero-copy view over a mapped artifact. Both implement
 /// [`crate::kim::bounds::BoundEstimator`] identically, so the selection is
 /// bit-identical either way.
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 pub(crate) enum PbSource<'a> {
     /// Owned tables (fresh build or decoded cache hit).
     Owned(Option<&'a PrecompBound>),
-    /// Zero-copy tables over a mapped OCTA v4 PB section.
+    /// Zero-copy tables over a mapped OCTA v5 PB section group.
     View(Option<crate::kim::bounds::PbTableView<'a>>),
 }
 

@@ -7,52 +7,68 @@
 //!
 //! OCTA v1 keyed the whole artifact file on one `(graph, config, seed)`
 //! hash, so a single renamed user or nudged edge weight invalidated tables
-//! that never read names or weights. v2 splits the file into independently
+//! that never read names or weights. v2 split the file into independently
 //! keyed **sections**, one per pipeline stage, each hashing only the inputs
-//! that stage actually reads:
+//! that stage actually reads. v5 splits the three weight-dependent stages
+//! one level further, into one section per **topic**:
 //!
-//! | section | key hashes | survives |
-//! |---|---|---|
-//! | `spread-cap` | topology, weights, `mia_theta` | renames, reseeds |
-//! | `pb-bound` | topology, weights, `mia_theta`, `pb_safety`, enabled | renames, reseeds |
-//! | `mis-tables` | topology, weights, `k_max`, `mis_rr_per_topic`, seed, enabled | renames |
-//! | `topic-samples` | topology, weights, kim-variant, `k_max`, bounds params, seed | renames, `direct_eps` tuning |
-//! | `piks-worlds` | `(n, world seed)` + a per-world footprint | any delta outside a world's BFS footprint |
-//! | `autocomplete` | names + out-degrees | weight nudges, reseeds |
+//! | section | units | key hashes (per unit) | survives |
+//! |---|---|---|---|
+//! | `spread-cap` | one per topic | topic-`z` weight slice | renames, reseeds, foreign-topic deltas |
+//! | `pb-bound` | one per topic | topic-`z` weight slice, `mia_theta`, `pb_safety`, enabled | renames, reseeds, foreign-topic deltas |
+//! | `mis-tables` | one per topic | topic-`z` weight slice, `k_max`, `mis_rr_per_topic`, seed, enabled | renames, foreign-topic deltas |
+//! | `topic-samples` | one | topology, weights, kim-variant, `k_max`, bounds params, seed | renames, `direct_eps` tuning |
+//! | `piks-worlds` | one (worlds inside) | `(n, world seed)` + a per-world footprint | any delta outside a world's BFS footprint |
+//! | `autocomplete` | one | names + out-degrees | weight nudges, reseeds |
 //!
-//! `topology`/`weights`/names are the [`octopus_graph::codec`] input-slice
-//! hashes. The PIKS section goes one level deeper: each stored world
-//! carries a [`crate::piks::footprint_hash`] over the edge set its reverse
-//! BFS touched, so a k-edge delta rebuilds only the worlds that actually
-//! saw those edges.
+//! The topic-`z` weight slice hash is
+//! [`octopus_graph::codec::hash_weights_topic`] (it also pins the node
+//! universe and topic count); `topology`/`weights`/names are the
+//! whole-graph [`octopus_graph::codec`] input-slice hashes. The PIKS
+//! section goes one level deeper still: each stored world carries a
+//! [`crate::piks::footprint_hash`] over the edge set its reverse BFS
+//! touched, so a k-edge delta rebuilds only the worlds that actually saw
+//! those edges — and a weight nudge confined to topic-`z` edges rebuilds
+//! only topic `z`'s cap/PB/MIS units plus those worlds.
 //!
-//! ## File format (OCTA v4, little-endian)
+//! ## File format (OCTA v5, little-endian)
 //!
 //! The normative byte-level specification lives in `ARCHITECTURE.md`
-//! (§"The OCTA v4 artifact container") and is pinned against this codec by
+//! (§"The OCTA v5 artifact container") and is pinned against this codec by
 //! the `octa_format` integration test. Summary:
 //!
 //! ```text
-//! magic "OCTA" | version u16 = 4 | pad u16 = 0
+//! magic "OCTA" | version u16 = 5 | pad u16 = 0
 //! graph_fp u64 | config_fp u64 | seed u64      ← combined key (file name / diagnostics)
 //! write_seq u64                                ← per-directory write sequence (prune order)
-//! section_count u32 | pad u32 = 0
+//! section_count u32 | pad u32 = 0              ← count = 3·Z + 3
 //! section table: count × { tag u32 | pad u32 = 0 | key u64 | off u64 | len u64 | checksum u64 }
 //! section payloads at their table offsets, zero-padded so each starts
 //! 8-aligned; file length = last off + last len
 //! ```
 //!
-//! v4 exists for the memory-mapped read path ([`super::view`]): every
-//! section records its absolute offset, starts 8-aligned, and uses flat
-//! fixed-width in-section layouts, so an open can serve queries straight
-//! off the mapped bytes — `O(pages touched)`, not `O(file)`. Every section
-//! still carries its own FNV-1a checksum, so corruption, torn writes, and
-//! truncation are detected **per section**: the damaged section misses, the
-//! intact ones are still reused. On the decode path checksums are verified
-//! before decoding; the mapped path defers them per section to first touch
-//! ([`wire::section_range`] frames without hashing). A v1–v3 file fails
-//! the version check and is migrated by rebuild — the v4 writer then
-//! replaces it for the same inputs under the same cache-file name scheme.
+//! A section's `tag` encodes both its stage and (for the topic-granular
+//! stages) its topic: `tag = base | (z << 8)` with the base in the low
+//! byte ([`tag_base`]) and the topic index above it ([`tag_topic`]) —
+//! singleton sections use their bare base tag, and topic 0 of a
+//! topic-granular stage is byte-identical to the old bare tag. The
+//! canonical section order is all cap units ascending by topic, then all
+//! PB units, then all MIS units, then samples / PIKS / names
+//! ([`section_order`]).
+//!
+//! The flat layout exists for the memory-mapped read path
+//! ([`super::view`]): every section records its absolute offset, starts
+//! 8-aligned, and uses flat fixed-width in-section layouts, so an open can
+//! serve queries straight off the mapped bytes — `O(pages touched)`, not
+//! `O(file)`. Every section still carries its own FNV-1a checksum, so
+//! corruption, torn writes, and truncation are detected **per section**:
+//! the damaged unit misses, the intact ones (including the other topics of
+//! the same stage) are still reused. On the decode path checksums are
+//! verified before decoding; the mapped path defers them per section to
+//! first touch ([`wire::section_range`] frames without hashing). A v1–v4
+//! file fails the version check and is migrated by rebuild — the v5 writer
+//! then replaces it for the same inputs under the same cache-file name
+//! scheme.
 //!
 //! ## Lookup
 //!
@@ -69,10 +85,10 @@
 
 #![warn(missing_docs)]
 
-use super::{OfflineArtifacts, ReuseSlots};
+use super::{MisTopicGains, OfflineArtifacts, PbTopicRow, ReuseSlots};
 use crate::autocomplete::Autocomplete;
 use crate::engine::{KimEngineChoice, OctopusConfig};
-use crate::kim::bounds::{spread_cap_key, BoundKind, PrecompBound};
+use crate::kim::bounds::{spread_cap_topic_key, BoundKind, PrecompBound};
 use crate::kim::topic_sample::TopicSample;
 use crate::kim::MisKim;
 use crate::piks::InfluencerIndex;
@@ -83,17 +99,17 @@ use octopus_topics::TopicDistribution;
 use std::path::{Path, PathBuf};
 
 pub(crate) const MAGIC: &[u8; 4] = b"OCTA";
-pub(crate) const VERSION: u16 = 4;
+pub(crate) const VERSION: u16 = 5;
 /// Bytes before the section table: magic + version + pad + 3 fingerprint
 /// words + write sequence + section count + pad. 8-aligned by design so
 /// the table (40-byte entries) and the first payload stay 8-aligned.
 pub(crate) const HEADER_LEN: usize = 4 + 2 + 2 + 8 * 3 + 8 + 4 + 4;
 
-/// Section tag: the global spread cap (`f64`).
+/// Base section tag: one per-topic arrival-cap unit (`f64`).
 pub const SECTION_CAP: u32 = 1;
-/// Section tag: PB bound tables.
+/// Base section tag: one per-topic PB σ̂ row unit.
 pub const SECTION_PB: u32 = 2;
-/// Section tag: MIS per-topic seed tables.
+/// Base section tag: one per-topic MIS gains-table unit.
 pub const SECTION_MIS: u32 = 3;
 /// Section tag: precomputed topic samples.
 pub const SECTION_SAMPLES: u32 = 4;
@@ -102,16 +118,36 @@ pub const SECTION_PIKS: u32 = 5;
 /// Section tag: the autocomplete trie.
 pub const SECTION_NAMES: u32 = 6;
 
-/// Section tags in canonical write order (mirrors the stage DAG order of
-/// [`super::STAGE_ORDER`]).
-pub const SECTION_ORDER: [u32; 6] = [
-    SECTION_CAP,
-    SECTION_PB,
-    SECTION_MIS,
-    SECTION_SAMPLES,
-    SECTION_PIKS,
-    SECTION_NAMES,
-];
+/// The tag of one topic-granular section unit: base tag in the low byte,
+/// topic index above it. Topic 0's tag equals the bare base tag.
+pub const fn topic_tag(base: u32, z: usize) -> u32 {
+    base | ((z as u32) << 8)
+}
+
+/// The stage a section tag belongs to (its low byte).
+pub const fn tag_base(tag: u32) -> u32 {
+    tag & 0xFF
+}
+
+/// The topic index a section tag carries (0 for singleton sections).
+pub const fn tag_topic(tag: u32) -> usize {
+    (tag >> 8) as usize
+}
+
+/// Section tags in canonical write order for a `num_topics`-topic graph:
+/// every cap unit ascending by topic, then every PB unit, then every MIS
+/// unit, then the three singleton sections (mirroring the stage DAG order
+/// of [`super::STAGE_ORDER`]). `3·Z + 3` entries.
+pub fn section_order(num_topics: usize) -> Vec<u32> {
+    let mut order = Vec::with_capacity(3 * num_topics + 3);
+    for base in [SECTION_CAP, SECTION_PB, SECTION_MIS] {
+        for z in 0..num_topics {
+            order.push(topic_tag(base, z));
+        }
+    }
+    order.extend([SECTION_SAMPLES, SECTION_PIKS, SECTION_NAMES]);
+    order
+}
 
 /// Synthetic stage name for reading cache files into memory (or mapping
 /// them) on a full artifact hit.
@@ -266,29 +302,32 @@ fn bound_tag(b: BoundKind) -> u32 {
     }
 }
 
-/// The per-stage cache keys of one offline build — the heart of the
+/// The per-unit cache keys of one offline build — the heart of the
 /// incremental-rebuild machinery.
 ///
-/// Each key hashes exactly the inputs its stage reads (see the module docs'
-/// table and each component's `input_key`/`section_key` documentation).
-/// The invariants the `delta_invalidation` tests pin:
+/// Each key hashes exactly the inputs its work unit reads (see the module
+/// docs' table and each component's `input_key_topic`/`section_key`
+/// documentation); the weight-dependent stages carry one key **per topic**
+/// over that topic's weight slice. The invariants the `delta_invalidation`
+/// tests pin:
 ///
 /// * a node **rename** moves only `names`;
-/// * a **weight nudge** moves `cap`/`pb`/`mis`/`samples` (they all read the
-///   probability table) but never `names` or the `piks` *section* key —
-///   world-level footprints decide PIKS reuse;
+/// * a **weight nudge confined to topic-`z` edges** moves exactly index
+///   `z` of `cap`/`pb`/`mis` (plus `samples`, which reads all weights) —
+///   never `names`, the other topics' units, or the `piks` *section* key
+///   (world-level footprints decide PIKS reuse);
 /// * a **reseed** moves only `mis`/`samples`/`piks` (the randomized stages);
-/// * an **edge insert** moves everything except `names`-when-degrees-hold
-///   — and for PIKS invalidates exactly the worlds whose footprint saw the
-///   changed edge ids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// * an **edge insert** moves the units of the topics its probability
+///   payload carries, `samples`, and — via per-world footprints over the
+///   shifted edge ids — exactly the PIKS worlds that saw the change.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageKeys {
-    /// `spread-cap` key.
-    pub cap: u64,
-    /// `pb-bound` key.
-    pub pb: u64,
-    /// `mis-tables` key.
-    pub mis: u64,
+    /// `spread-cap` per-topic unit keys.
+    pub cap: Vec<u64>,
+    /// `pb-bound` per-topic unit keys.
+    pub pb: Vec<u64>,
+    /// `mis-tables` per-topic unit keys.
+    pub mis: Vec<u64>,
     /// `topic-samples` key.
     pub samples: u64,
     /// `piks-worlds` *section* key (derivation inputs; per-world footprints
@@ -299,27 +338,41 @@ pub struct StageKeys {
 }
 
 impl StageKeys {
-    /// Compute every stage key for building `graph` under `config`.
+    /// Compute every unit key for building `graph` under `config`.
     pub fn compute(graph: &TopicGraph, config: &OctopusConfig) -> Self {
         let topology = graph_codec::hash_topology(graph);
         let weights = graph_codec::hash_weights(graph);
+        let weights_topic: Vec<u64> = (0..graph.num_topics())
+            .map(|z| graph_codec::hash_weights_topic(graph, z))
+            .collect();
         StageKeys {
-            cap: spread_cap_key(topology, weights, config.mia_theta),
-            pb: PrecompBound::input_key(
-                topology,
-                weights,
-                config.mia_theta,
-                config.pb_safety,
-                super::needs_pb(config),
-            ),
-            mis: MisKim::input_key(
-                topology,
-                weights,
-                config.k_max,
-                config.mis_rr_per_topic,
-                config.seed,
-                super::needs_mis(config),
-            ),
+            cap: weights_topic
+                .iter()
+                .map(|&w| spread_cap_topic_key(w))
+                .collect(),
+            pb: weights_topic
+                .iter()
+                .map(|&w| {
+                    PrecompBound::input_key_topic(
+                        w,
+                        config.mia_theta,
+                        config.pb_safety,
+                        super::needs_pb(config),
+                    )
+                })
+                .collect(),
+            mis: weights_topic
+                .iter()
+                .map(|&w| {
+                    MisKim::input_key_topic(
+                        w,
+                        config.k_max,
+                        config.mis_rr_per_topic,
+                        config.seed,
+                        super::needs_mis(config),
+                    )
+                })
+                .collect(),
             samples: topic_samples_key(topology, weights, config),
             piks: InfluencerIndex::section_key(
                 graph.node_count(),
@@ -329,15 +382,17 @@ impl StageKeys {
         }
     }
 
-    /// The expected key for a section tag (`None` for unknown tags).
+    /// The expected key for a section tag (`None` for unknown tags or
+    /// topic indices beyond this build's topic count).
     pub fn for_tag(&self, tag: u32) -> Option<u64> {
-        match tag {
-            SECTION_CAP => Some(self.cap),
-            SECTION_PB => Some(self.pb),
-            SECTION_MIS => Some(self.mis),
-            SECTION_SAMPLES => Some(self.samples),
-            SECTION_PIKS => Some(self.piks),
-            SECTION_NAMES => Some(self.names),
+        let z = tag_topic(tag);
+        match tag_base(tag) {
+            SECTION_CAP => self.cap.get(z).copied(),
+            SECTION_PB => self.pb.get(z).copied(),
+            SECTION_MIS => self.mis.get(z).copied(),
+            SECTION_SAMPLES if z == 0 => Some(self.samples),
+            SECTION_PIKS if z == 0 => Some(self.piks),
+            SECTION_NAMES if z == 0 => Some(self.names),
             _ => None,
         }
     }
@@ -382,12 +437,12 @@ fn topic_samples_key(topology: u64, weights: u64, config: &OctopusConfig) -> u64
 // Encoding
 // ---------------------------------------------------------------------------
 
-/// Serialize `artifacts` as an OCTA v4 sectioned container stamped with the
-/// combined key `fp`, the per-stage `keys`, and the cache directory's
+/// Serialize `artifacts` as an OCTA v5 sectioned container stamped with the
+/// combined key `fp`, the per-unit `keys`, and the cache directory's
 /// `write_seq` (see [`prune`]; callers outside a cache directory may pass
 /// any value — the sequence never gates reuse).
 ///
-/// Sections are laid out in [`SECTION_ORDER`] at ascending 8-aligned
+/// Sections are laid out in [`section_order`] at ascending 8-aligned
 /// offsets recorded in the table, with zero padding *before* any section
 /// whose predecessor ends unaligned; checksums and lengths cover the
 /// payload bytes only, never the padding.
@@ -397,14 +452,31 @@ pub fn encode(
     keys: &StageKeys,
     write_seq: u64,
 ) -> Bytes {
-    let sections: Vec<(u32, u64, BytesMut)> = vec![
-        (SECTION_CAP, keys.cap, encode_cap(artifacts)),
-        (SECTION_PB, keys.pb, encode_pb(artifacts)),
-        (SECTION_MIS, keys.mis, encode_mis(artifacts)),
-        (SECTION_SAMPLES, keys.samples, encode_samples(artifacts)),
-        (SECTION_PIKS, keys.piks, encode_piks(artifacts)),
-        (SECTION_NAMES, keys.names, encode_names(artifacts)),
-    ];
+    let z_count = artifacts.topic_caps.len();
+    debug_assert_eq!(keys.cap.len(), z_count, "keys and artifacts agree on Z");
+    let mut sections: Vec<(u32, u64, BytesMut)> = Vec::with_capacity(3 * z_count + 3);
+    for z in 0..z_count {
+        let mut payload = BytesMut::with_capacity(8);
+        payload.put_f64_le(artifacts.topic_caps[z]);
+        sections.push((topic_tag(SECTION_CAP, z), keys.cap[z], payload));
+    }
+    for z in 0..z_count {
+        sections.push((
+            topic_tag(SECTION_PB, z),
+            keys.pb[z],
+            encode_pb_topic(artifacts, z),
+        ));
+    }
+    for z in 0..z_count {
+        sections.push((
+            topic_tag(SECTION_MIS, z),
+            keys.mis[z],
+            encode_mis_topic(artifacts, z),
+        ));
+    }
+    sections.push((SECTION_SAMPLES, keys.samples, encode_samples(artifacts)));
+    sections.push((SECTION_PIKS, keys.piks, encode_piks(artifacts)));
+    sections.push((SECTION_NAMES, keys.names, encode_names(artifacts)));
     let table_len = sections.len() * wire::SECTION_ENTRY_LEN;
     let payload_len: usize = sections.iter().map(|(_, _, p)| wire::align8(p.len())).sum();
     let mut buf = BytesMut::with_capacity(HEADER_LEN + table_len + payload_len);
@@ -440,34 +512,24 @@ pub fn encode(
     buf.freeze()
 }
 
-fn encode_cap(artifacts: &OfflineArtifacts) -> BytesMut {
-    let mut payload = BytesMut::with_capacity(8);
-    payload.put_f64_le(artifacts.cap);
+/// Encode one topic's PB unit. Reserves exactly: σ̂ rows are N×8 bytes at
+/// production scale, so a large encode must not crawl through doubling
+/// reallocations.
+fn encode_pb_topic(artifacts: &OfflineArtifacts, z: usize) -> BytesMut {
+    let parts = artifacts.pb.as_ref().map(|pb| pb.parts());
+    let row = parts.map(|(sigma, _)| sigma[z].as_slice());
+    let safety = parts.map_or(0.0, |(_, s)| s);
+    let mut payload = BytesMut::with_capacity(row.map_or(8, |r| 24 + r.len() * 8));
+    crate::kim::bounds::encode_pb_topic_section(row, safety, &mut payload);
     payload
 }
 
-fn encode_pb(artifacts: &OfflineArtifacts) -> BytesMut {
-    // reserve exactly: PB tables are Z×N×8 bytes at production scale, so a
-    // large encode must not crawl through doubling reallocations
-    let cap = artifacts.pb.as_ref().map_or(8, |pb| {
-        let (sigma, _) = pb.parts();
-        32 + sigma.len() * sigma.first().map_or(0, Vec::len) * 8
-    });
+/// Encode one topic's MIS unit.
+fn encode_mis_topic(artifacts: &OfflineArtifacts, z: usize) -> BytesMut {
+    let table = artifacts.mis.as_ref().map(|m| &m.gains()[z]);
+    let cap = table.map_or(8, |t| 24 + t.len() * 12 + 8);
     let mut payload = BytesMut::with_capacity(cap);
-    crate::kim::bounds::encode_pb_section(artifacts.pb.as_ref(), &mut payload);
-    payload
-}
-
-fn encode_mis(artifacts: &OfflineArtifacts) -> BytesMut {
-    let cap = artifacts.mis.as_ref().map_or(8, |m| {
-        32 + m
-            .gains()
-            .iter()
-            .map(|t| 8 * (1 + 2 * t.len()))
-            .sum::<usize>()
-    });
-    let mut payload = BytesMut::with_capacity(cap);
-    crate::kim::mis::encode_mis_section(artifacts.mis.as_ref(), &mut payload);
+    crate::kim::mis::encode_mis_topic_section(table, &mut payload);
     payload
 }
 
@@ -610,49 +672,53 @@ fn load_sections_into(
     timings.validate += t_validate.elapsed();
 
     let r = config.piks_index_size;
+    let z_count = graph.num_topics();
     let mut salvaged = false;
     for _ in 0..section_count {
         let t_validate = std::time::Instant::now();
         let entry = wire::read_section_entry(&mut table, "section entry")?;
         timings.validate += t_validate.elapsed();
         if keys.for_tag(entry.tag) != Some(entry.key) {
-            continue; // stale inputs or unknown tag: the stage rebuilds
+            continue; // stale inputs or unknown tag: the unit rebuilds
         }
-        let needed = match entry.tag {
-            SECTION_CAP => slots.cap.is_none(),
-            SECTION_PB => slots.pb.is_none(),
-            SECTION_MIS => slots.mis.is_none(),
+        // the key matched, so a topic-granular tag's index is < z_count
+        // (for_tag bounds it against this build's key vectors)
+        let z = tag_topic(entry.tag);
+        let needed = match tag_base(entry.tag) {
+            SECTION_CAP => ensure_topics(&mut slots.cap, z_count)[z].is_none(),
+            SECTION_PB => ensure_topics(&mut slots.pb, z_count)[z].is_none(),
+            SECTION_MIS => ensure_topics(&mut slots.mis, z_count)[z].is_none(),
             SECTION_SAMPLES => slots.samples.is_none(),
             SECTION_PIKS => slots.piks.as_ref().is_none_or(|p| p.available_in(r) < r),
             SECTION_NAMES => slots.names.is_none(),
             _ => false,
         };
         if !needed {
-            continue; // an earlier donor already supplied this stage
+            continue; // an earlier donor already supplied this unit
         }
         let t_validate = std::time::Instant::now();
         let payload = wire::section_payload(raw, &entry);
         timings.validate += t_validate.elapsed();
         let Ok(payload) = payload else {
-            continue; // truncated or corrupted in place: the stage rebuilds
+            continue; // truncated or corrupted in place: the unit rebuilds
         };
         let t_decode = std::time::Instant::now();
-        match entry.tag {
+        match tag_base(entry.tag) {
             SECTION_CAP => {
                 if let Ok(cap) = decode_cap(payload) {
-                    slots.cap = Some(cap);
+                    slots.cap[z] = Some(cap);
                     salvaged = true;
                 }
             }
             SECTION_PB => {
-                if let Ok(pb) = decode_pb(payload, graph, super::needs_pb(config)) {
-                    slots.pb = Some(pb);
+                if let Ok(row) = decode_pb_topic(payload, graph, config) {
+                    slots.pb[z] = Some(row);
                     salvaged = true;
                 }
             }
             SECTION_MIS => {
-                if let Ok(mis) = decode_mis(payload, graph, super::needs_mis(config)) {
-                    slots.mis = Some(mis);
+                if let Ok(gains) = decode_mis_topic(payload, graph, config) {
+                    slots.mis[z] = Some(gains);
                     salvaged = true;
                 }
             }
@@ -688,6 +754,14 @@ fn load_sections_into(
     Ok(salvaged)
 }
 
+/// Size a per-topic slot vector to the live topic count (idempotent).
+fn ensure_topics<T>(v: &mut Vec<Option<T>>, z_count: usize) -> &mut Vec<Option<T>> {
+    if v.len() < z_count {
+        v.resize_with(z_count, || None);
+    }
+    v
+}
+
 pub(crate) fn decode_cap(raw: &[u8]) -> Result<f64, WireError> {
     if raw.len() != 8 {
         return Err(WireError(format!(
@@ -699,37 +773,53 @@ pub(crate) fn decode_cap(raw: &[u8]) -> Result<f64, WireError> {
     Ok(buf.get_f64_le())
 }
 
-/// Decode a PB section via its zero-copy view ([`PbTableView::parse`] does
-/// all validation, so the writer, the mapped reader, and this owned decode
-/// can never disagree about the byte format).
-fn decode_pb(
+/// Decode one topic's PB unit via its zero-copy parser
+/// ([`crate::kim::bounds::PbTableView::parse_topic`] does all structural
+/// validation, so the writer, the mapped reader, and this owned decode can
+/// never disagree about the byte format). Presence must match whether the
+/// configured engine needs the tables, and a present unit's stored safety
+/// must equal the live config's bitwise.
+fn decode_pb_topic(
     raw: &[u8],
     graph: &TopicGraph,
-    expected_present: bool,
-) -> Result<Option<PrecompBound>, WireError> {
-    let view = crate::kim::bounds::PbTableView::parse(raw, graph.num_topics(), graph.node_count())?;
-    if view.is_some() != expected_present {
+    config: &OctopusConfig,
+) -> Result<PbTopicRow, WireError> {
+    let parsed = crate::kim::bounds::PbTableView::parse_topic(raw, graph.node_count())?;
+    if parsed.is_some() != super::needs_pb(config) {
         return Err(WireError(
-            "pb section presence disagrees with the configured engine".into(),
+            "pb unit presence disagrees with the configured engine".into(),
         ));
     }
-    Ok(view.map(|v| v.to_precomp()))
+    parsed
+        .map(|(safety, row)| {
+            if safety.to_bits() != config.pb_safety.to_bits() {
+                return Err(WireError(format!(
+                    "pb unit safety {safety} disagrees with config {}",
+                    config.pb_safety
+                )));
+            }
+            Ok(row
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect())
+        })
+        .transpose()
 }
 
-/// Decode a MIS section via its zero-copy view (same single-format
-/// guarantee as [`decode_pb`]).
-fn decode_mis(
+/// Decode one topic's MIS unit (same single-format guarantee as
+/// [`decode_pb_topic`]).
+fn decode_mis_topic(
     raw: &[u8],
     graph: &TopicGraph,
-    expected_present: bool,
-) -> Result<Option<MisKim>, WireError> {
-    let view = crate::kim::mis::MisView::parse(raw, graph.num_topics(), graph.node_count())?;
-    if view.is_some() != expected_present {
+    config: &OctopusConfig,
+) -> Result<MisTopicGains, WireError> {
+    let gains = crate::kim::mis::MisView::decode_topic(raw, graph.node_count())?;
+    if gains.is_some() != super::needs_mis(config) {
         return Err(WireError(
-            "mis section presence disagrees with the configured engine".into(),
+            "mis unit presence disagrees with the configured engine".into(),
         ));
     }
-    Ok(view.map(|v| v.to_mis()))
+    Ok(gains)
 }
 
 pub(crate) fn decode_samples(
@@ -873,17 +963,21 @@ pub fn lookup(
     out
 }
 
-/// Whether `slots` already satisfies every stage for `config` (lookup can
-/// stop scanning).
+/// Whether `slots` already satisfies every work unit for `config` (lookup
+/// can stop scanning).
 fn complete(slots: &ReuseSlots, graph: &TopicGraph, config: &OctopusConfig) -> bool {
+    fn all_topics<T>(v: &[Option<T>], z_count: usize) -> bool {
+        v.len() >= z_count && v.iter().take(z_count).all(Option::is_some)
+    }
+    let z_count = graph.num_topics();
     let piks_done = graph.node_count() == 0
         || slots
             .piks
             .as_ref()
             .is_some_and(|p| p.available_in(config.piks_index_size) >= config.piks_index_size);
-    slots.cap.is_some()
-        && slots.pb.is_some()
-        && slots.mis.is_some()
+    all_topics(&slots.cap, z_count)
+        && all_topics(&slots.pb, z_count)
+        && all_topics(&slots.mis, z_count)
         && slots.samples.is_some()
         && slots.names.is_some()
         && piks_done
@@ -1078,6 +1172,7 @@ mod tests {
     /// Field-by-field equality of everything that is artifact state (the
     /// timings and reuse counters are telemetry and are not persisted).
     fn assert_artifacts_equal(a: &OfflineArtifacts, b: &OfflineArtifacts, what: &str) {
+        assert_eq!(a.topic_caps, b.topic_caps, "{what}: per-topic caps");
         assert_eq!(a.cap, b.cap, "{what}: cap");
         assert_eq!(a.pb, b.pb, "{what}: pb tables");
         assert_eq!(a.mis, b.mis, "{what}: mis tables");
@@ -1170,6 +1265,13 @@ mod tests {
             load_sections(&raw, &keys, &g, &cfg),
             Err(PersistError::Version(3))
         ));
+        // v4 (stage-granular cap/PB/MIS sections) frames per-stage, not
+        // per-topic, so it too migrates by rebuild
+        raw[4] = 0x04;
+        assert!(matches!(
+            load_sections(&raw, &keys, &g, &cfg),
+            Err(PersistError::Version(4))
+        ));
     }
 
     #[test]
@@ -1193,21 +1295,30 @@ mod tests {
             };
             // the last section (names) can never survive a strict prefix
             assert!(slots.names.is_none(), "cut at {cut} salvaged a cut trie");
-            if let Some(cap) = slots.cap {
-                assert_eq!(cap, art.cap, "cut at {cut}: salvaged cap differs");
-                salvaged_caps += 1;
+            for (z, cap) in slots.cap.iter().enumerate() {
+                if let Some(cap) = cap {
+                    assert_eq!(
+                        *cap, art.topic_caps[z],
+                        "cut at {cut}: salvaged cap[{z}] differs"
+                    );
+                    salvaged_caps += 1;
+                }
             }
-            if let Some(pb) = &slots.pb {
-                assert_eq!(pb.as_ref(), art.pb.as_ref(), "cut at {cut}");
+            let (sigma, _) = art.pb.as_ref().expect("pb enabled").parts();
+            for (z, slot) in slots.pb.iter().enumerate() {
+                if let Some(row) = slot {
+                    assert_eq!(
+                        row.as_deref(),
+                        Some(sigma[z].as_slice()),
+                        "cut at {cut}: salvaged pb[{z}] differs"
+                    );
+                }
             }
             if let Some(samples) = &slots.samples {
                 assert_eq!(samples, &art.samples, "cut at {cut}");
             }
         }
-        assert!(
-            salvaged_caps > 0,
-            "long prefixes must salvage the cap section"
-        );
+        assert!(salvaged_caps > 0, "long prefixes must salvage cap units");
     }
 
     #[test]
@@ -1221,16 +1332,17 @@ mod tests {
         // the bytes actually covered by a section's `len`/checksum — a flip
         // in inter-section alignment padding is invisible by design, so the
         // probe positions must land inside real payloads
+        let section_count = section_order(g.num_topics()).len();
         let covered: Vec<std::ops::Range<usize>> = {
             let mut table = &clean[HEADER_LEN..];
-            (0..SECTION_ORDER.len())
+            (0..section_count)
                 .map(|_| {
                     let e = wire::read_section_entry(&mut table, "test entry").unwrap();
                     e.off as usize..(e.off + e.len) as usize
                 })
                 .collect()
         };
-        let payload_start = HEADER_LEN + SECTION_ORDER.len() * wire::SECTION_ENTRY_LEN;
+        let payload_start = HEADER_LEN + section_count * wire::SECTION_ENTRY_LEN;
         for frac in [0.0, 0.25, 0.5, 0.75, 0.999] {
             let mut raw = clean.clone();
             let mut pos = payload_start + ((raw.len() - payload_start - 1) as f64 * frac) as usize;
@@ -1273,18 +1385,26 @@ mod tests {
         let stamped = encode(&art, &forged_fp, &forged_keys, 1);
         let mut slots =
             load_sections(&stamped, &forged_keys, &small, &cfg).expect("framing intact");
-        assert!(slots.pb.is_none() || !offline::needs_pb(&cfg));
-        assert!(slots.mis.is_none(), "foreign MIS tables must not load");
+        // PB is disabled under the Mis engine, so the only thing that may
+        // cross graphs is the graph-independent absent marker
+        assert!(
+            slots.pb.iter().flatten().all(Option::is_none),
+            "a present foreign PB row must not load"
+        );
+        assert!(
+            slots.mis.iter().all(Option::is_none),
+            "foreign MIS units must not load (their seed ids overflow)"
+        );
         assert!(
             slots.piks.as_ref().map_or(0, |p| p.available()) == 0,
             "foreign worlds must fail footprint validation"
         );
         assert!(slots.names.is_none(), "foreign trie ids must not load");
-        // the cap section is a bare f64 with no graph-validatable structure,
-        // so a *deliberately* forged key can misreport it (exactly as in v1,
+        // a cap unit is a bare f64 with no graph-validatable structure, so a
+        // *deliberately* forged key can misreport it (exactly as in v1,
         // where the cap was equally unvalidatable); honest keys never match
         // foreign inputs, which is what the StageKeys sensitivity tests pin
-        slots.cap = None;
+        slots.cap = Vec::new();
         let rebuilt = offline::build_with_reuse(&small, &cfg, slots);
         assert_artifacts_equal(
             &offline::build(&small, &cfg),
@@ -1382,13 +1502,16 @@ mod tests {
         assert_eq!(keys.piks, base.piks);
         assert_ne!(keys.names, base.names);
 
-        // weight nudge: every probability-reading stage is invalidated,
-        // names and the piks derivation are not (worlds re-screen by
-        // footprint instead)
+        // weight nudge on EdgeId(0) — the hub edge 0→2, carrying topic 0
+        // only: exactly topic 0's cap and MIS units are invalidated; topic
+        // 1's units, names, and the piks derivation are not (worlds
+        // re-screen by footprint instead)
         let nudged = delta::nudge_weights(&g, &[octopus_graph::EdgeId(0)], 0.05).unwrap();
         let keys = StageKeys::compute(&nudged, &cfg);
-        assert_ne!(keys.cap, base.cap);
-        assert_ne!(keys.mis, base.mis);
+        assert_ne!(keys.cap[0], base.cap[0]);
+        assert_eq!(keys.cap[1], base.cap[1], "foreign-topic cap unit moved");
+        assert_ne!(keys.mis[0], base.mis[0]);
+        assert_eq!(keys.mis[1], base.mis[1], "foreign-topic MIS unit moved");
         // pb/samples are disabled under the Mis engine, so their "absent"
         // markers survive the nudge (the enabled case is pinned below)
         assert_eq!(keys.pb, base.pb);
@@ -1396,7 +1519,14 @@ mod tests {
         assert_eq!(keys.names, base.names);
         assert_eq!(keys.piks, base.piks);
 
-        // reseed: only the randomized stages are invalidated
+        // a nudge on EdgeId(12) — 2→8, carrying both topics — moves both
+        let wide = delta::nudge_weights(&g, &[octopus_graph::EdgeId(12)], 0.05).unwrap();
+        let keys = StageKeys::compute(&wide, &cfg);
+        assert_ne!(keys.cap[0], base.cap[0]);
+        assert_ne!(keys.cap[1], base.cap[1]);
+
+        // reseed: only the randomized stages are invalidated, and every
+        // MIS unit draws from a per-topic stream of the new seed
         let reseeded = OctopusConfig {
             seed: cfg.seed ^ 0xBEEF,
             ..cfg.clone()
@@ -1404,15 +1534,17 @@ mod tests {
         let keys = StageKeys::compute(&g, &reseeded);
         assert_eq!(keys.cap, base.cap);
         assert_eq!(keys.pb, base.pb);
-        assert_ne!(keys.mis, base.mis);
+        assert_ne!(keys.mis[0], base.mis[0]);
+        assert_ne!(keys.mis[1], base.mis[1]);
         assert_ne!(keys.piks, base.piks);
         assert_eq!(keys.names, base.names);
 
-        // all six keys of one build are pairwise distinct (domain tags work)
+        // topic-0 units of every stage plus the singletons are pairwise
+        // distinct (domain tags work) ...
         let all = [
-            base.cap,
-            base.pb,
-            base.mis,
+            base.cap[0],
+            base.pb[0],
+            base.mis[0],
             base.samples,
             base.piks,
             base.names,
@@ -1422,6 +1554,12 @@ mod tests {
                 assert_ne!(all[i], all[j], "keys {i} and {j} collide");
             }
         }
+        // ... an enabled stage keys each topic's input slice separately ...
+        assert_ne!(base.cap[0], base.cap[1]);
+        assert_ne!(base.mis[0], base.mis[1]);
+        // ... and a disabled stage's units share one absent-marker key, so
+        // a single donor section can confirm absence for every topic
+        assert_eq!(base.pb[0], base.pb[1]);
     }
 
     #[test]
@@ -1435,17 +1573,15 @@ mod tests {
             StageKeys::compute(&g, &mis_cfg).pb,
             StageKeys::compute(&nudged, &mis_cfg).pb
         );
-        // enabled PB: the nudge invalidates the tables
+        // enabled PB: the nudge invalidates exactly the nudged topic's row
+        // (EdgeId(0) carries topic 0 only)
         let pb_cfg = config(KimEngineChoice::BestEffort(BoundKind::Precomputation));
-        assert_ne!(
-            StageKeys::compute(&g, &pb_cfg).pb,
-            StageKeys::compute(&nudged, &pb_cfg).pb
-        );
+        let before = StageKeys::compute(&g, &pb_cfg).pb;
+        let after = StageKeys::compute(&nudged, &pb_cfg).pb;
+        assert_ne!(after[0], before[0]);
+        assert_eq!(after[1], before[1], "foreign-topic PB unit must survive");
         // and enabled vs disabled never share a key
-        assert_ne!(
-            StageKeys::compute(&g, &mis_cfg).pb,
-            StageKeys::compute(&g, &pb_cfg).pb
-        );
+        assert_ne!(StageKeys::compute(&g, &mis_cfg).pb, before);
     }
 
     #[test]
@@ -1502,6 +1638,54 @@ mod tests {
         let rebuilt = offline::build_with_reuse(&g, &cfg, found.slots);
         assert_eq!(rebuilt.piks_index, reference);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lookup_unions_topic_units_across_donor_epochs() {
+        // two past epochs nudged edges confined to *different* topics; for
+        // the live graph each donor's foreign-topic cap/PB/MIS units are
+        // still bit-valid, so lookup must reassemble full per-topic
+        // coverage from the pair even though neither donor alone covers
+        // both topics
+        let g = tiny_graph();
+        let e_topic0 = g.find_edge(NodeId(0), NodeId(2)).unwrap();
+        let e_topic1 = g.find_edge(NodeId(1), NodeId(8)).unwrap();
+        let configs = [
+            config(KimEngineChoice::Mis),
+            config(KimEngineChoice::BestEffort(BoundKind::Precomputation)),
+        ];
+        for (i, cfg) in configs.into_iter().enumerate() {
+            let dir = std::env::temp_dir().join(format!("octopus_persist_topic_union_{i}"));
+            std::fs::remove_dir_all(&dir).ok();
+            for victim in [e_topic0, e_topic1] {
+                let epoch = delta::nudge_weights(&g, &[victim], 0.07).unwrap();
+                let fp = Fingerprint::compute(&epoch, &cfg);
+                let keys = StageKeys::compute(&epoch, &cfg);
+                save(
+                    &offline::build(&epoch, &cfg),
+                    &fp,
+                    &keys,
+                    &fp.cache_path(&dir),
+                )
+                .unwrap();
+            }
+            let fp = Fingerprint::compute(&g, &cfg);
+            let keys = StageKeys::compute(&g, &cfg);
+            let found = lookup(&dir, &fp, &keys, &g, &cfg);
+            assert_eq!(found.sources.len(), 2, "both epochs must donate");
+            let rebuilt = offline::build_with_reuse(&g, &cfg, found.slots);
+            for r in &rebuilt.reuse {
+                if matches!(r.stage, "spread-cap" | "pb-bound" | "mis-tables") {
+                    assert!(
+                        r.is_full(),
+                        "stage {} must union to full coverage: {r:?}",
+                        r.stage
+                    );
+                }
+            }
+            assert_artifacts_equal(&offline::build(&g, &cfg), &rebuilt, "per-topic donor union");
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]
@@ -1569,7 +1753,7 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
-    /// A header-only v4 container carrying `write_seq` (zero sections —
+    /// A header-only v5 container carrying `write_seq` (zero sections —
     /// structurally valid, enough for the prune ordering to read).
     fn write_header_only(path: &Path, write_seq: u64) {
         let mut raw = Vec::with_capacity(HEADER_LEN);

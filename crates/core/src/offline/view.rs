@@ -1,5 +1,5 @@
 //! Zero-copy mapped artifacts: serve queries straight off a memory-mapped
-//! OCTA v4 file instead of decoding it into owned structures.
+//! OCTA v5 file instead of decoding it into owned structures.
 //!
 //! ## Why
 //!
@@ -7,7 +7,7 @@
 //! [`super::build_with_reuse`]) reads the whole cache file and decodes
 //! every section into heap structures before the first query — `O(file)`
 //! startup cost and a private copy of the tables in every serving replica.
-//! The v4 layout was designed so neither is necessary: sections are flat,
+//! The v5 layout was designed so neither is necessary: sections are flat,
 //! fixed-width, 8-aligned, and offset-indexed, so [`open`] merely maps the
 //! file, validates the header and section table, and eagerly touches only
 //! the sections that are small or structurally cheap to walk. Startup is
@@ -19,14 +19,14 @@
 //! At open, always:
 //!
 //! * header + section table: magic, version, exact combined fingerprint,
-//!   canonical section order, per-stage key equality, 8-aligned in-bounds
+//!   canonical section order, per-unit key equality, 8-aligned in-bounds
 //!   monotone offsets, exact file length;
-//! * `cap` + `samples`: checksum and full decode (tiny, and eagerly
-//!   needed);
+//! * `cap` units + `samples`: checksum and full decode (tiny, and eagerly
+//!   needed — the per-topic caps combine into the global cap at open);
 //! * `names`: checksum + full structural walk (per-query lookups then run
 //!   `O(|name|)` via `TrieView::assume_checked`);
-//! * `pb` / `mis`: structural parse (header arithmetic, offset tables) —
-//!   **checksums deferred**;
+//! * `pb` / `mis`: structural parse of every topic unit (header
+//!   arithmetic, offset tables) — **checksums deferred**, per unit;
 //! * `piks`: `O(R)` world framing walk — per-world payloads untouched,
 //!   checksum deferred.
 //!
@@ -70,13 +70,26 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Section indices within the canonical table (mirror
-/// [`persist::SECTION_ORDER`]).
-const I_CAP: usize = 0;
-const I_PB: usize = 1;
-const I_MIS: usize = 2;
-const I_SAMPLES: usize = 3;
-const I_PIKS: usize = 4;
-const I_NAMES: usize = 5;
+/// [`persist::section_order`]): cap units occupy `0..Z`, PB units
+/// `Z..2Z`, MIS units `2Z..3Z`, then the three singletons.
+const fn i_cap(_z_count: usize, z: usize) -> usize {
+    z
+}
+const fn i_pb(z_count: usize, z: usize) -> usize {
+    z_count + z
+}
+const fn i_mis(z_count: usize, z: usize) -> usize {
+    2 * z_count + z
+}
+const fn i_samples(z_count: usize) -> usize {
+    3 * z_count
+}
+const fn i_piks(z_count: usize) -> usize {
+    3 * z_count + 1
+}
+const fn i_names(z_count: usize) -> usize {
+    3 * z_count + 2
+}
 
 /// Lazy-checksum states (sticky; see the module docs).
 const UNVERIFIED: u8 = 0;
@@ -99,6 +112,7 @@ struct MapInner {
     num_topics: usize,
     node_count: usize,
     // eagerly decoded small sections
+    topic_caps: Vec<f64>,
     cap: f64,
     samples: Vec<TopicSample>,
     // counts captured at open for reporting
@@ -118,7 +132,7 @@ impl Drop for MapInner {
     }
 }
 
-/// A complete OCTA v4 artifact served zero-copy off a memory mapping.
+/// A complete OCTA v5 artifact served zero-copy off a memory mapping.
 ///
 /// Construction is [`open`]; the engine holds one of these in mapped mode
 /// and reconstructs per-query views through the accessors. Cloning shares
@@ -185,7 +199,7 @@ pub fn is_mapped(path: &Path) -> bool {
 // Open
 // ---------------------------------------------------------------------------
 
-/// Map `path` and validate it as a complete OCTA v4 artifact for exactly
+/// Map `path` and validate it as a complete OCTA v5 artifact for exactly
 /// these inputs (see the module docs for what "validate" touches; with
 /// `paranoid` every section checksum is verified up front).
 ///
@@ -213,11 +227,13 @@ pub fn open(
             "artifact keyed {stamped}, engine inputs key {fp}"
         )));
     }
+    let z_count = graph.num_topics();
+    let order = persist::section_order(z_count);
     let count = persist::read_section_count(raw)?;
-    if count != persist::SECTION_ORDER.len() {
+    if count != order.len() {
         return Err(PersistError::Corrupt(format!(
             "expected {} sections, found {count}",
-            persist::SECTION_ORDER.len()
+            order.len()
         )));
     }
     let table_end = persist::HEADER_LEN + count * wire::SECTION_ENTRY_LEN;
@@ -225,7 +241,7 @@ pub fn open(
     wire::need(&table, count * wire::SECTION_ENTRY_LEN, "section table")?;
     let mut sections = Vec::with_capacity(count);
     let mut prev_end = table_end;
-    for &tag in &persist::SECTION_ORDER {
+    for &tag in &order {
         let entry = wire::read_section_entry(&mut table, "section entry")?;
         if entry.tag != tag {
             return Err(PersistError::Corrupt(format!(
@@ -263,40 +279,49 @@ pub fn open(
 
     // -- decode: eager sections + structural parses -----------------------
     let t2 = Instant::now();
-    // checksum + full decode of the small eager sections
-    let cap = persist::decode_cap(checked_payload(raw, &sections[I_CAP])?)?;
-    sections[I_CAP].state.store(VERIFIED, Ordering::Release);
-    let samples = persist::decode_samples(checked_payload(raw, &sections[I_SAMPLES])?, graph)?;
-    sections[I_SAMPLES].state.store(VERIFIED, Ordering::Release);
+    // checksum + full decode of the small eager sections; the per-topic
+    // caps combine into the global cap exactly as a fresh build would
+    let mut topic_caps = Vec::with_capacity(z_count);
+    for z in 0..z_count {
+        let i = i_cap(z_count, z);
+        topic_caps.push(persist::decode_cap(checked_payload(raw, &sections[i])?)?);
+        sections[i].state.store(VERIFIED, Ordering::Release);
+    }
+    let cap = crate::kim::bounds::combine_topic_caps(&topic_caps);
+    let samples =
+        persist::decode_samples(checked_payload(raw, &sections[i_samples(z_count)])?, graph)?;
+    sections[i_samples(z_count)]
+        .state
+        .store(VERIFIED, Ordering::Release);
     let names_len = TrieView::parse(
-        checked_payload(raw, &sections[I_NAMES])?,
+        checked_payload(raw, &sections[i_names(z_count)])?,
         graph.node_count(),
     )?
     .len();
-    sections[I_NAMES].state.store(VERIFIED, Ordering::Release);
+    sections[i_names(z_count)]
+        .state
+        .store(VERIFIED, Ordering::Release);
 
-    // structural parses of the lazily-checksummed sections
-    let pb = PbTableView::parse(
-        raw_payload(raw, &sections[I_PB]),
-        graph.num_topics(),
-        graph.node_count(),
-    )?;
+    // structural parses of the lazily-checksummed per-topic unit groups
+    let pb_slices: Vec<&[u8]> = (0..z_count)
+        .map(|z| raw_payload(raw, &sections[i_pb(z_count, z)]))
+        .collect();
+    let pb = PbTableView::parse(&pb_slices, graph.node_count())?;
     if pb.is_some() != needs_pb(config) {
         return Err(PersistError::Corrupt(
-            "pb section presence disagrees with the configured engine".into(),
+            "pb section group presence disagrees with the configured engine".into(),
         ));
     }
-    let mis = MisView::parse(
-        raw_payload(raw, &sections[I_MIS]),
-        graph.num_topics(),
-        graph.node_count(),
-    )?;
+    let mis_slices: Vec<&[u8]> = (0..z_count)
+        .map(|z| raw_payload(raw, &sections[i_mis(z_count, z)]))
+        .collect();
+    let mis = MisView::parse(&mis_slices, graph.node_count())?;
     if mis.is_some() != needs_mis(config) {
         return Err(PersistError::Corrupt(
-            "mis section presence disagrees with the configured engine".into(),
+            "mis section group presence disagrees with the configured engine".into(),
         ));
     }
-    let piks = PiksWorldsView::parse(raw_payload(raw, &sections[I_PIKS]))?;
+    let piks = PiksWorldsView::parse(raw_payload(raw, &sections[i_piks(z_count)]))?;
     if piks.n() != graph.node_count() {
         return Err(PersistError::Corrupt(format!(
             "piks worlds cover {} nodes, graph has {}",
@@ -318,7 +343,11 @@ pub fn open(
     let (piks_total, piks_stored_nodes, piks_stored_edges) =
         (piks.len(), piks.stored_nodes(), piks.stored_edges());
     if paranoid {
-        for i in [I_PB, I_MIS, I_PIKS] {
+        for i in (0..z_count)
+            .map(|z| i_pb(z_count, z))
+            .chain((0..z_count).map(|z| i_mis(z_count, z)))
+            .chain([i_piks(z_count)])
+        {
             checked_payload(raw, &sections[i])?;
             sections[i].state.store(VERIFIED, Ordering::Release);
         }
@@ -342,10 +371,10 @@ pub fn open(
     let reuse = STAGE_ORDER
         .iter()
         .map(|&stage| {
-            let units = if stage == "piks-worlds" {
-                piks_total
-            } else {
-                1
+            let units = match stage {
+                "piks-worlds" => piks_total,
+                "spread-cap" | "pb-bound" | "mis-tables" => z_count,
+                _ => 1,
             };
             StageReuse {
                 stage,
@@ -362,6 +391,7 @@ pub fn open(
             sections,
             num_topics: graph.num_topics(),
             node_count: graph.node_count(),
+            topic_caps,
             cap,
             samples,
             piks_total,
@@ -427,9 +457,14 @@ impl MappedArtifacts {
         }
     }
 
-    /// The global spread cap (eagerly decoded at open).
+    /// The global spread cap (combined from the per-topic units at open).
     pub fn cap(&self) -> f64 {
         self.inner.cap
+    }
+
+    /// The per-topic arrival-mass caps (eagerly decoded at open).
+    pub fn topic_caps(&self) -> &[f64] {
+        &self.inner.topic_caps
     }
 
     /// The precomputed topic samples (eagerly decoded at open).
@@ -438,25 +473,31 @@ impl MappedArtifacts {
     }
 
     /// The PB bound tables, zero-copy (`None` when the engine needs none).
-    /// First call verifies the section checksum.
+    /// First call verifies each topic unit's checksum (per-unit sticky).
     pub fn pb_view(&self) -> Result<Option<PbTableView<'_>>, CoreError> {
-        let payload = self.verified_section(I_PB)?;
-        PbTableView::parse(payload, self.inner.num_topics, self.inner.node_count)
-            .map_err(|e| CoreError::Artifact(format!("pb section: {}", e.0)))
+        let zc = self.inner.num_topics;
+        let slices: Vec<&[u8]> = (0..zc)
+            .map(|z| self.verified_section(i_pb(zc, z)))
+            .collect::<Result<_, _>>()?;
+        PbTableView::parse(&slices, self.inner.node_count)
+            .map_err(|e| CoreError::Artifact(format!("pb section group: {}", e.0)))
     }
 
     /// The MIS seed tables, zero-copy (`None` when the engine needs none).
-    /// First call verifies the section checksum.
+    /// First call verifies each topic unit's checksum (per-unit sticky).
     pub fn mis_view(&self) -> Result<Option<MisView<'_>>, CoreError> {
-        let payload = self.verified_section(I_MIS)?;
-        MisView::parse(payload, self.inner.num_topics, self.inner.node_count)
-            .map_err(|e| CoreError::Artifact(format!("mis section: {}", e.0)))
+        let zc = self.inner.num_topics;
+        let slices: Vec<&[u8]> = (0..zc)
+            .map(|z| self.verified_section(i_mis(zc, z)))
+            .collect::<Result<_, _>>()?;
+        MisView::parse(&slices, self.inner.node_count)
+            .map_err(|e| CoreError::Artifact(format!("mis section group: {}", e.0)))
     }
 
     /// The PIKS possible-worlds index, zero-copy. First call verifies the
     /// section checksum.
     pub fn piks_view(&self) -> Result<PiksWorldsView<'_>, CoreError> {
-        let payload = self.verified_section(I_PIKS)?;
+        let payload = self.verified_section(i_piks(self.inner.num_topics))?;
         PiksWorldsView::parse(payload)
             .map_err(|e| CoreError::Artifact(format!("piks section: {}", e.0)))
     }
@@ -464,7 +505,7 @@ impl MappedArtifacts {
     /// The autocomplete trie, zero-copy (checksum and structure were
     /// verified eagerly at open, so reconstruction is `O(1)`).
     pub fn trie_view(&self) -> TrieView<'_> {
-        TrieView::assume_checked(self.section(I_NAMES))
+        TrieView::assume_checked(self.section(i_names(self.inner.num_topics)))
     }
 
     /// World count of the mapped PIKS index.
@@ -568,6 +609,10 @@ mod tests {
         for paranoid in [false, true] {
             let mapped = open(&path, &fp, &keys, &g, &cfg, paranoid).expect("mapped open");
             assert_eq!(mapped.cap().to_bits(), art.cap.to_bits());
+            assert_eq!(mapped.topic_caps().len(), art.topic_caps.len());
+            for (a, b) in mapped.topic_caps().iter().zip(&art.topic_caps) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
             assert_eq!(mapped.samples(), &art.samples[..]);
             assert_eq!(mapped.piks_len(), art.piks_index.len());
             assert_eq!(mapped.names_len(), art.names.len());
@@ -654,13 +699,14 @@ mod tests {
     #[test]
     fn lazy_sections_fail_closed_and_sticky_on_first_touch() {
         let (dir, path, fp, keys, g, cfg, _) = saved_artifact("octopus_view_lazy_test");
-        // flip one byte inside the MIS payload (lazily checksummed)
+        // flip one byte inside topic 0's MIS unit payload (lazily
+        // checksummed)
         let mut raw = std::fs::read(&path).unwrap();
         let mut table = &raw[persist::HEADER_LEN..];
         let mut mis_entry = None;
-        for _ in 0..persist::SECTION_ORDER.len() {
+        for _ in 0..persist::section_order(g.num_topics()).len() {
             let e = wire::read_section_entry(&mut table, "t").unwrap();
-            if e.tag == persist::SECTION_MIS {
+            if e.tag == persist::topic_tag(persist::SECTION_MIS, 0) {
                 mis_entry = Some(e);
             }
         }
@@ -669,10 +715,10 @@ mod tests {
         // structural parse (only scored), so the open must still succeed
         // and only the deferred checksum can catch the damage
         let payload = &raw[e.off as usize..(e.off + e.len) as usize];
-        let z = u64::from_le_bytes(payload[8..16].try_into().unwrap()) as usize;
-        let total = u64::from_le_bytes(payload[16..24].try_into().unwrap()) as usize;
-        assert!(total > 0, "mis tables must not be empty in this fixture");
-        let gains_off = wire::align8(32 + 8 * (z + 1) + 4 * total);
+        assert_eq!(u64::from_le_bytes(payload[0..8].try_into().unwrap()), 1);
+        let count = u64::from_le_bytes(payload[8..16].try_into().unwrap()) as usize;
+        assert!(count > 0, "mis unit must not be empty in this fixture");
+        let gains_off = wire::align8(16 + 4 * count);
         raw[e.off as usize + gains_off + 1] ^= 0x10;
         std::fs::write(&path, &raw).unwrap();
 

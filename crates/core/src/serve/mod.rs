@@ -20,10 +20,10 @@
 //!   thread — drains and **coalesces** the whole batch into one new
 //!   graph, rebuilds the engine *off to the side* (through
 //!   [`Octopus::open_or_build`] when a cache directory is configured, so
-//!   the incremental per-stage/per-world reuse machinery pays for most of
-//!   the rebuild), and atomically swaps the epoch. A service built with
+//!   the incremental per-topic/per-world reuse machinery pays for most
+//!   of the rebuild), and atomically swaps the epoch. A service built with
 //!   [`with_mapped_cache`](OctopusService::with_mapped_cache) goes one
-//!   step further: the flush writes the new epoch's OCTA v4 artifact and
+//!   step further: the flush writes the new epoch's OCTA v5 artifact and
 //!   **remaps** it, so the swapped-in engine serves zero-copy off the
 //!   page cache and rebuild writes never enter the read path.
 //!
@@ -105,7 +105,10 @@ pub struct SwapReport {
     pub cache_hit: bool,
     /// Per-stage reuse counters of the rebuild — with a cache directory,
     /// shows how much of the offline work the incremental machinery
-    /// skipped (world-granular for `piks-worlds`).
+    /// skipped per work unit: topic-granular for the weight stages
+    /// (`spread-cap`/`pb-bound`/`mis-tables`, one unit per topic) and
+    /// world-granular for `piks-worlds`. A topic-`z`-confined nudge batch
+    /// therefore reports `Z-1/Z` reused on each weight stage.
     pub stage_reuse: Vec<StageReuse>,
 }
 
@@ -161,7 +164,7 @@ pub struct OctopusService {
     /// [`Octopus::open_mapped`] when `mapped` is set).
     cache_dir: Option<PathBuf>,
     /// With a cache directory: rebuild engines in **mapped mode** — the
-    /// flush writes the new epoch's OCTA v4 artifact, then *remaps* it,
+    /// flush writes the new epoch's OCTA v5 artifact, then *remaps* it,
     /// so the swapped-in engine serves zero-copy off the page cache and
     /// the rebuild's decode work stays out of the read path.
     mapped: bool,
@@ -199,7 +202,7 @@ impl OctopusService {
     /// **mapped mode** against the artifact cache at `dir`
     /// ([`Octopus::open_mapped`]): each flush builds off to the side
     /// (reusing every stage and PIKS world the batch left valid), writes
-    /// the new epoch's OCTA v4 file, and swaps in an engine that serves
+    /// the new epoch's OCTA v5 file, and swaps in an engine that serves
     /// zero-copy off the mapping — replicas sharing `dir` then share page
     /// cache, and a restart of any of them opens in `O(pages touched)`.
     pub fn with_mapped_cache(engine: Octopus, dir: impl Into<PathBuf>) -> Self {

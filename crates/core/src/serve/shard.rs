@@ -181,8 +181,10 @@ impl ShardedService {
     /// Like [`ShardedService::new`], but each shard rebuilds through its
     /// own OCTA artifact cache subdirectory under `dir`
     /// ([`Octopus::open_or_build`]), so a routed delta reuses every
-    /// offline stage — and every PIKS world — it left valid *within the
-    /// one shard it touched*.
+    /// offline work unit — every weight stage's per-topic cap/PB/MIS
+    /// sub-section and every PIKS world — it left valid *within the one
+    /// shard it touched*; the per-shard [`SwapReport::stage_reuse`]
+    /// carries the topic-granular hit/miss counts.
     pub fn with_cache_dir(
         graph: TopicGraph,
         model: TopicModel,

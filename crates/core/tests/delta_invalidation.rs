@@ -8,13 +8,17 @@
 //! `offline::persist::StageKeys`:
 //!
 //! * **rename** → only `autocomplete` rebuilds;
-//! * **weight nudge** → `spread-cap`/`pb-bound`/`mis-tables`/`topic-samples`
-//!   rebuild (they read the probability table), `autocomplete` is reused,
-//!   and exactly the PIKS worlds whose BFS footprint contains the nudged
-//!   edge rebuild;
-//! * **edge insert** → exactly the PIKS worlds whose footprint contains a
-//!   *changed* edge id rebuild (the new edge, plus every edge whose dense
-//!   id shifted).
+//! * **weight nudge** → `spread-cap`/`pb-bound`/`mis-tables` rebuild **only
+//!   the topics in the delta's footprint** ([`GraphDelta::touched_topics`]),
+//!   `topic-samples` rebuilds (it reads the whole probability table),
+//!   `autocomplete` is reused, and exactly the PIKS worlds whose BFS
+//!   footprint contains the nudged edge rebuild;
+//! * **edge insert** → the weight stages rebuild exactly the topics carried
+//!   by the new edge's probability payload, and exactly the PIKS worlds
+//!   whose footprint contains a *changed* edge id rebuild (the new edge,
+//!   plus every edge whose dense id shifted).
+//!
+//! [`GraphDelta::touched_topics`]: octopus_graph::delta::GraphDelta::touched_topics
 
 use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig, SystemReport};
 use octopus_core::kim::BoundKind;
@@ -132,6 +136,50 @@ proptest! {
         }
     }
 
+    /// A weight nudge invalidates **exactly** the topics in its footprint:
+    /// for every topic in [`GraphDelta::touched_topics`] the per-topic
+    /// cap/PB/MIS keys move (when the stage is enabled), and for every topic
+    /// outside it they are bit-identical — a topic-`z`-confined nudge leaves
+    /// all other topics' offline sub-sections reusable.
+    ///
+    /// [`GraphDelta::touched_topics`]: octopus_graph::delta::GraphDelta::touched_topics
+    #[test]
+    fn topic_confined_nudge_invalidates_exactly_footprint_topics(
+        (n, edges) in arb_net(),
+        pick in 0usize..64,
+        delta_p in 0.03f64..0.15,
+    ) {
+        let g = build_graph(n, &edges);
+        let victim = EdgeId((pick % g.edge_count()) as u32);
+        let shape = delta::GraphDelta::NudgeWeights { edges: vec![victim], delta: delta_p };
+        let touched = shape.touched_topics(&g).expect("victim edge is valid");
+        prop_assert!(!touched.is_empty(), "every edge carries at least one topic");
+        let nudged = shape.apply(&g).unwrap();
+        for kim in [
+            KimEngineChoice::Mis,
+            KimEngineChoice::BestEffort(BoundKind::Precomputation),
+        ] {
+            let cfg = OctopusConfig { kim, ..config() };
+            let a = StageKeys::compute(&g, &cfg);
+            let b = StageKeys::compute(&nudged, &cfg);
+            for z in 0..g.num_topics() {
+                if touched.contains(&z) {
+                    prop_assert_ne!(a.cap[z], b.cap[z], "topic {} cap in footprint", z);
+                    if offline::needs_pb(&cfg) {
+                        prop_assert_ne!(a.pb[z], b.pb[z], "topic {} PB in footprint", z);
+                    }
+                    if offline::needs_mis(&cfg) {
+                        prop_assert_ne!(a.mis[z], b.mis[z], "topic {} MIS in footprint", z);
+                    }
+                } else {
+                    prop_assert_eq!(a.cap[z], b.cap[z], "topic {} cap untouched", z);
+                    prop_assert_eq!(a.pb[z], b.pb[z], "topic {} PB untouched", z);
+                    prop_assert_eq!(a.mis[z], b.mis[z], "topic {} MIS untouched", z);
+                }
+            }
+        }
+    }
+
     /// An edge insert invalidates exactly the PIKS worlds whose BFS
     /// footprint contains a changed edge id — the new edge, or any edge
     /// whose dense id shifted — and reuses every other world.
@@ -162,6 +210,14 @@ proptest! {
         let (u, v) = absent[pick % absent.len()];
         let bigger = delta::insert_edge(&g, u, v, &[(0, 0.37)]).unwrap();
         let inserted = bigger.find_edge(u, v).unwrap();
+
+        // the insert carries only a topic-0 entry, so topic 1's weight-stage
+        // keys survive even though every later edge id shifted
+        let ka = StageKeys::compute(&g, &cfg);
+        let kb = StageKeys::compute(&bigger, &cfg);
+        prop_assert_ne!(ka.cap[0], kb.cap[0], "topic 0 carries the new edge");
+        prop_assert_eq!(ka.cap[1], kb.cap[1], "topic 1 never saw the insert");
+        prop_assert_eq!(ka.mis[1], kb.mis[1], "topic 1 never saw the insert");
 
         // changed edge ids in OLD numbering: every old edge at or after the
         // insertion slot shifted up by one
@@ -226,9 +282,17 @@ fn reopen_after_delta_reuses_exactly_unchanged_stages() {
     }
     assert_identical_to_fresh(&renamed, &cfg, engine.offline_artifacts(), "rename");
 
-    // weight nudge on top of the rename: PB/MIS/cap/samples rebuild, the
-    // trie (already cached for the renamed graph) and untouched worlds reuse
-    let nudged = delta::nudge_weights(&renamed, &[EdgeId(3)], 0.07).unwrap();
+    // weight nudge on top of the rename, confined to one topic: the weight
+    // stages rebuild exactly the nudged topic's units and reuse every other
+    // topic's, the trie (already cached for the renamed graph) and untouched
+    // worlds reuse
+    let shape = delta::GraphDelta::NudgeWeights {
+        edges: vec![EdgeId(3)],
+        delta: 0.07,
+    };
+    let touched = shape.touched_topics(&renamed).unwrap();
+    assert_eq!(touched.len(), 1, "EdgeId(3) is a single-topic edge");
+    let nudged = shape.apply(&renamed).unwrap();
     let engine = Octopus::open_or_build(nudged.clone(), model.clone(), cfg.clone(), &dir).unwrap();
     let report = engine.system_report();
     assert!(!report.cache_hit);
@@ -239,8 +303,20 @@ fn reopen_after_delta_reuses_exactly_unchanged_stages() {
             .unwrap_or_else(|| panic!("stage {stage} missing from report"))
             .clone()
     };
-    assert_eq!(by_stage(&report, "spread-cap").reused, 0);
-    assert_eq!(by_stage(&report, "mis-tables").reused, 0);
+    let z_count = nudged.num_topics();
+    let spared = z_count - touched.len();
+    let cap = by_stage(&report, "spread-cap");
+    assert_eq!(
+        (cap.reused, cap.total),
+        (spared, z_count),
+        "a topic-confined nudge reuses every other topic's cap unit: {cap:?}"
+    );
+    let mis = by_stage(&report, "mis-tables");
+    assert_eq!(
+        (mis.reused, mis.total),
+        (spared, z_count),
+        "a topic-confined nudge reuses every other topic's MIS table: {mis:?}"
+    );
     assert!(by_stage(&report, "autocomplete").is_full());
     let piks = by_stage(&report, "piks-worlds");
     assert!(

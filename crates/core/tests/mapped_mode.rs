@@ -1,9 +1,11 @@
 //! Mapped-mode equivalence contract: an engine serving zero-copy off a
-//! memory-mapped OCTA v4 artifact answers **all five online operators**
+//! memory-mapped OCTA v5 artifact answers **all five online operators**
 //! bit-identically to the owned-mode engine decoding the same file — at
 //! 1 and at 8 worker threads, under every engine flavour that exercises a
-//! distinct set of mapped sections (MIS tables, PB σ̂ tables, PIKS worlds,
-//! the trie).
+//! distinct set of mapped sections (per-topic MIS tables, per-topic PB σ̂
+//! tables, PIKS worlds, the trie) — and the same holds for an engine whose
+//! artifact was **partially rebuilt** after a topic-confined weight nudge
+//! (only the nudged topic's cap/PB/MIS sub-sections recomputed).
 //!
 //! Spreads and scores are compared through `f64::to_bits`, names and seed
 //! ranks exactly — "close enough" is not equivalence.
@@ -11,7 +13,8 @@
 use octopus_core::engine::{KimEngineChoice, Octopus, OctopusConfig};
 use octopus_core::kim::BoundKind;
 use octopus_core::paths::ExploreDirection;
-use octopus_graph::{GraphBuilder, TopicGraph};
+use octopus_graph::delta::GraphDelta;
+use octopus_graph::{GraphBuilder, NodeId, TopicGraph};
 use octopus_topics::{TopicModel, Vocabulary};
 
 /// Two-topic network with named users, hub structure, and a themed
@@ -215,6 +218,75 @@ fn all_five_operators_bit_identical_owned_vs_mapped_at_1_and_8_threads() {
             );
             pool.install(|| assert_all_five_operators_identical(&owned, &mapped, &what));
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The acceptance path for per-topic invalidation: nudge one topic-0-only
+/// edge, reopen the cached epoch so exactly topic 0's cap/MIS units rebuild
+/// (topic 1's are reused from the v5 sub-sections), and demand the
+/// partially rebuilt engine — owned *and* mapped off the re-persisted file
+/// — answers all five operators bit-identically to a from-scratch build,
+/// at 1 and at 8 worker threads.
+#[test]
+fn topic_confined_nudge_partial_rebuild_is_bit_identical_owned_and_mapped() {
+    let (g, model) = fixture();
+    let cfg = config(KimEngineChoice::Mis);
+    // han → db-follower-0 carries only a topic-0 entry
+    let victim = g.find_edge(NodeId(0), NodeId(2)).unwrap();
+    let shape = GraphDelta::NudgeWeights {
+        edges: vec![victim],
+        delta: 0.07,
+    };
+    let touched = shape.touched_topics(&g).unwrap();
+    assert_eq!(
+        touched.iter().copied().collect::<Vec<_>>(),
+        vec![0],
+        "the fixture edge must be topic-0-confined"
+    );
+    let nudged = shape.apply(&g).unwrap();
+
+    for threads in [1usize, 8] {
+        let dir = std::env::temp_dir().join(format!("octopus_mapped_topic_nudge_{threads}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let what = format!("topic nudge @ {threads} thread(s)");
+        let (partial, mapped, fresh) = pool.install(|| {
+            let base = Octopus::open_or_build(g.clone(), model.clone(), cfg.clone(), &dir).unwrap();
+            assert!(!base.cache_hit(), "{what}: cold start builds");
+            let partial =
+                Octopus::open_or_build(nudged.clone(), model.clone(), cfg.clone(), &dir).unwrap();
+            let mapped =
+                Octopus::open_mapped(nudged.clone(), model.clone(), cfg.clone(), &dir).unwrap();
+            let fresh = Octopus::new(nudged.clone(), model.clone(), cfg.clone()).unwrap();
+            (partial, mapped, fresh)
+        });
+
+        // the reopen was a partial rebuild: exactly topic 0's weight-stage
+        // units recomputed, topic 1's came off the donor epoch
+        let report = partial.system_report();
+        assert!(!report.cache_hit, "{what}: a nudge is never a full hit");
+        for stage in ["spread-cap", "mis-tables"] {
+            let s = report
+                .stage_reuse
+                .iter()
+                .find(|s| s.stage == stage)
+                .unwrap_or_else(|| panic!("{what}: stage {stage} missing"));
+            assert_eq!(
+                (s.reused, s.total),
+                (1, 2),
+                "{what}: {stage} must reuse exactly the untouched topic: {s:?}"
+            );
+        }
+
+        assert!(mapped.cache_hit(), "{what}: mapped open hits the new epoch");
+        pool.install(|| {
+            assert_all_five_operators_identical(&partial, &mapped, &what);
+            assert_all_five_operators_identical(&fresh, &mapped, &format!("{what} (fresh)"));
+        });
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,5 +1,5 @@
-//! Pins the OCTA v4 container bytes to the normative specification in
-//! `ARCHITECTURE.md` (§"The OCTA v4 artifact container").
+//! Pins the OCTA v5 container bytes to the normative specification in
+//! `ARCHITECTURE.md` (§"The OCTA v5 artifact container").
 //!
 //! The parser below is written *independently* against the documented
 //! layout — it shares no framing helpers with the codec (it re-implements
@@ -62,8 +62,8 @@ struct Entry {
     checksum: u64,
 }
 
-/// Parse the six-row section table at its documented offset, checking the
-/// pad words.
+/// Parse the section table at its documented offset (`3·Z + 3` rows, count
+/// taken from the header), checking the pad words.
 fn parse_table(raw: &[u8]) -> Vec<Entry> {
     let count = u32_at(raw, 40) as usize;
     (0..count)
@@ -115,9 +115,9 @@ fn container_bytes_follow_the_documented_layout() {
     let art = offline::build(&g, &cfg);
     let raw = persist::encode(&art, &fp, &keys, 0x5E0);
 
-    // ---- header: magic "OCTA" | version u16 = 4 | pad u16 = 0 ----------
+    // ---- header: magic "OCTA" | version u16 = 5 | pad u16 = 0 ----------
     assert_eq!(&raw[0..4], b"OCTA");
-    assert_eq!(u16_at(&raw, 4), 4, "container version");
+    assert_eq!(u16_at(&raw, 4), 5, "container version");
     assert_eq!(u16_at(&raw, 6), 0, "header pad word");
     // graph_fp u64 | config_fp u64 | seed u64 — all 8-aligned
     assert_eq!(u64_at(&raw, 8), fp.graph);
@@ -127,33 +127,46 @@ fn container_bytes_follow_the_documented_layout() {
     // write_seq u64: the per-directory write sequence, stored verbatim
     assert_eq!(u64_at(&raw, 32), 0x5E0, "write sequence word");
     assert_eq!(persist::read_write_seq(&raw).unwrap(), 0x5E0);
-    // section_count u32 | pad u32 = 0
-    assert_eq!(u32_at(&raw, 40), 6, "six sections, one per offline stage");
+    // section_count u32 = 3·Z + 3 | pad u32 = 0
+    let z_count = g.num_topics();
+    assert_eq!(
+        u32_at(&raw, 40) as usize,
+        3 * z_count + 3,
+        "one section per topic unit of cap/pb/mis plus three singletons"
+    );
     assert_eq!(u32_at(&raw, 44), 0, "header tail pad word");
 
     // ---- section table ------------------------------------------------
     let entries = parse_table(&raw);
-    // tags in documented order: cap=1, pb=2, mis=3, samples=4, piks=5, names=6
+    // tags in documented order — `base | (z << 8)` for the topic-granular
+    // stages (cap=1, pb=2, mis=3), every topic of a stage ascending, then
+    // the bare singleton tags samples=4, piks=5, names=6
+    let mut expect_tags: Vec<u32> = Vec::new();
+    for base in [1u32, 2, 3] {
+        for z in 0..z_count as u32 {
+            expect_tags.push(base | (z << 8));
+        }
+    }
+    expect_tags.extend([4, 5, 6]);
     assert_eq!(
         entries.iter().map(|e| e.tag).collect::<Vec<_>>(),
-        vec![1, 2, 3, 4, 5, 6]
+        expect_tags
     );
-    // keys are the per-stage StageKeys in the same order
+    // keys are the per-unit StageKeys in the same order
+    let mut expect_keys: Vec<u64> = Vec::new();
+    expect_keys.extend(&keys.cap);
+    expect_keys.extend(&keys.pb);
+    expect_keys.extend(&keys.mis);
+    expect_keys.extend([keys.samples, keys.piks, keys.names]);
     assert_eq!(
         entries.iter().map(|e| e.key).collect::<Vec<_>>(),
-        vec![
-            keys.cap,
-            keys.pb,
-            keys.mis,
-            keys.samples,
-            keys.piks,
-            keys.names
-        ]
+        expect_keys
     );
 
     // ---- offsets: canonical, ascending, 8-aligned, in-bounds ------------
     // the first payload starts right after the table (already 8-aligned:
-    // 48 + 6×40 = 288); each later one at the predecessor's padded end
+    // 48 + (3·Z+3)×40, a multiple of 8); each later one at the
+    // predecessor's padded end
     let mut expect_off = HEADER_LEN + entries.len() * ENTRY_LEN;
     assert_eq!(expect_off % 8, 0, "table end is 8-aligned by construction");
     for e in &entries {
@@ -185,69 +198,57 @@ fn container_bytes_follow_the_documented_layout() {
     }
 
     // ---- per-section payloads ------------------------------------------
-    // spread-cap: exactly one little-endian f64
-    let cap = entries[0];
-    assert_eq!(cap.len, 8);
-    assert_eq!(f64_at(&raw, cap.off), art.cap);
-
-    // pb-bound under the MIS engine: a single u64 = 0 "absent" word
-    let pb = entries[1];
-    assert_eq!(pb.len, 8);
-    assert_eq!(u64_at(&raw, pb.off), 0, "MIS engine persists no PB tables");
-
-    // mis-tables: present u64 = 1 | Z u64 | total u64 | candidates u64 |
-    // cumulative offsets (Z+1)×u64 | node ids total×u32 (padded) |
-    // gains total×f64 | candidates cand×u32 (padded)
-    let mis = entries[2];
-    assert_eq!(u64_at(&raw, mis.off), 1, "MIS engine persists its tables");
-    let z = u64_at(&raw, mis.off + 8) as usize;
-    assert_eq!(z, g.num_topics());
-    let total = u64_at(&raw, mis.off + 16) as usize;
-    let cand = u64_at(&raw, mis.off + 24) as usize;
-    let cum_at = mis.off + 32;
-    assert_eq!(u64_at(&raw, cum_at), 0, "cumulative offsets start at 0");
-    let mut prev = 0;
-    for t in 0..z {
-        let c = u64_at(&raw, cum_at + 8 * (t + 1)) as usize;
-        assert!(c >= prev, "cumulative offsets are monotone");
-        prev = c;
+    // spread-cap units: one little-endian f64 per topic (the per-topic
+    // arrival-mass caps)
+    for (z, cap) in entries.iter().enumerate().take(z_count) {
+        assert_eq!(cap.len, 8);
+        assert_eq!(f64_at(&raw, cap.off), art.topic_caps[z], "cap unit {z}");
     }
-    assert_eq!(prev, total, "last cumulative offset is the grand total");
-    let ids_at = cum_at + 8 * (z + 1);
-    let gains_at = mis.off + align8(32 + 8 * (z + 1) + 4 * total);
-    for t in 0..z {
-        let (lo, hi) = (
-            u64_at(&raw, cum_at + 8 * t) as usize,
-            u64_at(&raw, cum_at + 8 * (t + 1)) as usize,
-        );
+
+    // pb-bound units under the MIS engine: a single u64 = 0 "absent" word
+    // per topic
+    for z in 0..z_count {
+        let pb = entries[z_count + z];
+        assert_eq!(pb.len, 8);
+        assert_eq!(u64_at(&raw, pb.off), 0, "MIS engine persists no PB rows");
+    }
+
+    // mis-tables units, one per topic: present u64 = 1 | count u64 |
+    // node ids count×u32 strictly ascending (padded to 8) | gains count×f64
+    for z in 0..z_count {
+        let mis = entries[2 * z_count + z];
+        assert_eq!(u64_at(&raw, mis.off), 1, "MIS engine persists its tables");
+        let count = u64_at(&raw, mis.off + 8) as usize;
+        assert!(count > 0, "every topic has seeds in this fixture");
+        let ids_at = mis.off + 16;
+        let gains_at = mis.off + align8(16 + 4 * count);
         let mut last = None;
-        for r in lo..hi {
+        for r in 0..count {
             let u = u32_at(&raw, ids_at + 4 * r);
             assert!((u as usize) < g.node_count(), "MIS node id in range");
-            assert!(Some(u) > last, "per-topic node ids strictly ascending");
+            assert!(Some(u) > last, "node ids strictly ascending");
             last = Some(u);
             assert!(
                 f64_at(&raw, gains_at + 8 * r).is_finite(),
                 "gain is a real number"
             );
         }
+        assert_eq!(
+            mis.len,
+            align8(16 + 4 * count) + 8 * count,
+            "mis unit {z} ends after its gains"
+        );
     }
-    let cand_at = gains_at + 8 * total;
-    assert_eq!(
-        mis.len,
-        (cand_at - mis.off) + align8(4 * cand),
-        "mis section ends after the padded candidate list"
-    );
 
     // topic-samples: u32 count (0 — MIS precomputes no samples)
-    let samples = entries[3];
+    let samples = entries[3 * z_count];
     assert_eq!(samples.len, 4);
     assert_eq!(u32_at(&raw, samples.off), 0);
 
     // piks-worlds: n u64 | R u64 | world offsets (R+1)×u64 (section-relative,
     // last = section length) | R world records, each opening with
     // footprint u64 | coin seed u64 | edges_examined u64 | w u64 | e u64
-    let piks = entries[4];
+    let piks = entries[3 * z_count + 1];
     assert_eq!(u64_at(&raw, piks.off) as usize, g.node_count());
     let r_worlds = u64_at(&raw, piks.off + 8) as usize;
     assert_eq!(r_worlds, cfg.piks_index_size);
@@ -292,7 +293,7 @@ fn container_bytes_follow_the_documented_layout() {
     // autocomplete: u64 inserted-name count, then preorder records of
     // terminal u32 | nchildren u32 | [id u32 | pad u32 | score f64] |
     // nchildren × (char u32 | pad u32 | child offset u64)
-    let names = entries[5];
+    let names = entries[3 * z_count + 2];
     assert_eq!(u64_at(&raw, names.off) as usize, art.names.len());
     let root = names.off + 8;
     assert_eq!(u32_at(&raw, root), 0, "root is not terminal");
@@ -307,11 +308,12 @@ fn container_bytes_follow_the_documented_layout() {
 }
 
 #[test]
-fn v1_v2_and_v3_containers_are_refused_for_migration_by_rebuild() {
+fn v1_through_v4_containers_are_refused_for_migration_by_rebuild() {
     // earlier-version files must be refused wholesale
     // (PersistError::Version) so open_or_build rebuilds and overwrites
     // them — never misparse a v1 monolithic payload as sections, a v2
-    // table as v3, nor a v3 packed table (28-byte rows, no offsets) as v4
+    // table as v3, a v3 packed table (28-byte rows, no offsets) as v4,
+    // nor a v4 stage-granular table as v5's per-topic one
     let g = tiny_graph();
     let cfg = OctopusConfig {
         kim: KimEngineChoice::Mis,
@@ -370,6 +372,27 @@ fn v1_v2_and_v3_containers_are_refused_for_migration_by_rebuild() {
         persist::read_write_seq(&v3),
         Err(persist::PersistError::Version(3))
     ));
+    // a plausible v4 header: same 48-byte frame as v5 but six
+    // stage-granular sections — its bare cap/pb/mis tags must never be
+    // misread as v5 topic-0 units
+    let mut v4 = Vec::new();
+    v4.extend_from_slice(b"OCTA");
+    v4.extend_from_slice(&4u16.to_le_bytes());
+    v4.extend_from_slice(&0u16.to_le_bytes());
+    for w in [1u64, 2, 3, 0x5E0] {
+        v4.extend_from_slice(&w.to_le_bytes());
+    }
+    v4.extend_from_slice(&6u32.to_le_bytes());
+    v4.extend_from_slice(&0u32.to_le_bytes());
+    v4.extend_from_slice(&[0u8; 6 * 40]);
+    assert!(matches!(
+        persist::load_sections(&v4, &keys, &g, &cfg),
+        Err(persist::PersistError::Version(4))
+    ));
+    assert!(matches!(
+        persist::read_write_seq(&v4),
+        Err(persist::PersistError::Version(4))
+    ));
 }
 
 // ---------------------------------------------------------------------------
@@ -403,7 +426,7 @@ fn saved(
 
 #[test]
 fn mapped_open_rejects_truncation_at_every_section_boundary() {
-    let (dir, path, fp, keys, g, cfg) = saved("octa_v4_truncation_sweep");
+    let (dir, path, fp, keys, g, cfg) = saved("octa_v5_truncation_sweep");
     let raw = std::fs::read(&path).unwrap();
     let entries = parse_table(&raw);
     // every section start and end, the table end, one byte short of the
@@ -434,9 +457,9 @@ fn mapped_open_rejects_truncation_at_every_section_boundary() {
 
 #[test]
 fn mapped_open_rejects_misaligned_and_non_canonical_offsets() {
-    let (dir, path, fp, keys, g, cfg) = saved("octa_v4_offset_tamper");
+    let (dir, path, fp, keys, g, cfg) = saved("octa_v5_offset_tamper");
     let raw = std::fs::read(&path).unwrap();
-    for i in 0..6 {
+    for i in 0..parse_table(&raw).len() {
         let off_at = HEADER_LEN + i * ENTRY_LEN + 16;
         let real = u64_at(&raw, off_at);
         // misaligned (off+4), canonical-break (off+8, still aligned), and
@@ -456,7 +479,7 @@ fn mapped_open_rejects_misaligned_and_non_canonical_offsets() {
 
 #[test]
 fn bit_flips_fail_closed_at_open_or_first_touch_never_read_garbage() {
-    let (dir, path, fp, keys, g, cfg) = saved("octa_v4_bitflip_sweep");
+    let (dir, path, fp, keys, g, cfg) = saved("octa_v5_bitflip_sweep");
     let raw = std::fs::read(&path).unwrap();
     let entries = parse_table(&raw);
     for e in &entries {

@@ -375,12 +375,63 @@ fn rebuild_through_cache_dir_reuses_unaffected_stages() {
         }],
     )
     .unwrap();
-    let fresh = Octopus::new(g1, model, config).unwrap();
+    let fresh = Octopus::new(g1.clone(), model.clone(), config.clone()).unwrap();
     let a = service
         .session()
         .find_influencers("data mining", 2)
         .unwrap();
     let b = fresh.find_influencers("data mining", 2).unwrap();
+    assert_eq!(
+        a.value.seeds.iter().map(|s| s.node).collect::<Vec<_>>(),
+        b.seeds.iter().map(|s| s.node).collect::<Vec<_>>()
+    );
+    assert_eq!(a.value.result.spread, b.result.spread);
+
+    // a topic-1-confined nudge (jordan → ml-follower-0 carries only a
+    // topic-1 entry): the swap report's weight stages show the per-topic
+    // split — topic 0's cap/MIS units reused, topic 1's rebuilt
+    let nudge = GraphDelta::NudgeWeights {
+        edges: vec![g1.find_edge(NodeId(1), NodeId(7)).unwrap()],
+        delta: 0.05,
+    };
+    assert_eq!(
+        nudge
+            .touched_topics(&g1)
+            .unwrap()
+            .into_iter()
+            .collect::<Vec<_>>(),
+        vec![1],
+        "the nudged edge must be topic-1-confined"
+    );
+    service.submit(nudge.clone());
+    let report = service.apply_pending().unwrap().expect("pending nudge");
+    for stage in ["spread-cap", "mis-tables"] {
+        let s = report
+            .stage_reuse
+            .iter()
+            .find(|s| s.stage == stage)
+            .unwrap_or_else(|| panic!("stage {stage} missing from swap report"));
+        assert_eq!(
+            (s.reused, s.total),
+            (1, 2),
+            "a topic-confined nudge must reuse the untouched topic's {stage} unit: {s:?}"
+        );
+    }
+    assert!(
+        report
+            .stage_reuse
+            .iter()
+            .any(|s| s.stage == "autocomplete" && s.is_full()),
+        "a nudge never rebuilds the trie"
+    );
+    // and the per-topic partial rebuild still answers like a fresh engine
+    let g2 = nudge.apply(&g1).unwrap();
+    let fresh = Octopus::new(g2, model, config).unwrap();
+    let a = service
+        .session()
+        .find_influencers("em algorithm", 2)
+        .unwrap();
+    let b = fresh.find_influencers("em algorithm", 2).unwrap();
     assert_eq!(
         a.value.seeds.iter().map(|s| s.node).collect::<Vec<_>>(),
         b.seeds.iter().map(|s| s.node).collect::<Vec<_>>()

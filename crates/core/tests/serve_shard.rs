@@ -391,6 +391,40 @@ fn cached_and_mapped_shards_serve_identically() {
     let g1 = delta.apply(&g).unwrap();
     assert_equivalent(&cached, &reference(&g1, &model, &config));
 
+    // a topic-1-confined nudge (bea ml → fan-b-0 carries only a topic-1
+    // entry) routed to one shard: that shard's swap report shows the
+    // per-topic split on the always-enabled cap stage — topic 0's unit
+    // reused off the shard's donor epoch, topic 1's rebuilt
+    let nudge = GraphDelta::NudgeWeights {
+        edges: vec![g1.find_edge(NodeId(5), NodeId(6)).unwrap()],
+        delta: 0.05,
+    };
+    assert_eq!(
+        nudge
+            .touched_topics(&g1)
+            .unwrap()
+            .into_iter()
+            .collect::<Vec<_>>(),
+        vec![1],
+        "the nudged edge must be topic-1-confined"
+    );
+    cached.submit(nudge.clone());
+    let swaps = cached.apply_pending().unwrap();
+    assert_eq!(swaps.len(), 1, "the nudge routes to exactly one shard");
+    let cap = swaps[0]
+        .report
+        .stage_reuse
+        .iter()
+        .find(|s| s.stage == "spread-cap")
+        .expect("spread-cap in the swap report");
+    assert_eq!(
+        (cap.reused, cap.total),
+        (1, 2),
+        "a topic-confined nudge must reuse the untouched topic's cap unit: {cap:?}"
+    );
+    let g2 = nudge.apply(&g1).unwrap();
+    assert_equivalent(&cached, &reference(&g2, &model, &config));
+
     // mapped mode: every shard engine serves zero-copy off its artifact
     let mapped = ShardedService::with_mapped_cache(
         g.clone(),

@@ -123,6 +123,7 @@ pub fn hash(g: &TopicGraph) -> u64 {
 /// happen to agree.
 const TOPOLOGY_TAG: &[u8] = b"octg:topology";
 const WEIGHTS_TAG: &[u8] = b"octg:weights";
+const WEIGHTS_TOPIC_TAG: &[u8] = b"octg:weights-topic";
 const NAMES_TAG: &[u8] = b"octg:names";
 
 /// FNV-1a over the graph's **topology slice**: node count, edge count, and
@@ -165,6 +166,49 @@ pub fn hash_weights(g: &TopicGraph) -> u64 {
     }
     for &p in &g.prob_values {
         h.write_f32(p);
+    }
+    h.finish()
+}
+
+/// FNV-1a over the graph's **topic-`z` probability slice**: the topic index,
+/// topic count, node count, and — for every edge carrying a sparse topic-`z`
+/// entry, in edge-id (hence `(src, dst)`-sorted) order — the edge endpoints
+/// and the `z`-probability by exact bit pattern.
+///
+/// Unlike [`hash_weights`], edge ids and the offset table are **deliberately
+/// excluded**, so the hash is a function of the topic-`z` edge *triples*
+/// `(src, dst, p_z)` alone (plus the node universe). Consequences the
+/// `slice_hashes_isolate_their_inputs` test pins:
+///
+/// * a nudge confined to topic `z` moves only topic `z`'s hash;
+/// * a rename moves none of them;
+/// * an **edge insert** moves exactly the topics carried by the new edge —
+///   other topics' hashes survive even though every edge id shifted
+///   (zero-probability edges are invisible to the per-topic offline stages:
+///   MIA skips them before touching state and the RR sampler consumes no
+///   randomness on them, so the surviving hash is sound, not just cheap);
+/// * `hash_weights(a) == hash_weights(b)` on a shared topology implies
+///   `hash_weights_topic(a, z) == hash_weights_topic(b, z)` for every `z`
+///   (the per-topic slices are a refinement of the monolithic slice).
+pub fn hash_weights_topic(g: &TopicGraph, z: usize) -> u64 {
+    let mut h = crate::wire::Fnv64::new();
+    h.write(WEIGHTS_TOPIC_TAG);
+    h.write_u32(z as u32);
+    h.write_u32(g.num_topics() as u32);
+    h.write_u32(g.node_count() as u32);
+    let zt = z as u16;
+    for u in 0..g.node_count() {
+        let lo_e = g.fwd_offsets[u] as usize;
+        let hi_e = g.fwd_offsets[u + 1] as usize;
+        for e in lo_e..hi_e {
+            let plo = g.prob_offsets[e] as usize;
+            let phi = g.prob_offsets[e + 1] as usize;
+            if let Ok(i) = g.prob_topics[plo..phi].binary_search(&zt) {
+                h.write_u32(u as u32);
+                h.write_u32(g.fwd_targets[e]);
+                h.write_f32(g.prob_values[plo + i]);
+            }
+        }
     }
     h.finish()
 }
@@ -387,6 +431,69 @@ mod tests {
         assert_ne!(hash_topology(&base), hash_weights(&base));
         assert_ne!(hash_topology(&base), hash_names(&base));
         assert_ne!(hash_weights(&base), hash_names(&base));
+    }
+
+    #[test]
+    fn per_topic_weight_hashes_isolate_their_topics() {
+        let base = sample();
+        let per_topic =
+            |g: &TopicGraph| -> Vec<u64> { (0..3).map(|z| hash_weights_topic(g, z)).collect() };
+        let h0 = per_topic(&base);
+        // distinct topics hash to distinct values (domain separation by z)
+        assert_ne!(h0[0], h0[1]);
+        assert_ne!(h0[1], h0[2]);
+        assert_ne!(h0[0], h0[2]);
+
+        // rename: no per-topic hash moves (monolithic-equal ⟹ per-topic-equal)
+        let renamed = {
+            let mut b = GraphBuilder::new(3);
+            b.add_node("ada");
+            b.add_node("grace hopper");
+            b.add_node("edsger");
+            b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (2, 0.25)])
+                .unwrap();
+            b.add_edge(NodeId(1), NodeId(2), &[(1, 0.75)]).unwrap();
+            b.add_edge(NodeId(2), NodeId(0), &[(0, 0.125)]).unwrap();
+            b.build().unwrap()
+        };
+        assert_eq!(hash_weights(&base), hash_weights(&renamed));
+        assert_eq!(h0, per_topic(&renamed));
+
+        // topic-1-confined nudge: only topic 1's hash moves
+        let nudged = {
+            let mut b = GraphBuilder::new(3);
+            b.add_node("ada");
+            b.add_node("grace");
+            b.add_node("edsger");
+            b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (2, 0.25)])
+                .unwrap();
+            b.add_edge(NodeId(1), NodeId(2), &[(1, 0.8)]).unwrap(); // nudged
+            b.add_edge(NodeId(2), NodeId(0), &[(0, 0.125)]).unwrap();
+            b.build().unwrap()
+        };
+        let hn = per_topic(&nudged);
+        assert_eq!(h0[0], hn[0]);
+        assert_ne!(h0[1], hn[1]);
+        assert_eq!(h0[2], hn[2]);
+
+        // edge insert carrying only topic 1: topics 0 and 2 survive even
+        // though every edge id after the insertion point shifted
+        let extended = {
+            let mut b = GraphBuilder::new(3);
+            b.add_node("ada");
+            b.add_node("grace");
+            b.add_node("edsger");
+            b.add_edge(NodeId(0), NodeId(1), &[(0, 0.5), (2, 0.25)])
+                .unwrap();
+            b.add_edge(NodeId(1), NodeId(2), &[(1, 0.75)]).unwrap();
+            b.add_edge(NodeId(2), NodeId(0), &[(0, 0.125)]).unwrap();
+            b.add_edge(NodeId(0), NodeId(2), &[(1, 0.3)]).unwrap(); // new
+            b.build().unwrap()
+        };
+        let he = per_topic(&extended);
+        assert_eq!(h0[0], he[0]);
+        assert_ne!(h0[1], he[1]);
+        assert_eq!(h0[2], he[2]);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::csr::TopicGraph;
 use crate::error::GraphError;
 use crate::ids::{EdgeId, NodeId};
 use crate::Result;
+use std::collections::BTreeSet;
 
 /// Copy `g` into a fresh [`GraphBuilder`] (same nodes, names, and edges).
 ///
@@ -46,8 +47,23 @@ pub fn builder_from(g: &TopicGraph) -> GraphBuilder {
 /// `(0, 1]` boundary so the value always actually moves). Node and edge ids
 /// are unchanged; only the probability table differs.
 pub fn nudge_weights(g: &TopicGraph, edges: &[EdgeId], delta: f64) -> Result<TopicGraph> {
-    for &e in edges {
+    let pairs: Vec<(EdgeId, f64)> = edges.iter().map(|&e| (e, delta)).collect();
+    nudge_weights_multi(g, &pairs)
+}
+
+/// Like [`nudge_weights`], but each edge carries its own perturbation —
+/// the shape [`apply_all`] folds a run of same-topic nudges into. All
+/// pairs apply simultaneously to `g`; listing an edge more than once does
+/// not compound (the last pair for an edge wins, and listing the same
+/// `(edge, delta)` twice equals listing it once, matching the
+/// `edges.contains` semantics [`nudge_weights`] always had).
+pub fn nudge_weights_multi(g: &TopicGraph, pairs: &[(EdgeId, f64)]) -> Result<TopicGraph> {
+    for &(e, _) in pairs {
         g.check_edge(e)?;
+    }
+    let mut per_edge: Vec<Option<f64>> = vec![None; g.edge_count()];
+    for &(e, d) in pairs {
+        per_edge[e.index()] = Some(d);
     }
     let mut b = GraphBuilder::new(g.num_topics()).with_capacity(g.node_count(), g.edge_count());
     for u in g.nodes() {
@@ -55,19 +71,20 @@ pub fn nudge_weights(g: &TopicGraph, edges: &[EdgeId], delta: f64) -> Result<Top
     }
     for e in g.edges() {
         let (u, v) = g.edge_endpoints(e).expect("iterated edge is valid");
-        let nudge = edges.contains(&e);
+        let nudge = per_edge[e.index()];
         let probs: Vec<(usize, f64)> = g
             .edge_topic_probs(e)
             .map(|(z, p)| {
                 let p = p as f64;
-                let p = if nudge {
-                    if p + delta <= 1.0 && p + delta > 0.0 {
-                        p + delta
-                    } else {
-                        p - delta
+                let p = match nudge {
+                    Some(delta) => {
+                        if p + delta <= 1.0 && p + delta > 0.0 {
+                            p + delta
+                        } else {
+                            p - delta
+                        }
                     }
-                } else {
-                    p
+                    None => p,
                 };
                 (z.index(), p)
             })
@@ -169,6 +186,43 @@ impl GraphDelta {
             GraphDelta::RenameNode { node, name } => rename_node(g, *node, name),
         }
     }
+
+    /// The set of topics whose per-topic weight slice this delta can move
+    /// when applied to `g` — the footprint the per-topic offline stages
+    /// (cap/PB/MIS sub-sections of the OCTA container) key invalidation on.
+    ///
+    /// `Some(set)` is exact: every topic outside `set` keeps a bit-identical
+    /// [`crate::codec::hash_weights_topic`]. A rename touches no topic; a
+    /// nudge touches the topics with sparse entries on its edges; an insert
+    /// touches the topics in its probability payload (a merge with an
+    /// existing edge maxes per topic, so other topics still hold); a remove
+    /// touches the victim's entries. `None` means the footprint cannot be
+    /// determined (an edge id in the delta is not valid on `g`) and callers
+    /// must assume **all** topics — never that the delta is cheap.
+    pub fn touched_topics(&self, g: &TopicGraph) -> Option<BTreeSet<usize>> {
+        match self {
+            GraphDelta::RenameNode { .. } => Some(BTreeSet::new()),
+            GraphDelta::NudgeWeights { edges, .. } => {
+                let mut out = BTreeSet::new();
+                for &e in edges {
+                    if g.check_edge(e).is_err() {
+                        return None;
+                    }
+                    for (z, _) in g.edge_topic_probs(e) {
+                        out.insert(z.index());
+                    }
+                }
+                Some(out)
+            }
+            GraphDelta::InsertEdge { probs, .. } => Some(probs.iter().map(|&(z, _)| z).collect()),
+            GraphDelta::RemoveEdge { edge } => {
+                if g.check_edge(*edge).is_err() {
+                    return None;
+                }
+                Some(g.edge_topic_probs(*edge).map(|(z, _)| z.index()).collect())
+            }
+        }
+    }
 }
 
 /// Apply `deltas` in order, each on the output of the previous one —
@@ -180,13 +234,22 @@ impl GraphDelta {
 ///
 /// Each delta rebuilds the graph through a [`GraphBuilder`] pass, so a
 /// naive fold is `O(k·|G|)` for a `k`-delta batch. The dominant batch
-/// shape under serving churn — a run of weight nudges with the same
-/// perturbation over *distinct* edges (the stream a warm EM refit emits)
-/// — folds into a **single** rebuild instead: equivalent because
-/// [`nudge_weights`] is simultaneous over its edge list and nudges leave
-/// every id stable. Runs touching an edge twice (a double nudge must
-/// compound, and reflection is not additive) or changing the
-/// perturbation are *not* merged and keep sequential semantics.
+/// shapes under serving churn fold into a **single** rebuild instead:
+///
+/// * a run of weight nudges with the same perturbation over *distinct*
+///   edges (the stream a warm EM refit emits), and
+/// * a run of weight nudges over distinct edges whose sparse entries all
+///   sit on the **same single topic** — perturbations may differ per
+///   nudge; the fold goes through [`nudge_weights_multi`] and keeps the
+///   run's topic footprint (`touched_topics`) at exactly that one topic,
+///   so a topic-confined refit stream coalesces without widening the
+///   per-topic cap/PB/MIS invalidation it triggers.
+///
+/// Both folds are equivalent to sequential application because nudges are
+/// simultaneous over disjoint edges and leave every id stable. Runs
+/// touching an edge twice (a double nudge must compound, and reflection
+/// is not additive) are *not* merged and keep sequential semantics, as
+/// are mixed-perturbation runs spanning more than one topic.
 pub fn apply_all(g: &TopicGraph, deltas: &[GraphDelta]) -> Result<TopicGraph> {
     let mut current: Option<TopicGraph> = None;
     let mut i = 0;
@@ -194,19 +257,32 @@ pub fn apply_all(g: &TopicGraph, deltas: &[GraphDelta]) -> Result<TopicGraph> {
         let base = current.as_ref().unwrap_or(g);
         let mut end = i + 1;
         let next = if let GraphDelta::NudgeWeights { edges, delta } = &deltas[i] {
-            let mut merged = edges.clone();
+            let mut pairs: Vec<(EdgeId, f64)> = edges.iter().map(|&e| (e, *delta)).collect();
+            let mut seen = edges.clone();
+            // Footprints are read off `base`: later nudges in the run see
+            // intermediate graphs, but nudging never adds or drops sparse
+            // entries (probabilities stay in (0, 1]), so the footprint of
+            // every edge is the same on `base` and on the intermediates.
+            let run_topic = single_topic_footprint(base, edges);
             while let Some(GraphDelta::NudgeWeights {
                 edges: more,
                 delta: d,
             }) = deltas.get(end)
             {
-                if d.to_bits() != delta.to_bits() || more.iter().any(|e| merged.contains(e)) {
+                if more.iter().any(|e| seen.contains(e)) {
                     break;
                 }
-                merged.extend_from_slice(more);
+                let same_delta = d.to_bits() == delta.to_bits();
+                let same_topic =
+                    run_topic.is_some() && single_topic_footprint(base, more) == run_topic;
+                if !same_delta && !same_topic {
+                    break;
+                }
+                pairs.extend(more.iter().map(|&e| (e, *d)));
+                seen.extend_from_slice(more);
                 end += 1;
             }
-            nudge_weights(base, &merged, *delta)?
+            nudge_weights_multi(base, &pairs)?
         } else {
             deltas[i].apply(base)?
         };
@@ -214,6 +290,25 @@ pub fn apply_all(g: &TopicGraph, deltas: &[GraphDelta]) -> Result<TopicGraph> {
         i = end;
     }
     Ok(current.unwrap_or_else(|| g.clone()))
+}
+
+/// `Some(z)` iff every sparse probability entry across `edges` sits on the
+/// single topic `z` (and there is at least one entry). `None` for an empty
+/// or multi-topic footprint, or for any invalid edge id — invalid ids
+/// refuse the fold here and surface their error from the nudge itself.
+fn single_topic_footprint(g: &TopicGraph, edges: &[EdgeId]) -> Option<usize> {
+    let mut topic: Option<usize> = None;
+    for &e in edges {
+        g.check_edge(e).ok()?;
+        for (z, _) in g.edge_topic_probs(e) {
+            match topic {
+                None => topic = Some(z.index()),
+                Some(t) if t == z.index() => {}
+                Some(_) => return None,
+            }
+        }
+    }
+    topic
 }
 
 /// Rebuild `g` with node `u` renamed to `name`. Topology, weights, and all
@@ -451,6 +546,139 @@ mod tests {
         );
         // an invalid edge anywhere in a foldable run still aborts
         assert!(apply_all(&g, &[nudge(vec![0], 0.05), nudge(vec![99], 0.05)]).is_err());
+    }
+
+    /// Two topic-1-only edges plus one topic-0-only edge, for exercising
+    /// the same-topic mixed-δ fold.
+    fn topic_confined_fixture() -> TopicGraph {
+        let mut b = GraphBuilder::new(2);
+        let _ = b.add_nodes(4);
+        b.add_edge(NodeId(0), NodeId(1), &[(1, 0.5)]).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), &[(1, 0.25)]).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), &[(0, 0.75)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn same_topic_mixed_delta_runs_fold_without_changing_semantics() {
+        let g = topic_confined_fixture();
+        let nudge = |edges: Vec<u32>, delta: f64| GraphDelta::NudgeWeights {
+            edges: edges.into_iter().map(EdgeId).collect(),
+            delta,
+        };
+        let sequential = |batch: &[GraphDelta]| {
+            let mut cur = g.clone();
+            for d in batch {
+                cur = d.apply(&cur).unwrap();
+            }
+            cur
+        };
+        // disjoint edges, different δ, same single topic: folds into one
+        // multi-δ rebuild, same graph as one-at-a-time — and the fold
+        // keeps the run's topic footprint at exactly {1}
+        let run = vec![nudge(vec![0], 0.05), nudge(vec![1], 0.07)];
+        let folded = apply_all(&g, &run).unwrap();
+        assert_eq!(folded, sequential(&run));
+        assert_eq!(
+            codec::hash_weights_topic(&g, 0),
+            codec::hash_weights_topic(&folded, 0),
+            "topic-1-confined fold must leave topic 0's weight slice alone"
+        );
+        assert_ne!(
+            codec::hash_weights_topic(&g, 1),
+            codec::hash_weights_topic(&folded, 1)
+        );
+        // different δ across *different* topics: not merged, still equivalent
+        let cross = vec![nudge(vec![0], 0.05), nudge(vec![2], 0.07)];
+        assert_eq!(apply_all(&g, &cross).unwrap(), sequential(&cross));
+        // repeated edge inside a same-topic run must still compound
+        let repeat = vec![nudge(vec![0], 0.05), nudge(vec![0], 0.07)];
+        assert_eq!(apply_all(&g, &repeat).unwrap(), sequential(&repeat));
+    }
+
+    #[test]
+    fn multi_nudge_matches_sequential_single_nudges() {
+        let g = fixture();
+        // edge 1's topic-1 entry (0.75 + 0.3 > 1) exercises the boundary
+        // reflection; the others move plainly
+        let pairs = vec![(EdgeId(0), 0.05), (EdgeId(1), 0.3), (EdgeId(2), 0.09)];
+        let multi = nudge_weights_multi(&g, &pairs).unwrap();
+        let mut seq = g.clone();
+        for &(e, d) in &pairs {
+            seq = nudge_weights(&seq, &[e], d).unwrap();
+        }
+        assert_eq!(multi, seq, "disjoint per-edge deltas apply simultaneously");
+        // uniform pairs reproduce nudge_weights exactly
+        assert_eq!(
+            nudge_weights_multi(&g, &[(EdgeId(0), 0.05), (EdgeId(1), 0.05)]).unwrap(),
+            nudge_weights(&g, &[EdgeId(0), EdgeId(1)], 0.05).unwrap()
+        );
+        // a repeated edge nudges once (last pair wins), like the
+        // `contains`-based membership always did for duplicate ids
+        assert_eq!(
+            nudge_weights_multi(&g, &[(EdgeId(0), 0.05), (EdgeId(0), 0.05)]).unwrap(),
+            nudge_weights(&g, &[EdgeId(0)], 0.05).unwrap()
+        );
+        assert!(nudge_weights_multi(&g, &[(EdgeId(99), 0.05)]).is_err());
+    }
+
+    #[test]
+    fn touched_topics_matches_the_per_topic_weight_hashes() {
+        let g = fixture();
+        let set = |zs: &[usize]| zs.iter().copied().collect::<BTreeSet<usize>>();
+        // rename: no topic moves
+        let rename = GraphDelta::RenameNode {
+            node: NodeId(1),
+            name: "grace hopper".into(),
+        };
+        assert_eq!(rename.touched_topics(&g), Some(set(&[])));
+        // nudge: union of sparse entries on the listed edges
+        let nudge0 = GraphDelta::NudgeWeights {
+            edges: vec![EdgeId(0)],
+            delta: 0.05,
+        };
+        assert_eq!(nudge0.touched_topics(&g), Some(set(&[0, 1])));
+        let nudge1 = GraphDelta::NudgeWeights {
+            edges: vec![EdgeId(1)],
+            delta: 0.05,
+        };
+        assert_eq!(nudge1.touched_topics(&g), Some(set(&[1])));
+        // the footprint is exact: topics outside it keep their hash,
+        // topics inside it move
+        let nudged = nudge1.apply(&g).unwrap();
+        assert_eq!(
+            codec::hash_weights_topic(&g, 0),
+            codec::hash_weights_topic(&nudged, 0)
+        );
+        assert_ne!(
+            codec::hash_weights_topic(&g, 1),
+            codec::hash_weights_topic(&nudged, 1)
+        );
+        // insert: the topics in the payload
+        let insert = GraphDelta::InsertEdge {
+            src: NodeId(0),
+            dst: NodeId(3),
+            probs: vec![(1, 0.4)],
+        };
+        assert_eq!(insert.touched_topics(&g), Some(set(&[1])));
+        let inserted = insert.apply(&g).unwrap();
+        assert_eq!(
+            codec::hash_weights_topic(&g, 0),
+            codec::hash_weights_topic(&inserted, 0)
+        );
+        // remove: the victim's sparse entries
+        let remove = GraphDelta::RemoveEdge { edge: EdgeId(2) };
+        assert_eq!(remove.touched_topics(&g), Some(set(&[0])));
+        // invalid edge ids: footprint unknown → None (assume all topics)
+        let bad_nudge = GraphDelta::NudgeWeights {
+            edges: vec![EdgeId(99)],
+            delta: 0.05,
+        };
+        assert_eq!(bad_nudge.touched_topics(&g), None);
+        assert_eq!(
+            GraphDelta::RemoveEdge { edge: EdgeId(99) }.touched_topics(&g),
+            None
+        );
     }
 
     #[test]
