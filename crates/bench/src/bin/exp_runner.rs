@@ -136,6 +136,9 @@ struct Scale {
     referee_runs: usize,
     piks_targets: usize,
     serve_queries_per_worker: usize,
+    ingest_authors: usize,
+    ingest_papers: usize,
+    ingest_windows: usize,
 }
 
 fn scale(quick: bool) -> Scale {
@@ -148,6 +151,9 @@ fn scale(quick: bool) -> Scale {
             referee_runs: 1000,
             piks_targets: 4,
             serve_queries_per_worker: 40,
+            ingest_authors: 150,
+            ingest_papers: 400,
+            ingest_windows: 3,
         }
     } else {
         Scale {
@@ -158,6 +164,9 @@ fn scale(quick: bool) -> Scale {
             referee_runs: 4000,
             piks_targets: 10,
             serve_queries_per_worker: 150,
+            ingest_authors: 500,
+            ingest_papers: 1200,
+            ingest_windows: 4,
         }
     }
 }
@@ -1261,6 +1270,435 @@ fn serve_workload(
     healthy
 }
 
+/// The closed ingestion loop (`--ingest <workers>`): stamp a citation
+/// action log into a timed stream, open the serving layer on a model fit
+/// from the stream's warm-up prefix, then replay the tail through a
+/// bounded channel — refitting the TIC model warm once per window,
+/// diffing the learned weights into id-stable `SetWeights` deltas,
+/// batching them by topic footprint, and flushing them into the live
+/// service — while `workers` threads query that same service through the
+/// unified [`Query`](octopus_core::serve::Query) entry point the whole
+/// time. Health gates: zero
+/// query errors, ≥ 2 epoch swaps landed while serving, and per-topic
+/// weight-unit reuse > 0 (the OCTA v5 payoff the batcher protects).
+/// With `--shards k` the loop drives the scatter-gather layer over a
+/// k-copy network; learned-only edges are deferred either way, so every
+/// delta is routable weight traffic.
+fn ingest_workload(
+    s: &Scale,
+    workers: usize,
+    shards: Option<usize>,
+    rec: &mut BenchRecord,
+) -> bool {
+    use octopus_bench::serve_load::{percentile, MixPools, ServeTarget};
+    use octopus_core::serve::ingest::WEIGHT_STAGES;
+    use octopus_core::serve::{
+        IngestPipeline, OctopusService, Query, QueryService, ShardedService, WindowReport,
+    };
+    use octopus_core::QueryBudget;
+    use octopus_data::{
+        stream, ActionLog, NewEdgePolicy, StreamConfig, StreamEvent, WindowedLearner,
+    };
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+    use std::time::Duration;
+
+    // the same seeded operator mix the serve workload drives, built on
+    // the unified entry point
+    fn mix(rng: &mut SmallRng, pools: &MixPools) -> Query {
+        let roll = rng.random_range(0..100u32);
+        if roll < 40 {
+            let q = &pools.queries[rng.random_range(0..pools.queries.len())];
+            Query::FindInfluencers {
+                query: q.clone(),
+                k: rng.random_range(1..=8usize),
+            }
+        } else if roll < 60 {
+            let u = &pools.users[rng.random_range(0..pools.users.len())];
+            Query::SuggestKeywords {
+                user: u.clone(),
+                k: 2,
+            }
+        } else if roll < 75 {
+            let u = &pools.users[rng.random_range(0..pools.users.len())];
+            let q = &pools.queries[rng.random_range(0..pools.queries.len())];
+            Query::ExplorePaths {
+                user: u.clone(),
+                direction: ExploreDirection::Influences,
+                query: Some(q.clone()),
+            }
+        } else if roll < 90 {
+            let p = &pools.prefixes[rng.random_range(0..pools.prefixes.len())];
+            Query::Autocomplete {
+                prefix: p.clone(),
+                limit: 10,
+            }
+        } else {
+            let word = &pools.words[rng.random_range(0..pools.words.len())];
+            Query::KeywordRadar { word: word.clone() }
+        }
+    }
+
+    println!(
+        "\n================ INGEST: closed loop — stream → learn → diff → batch-by-topic → swap ({workers} query workers{}) ================",
+        match shards {
+            Some(k) => format!(", {k} shards"),
+            None => String::new(),
+        }
+    );
+    let base = citation_sized(s.ingest_authors, s.ingest_papers);
+    let net = match shards {
+        Some(k) if k > 1 => octopus_bench::workloads::replicated(&base, k),
+        _ => base,
+    };
+    let names: Vec<String> = net
+        .graph
+        .nodes()
+        .map(|u| net.graph.name(u).unwrap_or("").to_string())
+        .collect();
+    let vocab = net.model.vocab().clone();
+    let opts = EmOptions {
+        max_iters: 6,
+        ..Default::default()
+    };
+
+    // stamp the log into a stream: the first 60% is the warm-up prefix
+    // the serving layer opens on, the tail is what the loop ingests
+    let actions = stream::timeline(&net.log, &StreamConfig::default());
+    let split = actions.len() * 3 / 5;
+    let mut warmup_log = ActionLog::new();
+    for a in &actions[..split] {
+        match &a.event {
+            StreamEvent::Item(item) => {
+                warmup_log.push_item(item.origin, item.keywords.clone());
+            }
+            StreamEvent::Trial(t) => warmup_log.push_trial(t.item, t.src, t.dst, t.activated),
+        }
+    }
+    let t0 = Instant::now();
+    let warm = TicEm::new(opts.clone()).fit(&warmup_log, vocab.clone(), names.clone());
+    let t_warm = t0.elapsed();
+    rec.stage("warmup-fit", t_warm);
+    let total_topics = warm.graph.num_topics();
+
+    // the engines open on the warm-up model WITH a cache dir: the swaps
+    // must exercise per-topic unit reuse, which is what the loop is for
+    let dir = ARTIFACT_CACHE
+        .get()
+        .cloned()
+        .unwrap_or_else(std::env::temp_dir)
+        .join(format!("ingest-workload-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = OctopusConfig {
+        kim: KimEngineChoice::BestEffort(BoundKind::Precomputation),
+        piks_index_size: 1024,
+        k_max: 25,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let target = match shards {
+        None => {
+            let engine =
+                Octopus::open_or_build(warm.graph.clone(), warm.model.clone(), config, &dir)
+                    .expect("warm-up epoch builds")
+                    .with_user_keywords(user_keywords(&net));
+            ServeTarget::Single(Box::new(OctopusService::with_cache_dir(engine, &dir)))
+        }
+        Some(k) => {
+            let service = ShardedService::with_options(
+                warm.graph.clone(),
+                warm.model.clone(),
+                config,
+                k,
+                Some(dir.clone()),
+                false,
+                user_keywords(&net),
+            )
+            .expect("shard engines build");
+            ServeTarget::Sharded(Box::new(service))
+        }
+    };
+    let t_epoch0 = t0.elapsed();
+    rec.stage("epoch0-build", t_epoch0);
+    println!(
+        "workload: {} researchers, {} learned edges ×{} shard(s); warm-up fit {} over {} actions, epoch 0 built in {}",
+        net.graph.node_count(),
+        warm.graph.edge_count(),
+        target.shard_count(),
+        fmt_duration(t_warm),
+        split,
+        fmt_duration(t_epoch0),
+    );
+
+    let pools = MixPools::from_network(&net);
+    let service: &dyn QueryService = target.service();
+    // the 0.005 threshold keeps deltas entry-sparse: sub-threshold moves
+    // stay at the served value bitwise (and accumulate across windows),
+    // so each delta's footprint is the materially moving topics only
+    let mut learner = WindowedLearner::new(
+        opts,
+        vocab,
+        names,
+        warmup_log,
+        warm,
+        NewEdgePolicy::Defer,
+        0.005,
+    );
+    // cap 2 topics per batch, at most 6 swaps per window: the confined
+    // flushes carry the reuse payoff, the budget bounds rebuild work
+    let mut pipeline = IngestPipeline::new(service, 2, total_topics).with_flush_budget(6);
+    let tail: Vec<stream::Action> = actions[split..].to_vec();
+    let tail_len = tail.len();
+    let window_size = (tail_len / s.ingest_windows.max(2)).max(1);
+
+    struct QueryLog {
+        latencies: Vec<Duration>,
+        issued: u64,
+        errors: u64,
+        epochs: Option<(u64, u64)>,
+    }
+    let stop = AtomicBool::new(false);
+    let mut window_rows: Vec<(WindowReport, usize, usize, u64)> = Vec::new();
+    let mut loop_error: Option<String> = None;
+    let run_start = Instant::now();
+
+    let query_logs: Vec<QueryLog> = std::thread::scope(|sc| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let pools = &pools;
+            let stop = &stop;
+            handles.push(sc.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x16E5_7000 + w as u64);
+                let mut log = QueryLog {
+                    latencies: Vec::new(),
+                    issued: 0,
+                    errors: 0,
+                    epochs: None,
+                };
+                // run until the loop closes; the floor makes even a
+                // degenerate instant loop issue real traffic
+                while log.issued < 20 || !stop.load(SeqCst) {
+                    let query = mix(&mut rng, pools);
+                    match service.execute(&query, &QueryBudget::unlimited()) {
+                        Ok(a) => {
+                            log.latencies.push(a.latency);
+                            log.epochs = Some(match log.epochs {
+                                None => (a.epoch, a.epoch),
+                                Some((lo, hi)) => (lo.min(a.epoch), hi.max(a.epoch)),
+                            });
+                        }
+                        Err(_) => log.errors += 1,
+                    }
+                    log.issued += 1;
+                }
+                log
+            }));
+        }
+
+        // the ingest driver: consume the bounded replay, close a window
+        // every `window_size` actions, refit, batch, flush
+        let rx = stream::spawn_replay(tail, 256);
+        let mut in_window = 0u64;
+        let mut watermark = 0u64;
+        let mut consumed = 0usize;
+        for action in rx.iter() {
+            watermark = watermark.max(action.at_ms);
+            learner.observe(&action);
+            in_window += 1;
+            consumed += 1;
+            if in_window as usize >= window_size || consumed == tail_len {
+                let pre = learner.shadow().clone();
+                let closed = Instant::now();
+                let outcome = match learner.fit_window() {
+                    Ok(o) => o,
+                    Err(e) => {
+                        loop_error = Some(format!("window fit failed: {e}"));
+                        break;
+                    }
+                };
+                let (iters, deferred) = (outcome.iterations, outcome.edges_deferred);
+                match pipeline.submit_window(outcome.deltas, &pre, in_window, watermark, closed) {
+                    Ok(report) => window_rows.push((report, iters, deferred, in_window)),
+                    Err(e) => {
+                        loop_error = Some(format!("window flush failed: {e}"));
+                        break;
+                    }
+                }
+                in_window = 0;
+            }
+        }
+        stop.store(true, SeqCst);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query worker panicked"))
+            .collect()
+    });
+    let wall = run_start.elapsed();
+    std::fs::remove_dir_all(&dir).ok();
+    let stats = pipeline.stats().clone();
+
+    let mut tw = Table::new(
+        "INGEST: per-window fit → batch → swap trajectory",
+        &[
+            "window",
+            "actions",
+            "em iters",
+            "deltas",
+            "batches",
+            "topics",
+            "swaps",
+            "deferred",
+            "act→serve",
+        ],
+    );
+    for (report, iters, deferred, acts) in &window_rows {
+        tw.row(vec![
+            report.window.to_string(),
+            acts.to_string(),
+            iters.to_string(),
+            report.deltas.to_string(),
+            report.batches.to_string(),
+            report.topics_touched.to_string(),
+            report.swaps.len().to_string(),
+            deferred.to_string(),
+            fmt_duration(report.latency),
+        ]);
+    }
+    emit(&tw);
+
+    let mut tsw = Table::new(
+        "INGEST: weight-stage unit reuse per swap (per-topic invalidation payoff)",
+        &[
+            "window",
+            "shard",
+            "epoch",
+            "deltas",
+            "rebuild",
+            "weight units reused",
+        ],
+    );
+    for (report, ..) in &window_rows {
+        for swap in &report.swaps {
+            let (reused, total) = swap
+                .report
+                .stage_reuse
+                .iter()
+                .filter(|x| WEIGHT_STAGES.contains(&x.stage))
+                .fold((0u64, 0u64), |(r, t), x| {
+                    (r + x.reused as u64, t + x.total as u64)
+                });
+            tsw.row(vec![
+                report.window.to_string(),
+                swap.shard.to_string(),
+                swap.report.epoch.to_string(),
+                swap.report.deltas_applied.to_string(),
+                fmt_duration(swap.report.rebuild_time),
+                format!("{reused}/{total}"),
+            ]);
+        }
+    }
+    emit(&tsw);
+
+    let mut samples: Vec<Duration> = Vec::new();
+    let mut issued = 0u64;
+    let mut errors = 0u64;
+    let mut epochs: Option<(u64, u64)> = None;
+    for log in query_logs {
+        samples.extend(log.latencies);
+        issued += log.issued;
+        errors += log.errors;
+        if let Some((lo, hi)) = log.epochs {
+            epochs = Some(match epochs {
+                None => (lo, hi),
+                Some((a, b)) => (a.min(lo), b.max(hi)),
+            });
+        }
+    }
+    let total_deferred: usize = window_rows.iter().map(|(_, _, d, _)| d).sum();
+    let (p50, p95, p99) = (
+        percentile(&mut samples, 50.0),
+        percentile(&mut samples, 95.0),
+        percentile(&mut samples, 99.0),
+    );
+    let max_lat = samples.last().copied().unwrap_or(Duration::ZERO);
+    println!(
+        "aggregate: {} actions → {} windows → {} batches → {} swaps; {:.1}% weight-unit reuse; \
+         watermark {} ms; {} queries ({:.0} q/s, {} errors) across epochs {:?} in {}",
+        stats.actions_consumed,
+        stats.windows_fit,
+        stats.batches_flushed,
+        stats.swaps,
+        stats.reuse_ratio() * 100.0,
+        stats.watermark_ms,
+        issued,
+        issued as f64 / wall.as_secs_f64().max(1e-9),
+        errors,
+        epochs,
+        fmt_duration(wall),
+    );
+
+    rec.op(
+        "ingest-mix",
+        Quantiles::from_durations(p50, p95, p99, max_lat, samples.len() as u64),
+    );
+    rec.note("ingest_actions", stats.actions_consumed as f64)
+        .note("ingest_windows", stats.windows_fit as f64)
+        .note("ingest_deltas", stats.deltas_submitted as f64)
+        .note("ingest_batches", stats.batches_flushed as f64)
+        .note("ingest_swaps", stats.swaps as f64)
+        .note("ingest_weights_moved", stats.weights_moved as f64)
+        .note("ingest_topics_touched", stats.topics_touched as f64)
+        .note("ingest_weight_reuse_ratio", stats.reuse_ratio())
+        .note("ingest_deferred_edges", total_deferred as f64)
+        .note("ingest_queries", issued as f64)
+        .note("ingest_query_errors", errors as f64)
+        .note(
+            "ingest_query_qps",
+            issued as f64 / wall.as_secs_f64().max(1e-9),
+        )
+        .note("ingest_window_max_ms", record::ms(stats.max_window_latency))
+        .note("ingest_watermark_ms", stats.watermark_ms as f64);
+
+    let mut healthy = true;
+    if let Some(e) = &loop_error {
+        eprintln!("[ingest] FAIL: {e}");
+        healthy = false;
+    }
+    if errors > 0 {
+        eprintln!("[ingest] FAIL: {errors} query errors while the loop ran");
+        healthy = false;
+    }
+    if stats.swaps < 2 {
+        eprintln!(
+            "[ingest] FAIL: only {} epoch swaps landed — the loop never closed twice",
+            stats.swaps
+        );
+        healthy = false;
+    }
+    if stats.reuse_ratio() <= 0.0 {
+        eprintln!(
+            "[ingest] FAIL: zero per-topic weight-unit reuse — every flush rebuilt every topic"
+        );
+        healthy = false;
+    }
+    if stats.batches_dropped > 0 {
+        eprintln!(
+            "[ingest] FAIL: {} delta batches dropped as terminal",
+            stats.batches_dropped
+        );
+        healthy = false;
+    }
+    if healthy {
+        println!(
+            "[ingest] OK: {} swaps landed under live queries with {:.1}% weight-unit reuse and zero query errors",
+            stats.swaps,
+            stats.reuse_ratio() * 100.0
+        );
+    }
+    healthy
+}
+
 /// Quality-vs-budget sweep (`--budget-sweep`): run the anytime
 /// `find_influencers` at increasing sample budgets against the exact run
 /// and append the recall@k curve to the `serve` trajectory, so the
@@ -2098,6 +2536,16 @@ fn main() {
         },
         None => None,
     };
+    let ingest_workers = match args.iter().position(|a| a == "--ingest") {
+        Some(i) => match args.get(i + 1).and_then(|w| w.parse::<usize>().ok()) {
+            Some(w) if w > 0 => Some(w),
+            _ => {
+                eprintln!("--ingest requires a positive query-worker count argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     let shards = match args.iter().position(|a| a == "--shards") {
         Some(i) => match args.get(i + 1).and_then(|k| k.parse::<usize>().ok()) {
             Some(k) if k > 0 => Some(k),
@@ -2153,6 +2601,7 @@ fn main() {
                 || *a == "--artifact-cache"
                 || *a == "--delta"
                 || *a == "--serve"
+                || *a == "--ingest"
                 || *a == "--shards"
                 || *a == "--serve-p99-ms"
                 || *a == "--budget-ms"
@@ -2170,6 +2619,8 @@ fn main() {
     // one trajectory record per invocation, named after the dominant mode
     let workload = if open_bench {
         "open-bench"
+    } else if ingest_workers.is_some() {
+        "ingest"
     } else if serve_workers.is_some() || budget_sweep {
         // the quality-vs-budget curve lives in the serve trajectory: it
         // gates the same serving-layer answers
@@ -2180,7 +2631,7 @@ fn main() {
         "sweep"
     };
     let descriptor = format!(
-        "{workload}|quick={quick}|paranoid={paranoid}|delta={delta_k:?}|serve={serve_workers:?}|shards={shards:?}|budget_ms={budget_ms:?}|shed={shed}|sweep={budget_sweep}|picks={picks:?}|authors={}|papers={}",
+        "{workload}|quick={quick}|paranoid={paranoid}|delta={delta_k:?}|serve={serve_workers:?}|ingest={ingest_workers:?}|shards={shards:?}|budget_ms={budget_ms:?}|shed={shed}|sweep={budget_sweep}|picks={picks:?}|authors={}|papers={}",
         s.citation_authors, s.citation_papers
     );
     let mut rec = BenchRecord::new(
@@ -2194,10 +2645,15 @@ fn main() {
 
     let t0 = Instant::now();
     let mut healthy = true;
-    if open_bench || delta_k.is_some() || serve_workers.is_some() || budget_sweep {
-        // the open-bench, delta, serve, and budget-sweep modes are their
-        // own workloads: run them (plus any explicitly picked experiments)
-        // instead of the full default sweep
+    if open_bench
+        || delta_k.is_some()
+        || serve_workers.is_some()
+        || ingest_workers.is_some()
+        || budget_sweep
+    {
+        // the open-bench, delta, serve, ingest, and budget-sweep modes are
+        // their own workloads: run them (plus any explicitly picked
+        // experiments) instead of the full default sweep
         if open_bench {
             healthy &= open_bench_workload(&s, paranoid, &mut rec);
         }
@@ -2206,6 +2662,9 @@ fn main() {
         }
         if let Some(workers) = serve_workers {
             healthy &= serve_workload(&s, workers, shards, serve_p99, budget_ms, shed, &mut rec);
+        }
+        if let Some(workers) = ingest_workers {
+            healthy &= ingest_workload(&s, workers, shards, &mut rec);
         }
         if budget_sweep {
             healthy &= budget_sweep_workload(&s, &mut rec);

@@ -23,14 +23,14 @@
 //! generator measures it.
 
 use crate::workloads::prolific_users;
-use octopus_core::engine::{KimAnswer, SuggestAnswer};
-use octopus_core::paths::{ExploreDirection, PathExploration};
-use octopus_core::serve::{OctopusService, Operator, Served, ShardSwap, ShardedService};
-use octopus_core::{Anytime, CoreError, QueryBudget};
+use octopus_core::paths::ExploreDirection;
+use octopus_core::serve::{
+    OctopusService, Operator, Query, QueryService, ShardSwap, ShardedService,
+};
+use octopus_core::{CoreError, QueryBudget};
 use octopus_data::SyntheticNetwork;
 use octopus_graph::delta::GraphDelta;
-use octopus_graph::{EdgeId, NodeId};
-use octopus_topics::radar::RadarChart;
+use octopus_graph::EdgeId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
@@ -90,158 +90,21 @@ pub enum ServeTarget {
 }
 
 impl ServeTarget {
+    /// Both flavors behind the one face the loops actually use — the
+    /// unified [`QueryService`] trait. This (plus `shard_count` below)
+    /// is the *only* flavor dispatch left in the whole generator: the
+    /// workers execute [`Query`] values, the mutator submits and
+    /// flushes deltas, all through the trait.
+    pub fn service(&self) -> &dyn QueryService {
+        match self {
+            ServeTarget::Single(s) => s.as_ref(),
+            ServeTarget::Sharded(s) => s.as_ref(),
+        }
+    }
+
     /// Number of shards serving (1 for the unsharded service).
     pub fn shard_count(&self) -> usize {
-        match self {
-            ServeTarget::Single(_) => 1,
-            ServeTarget::Sharded(s) => s.shard_count(),
-        }
-    }
-
-    fn edge_count(&self) -> usize {
-        match self {
-            ServeTarget::Single(s) => s.snapshot().engine().graph().edge_count(),
-            ServeTarget::Sharded(s) => s.edge_count(),
-        }
-    }
-
-    fn handle(&self, budget: QueryBudget) -> Handle<'_> {
-        match self {
-            ServeTarget::Single(s) => {
-                let mut session = s.session();
-                session.set_budget(budget);
-                Handle::Single(Box::new(session))
-            }
-            ServeTarget::Sharded(s) => Handle::Sharded { service: s, budget },
-        }
-    }
-
-    fn submit(&self, delta: GraphDelta) {
-        match self {
-            ServeTarget::Single(s) => s.submit(delta),
-            ServeTarget::Sharded(s) => s.submit(delta),
-        }
-    }
-
-    /// Flush pending deltas; one [`ShardSwap`] per swapped shard (the
-    /// unsharded service reports as shard 0).
-    fn apply_pending(&self) -> octopus_core::Result<Vec<ShardSwap>> {
-        match self {
-            ServeTarget::Single(s) => Ok(s
-                .apply_pending()?
-                .map(|report| vec![ShardSwap { shard: 0, report }])
-                .unwrap_or_default()),
-            ServeTarget::Sharded(s) => s.apply_pending(),
-        }
-    }
-
-    /// `(deltas_applied, batches_failed)` counters.
-    fn counters(&self) -> (u64, u64) {
-        match self {
-            ServeTarget::Single(s) => {
-                let st = s.stats();
-                (st.deltas_applied, st.batches_failed)
-            }
-            ServeTarget::Sharded(s) => {
-                let st = s.stats();
-                (st.deltas_applied, st.batches_failed)
-            }
-        }
-    }
-}
-
-/// One worker's query interface over either target flavor (the session
-/// is boxed — it carries per-session stats, the router reference is a
-/// pointer).
-enum Handle<'a> {
-    Single(Box<octopus_core::serve::Session<'a>>),
-    Sharded {
-        service: &'a ShardedService,
-        budget: QueryBudget,
-    },
-}
-
-/// Unwrap a budgeted answer for latency accounting (the load generator
-/// measures; the anytime tests certify the bounds).
-fn flatten<T>(served: Served<Anytime<T>>) -> Served<T> {
-    Served {
-        value: served.value.value,
-        epoch: served.epoch,
-        latency: served.latency,
-    }
-}
-
-impl Handle<'_> {
-    fn find_influencers(&mut self, q: &str, k: usize) -> octopus_core::Result<Served<KimAnswer>> {
-        match self {
-            Handle::Single(s) if s.budget().is_unlimited() => s.find_influencers(q, k),
-            Handle::Single(s) => s.find_influencers_budgeted(q, k).map(flatten),
-            Handle::Sharded { service, budget } if budget.is_unlimited() => {
-                service.find_influencers(q, k)
-            }
-            Handle::Sharded { service, budget } => {
-                service.find_influencers_budgeted(q, k, budget).map(flatten)
-            }
-        }
-    }
-
-    fn suggest_keywords(
-        &mut self,
-        user: &str,
-        k: usize,
-    ) -> octopus_core::Result<Served<SuggestAnswer>> {
-        match self {
-            Handle::Single(s) if s.budget().is_unlimited() => s.suggest_keywords(user, k),
-            Handle::Single(s) => s.suggest_keywords_budgeted(user, k).map(flatten),
-            Handle::Sharded { service, budget } if budget.is_unlimited() => {
-                service.suggest_keywords(user, k)
-            }
-            Handle::Sharded { service, budget } => service
-                .suggest_keywords_budgeted(user, k, budget)
-                .map(flatten),
-        }
-    }
-
-    fn explore_paths(
-        &mut self,
-        user: &str,
-        direction: ExploreDirection,
-        query: Option<&str>,
-    ) -> octopus_core::Result<Served<PathExploration>> {
-        match self {
-            Handle::Single(s) if s.budget().is_unlimited() => {
-                s.explore_paths(user, direction, query)
-            }
-            Handle::Single(s) => s
-                .explore_paths_budgeted(user, direction, query)
-                .map(flatten),
-            Handle::Sharded { service, budget } if budget.is_unlimited() => {
-                service.explore_paths(user, direction, query)
-            }
-            Handle::Sharded { service, budget } => service
-                .explore_paths_budgeted(user, direction, query, budget)
-                .map(flatten),
-        }
-    }
-
-    fn autocomplete(&mut self, prefix: &str, limit: usize) -> Served<Vec<(NodeId, String, f64)>> {
-        match self {
-            Handle::Single(s) => s.autocomplete(prefix, limit),
-            Handle::Sharded { service, .. } => service.autocomplete(prefix, limit),
-        }
-    }
-
-    fn keyword_radar(&mut self, word: &str) -> octopus_core::Result<Served<RadarChart>> {
-        match self {
-            Handle::Single(s) if s.budget().is_unlimited() => s.keyword_radar(word),
-            Handle::Single(s) => s.keyword_radar_budgeted(word).map(flatten),
-            Handle::Sharded { service, budget } if budget.is_unlimited() => {
-                service.keyword_radar(word)
-            }
-            Handle::Sharded { service, budget } => {
-                service.keyword_radar_budgeted(word, budget).map(flatten)
-            }
-        }
+        self.service().shard_count()
     }
 }
 
@@ -387,7 +250,7 @@ struct WorkerLog {
 /// the target's own (possibly multi-shard) edge range.
 pub fn run(target: ServeTarget, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -> ServeLoadReport {
     let pools = MixPools::from_network(net);
-    let service = target;
+    let service = target.service();
     let edge_count = service.edge_count();
     let mutations_done = AtomicBool::new(false);
     let start = Instant::now();
@@ -395,75 +258,57 @@ pub fn run(target: ServeTarget, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -
     let (logs, swaps) = std::thread::scope(|s| {
         let mut workers = Vec::new();
         for w in 0..cfg.workers {
-            let service = &service;
             let pools = &pools;
             let mutations_done = &mutations_done;
             workers.push(s.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (0xA11CE + w as u64));
-                let mut session = service.handle(cfg.budget);
                 let mut log = WorkerLog::default();
                 let mut issued = 0usize;
-                // per-op outcome: Ok carries the measurement, Err is split
-                // into shed (admission said no; nothing ran) vs real error
-                enum Outcome {
-                    Ok(Duration, u64),
-                    Shed,
-                    Err,
-                }
-                fn outcome<T>(r: octopus_core::Result<Served<T>>) -> Outcome {
-                    match r {
-                        Ok(a) => Outcome::Ok(a.latency, a.epoch),
-                        Err(CoreError::Overloaded { .. }) => Outcome::Shed,
-                        Err(_) => Outcome::Err,
-                    }
-                }
                 while issued < cfg.min_queries_per_worker || !mutations_done.load(SeqCst) {
                     let roll = rng.random_range(0..100u32);
-                    let (op, out) = if roll < 40 {
+                    let query = if roll < 40 {
                         let q = &pools.queries[rng.random_range(0..pools.queries.len())];
-                        let k = rng.random_range(1..=8usize);
-                        (0, outcome(session.find_influencers(q, k)))
+                        Query::FindInfluencers {
+                            query: q.clone(),
+                            k: rng.random_range(1..=8usize),
+                        }
                     } else if roll < 60 {
                         let u = &pools.users[rng.random_range(0..pools.users.len())];
-                        (1, outcome(session.suggest_keywords(u, 2)))
+                        Query::SuggestKeywords {
+                            user: u.clone(),
+                            k: 2,
+                        }
                     } else if roll < 75 {
                         let u = &pools.users[rng.random_range(0..pools.users.len())];
                         let q = &pools.queries[rng.random_range(0..pools.queries.len())];
-                        (
-                            2,
-                            outcome(session.explore_paths(
-                                u,
-                                ExploreDirection::Influences,
-                                Some(q),
-                            )),
-                        )
+                        Query::ExplorePaths {
+                            user: u.clone(),
+                            direction: ExploreDirection::Influences,
+                            query: Some(q.clone()),
+                        }
                     } else if roll < 90 {
                         let p = &pools.prefixes[rng.random_range(0..pools.prefixes.len())];
-                        let a = session.autocomplete(p, 10);
-                        (3, Outcome::Ok(a.latency, a.epoch))
+                        Query::Autocomplete {
+                            prefix: p.clone(),
+                            limit: 10,
+                        }
                     } else {
                         let word = &pools.words[rng.random_range(0..pools.words.len())];
-                        (4, outcome(session.keyword_radar(word)))
+                        Query::KeywordRadar { word: word.clone() }
                     };
-                    let epoch = match out {
-                        Outcome::Ok(latency, epoch) => {
-                            log.latencies[op].push(latency);
-                            Some(epoch)
+                    let op = query.operator().index();
+                    // the answer payload is discarded — the generator
+                    // measures; correctness is what the serve tests pin
+                    match service.execute(&query, &cfg.budget) {
+                        Ok(a) => {
+                            log.latencies[op].push(a.latency);
+                            log.epochs = Some(match log.epochs {
+                                None => (a.epoch, a.epoch),
+                                Some((lo, hi)) => (lo.min(a.epoch), hi.max(a.epoch)),
+                            });
                         }
-                        Outcome::Shed => {
-                            log.shed[op] += 1;
-                            None
-                        }
-                        Outcome::Err => {
-                            log.errors[op] += 1;
-                            None
-                        }
-                    };
-                    if let Some(e) = epoch {
-                        log.epochs = Some(match log.epochs {
-                            None => (e, e),
-                            Some((lo, hi)) => (lo.min(e), hi.max(e)),
-                        });
+                        Err(CoreError::Overloaded { .. }) => log.shed[op] += 1,
+                        Err(_) => log.errors[op] += 1,
                     }
                     issued += 1;
                 }
@@ -479,12 +324,12 @@ pub fn run(target: ServeTarget, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -
             for _ in 0..cfg.delta_batches {
                 std::thread::sleep(cfg.batch_pause);
                 for _ in 0..cfg.edges_per_batch {
-                    service.submit(GraphDelta::NudgeWeights {
+                    service.submit_delta(GraphDelta::NudgeWeights {
                         edges: vec![EdgeId(rng.random_range(0..edge_count as u32))],
                         delta: 0.02,
                     });
                 }
-                if let Ok(mut batch_swaps) = service.apply_pending() {
+                if let Ok(mut batch_swaps) = service.flush_deltas() {
                     swaps.append(&mut batch_swaps);
                 }
             }
@@ -542,7 +387,8 @@ pub fn run(target: ServeTarget, net: &SyntheticNetwork, cfg: &ServeLoadConfig) -
     let total_queries: u64 = per_op.iter().map(|r| r.queries).sum();
     let total_errors: u64 = per_op.iter().map(|r| r.errors).sum();
     let total_shed: u64 = per_op.iter().map(|r| r.shed).sum();
-    let (deltas_applied, batches_failed) = service.counters();
+    let counters = service.delta_counters();
+    let (deltas_applied, batches_failed) = (counters.deltas_applied, counters.batches_failed);
     ServeLoadReport {
         wall,
         per_op,

@@ -63,6 +63,39 @@ pub fn disjoint_copies(net: &SyntheticNetwork, copies: usize) -> octopus_graph::
     b.build().expect("copied graph builds")
 }
 
+/// `copies` disjoint copies of the *whole* network — graph, action log
+/// (node ids shifted per copy, items renumbered), shared topic model —
+/// for workloads that learn from the log while serving sharded (the
+/// ingest loop at K>1). [`disjoint_copies`] only clones the graph;
+/// the ingestion loop also needs the cascades each copy's learner
+/// re-fits, living on that copy's node ids.
+pub fn replicated(net: &SyntheticNetwork, copies: usize) -> SyntheticNetwork {
+    use octopus_graph::NodeId;
+    let copies = copies.max(1);
+    let graph = disjoint_copies(net, copies);
+    let mut log = octopus_data::ActionLog::new();
+    let by_item = net.log.trials_by_item();
+    for c in 0..copies {
+        let base = (c * net.graph.node_count()) as u32;
+        for item in net.log.items() {
+            let id = log.push_item(NodeId(item.origin.0 + base), item.keywords.clone());
+            for t in &by_item[item.id.index()] {
+                log.push_trial(
+                    id,
+                    NodeId(t.src.0 + base),
+                    NodeId(t.dst.0 + base),
+                    t.activated,
+                );
+            }
+        }
+    }
+    SyntheticNetwork {
+        graph,
+        model: net.model.clone(),
+        log,
+    }
+}
+
 /// The messenger workload (experiment E8).
 pub fn messenger_default() -> SyntheticNetwork {
     messenger_sized(3000)

@@ -1,0 +1,356 @@
+//! End-to-end pinning of the ingestion loop (stream → windowed warm
+//! refit → topic-batched deltas → epoch swaps) plus the topic-batcher
+//! contracts it relies on.
+//!
+//! The load-bearing assertion: after the loop drains, the graph the
+//! serving layer answers from is **bit-identical** to the learner's
+//! shadow, which (under `min_change = 0` and the `Insert` policy) is
+//! bit-identical to the final learned graph — so served answers match a
+//! fresh engine built from that graph exactly. The chain only holds
+//! because every link is deterministic: the stream (`timeline`), the
+//! warm refit (`crates/data/tests/learn_determinism.rs`), the diff, and
+//! delta application.
+//!
+//! The batcher side pins the per-topic payoff the loop exists for: a
+//! batch confined to `T` of `Z` topics reuses at least `Z − T` units
+//! per weight stage on its swap (`spread-cap`, `pb-bound`,
+//! `mis-tables` — hash-keyed per topic, so confinement is exactly what
+//! keeps the other topics' keys unchanged), the planner respects its
+//! cap deterministically without reordering same-edge deltas, and the
+//! flush budget coalesces a wide plan without changing the final graph.
+
+use octopus_bench::serve_load::MixPools;
+use octopus_bench::workloads::citation_sized;
+use octopus_core::engine::{Octopus, OctopusConfig};
+use octopus_core::serve::ingest::WEIGHT_STAGES;
+use octopus_core::serve::{IngestPipeline, OctopusService, Query, QueryService, TopicBatcher};
+use octopus_core::QueryBudget;
+use octopus_data::{
+    stream, ActionLog, EmOptions, NewEdgePolicy, StreamConfig, StreamEvent, TicEm, WindowedLearner,
+};
+use octopus_graph::delta::GraphDelta;
+use octopus_graph::{GraphBuilder, TopicGraph};
+use octopus_topics::{TopicModel, Vocabulary};
+use std::time::Instant;
+
+#[test]
+fn closed_loop_serves_exactly_the_learned_graph() {
+    let net = citation_sized(60, 150);
+    let opts = EmOptions {
+        max_iters: 4,
+        ..Default::default()
+    };
+    let names: Vec<String> = net
+        .graph
+        .nodes()
+        .map(|u| net.graph.name(u).unwrap_or("").to_string())
+        .collect();
+    let vocab = net.model.vocab().clone();
+    let config = OctopusConfig {
+        piks_index_size: 64,
+        mis_rr_per_topic: 100,
+        k_max: 5,
+        ..Default::default()
+    };
+
+    // warm up on the stream's first 60%, exactly as the runner does
+    let actions = stream::timeline(&net.log, &StreamConfig::default());
+    let split = actions.len() * 3 / 5;
+    let mut warmup_log = ActionLog::new();
+    for a in &actions[..split] {
+        match &a.event {
+            StreamEvent::Item(item) => {
+                warmup_log.push_item(item.origin, item.keywords.clone());
+            }
+            StreamEvent::Trial(t) => warmup_log.push_trial(t.item, t.src, t.dst, t.activated),
+        }
+    }
+    let warm = TicEm::new(opts.clone()).fit(&warmup_log, vocab.clone(), names.clone());
+    let model = warm.model.clone();
+
+    let dir = std::env::temp_dir().join("octopus_ingest_loop_e2e");
+    std::fs::remove_dir_all(&dir).ok();
+    let engine =
+        Octopus::open_or_build(warm.graph.clone(), model.clone(), config.clone(), &dir).unwrap();
+    let service = OctopusService::with_cache_dir(engine, &dir);
+    let mut learner = WindowedLearner::new(
+        opts,
+        vocab,
+        names,
+        warmup_log,
+        warm,
+        NewEdgePolicy::Insert,
+        0.0, // bitwise: the shadow must BE the learned graph
+    );
+    let total_topics = net.graph.num_topics();
+    let mut pipeline = IngestPipeline::new(&service, 2, total_topics);
+
+    // replay the tail through the bounded channel in three windows,
+    // interleaving a query after every swap to prove the loop serves
+    // while it ingests
+    let pools = MixPools::from_network(&net);
+    let tail: Vec<_> = actions[split..].to_vec();
+    let window_size = (tail.len() / 3).max(1);
+    // a long cascade's trailing trials can outlast the next item's
+    // arrival, so the watermark is the max timestamp, not the last
+    let newest_at_ms = tail.iter().map(|a| a.at_ms).max().unwrap();
+    let budget = QueryBudget::unlimited();
+    let mut consumed = 0usize;
+    let mut in_window = 0usize;
+    let mut watermark = 0u64;
+    let mut epochs = Vec::new();
+    for action in stream::spawn_replay(tail.clone(), 64) {
+        watermark = watermark.max(action.at_ms);
+        learner.observe(&action);
+        consumed += 1;
+        in_window += 1;
+        if in_window >= window_size || consumed == tail.len() {
+            let pre = learner.shadow().clone();
+            let closed = Instant::now();
+            let outcome = learner.fit_window().unwrap();
+            let report = pipeline
+                .submit_window(outcome.deltas, &pre, in_window as u64, watermark, closed)
+                .unwrap();
+            assert!(!report.swaps.is_empty(), "new evidence must swap an epoch");
+            in_window = 0;
+            let served = service
+                .execute(
+                    &Query::FindInfluencers {
+                        query: pools.queries[0].clone(),
+                        k: 5,
+                    },
+                    &budget,
+                )
+                .unwrap();
+            epochs.push(served.epoch);
+        }
+    }
+    assert_eq!(consumed, tail.len(), "the bounded replay must drain fully");
+
+    let stats = pipeline.stats();
+    assert_eq!(stats.windows_fit, 3);
+    assert_eq!(stats.actions_consumed, tail.len() as u64);
+    assert!(stats.swaps >= 2, "the loop must land at least two swaps");
+    assert_eq!(stats.batches_dropped, 0);
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.watermark_ms, newest_at_ms);
+    assert!(
+        epochs.windows(2).all(|w| w[0] < w[1]),
+        "each window's queries must see a newer epoch: {epochs:?}"
+    );
+
+    // the chain of bit-identities the loop guarantees
+    assert_eq!(
+        learner.shadow(),
+        &learner.learned().graph,
+        "min_change = 0 + Insert: the shadow is the learned graph"
+    );
+    assert_eq!(
+        service.snapshot().engine().graph(),
+        learner.shadow(),
+        "the served graph must be the shadow, bit for bit"
+    );
+
+    // served answers == a fresh engine built from the final learned graph
+    let fresh = Octopus::new(learner.learned().graph.clone(), model, config).unwrap();
+    let want = fresh.find_influencers(&pools.queries[0], 5).unwrap();
+    let got = service
+        .execute(
+            &Query::FindInfluencers {
+                query: pools.queries[0].clone(),
+                k: 5,
+            },
+            &budget,
+        )
+        .unwrap()
+        .value
+        .into_influencers()
+        .unwrap()
+        .value;
+    assert_eq!(got.seeds, want.seeds);
+    assert_eq!(got.result.seeds, want.result.seeds);
+    assert_eq!(got.result.spread.to_bits(), want.result.spread.to_bits());
+    let got = service
+        .execute(
+            &Query::Autocomplete {
+                prefix: pools.prefixes[0].clone(),
+                limit: 10,
+            },
+            &budget,
+        )
+        .unwrap()
+        .value
+        .into_completions()
+        .unwrap()
+        .value;
+    assert_eq!(got, fresh.autocomplete(&pools.prefixes[0], 10));
+    let got = service
+        .execute(
+            &Query::SuggestKeywords {
+                user: pools.users[0].clone(),
+                k: 3,
+            },
+            &budget,
+        )
+        .unwrap()
+        .value
+        .into_suggestions()
+        .unwrap()
+        .value;
+    let want = fresh.suggest_keywords(&pools.users[0], 3).unwrap();
+    assert_eq!(got.user, want.user);
+    assert_eq!(got.words, want.words);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A 4-topic star: the hub's edge to spoke 0 carries all four topics
+/// (so a one-topic change can restate the rest bitwise), the remaining
+/// spokes give each topic its own edge.
+fn tiny_fixture() -> (TopicGraph, TopicModel, OctopusConfig) {
+    let mut b = GraphBuilder::new(4);
+    let hub = b.add_node("hub-main");
+    let first = b.add_node("spoke-0");
+    b.add_edge(hub, first, &[(0, 0.5), (1, 0.25), (2, 0.25), (3, 0.25)])
+        .unwrap();
+    for z in 1..4 {
+        let v = b.add_node(format!("spoke-{z}"));
+        b.add_edge(hub, v, &[(z, 0.5)]).unwrap();
+    }
+    let g = b.build().unwrap();
+    let mut vocab = Vocabulary::new();
+    for w in ["alpha", "beta", "gamma", "delta"] {
+        vocab.intern(w);
+    }
+    let rows = (0..4)
+        .map(|z| (0..4).map(|w| if w == z { 0.85 } else { 0.05 }).collect())
+        .collect();
+    let model = TopicModel::from_rows(vocab, rows, vec![0.25; 4]).unwrap();
+    let config = OctopusConfig {
+        piks_index_size: 32,
+        mis_rr_per_topic: 64,
+        k_max: 2,
+        ..Default::default()
+    };
+    (g, model, config)
+}
+
+/// One f64-exact single-topic row change on the hub→spoke-0 edge: only
+/// topic `z` moves, every other entry is restated bitwise.
+fn one_topic_delta(g: &TopicGraph, z: usize, to: f64) -> GraphDelta {
+    let edge = g
+        .find_edge(octopus_graph::NodeId(0), octopus_graph::NodeId(1))
+        .expect("fixture edge");
+    let probs = [(0, 0.5), (1, 0.25), (2, 0.25), (3, 0.25)]
+        .into_iter()
+        .map(|(t, p)| (t, if t == z { to } else { p }))
+        .collect();
+    GraphDelta::SetWeights { edge, probs }
+}
+
+#[test]
+fn topic_confined_batch_reuses_all_other_topics_units() {
+    let (g, model, config) = tiny_fixture();
+    let z_count = g.num_topics();
+    let dir = std::env::temp_dir().join("octopus_ingest_loop_reuse");
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Octopus::open_or_build(g.clone(), model, config, &dir).unwrap();
+    let service = OctopusService::with_cache_dir(engine, &dir);
+
+    let delta = one_topic_delta(&g, 0, 0.75);
+    let touched = delta.touched_topics(&g).unwrap();
+    assert_eq!(
+        touched.iter().copied().collect::<Vec<_>>(),
+        vec![0],
+        "restating the other entries bitwise must keep them out"
+    );
+    let plan = TopicBatcher::new(1).plan(std::slice::from_ref(&delta), &g);
+    assert_eq!(plan.len(), 1);
+    assert_eq!(plan[0].topics_touched(z_count), 1);
+
+    let mut pipeline = IngestPipeline::new(&service, 1, z_count);
+    let report = pipeline
+        .submit_window(vec![delta], &g, 1, 42, Instant::now())
+        .unwrap();
+    assert_eq!(report.batches, 1);
+    assert_eq!(report.swaps.len(), 1);
+    for stage in WEIGHT_STAGES {
+        let s = report.swaps[0]
+            .report
+            .stage_reuse
+            .iter()
+            .find(|s| s.stage == stage)
+            .unwrap_or_else(|| panic!("stage {stage} missing from the swap report"));
+        assert_eq!(s.total, z_count, "{stage} keys one unit per topic");
+        assert!(
+            s.reused >= z_count - 1,
+            "a 1-of-{z_count}-topic batch must reuse ≥ {} {stage} units, got {}/{}",
+            z_count - 1,
+            s.reused,
+            s.total
+        );
+    }
+    assert!(pipeline.stats().reuse_ratio() > 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batcher_respects_the_cap_and_never_reorders_same_edge_deltas() {
+    let (g, _, _) = tiny_fixture();
+    // six single-topic changes across four topics, with two hitting the
+    // same edge (the hub→spoke-0 row, topics 0 then 2): the second must
+    // not jump past the first even if an earlier batch has room
+    let deltas = vec![
+        one_topic_delta(&g, 0, 0.75),
+        one_topic_delta(&g, 1, 0.30),
+        one_topic_delta(&g, 2, 0.35),
+        one_topic_delta(&g, 3, 0.40),
+        one_topic_delta(&g, 0, 0.80),
+        one_topic_delta(&g, 2, 0.45),
+    ];
+    let batcher = TopicBatcher::new(2);
+    let plan = batcher.plan(&deltas, &g);
+    assert_eq!(plan, batcher.plan(&deltas, &g));
+    for batch in &plan {
+        assert!(
+            batch.topics_touched(4) <= 2,
+            "every batch must stay within the cap: {:?}",
+            batch.topics
+        );
+    }
+    // flattening the plan in batch order, same-edge deltas keep their
+    // submission order (they all rewrite the same row, so application
+    // order is the row's final value)
+    let flat: Vec<&GraphDelta> = plan.iter().flat_map(|b| b.deltas.iter()).collect();
+    let positions: Vec<usize> = deltas
+        .iter()
+        .map(|d| flat.iter().position(|x| *x == d).unwrap())
+        .collect();
+    assert!(positions[0] < positions[4], "topic-0 rewrites stay ordered");
+    assert!(positions[2] < positions[5], "topic-2 rewrites stay ordered");
+}
+
+#[test]
+fn flush_budget_coalesces_without_changing_the_final_graph() {
+    let (g, model, config) = tiny_fixture();
+    let deltas: Vec<GraphDelta> = (0..4).map(|z| one_topic_delta(&g, z, 0.6)).collect();
+    // uncoalesced, a cap of 1 splits the four disjoint topics four ways
+    assert_eq!(TopicBatcher::new(1).plan(&deltas, &g).len(), 4);
+
+    let service = OctopusService::new(Octopus::new(g.clone(), model, config).unwrap());
+    let mut pipeline = IngestPipeline::new(&service, 1, g.num_topics()).with_flush_budget(2);
+    let report = pipeline
+        .submit_window(deltas.clone(), &g, 4, 7, Instant::now())
+        .unwrap();
+    assert!(
+        report.batches <= 2,
+        "the budget must cap the swap count, got {}",
+        report.batches
+    );
+    assert_eq!(report.swaps.len(), report.batches);
+    let want = octopus_graph::delta::apply_all(&g, &deltas).unwrap();
+    assert_eq!(
+        service.snapshot().engine().graph(),
+        &want,
+        "coalescing batches must not change what the deltas compute"
+    );
+}

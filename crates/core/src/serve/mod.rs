@@ -52,11 +52,15 @@
 
 pub mod admission;
 mod epoch;
+pub mod ingest;
+mod query;
 mod session;
 pub mod shard;
 
 pub use admission::{AdmissionConfig, AdmissionController, Permit};
 pub use epoch::EpochCell;
+pub use ingest::{DeltaBatch, IngestPipeline, IngestStats, TopicBatcher, WindowReport};
+pub use query::{DeltaCounters, Query, QueryResponse, QueryService};
 pub use session::{OpStats, Operator, Served, Session, SessionStats};
 pub use shard::{ShardSwap, ShardedService, ShardedStats};
 

@@ -9,6 +9,7 @@
 //! an epoch swap; [`Session::pin`] freezes one snapshot for callers that
 //! need multi-query read consistency (a UI drilling into one answer).
 
+use super::query::{Query, QueryResponse};
 use super::{Epoch, OctopusService};
 use crate::budget::{Anytime, QueryBudget};
 use crate::engine::{KimAnswer, SuggestAnswer};
@@ -55,7 +56,8 @@ impl Operator {
         }
     }
 
-    fn index(self) -> usize {
+    /// Position in [`Operator::ALL`] (stable stats-array index).
+    pub fn index(self) -> usize {
         match self {
             Operator::FindInfluencers => 0,
             Operator::SuggestKeywords => 1,
@@ -75,6 +77,19 @@ pub struct Served<T> {
     pub epoch: u64,
     /// Wall-clock latency observed by the session (snapshot grab included).
     pub latency: Duration,
+}
+
+impl<T> Served<T> {
+    /// Transform the answer, keeping the epoch stamp and latency — how
+    /// the unified-query wrappers unwrap a [`QueryResponse`] variant
+    /// without forging either piece of metadata.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Served<U> {
+        Served {
+            value: f(self.value),
+            epoch: self.epoch,
+            latency: self.latency,
+        }
+    }
 }
 
 /// Accumulated counters for one operator within a session.
@@ -203,7 +218,12 @@ impl<'s> Session<'s> {
         }
     }
 
-    fn run<T>(&mut self, op: Operator, f: impl FnOnce(&Epoch) -> Result<T>) -> Result<Served<T>> {
+    fn run<T>(
+        &mut self,
+        op: Operator,
+        class: crate::PriorityClass,
+        f: impl FnOnce(&Epoch) -> Result<T>,
+    ) -> Result<Served<T>> {
         let start = Instant::now();
         // Admission first: a shed query never grabs a snapshot or
         // executes. Served::latency includes any admission wait — that
@@ -213,7 +233,7 @@ impl<'s> Session<'s> {
         let _permit = if op == Operator::Autocomplete {
             None
         } else {
-            match self.service.admit(self.budget.class) {
+            match self.service.admit(class) {
                 Ok(p) => p,
                 Err(e) => {
                     self.stats.record_shed(op);
@@ -233,18 +253,50 @@ impl<'s> Session<'s> {
         })
     }
 
+    /// Serve one unified [`Query`] under `budget` — the single entry
+    /// point every per-operator method below wraps. The budget's class
+    /// drives admission; its limits bind the anytime machinery, so an
+    /// unlimited budget answers bit-identically to the legacy exact
+    /// operators (pinned by `tests/query_api.rs`). Counted in the
+    /// session stats under [`Query::operator`], like any other query.
+    pub fn execute(
+        &mut self,
+        query: &Query,
+        budget: &QueryBudget,
+    ) -> Result<Served<QueryResponse>> {
+        let budget = *budget;
+        self.run(query.operator(), budget.class, |e| {
+            e.engine().execute(query, &budget)
+        })
+    }
+
+    /// The session budget with its limits stripped: what the legacy
+    /// exact operators run under (class kept — admission must treat a
+    /// plain call exactly as before the unified surface existed).
+    fn unlimited(&self) -> QueryBudget {
+        QueryBudget::unlimited().with_class(self.budget.class)
+    }
+
     /// Scenario 1: keyword-based influential user discovery.
     pub fn find_influencers(&mut self, query: &str, k: usize) -> Result<Served<KimAnswer>> {
-        self.run(Operator::FindInfluencers, |e| {
-            e.engine().find_influencers(query, k)
-        })
+        let budget = self.unlimited();
+        let q = Query::FindInfluencers {
+            query: query.into(),
+            k,
+        };
+        self.execute(&q, &budget)
+            .map(|s| s.map(|r| unwrap_variant(r.into_influencers()).value))
     }
 
     /// Scenario 2: personalized influential keyword suggestion by name.
     pub fn suggest_keywords(&mut self, user: &str, k: usize) -> Result<Served<SuggestAnswer>> {
-        self.run(Operator::SuggestKeywords, |e| {
-            e.engine().suggest_keywords(user, k)
-        })
+        let budget = self.unlimited();
+        let q = Query::SuggestKeywords {
+            user: user.into(),
+            k,
+        };
+        self.execute(&q, &budget)
+            .map(|s| s.map(|r| unwrap_variant(r.into_suggestions()).value))
     }
 
     /// Scenario 3: influential path exploration.
@@ -254,9 +306,14 @@ impl<'s> Session<'s> {
         direction: ExploreDirection,
         query: Option<&str>,
     ) -> Result<Served<PathExploration>> {
-        self.run(Operator::ExplorePaths, |e| {
-            e.engine().explore_paths(user, direction, query)
-        })
+        let budget = self.unlimited();
+        let q = Query::ExplorePaths {
+            user: user.into(),
+            direction,
+            query: query.map(str::to_string),
+        };
+        self.execute(&q, &budget)
+            .map(|s| s.map(|r| unwrap_variant(r.into_paths()).value))
     }
 
     /// Name auto-completion (infallible, still counted and epoch-stamped).
@@ -265,15 +322,22 @@ impl<'s> Session<'s> {
         prefix: &str,
         limit: usize,
     ) -> Served<Vec<(NodeId, String, f64)>> {
-        self.run(Operator::Autocomplete, |e| {
-            Ok(e.engine().autocomplete(prefix, limit))
-        })
-        .expect("autocomplete is infallible")
+        let budget = self.unlimited();
+        let q = Query::Autocomplete {
+            prefix: prefix.into(),
+            limit,
+        };
+        self.execute(&q, &budget)
+            .map(|s| s.map(|r| unwrap_variant(r.into_completions()).value))
+            .expect("autocomplete is infallible")
     }
 
     /// Radar chart for one keyword.
     pub fn keyword_radar(&mut self, word: &str) -> Result<Served<RadarChart>> {
-        self.run(Operator::KeywordRadar, |e| e.engine().keyword_radar(word))
+        let budget = self.unlimited();
+        let q = Query::KeywordRadar { word: word.into() };
+        self.execute(&q, &budget)
+            .map(|s| s.map(|r| unwrap_variant(r.into_radar()).value))
     }
 
     // Anytime variants: the session's [`QueryBudget`] limits apply, and
@@ -287,9 +351,12 @@ impl<'s> Session<'s> {
         k: usize,
     ) -> Result<Served<Anytime<KimAnswer>>> {
         let budget = self.budget;
-        self.run(Operator::FindInfluencers, |e| {
-            e.engine().find_influencers_budgeted(query, k, &budget)
-        })
+        let q = Query::FindInfluencers {
+            query: query.into(),
+            k,
+        };
+        self.execute(&q, &budget)
+            .map(|s| s.map(|r| unwrap_variant(r.into_influencers())))
     }
 
     /// Scenario 2 under the session budget.
@@ -299,9 +366,12 @@ impl<'s> Session<'s> {
         k: usize,
     ) -> Result<Served<Anytime<SuggestAnswer>>> {
         let budget = self.budget;
-        self.run(Operator::SuggestKeywords, |e| {
-            e.engine().suggest_keywords_budgeted(user, k, &budget)
-        })
+        let q = Query::SuggestKeywords {
+            user: user.into(),
+            k,
+        };
+        self.execute(&q, &budget)
+            .map(|s| s.map(|r| unwrap_variant(r.into_suggestions())))
     }
 
     /// Scenario 3 under the session budget.
@@ -312,10 +382,13 @@ impl<'s> Session<'s> {
         query: Option<&str>,
     ) -> Result<Served<Anytime<PathExploration>>> {
         let budget = self.budget;
-        self.run(Operator::ExplorePaths, |e| {
-            e.engine()
-                .explore_paths_budgeted(user, direction, query, &budget)
-        })
+        let q = Query::ExplorePaths {
+            user: user.into(),
+            direction,
+            query: query.map(str::to_string),
+        };
+        self.execute(&q, &budget)
+            .map(|s| s.map(|r| unwrap_variant(r.into_paths())))
     }
 
     /// Name auto-completion under the session budget (never degraded).
@@ -325,17 +398,26 @@ impl<'s> Session<'s> {
         limit: usize,
     ) -> Served<Anytime<Vec<(NodeId, String, f64)>>> {
         let budget = self.budget;
-        self.run(Operator::Autocomplete, |e| {
-            Ok(e.engine().autocomplete_budgeted(prefix, limit, &budget))
-        })
-        .expect("autocomplete is infallible")
+        let q = Query::Autocomplete {
+            prefix: prefix.into(),
+            limit,
+        };
+        self.execute(&q, &budget)
+            .map(|s| s.map(|r| unwrap_variant(r.into_completions())))
+            .expect("autocomplete is infallible")
     }
 
     /// Keyword radar under the session budget.
     pub fn keyword_radar_budgeted(&mut self, word: &str) -> Result<Served<Anytime<RadarChart>>> {
         let budget = self.budget;
-        self.run(Operator::KeywordRadar, |e| {
-            e.engine().keyword_radar_budgeted(word, &budget)
-        })
+        let q = Query::KeywordRadar { word: word.into() };
+        self.execute(&q, &budget)
+            .map(|s| s.map(|r| unwrap_variant(r.into_radar())))
     }
+}
+
+/// Execute dispatches on the query variant, so the response variant
+/// always matches the wrapper that built the query.
+fn unwrap_variant<T>(v: Option<T>) -> T {
+    v.expect("dispatch returns the matching variant")
 }

@@ -426,7 +426,9 @@ impl ShardedService {
         let id_stable = batch.iter().all(|d| {
             matches!(
                 d,
-                GraphDelta::NudgeWeights { .. } | GraphDelta::RenameNode { .. }
+                GraphDelta::NudgeWeights { .. }
+                    | GraphDelta::SetWeights { .. }
+                    | GraphDelta::RenameNode { .. }
             )
         });
         let new_global = if id_stable {
@@ -488,6 +490,10 @@ impl ShardedService {
                     let (u, _) = g.edge_endpoints(e)?;
                     note(u, touched)?;
                 }
+            }
+            GraphDelta::SetWeights { edge, .. } => {
+                let (u, _) = g.edge_endpoints(*edge)?;
+                note(u, touched)?;
             }
             GraphDelta::RemoveEdge { edge } => {
                 let (u, _) = g.edge_endpoints(*edge)?;

@@ -1,0 +1,333 @@
+//! Pinning for the unified query surface: one [`Query`] through
+//! [`QueryService::execute`] must answer **bit-identically** to the
+//! legacy per-operator methods it replaced, on both serving layers.
+//!
+//! Three contracts:
+//!
+//! 1. **Unlimited `execute` ≡ legacy exact** — for all five operators,
+//!    `execute(query, unlimited)` on [`OctopusService`] matches the raw
+//!    engine's exact methods, and on [`ShardedService`] matches its
+//!    legacy scatter-gather methods, to the bit (spread compared as
+//!    bits; the sharded merge is pinned against the single engine
+//!    elsewhere, here we pin the *surface*).
+//! 2. **Budgeted `execute` ≡ legacy budgeted** — with a finite sample
+//!    budget, `execute` returns exactly what the legacy `_budgeted`
+//!    methods return, bound and all (the budgeted paths are
+//!    deterministic at fixed budgets, pinned by `tests/anytime.rs`).
+//! 3. **The response variant always matches the query's operator**, so
+//!    `into_*` unwrapping in the thin legacy wrappers can never panic.
+
+use octopus_core::engine::{Octopus, OctopusConfig};
+use octopus_core::paths::ExploreDirection;
+use octopus_core::serve::{OctopusService, Query, QueryService, ShardedService};
+use octopus_core::QueryBudget;
+use octopus_graph::{GraphBuilder, TopicGraph};
+use octopus_topics::{TopicModel, Vocabulary};
+
+/// Two hubs plus two structurally identical clusters — enough
+/// components that the K = 2 sharded layer exercises its merge paths,
+/// with a shared "fan-" prefix so autocomplete union-merges.
+fn fixture() -> (TopicGraph, TopicModel, OctopusConfig) {
+    let mut b = GraphBuilder::new(2);
+    let ada = b.add_node("ada db");
+    for i in 0..4 {
+        let v = b.add_node(format!("fan-a-{i}"));
+        b.add_edge(ada, v, &[(0, 0.8)]).unwrap();
+    }
+    let bea = b.add_node("bea ml");
+    for i in 0..3 {
+        let v = b.add_node(format!("fan-b-{i}"));
+        b.add_edge(bea, v, &[(1, 0.8)]).unwrap();
+    }
+    for hub_name in ["cal db", "dot db"] {
+        let hub = b.add_node(hub_name);
+        let tag = &hub_name[..1];
+        let f0 = b.add_node(format!("fan-{tag}-0"));
+        let f1 = b.add_node(format!("fan-{tag}-1"));
+        b.add_edge(hub, f0, &[(0, 0.6)]).unwrap();
+        b.add_edge(hub, f1, &[(0, 0.6)]).unwrap();
+        b.add_edge(f0, f1, &[(0, 0.3)]).unwrap();
+    }
+    let g = b.build().unwrap();
+    let mut vocab = Vocabulary::new();
+    vocab.intern("data mining");
+    vocab.intern("frequent patterns");
+    vocab.intern("em algorithm");
+    vocab.intern("graphical models");
+    let model = TopicModel::from_rows(
+        vocab,
+        vec![vec![0.5, 0.4, 0.05, 0.05], vec![0.05, 0.05, 0.5, 0.4]],
+        vec![0.5, 0.5],
+    )
+    .unwrap();
+    let config = OctopusConfig {
+        piks_index_size: 96,
+        mis_rr_per_topic: 200,
+        k_max: 4,
+        ..Default::default()
+    };
+    (g, model, config)
+}
+
+/// The five probe queries, one per operator, all answerable on the
+/// fixture.
+fn probes() -> Vec<Query> {
+    vec![
+        Query::FindInfluencers {
+            query: "data mining".into(),
+            k: 4,
+        },
+        Query::SuggestKeywords {
+            user: "ada db".into(),
+            k: 2,
+        },
+        Query::ExplorePaths {
+            user: "cal db".into(),
+            direction: ExploreDirection::Influences,
+            query: Some("data mining".into()),
+        },
+        Query::Autocomplete {
+            prefix: "fan-".into(),
+            limit: 10,
+        },
+        Query::KeywordRadar {
+            word: "data mining".into(),
+        },
+    ]
+}
+
+#[test]
+fn unlimited_execute_matches_the_legacy_exact_operators_on_the_single_layer() {
+    let (g, model, config) = fixture();
+    let engine = Octopus::new(g.clone(), model.clone(), config.clone()).unwrap();
+    let service = OctopusService::new(Octopus::new(g, model, config).unwrap());
+    let budget = QueryBudget::unlimited();
+
+    let got = service
+        .execute(&probes()[0], &budget)
+        .unwrap()
+        .value
+        .into_influencers()
+        .unwrap();
+    let want = engine.find_influencers("data mining", 4).unwrap();
+    assert!(got.bound.exact, "unlimited budgets must run the exact path");
+    assert_eq!(got.value.keywords, want.keywords);
+    assert_eq!(got.value.seeds, want.seeds);
+    assert_eq!(got.value.result.seeds, want.result.seeds);
+    assert_eq!(
+        got.value.result.spread.to_bits(),
+        want.result.spread.to_bits(),
+        "the unified surface must not perturb the exact spread"
+    );
+
+    let got = service
+        .execute(&probes()[1], &budget)
+        .unwrap()
+        .value
+        .into_suggestions()
+        .unwrap();
+    let want = engine.suggest_keywords("ada db", 2).unwrap();
+    assert!(got.bound.exact);
+    assert_eq!(got.value.user, want.user);
+    assert_eq!(got.value.user_name, want.user_name);
+    assert_eq!(got.value.words, want.words);
+
+    let got = service
+        .execute(&probes()[2], &budget)
+        .unwrap()
+        .value
+        .into_paths()
+        .unwrap();
+    let want = engine
+        .explore_paths("cal db", ExploreDirection::Influences, Some("data mining"))
+        .unwrap();
+    assert!(got.bound.exact);
+    assert_eq!(got.value.root, want.root);
+    assert_eq!(got.value.reached, want.reached);
+    assert_eq!(got.value.influence.to_bits(), want.influence.to_bits());
+    assert_eq!(got.value.tree, want.tree);
+    assert_eq!(got.value.d3_json, want.d3_json);
+
+    let got = service
+        .execute(&probes()[3], &budget)
+        .unwrap()
+        .value
+        .into_completions()
+        .unwrap();
+    assert!(got.bound.exact);
+    assert_eq!(got.value, engine.autocomplete("fan-", 10));
+
+    let got = service
+        .execute(&probes()[4], &budget)
+        .unwrap()
+        .value
+        .into_radar()
+        .unwrap();
+    assert!(got.bound.exact);
+    assert_eq!(got.value, engine.keyword_radar("data mining").unwrap());
+}
+
+#[test]
+fn unlimited_execute_matches_the_legacy_operators_on_the_sharded_layer() {
+    let (g, model, config) = fixture();
+    let sharded = ShardedService::new(g, model, config, 2).unwrap();
+    let budget = QueryBudget::unlimited();
+
+    let got = sharded
+        .execute(&probes()[0], &budget)
+        .unwrap()
+        .value
+        .into_influencers()
+        .unwrap();
+    let want = sharded.find_influencers("data mining", 4).unwrap().value;
+    assert!(got.bound.exact);
+    assert_eq!(got.value.seeds, want.seeds);
+    assert_eq!(got.value.result.seeds, want.result.seeds);
+    assert_eq!(
+        got.value.result.spread.to_bits(),
+        want.result.spread.to_bits(),
+        "execute must route through the same scatter-gather merge"
+    );
+
+    let got = sharded
+        .execute(&probes()[1], &budget)
+        .unwrap()
+        .value
+        .into_suggestions()
+        .unwrap();
+    let want = sharded.suggest_keywords("ada db", 2).unwrap().value;
+    assert!(got.bound.exact);
+    assert_eq!(got.value.user, want.user);
+    assert_eq!(got.value.words, want.words);
+
+    let got = sharded
+        .execute(&probes()[2], &budget)
+        .unwrap()
+        .value
+        .into_paths()
+        .unwrap();
+    let want = sharded
+        .explore_paths("cal db", ExploreDirection::Influences, Some("data mining"))
+        .unwrap()
+        .value;
+    assert!(got.bound.exact);
+    assert_eq!(got.value.influence.to_bits(), want.influence.to_bits());
+    assert_eq!(got.value.d3_json, want.d3_json);
+
+    let got = sharded
+        .execute(&probes()[3], &budget)
+        .unwrap()
+        .value
+        .into_completions()
+        .unwrap();
+    assert!(got.bound.exact);
+    assert_eq!(got.value, sharded.autocomplete("fan-", 10).value);
+
+    let got = sharded
+        .execute(&probes()[4], &budget)
+        .unwrap()
+        .value
+        .into_radar()
+        .unwrap();
+    assert!(got.bound.exact);
+    assert_eq!(
+        got.value,
+        sharded.keyword_radar("data mining").unwrap().value
+    );
+}
+
+#[test]
+fn budgeted_execute_matches_the_legacy_budgeted_methods_on_both_layers() {
+    let (g, model, config) = fixture();
+    let service =
+        OctopusService::new(Octopus::new(g.clone(), model.clone(), config.clone()).unwrap());
+    let sharded = ShardedService::new(g, model, config, 2).unwrap();
+    // small enough to actually degrade the sampled estimators, so this
+    // pins the budgeted dispatch, not just the exact fall-through
+    let budget = QueryBudget::samples(48);
+
+    // single layer: the session's budgeted wrappers are the legacy API
+    let mut session = service.session();
+    session.set_budget(budget);
+    let got = service
+        .execute(&probes()[0], &budget)
+        .unwrap()
+        .value
+        .into_influencers()
+        .unwrap();
+    let want = session
+        .find_influencers_budgeted("data mining", 4)
+        .unwrap()
+        .value;
+    assert_eq!(got.value.seeds, want.value.seeds);
+    assert_eq!(
+        got.value.result.spread.to_bits(),
+        want.value.result.spread.to_bits()
+    );
+    assert_eq!(got.bound, want.bound, "the certificate must match too");
+
+    let got = service
+        .execute(&probes()[4], &budget)
+        .unwrap()
+        .value
+        .into_radar()
+        .unwrap();
+    let want = session.keyword_radar_budgeted("data mining").unwrap().value;
+    assert_eq!(got.value, want.value);
+    assert_eq!(got.bound, want.bound);
+
+    // sharded layer: the budgeted scatter-gather methods
+    let got = sharded
+        .execute(&probes()[0], &budget)
+        .unwrap()
+        .value
+        .into_influencers()
+        .unwrap();
+    let want = sharded
+        .find_influencers_budgeted("data mining", 4, &budget)
+        .unwrap()
+        .value;
+    assert_eq!(got.value.seeds, want.value.seeds);
+    assert_eq!(
+        got.value.result.spread.to_bits(),
+        want.value.result.spread.to_bits()
+    );
+    assert_eq!(got.bound, want.bound);
+
+    let got = sharded
+        .execute(&probes()[2], &budget)
+        .unwrap()
+        .value
+        .into_paths()
+        .unwrap();
+    let want = sharded
+        .explore_paths_budgeted(
+            "cal db",
+            ExploreDirection::Influences,
+            Some("data mining"),
+            &budget,
+        )
+        .unwrap()
+        .value;
+    assert_eq!(
+        got.value.influence.to_bits(),
+        want.value.influence.to_bits()
+    );
+    assert_eq!(got.value.d3_json, want.value.d3_json);
+    assert_eq!(got.bound, want.bound);
+}
+
+#[test]
+fn response_variant_always_matches_the_query_operator() {
+    let (g, model, config) = fixture();
+    let service = OctopusService::new(Octopus::new(g, model, config).unwrap());
+    let budget = QueryBudget::unlimited();
+    for query in probes() {
+        let served = service.execute(&query, &budget).unwrap();
+        assert_eq!(
+            served.value.operator(),
+            query.operator(),
+            "execute must answer with the variant the query names"
+        );
+    }
+}

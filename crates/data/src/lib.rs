@@ -35,8 +35,12 @@ pub mod gen;
 pub mod learn;
 pub mod loader;
 pub mod store;
+pub mod stream;
 
 pub use actions::{ActionLog, Item, ItemId, Trial};
 pub use gen::{CitationConfig, MessengerConfig, SyntheticNetwork};
 pub use learn::{EmOptions, LearnedModel, TicEm};
 pub use store::Dataset;
+pub use stream::{
+    Action, NewEdgePolicy, StreamConfig, StreamEvent, WindowOutcome, WindowedLearner,
+};

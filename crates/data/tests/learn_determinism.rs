@@ -1,0 +1,138 @@
+//! Determinism pinning for the windowed warm-refit chain: the same log
+//! prefix + the same seed must produce a bit-identical learned model,
+//! window after window, no matter how many rayon threads the
+//! surrounding process runs.
+//!
+//! The learner is deliberately single-threaded and seeded — its only
+//! hash map is lookup-only, [`ActionLog::edge_universe`] is sorted and
+//! deduped, and the EM loop iterates dense vectors in index order — so
+//! this suite is the tripwire that keeps it that way: any future
+//! parallelism or iteration-order dependence that breaks
+//! bit-replayability fails here (at 1 vs 8 threads, and across repeated
+//! runs) before it can corrupt the serving loop's shadow-graph contract
+//! (see the `octopus_data::stream` module docs). The ingest e2e test in
+//! `crates/bench` builds on exactly this property: replaying the same
+//! stream must land the serving layer on the same graph.
+
+use octopus_data::{
+    stream, ActionLog, CitationConfig, EmOptions, LearnedModel, NewEdgePolicy, StreamConfig,
+    StreamEvent, SyntheticNetwork, TicEm, WindowedLearner,
+};
+use octopus_graph::delta::GraphDelta;
+use octopus_graph::TopicGraph;
+
+fn net() -> SyntheticNetwork {
+    CitationConfig {
+        authors: 60,
+        papers: 150,
+        seed: 0x00DE_7E12,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// One full windowed chain: warm-up fit over the stream's first 60%,
+/// then the tail in `windows` windows through a [`WindowedLearner`].
+/// Returns everything bit-comparable about the run.
+fn run_chain(
+    net: &SyntheticNetwork,
+    windows: usize,
+) -> (Vec<Vec<GraphDelta>>, TopicGraph, LearnedModel) {
+    let opts = EmOptions {
+        max_iters: 4,
+        ..Default::default()
+    };
+    let names: Vec<String> = net
+        .graph
+        .nodes()
+        .map(|u| net.graph.name(u).unwrap_or("").to_string())
+        .collect();
+    let vocab = net.model.vocab().clone();
+    let actions = stream::timeline(&net.log, &StreamConfig::default());
+    let split = actions.len() * 3 / 5;
+    let mut warmup_log = ActionLog::new();
+    for a in &actions[..split] {
+        match &a.event {
+            StreamEvent::Item(item) => {
+                warmup_log.push_item(item.origin, item.keywords.clone());
+            }
+            StreamEvent::Trial(t) => warmup_log.push_trial(t.item, t.src, t.dst, t.activated),
+        }
+    }
+    let warm = TicEm::new(opts.clone()).fit(&warmup_log, vocab.clone(), names.clone());
+    let mut learner = WindowedLearner::new(
+        opts,
+        vocab,
+        names,
+        warmup_log,
+        warm,
+        NewEdgePolicy::Insert,
+        0.0,
+    );
+    let tail = &actions[split..];
+    let window_size = (tail.len() / windows).max(1);
+    let mut deltas = Vec::new();
+    let mut in_window = 0usize;
+    for (i, a) in tail.iter().enumerate() {
+        learner.observe(a);
+        in_window += 1;
+        if in_window >= window_size || i + 1 == tail.len() {
+            deltas.push(learner.fit_window().unwrap().deltas);
+            in_window = 0;
+        }
+    }
+    let shadow = learner.shadow().clone();
+    let learned = learner.learned().clone();
+    (deltas, shadow, learned)
+}
+
+fn assert_bit_identical(
+    a: &(Vec<Vec<GraphDelta>>, TopicGraph, LearnedModel),
+    b: &(Vec<Vec<GraphDelta>>, TopicGraph, LearnedModel),
+) {
+    assert_eq!(a.0, b.0, "every window must emit the identical deltas");
+    assert_eq!(a.1, b.1, "the shadow graphs must be bit-identical");
+    assert_eq!(
+        a.2.graph, b.2.graph,
+        "the learned graphs must be bit-identical"
+    );
+    assert_eq!(
+        a.2.model, b.2.model,
+        "the learned topic models must be bit-identical"
+    );
+    assert_eq!(a.2.iterations, b.2.iterations);
+    let lla: Vec<u64> = a.2.log_likelihood.iter().map(|x| x.to_bits()).collect();
+    let llb: Vec<u64> = b.2.log_likelihood.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(
+        lla, llb,
+        "even the log-likelihood trace must replay bitwise"
+    );
+}
+
+#[test]
+fn windowed_refit_chain_is_bit_replayable() {
+    let net = net();
+    let a = run_chain(&net, 3);
+    let b = run_chain(&net, 3);
+    assert!(
+        a.0.iter().map(Vec::len).sum::<usize>() > 0,
+        "the chain must actually move weights for the pin to mean anything"
+    );
+    assert_bit_identical(&a, &b);
+}
+
+#[test]
+fn windowed_refit_chain_is_thread_count_independent() {
+    let net = net();
+    let one = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| run_chain(&net, 3));
+    let eight = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .unwrap()
+        .install(|| run_chain(&net, 3));
+    assert_bit_identical(&one, &eight);
+}

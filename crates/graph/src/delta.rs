@@ -94,6 +94,51 @@ pub fn nudge_weights_multi(g: &TopicGraph, pairs: &[(EdgeId, f64)]) -> Result<To
     b.build()
 }
 
+/// Rebuild `g` with edge `edge`'s sparse probability row replaced
+/// wholesale by `probs` — exact values, support changes included. This is
+/// the delta shape a warm EM refit's weight diff produces: the learner
+/// emits complete per-topic rows, which a [`nudge_weights`] (one additive
+/// delta over every *existing* entry) cannot express. Node and edge ids
+/// are unchanged.
+pub fn set_weights(g: &TopicGraph, edge: EdgeId, probs: &[(usize, f64)]) -> Result<TopicGraph> {
+    set_weights_multi(g, &[(edge, probs.to_vec())])
+}
+
+/// Like [`set_weights`] over several edges at once — the shape
+/// [`apply_all`] folds a run of row replacements into. Listing an edge
+/// more than once keeps the *last* row (a later replacement overwrites an
+/// earlier one completely, exactly the sequential semantics).
+pub fn set_weights_multi(
+    g: &TopicGraph,
+    rows: &[(EdgeId, Vec<(usize, f64)>)],
+) -> Result<TopicGraph> {
+    for (e, _) in rows {
+        g.check_edge(*e)?;
+    }
+    let mut per_edge: Vec<Option<&[(usize, f64)]>> = vec![None; g.edge_count()];
+    for (e, probs) in rows {
+        per_edge[e.index()] = Some(probs);
+    }
+    let mut b = GraphBuilder::new(g.num_topics()).with_capacity(g.node_count(), g.edge_count());
+    for u in g.nodes() {
+        b.add_node(g.name(u).unwrap_or(""));
+    }
+    for e in g.edges() {
+        let (u, v) = g.edge_endpoints(e).expect("iterated edge is valid");
+        match per_edge[e.index()] {
+            Some(row) => b.add_edge(u, v, row)?,
+            None => {
+                let probs: Vec<(usize, f64)> = g
+                    .edge_topic_probs(e)
+                    .map(|(z, p)| (z.index(), p as f64))
+                    .collect();
+                b.add_edge(u, v, &probs)?
+            }
+        };
+    }
+    b.build()
+}
+
 /// Rebuild `g` with a single additional edge `u → v`.
 ///
 /// Fails like [`GraphBuilder::add_edge`] (bad endpoints, self loop, invalid
@@ -145,12 +190,22 @@ pub fn remove_edge(g: &TopicGraph, victim: EdgeId) -> Result<TopicGraph> {
 #[derive(Debug, Clone, PartialEq)]
 pub enum GraphDelta {
     /// Perturb the topic probabilities of `edges` by `delta` (reflected off
-    /// the `(0, 1]` boundary) — the shape a warm EM refit produces.
+    /// the `(0, 1]` boundary) — a synthetic drift shape.
     NudgeWeights {
         /// Edges whose probability rows move.
         edges: Vec<EdgeId>,
         /// Additive perturbation per sparse entry.
         delta: f64,
+    },
+    /// Replace one edge's whole sparse probability row — the shape a warm
+    /// EM refit's weight diff produces: exact learned values, support
+    /// changes included (a [`GraphDelta::NudgeWeights`] can only shift
+    /// every existing entry by one shared additive delta). Ids unchanged.
+    SetWeights {
+        /// The edge whose row is replaced.
+        edge: EdgeId,
+        /// The complete new sparse `(topic index, probability)` row.
+        probs: Vec<(usize, f64)>,
     },
     /// Add one influence edge `src → dst` — a new follow.
     InsertEdge {
@@ -181,6 +236,7 @@ impl GraphDelta {
     pub fn apply(&self, g: &TopicGraph) -> Result<TopicGraph> {
         match self {
             GraphDelta::NudgeWeights { edges, delta } => nudge_weights(g, edges, *delta),
+            GraphDelta::SetWeights { edge, probs } => set_weights(g, *edge, probs),
             GraphDelta::InsertEdge { src, dst, probs } => insert_edge(g, *src, *dst, probs),
             GraphDelta::RemoveEdge { edge } => remove_edge(g, *edge),
             GraphDelta::RenameNode { node, name } => rename_node(g, *node, name),
@@ -193,12 +249,17 @@ impl GraphDelta {
     ///
     /// `Some(set)` is exact: every topic outside `set` keeps a bit-identical
     /// [`crate::codec::hash_weights_topic`]. A rename touches no topic; a
-    /// nudge touches the topics with sparse entries on its edges; an insert
-    /// touches the topics in its probability payload (a merge with an
-    /// existing edge maxes per topic, so other topics still hold); a remove
-    /// touches the victim's entries. `None` means the footprint cannot be
-    /// determined (an edge id in the delta is not valid on `g`) and callers
-    /// must assume **all** topics — never that the delta is cheap.
+    /// nudge touches the topics with sparse entries on its edges; a row
+    /// replacement touches only the topics whose entry actually *changes* —
+    /// appears, vanishes, or moves at the stored `f32` precision
+    /// (re-stating an entry bitwise leaves that topic's slice alone, which
+    /// is what keeps a thresholded learner's dense rows topic-sparse); an
+    /// insert touches the topics in its probability payload (a merge with
+    /// an existing edge maxes per topic, so other topics still hold); a
+    /// remove touches the victim's entries. `None` means the footprint
+    /// cannot be determined (an edge id in the delta is not valid on `g`)
+    /// and callers must assume **all** topics — never that the delta is
+    /// cheap.
     pub fn touched_topics(&self, g: &TopicGraph) -> Option<BTreeSet<usize>> {
         match self {
             GraphDelta::RenameNode { .. } => Some(BTreeSet::new()),
@@ -210,6 +271,30 @@ impl GraphDelta {
                     }
                     for (z, _) in g.edge_topic_probs(e) {
                         out.insert(z.index());
+                    }
+                }
+                Some(out)
+            }
+            GraphDelta::SetWeights { edge, probs } => {
+                if g.check_edge(*edge).is_err() {
+                    return None;
+                }
+                let old: std::collections::BTreeMap<usize, f32> = g
+                    .edge_topic_probs(*edge)
+                    .map(|(z, p)| (z.index(), p))
+                    .collect();
+                let mut out = BTreeSet::new();
+                for &(z, p) in probs {
+                    match old.get(&z) {
+                        Some(op) if op.to_bits() == (p as f32).to_bits() => {}
+                        _ => {
+                            out.insert(z);
+                        }
+                    }
+                }
+                for z in old.keys() {
+                    if !probs.iter().any(|&(nz, _)| nz == *z) {
+                        out.insert(*z);
                     }
                 }
                 Some(out)
@@ -250,6 +335,11 @@ impl GraphDelta {
 /// touching an edge twice (a double nudge must compound, and reflection
 /// is not additive) are *not* merged and keep sequential semantics, as
 /// are mixed-perturbation runs spanning more than one topic.
+///
+/// A run of [`GraphDelta::SetWeights`] row replacements (the ingestion
+/// loop's learned-weight stream) *always* folds into one
+/// [`set_weights_multi`] rebuild: replacements are absolute, so even a
+/// repeated edge keeps sequential semantics (the last row wins).
 pub fn apply_all(g: &TopicGraph, deltas: &[GraphDelta]) -> Result<TopicGraph> {
     let mut current: Option<TopicGraph> = None;
     let mut i = 0;
@@ -283,6 +373,19 @@ pub fn apply_all(g: &TopicGraph, deltas: &[GraphDelta]) -> Result<TopicGraph> {
                 end += 1;
             }
             nudge_weights_multi(base, &pairs)?
+        } else if let GraphDelta::SetWeights { edge, probs } = &deltas[i] {
+            let mut rows: Vec<(EdgeId, Vec<(usize, f64)>)> = vec![(*edge, probs.clone())];
+            while let Some(GraphDelta::SetWeights {
+                edge: next_edge,
+                probs: next_probs,
+            }) = deltas.get(end)
+            {
+                // later rows overwrite earlier ones per edge inside
+                // set_weights_multi — exactly the sequential semantics
+                rows.push((*next_edge, next_probs.clone()));
+                end += 1;
+            }
+            set_weights_multi(base, &rows)?
         } else {
             deltas[i].apply(base)?
         };
@@ -679,6 +782,160 @@ mod tests {
             GraphDelta::RemoveEdge { edge: EdgeId(99) }.touched_topics(&g),
             None
         );
+    }
+
+    #[test]
+    fn set_weights_replaces_the_whole_row() {
+        let g = fixture();
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap(); // row {0: 0.5, 1: 0.25}
+                                                            // support change: topic 1 vanishes, topic 0 moves
+        let set = set_weights(&g, e, &[(0, 0.9)]).unwrap();
+        assert_eq!(codec::hash_topology(&g), codec::hash_topology(&set));
+        assert_eq!(codec::hash_names(&g), codec::hash_names(&set));
+        assert!((set.edge_prob_topic(e, TopicId(0)) - 0.9).abs() < 1e-6);
+        assert_eq!(set.edge_prob_topic(e, TopicId(1)), 0.0, "entry dropped");
+        // untouched edges keep bit-identical probabilities
+        let other = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(
+            g.edge_prob_topic(other, TopicId(1)),
+            set.edge_prob_topic(other, TopicId(1))
+        );
+        // the delta variant matches the free helper
+        assert_eq!(
+            GraphDelta::SetWeights {
+                edge: e,
+                probs: vec![(0, 0.9)]
+            }
+            .apply(&g)
+            .unwrap(),
+            set
+        );
+        // setting a row to itself is the identity
+        let row: Vec<(usize, f64)> = g
+            .edge_topic_probs(e)
+            .map(|(z, p)| (z.index(), p as f64))
+            .collect();
+        assert_eq!(set_weights(&g, e, &row).unwrap(), g);
+        // invalid ids and invalid probabilities are rejected
+        assert!(set_weights(&g, EdgeId(99), &[(0, 0.5)]).is_err());
+        assert!(set_weights(&g, e, &[(0, 1.5)]).is_err());
+    }
+
+    #[test]
+    fn set_weights_touched_topics_is_the_changed_entries() {
+        let g = fixture();
+        let set = |zs: &[usize]| zs.iter().copied().collect::<BTreeSet<usize>>();
+        let e = g.find_edge(NodeId(1), NodeId(2)).unwrap(); // row {1: 0.75}
+        let d = GraphDelta::SetWeights {
+            edge: e,
+            probs: vec![(0, 0.3)],
+        };
+        // old entry on topic 1 vanishes, a new one appears on topic 0
+        assert_eq!(d.touched_topics(&g), Some(set(&[0, 1])));
+        let applied = d.apply(&g).unwrap();
+        assert_ne!(
+            codec::hash_weights_topic(&g, 0),
+            codec::hash_weights_topic(&applied, 0)
+        );
+        assert_ne!(
+            codec::hash_weights_topic(&g, 1),
+            codec::hash_weights_topic(&applied, 1)
+        );
+        // a same-topic replacement keeps the footprint confined
+        let confined = GraphDelta::SetWeights {
+            edge: e,
+            probs: vec![(1, 0.6)],
+        };
+        assert_eq!(confined.touched_topics(&g), Some(set(&[1])));
+        let applied = confined.apply(&g).unwrap();
+        assert_eq!(
+            codec::hash_weights_topic(&g, 0),
+            codec::hash_weights_topic(&applied, 0),
+            "topic-1-confined replacement must leave topic 0's slice alone"
+        );
+        // a dense row that re-states entries bitwise only touches the
+        // entries that move — this is what keeps a thresholded learner's
+        // row replacements topic-sparse for the ingest batcher
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap(); // row {0: 0.5, 1: 0.25}
+        let partial = GraphDelta::SetWeights {
+            edge: e01,
+            probs: vec![(0, 0.5), (1, 0.9)],
+        };
+        assert_eq!(partial.touched_topics(&g), Some(set(&[1])));
+        let applied = partial.apply(&g).unwrap();
+        assert_eq!(
+            codec::hash_weights_topic(&g, 0),
+            codec::hash_weights_topic(&applied, 0),
+            "the re-stated topic-0 entry is bitwise unchanged"
+        );
+        assert_ne!(
+            codec::hash_weights_topic(&g, 1),
+            codec::hash_weights_topic(&applied, 1)
+        );
+        // re-stating the whole row bitwise touches nothing at all
+        let row: Vec<(usize, f64)> = g
+            .edge_topic_probs(e01)
+            .map(|(z, p)| (z.index(), p as f64))
+            .collect();
+        let identity = GraphDelta::SetWeights {
+            edge: e01,
+            probs: row,
+        };
+        assert_eq!(identity.touched_topics(&g), Some(set(&[])));
+        // unknown edge: footprint unknown
+        assert_eq!(
+            GraphDelta::SetWeights {
+                edge: EdgeId(99),
+                probs: vec![(0, 0.5)]
+            }
+            .touched_topics(&g),
+            None
+        );
+    }
+
+    #[test]
+    fn set_weights_runs_fold_without_changing_semantics() {
+        let g = fixture();
+        let set = |edge: u32, probs: Vec<(usize, f64)>| GraphDelta::SetWeights {
+            edge: EdgeId(edge),
+            probs,
+        };
+        let sequential = |batch: &[GraphDelta]| {
+            let mut cur = g.clone();
+            for d in batch {
+                cur = d.apply(&cur).unwrap();
+            }
+            cur
+        };
+        // disjoint edges: one rebuild, same graph as one-at-a-time
+        let run = vec![
+            set(0, vec![(0, 0.6), (1, 0.3)]),
+            set(1, vec![(0, 0.2)]),
+            set(2, vec![(1, 0.45)]),
+        ];
+        assert_eq!(apply_all(&g, &run).unwrap(), sequential(&run));
+        // repeated edge: the last row wins, exactly like sequential
+        let repeat = vec![set(0, vec![(0, 0.6)]), set(0, vec![(1, 0.8)])];
+        assert_eq!(apply_all(&g, &repeat).unwrap(), sequential(&repeat));
+        assert_eq!(
+            apply_all(&g, &repeat).unwrap(),
+            apply_all(&g, &[set(0, vec![(1, 0.8)])]).unwrap()
+        );
+        // a run interrupted by another variant stays sequential around it
+        let interrupted = vec![
+            set(0, vec![(0, 0.6)]),
+            GraphDelta::RenameNode {
+                node: NodeId(3),
+                name: "barbara liskov".into(),
+            },
+            set(1, vec![(1, 0.35)]),
+        ];
+        assert_eq!(
+            apply_all(&g, &interrupted).unwrap(),
+            sequential(&interrupted)
+        );
+        // an invalid edge anywhere in a foldable run still aborts
+        assert!(apply_all(&g, &[set(0, vec![(0, 0.6)]), set(99, vec![(0, 0.5)])]).is_err());
     }
 
     #[test]
